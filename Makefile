@@ -1,0 +1,38 @@
+# Common targets for the pcc reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments experiments-full clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# One benchmark per paper table/figure (simulated edge-board metrics).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick sweep of every experiment at 10% dataset scale (~2 min).
+experiments:
+	$(GO) run ./cmd/pccbench -scale 0.1 all
+
+# Paper-scale canonical run (~30-45 min); regenerates results_full_scale.txt.
+experiments-full:
+	$(GO) build -o /tmp/pccbench ./cmd/pccbench
+	/tmp/pccbench -scale 1.0 -frames 3 -csv results_csv all | tee results_full_scale.txt
+
+clean:
+	rm -rf results_csv

@@ -1,0 +1,356 @@
+// Package repro's root benchmark suite maps one testing.B benchmark onto
+// every table and figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index). Each benchmark executes the same code path the
+// pccbench experiment uses and reports the simulated edge-board metrics
+// (sim-ms/frame, J/frame, compression ratio, ...) via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the paper's measurement set.
+//
+// Benchmarks run at a small dataset scale for wall-clock sanity; the device
+// model scales linearly with point count, so every reported RATIO matches
+// the full-scale experiments (run `pccbench -scale 1 all` for the
+// paper-sized absolute numbers).
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/interframe"
+	"repro/internal/metrics"
+	"repro/internal/morton"
+)
+
+const benchScale = 0.03
+
+var (
+	benchOnce   sync.Once
+	benchFrames []*geom.VoxelCloud // redandblack frames 0..2
+	lootFrames  []*geom.VoxelCloud // loot frames 0..1
+)
+
+func load(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		rb, err := dataset.SpecByName("redandblack")
+		if err != nil {
+			panic(err)
+		}
+		g := dataset.NewGenerator(rb, benchScale)
+		for i := 0; i < 3; i++ {
+			f, err := g.Frame(i)
+			if err != nil {
+				panic(err)
+			}
+			benchFrames = append(benchFrames, f)
+		}
+		loot, err := dataset.SpecByName("loot")
+		if err != nil {
+			panic(err)
+		}
+		lg := dataset.NewGenerator(loot, benchScale)
+		for i := 0; i < 2; i++ {
+			f, err := lg.Frame(i)
+			if err != nil {
+				panic(err)
+			}
+			lootFrames = append(lootFrames, f)
+		}
+	})
+}
+
+func benchOpts(d codec.Design) codec.Options {
+	o := codec.OptionsFor(d)
+	o.IntraAttr.Segments = int(30000 * benchScale)
+	o.Inter.Segments = int(50000 * benchScale)
+	return o
+}
+
+func sortedVox(vc *geom.VoxelCloud) []geom.Voxel {
+	k := morton.EncodeCloud(vc)
+	morton.Sort(k)
+	k = morton.Dedup(k)
+	return morton.Voxels(k)
+}
+
+// BenchmarkTable1Dataset regenerates Table I's rows: synthetic frame
+// generation for each of the six videos.
+func BenchmarkTable1Dataset(b *testing.B) {
+	for _, spec := range dataset.TableI() {
+		b.Run(spec.Name, func(b *testing.B) {
+			g := dataset.NewGenerator(spec, 0.01)
+			b.ResetTimer()
+			var pts int
+			for i := 0; i < b.N; i++ {
+				f, err := g.Frame(i % spec.Frames)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pts = f.Len()
+			}
+			b.ReportMetric(float64(pts), "points/frame")
+		})
+	}
+}
+
+// BenchmarkFig2Breakdown regenerates Fig. 2: the baseline TMC13-like
+// pipeline whose stage split (octree ~1/3, RAHT ~2/3) the figure shows.
+func BenchmarkFig2Breakdown(b *testing.B) {
+	load(b)
+	dev := edgesim.NewXavier(edgesim.Mode15W)
+	enc := codec.NewEncoder(dev, benchOpts(codec.TMC13))
+	b.ResetTimer()
+	var st codec.FrameStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, st, err = enc.EncodeFrame(benchFrames[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(st.GeometryTime.Seconds()*1e3, "sim-geo-ms")
+	b.ReportMetric(st.AttrTime.Seconds()*1e3, "sim-attr-ms")
+}
+
+// BenchmarkFig3SpatialLocality regenerates Fig. 3a's statistic: per-segment
+// attribute ranges over a Morton-sorted frame.
+func BenchmarkFig3SpatialLocality(b *testing.B) {
+	load(b)
+	sorted := sortedVox(benchFrames[0])
+	b.ResetTimer()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		cdf := metrics.NewCDF(metrics.SegmentAttributeRanges(sorted, len(sorted)/20, 0))
+		med = cdf.Median()
+	}
+	b.ReportMetric(med, "median-range")
+}
+
+// BenchmarkFig3TemporalLocality regenerates Fig. 3b's statistic: best-match
+// temporal block deltas between consecutive frames.
+func BenchmarkFig3TemporalLocality(b *testing.B) {
+	load(b)
+	iF := sortedVox(benchFrames[0])
+	pF := sortedVox(benchFrames[1])
+	b.ResetTimer()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		cdf := metrics.NewCDF(metrics.SegmentTemporalDeltas(iF, pF, 1000, 10))
+		med = cdf.Median()
+	}
+	b.ReportMetric(med, "median-delta")
+}
+
+// BenchmarkFig8Latency regenerates Fig. 8a: per-design encode latency.
+func BenchmarkFig8Latency(b *testing.B) {
+	load(b)
+	for _, d := range codec.Designs() {
+		b.Run(d.String(), func(b *testing.B) {
+			dev := edgesim.NewXavier(edgesim.Mode15W)
+			enc := codec.NewEncoder(dev, benchOpts(d))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range benchFrames {
+					if _, _, err := enc.EncodeFrame(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(dev.SimTime().Seconds()*1e3/float64(3*b.N), "sim-ms/frame")
+		})
+	}
+}
+
+// BenchmarkFig8Energy regenerates Fig. 8b: per-design encode energy.
+func BenchmarkFig8Energy(b *testing.B) {
+	load(b)
+	for _, d := range codec.Designs() {
+		b.Run(d.String(), func(b *testing.B) {
+			dev := edgesim.NewXavier(edgesim.Mode15W)
+			enc := codec.NewEncoder(dev, benchOpts(d))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range benchFrames {
+					if _, _, err := enc.EncodeFrame(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(dev.EnergyJ()/float64(3*b.N), "sim-J/frame")
+		})
+	}
+}
+
+// BenchmarkFig8Compression regenerates Fig. 8c: per-design compressed size.
+func BenchmarkFig8Compression(b *testing.B) {
+	load(b)
+	for _, d := range codec.Designs() {
+		b.Run(d.String(), func(b *testing.B) {
+			dev := edgesim.NewXavier(edgesim.Mode15W)
+			enc := codec.NewEncoder(dev, benchOpts(d))
+			var size, raw int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.Reset()
+				size, raw = 0, 0
+				for _, f := range benchFrames {
+					_, st, err := enc.EncodeFrame(f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					size += st.SizeBytes
+					raw += f.RawBytes()
+				}
+			}
+			b.ReportMetric(float64(raw)/float64(size), "ratio")
+			b.ReportMetric(float64(size)/float64(raw)*100, "size-%of-raw")
+		})
+	}
+}
+
+// BenchmarkFig9KernelEnergy regenerates Fig. 9: inter-frame attribute
+// kernel energy attribution on Loot.
+func BenchmarkFig9KernelEnergy(b *testing.B) {
+	load(b)
+	iF := sortedVox(lootFrames[0])
+	pF := sortedVox(lootFrames[1])
+	p := interframe.DefaultParamsV1()
+	p.Segments = int(50000 * benchScale)
+	dev := edgesim.NewXavier(edgesim.Mode15W)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := interframe.EncodeP(dev, iF, pF, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var diff, total float64
+	for _, k := range dev.Kernels() {
+		total += k.EnergyJ
+		if k.Name == "Diff_Squared" {
+			diff = k.EnergyJ
+		}
+	}
+	b.ReportMetric(diff/total*100, "Diff_Squared-%")
+}
+
+// BenchmarkFig10Sensitivity regenerates Fig. 10b: the reuse-threshold knob.
+func BenchmarkFig10Sensitivity(b *testing.B) {
+	load(b)
+	for _, th := range []float64{20, 90, 400} {
+		b.Run(thName(th), func(b *testing.B) {
+			o := benchOpts(codec.IntraInterV2)
+			o.Inter.Threshold = th
+			var reuse float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc := codec.NewEncoder(edgesim.NewXavier(edgesim.Mode15W), o)
+				reuse = 0
+				for _, f := range benchFrames {
+					_, st, err := enc.EncodeFrame(f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Type == codec.PFrame {
+						reuse += st.Inter.ReuseFraction() / 2
+					}
+				}
+			}
+			b.ReportMetric(reuse*100, "reuse-%")
+		})
+	}
+}
+
+func thName(th float64) string {
+	switch {
+	case th < 50:
+		return "tight"
+	case th < 200:
+		return "default"
+	default:
+		return "loose"
+	}
+}
+
+// BenchmarkPowerModes regenerates the Sec. VI-C 15 W vs 10 W comparison.
+func BenchmarkPowerModes(b *testing.B) {
+	load(b)
+	for _, mode := range []edgesim.PowerMode{edgesim.Mode15W, edgesim.Mode10W} {
+		b.Run(mode.String(), func(b *testing.B) {
+			dev := edgesim.NewXavier(mode)
+			enc := codec.NewEncoder(dev, benchOpts(codec.IntraInterV2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range lootFrames {
+					if _, _, err := enc.EncodeFrame(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(dev.SimTime().Seconds()*1e3/float64(2*b.N), "sim-ms/frame")
+		})
+	}
+}
+
+// BenchmarkDecodeLatency regenerates the Sec. VI-C decode observation
+// (proposed designs decode faster than they encode, ~70 ms at full scale).
+func BenchmarkDecodeLatency(b *testing.B) {
+	load(b)
+	for _, d := range []codec.Design{codec.TMC13, codec.IntraOnly, codec.IntraInterV1} {
+		b.Run(d.String(), func(b *testing.B) {
+			opts := benchOpts(d)
+			enc := codec.NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+			var efs []*codec.EncodedFrame
+			for _, f := range benchFrames {
+				ef, _, err := enc.EncodeFrame(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				efs = append(efs, ef)
+			}
+			dev := edgesim.NewXavier(edgesim.Mode15W)
+			dec := codec.NewDecoder(dev, opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec.Reset()
+				for _, ef := range efs {
+					if _, err := dec.DecodeFrame(ef); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(dev.SimTime().Seconds()*1e3/float64(3*b.N), "sim-ms/frame")
+		})
+	}
+}
+
+// BenchmarkEntropyAblation regenerates the Sec. IV-B3 ablation: the
+// optional entropy stage trades ~2x geometry size for serial coding time.
+func BenchmarkEntropyAblation(b *testing.B) {
+	load(b)
+	for _, entropy := range []bool{false, true} {
+		name := "fast-path"
+		if entropy {
+			name = "with-entropy"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := benchOpts(codec.IntraOnly)
+			o.EntropyGeometry = entropy
+			dev := edgesim.NewXavier(edgesim.Mode15W)
+			enc := codec.NewEncoder(dev, o)
+			var geoBytes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ef, _, err := enc.EncodeFrame(benchFrames[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				geoBytes = len(ef.Geometry)
+			}
+			b.ReportMetric(dev.SimTime().Seconds()*1e3/float64(b.N), "sim-ms/frame")
+			b.ReportMetric(float64(geoBytes)/1e3, "geo-KB")
+		})
+	}
+}

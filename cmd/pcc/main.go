@@ -1,0 +1,261 @@
+// Command pcc encodes and decodes point-cloud videos with any of the five
+// designs the paper evaluates.
+//
+// Encode a set of .pcf frames (from cmd/pccgen) into one .pcv stream:
+//
+//	pcc encode -design intra-inter-v1 -o video.pcv frames/loot-*.pcf
+//
+// Decode a .pcv stream back into .pcf frames:
+//
+//	pcc decode -o ./decoded video.pcv
+//
+// Both directions print the device model's simulated edge-board latency and
+// energy alongside compression statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "encode":
+		cmdEncode(os.Args[2:])
+	case "decode":
+		cmdDecode(os.Args[2:])
+	case "stat":
+		cmdStat(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pcc encode [-design d] [-mode 15w|10w] [-gop n] -o out.pcv frame.{pcf|ply}...
+  pcc decode [-mode 15w|10w] [-o dir] in.pcv
+  pcc stat in.pcv
+designs: tmc13, cwipc, intra, intra-inter-v1, intra-inter-v2`)
+	os.Exit(2)
+}
+
+func parseDesign(s string) (codec.Design, error) {
+	switch strings.ToLower(s) {
+	case "tmc13":
+		return codec.TMC13, nil
+	case "cwipc":
+		return codec.CWIPC, nil
+	case "intra", "intra-only":
+		return codec.IntraOnly, nil
+	case "intra-inter-v1", "v1":
+		return codec.IntraInterV1, nil
+	case "intra-inter-v2", "v2":
+		return codec.IntraInterV2, nil
+	}
+	return 0, fmt.Errorf("unknown design %q", s)
+}
+
+func parseMode(s string) (edgesim.PowerMode, error) {
+	switch strings.ToLower(s) {
+	case "15w", "":
+		return edgesim.Mode15W, nil
+	case "10w":
+		return edgesim.Mode10W, nil
+	}
+	return 0, fmt.Errorf("unknown power mode %q", s)
+}
+
+func cmdEncode(args []string) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	designStr := fs.String("design", "intra", "codec design")
+	modeStr := fs.String("mode", "15w", "device power mode (15w or 10w)")
+	gop := fs.Int("gop", 3, "group-of-pictures length for inter designs")
+	segments := fs.Int("segments", 0, "override intra segment count (0 = paper default)")
+	out := fs.String("o", "out.pcv", "output .pcv path")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("no input frames"))
+	}
+	design, err := parseDesign(*designStr)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	opts := codec.OptionsFor(design)
+	opts.GOP = *gop
+	if *segments > 0 {
+		opts.IntraAttr.Segments = *segments
+		opts.Inter.Segments = *segments
+	}
+
+	outF, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer outF.Close()
+	dev := edgesim.NewXavier(mode)
+	vw := core.NewVideoWriter(outF, dev, opts)
+	var rawBytes int64
+	for _, path := range fs.Args() {
+		vc, err := readPCF(path)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		rawBytes += vc.RawBytes()
+		st, err := vw.WriteFrame(vc)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%-30s %s-frame %8d pts  %8.2f KB  sim %7.2f ms  %.3f J\n",
+			filepath.Base(path), st.Type, st.Points,
+			float64(st.SizeBytes)/1e3, st.TotalTime.Seconds()*1000, st.EnergyJ)
+	}
+	if err := vw.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%d frames -> %s: %.2f MB compressed (%.1fx ratio), simulated %s on %s: %v, %.2f J\n",
+		vw.Frames(), *out, float64(vw.Bytes())/1e6,
+		float64(rawBytes)/float64(vw.Bytes()), design, dev.Config().Name,
+		dev.SimTime().Round(1e6), dev.EnergyJ())
+}
+
+func cmdDecode(args []string) {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	modeStr := fs.String("mode", "15w", "device power mode")
+	out := fs.String("o", ".", "output directory for decoded .pcf frames")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("need exactly one input .pcv"))
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	inF, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer inF.Close()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	dev := edgesim.NewXavier(mode)
+	vr, err := core.NewVideoReader(inF, dev)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stream design: %v\n", vr.Options().Design)
+	i := 0
+	for {
+		vc, ef, err := vr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("decoded-%03d.pcf", i))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dataset.WriteFrame(f, vc); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("%s: %s-frame, %d points\n", path, ef.Type, vc.Len())
+		i++
+	}
+	fmt.Printf("\ndecoded %d frames, simulated decode on %s: %v, %.2f J\n",
+		i, dev.Config().Name, dev.SimTime().Round(1e6), dev.EnergyJ())
+}
+
+// cmdStat prints the bitstream anatomy of a .pcv: per-frame type, point
+// count, geometry/attribute split, and stream totals.
+func cmdStat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("need exactly one input .pcv"))
+	}
+	inF, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer inF.Close()
+	dev := edgesim.NewXavier(edgesim.Mode15W)
+	vr, err := core.NewVideoReader(inF, dev)
+	if err != nil {
+		fatal(err)
+	}
+	o := vr.Options()
+	fmt.Printf("design %v, GOP %d, intra segments %d (q=%d, %d layers), inter segments %d (threshold %.0f)\n\n",
+		o.Design, o.GOP, o.IntraAttr.Segments, o.IntraAttr.QStep, o.IntraAttr.Layers,
+		o.Inter.Segments, o.Inter.Threshold)
+	fmt.Printf("%5s %4s %9s %12s %12s %12s %10s\n",
+		"frame", "type", "points", "geometry B", "attr B", "total B", "bits/pt")
+	var frames int
+	var geoB, attrB, totB, pts int64
+	for {
+		vc, ef, err := vr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%5d %4s %9d %12d %12d %12d %10.2f\n",
+			frames, ef.Type, vc.Len(), len(ef.Geometry), len(ef.Attr), ef.Size(),
+			float64(ef.Size())*8/float64(vc.Len()))
+		frames++
+		geoB += int64(len(ef.Geometry))
+		attrB += int64(len(ef.Attr))
+		totB += ef.Size()
+		pts += int64(vc.Len())
+	}
+	if frames == 0 {
+		fmt.Println("(empty stream)")
+		return
+	}
+	fmt.Printf("\ntotal: %d frames, %d points, %.2f MB (%.1f%% geometry / %.1f%% attributes), %.2f bits/point\n",
+		frames, pts, float64(totB)/1e6,
+		float64(geoB)/float64(totB)*100, float64(attrB)/float64(totB)*100,
+		float64(totB)*8/float64(pts))
+}
+
+// readPCF loads one input frame; .ply files (e.g. real 8iVFB captures) are
+// parsed and voxelized to depth 10, everything else is read as .pcf.
+func readPCF(path string) (*geom.VoxelCloud, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".ply") {
+		return dataset.ReadPLY(f, dataset.Depth)
+	}
+	return dataset.ReadFrame(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcc:", err)
+	os.Exit(1)
+}

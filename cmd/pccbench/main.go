@@ -1,0 +1,133 @@
+// Command pccbench regenerates every table and figure of the paper's
+// evaluation (Sec. VI) on the synthetic dataset and the edge-device model:
+//
+//	pccbench table1            Table I   dataset summary
+//	pccbench fig2              Fig. 2    baseline stage latency breakdown
+//	pccbench fig3a             Fig. 3a   spatial attribute locality CDFs
+//	pccbench fig3b             Fig. 3b   temporal attribute locality CDFs
+//	pccbench fig8              Figs. 8a-c latency / energy / size+PSNR,
+//	                                      five designs x six videos
+//	pccbench fig9              Fig. 9    inter-frame kernel energy breakdown
+//	pccbench fig10b            Fig. 10b  reuse-threshold sensitivity
+//	pccbench power             Sec. VI-C 15 W vs 10 W mode
+//	pccbench decode            Sec. VI-C decode latency
+//	pccbench ablation          Sec. IV-B3 entropy / layers / segments
+//	pccbench all               everything above
+//
+// Flags:
+//
+//	-scale f    dataset scale (fraction of Table I points/frame; default 0.1)
+//	-frames n   frames per video per experiment (default 3)
+//	-videos csv comma-separated subset of video names (default all six)
+//
+// Latency and energy are simulated Jetson-AGX-Xavier numbers from the
+// device model; they scale linearly with point count, so sub-scale runs
+// preserve every ratio the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+var (
+	flagScale  = flag.Float64("scale", 0.1, "dataset scale (1.0 = Table I point counts)")
+	flagFrames = flag.Int("frames", 3, "frames per video per experiment")
+	flagVideos = flag.String("videos", "", "comma-separated subset of videos (default: all six)")
+	flagCSV    = flag.String("csv", "", "also write each result table as CSV into this directory")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	if *flagCSV != "" {
+		if err := os.MkdirAll(*flagCSV, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "pccbench:", err)
+			os.Exit(1)
+		}
+		csvDir = *flagCSV
+	}
+	cfg := benchConfig{
+		Scale:  *flagScale,
+		Frames: *flagFrames,
+		Videos: selectVideos(*flagVideos),
+	}
+	if cfg.Frames < 1 {
+		cfg.Frames = 1
+	}
+
+	experiments := map[string]func(benchConfig) error{
+		"table1":    runTable1,
+		"fig2":      runFig2,
+		"fig3a":     runFig3a,
+		"fig3b":     runFig3b,
+		"fig8":      runFig8,
+		"fig9":      runFig9,
+		"fig10b":    runFig10b,
+		"power":     runPower,
+		"decode":    runDecode,
+		"ablation":  runAblation,
+		"future":    runFuture,
+		"endtoend":  runEndToEnd,
+		"lod":       runLoD,
+		"altcodecs": runAltCodecs,
+		"viewport":  runViewport,
+		"capture":   runCapture,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture"} {
+			fmt.Printf("\n===== %s =====\n", name)
+			if err := experiments[name](cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "pccbench %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := experiments[cmd]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pccbench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+// benchConfig carries the experiment-wide knobs.
+type benchConfig struct {
+	Scale  float64
+	Frames int
+	Videos []dataset.VideoSpec
+}
+
+func selectVideos(csv string) []dataset.VideoSpec {
+	all := dataset.TableI()
+	if csv == "" {
+		return all
+	}
+	var out []dataset.VideoSpec
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		spec, err := dataset.SpecByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		out = append(out, spec)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/trace"
+	"repro/internal/viewport"
+)
+
+// runViewport evaluates ViVo-style viewpoint-dependent transmission
+// (related work [24]) composed with the proposed intra attribute codec:
+// blocks outside the viewer's field of view are neither encoded nor sent.
+func runViewport(cfg benchConfig) error {
+	spec := cfg.Videos[0]
+	frames, err := loadFrames(spec, cfg.Scale, 1)
+	if err != nil {
+		return err
+	}
+	sorted := sortedVoxels(frames[0])
+	segments := max(8, int(30000*cfg.Scale))
+
+	tb := trace.NewTable(
+		fmt.Sprintf("ViVo-style viewport culling + proposed intra codec, %s (%d pts)", spec.Name, len(sorted)),
+		"FOV", "visible pts", "culled", "attr bytes", "attr sim ms")
+	for _, fov := range []float64{360, 120, 60, 30} {
+		cam := viewport.DefaultCamera(1 << frames[0].Depth)
+		cam.FOVDegrees = fov
+		kept, _, res := viewport.Cull(sorted, segments, cam)
+		colors := make([]geom.Color, len(kept))
+		for i, v := range kept {
+			colors[i] = v.C
+		}
+		dev := edgesim.NewXavier(edgesim.Mode15W)
+		p := attr.DefaultParams()
+		p.Segments = segments
+		data, err := attr.Encode(dev, colors, p)
+		if err != nil {
+			return err
+		}
+		tb.Row(fmt.Sprintf("%.0f°", fov), res.VisiblePoints,
+			fmt.Sprintf("%.0f%%", res.CulledFraction()*100),
+			len(data), dev.SimTime().Seconds()*1000)
+	}
+	emit(tb)
+	fmt.Println("narrower views encode and ship proportionally less — the ViVo observation,")
+	fmt.Println("composing for free with the proposed Morton-block pipelines.")
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command pccgen generates frames of the synthetic Table-I videos as .pcf
+// files, the raw-frame interchange format consumed by cmd/pcc.
+//
+//	pccgen -video loot -scale 0.1 -frames 10 -out ./frames
+//
+// writes ./frames/loot-000.pcf .. ./frames/loot-009.pcf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		video  = flag.String("video", "loot", "Table I video name")
+		scale  = flag.Float64("scale", 0.1, "point-count scale (1.0 = paper size)")
+		frames = flag.Int("frames", 10, "number of frames to generate")
+		start  = flag.Int("start", 0, "first frame index")
+		out    = flag.String("out", ".", "output directory")
+		format = flag.String("format", "pcf", "output format: pcf or ply")
+		list   = flag.Bool("list", false, "list available videos and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range dataset.TableI() {
+			fmt.Printf("%-12s %-6s %3d frames, %7d pts/frame\n", s.Name, s.Dataset, s.Frames, s.PointsPerFrame)
+		}
+		return
+	}
+	spec, err := dataset.SpecByName(*video)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	g := dataset.NewGenerator(spec, *scale)
+	for i := 0; i < *frames; i++ {
+		t := *start + i
+		vc, err := g.Frame(t)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s-%03d.%s", spec.Name, t, *format))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		var werr error
+		switch *format {
+		case "ply":
+			werr = dataset.WritePLY(f, vc)
+		case "pcf":
+			werr = dataset.WriteFrame(f, vc)
+		default:
+			f.Close()
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+		if werr != nil {
+			f.Close()
+			fatal(werr)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d points\n", path, vc.Len())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pccgen:", err)
+	os.Exit(1)
+}

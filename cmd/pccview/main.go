@@ -1,0 +1,163 @@
+// Command pccview renders point-cloud frames to PNG images — the "Render
+// and Display" stage of the paper's pipeline (Fig. 1), and the tool behind
+// Fig. 10a-style visual comparisons of original vs decoded frames.
+//
+// Render a raw .pcf frame (from pccgen) or every frame of a .pcv stream:
+//
+//	pccview -o frame.png frames/loot-000.pcf
+//	pccview -view side -splat 2 -o out video.pcv
+//
+// With two .pcf inputs, it renders both plus their per-pixel difference:
+//
+//	pccview -o cmp original.pcf decoded.pcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "out", "output PNG path (single input) or prefix (stream/pair)")
+		size  = flag.Int("size", 512, "image width and height")
+		view  = flag.String("view", "front", "camera axis: front, side, top")
+		splat = flag.Int("splat", 1, "splat radius in pixels")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: pccview [flags] frame.{pcf|ply} | video.pcv | orig.pcf decoded.pcf")
+		os.Exit(2)
+	}
+	opts := render.DefaultOptions()
+	opts.Width, opts.Height = *size, *size
+	opts.SplatRadius = *splat
+	switch strings.ToLower(*view) {
+	case "front":
+		opts.View = render.FrontZ
+	case "side":
+		opts.View = render.SideX
+	case "top":
+		opts.View = render.TopY
+	default:
+		fatal(fmt.Errorf("unknown view %q", *view))
+	}
+
+	if flag.NArg() == 2 {
+		renderPair(flag.Arg(0), flag.Arg(1), *out, opts)
+		return
+	}
+	path := flag.Arg(0)
+	if strings.HasSuffix(path, ".pcv") {
+		renderStream(path, *out, opts)
+		return
+	}
+	vc := mustReadPCF(path)
+	target := *out
+	if !strings.HasSuffix(target, ".png") {
+		target += ".png"
+	}
+	writePNGFrame(vc, target, opts)
+}
+
+func renderPair(origPath, decodedPath, prefix string, opts render.Options) {
+	orig := mustReadPCF(origPath)
+	decoded := mustReadPCF(decodedPath)
+	a := mustRender(orig, opts)
+	b := mustRender(decoded, opts)
+	d, err := render.DiffImage(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	writePNG(a, prefix+"-original.png")
+	writePNG(b, prefix+"-decoded.png")
+	writePNG(d, prefix+"-diff.png")
+}
+
+func renderStream(path, prefix string, opts render.Options) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	vr, err := core.NewVideoReader(f, edgesim.NewXavier(edgesim.Mode15W))
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(prefix+"-000.png"), 0o755); err != nil && filepath.Dir(prefix) != "." {
+		fatal(err)
+	}
+	for i := 0; ; i++ {
+		vc, _, err := vr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		writePNGFrame(vc, fmt.Sprintf("%s-%03d.png", prefix, i), opts)
+	}
+}
+
+func writePNGFrame(vc *geom.VoxelCloud, path string, opts render.Options) {
+	writePNG(mustRender(vc, opts), path)
+}
+
+func mustRender(vc *geom.VoxelCloud, opts render.Options) *image.RGBA {
+	img, err := render.Render(vc, opts)
+	if err != nil {
+		fatal(err)
+	}
+	return img
+}
+
+func writePNG(img *image.RGBA, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := png.Encode(f, img); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func mustReadPCF(path string) *geom.VoxelCloud {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var vc *geom.VoxelCloud
+	var rerr error
+	if strings.HasSuffix(strings.ToLower(path), ".ply") {
+		vc, rerr = dataset.ReadPLY(f, dataset.Depth)
+	} else {
+		vc, rerr = dataset.ReadFrame(f)
+	}
+	if rerr != nil {
+		fatal(fmt.Errorf("%s: %w", path, rerr))
+	}
+	return vc
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pccview:", err)
+	os.Exit(1)
+}

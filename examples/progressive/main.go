@@ -1,0 +1,41 @@
+// Progressive: stream one encoded frame byte-by-byte and show how the
+// proposed design's breadth-first geometry layout lets a receiver display
+// coarse previews long before the full frame arrives — a level-of-detail
+// property the sequential baselines' depth-first streams cannot offer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pcc"
+)
+
+func main() {
+	video := pcc.NewVideo("soldier", 0.08)
+	frame, err := video.Frame(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := pcc.DefaultOptions(pcc.IntraOnly)
+	opts.IntraAttr.Segments = 2500
+	enc := pcc.NewEncoderOptions(opts)
+	bits, stats, err := enc.Encode(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frame: %d points, geometry stream %.1f KB (total %.1f KB)\n\n",
+		frame.Len(), float64(len(bits.Geometry))/1e3, float64(stats.SizeBytes)/1e3)
+
+	fmt.Printf("%7s %9s %14s %16s\n", "level", "points", "bytes needed", "% of geometry")
+	for level := uint(2); level <= uint(bits.Depth); level++ {
+		coarse, prefix, err := pcc.DecodeProgressive(bits, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d %9d %14d %15.1f%%\n",
+			level, coarse.Len(), prefix, float64(prefix)/float64(len(bits.Geometry)-1)*100)
+	}
+	fmt.Println("\na receiver shows a recognizable body after a few percent of the stream,")
+	fmt.Println("then refines level by level as the remaining bytes arrive.")
+}

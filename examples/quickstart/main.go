@@ -1,0 +1,52 @@
+// Quickstart: encode one synthetic frame with the paper's intra-frame
+// design, decode it, and report size, quality, and the simulated
+// edge-board cost — the smallest complete tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pcc"
+)
+
+func main() {
+	// A frame of the "loot" sequence at 10% of the paper's point count.
+	video := pcc.NewVideo("loot", 0.1)
+	frame, err := video.Frame(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frame 0 of %s: %d points (%.1f MB raw)\n",
+		video.Name(), frame.Len(), float64(frame.RawBytes())/1e6)
+
+	// Encode with the Morton-parallel intra-frame design (Sec. IV).
+	opts := pcc.DefaultOptions(pcc.IntraOnly)
+	opts.IntraAttr.Segments = 3000 // paper uses 30000 at full scale
+	enc := pcc.NewEncoderOptions(opts)
+	bits, stats, err := enc.Encode(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed: %.1f KB (%.1fx ratio)\n",
+		float64(stats.SizeBytes)/1e3,
+		pcc.CompressionRatio(frame.RawBytes(), stats.SizeBytes))
+	fmt.Printf("simulated edge encode: %.1f ms (geometry %.1f + attributes %.1f), %.3f J\n",
+		stats.TotalTime.Seconds()*1000,
+		stats.GeometryTime.Seconds()*1000,
+		stats.AttrTime.Seconds()*1000,
+		stats.EnergyJ)
+
+	// Decode and measure quality.
+	dec := pcc.NewDecoder(enc.Options())
+	decoded, err := dec.Decode(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	psnr, err := pcc.GeometryPSNR(frame, decoded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoded %d points, geometry PSNR %.1f dB, simulated decode %.1f ms\n",
+		decoded.Len(), psnr, dec.Device().SimTime().Seconds()*1000)
+}

@@ -1,0 +1,78 @@
+// Telepresence: a budget-planning exercise for the paper's motivating
+// application (Sec. I-II). Given a telepresence session's per-frame
+// latency budget (~100 ms for interactive streaming [19]) and a battery
+// budget, compare all five designs on a full-body capture and report which
+// ones fit — reproducing the paper's argument that only the proposed
+// designs are edge-deployable (and its closing remark that even they sit
+// slightly beyond hard real-time at full capture scale).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pcc"
+)
+
+const (
+	scale         = 0.08
+	nFrames       = 6
+	latencyMS     = 100.0        // real-time bound the paper targets (Sec. I)
+	batteryJ      = 18000.0      // ~5 Wh phone battery budget for the session
+	sessionFrames = 30 * 60 * 10 // 10 minutes at 30 fps
+)
+
+func main() {
+	video := pcc.NewVideo("redandblack", scale)
+	frames := make([]*pcc.PointCloud, nFrames)
+	var err error
+	for i := range frames {
+		if frames[i], err = video.Frame(i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fullScalePts := float64(video.TargetPoints()) / scale
+	scaleUp := fullScalePts / float64(frames[0].Len())
+
+	fmt.Printf("telepresence planning: %s, %d pts/frame at full capture scale\n",
+		video.Name(), int(fullScalePts))
+	fmt.Printf("budget: %.0f ms/frame, %.0f J battery for a 10-minute session\n\n", latencyMS, batteryJ)
+	fmt.Printf("%-15s %12s %12s %10s %9s %s\n",
+		"design", "ms/frame*", "J/frame*", "session-J", "ratio", "verdict")
+
+	for _, d := range pcc.Designs() {
+		opts := pcc.DefaultOptions(d)
+		opts.IntraAttr.Segments = 2500
+		opts.Inter.Segments = 4000
+		enc := pcc.NewEncoderOptions(opts)
+		var msSum, jSum, rawB, cmpB float64
+		for _, f := range frames {
+			_, st, err := enc.Encode(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			msSum += st.TotalTime.Seconds() * 1000
+			jSum += st.EnergyJ
+			rawB += float64(f.RawBytes())
+			cmpB += float64(st.SizeBytes)
+		}
+		// The device model scales linearly with point count; extrapolate
+		// the sub-scale run to the full capture size.
+		msFull := msSum / float64(nFrames) * scaleUp
+		jFull := jSum / float64(nFrames) * scaleUp
+		sessionJ := jFull * sessionFrames
+		verdict := "real-time capable"
+		switch {
+		case msFull > latencyMS*4:
+			verdict = "too slow (not interactive)"
+		case msFull > latencyMS:
+			verdict = "near real-time (paper: slightly beyond 100ms)"
+		}
+		if sessionJ > batteryJ {
+			verdict += "; drains battery"
+		}
+		fmt.Printf("%-15s %12.1f %12.3f %10.0f %8.1fx %s\n",
+			d, msFull, jFull, sessionJ, rawB/cmpB, verdict)
+	}
+	fmt.Println("\n* simulated Jetson-AGX-Xavier (15W) numbers extrapolated to full capture scale")
+}

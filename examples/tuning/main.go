@@ -1,0 +1,126 @@
+// Tuning: the Sec. VI-E knob exploration as a library user would run it.
+// The direct-reuse threshold of the inter-frame codec trades compression
+// ratio against quality; this example sweeps it on one video and prints the
+// trade-off curve, so an application can pick its own operating point
+// between the paper's V1 (quality) and V2 (compression) presets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/pcc"
+)
+
+func main() {
+	video := pcc.NewVideo("soldier", 0.06)
+	const nFrames = 6
+	frames := make([]*pcc.PointCloud, nFrames)
+	var err error
+	for i := range frames {
+		if frames[i], err = video.Frame(i); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("direct-reuse threshold sweep (Sec. VI-E), soldier, IPP GOP:")
+	fmt.Printf("%10s %8s %8s %12s %10s\n", "threshold", "reuse%", "ratio", "attrPSNR(dB)", "ms/frame")
+	for _, th := range []float64{5, 20, 45, 90, 180, 400, 2000} {
+		opts := pcc.DefaultOptions(pcc.IntraInterV1)
+		opts.IntraAttr.Segments = 2000
+		opts.Inter.Segments = 3000
+		opts.Inter.Threshold = th
+		enc := pcc.NewEncoderOptions(opts)
+		dec := pcc.NewDecoder(opts)
+
+		var raw, cmp, reuse, msSum float64
+		var pFrames int
+		var mseSum float64
+		var mseN int
+		for _, f := range frames {
+			bits, st, err := enc.Encode(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := dec.Decode(bits)
+			if err != nil {
+				log.Fatal(err)
+			}
+			raw += float64(f.RawBytes())
+			cmp += float64(st.SizeBytes)
+			msSum += st.TotalTime.Seconds() * 1000
+			if st.Inter.Blocks > 0 {
+				reuse += st.Inter.ReuseFraction()
+				pFrames++
+			}
+			// Order-aligned attribute comparison: the decoded cloud is in
+			// canonical order; compare colour-by-nearest-position.
+			mse := colourMSE(f, out)
+			if mse > 0 {
+				mseSum += mse
+				mseN++
+			}
+		}
+		psnr := math.Inf(1)
+		if mseN > 0 {
+			psnr = 10 * math.Log10(255*255/(mseSum/float64(mseN)))
+		}
+		if pFrames > 0 {
+			reuse /= float64(pFrames)
+		}
+		fmt.Printf("%10.0f %7.0f%% %8.2f %12.1f %10.2f\n",
+			th, reuse*100, raw/cmp, math.Min(psnr, 99), msSum/nFrames)
+	}
+	fmt.Println("\nhigher threshold -> more blocks reused -> better ratio, lower PSNR (paper Fig. 10b).")
+}
+
+// colourMSE compares attributes via nearest-neighbour lookup (robust to the
+// codec's canonical reordering and sub-voxel geometry shifts).
+func colourMSE(orig, decoded *pcc.PointCloud) float64 {
+	idx := newIndex(decoded)
+	var mse float64
+	for _, v := range orig.Voxels {
+		n := idx.nearest(v)
+		mse += float64(v.C.Dist2(n.C)) / 3
+	}
+	return mse / float64(orig.Len())
+}
+
+// newIndex builds a tiny grid hash for NN colour lookup.
+type gridIdx struct {
+	cells map[uint64][]pcc.Point
+}
+
+func newIndex(vc *pcc.PointCloud) *gridIdx {
+	g := &gridIdx{cells: make(map[uint64][]pcc.Point)}
+	for _, v := range vc.Voxels {
+		g.cells[g.key(v.X, v.Y, v.Z)] = append(g.cells[g.key(v.X, v.Y, v.Z)], v)
+	}
+	return g
+}
+
+func (g *gridIdx) key(x, y, z uint32) uint64 {
+	return uint64(x>>4)<<42 | uint64(y>>4)<<21 | uint64(z>>4)
+}
+
+func (g *gridIdx) nearest(q pcc.Point) pcc.Point {
+	best := q
+	bestD := math.Inf(1)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				k := uint64(int64(q.X>>4)+int64(dx))<<42 |
+					uint64(int64(q.Y>>4)+int64(dy))<<21 |
+					uint64(int64(q.Z>>4)+int64(dz))
+				for _, v := range g.cells[k] {
+					if d := q.Dist2(v); d < bestD {
+						bestD = d
+						best = v
+					}
+				}
+			}
+		}
+	}
+	return best
+}

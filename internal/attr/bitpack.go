@@ -1,0 +1,87 @@
+// Package attr implements the paper's CONTRIBUTION intra-frame attribute
+// codec (Sec. IV-C): points are already sorted in Morton order (reusing the
+// geometry pipeline's intermediate codes at no extra cost), segmented into
+// equal macro blocks, and each block is stored as one Base value (the
+// median) plus quantized residual Deltas per channel. A second layer
+// re-encodes the residual stream the same way ("2-layer encoder",
+// Sec. VI-B), and everything is packed with fixed-width bit packing —
+// deliberately NOT entropy coded, matching the paper's fast path
+// (Sec. IV-B3); the entropy stage exists as an explicit option for the
+// ablation.
+package attr
+
+// bitWriter packs values LSB-first into a byte stream.
+type bitWriter struct {
+	buf  []byte
+	bits uint64
+	n    uint
+}
+
+func (w *bitWriter) write(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	w.bits |= (v & (1<<width - 1)) << w.n
+	w.n += width
+	for w.n >= 8 {
+		w.buf = append(w.buf, byte(w.bits))
+		w.bits >>= 8
+		w.n -= 8
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.n > 0 {
+		w.buf = append(w.buf, byte(w.bits))
+		w.bits = 0
+		w.n = 0
+	}
+	return w.buf
+}
+
+// bitReader reads values LSB-first.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	bits uint64
+	n    uint
+}
+
+func (r *bitReader) read(width uint) (uint64, bool) {
+	if width == 0 {
+		return 0, true
+	}
+	for r.n < width {
+		if r.pos >= len(r.buf) {
+			return 0, false
+		}
+		r.bits |= uint64(r.buf[r.pos]) << r.n
+		r.pos++
+		r.n += 8
+	}
+	v := r.bits & (1<<width - 1)
+	r.bits >>= width
+	r.n -= width
+	return v, true
+}
+
+// zig/unzig are 32-bit zig-zag maps (small magnitudes -> small codes).
+func zig(v int32) uint32   { return uint32(v<<1) ^ uint32(v>>31) }
+func unzig(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
+
+// widthFor returns the number of bits needed to represent the zig-zag code
+// of every value in vs.
+func widthFor(vs []int32) uint {
+	var maxZ uint32
+	for _, v := range vs {
+		if z := zig(v); z > maxZ {
+			maxZ = z
+		}
+	}
+	w := uint(0)
+	for maxZ != 0 {
+		w++
+		maxZ >>= 1
+	}
+	return w
+}

@@ -1,0 +1,27 @@
+package attr
+
+// YCoCg-R: a reversible integer colour transform (as used by modern video
+// codecs and G-PCC's attribute path). Decorrelating RGB into one luma and
+// two chroma channels concentrates the energy into Y, so the per-segment
+// residuals of the chroma channels shrink — a pure-win knob for the
+// Base+Deltas codec on natural textures, exposed as Params.YCoCg and
+// evaluated in the ablation experiments.
+
+// rgbToYCoCg converts one colour to (Y, Co, Cg). Y is in [0,255]; Co and
+// Cg are signed with magnitude <= 255 (lossless, integer-exact).
+func rgbToYCoCg(r, g, b int32) (y, co, cg int32) {
+	co = r - b
+	t := b + (co >> 1)
+	cg = g - t
+	y = t + (cg >> 1)
+	return y, co, cg
+}
+
+// yCoCgToRGB inverts rgbToYCoCg exactly.
+func yCoCgToRGB(y, co, cg int32) (r, g, b int32) {
+	t := y - (cg >> 1)
+	g = cg + t
+	b = t - (co >> 1)
+	r = b + co
+	return r, g, b
+}

@@ -1,0 +1,46 @@
+package attr
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzDecode drives the attribute decoder with arbitrary bytes: it must
+// return an error or a valid colour slice — never panic or over-allocate.
+// (Run with `go test -fuzz FuzzDecode ./internal/attr` to explore; the seed
+// corpus runs in normal `go test`.)
+func FuzzDecode(f *testing.F) {
+	d := dev()
+	// Seed with valid streams of each variant.
+	colors := smoothColors(31, 200)
+	for _, p := range []Params{
+		{Segments: 10, QStep: 1, Layers: 1},
+		{Segments: 10, QStep: 4, Layers: 2},
+		{Segments: 10, QStep: 4, Layers: 2, Entropy: true},
+		{Segments: 10, QStep: 2, Layers: 2, YCoCg: true},
+	} {
+		data, err := Encode(d, colors, p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(d, data)
+		if err != nil {
+			return
+		}
+		if len(out) > 1<<22 {
+			t.Fatalf("decoder produced %d colours from %d bytes", len(out), len(data))
+		}
+		for _, c := range out {
+			_ = c // colours are always valid geom.Color values
+		}
+		_ = geom.Color{}
+	})
+}

@@ -1,0 +1,104 @@
+package attr
+
+import "sort"
+
+// SegmentBounds splits n points into at most segments equal blocks and
+// returns the block boundary offsets (len = blocks+1, first 0, last n).
+// Blocks are contiguous runs in Morton order — the "macro blocks" of
+// Sec. IV-C. When n < segments every block holds one point.
+func SegmentBounds(n, segments int) []int {
+	if n <= 0 {
+		return []int{0}
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	if segments > n {
+		segments = n
+	}
+	bounds := make([]int, segments+1)
+	for i := 0; i <= segments; i++ {
+		bounds[i] = i * n / segments
+	}
+	return bounds
+}
+
+// medianOf returns the lower median of vs (vs is not modified).
+func medianOf(vs []int32, scratch []int32) int32 {
+	scratch = scratch[:0]
+	scratch = append(scratch, vs...)
+	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+	return scratch[(len(scratch)-1)/2]
+}
+
+// layerData is one encoded Base+Deltas layer for a single channel.
+type layerData struct {
+	bases []int32 // one per segment (the "Mid" values)
+	qd    []int32 // one quantized delta per point
+}
+
+// encodeLayer computes Base+Deltas over values with the given segmentation
+// and quantization step: base = median(segment), qd = round((v-base)/q).
+// Residuals are quantized symmetrically (round half away from zero).
+func encodeLayer(values []int32, bounds []int, q int32) layerData {
+	nSeg := len(bounds) - 1
+	out := layerData{bases: make([]int32, nSeg), qd: make([]int32, len(values))}
+	var scratch []int32
+	for s := 0; s < nSeg; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo == hi {
+			continue
+		}
+		base := medianOf(values[lo:hi], scratch)
+		out.bases[s] = base
+		for i := lo; i < hi; i++ {
+			out.qd[i] = quantize(values[i]-base, q)
+		}
+	}
+	return out
+}
+
+// encodeLayerRange is the per-segment body of encodeLayer, exported to the
+// device kernels so segments can be processed in parallel.
+func encodeLayerRange(values []int32, bounds []int, q int32, out *layerData, segLo, segHi int) {
+	var scratch []int32
+	for s := segLo; s < segHi; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo == hi {
+			continue
+		}
+		base := medianOf(values[lo:hi], scratch)
+		out.bases[s] = base
+		for i := lo; i < hi; i++ {
+			out.qd[i] = quantize(values[i]-base, q)
+		}
+	}
+}
+
+// decodeLayer reconstructs values from a layer: v = base + qd*q.
+func decodeLayer(l layerData, bounds []int, q int32) []int32 {
+	out := make([]int32, len(l.qd))
+	decodeLayerRange(l, bounds, q, out, 0, len(bounds)-1)
+	return out
+}
+
+// decodeLayerRange is the per-segment decode body for parallel kernels.
+func decodeLayerRange(l layerData, bounds []int, q int32, out []int32, segLo, segHi int) {
+	for s := segLo; s < segHi; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		for i := lo; i < hi; i++ {
+			out[i] = l.bases[s] + l.qd[i]*q
+		}
+	}
+}
+
+// quantize rounds v/q half away from zero.
+func quantize(v, q int32) int32 {
+	if q <= 1 {
+		return v
+	}
+	if v >= 0 {
+		return (v + q/2) / q
+	}
+	return -((-v + q/2) / q)
+}

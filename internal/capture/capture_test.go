@@ -1,0 +1,191 @@
+package capture
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func body(t testing.TB) *geom.VoxelCloud {
+	t.Helper()
+	spec, err := dataset.SpecByName("andrew10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := dataset.NewGenerator(spec, 0.02).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc
+}
+
+func TestEmptyRigAndCloud(t *testing.T) {
+	if _, err := (Rig{}).Capture(&geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{{X: 1}}}); err != ErrNoCameras {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FrontalRig(4, 1024).Capture(&geom.VoxelCloud{Depth: 10}); err == nil {
+		t.Fatal("empty truth must fail")
+	}
+}
+
+func TestFrontalRigCaptures(t *testing.T) {
+	truth := body(t)
+	cloud, err := FrontalRig(4, 1024).Capture(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloud.Len() == 0 {
+		t.Fatal("no points captured")
+	}
+	// Voxelizing the capture must give a plausible frame.
+	vc, err := geom.Voxelize(cloud, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Len() < truth.Len()/20 {
+		t.Fatalf("capture too sparse: %d voxels from %d truth", vc.Len(), truth.Len())
+	}
+}
+
+func TestFrontalCaptureIsSingleSided(t *testing.T) {
+	// A frontal rig must not see the back of the subject: at EQUAL sensor
+	// resolution, a full orbit covers strictly more surface than the same
+	// number of frontal cameras.
+	truth := body(t)
+	front := FrontalRig(4, 1024)
+	orbit := OrbitRig(4, 1024)
+	for i := range front.Cams {
+		front.Cams[i].Width, front.Cams[i].Height = 256, 256
+	}
+	fc, err := front.Capture(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := orbit.Capture(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frontal cameras sit at low Z looking towards +Z, so their capture
+	// is biased towards the subject's front (low-Z) surfaces; the orbit
+	// capture is balanced. Compare mean captured Z.
+	if fz, oz := meanZ(fc), meanZ(oc); fz >= oz-3 {
+		t.Fatalf("frontal mean z %.1f not in front of orbit mean z %.1f — no single-sidedness", fz, oz)
+	}
+}
+
+func meanZ(c *geom.Cloud) float64 {
+	var s float64
+	for _, p := range c.Points {
+		s += float64(p.Z)
+	}
+	return s / float64(len(c.Points))
+}
+
+func TestCapturedPointsNearSurface(t *testing.T) {
+	// Every captured point must lie close to SOME ground-truth voxel
+	// (within the depth quantization + pixel footprint).
+	truth := body(t)
+	cloud, err := OrbitRig(8, 1024).Capture(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := geom.NewGridIndex(truth, 4)
+	maxD2 := 0.0
+	for i := 0; i < len(cloud.Points); i += 37 { // sample
+		p := cloud.Points[i]
+		v := geom.Voxel{X: clampU(p.X), Y: clampU(p.Y), Z: clampU(p.Z)}
+		_, d2 := idx.Nearest(v)
+		if d2 > maxD2 {
+			maxD2 = d2
+		}
+	}
+	// Pixel footprint at ~1.6*1024 distance with 256px/50° is ~5-6 voxels;
+	// allow some slack.
+	if maxD2 > 400 {
+		t.Fatalf("captured point %v voxels away from surface", math.Sqrt(maxD2))
+	}
+}
+
+func clampU(v float32) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1023 {
+		return 1023
+	}
+	return uint32(v)
+}
+
+func TestDepthQuantization(t *testing.T) {
+	// A single voxel imaged by one camera: the back-projected depth must
+	// be quantized to DepthStep.
+	truth := &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{
+		{X: 512, Y: 512, Z: 512, C: geom.Color{R: 10}},
+	}}
+	cam := Cam{
+		Pos: [3]float64{512, 512, 0}, LookAt: [3]float64{512, 512, 512},
+		FOVDegrees: 40, Width: 64, Height: 64, DepthStep: 8,
+	}
+	out := &geom.Cloud{}
+	cam.capture(truth, out)
+	if len(out.Points) != 1 {
+		t.Fatalf("captured %d points, want 1", len(out.Points))
+	}
+	z := float64(out.Points[0].Z)
+	if math.Mod(z, 8) > 1e-3 && math.Mod(z, 8) < 8-1e-3 {
+		t.Fatalf("depth %v not quantized to step 8", z)
+	}
+}
+
+func TestColorBias(t *testing.T) {
+	truth := &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{
+		{X: 512, Y: 512, Z: 512, C: geom.Color{R: 100, G: 100, B: 100}},
+	}}
+	cam := Cam{
+		Pos: [3]float64{512, 512, 0}, LookAt: [3]float64{512, 512, 512},
+		FOVDegrees: 40, Width: 32, Height: 32, ColorBias: 5,
+	}
+	out := &geom.Cloud{}
+	cam.capture(truth, out)
+	if len(out.Points) != 1 || out.Points[0].C.R != 105 {
+		t.Fatalf("captured = %+v", out.Points)
+	}
+}
+
+func TestOcclusion(t *testing.T) {
+	// Two voxels on the same ray: only the nearer is captured.
+	truth := &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{
+		{X: 512, Y: 512, Z: 400, C: geom.Color{R: 1}},
+		{X: 512, Y: 512, Z: 800, C: geom.Color{R: 2}},
+	}}
+	cam := Cam{
+		Pos: [3]float64{512, 512, 0}, LookAt: [3]float64{512, 512, 512},
+		FOVDegrees: 40, Width: 16, Height: 16,
+	}
+	out := &geom.Cloud{}
+	cam.capture(truth, out)
+	if len(out.Points) != 1 {
+		t.Fatalf("captured %d points, want 1 (occlusion)", len(out.Points))
+	}
+	if out.Points[0].C.R != 1 {
+		t.Fatalf("captured the occluded voxel (R=%d)", out.Points[0].C.R)
+	}
+}
+
+// End to end: capture -> voxelize -> the capture output feeds the codecs.
+func TestCaptureFeedsPipeline(t *testing.T) {
+	truth := body(t)
+	cloud, err := FrontalRig(4, 1024).Capture(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := geom.Voxelize(cloud, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,378 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/edgesim"
+	"repro/internal/entropy"
+	"repro/internal/geom"
+	"repro/internal/mbtree"
+	"repro/internal/morton"
+	"repro/internal/octree"
+	"repro/internal/raht"
+)
+
+// Calibrated serial CPU costs for the baseline pipelines; they land the
+// reproduced stage latencies at the paper's Fig. 2 numbers for ~0.8 M-point
+// frames (octree construct+serialize ~1.5 s, entropy ~0.15 s).
+var (
+	costOctreeInsert   = edgesim.Cost{OpsPerItem: 197, BytesPerItem: 12} // per point-level step
+	costOctreeSerial   = edgesim.Cost{OpsPerItem: 100, BytesPerItem: 16} // per node
+	costOctreeDeserial = edgesim.Cost{OpsPerItem: 120, BytesPerItem: 16} // per stream byte
+	costEntropyByte    = edgesim.Cost{OpsPerItem: 150, BytesPerItem: 2}  // per payload byte
+	costSortPoint      = edgesim.Cost{OpsPerItem: 45, BytesPerItem: 16}  // per point (comparison sort)
+)
+
+// sortedKeyed Morton-sorts and deduplicates a frame on the CPU (the
+// baselines' internal point ordering), accounting the work serially.
+func sortedKeyed(dev *edgesim.Device, vc *geom.VoxelCloud, kernel string) []morton.Keyed {
+	var keyed []morton.Keyed
+	dev.CPUSerial(kernel, vc.Len(), costSortPoint, func() {
+		keyed = morton.EncodeCloud(vc)
+		morton.Sort(keyed)
+		keyed = morton.Dedup(keyed)
+	})
+	return keyed
+}
+
+// encodeGeometrySequential runs the baseline geometry pipeline: sequential
+// octree construction, DFS serialization, entropy coding.
+func (e *Encoder) encodeGeometrySequential(vc *geom.VoxelCloud) ([]byte, error) {
+	var stream []byte
+	var tr *octree.Tree
+	var err error
+	e.dev.CPUSerial("OctreeConstruct", vc.Len()*int(vc.Depth), costOctreeInsert, func() {
+		tr, err = octree.Build(vc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.dev.CPUSerial("OctreeSerialize", tr.NumNodes, costOctreeSerial, func() {
+		stream = tr.Serialize()
+	})
+	var packed []byte
+	e.dev.CPUSerial("GeomEntropy", len(stream), costEntropyByte, func() {
+		packed = entropy.CompressBytes(stream)
+	})
+	return packed, nil
+}
+
+// decodeGeometrySequential inverts encodeGeometrySequential, returning the
+// voxels in Morton (DFS) order.
+func (d *Decoder) decodeGeometrySequential(data []byte, depth uint) ([]geom.Voxel, error) {
+	var occ []byte
+	var err error
+	d.dev.CPUSerial("GeomEntropyDecode", len(data), costEntropyByte, func() {
+		occ, err = entropy.DecompressBytes(data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var voxels []geom.Voxel
+	d.dev.CPUSerial("OctreeDeserialize", len(occ), costOctreeDeserial, func() {
+		voxels, err = octree.Deserialize(occ, depth)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return voxels, nil
+}
+
+// --- TMC13 ---
+
+func (e *Encoder) encodeTMC13(vc *geom.VoxelCloud) (*EncodedFrame, edgesim.Snapshot, edgesim.Snapshot, error) {
+	var geomBytes []byte
+	var err error
+	s0 := e.dev.Snapshot()
+	e.dev.Stage("Geometry", func() {
+		geomBytes, err = e.encodeGeometrySequential(vc)
+	})
+	geomDelta := e.dev.Since(s0)
+	if err != nil {
+		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+	}
+
+	s1 := e.dev.Snapshot()
+	var attrBytes []byte
+	var keyed []morton.Keyed
+	e.dev.Stage("Attribute", func() {
+		keyed = sortedKeyed(e.dev, vc, "AttrSort")
+		codes := morton.Codes(keyed)
+		colors := make([]geom.Color, len(keyed))
+		for i, k := range keyed {
+			colors[i] = k.Voxel.C
+		}
+		cc := raht.Codec{QStep: e.opts.RAHTQStep}
+		attrBytes, err = cc.Encode(e.dev, codes, colors, vc.Depth)
+	})
+	attrDelta := e.dev.Since(s1)
+	if err != nil {
+		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+	}
+	return &EncodedFrame{
+		Type:      IFrame,
+		Depth:     uint8(vc.Depth),
+		NumPoints: uint32(len(keyed)),
+		Geometry:  geomBytes,
+		Attr:      attrBytes,
+	}, geomDelta, attrDelta, nil
+}
+
+func (d *Decoder) decodeTMC13(f *EncodedFrame) (*geom.VoxelCloud, error) {
+	voxels, err := d.decodeGeometrySequential(f.Geometry, uint(f.Depth))
+	if err != nil {
+		return nil, err
+	}
+	if len(voxels) != int(f.NumPoints) {
+		return nil, fmt.Errorf("codec: geometry decoded %d points, header says %d", len(voxels), f.NumPoints)
+	}
+	codes := make([]morton.Code, len(voxels))
+	for i, v := range voxels {
+		codes[i] = morton.Encode(v.X, v.Y, v.Z)
+	}
+	cc := raht.Codec{QStep: d.opts.RAHTQStep}
+	colors, err := cc.Decode(d.dev, f.Attr, codes, uint(f.Depth))
+	if err != nil {
+		return nil, err
+	}
+	for i := range voxels {
+		voxels[i].C = colors[i]
+	}
+	return &geom.VoxelCloud{Depth: uint(f.Depth), Voxels: voxels}, nil
+}
+
+// --- CWIPC ---
+
+// cwipcBlockShift selects the macro block scale (16^3-voxel blocks).
+const cwipcBlockShift = 4
+
+func (e *Encoder) encodeCWIPC(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, edgesim.Snapshot, edgesim.Snapshot, error) {
+	var geomBytes []byte
+	var err error
+	s0 := e.dev.Snapshot()
+	e.dev.Stage("Geometry", func() {
+		geomBytes, err = e.encodeGeometrySequential(vc)
+	})
+	geomDelta := e.dev.Since(s0)
+	if err != nil {
+		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+	}
+
+	s1 := e.dev.Snapshot()
+	var attrBytes []byte
+	var sorted []geom.Voxel
+	e.dev.Stage("Attribute", func() {
+		keyed := sortedKeyed(e.dev, vc, "AttrSort")
+		sorted = morton.Voxels(keyed)
+		if isP {
+			attrBytes, err = e.encodeCWIPCPredicted(sorted, vc.Depth)
+		} else {
+			attrBytes, err = e.encodeCWIPCRaw(sorted)
+		}
+	})
+	attrDelta := e.dev.Since(s1)
+	if err != nil {
+		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+	}
+
+	ftype := IFrame
+	if isP {
+		ftype = PFrame
+	} else {
+		e.refSorted = sorted
+	}
+	return &EncodedFrame{
+		Type:      ftype,
+		Depth:     uint8(vc.Depth),
+		NumPoints: uint32(len(sorted)),
+		Geometry:  geomBytes,
+		Attr:      attrBytes,
+	}, geomDelta, attrDelta, nil
+}
+
+// encodeCWIPCRaw entropy-codes the raw attribute bytes (the paper notes
+// CWIPC "directly applied entropy encoding to the raw attributes").
+func (e *Encoder) encodeCWIPCRaw(sorted []geom.Voxel) ([]byte, error) {
+	raw := make([]byte, 0, 3*len(sorted))
+	for _, v := range sorted {
+		raw = append(raw, v.C.R, v.C.G, v.C.B)
+	}
+	var packed []byte
+	e.dev.CPUSerial("RawAttrEntropy", len(raw), costEntropyByte, func() {
+		packed = entropy.CompressBytes(raw)
+	})
+	return append([]byte{0}, packed...), nil
+}
+
+// encodeCWIPCPredicted runs macro-block motion estimation against the
+// reference frame: matched blocks store a reference-block pointer, the rest
+// ship raw (entropy-coded) colours.
+func (e *Encoder) encodeCWIPCPredicted(sorted []geom.Voxel, depth uint) ([]byte, error) {
+	iCloud := &geom.VoxelCloud{Depth: depth, Voxels: e.refSorted}
+	pCloud := &geom.VoxelCloud{Depth: depth, Voxels: sorted}
+	iTree := mbtree.Build(e.dev, iCloud, cwipcBlockShift)
+	pTree := mbtree.Build(e.dev, pCloud, cwipcBlockShift)
+	results := mbtree.MatchAll(e.dev, iTree, pTree, mbtree.DefaultMatchParams())
+
+	var head bytes.Buffer
+	putUvarint(&head, uint64(len(pTree.Keys)))
+	var raw []byte
+	for bi, key := range pTree.Keys {
+		r := results[bi]
+		if r.Found {
+			head.WriteByte(1)
+			putUvarint(&head, uint64(r.RefKey.X))
+			putUvarint(&head, uint64(r.RefKey.Y))
+			putUvarint(&head, uint64(r.RefKey.Z))
+		} else {
+			head.WriteByte(0)
+			for _, idx := range pTree.Blocks[key].Indices {
+				c := sorted[idx].C
+				raw = append(raw, c.R, c.G, c.B)
+			}
+		}
+	}
+	var packed []byte
+	e.dev.CPUSerial("RawAttrEntropy", len(raw), costEntropyByte, func() {
+		packed = entropy.CompressBytes(raw)
+	})
+	matched := 0
+	for _, r := range results {
+		if r.Found {
+			matched++
+		}
+	}
+	e.lastInterStats.Blocks = len(results)
+	e.lastInterStats.DirectReuse = matched
+	e.lastInterStats.DeltaBlocks = len(results) - matched
+
+	out := []byte{1}
+	out = append(out, head.Bytes()...)
+	return append(out, packed...), nil
+}
+
+func (d *Decoder) decodeCWIPC(f *EncodedFrame) (*geom.VoxelCloud, error) {
+	voxels, err := d.decodeGeometrySequential(f.Geometry, uint(f.Depth))
+	if err != nil {
+		return nil, err
+	}
+	if len(voxels) != int(f.NumPoints) {
+		return nil, fmt.Errorf("codec: geometry decoded %d points, header says %d", len(voxels), f.NumPoints)
+	}
+	if len(f.Attr) == 0 {
+		return nil, ErrBadContainer
+	}
+	switch f.Attr[0] {
+	case 0: // raw I-frame
+		var raw []byte
+		d.dev.CPUSerial("RawAttrEntropyDecode", len(f.Attr), costEntropyByte, func() {
+			raw, err = entropy.DecompressBytes(f.Attr[1:])
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(raw) != 3*len(voxels) {
+			return nil, fmt.Errorf("codec: raw attrs %d bytes for %d points", len(raw), len(voxels))
+		}
+		for i := range voxels {
+			voxels[i].C = geom.Color{R: raw[3*i], G: raw[3*i+1], B: raw[3*i+2]}
+		}
+		d.refSorted = voxels
+	case 1: // predicted frame
+		if d.refSorted == nil {
+			return nil, fmt.Errorf("codec: P-frame without reference")
+		}
+		if err := d.decodeCWIPCPredicted(f.Attr[1:], voxels, uint(f.Depth)); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, ErrBadContainer
+	}
+	return &geom.VoxelCloud{Depth: uint(f.Depth), Voxels: voxels}, nil
+}
+
+func (d *Decoder) decodeCWIPCPredicted(data []byte, voxels []geom.Voxel, depth uint) error {
+	// Rebuild the P macro-block partition from the decoded geometry; it is
+	// a pure function of the (sorted) positions.
+	pCloud := &geom.VoxelCloud{Depth: depth, Voxels: voxels}
+	pTree := mbtree.Build(d.dev, pCloud, cwipcBlockShift)
+	iCloud := &geom.VoxelCloud{Depth: depth, Voxels: d.refSorted}
+	iTree := mbtree.Build(d.dev, iCloud, cwipcBlockShift)
+
+	r := bytes.NewReader(data)
+	nBlocks, err := binary.ReadUvarint(r)
+	if err != nil || int(nBlocks) != len(pTree.Keys) {
+		return fmt.Errorf("codec: block count mismatch (%d vs %d)", nBlocks, len(pTree.Keys))
+	}
+	type pending struct {
+		key mbtree.BlockKey
+		ref mbtree.BlockKey
+		raw bool
+	}
+	plan := make([]pending, len(pTree.Keys))
+	rawPoints := 0
+	for bi, key := range pTree.Keys {
+		flag, err := r.ReadByte()
+		if err != nil {
+			return ErrBadContainer
+		}
+		switch flag {
+		case 1:
+			x, err1 := binary.ReadUvarint(r)
+			y, err2 := binary.ReadUvarint(r)
+			z, err3 := binary.ReadUvarint(r)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return ErrBadContainer
+			}
+			plan[bi] = pending{key: key, ref: mbtree.BlockKey{X: uint32(x), Y: uint32(y), Z: uint32(z)}}
+		case 0:
+			plan[bi] = pending{key: key, raw: true}
+			rawPoints += len(pTree.Blocks[key].Indices)
+		default:
+			return ErrBadContainer
+		}
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		return ErrBadContainer
+	}
+	var raw []byte
+	d.dev.CPUSerial("RawAttrEntropyDecode", len(rest), costEntropyByte, func() {
+		raw, err = entropy.DecompressBytes(rest)
+	})
+	if err != nil {
+		return err
+	}
+	if len(raw) != 3*rawPoints {
+		return fmt.Errorf("codec: raw payload %d bytes for %d unmatched points", len(raw), rawPoints)
+	}
+	pos := 0
+	for _, p := range plan {
+		indices := pTree.Blocks[p.key].Indices
+		if p.raw {
+			for _, idx := range indices {
+				voxels[idx].C = geom.Color{R: raw[pos], G: raw[pos+1], B: raw[pos+2]}
+				pos += 3
+			}
+			continue
+		}
+		ib, ok := iTree.Blocks[p.ref]
+		if !ok {
+			return fmt.Errorf("codec: reference block %v missing", p.ref)
+		}
+		for i, idx := range indices {
+			j := i * len(ib.Indices) / len(indices)
+			voxels[idx].C = d.refSorted[ib.Indices[j]].C
+		}
+	}
+	return nil
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}

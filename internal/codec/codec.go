@@ -1,0 +1,245 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/interframe"
+)
+
+// Design selects one of the five evaluated PCC designs.
+type Design int
+
+const (
+	// TMC13 is the state-of-the-art intra-frame baseline [56].
+	TMC13 Design = iota
+	// CWIPC is the state-of-the-art inter-frame baseline [13], [48].
+	CWIPC
+	// IntraOnly is the paper's intra-frame proposal (Sec. IV).
+	IntraOnly
+	// IntraInterV1 is intra + inter with the quality-oriented threshold.
+	IntraInterV1
+	// IntraInterV2 is intra + inter with the compression-oriented threshold.
+	IntraInterV2
+)
+
+// Designs lists all five in the paper's presentation order.
+func Designs() []Design { return []Design{TMC13, CWIPC, IntraOnly, IntraInterV1, IntraInterV2} }
+
+func (d Design) String() string {
+	switch d {
+	case TMC13:
+		return "TMC13"
+	case CWIPC:
+		return "CWIPC"
+	case IntraOnly:
+		return "Intra-Only"
+	case IntraInterV1:
+		return "Intra-Inter-V1"
+	case IntraInterV2:
+		return "Intra-Inter-V2"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// UsesInter reports whether the design codes P-frames.
+func (d Design) UsesInter() bool { return d == CWIPC || d == IntraInterV1 || d == IntraInterV2 }
+
+// Options configures an Encoder/Decoder pair.
+type Options struct {
+	Design Design
+	// GOP is the group-of-pictures length for inter designs: 3 means IPP
+	// (paper Sec. V-B). 1 forces all-intra.
+	GOP int
+	// IntraAttr configures the proposed intra attribute codec.
+	IntraAttr attr.Params
+	// Inter configures the proposed inter-frame codec (threshold etc.).
+	Inter interframe.Params
+	// RAHTQStep is the baseline RAHT quantization step.
+	RAHTQStep float64
+	// Lossless disables the proposed geometry pipeline's tight-cuboid
+	// rescale (see paroctree.Rescale); the paper's design keeps it on.
+	Lossless bool
+	// EntropyGeometry adds the optional entropy stage to the proposed
+	// geometry stream (the Sec. IV-B3 ablation; default off = fast path).
+	EntropyGeometry bool
+	// Rate optionally closes the loop on the inter-frame threshold to hit
+	// a target compressed rate (extension of the Sec. VI-E knob).
+	Rate RateControl
+}
+
+// OptionsFor returns the paper's configuration for a design (Sec. VI-B).
+func OptionsFor(d Design) Options {
+	o := Options{
+		Design:    d,
+		GOP:       3,
+		IntraAttr: attr.DefaultParams(),
+		RAHTQStep: 2,
+	}
+	switch d {
+	case IntraInterV1:
+		o.Inter = interframe.DefaultParamsV1()
+	case IntraInterV2:
+		o.Inter = interframe.DefaultParamsV2()
+	default:
+		o.Inter = interframe.DefaultParamsV1()
+	}
+	return o
+}
+
+func (o Options) normalized() Options {
+	if o.GOP < 1 {
+		o.GOP = 3
+	}
+	if o.RAHTQStep <= 0 {
+		o.RAHTQStep = 1
+	}
+	if o.IntraAttr.Segments == 0 {
+		o.IntraAttr = attr.DefaultParams()
+	}
+	if o.Inter.Segments == 0 {
+		o.Inter = interframe.DefaultParamsV1()
+	}
+	return o
+}
+
+// FrameStats reports per-frame encode metrics (feeding Figs. 8a-8c).
+type FrameStats struct {
+	Type      FrameType
+	Points    int
+	SizeBytes int64
+	// Simulated edge-board time/energy, split by pipeline half.
+	GeometryTime time.Duration
+	AttrTime     time.Duration
+	TotalTime    time.Duration
+	EnergyJ      float64
+	// Inter holds block-reuse statistics for inter-coded frames.
+	Inter interframe.Stats
+}
+
+// Encoder encodes a stream of frames under one design. Not safe for
+// concurrent use.
+type Encoder struct {
+	dev  *edgesim.Device
+	opts Options
+
+	frameIdx int
+	// refSorted is the reconstructed reference I-frame (sorted voxels with
+	// decoded colours) for P-frame prediction — the encoder tracks exactly
+	// what the decoder will have, avoiding drift.
+	refSorted []geom.Voxel
+	// scratch is an unaccounted device used to reconstruct the reference
+	// (a real encoder gets the reconstruction as an encode by-product; its
+	// cost is already accounted by the encode kernels).
+	scratch *edgesim.Device
+	// lastInterStats captures the block-reuse statistics of the most
+	// recently encoded inter frame.
+	lastInterStats interframe.Stats
+}
+
+// NewEncoder creates an encoder running on dev.
+func NewEncoder(dev *edgesim.Device, opts Options) *Encoder {
+	return &Encoder{
+		dev:     dev,
+		opts:    opts.normalized(),
+		scratch: edgesim.New(dev.Config()),
+	}
+}
+
+// Device exposes the accounting device (for harnesses).
+func (e *Encoder) Device() *edgesim.Device { return e.dev }
+
+// Options returns the normalized options in effect.
+func (e *Encoder) Options() Options { return e.opts }
+
+// Reset clears GOP state (e.g. when seeking).
+func (e *Encoder) Reset() {
+	e.frameIdx = 0
+	e.refSorted = nil
+}
+
+// ErrEmptyFrame is returned for frames without points.
+var ErrEmptyFrame = errors.New("codec: empty frame")
+
+// EncodeFrame compresses the next frame of the stream.
+func (e *Encoder) EncodeFrame(vc *geom.VoxelCloud) (*EncodedFrame, FrameStats, error) {
+	if vc.Len() == 0 {
+		return nil, FrameStats{}, ErrEmptyFrame
+	}
+	isP := e.opts.Design.UsesInter() && e.frameIdx%e.opts.GOP != 0 && e.refSorted != nil
+
+	start := e.dev.Snapshot()
+	var (
+		frame *EncodedFrame
+		err   error
+	)
+	var geomDelta, attrDelta edgesim.Snapshot
+	switch e.opts.Design {
+	case TMC13:
+		frame, geomDelta, attrDelta, err = e.encodeTMC13(vc)
+	case CWIPC:
+		frame, geomDelta, attrDelta, err = e.encodeCWIPC(vc, isP)
+	case IntraOnly, IntraInterV1, IntraInterV2:
+		frame, geomDelta, attrDelta, err = e.encodeProposed(vc, isP)
+	default:
+		return nil, FrameStats{}, fmt.Errorf("codec: unknown design %v", e.opts.Design)
+	}
+	if err != nil {
+		return nil, FrameStats{}, err
+	}
+	total := e.dev.Since(start)
+
+	st := FrameStats{
+		Type:         frame.Type,
+		Points:       int(frame.NumPoints),
+		SizeBytes:    frame.Size(),
+		GeometryTime: geomDelta.SimTime,
+		AttrTime:     attrDelta.SimTime,
+		TotalTime:    total.SimTime,
+		EnergyJ:      total.EnergyJ,
+		Inter:        e.lastInterStats,
+	}
+	e.lastInterStats = interframe.Stats{}
+	e.frameIdx++
+	e.applyRateControl(st)
+	return frame, st, nil
+}
+
+// Decoder decodes a stream produced by an Encoder with the same Options.
+type Decoder struct {
+	dev  *edgesim.Device
+	opts Options
+	// refSorted is the last decoded I-frame in sorted order.
+	refSorted []geom.Voxel
+}
+
+// NewDecoder creates a decoder running on dev.
+func NewDecoder(dev *edgesim.Device, opts Options) *Decoder {
+	return &Decoder{dev: dev, opts: opts.normalized()}
+}
+
+// Device exposes the accounting device.
+func (d *Decoder) Device() *edgesim.Device { return d.dev }
+
+// Reset clears reference state.
+func (d *Decoder) Reset() { d.refSorted = nil }
+
+// DecodeFrame reconstructs a frame. The returned cloud's voxels are in the
+// codec's canonical (Morton-sorted) order.
+func (d *Decoder) DecodeFrame(f *EncodedFrame) (*geom.VoxelCloud, error) {
+	switch d.opts.Design {
+	case TMC13:
+		return d.decodeTMC13(f)
+	case CWIPC:
+		return d.decodeCWIPC(f)
+	case IntraOnly, IntraInterV1, IntraInterV2:
+		return d.decodeProposed(f)
+	default:
+		return nil, fmt.Errorf("codec: unknown design %v", d.opts.Design)
+	}
+}

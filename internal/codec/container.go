@@ -1,0 +1,171 @@
+// Package codec assembles the building blocks into the five end-to-end
+// designs the paper evaluates (Sec. VI-B):
+//
+//	TMC13        — BASELINE intra: sequential octree geometry (lossless,
+//	               entropy coded) + RAHT attributes.
+//	CWIPC        — BASELINE inter: sequential octree geometry per frame +
+//	               macro-block-tree motion estimation on 4 CPU threads;
+//	               attributes entropy-coded raw.
+//	IntraOnly    — CONTRIBUTION intra: Morton-parallel octree geometry +
+//	               segment Base+Deltas attributes (2-layer, no entropy).
+//	IntraInterV1 — IntraOnly for I-frames + inter-frame block-match
+//	               attribute compression for P-frames at the
+//	               quality-oriented reuse threshold (the paper's "300").
+//	IntraInterV2 — same at the compression-oriented threshold ("1200").
+//
+// Frames are coded in an IPP group-of-pictures (one I followed by two P,
+// Sec. V-B) for the inter designs; intra designs treat every frame as I.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/paroctree"
+)
+
+// FrameType distinguishes intra-coded and predicted frames.
+type FrameType byte
+
+const (
+	// IFrame is intra-coded (self-contained).
+	IFrame FrameType = 0
+	// PFrame is predicted from the preceding I-frame.
+	PFrame FrameType = 1
+)
+
+func (t FrameType) String() string {
+	if t == PFrame {
+		return "P"
+	}
+	return "I"
+}
+
+// EncodedFrame is one compressed frame: a geometry stream and an attribute
+// stream plus the header fields the decoder needs.
+type EncodedFrame struct {
+	Type      FrameType
+	Depth     uint8
+	NumPoints uint32
+	// Rescale carries the tight-cuboid transform for designs whose
+	// geometry path re-scales (zero value = identity/absent).
+	HasRescale bool
+	Rescale    paroctree.Rescale
+	Geometry   []byte
+	Attr       []byte
+}
+
+// Size returns the total compressed size in bytes (the Fig. 8c metric),
+// including the container header.
+func (f *EncodedFrame) Size() int64 {
+	return int64(frameHeaderSize(f.HasRescale)) + int64(len(f.Geometry)) + int64(len(f.Attr))
+}
+
+const frameMagic = "PCVF"
+
+func frameHeaderSize(hasRescale bool) int {
+	n := 4 + 1 + 1 + 1 + 4 + 4 + 4 // magic, type, depth, flags, numPoints, geomLen, attrLen
+	if hasRescale {
+		n += 3*4 + 3*8
+	}
+	return n
+}
+
+// ErrBadContainer reports a malformed frame container.
+var ErrBadContainer = errors.New("codec: bad frame container")
+
+// WriteTo serializes the frame. Implements io.WriterTo.
+func (f *EncodedFrame) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 0, frameHeaderSize(f.HasRescale))
+	hdr = append(hdr, frameMagic...)
+	hdr = append(hdr, byte(f.Type), f.Depth)
+	var flags byte
+	if f.HasRescale {
+		flags |= 1
+	}
+	hdr = append(hdr, flags)
+	hdr = binary.LittleEndian.AppendUint32(hdr, f.NumPoints)
+	if f.HasRescale {
+		hdr = binary.LittleEndian.AppendUint32(hdr, f.Rescale.MinX)
+		hdr = binary.LittleEndian.AppendUint32(hdr, f.Rescale.MinY)
+		hdr = binary.LittleEndian.AppendUint32(hdr, f.Rescale.MinZ)
+		hdr = binary.LittleEndian.AppendUint64(hdr, f.Rescale.ScaleX)
+		hdr = binary.LittleEndian.AppendUint64(hdr, f.Rescale.ScaleY)
+		hdr = binary.LittleEndian.AppendUint64(hdr, f.Rescale.ScaleZ)
+	}
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(f.Geometry)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(f.Attr)))
+	var total int64
+	for _, chunk := range [][]byte{hdr, f.Geometry, f.Attr} {
+		n, err := w.Write(chunk)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadFrameFrom deserializes one frame written by WriteTo.
+func ReadFrameFrom(r io.Reader) (*EncodedFrame, error) {
+	fixed := make([]byte, 4+1+1+1+4)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrBadContainer
+	}
+	if string(fixed[:4]) != frameMagic {
+		return nil, ErrBadContainer
+	}
+	f := &EncodedFrame{
+		Type:      FrameType(fixed[4]),
+		Depth:     fixed[5],
+		NumPoints: binary.LittleEndian.Uint32(fixed[7:11]),
+	}
+	if f.Type != IFrame && f.Type != PFrame {
+		return nil, fmt.Errorf("codec: bad frame type %d", f.Type)
+	}
+	if f.Depth == 0 || f.Depth > 21 {
+		return nil, fmt.Errorf("codec: bad depth %d", f.Depth)
+	}
+	if fixed[6]&1 == 1 {
+		f.HasRescale = true
+		rb := make([]byte, 3*4+3*8)
+		if _, err := io.ReadFull(r, rb); err != nil {
+			return nil, ErrBadContainer
+		}
+		f.Rescale = paroctree.Rescale{
+			MinX:   binary.LittleEndian.Uint32(rb[0:4]),
+			MinY:   binary.LittleEndian.Uint32(rb[4:8]),
+			MinZ:   binary.LittleEndian.Uint32(rb[8:12]),
+			ScaleX: binary.LittleEndian.Uint64(rb[12:20]),
+			ScaleY: binary.LittleEndian.Uint64(rb[20:28]),
+			ScaleZ: binary.LittleEndian.Uint64(rb[28:36]),
+		}
+		if f.Rescale.ScaleX == 0 || f.Rescale.ScaleY == 0 || f.Rescale.ScaleZ == 0 {
+			return nil, ErrBadContainer
+		}
+	}
+	lens := make([]byte, 8)
+	if _, err := io.ReadFull(r, lens); err != nil {
+		return nil, ErrBadContainer
+	}
+	geomLen := binary.LittleEndian.Uint32(lens[0:4])
+	attrLen := binary.LittleEndian.Uint32(lens[4:8])
+	const maxReasonable = 1 << 30
+	if geomLen > maxReasonable || attrLen > maxReasonable || f.NumPoints > maxReasonable {
+		return nil, ErrBadContainer
+	}
+	f.Geometry = make([]byte, geomLen)
+	if _, err := io.ReadFull(r, f.Geometry); err != nil {
+		return nil, ErrBadContainer
+	}
+	f.Attr = make([]byte, attrLen)
+	if _, err := io.ReadFull(r, f.Attr); err != nil {
+		return nil, ErrBadContainer
+	}
+	return f, nil
+}

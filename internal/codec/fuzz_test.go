@@ -1,0 +1,42 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrameFrom drives the frame-container parser with arbitrary bytes.
+func FuzzReadFrameFrom(f *testing.F) {
+	// Seed with a valid container.
+	ef := &EncodedFrame{Type: PFrame, Depth: 10, NumPoints: 3, Geometry: []byte{1, 2}, Attr: []byte{3}}
+	var buf bytes.Buffer
+	if _, err := ef.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	rs := &EncodedFrame{Type: IFrame, Depth: 10, NumPoints: 1, HasRescale: true}
+	rs.Rescale.ScaleX, rs.Rescale.ScaleY, rs.Rescale.ScaleZ = 1<<16, 1<<16, 1<<16
+	buf.Reset()
+	if _, err := rs.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PCVF"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadFrameFrom(bytes.NewReader(data))
+		if err != nil {
+			if err != io.EOF && g != nil {
+				t.Fatal("error with non-nil frame")
+			}
+			return
+		}
+		// A parsed frame must re-serialize.
+		var out bytes.Buffer
+		if _, err := g.WriteTo(&out); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+// Property: every design round-trips arbitrary small clouds — including
+// degenerate shapes (single point, collinear runs, duplicate-heavy,
+// single-voxel clusters) — reconstructing the deduplicated voxel set with
+// bounded geometry error and valid colours.
+func TestAllDesignsRoundTripDegenerateClouds(t *testing.T) {
+	shapes := []struct {
+		name string
+		gen  func(rng *rand.Rand) *geom.VoxelCloud
+	}{
+		{"single-point", func(rng *rand.Rand) *geom.VoxelCloud {
+			return &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{
+				{X: uint32(rng.Intn(1024)), Y: uint32(rng.Intn(1024)), Z: uint32(rng.Intn(1024)), C: geom.Color{R: 9}},
+			}}
+		}},
+		{"collinear", func(rng *rand.Rand) *geom.VoxelCloud {
+			vc := &geom.VoxelCloud{Depth: 10}
+			y, z := uint32(rng.Intn(1024)), uint32(rng.Intn(1024))
+			for x := uint32(0); x < 200; x++ {
+				vc.Voxels = append(vc.Voxels, geom.Voxel{X: x * 5, Y: y, Z: z, C: geom.Color{R: uint8(x)}})
+			}
+			return vc
+		}},
+		{"duplicates", func(rng *rand.Rand) *geom.VoxelCloud {
+			vc := &geom.VoxelCloud{Depth: 10}
+			for i := 0; i < 300; i++ {
+				vc.Voxels = append(vc.Voxels, geom.Voxel{
+					X: uint32(rng.Intn(4)) * 100, Y: uint32(rng.Intn(4)) * 100, Z: 7,
+					C: geom.Color{G: uint8(i)},
+				})
+			}
+			return vc
+		}},
+		{"tight-cluster", func(rng *rand.Rand) *geom.VoxelCloud {
+			vc := &geom.VoxelCloud{Depth: 10}
+			bx, by, bz := uint32(rng.Intn(1000)), uint32(rng.Intn(1000)), uint32(rng.Intn(1000))
+			for i := 0; i < 150; i++ {
+				vc.Voxels = append(vc.Voxels, geom.Voxel{
+					X: bx + uint32(rng.Intn(8)), Y: by + uint32(rng.Intn(8)), Z: bz + uint32(rng.Intn(8)),
+					C: geom.Color{B: uint8(rng.Intn(256))},
+				})
+			}
+			return vc
+		}},
+		{"corners", func(rng *rand.Rand) *geom.VoxelCloud {
+			return &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{
+				{X: 0, Y: 0, Z: 0, C: geom.Color{R: 1}},
+				{X: 1023, Y: 1023, Z: 1023, C: geom.Color{R: 2}},
+				{X: 0, Y: 1023, Z: 0, C: geom.Color{R: 3}},
+				{X: 1023, Y: 0, Z: 1023, C: geom.Color{R: 4}},
+			}}
+		}},
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	for _, shape := range shapes {
+		for _, design := range Designs() {
+			vc := shape.gen(rng)
+			opts := OptionsFor(design)
+			opts.IntraAttr.Segments = 16
+			opts.Inter.Segments = 16
+			opts.Inter.Candidates = 8
+			enc := NewEncoder(dev(), opts)
+			dec := NewDecoder(dev(), opts)
+			// Two frames (second exercises the P path for inter designs).
+			for rep := 0; rep < 2; rep++ {
+				ef, _, err := enc.EncodeFrame(vc)
+				if err != nil {
+					t.Fatalf("%s/%v encode: %v", shape.name, design, err)
+				}
+				out, err := dec.DecodeFrame(ef)
+				if err != nil {
+					t.Fatalf("%s/%v decode: %v", shape.name, design, err)
+				}
+				// Deduplicated voxel count must match.
+				want := map[morton.Code]bool{}
+				for _, v := range vc.Voxels {
+					want[morton.Encode(v.X, v.Y, v.Z)] = true
+				}
+				if out.Len() != len(want) {
+					t.Fatalf("%s/%v: decoded %d voxels, want %d", shape.name, design, out.Len(), len(want))
+				}
+				if err := out.Validate(); err != nil {
+					t.Fatalf("%s/%v: %v", shape.name, design, err)
+				}
+				// Geometry error bounded: every decoded voxel within 2 units
+				// of an original (rescale rounding at most ~1/axis).
+				idx := geom.NewGridIndex(vc, 3)
+				for _, v := range out.Voxels {
+					if _, d2 := idx.Nearest(v); d2 > 12 {
+						t.Fatalf("%s/%v: decoded voxel %v is %f^2 away", shape.name, design, v, d2)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/edgesim"
+	"repro/internal/entropy"
+	"repro/internal/geom"
+	"repro/internal/interframe"
+	"repro/internal/morton"
+	"repro/internal/paroctree"
+)
+
+var costRescale = edgesim.Cost{OpsPerItem: 12, BytesPerItem: 16}
+
+// encodeProposed runs the paper's pipelines: parallel geometry always;
+// attributes intra (Sec. IV) for I-frames and inter (Sec. V) for P-frames.
+func (e *Encoder) encodeProposed(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, edgesim.Snapshot, edgesim.Snapshot, error) {
+	var (
+		frame   = &EncodedFrame{Depth: uint8(vc.Depth)}
+		build   *paroctree.BuildResult
+		err     error
+		geomRaw []byte
+	)
+	s0 := e.dev.Snapshot()
+	e.dev.Stage("Geometry", func() {
+		work := vc
+		if !e.opts.Lossless {
+			// Tight-cuboid rescale: the source of the parallel pipeline's
+			// small geometry loss (Sec. IV-B3).
+			r := paroctree.FitRescale(vc)
+			frame.HasRescale = true
+			frame.Rescale = r
+			scaled := &geom.VoxelCloud{Depth: vc.Depth, Voxels: make([]geom.Voxel, vc.Len())}
+			e.dev.GPUKernelIdx("Rescale", vc.Len(), costRescale, func(i int) {
+				scaled.Voxels[i] = r.Apply(vc.Voxels[i])
+			})
+			work = scaled
+		}
+		build, err = paroctree.Build(e.dev, work)
+		if err != nil {
+			return
+		}
+		geomRaw = build.Tree.Serialize(e.dev)
+	})
+	geomDelta := e.dev.Since(s0)
+	if err != nil {
+		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+	}
+	if e.opts.EntropyGeometry {
+		// Optional entropy stage (Sec. IV-B3 ablation): ~halves the
+		// geometry stream, costs ~100 ms of serial coding at 1 M points.
+		var packed []byte
+		e.dev.CPUSerial("GeomEntropy", len(geomRaw), costEntropyByte, func() {
+			packed = entropy.CompressBytes(geomRaw)
+		})
+		frame.Geometry = append([]byte{1}, packed...)
+	} else {
+		frame.Geometry = append([]byte{0}, geomRaw...)
+	}
+
+	sorted := build.Sorted
+	frame.NumPoints = uint32(len(sorted))
+	colors := make([]geom.Color, len(sorted))
+	for i, k := range sorted {
+		colors[i] = k.Voxel.C
+	}
+
+	s1 := e.dev.Snapshot()
+	var attrPayload []byte
+	e.dev.Stage("Attribute", func() {
+		if isP {
+			var st interframe.Stats
+			var data []byte
+			data, st, err = interframe.EncodeP(e.dev, e.refSorted, morton.Voxels(sorted), e.opts.Inter)
+			e.lastInterStats = st
+			attrPayload = append([]byte{1}, data...)
+		} else {
+			var data []byte
+			data, err = attr.Encode(e.dev, colors, e.opts.IntraAttr)
+			attrPayload = append([]byte{0}, data...)
+		}
+	})
+	attrDelta := e.dev.Since(s1)
+	if err != nil {
+		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+	}
+	frame.Attr = attrPayload
+	frame.Type = IFrame
+	if isP {
+		frame.Type = PFrame
+	} else {
+		// Reconstruct the reference exactly as the decoder will see it
+		// (decoded attributes on the sorted geometry, in rescaled space).
+		recon, rerr := attr.Decode(e.scratch, attrPayload[1:])
+		if rerr != nil {
+			return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, rerr
+		}
+		ref := make([]geom.Voxel, len(sorted))
+		for i, k := range sorted {
+			ref[i] = k.Voxel
+			ref[i].C = recon[i]
+		}
+		e.refSorted = ref
+	}
+	return frame, geomDelta, attrDelta, nil
+}
+
+// decodeProposed inverts encodeProposed. The inter designs require frames
+// to be decoded in stream order (P-frames need the preceding I).
+func (d *Decoder) decodeProposed(f *EncodedFrame) (*geom.VoxelCloud, error) {
+	if len(f.Geometry) == 0 || len(f.Attr) == 0 {
+		return nil, ErrBadContainer
+	}
+	geomRaw := f.Geometry[1:]
+	switch f.Geometry[0] {
+	case 0:
+	case 1:
+		var err error
+		d.dev.CPUSerial("GeomEntropyDecode", len(geomRaw), costEntropyByte, func() {
+			geomRaw, err = entropy.DecompressBytes(geomRaw)
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, ErrBadContainer
+	}
+	codes, err := paroctree.Deserialize(d.dev, geomRaw, uint(f.Depth))
+	if err != nil {
+		return nil, err
+	}
+	if len(codes) != int(f.NumPoints) {
+		return nil, fmt.Errorf("codec: geometry decoded %d points, header says %d", len(codes), f.NumPoints)
+	}
+	voxels := paroctree.CodesToVoxels(d.dev, codes, uint(f.Depth))
+
+	var colors []geom.Color
+	switch f.Attr[0] {
+	case 0: // intra
+		colors, err = attr.Decode(d.dev, f.Attr[1:])
+	case 1: // inter
+		if d.refSorted == nil {
+			return nil, fmt.Errorf("codec: P-frame without reference")
+		}
+		colors, err = interframe.DecodeP(d.dev, f.Attr[1:], d.refSorted)
+	default:
+		return nil, ErrBadContainer
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(colors) != len(voxels) {
+		return nil, fmt.Errorf("codec: %d colours for %d points", len(colors), len(voxels))
+	}
+	for i := range voxels {
+		voxels[i].C = colors[i]
+	}
+	if f.Type == IFrame {
+		ref := make([]geom.Voxel, len(voxels))
+		copy(ref, voxels)
+		d.refSorted = ref
+	}
+	if f.HasRescale {
+		out := make([]geom.Voxel, len(voxels))
+		r := f.Rescale
+		d.dev.GPUKernelIdx("InverseRescale", len(voxels), costRescale, func(i int) {
+			out[i] = r.Invert(voxels[i])
+		})
+		voxels = out
+	}
+	return &geom.VoxelCloud{Depth: uint(f.Depth), Voxels: voxels}, nil
+}

@@ -1,0 +1,77 @@
+package codec
+
+// Rate control. The paper leaves the direct-reuse threshold as a manually
+// tuned knob ("can be adjusted based on the application preference",
+// Sec. III-B/VI-E). This file closes the loop: given a target compressed
+// rate in bits per point, the encoder nudges the inter-frame threshold
+// after every P-frame so the stream converges onto the target — turning
+// Fig. 10b's static trade-off curve into an online controller, the way a
+// streaming deployment would actually run it.
+
+// RateControl configures the optional controller.
+type RateControl struct {
+	// TargetBitsPerPoint is the desired compressed rate for P-frames
+	// (0 disables rate control).
+	TargetBitsPerPoint float64
+	// Gain is the multiplicative step per frame (default 0.25): the
+	// threshold moves by up to this fraction of itself per correction.
+	Gain float64
+	// MinThreshold / MaxThreshold clamp the knob (defaults 1 and 4096).
+	MinThreshold, MaxThreshold float64
+}
+
+func (rc RateControl) normalized() RateControl {
+	if rc.Gain <= 0 || rc.Gain > 1 {
+		rc.Gain = 0.25
+	}
+	if rc.MinThreshold <= 0 {
+		rc.MinThreshold = 1
+	}
+	if rc.MaxThreshold <= rc.MinThreshold {
+		rc.MaxThreshold = 4096
+	}
+	return rc
+}
+
+// Enabled reports whether the controller is active.
+func (rc RateControl) Enabled() bool { return rc.TargetBitsPerPoint > 0 }
+
+// update adjusts the threshold given the last P-frame's achieved rate.
+// A frame over budget raises the threshold (more direct reuse, smaller
+// frames); under budget lowers it (more delta blocks, better quality).
+func (rc RateControl) update(threshold, achievedBPP float64) float64 {
+	rc = rc.normalized()
+	if achievedBPP <= 0 {
+		return threshold
+	}
+	err := achievedBPP/rc.TargetBitsPerPoint - 1 // >0: over budget
+	step := err
+	if step > 1 {
+		step = 1
+	}
+	if step < -1 {
+		step = -1
+	}
+	threshold *= 1 + rc.Gain*step
+	if threshold < rc.MinThreshold {
+		threshold = rc.MinThreshold
+	}
+	if threshold > rc.MaxThreshold {
+		threshold = rc.MaxThreshold
+	}
+	return threshold
+}
+
+// applyRateControl is called by EncodeFrame after each P-frame.
+func (e *Encoder) applyRateControl(st FrameStats) {
+	rc := e.opts.Rate
+	if !rc.Enabled() || st.Type != PFrame || st.Points == 0 {
+		return
+	}
+	bpp := float64(st.SizeBytes) * 8 / float64(st.Points)
+	e.opts.Inter.Threshold = rc.update(e.opts.Inter.Threshold, bpp)
+}
+
+// Threshold returns the encoder's current direct-reuse threshold (moves
+// over time under rate control).
+func (e *Encoder) Threshold() float64 { return e.opts.Inter.Threshold }

@@ -1,0 +1,96 @@
+package codec
+
+import "testing"
+
+func TestRateControlUpdateDirection(t *testing.T) {
+	rc := RateControl{TargetBitsPerPoint: 20}.normalized()
+	// Over budget -> threshold must rise (more reuse).
+	if got := rc.update(100, 40); got <= 100 {
+		t.Fatalf("over budget: threshold %v did not rise", got)
+	}
+	// Under budget -> threshold must fall (better quality).
+	if got := rc.update(100, 10); got >= 100 {
+		t.Fatalf("under budget: threshold %v did not fall", got)
+	}
+	// On target -> unchanged.
+	if got := rc.update(100, 20); got != 100 {
+		t.Fatalf("on target: threshold %v changed", got)
+	}
+	// Clamps.
+	if got := rc.update(1, 1); got < 1 {
+		t.Fatalf("below MinThreshold: %v", got)
+	}
+	rc.MaxThreshold = 150
+	if got := rc.update(140, 1e9); got > 150 {
+		t.Fatalf("above MaxThreshold: %v", got)
+	}
+	// Degenerate achieved rate is a no-op.
+	if got := rc.update(100, 0); got != 100 {
+		t.Fatalf("zero rate: %v", got)
+	}
+}
+
+func TestRateControlDisabledByDefault(t *testing.T) {
+	if (RateControl{}).Enabled() {
+		t.Fatal("zero value must be disabled")
+	}
+	o := OptionsFor(IntraInterV2)
+	if o.Rate.Enabled() {
+		t.Fatal("paper defaults must not enable rate control")
+	}
+}
+
+func TestRateControlConvergesOnStream(t *testing.T) {
+	fs := frames(t, 3)
+	// Establish the open-loop rates of the two extreme thresholds, then
+	// target in between and check the controller steers the threshold.
+	openLoop := func(th float64) float64 {
+		o := scaledOpts(IntraInterV2, fs[0].Len())
+		o.Inter.Threshold = th
+		enc := NewEncoder(dev(), o)
+		var bits, pts float64
+		for gop := 0; gop < 2; gop++ {
+			for _, f := range fs {
+				_, st, err := enc.EncodeFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Type == PFrame {
+					bits += float64(st.SizeBytes) * 8
+					pts += float64(st.Points)
+				}
+			}
+		}
+		return bits / pts
+	}
+	loose := openLoop(2000) // heavy reuse, low rate
+	tight := openLoop(2)    // no reuse, high rate
+	if loose >= tight {
+		t.Fatalf("rate landscape inverted: loose %v >= tight %v", loose, tight)
+	}
+	target := (loose + tight) / 2
+
+	o := scaledOpts(IntraInterV2, fs[0].Len())
+	o.Inter.Threshold = 2 // start far from the answer
+	o.Rate = RateControl{TargetBitsPerPoint: target, Gain: 0.5}
+	enc := NewEncoder(dev(), o)
+	var lastBPP float64
+	for gop := 0; gop < 8; gop++ {
+		for _, f := range fs {
+			_, st, err := enc.EncodeFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Type == PFrame {
+				lastBPP = float64(st.SizeBytes) * 8 / float64(st.Points)
+			}
+		}
+	}
+	if enc.Threshold() == 2 {
+		t.Fatal("controller never moved the threshold")
+	}
+	// Converged within 25% of target.
+	if lastBPP < target*0.75 || lastBPP > target*1.25 {
+		t.Fatalf("achieved %.1f bpp, target %.1f (threshold %.1f)", lastBPP, target, enc.Threshold())
+	}
+}

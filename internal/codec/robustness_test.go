@@ -1,0 +1,130 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Decoder robustness: a transmission error must surface as an error (or a
+// wrong-but-bounded frame), never as a panic or runaway allocation. These
+// tests flip bits and truncate at random positions across every design's
+// streams and decode under a recover guard.
+
+func decodeGuarded(t *testing.T, dec *Decoder, f *EncodedFrame) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("decoder panicked on corrupted input: %v", r)
+		}
+	}()
+	_, _ = dec.DecodeFrame(f)
+}
+
+func TestDecodersSurviveBitFlips(t *testing.T) {
+	fs := frames(t, 2)
+	rng := rand.New(rand.NewSource(99))
+	for _, design := range Designs() {
+		opts := scaledOpts(design, fs[0].Len())
+		enc := NewEncoder(dev(), opts)
+		var efs []*EncodedFrame
+		for _, f := range fs {
+			ef, _, err := enc.EncodeFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			efs = append(efs, ef)
+		}
+		for trial := 0; trial < 30; trial++ {
+			dec := NewDecoder(dev(), opts)
+			for _, ef := range efs {
+				c := &EncodedFrame{
+					Type: ef.Type, Depth: ef.Depth, NumPoints: ef.NumPoints,
+					HasRescale: ef.HasRescale, Rescale: ef.Rescale,
+					Geometry: append([]byte{}, ef.Geometry...),
+					Attr:     append([]byte{}, ef.Attr...),
+				}
+				// Flip a random bit in one of the streams.
+				if rng.Intn(2) == 0 && len(c.Geometry) > 0 {
+					i := rng.Intn(len(c.Geometry))
+					c.Geometry[i] ^= 1 << uint(rng.Intn(8))
+				} else if len(c.Attr) > 0 {
+					i := rng.Intn(len(c.Attr))
+					c.Attr[i] ^= 1 << uint(rng.Intn(8))
+				}
+				decodeGuarded(t, dec, c)
+			}
+		}
+	}
+}
+
+func TestDecodersSurviveTruncation(t *testing.T) {
+	fs := frames(t, 1)
+	rng := rand.New(rand.NewSource(7))
+	for _, design := range Designs() {
+		opts := scaledOpts(design, fs[0].Len())
+		enc := NewEncoder(dev(), opts)
+		ef, _, err := enc.EncodeFrame(fs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			dec := NewDecoder(dev(), opts)
+			c := &EncodedFrame{
+				Type: ef.Type, Depth: ef.Depth, NumPoints: ef.NumPoints,
+				HasRescale: ef.HasRescale, Rescale: ef.Rescale,
+			}
+			if len(ef.Geometry) > 0 {
+				c.Geometry = ef.Geometry[:rng.Intn(len(ef.Geometry))]
+			}
+			if len(ef.Attr) > 0 {
+				c.Attr = ef.Attr[:rng.Intn(len(ef.Attr))]
+			}
+			decodeGuarded(t, dec, c)
+		}
+	}
+}
+
+func TestDecodersSurviveHeaderLies(t *testing.T) {
+	fs := frames(t, 1)
+	for _, design := range Designs() {
+		opts := scaledOpts(design, fs[0].Len())
+		enc := NewEncoder(dev(), opts)
+		ef, _, err := enc.EncodeFrame(fs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Claim wildly wrong point counts.
+		for _, n := range []uint32{0, 1, ef.NumPoints * 2, 1 << 29} {
+			dec := NewDecoder(dev(), opts)
+			c := *ef
+			c.NumPoints = n
+			decodeGuarded(t, dec, &c)
+		}
+		// Claim a different depth.
+		for _, d := range []uint8{1, 21} {
+			dec := NewDecoder(dev(), opts)
+			c := *ef
+			c.Depth = d
+			decodeGuarded(t, dec, &c)
+		}
+	}
+}
+
+func TestCrossDesignStreamsRejected(t *testing.T) {
+	// Decoding a stream with the wrong design's decoder must not panic.
+	fs := frames(t, 1)
+	for _, from := range Designs() {
+		enc := NewEncoder(dev(), scaledOpts(from, fs[0].Len()))
+		ef, _, err := enc.EncodeFrame(fs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, to := range Designs() {
+			if to == from {
+				continue
+			}
+			dec := NewDecoder(dev(), scaledOpts(to, fs[0].Len()))
+			decodeGuarded(t, dec, ef)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package core orchestrates whole point-cloud VIDEOS on top of the
+// per-frame codecs in internal/codec: it defines the .pcv stream container
+// (a self-describing header carrying the codec configuration, followed by
+// the per-frame containers) and the reader/writer pair the CLI tools,
+// examples, and the public pcc package build on.
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/codec"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+const streamMagic = "PCV1"
+
+// ErrBadStream reports a malformed .pcv stream.
+var ErrBadStream = errors.New("core: malformed video stream")
+
+// writeOptions serializes the codec configuration a decoder needs.
+func writeOptions(w *bufio.Writer, o codec.Options) error {
+	var buf []byte
+	buf = append(buf, byte(o.Design))
+	buf = binary.AppendUvarint(buf, uint64(o.GOP))
+	buf = binary.AppendUvarint(buf, uint64(o.IntraAttr.Segments))
+	buf = binary.AppendUvarint(buf, uint64(o.IntraAttr.QStep))
+	buf = append(buf, byte(o.IntraAttr.Layers), boolByte(o.IntraAttr.Entropy))
+	buf = binary.AppendUvarint(buf, uint64(o.Inter.Segments))
+	buf = binary.AppendUvarint(buf, uint64(o.Inter.Candidates))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Inter.Threshold))
+	buf = binary.AppendUvarint(buf, uint64(o.Inter.QStep))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.RAHTQStep))
+	buf = append(buf, boolByte(o.Lossless), boolByte(o.EntropyGeometry))
+	if _, err := w.Write(binary.AppendUvarint(nil, uint64(len(buf)))); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type byteReaderCounter struct {
+	r *bufio.Reader
+}
+
+func (b byteReaderCounter) ReadByte() (byte, error) { return b.r.ReadByte() }
+
+// readOptions inverts writeOptions.
+func readOptions(r *bufio.Reader) (codec.Options, error) {
+	n, err := binary.ReadUvarint(byteReaderCounter{r})
+	if err != nil || n > 4096 {
+		return codec.Options{}, ErrBadStream
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return codec.Options{}, ErrBadStream
+	}
+	var o codec.Options
+	pos := 0
+	next := func() (uint64, error) {
+		v, k := binary.Uvarint(buf[pos:])
+		if k <= 0 {
+			return 0, ErrBadStream
+		}
+		pos += k
+		return v, nil
+	}
+	nextByte := func() (byte, error) {
+		if pos >= len(buf) {
+			return 0, ErrBadStream
+		}
+		b := buf[pos]
+		pos++
+		return b, nil
+	}
+	nextU64 := func() (uint64, error) {
+		if pos+8 > len(buf) {
+			return 0, ErrBadStream
+		}
+		v := binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		return v, nil
+	}
+
+	d, err := nextByte()
+	if err != nil {
+		return o, err
+	}
+	o.Design = codec.Design(d)
+	if o.Design < codec.TMC13 || o.Design > codec.IntraInterV2 {
+		return o, fmt.Errorf("core: unknown design %d", d)
+	}
+	vals := make([]uint64, 0, 8)
+	for i := 0; i < 3; i++ {
+		v, err := next()
+		if err != nil {
+			return o, err
+		}
+		vals = append(vals, v)
+	}
+	o.GOP = int(vals[0])
+	o.IntraAttr.Segments = int(vals[1])
+	o.IntraAttr.QStep = int(vals[2])
+	lb, err := nextByte()
+	if err != nil {
+		return o, err
+	}
+	o.IntraAttr.Layers = int(lb)
+	eb, err := nextByte()
+	if err != nil {
+		return o, err
+	}
+	o.IntraAttr.Entropy = eb == 1
+	segs, err := next()
+	if err != nil {
+		return o, err
+	}
+	cands, err := next()
+	if err != nil {
+		return o, err
+	}
+	o.Inter.Segments = int(segs)
+	o.Inter.Candidates = int(cands)
+	th, err := nextU64()
+	if err != nil {
+		return o, err
+	}
+	o.Inter.Threshold = math.Float64frombits(th)
+	iq, err := next()
+	if err != nil {
+		return o, err
+	}
+	o.Inter.QStep = int(iq)
+	rq, err := nextU64()
+	if err != nil {
+		return o, err
+	}
+	o.RAHTQStep = math.Float64frombits(rq)
+	losslessB, err := nextByte()
+	if err != nil {
+		return o, err
+	}
+	o.Lossless = losslessB == 1
+	egB, err := nextByte()
+	if err != nil {
+		return o, err
+	}
+	o.EntropyGeometry = egB == 1
+	return o, nil
+}
+
+// VideoWriter encodes frames and writes a .pcv stream.
+type VideoWriter struct {
+	w        *bufio.Writer
+	enc      *codec.Encoder
+	wroteHdr bool
+	frames   int
+	bytes    int64
+	stats    []codec.FrameStats
+}
+
+// NewVideoWriter creates a writer encoding with the given options on dev.
+func NewVideoWriter(w io.Writer, dev *edgesim.Device, opts codec.Options) *VideoWriter {
+	return &VideoWriter{w: bufio.NewWriter(w), enc: codec.NewEncoder(dev, opts)}
+}
+
+// WriteFrame encodes and appends one frame.
+func (vw *VideoWriter) WriteFrame(vc *geom.VoxelCloud) (codec.FrameStats, error) {
+	if !vw.wroteHdr {
+		if _, err := vw.w.WriteString(streamMagic); err != nil {
+			return codec.FrameStats{}, err
+		}
+		if err := writeOptions(vw.w, vw.enc.Options()); err != nil {
+			return codec.FrameStats{}, err
+		}
+		vw.wroteHdr = true
+	}
+	ef, st, err := vw.enc.EncodeFrame(vc)
+	if err != nil {
+		return st, err
+	}
+	n, err := ef.WriteTo(vw.w)
+	if err != nil {
+		return st, err
+	}
+	vw.frames++
+	vw.bytes += n
+	vw.stats = append(vw.stats, st)
+	return st, nil
+}
+
+// Close flushes the stream.
+func (vw *VideoWriter) Close() error { return vw.w.Flush() }
+
+// Frames returns the number of frames written.
+func (vw *VideoWriter) Frames() int { return vw.frames }
+
+// Bytes returns the compressed bytes written (excluding the stream header).
+func (vw *VideoWriter) Bytes() int64 { return vw.bytes }
+
+// Stats returns per-frame encode statistics.
+func (vw *VideoWriter) Stats() []codec.FrameStats { return vw.stats }
+
+// VideoReader decodes a .pcv stream.
+type VideoReader struct {
+	r    *bufio.Reader
+	dec  *codec.Decoder
+	opts codec.Options
+}
+
+// NewVideoReader parses the stream header and prepares a decoder on dev.
+func NewVideoReader(r io.Reader, dev *edgesim.Device) (*VideoReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, ErrBadStream
+	}
+	if string(magic) != streamMagic {
+		return nil, ErrBadStream
+	}
+	opts, err := readOptions(br)
+	if err != nil {
+		return nil, err
+	}
+	return &VideoReader{r: br, dec: codec.NewDecoder(dev, opts), opts: opts}, nil
+}
+
+// Options returns the stream's codec configuration.
+func (vr *VideoReader) Options() codec.Options { return vr.opts }
+
+// ReadFrame decodes the next frame; io.EOF at end of stream.
+func (vr *VideoReader) ReadFrame() (*geom.VoxelCloud, *codec.EncodedFrame, error) {
+	ef, err := codec.ReadFrameFrom(vr.r)
+	if err != nil {
+		return nil, nil, err
+	}
+	vc, err := vr.dec.DecodeFrame(ef)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vc, ef, nil
+}

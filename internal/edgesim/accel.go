@@ -1,0 +1,79 @@
+package edgesim
+
+import "time"
+
+// Accelerator support: the paper's architectural-insights section
+// (Sec. VI-D) identifies Diff_Squared and Squared_Sum as the dominant
+// energy consumers of the inter-frame pipeline and proposes, as future
+// work, "replacing GPU with ASIC" for the first and "customizing the
+// accelerator (e.g., number of layers of the tree-structured adder)" for
+// the second. This file models that hypothetical fixed-function unit so the
+// projection can be evaluated (pccbench `future`).
+
+// AccelConfig describes the modelled fixed-function unit.
+type AccelConfig struct {
+	// Gops is the unit's aggregate effective throughput. Fixed-function
+	// datapaths avoid instruction overheads; 8x the achieved GPU
+	// throughput for these regular kernels is a conservative ASIC figure.
+	Gops float64
+	// ActiveMW is the unit's power while streaming.
+	ActiveMW float64
+	// LaunchOverhead is the per-invocation setup cost (DMA descriptors).
+	LaunchOverhead time.Duration
+}
+
+// DefaultAccel is the paper-projected ASIC: a squared-difference datapath
+// feeding a tree-structured adder.
+func DefaultAccel() AccelConfig {
+	return AccelConfig{Gops: 160, ActiveMW: 280, LaunchOverhead: 8 * time.Microsecond}
+}
+
+// WithAccelerator returns a copy of the config with the fixed-function unit
+// attached.
+func WithAccelerator(c Config, a AccelConfig) Config {
+	c.Name += "+ASIC"
+	c.Accel = a
+	return c
+}
+
+// HasAccel reports whether an accelerator is configured.
+func (c Config) HasAccel() bool { return c.Accel.Gops > 0 }
+
+// accelTime models one invocation over n items.
+func (d *Device) accelTime(items int64, c Cost) time.Duration {
+	agg := d.cfg.Accel.Gops * 1e9 * d.cfg.SpeedScale
+	bw := d.cfg.MemBandwidthGBs * 1e9 * d.cfg.SpeedScale
+	compute := c.OpsPerItem * float64(items) / agg
+	mem := c.BytesPerItem * float64(items) / bw
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	launch := time.Duration(float64(d.cfg.Accel.LaunchOverhead) / d.cfg.SpeedScale)
+	return launch + time.Duration(t*float64(time.Second))
+}
+
+// AccelKernel runs body with real parallelism (like GPUKernel) but accounts
+// the work on the fixed-function unit. Falls back to GPU accounting when no
+// accelerator is configured, so pipelines can pass the flag through
+// unconditionally.
+func (d *Device) AccelKernel(name string, items int, c Cost, body func(start, end int)) {
+	if !d.cfg.HasAccel() {
+		d.GPUKernel(name, items, c, body)
+		return
+	}
+	start := time.Now()
+	parallelRanges(d.workers, items, body)
+	wall := time.Since(start)
+	d.account(name, EngineAccel, int64(items), c, d.accelTime(int64(items), c), wall, 0)
+}
+
+// AccelNoop accounts accelerator work whose computation already happened
+// inside another call.
+func (d *Device) AccelNoop(name string, items int, c Cost) {
+	if !d.cfg.HasAccel() {
+		d.GPUNoop(name, items, c)
+		return
+	}
+	d.account(name, EngineAccel, int64(items), c, d.accelTime(int64(items), c), 0, 0)
+}

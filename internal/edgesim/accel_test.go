@@ -1,0 +1,76 @@
+package edgesim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestAccelFallsBackToGPU(t *testing.T) {
+	d := NewXavier(Mode15W) // no accelerator configured
+	var n int64
+	d.AccelKernel("k", 1000, Cost{OpsPerItem: 10}, func(start, end int) {
+		atomic.AddInt64(&n, int64(end-start))
+	})
+	if n != 1000 {
+		t.Fatalf("body covered %d items", n)
+	}
+	ks := d.Kernels()
+	if len(ks) != 1 || ks[0].Engine != EngineGPU {
+		t.Fatalf("fallback engine = %v", ks[0].Engine)
+	}
+}
+
+func TestAccelFasterAndCheaperThanGPU(t *testing.T) {
+	run := func(withAccel bool) (simSec, energy float64) {
+		cfg := XavierConfig(Mode15W)
+		if withAccel {
+			cfg = WithAccelerator(cfg, DefaultAccel())
+		}
+		d := New(cfg)
+		d.AccelKernel("Diff_Squared", 1<<20, Cost{OpsPerItem: 11}, func(start, end int) {})
+		return d.SimTime().Seconds(), d.EnergyJ()
+	}
+	gpuT, gpuE := run(false)
+	accT, accE := run(true)
+	if accT >= gpuT {
+		t.Fatalf("accelerator not faster: %v vs %v", accT, gpuT)
+	}
+	if accE >= gpuE {
+		t.Fatalf("accelerator not cheaper: %v vs %v", accE, gpuE)
+	}
+}
+
+func TestAccelEngineString(t *testing.T) {
+	if EngineAccel.String() != "ASIC" {
+		t.Fatalf("EngineAccel = %q", EngineAccel.String())
+	}
+}
+
+func TestAccelNoopAccounts(t *testing.T) {
+	cfg := WithAccelerator(XavierConfig(Mode15W), DefaultAccel())
+	d := New(cfg)
+	d.AccelNoop("Squared_Sum", 1000, Cost{OpsPerItem: 5})
+	ks := d.Kernels()
+	if len(ks) != 1 || ks[0].Engine != EngineAccel || ks[0].Items != 1000 {
+		t.Fatalf("record = %+v", ks[0])
+	}
+	if !cfg.HasAccel() {
+		t.Fatal("HasAccel must be true")
+	}
+	if XavierConfig(Mode15W).HasAccel() {
+		t.Fatal("plain config must not have accel")
+	}
+}
+
+func TestAccelPowerModel(t *testing.T) {
+	cfg := WithAccelerator(XavierConfig(Mode15W), DefaultAccel())
+	d := New(cfg)
+	d.AccelNoop("k", 1_000_000, Cost{OpsPerItem: 100})
+	simSec := d.SimTime().Seconds()
+	// base 1000 + idle 1040 + accel 280 + one feeding thread 647 = 2967 mW.
+	want := 2.967 * simSec
+	got := d.EnergyJ()
+	if got < want*0.999 || got > want*1.001 {
+		t.Fatalf("accel energy = %v, want ~%v", got, want)
+	}
+}

@@ -1,0 +1,184 @@
+package edgesim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGPUKernelExecutesEveryIndexOnce(t *testing.T) {
+	d := NewXavier(Mode15W)
+	const n = 10000
+	hits := make([]int32, n)
+	d.GPUKernelIdx("touch", n, Cost{OpsPerItem: 1}, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d touched %d times", i, h)
+		}
+	}
+}
+
+func TestGPUKernelRangesCoverExactly(t *testing.T) {
+	d := NewXavier(Mode15W)
+	var total int64
+	d.GPUKernel("sum", 12345, Cost{OpsPerItem: 1}, func(start, end int) {
+		atomic.AddInt64(&total, int64(end-start))
+	})
+	if total != 12345 {
+		t.Fatalf("ranges covered %d items, want 12345", total)
+	}
+}
+
+func TestSimTimeScalesWithWork(t *testing.T) {
+	d := NewXavier(Mode15W)
+	d.GPUKernelIdx("a", 1000, Cost{OpsPerItem: 100}, func(int) {})
+	t1 := d.SimTime()
+	d.Reset()
+	d.GPUKernelIdx("a", 100000, Cost{OpsPerItem: 100}, func(int) {})
+	t2 := d.SimTime()
+	if t2 <= t1 {
+		t.Fatalf("100x work gave sim time %v <= %v", t2, t1)
+	}
+}
+
+func TestSerialVsParallelAsymptotics(t *testing.T) {
+	// The core claim: O(N*D) serial vs O(N/k) parallel. For 1M items the
+	// GPU kernel must be dramatically faster in simulated time.
+	d := NewXavier(Mode15W)
+	const n = 1 << 20
+	d.CPUSerial("seq", n*10, Cost{OpsPerItem: 190}, func() {})
+	serial := d.SimTime()
+	d.Reset()
+	d.GPUKernelIdx("par", n, Cost{OpsPerItem: 190}, func(int) {})
+	par := d.SimTime()
+	ratio := float64(serial) / float64(par)
+	if ratio < 10 {
+		t.Fatalf("serial/parallel sim ratio = %.1f, want >= 10", ratio)
+	}
+}
+
+func TestEnergyMatchesPowerModel(t *testing.T) {
+	d := NewXavier(Mode15W)
+	d.CPUSerial("s", 1_000_000, Cost{OpsPerItem: 1000}, func() {})
+	simSec := d.SimTime().Seconds()
+	// One busy CPU thread: base 1000 + idle 1040 + 647 = 2687 mW.
+	wantJ := 2.687 * simSec
+	if got := d.EnergyJ(); got < wantJ*0.999 || got > wantJ*1.001 {
+		t.Fatalf("energy = %v J, want ~%v J", got, wantJ)
+	}
+}
+
+func TestMode10WSlower(t *testing.T) {
+	run := func(mode PowerMode) time.Duration {
+		d := NewXavier(mode)
+		d.GPUKernelIdx("k", 1<<20, Cost{OpsPerItem: 500}, func(int) {})
+		d.CPUSerial("s", 1<<20, Cost{OpsPerItem: 50}, func() {})
+		return d.SimTime()
+	}
+	t15 := run(Mode15W)
+	t10 := run(Mode10W)
+	ratio := float64(t10) / float64(t15)
+	if ratio < 1.2 || ratio > 1.4 {
+		t.Fatalf("10W/15W latency ratio = %.3f, want ~1.29", ratio)
+	}
+}
+
+func TestStageAttribution(t *testing.T) {
+	d := NewXavier(Mode15W)
+	d.Stage("geometry", func() {
+		d.GPUKernelIdx("morton", 1000, Cost{OpsPerItem: 10}, func(int) {})
+		d.GPUKernelIdx("build", 1000, Cost{OpsPerItem: 10}, func(int) {})
+	})
+	d.Stage("attribute", func() {
+		d.GPUKernelIdx("segment", 1000, Cost{OpsPerItem: 10}, func(int) {})
+	})
+	stages := d.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stage count = %d, want 2", len(stages))
+	}
+	if stages[0].Name != "geometry" || stages[1].Name != "attribute" {
+		t.Fatalf("stage order = %v", stages)
+	}
+	if stages[0].SimTime <= stages[1].SimTime {
+		t.Error("geometry (2 kernels) must outweigh attribute (1 kernel)")
+	}
+	total := stages[0].SimTime + stages[1].SimTime
+	if total != d.SimTime() {
+		t.Errorf("stage times %v do not sum to device time %v", total, d.SimTime())
+	}
+}
+
+func TestKernelLedger(t *testing.T) {
+	d := NewXavier(Mode15W)
+	d.Stage("inter", func() {
+		for i := 0; i < 3; i++ {
+			d.GPUKernelIdx("Diff_Squared", 500, Cost{OpsPerItem: 8, BytesPerItem: 6}, func(int) {})
+		}
+		d.GPUNoop("AddressGen", 500, Cost{OpsPerItem: 20})
+	})
+	ks := d.Kernels()
+	if len(ks) != 2 {
+		t.Fatalf("kernel count = %d, want 2", len(ks))
+	}
+	diff := ks[0]
+	if diff.Name != "Diff_Squared" || diff.Launches != 3 || diff.Items != 1500 {
+		t.Fatalf("Diff_Squared record = %+v", diff)
+	}
+	if diff.Ops != 8*1500 || diff.Bytes != 6*1500 {
+		t.Fatalf("Diff_Squared work = ops %v bytes %v", diff.Ops, diff.Bytes)
+	}
+	if diff.Stage != "inter" {
+		t.Fatalf("stage attribution = %q", diff.Stage)
+	}
+	byE := d.KernelsByEnergy()
+	if byE[0].EnergyJ < byE[1].EnergyJ {
+		t.Error("KernelsByEnergy not descending")
+	}
+}
+
+func TestMemoryBoundKernel(t *testing.T) {
+	d := NewXavier(Mode15W)
+	// 1 op but 1e6 bytes per item: memory time dominates.
+	d.GPUKernelIdx("mem", 1000, Cost{OpsPerItem: 1, BytesPerItem: 1e6}, func(int) {})
+	cfg := d.Config()
+	wantSec := 1000.0 * 1e6 / (cfg.MemBandwidthGBs * 1e9)
+	got := (d.SimTime() - cfg.LaunchOverhead).Seconds()
+	if got < wantSec*0.99 || got > wantSec*1.01 {
+		t.Fatalf("mem-bound time = %v s, want ~%v s", got, wantSec)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	d := NewXavier(Mode15W)
+	d.GPUKernelIdx("a", 1000, Cost{OpsPerItem: 100}, func(int) {})
+	s := d.Snapshot()
+	d.GPUKernelIdx("b", 1000, Cost{OpsPerItem: 100}, func(int) {})
+	delta := d.Since(s)
+	if delta.SimTime <= 0 || delta.SimTime >= d.SimTime() {
+		t.Fatalf("delta = %+v, total = %v", delta, d.SimTime())
+	}
+}
+
+func TestCPUParallelClampsThreads(t *testing.T) {
+	d := NewXavier(Mode15W)
+	d.CPUParallel("m", 64, 1000, Cost{OpsPerItem: 100}, func(start, end int) {})
+	// 64 threads clamps to 8 cores; compare against an explicit 8-thread run.
+	t64 := d.SimTime()
+	d.Reset()
+	d.CPUParallel("m", 8, 1000, Cost{OpsPerItem: 100}, func(start, end int) {})
+	if d.SimTime() != t64 {
+		t.Fatalf("thread clamp: %v != %v", t64, d.SimTime())
+	}
+}
+
+func TestZeroItemsIsCheap(t *testing.T) {
+	d := NewXavier(Mode15W)
+	d.GPUKernel("empty", 0, Cost{OpsPerItem: 1e9}, func(start, end int) {
+		t.Error("body must not run for zero items")
+	})
+	if d.SimTime() > time.Millisecond {
+		t.Fatalf("zero-item kernel cost %v", d.SimTime())
+	}
+}

@@ -1,0 +1,41 @@
+package entropy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompressBytes drives the arithmetic decoder with arbitrary bytes.
+func FuzzDecompressBytes(f *testing.F) {
+	f.Add(CompressBytes([]byte("hello world")))
+	f.Add(CompressBytes(nil))
+	f.Add(CompressBytes(bytes.Repeat([]byte{7}, 1000)))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecompressBytes(data)
+		if err != nil {
+			return
+		}
+		if len(out) > 1<<31 {
+			t.Fatal("absurd output length accepted")
+		}
+	})
+}
+
+// FuzzRoundTrip checks compress->decompress is the identity for arbitrary
+// inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("seed"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecompressBytes(CompressBytes(data))
+		if err != nil {
+			t.Fatalf("round trip error: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(out), len(data))
+		}
+	})
+}

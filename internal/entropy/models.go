@@ -1,0 +1,188 @@
+package entropy
+
+// ByteModel is an adaptive order-0 byte model: a bit-tree of 255 binary
+// contexts, one per internal node of the 8-level decision tree. It adapts to
+// the symbol distribution as it codes — occupancy-byte streams (whose
+// distribution is heavily skewed towards few-children nodes) compress well
+// under it.
+type ByteModel struct {
+	probs [256]Prob
+}
+
+// NewByteModel returns a fresh, unbiased model.
+func NewByteModel() *ByteModel {
+	m := &ByteModel{}
+	for i := range m.probs {
+		m.probs[i] = NewProb()
+	}
+	return m
+}
+
+// Encode codes one byte with e under this model.
+func (m *ByteModel) Encode(e *Encoder, b byte) {
+	ctx := 1
+	for i := 7; i >= 0; i-- {
+		bit := int(b >> uint(i) & 1)
+		e.EncodeBit(&m.probs[ctx], bit)
+		ctx = ctx<<1 | bit
+	}
+}
+
+// Decode decodes one byte with d under this model.
+func (m *ByteModel) Decode(d *Decoder) byte {
+	ctx := 1
+	for i := 0; i < 8; i++ {
+		ctx = ctx<<1 | d.DecodeBit(&m.probs[ctx])
+	}
+	return byte(ctx & 0xFF)
+}
+
+// NibbleModel is a 4-bit bit-tree model (15 contexts), used where symbols
+// are small (e.g. quantized residual magnitudes).
+type NibbleModel struct {
+	probs [16]Prob
+}
+
+// NewNibbleModel returns a fresh model.
+func NewNibbleModel() *NibbleModel {
+	m := &NibbleModel{}
+	for i := range m.probs {
+		m.probs[i] = NewProb()
+	}
+	return m
+}
+
+// Encode codes the low 4 bits of v.
+func (m *NibbleModel) Encode(e *Encoder, v byte) {
+	ctx := 1
+	for i := 3; i >= 0; i-- {
+		bit := int(v >> uint(i) & 1)
+		e.EncodeBit(&m.probs[ctx], bit)
+		ctx = ctx<<1 | bit
+	}
+}
+
+// Decode decodes 4 bits.
+func (m *NibbleModel) Decode(d *Decoder) byte {
+	ctx := 1
+	for i := 0; i < 4; i++ {
+		ctx = ctx<<1 | d.DecodeBit(&m.probs[ctx])
+	}
+	return byte(ctx & 0x0F)
+}
+
+// UintModel codes unsigned integers with an adaptive Elias-gamma-like
+// scheme: a unary-coded bit-length under adaptive contexts followed by the
+// mantissa bits at fixed probability. Good for residuals/counts with
+// geometric-ish distributions.
+type UintModel struct {
+	lenProbs [64]Prob
+}
+
+// NewUintModel returns a fresh model.
+func NewUintModel() *UintModel {
+	m := &UintModel{}
+	for i := range m.lenProbs {
+		m.lenProbs[i] = NewProb()
+	}
+	return m
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// Encode codes v >= 0.
+func (m *UintModel) Encode(e *Encoder, v uint64) {
+	n := bitLen(v)
+	for i := 0; i < n; i++ {
+		e.EncodeBit(&m.lenProbs[i], 1)
+	}
+	if n < len(m.lenProbs) {
+		e.EncodeBit(&m.lenProbs[n], 0)
+	}
+	if n > 1 {
+		// Top bit is implied by the length.
+		e.EncodeDirect(v&(1<<uint(n-1)-1), n-1)
+	}
+}
+
+// Decode decodes one unsigned integer.
+func (m *UintModel) Decode(d *Decoder) uint64 {
+	n := 0
+	for n < len(m.lenProbs) && d.DecodeBit(&m.lenProbs[n]) == 1 {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	v := uint64(1) << uint(n-1)
+	if n > 1 {
+		v |= d.DecodeDirect(n - 1)
+	}
+	return v
+}
+
+// ZigZag maps signed to unsigned so small magnitudes stay small
+// (0,-1,1,-2,2 -> 0,1,2,3,4).
+func ZigZag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// IntModel codes signed integers via ZigZag + UintModel.
+type IntModel struct {
+	u UintModel
+}
+
+// NewIntModel returns a fresh model.
+func NewIntModel() *IntModel { return &IntModel{u: *NewUintModel()} }
+
+// Encode codes a signed integer.
+func (m *IntModel) Encode(e *Encoder, v int64) { m.u.Encode(e, ZigZag(v)) }
+
+// Decode decodes a signed integer.
+func (m *IntModel) Decode(d *Decoder) int64 { return UnZigZag(m.u.Decode(d)) }
+
+// CompressBytes entropy-codes a byte slice with an adaptive order-0 model,
+// prefixing the length. This is the generic "Entropy Encoding" stage the
+// baseline pipelines apply to their serialized streams.
+func CompressBytes(data []byte) []byte {
+	e := NewEncoder()
+	lm := NewUintModel()
+	lm.Encode(e, uint64(len(data)))
+	bm := NewByteModel()
+	for _, b := range data {
+		bm.Encode(e, b)
+	}
+	return e.Bytes()
+}
+
+// DecompressBytes inverts CompressBytes.
+func DecompressBytes(data []byte) ([]byte, error) {
+	d, err := NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	lm := NewUintModel()
+	n := lm.Decode(d)
+	const maxReasonable = 1 << 31
+	if n > maxReasonable {
+		return nil, ErrCorrupt
+	}
+	out := make([]byte, n)
+	bm := NewByteModel()
+	for i := range out {
+		out[i] = bm.Decode(d)
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+// Package entropy implements the entropy-coding layer used by the baseline
+// codecs (TMC13/CWIPC both entropy-code their streams, Sec. IV-A1) and by
+// the optional entropy stage of the proposed design (which the paper
+// deliberately discards in the fast path, Sec. IV-B3 — we implement it so
+// that ablation is reproducible).
+//
+// The coder is a binary adaptive range coder in the style used by arithmetic
+// PCC codecs [35], [60]: 11-bit probabilities with exponential adaptation,
+// carry-propagation via the cache/shiftLow construction. On top of it sit
+// adaptive bit-tree byte models, zig-zag varints, and run-length helpers.
+package entropy
+
+import (
+	"bytes"
+	"errors"
+	"io"
+)
+
+const (
+	probBits  = 11
+	probInit  = 1 << (probBits - 1) // p(0) = 0.5
+	probMoves = 5                   // adaptation shift
+	topValue  = 1 << 24
+)
+
+// Prob is an adaptive probability state for one binary context. The value
+// is the scaled probability of the next bit being 0.
+type Prob uint16
+
+// NewProb returns an unbiased probability state.
+func NewProb() Prob { return probInit }
+
+// Encoder is a binary adaptive range encoder.
+type Encoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	buf       bytes.Buffer
+}
+
+// NewEncoder returns an encoder ready for use.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, cacheSize: 1}
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
+		carry := byte(e.low >> 32)
+		b := e.cache
+		for {
+			e.buf.WriteByte(b + carry)
+			b = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// EncodeBit encodes one bit under the adaptive context *p, updating it.
+func (e *Encoder) EncodeBit(p *Prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<probBits - *p) >> probMoves
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> probMoves
+	}
+	if e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeBitDirect encodes one bit at fixed probability 1/2 (no context).
+func (e *Encoder) EncodeBitDirect(bit int) {
+	e.rng >>= 1
+	if bit != 0 {
+		e.low += uint64(e.rng)
+	}
+	if e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeDirect encodes the low n bits of v at fixed probability.
+func (e *Encoder) EncodeDirect(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		e.EncodeBitDirect(int(v >> uint(i) & 1))
+	}
+}
+
+// Bytes flushes the coder and returns the compressed stream. The encoder
+// must not be used afterwards.
+func (e *Encoder) Bytes() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.buf.Bytes()
+}
+
+// Len returns the number of bytes emitted so far (excluding unflushed
+// state); useful for budget tracking mid-stream.
+func (e *Encoder) Len() int { return e.buf.Len() }
+
+// ErrCorrupt is returned when a decoder detects an invalid stream.
+var ErrCorrupt = errors.New("entropy: corrupt stream")
+
+// Decoder is the matching binary adaptive range decoder.
+type Decoder struct {
+	rng  uint32
+	code uint32
+	in   *bytes.Reader
+}
+
+// NewDecoder initializes a decoder over a compressed stream.
+func NewDecoder(data []byte) (*Decoder, error) {
+	d := &Decoder{rng: 0xFFFFFFFF, in: bytes.NewReader(data)}
+	// The first emitted byte is always 0 (initial cache); skip it and load
+	// the 32-bit code window.
+	b, err := d.in.ReadByte()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	if b != 0 {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < 4; i++ {
+		nb, err := d.in.ReadByte()
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		d.code = d.code<<8 | uint32(nb)
+	}
+	return d, nil
+}
+
+func (d *Decoder) normalize() {
+	if d.rng < topValue {
+		d.rng <<= 8
+		nb, err := d.in.ReadByte()
+		if err != nil && err != io.EOF {
+			nb = 0
+		}
+		d.code = d.code<<8 | uint32(nb)
+	}
+}
+
+// DecodeBit decodes one bit under the adaptive context *p, updating it.
+func (d *Decoder) DecodeBit(p *Prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<probBits - *p) >> probMoves
+		bit = 0
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> probMoves
+		bit = 1
+	}
+	d.normalize()
+	return bit
+}
+
+// DecodeBitDirect decodes one fixed-probability bit.
+func (d *Decoder) DecodeBitDirect() int {
+	d.rng >>= 1
+	var bit int
+	if d.code >= d.rng {
+		d.code -= d.rng
+		bit = 1
+	}
+	d.normalize()
+	return bit
+}
+
+// DecodeDirect decodes n fixed-probability bits.
+func (d *Decoder) DecodeDirect(n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(d.DecodeBitDirect())
+	}
+	return v
+}

@@ -1,0 +1,135 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestColorLuma(t *testing.T) {
+	cases := []struct {
+		c    Color
+		want float64
+	}{
+		{Color{0, 0, 0}, 0},
+		{Color{255, 255, 255}, 255},
+		{Color{255, 0, 0}, 0.299 * 255},
+		{Color{0, 255, 0}, 0.587 * 255},
+		{Color{0, 0, 255}, 0.114 * 255},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Luma(); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Luma(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestColorLumaRange(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		l := Color{r, g, b}.Luma()
+		return l >= 0 && l <= 255
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorSubAddRoundTrip(t *testing.T) {
+	f := func(r1, g1, b1, r2, g2, b2 uint8) bool {
+		a := Color{r1, g1, b1}
+		b := Color{r2, g2, b2}
+		dr, dg, db := a.Sub(b)
+		return b.Add(dr, dg, db) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorAddSaturates(t *testing.T) {
+	c := Color{250, 5, 128}
+	got := c.Add(100, -100, 0)
+	want := Color{255, 0, 128}
+	if got != want {
+		t.Errorf("Add saturation = %v, want %v", got, want)
+	}
+}
+
+func TestColorDist2(t *testing.T) {
+	a := Color{10, 20, 30}
+	b := Color{13, 16, 30}
+	if got := a.Dist2(b); got != 9+16 {
+		t.Errorf("Dist2 = %d, want 25", got)
+	}
+	if a.Dist2(a) != 0 {
+		t.Error("Dist2 to self must be zero")
+	}
+	if a.Dist2(b) != b.Dist2(a) {
+		t.Error("Dist2 must be symmetric")
+	}
+}
+
+func TestVoxelDist2(t *testing.T) {
+	a := Voxel{X: 0, Y: 0, Z: 0}
+	b := Voxel{X: 3, Y: 4, Z: 0}
+	if got := a.Dist2(b); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+}
+
+func TestAABBExtendContains(t *testing.T) {
+	b := EmptyAABB()
+	if !b.Empty() {
+		t.Fatal("fresh AABB must be empty")
+	}
+	pts := []Point{{X: 1, Y: 2, Z: 3}, {X: -4, Y: 0, Z: 10}, {X: 2, Y: 2, Z: 2}}
+	for _, p := range pts {
+		b.Extend(p)
+	}
+	if b.Empty() {
+		t.Fatal("extended AABB must not be empty")
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("AABB must contain %v", p)
+		}
+	}
+	if b.Contains(Point{X: 100}) {
+		t.Error("AABB must not contain far point")
+	}
+	dx, dy, dz := b.Size()
+	if dx != 6 || dy != 2 || dz != 8 {
+		t.Errorf("Size = (%v,%v,%v), want (6,2,8)", dx, dy, dz)
+	}
+	if b.MaxSide() != 8 {
+		t.Errorf("MaxSide = %v, want 8", b.MaxSide())
+	}
+}
+
+func TestAABBEmptySize(t *testing.T) {
+	b := EmptyAABB()
+	dx, dy, dz := b.Size()
+	if dx != 0 || dy != 0 || dz != 0 {
+		t.Errorf("empty Size = (%v,%v,%v), want zeros", dx, dy, dz)
+	}
+}
+
+func TestAABBContainsIsInvariantUnderExtend(t *testing.T) {
+	f := func(coords [][3]float32) bool {
+		b := EmptyAABB()
+		pts := make([]Point, len(coords))
+		for i, c := range coords {
+			pts[i] = Point{X: c[0], Y: c[1], Z: c[2]}
+			b.Extend(pts[i])
+		}
+		for _, p := range pts {
+			if !b.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package interframe
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestFig7Example mirrors the paper's Fig. 7 worked example: an I-frame and
+// a P-frame with three points each — P0 identical across frames, P1 moved
+// by one voxel with a near-identical attribute (52 vs 51), and P2 far away
+// with a very different attribute (20 vs 180). With a block per point, the
+// first two P-blocks must be compressed by direct reuse (pointers to their
+// matched I-blocks), while the P2 block must be stored as a
+// post-intra-encoded delta block.
+func TestFig7Example(t *testing.T) {
+	iFrame := []geom.Voxel{
+		{X: 0, Y: 0, Z: 0, C: geom.Color{R: 50}},    // P0
+		{X: 12, Y: 8, Z: 13, C: geom.Color{R: 52}},  // P1
+		{X: 19, Y: 26, Z: 58, C: geom.Color{R: 20}}, // P2
+	}
+	pFrame := []geom.Voxel{
+		{X: 0, Y: 0, Z: 0, C: geom.Color{R: 50}},     // P0: exact match
+		{X: 12, Y: 8, Z: 12, C: geom.Color{R: 51}},   // P1: close match
+		{X: 19, Y: 26, Z: 58, C: geom.Color{R: 180}}, // P2: attribute changed
+	}
+	d := dev()
+	// One block per point; threshold accepts the <= 4 squared-distance of
+	// P0/P1 but rejects P2's (180-20)^2.
+	p := Params{Segments: 3, Candidates: 3, Threshold: 4, QStep: 1}
+	data, st, err := EncodeP(d, iFrame, pFrame, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks != 3 {
+		t.Fatalf("blocks = %d, want 3", st.Blocks)
+	}
+	if st.DirectReuse != 2 || st.DeltaBlocks != 1 {
+		t.Fatalf("reuse/delta = %d/%d, want 2/1 (Fig. 7: P0 and P1 reused, P2 delta)",
+			st.DirectReuse, st.DeltaBlocks)
+	}
+
+	got, err := DecodeP(d, data, iFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P0 reconstructs exactly; P1 takes the reference's 52 (1-level loss,
+	// the paper's "without losing too much quality"); P2's delta block
+	// reconstructs its new value exactly at QStep 1.
+	if got[0].R != 50 {
+		t.Errorf("P0 = %d, want 50", got[0].R)
+	}
+	if got[1].R != 52 {
+		t.Errorf("P1 = %d, want 52 (reused from I-frame)", got[1].R)
+	}
+	if got[2].R != 180 {
+		t.Errorf("P2 = %d, want 180 (delta-coded)", got[2].R)
+	}
+}

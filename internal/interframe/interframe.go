@@ -1,0 +1,397 @@
+// Package interframe implements the paper's CONTRIBUTION inter-frame
+// attribute compression (Sec. V): both the I-frame and the P-frame are
+// Morton-sorted (reusing the geometry pipeline's codes) and segmented into
+// macro blocks; each P-block is matched against a small window of candidate
+// I-blocks by the 2-norm attribute distance of Equ. 2; sufficiently-similar
+// blocks are stored as a mere POINTER to their reference block ("direct
+// reuse"), the rest store per-point deltas against the best reference,
+// compressed with the intra Base+Deltas technique.
+//
+// Because the points are sorted, the candidate window is a contiguous run
+// of I-block indices around the P-block's own index — this is the paper's
+// "search space minimization" (Sec. VI-C) that replaces CWIPC's full
+// I-MB-tree traversal, and no ICP runs for matched blocks (a pointer
+// suffices).
+package interframe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/attr"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+// Params configures the inter-frame codec.
+type Params struct {
+	// Segments is the number of macro blocks per frame (paper: 50000).
+	Segments int
+	// Candidates is the size of the candidate window per P-block
+	// (paper: 100).
+	Candidates int
+	// Threshold is the direct-reuse acceptance bound on the Equ. 2
+	// 2-norm distance, normalized per point (mean squared RGB distance of
+	// the block). The paper uses block-sum thresholds of 300 (V1) and 1200
+	// (V2) at ~16 points/block; we normalize so the knob is independent of
+	// segment count and frame scale, and pick defaults that land the same
+	// reuse fractions on the synthetic dataset (whose per-frame sensor
+	// noise sets the distance floor).
+	Threshold float64
+	// QStep quantizes the residuals of post-intra-encoded delta blocks.
+	QStep int
+}
+
+// DefaultParamsV1 mirrors the paper's quality-oriented Intra-Inter-V1.
+func DefaultParamsV1() Params {
+	return Params{Segments: 50000, Candidates: 100, Threshold: 45, QStep: 4}
+}
+
+// DefaultParamsV2 mirrors the compression-oriented Intra-Inter-V2.
+func DefaultParamsV2() Params {
+	p := DefaultParamsV1()
+	p.Threshold = 90
+	return p
+}
+
+func (p Params) normalized() Params {
+	if p.Segments < 1 {
+		p.Segments = 1
+	}
+	if p.Candidates < 1 {
+		p.Candidates = 1
+	}
+	if p.QStep < 1 {
+		p.QStep = 1
+	}
+	return p
+}
+
+// Stats summarizes one encoded P-frame (feeds the Fig. 10b sensitivity
+// study: % direct-reuse blocks vs quality vs ratio).
+type Stats struct {
+	Blocks      int
+	DirectReuse int
+	DeltaBlocks int
+}
+
+// ReuseFraction returns the fraction of blocks stored as pointers.
+func (s Stats) ReuseFraction() float64 {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return float64(s.DirectReuse) / float64(s.Blocks)
+}
+
+// Calibrated kernel costs. Proportions reproduce the Fig. 9 energy
+// breakdown (Diff_Squared ~35%, Squared_Sum ~16%, AddressGen ~32% of the
+// inter-frame attribute energy).
+var (
+	costDiffSquared = edgesim.Cost{OpsPerItem: 11, BytesPerItem: 6}    // per candidate pair-point
+	costSquaredSum  = edgesim.Cost{OpsPerItem: 5, BytesPerItem: 1}     // per candidate pair-point
+	costReuseDecide = edgesim.Cost{OpsPerItem: 85, BytesPerItem: 8}    // per block
+	costAddressGen  = edgesim.Cost{OpsPerItem: 1000, BytesPerItem: 12} // per P point
+	costDeltaQuant  = edgesim.Cost{OpsPerItem: 85, BytesPerItem: 8}    // per P point
+	costPack        = edgesim.Cost{OpsPerItem: 110, BytesPerItem: 3}   // per P point
+)
+
+// ErrBadStream reports a malformed inter-frame stream.
+var ErrBadStream = errors.New("interframe: malformed stream")
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// pairIndex maps the i-th point of a Kp-point P-block onto a point of a
+// Ki-point I-block (deterministic on both sides of the channel).
+func pairIndex(i, kp, ki int) int {
+	if ki == 0 {
+		return -1
+	}
+	return i * ki / kp
+}
+
+// blockDiff computes the Equ. 2 distance between a P-block and an I-block:
+// the squared RGB distance over paired points, normalized by the block size
+// (unpaired density mismatch shows up through the pairing itself).
+func blockDiff(iv, pv []geom.Voxel) float64 {
+	kp, ki := len(pv), len(iv)
+	if kp == 0 || ki == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := 0; i < kp; i++ {
+		sum += float64(pv[i].C.Dist2(iv[pairIndex(i, kp, ki)].C))
+	}
+	return sum / float64(kp)
+}
+
+// EncodeP compresses the attributes of a P-frame against a reference
+// I-frame. Both frames must be Morton-sorted, deduplicated voxel slices
+// (the geometry pipeline's output order). The P-frame's geometry is coded
+// separately by the intra geometry pipeline.
+func EncodeP(dev *edgesim.Device, iFrame, pFrame []geom.Voxel, p Params) ([]byte, Stats, error) {
+	p = p.normalized()
+	nP, nI := len(pFrame), len(iFrame)
+	var buf bytes.Buffer
+	writeUvarint(&buf, uint64(nP))
+	writeUvarint(&buf, uint64(p.Segments))
+	writeUvarint(&buf, uint64(p.QStep))
+	if nP == 0 {
+		return buf.Bytes(), Stats{}, nil
+	}
+	if nI == 0 {
+		return nil, Stats{}, errors.New("interframe: empty reference frame")
+	}
+	pBounds := attr.SegmentBounds(nP, p.Segments)
+	iBounds := attr.SegmentBounds(nI, p.Segments)
+	nBlocks := len(pBounds) - 1
+	nIBlocks := len(iBounds) - 1
+
+	// Block match: for each P-block, scan the candidate window.
+	bestIdx := make([]int32, nBlocks)
+	bestDiff := make([]float64, nBlocks)
+	pairItems := nP * p.Candidates
+	// Diff_Squared and Squared_Sum run on the fixed-function unit when one
+	// is configured (the paper's Sec. VI-D future-work projection); on the
+	// plain Xavier model AccelKernel falls back to GPU accounting.
+	dev.AccelKernel("Diff_Squared", nBlocks, edgesim.Cost{
+		OpsPerItem:   costDiffSquared.OpsPerItem * float64(pairItems) / float64(nBlocks),
+		BytesPerItem: costDiffSquared.BytesPerItem * float64(pairItems) / float64(nBlocks),
+	}, func(b0, b1 int) {
+		for j := b0; j < b1; j++ {
+			pv := pFrame[pBounds[j]:pBounds[j+1]]
+			// Candidate window centred on the corresponding I index
+			// (Morton order aligns similar body regions across frames).
+			center := j * nIBlocks / nBlocks
+			lo := center - p.Candidates/2
+			if lo < 0 {
+				lo = 0
+			}
+			hi := lo + p.Candidates
+			if hi > nIBlocks {
+				hi = nIBlocks
+				if lo = hi - p.Candidates; lo < 0 {
+					lo = 0
+				}
+			}
+			best := math.Inf(1)
+			bi := int32(center)
+			for c := lo; c < hi; c++ {
+				iv := iFrame[iBounds[c]:iBounds[c+1]]
+				d := blockDiff(iv, pv)
+				// Ties break towards the window centre: the co-located
+				// block is the most likely true correspondence and its
+				// pointer is the cheapest to predict.
+				if d < best || (d == best && absInt(c-center) < absInt(int(bi)-center)) {
+					best = d
+					bi = int32(c)
+				}
+			}
+			bestIdx[j] = bi
+			bestDiff[j] = best
+		}
+	})
+	// The per-pair reduction is a separate kernel on the GPU (Fig. 9
+	// names it Squared_Sum); the work happened inside the scan above, so
+	// it is accounted without a second execution.
+	dev.AccelNoop("Squared_Sum", pairItems, costSquaredSum)
+
+	// Reuse decision per block.
+	reuse := make([]bool, nBlocks)
+	st := Stats{Blocks: nBlocks}
+	dev.GPUKernelIdx("ReuseDecide", nBlocks, costReuseDecide, func(j int) {
+		reuse[j] = bestDiff[j] <= p.Threshold
+	})
+	for _, r := range reuse {
+		if r {
+			st.DirectReuse++
+		} else {
+			st.DeltaBlocks++
+		}
+	}
+
+	// Emit: reuse bitmap, then per block the reference pointer (offset from
+	// the window centre; the paper notes few bits suffice for 100
+	// candidates), then delta payloads for non-reuse blocks.
+	bitmap := make([]byte, (nBlocks+7)/8)
+	for j, r := range reuse {
+		if r {
+			bitmap[j/8] |= 1 << uint(j%8)
+		}
+	}
+	buf.Write(bitmap)
+	for j := 0; j < nBlocks; j++ {
+		center := j * nIBlocks / nBlocks
+		writeVarint(&buf, int64(bestIdx[j])-int64(center))
+	}
+	dev.GPUNoop("Reuse_Pointer", nBlocks, edgesim.Cost{OpsPerItem: 20, BytesPerItem: 2})
+
+	// Address generation + delta quantization + packing for delta blocks.
+	dev.GPUNoop("AddressGen", nP, costAddressGen)
+	deltaStreams := make([][]byte, nBlocks)
+	dev.GPUKernel("Delta_Quantize", nBlocks, edgesim.Cost{
+		OpsPerItem:   (costDeltaQuant.OpsPerItem + costPack.OpsPerItem) * float64(nP) / float64(nBlocks),
+		BytesPerItem: (costDeltaQuant.BytesPerItem + costPack.BytesPerItem) * float64(nP) / float64(nBlocks),
+	}, func(b0, b1 int) {
+		for j := b0; j < b1; j++ {
+			if reuse[j] {
+				continue
+			}
+			deltaStreams[j] = encodeDeltaBlock(
+				iFrame[iBounds[bestIdx[j]]:iBounds[bestIdx[j]+1]],
+				pFrame[pBounds[j]:pBounds[j+1]],
+				int32(p.QStep))
+		}
+	})
+	for _, s := range deltaStreams {
+		buf.Write(s)
+	}
+	return buf.Bytes(), st, nil
+}
+
+// encodeDeltaBlock stores one block's per-point, per-channel deltas versus
+// its reference, as Base (median delta) + quantized residuals — the intra
+// Base+Deltas technique applied to the delta values (Sec. V-A2 "Reuse").
+func encodeDeltaBlock(iv, pv []geom.Voxel, q int32) []byte {
+	kp, ki := len(pv), len(iv)
+	var out bytes.Buffer
+	for ch := 0; ch < 3; ch++ {
+		deltas := make([]int32, kp)
+		for i := 0; i < kp; i++ {
+			ic := iv[pairIndex(i, kp, ki)].C
+			pc := pv[i].C
+			switch ch {
+			case 0:
+				deltas[i] = int32(pc.R) - int32(ic.R)
+			case 1:
+				deltas[i] = int32(pc.G) - int32(ic.G)
+			default:
+				deltas[i] = int32(pc.B) - int32(ic.B)
+			}
+		}
+		base := medianI32(deltas)
+		writeVarint(&out, int64(base))
+		resid := make([]int32, kp)
+		for i, d := range deltas {
+			resid[i] = quantizeI32(d-base, q)
+		}
+		packResiduals(&out, resid)
+	}
+	return out.Bytes()
+}
+
+// DecodeP reconstructs the P-frame's attribute column. iFrame is the
+// decoded (sorted) reference frame; nP must match the decoded P geometry's
+// point count.
+func DecodeP(dev *edgesim.Device, data []byte, iFrame []geom.Voxel) ([]geom.Color, error) {
+	r := bytes.NewReader(data)
+	nP64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, ErrBadStream
+	}
+	segs64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, ErrBadStream
+	}
+	q64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, ErrBadStream
+	}
+	if nP64 == 0 {
+		return nil, nil
+	}
+	const maxReasonable = 1 << 30
+	if nP64 > maxReasonable || segs64 > maxReasonable || q64 > 1<<20 {
+		return nil, ErrBadStream
+	}
+	nP, segs, q := int(nP64), int(segs64), int32(q64)
+	nI := len(iFrame)
+	if nI == 0 {
+		return nil, errors.New("interframe: empty reference frame")
+	}
+	pBounds := attr.SegmentBounds(nP, segs)
+	iBounds := attr.SegmentBounds(nI, segs)
+	nBlocks := len(pBounds) - 1
+	nIBlocks := len(iBounds) - 1
+
+	bitmap := make([]byte, (nBlocks+7)/8)
+	if _, err := io_ReadFull(r, bitmap); err != nil {
+		return nil, ErrBadStream
+	}
+	refs := make([]int32, nBlocks)
+	for j := 0; j < nBlocks; j++ {
+		off, err := readVarint(r)
+		if err != nil {
+			return nil, ErrBadStream
+		}
+		center := j * nIBlocks / nBlocks
+		ref := int64(center) + off
+		if ref < 0 || ref >= int64(nIBlocks) {
+			return nil, fmt.Errorf("interframe: reference block %d out of range", ref)
+		}
+		refs[j] = int32(ref)
+	}
+
+	out := make([]geom.Color, nP)
+	dev.CPUSerial("InterParse", nP, edgesim.Cost{OpsPerItem: 40, BytesPerItem: 3}, func() {})
+	// Delta payloads are sequential in the stream; parse serially, then
+	// reconstruct blocks in parallel.
+	type deltaBlock struct {
+		bases [3]int32
+		resid [3][]int32
+	}
+	deltas := make([]*deltaBlock, nBlocks)
+	for j := 0; j < nBlocks; j++ {
+		if bitmap[j/8]>>uint(j%8)&1 == 1 {
+			continue
+		}
+		kp := pBounds[j+1] - pBounds[j]
+		db := &deltaBlock{}
+		for ch := 0; ch < 3; ch++ {
+			base, err := readVarint(r)
+			if err != nil {
+				return nil, ErrBadStream
+			}
+			db.bases[ch] = int32(base)
+			resid, err := unpackResiduals(r, kp)
+			if err != nil {
+				return nil, err
+			}
+			db.resid[ch] = resid
+		}
+		deltas[j] = db
+	}
+
+	dev.GPUKernel("ReconstructP", nBlocks, edgesim.Cost{
+		OpsPerItem:   costDeltaQuant.OpsPerItem * float64(nP) / float64(nBlocks),
+		BytesPerItem: costDeltaQuant.BytesPerItem * float64(nP) / float64(nBlocks),
+	}, func(b0, b1 int) {
+		for j := b0; j < b1; j++ {
+			lo, hi := pBounds[j], pBounds[j+1]
+			kp := hi - lo
+			ilo, ihi := iBounds[refs[j]], iBounds[refs[j]+1]
+			ki := ihi - ilo
+			db := deltas[j]
+			for i := 0; i < kp; i++ {
+				ic := iFrame[ilo+pairIndex(i, kp, ki)].C
+				if db == nil {
+					out[lo+i] = ic // direct reuse
+					continue
+				}
+				out[lo+i] = ic.Add(
+					int(db.bases[0]+db.resid[0][i]*q),
+					int(db.bases[1]+db.resid[1][i]*q),
+					int(db.bases[2]+db.resid[2][i]*q),
+				)
+			}
+		}
+	})
+	return out, nil
+}

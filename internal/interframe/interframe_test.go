@@ -1,0 +1,308 @@
+package interframe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+func dev() *edgesim.Device { return edgesim.NewXavier(edgesim.Mode15W) }
+
+// sortedFrame produces a Morton-sorted frame with smooth colours.
+func sortedFrame(seed int64, n int) []geom.Voxel {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[morton.Code]bool{}
+	keyed := make([]morton.Keyed, 0, n)
+	for len(keyed) < n {
+		x, y, z := uint32(rng.Intn(512)), uint32(rng.Intn(512)), uint32(rng.Intn(512))
+		c := morton.Encode(x, y, z)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		keyed = append(keyed, morton.Keyed{Code: c, Voxel: geom.Voxel{
+			X: x, Y: y, Z: z,
+			C: geom.Color{R: uint8(x / 2), G: uint8(y / 2), B: uint8(z / 2)},
+		}})
+	}
+	morton.Sort(keyed)
+	return morton.Voxels(keyed)
+}
+
+// jitterColors perturbs every colour by at most amp (simulating small
+// temporal change with identical geometry).
+func jitterColors(frame []geom.Voxel, seed int64, amp int) []geom.Voxel {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Voxel, len(frame))
+	copy(out, frame)
+	for i := range out {
+		out[i].C = out[i].C.Add(rng.Intn(2*amp+1)-amp, rng.Intn(2*amp+1)-amp, rng.Intn(2*amp+1)-amp)
+	}
+	return out
+}
+
+func TestIdenticalFramesFullyReuse(t *testing.T) {
+	d := dev()
+	f := sortedFrame(1, 5000)
+	p := Params{Segments: 200, Candidates: 50, Threshold: 0, QStep: 1}
+	data, st, err := EncodeP(d, f, f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirectReuse != st.Blocks {
+		t.Fatalf("identical frames: reuse %d of %d blocks", st.DirectReuse, st.Blocks)
+	}
+	got, err := DecodeP(d, data, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f {
+		if got[i] != f[i].C {
+			t.Fatalf("point %d: %v != %v", i, got[i], f[i].C)
+		}
+	}
+	// A fully-reused frame is tiny: bitmap + pointers only.
+	if len(data) > len(f) {
+		t.Fatalf("fully-reused stream %d bytes for %d points", len(data), len(f))
+	}
+}
+
+func TestDeltaBlocksLosslessAtQ1(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(2, 4000)
+	pF := jitterColors(iF, 3, 20)
+	p := Params{Segments: 150, Candidates: 40, Threshold: -1, QStep: 1} // force all delta
+	data, st, err := EncodeP(d, iF, pF, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirectReuse != 0 {
+		t.Fatalf("threshold -1 must force delta blocks, got %d reuse", st.DirectReuse)
+	}
+	got, err := DecodeP(d, data, iF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pF {
+		if got[i] != pF[i].C {
+			t.Fatalf("point %d: %v != %v", i, got[i], pF[i].C)
+		}
+	}
+}
+
+func TestQuantizedErrorBound(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(4, 3000)
+	pF := jitterColors(iF, 5, 15)
+	q := 8
+	p := Params{Segments: 100, Candidates: 30, Threshold: -1, QStep: q}
+	data, _, err := EncodeP(d, iF, pF, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeP(d, data, iF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pF {
+		dr, dg, db := got[i].Sub(pF[i].C)
+		for _, dd := range []int{dr, dg, db} {
+			if dd < 0 {
+				dd = -dd
+			}
+			if dd > q/2 {
+				t.Fatalf("point %d channel error %d > q/2=%d", i, dd, q/2)
+			}
+		}
+	}
+}
+
+func TestThresholdControlsReuseFraction(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(6, 6000)
+	pF := jitterColors(iF, 7, 6)
+	frac := func(th float64) float64 {
+		_, st, err := EncodeP(d, iF, pF, Params{Segments: 200, Candidates: 40, Threshold: th, QStep: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.ReuseFraction()
+	}
+	loose := frac(100000)
+	tight := frac(10)
+	if loose != 1 {
+		t.Fatalf("huge threshold must reuse everything, got %.2f", loose)
+	}
+	if tight >= loose {
+		t.Fatalf("tight threshold reuse %.2f >= loose %.2f", tight, loose)
+	}
+}
+
+func TestHigherThresholdSmallerStream(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(8, 8000)
+	pF := jitterColors(iF, 9, 10)
+	size := func(th float64) int {
+		data, _, err := EncodeP(d, iF, pF, Params{Segments: 300, Candidates: 40, Threshold: th, QStep: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(data)
+	}
+	// The V2 (loose) configuration must compress better than V1 (tight) —
+	// the Fig. 10b trade-off.
+	if v2, v1 := size(5000), size(100); v2 >= v1 {
+		t.Fatalf("loose threshold %d >= tight %d bytes", v2, v1)
+	}
+}
+
+func TestReuseQualityDegradesGracefully(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(10, 5000)
+	pF := jitterColors(iF, 11, 5)
+	// Full reuse: decoded P equals I's colours; error bounded by jitter.
+	data, st, err := EncodeP(d, iF, pF, Params{Segments: 200, Candidates: 40, Threshold: 1e12, QStep: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReuseFraction() != 1 {
+		t.Fatalf("reuse = %.2f", st.ReuseFraction())
+	}
+	got, err := DecodeP(d, data, iF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := range pF {
+		dr, dg, db := got[i].Sub(pF[i].C)
+		mse += float64(dr*dr+dg*dg+db*db) / 3
+	}
+	mse /= float64(len(pF))
+	psnr := 10 * math.Log10(255*255/mse)
+	if psnr < 30 {
+		t.Fatalf("full-reuse PSNR %.1f dB too low for 5-step jitter", psnr)
+	}
+}
+
+func TestDifferentGeometrySizes(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(12, 3000)
+	pF := sortedFrame(13, 2500) // different points entirely
+	data, _, err := EncodeP(d, iF, pF, Params{Segments: 100, Candidates: 30, Threshold: 500, QStep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeP(d, data, iF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pF) {
+		t.Fatalf("decoded %d attrs, want %d", len(got), len(pF))
+	}
+}
+
+func TestEmptyPFrame(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(14, 100)
+	data, st, err := EncodeP(d, iF, nil, DefaultParamsV1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks != 0 {
+		t.Fatal("empty P-frame has no blocks")
+	}
+	got, err := DecodeP(d, data, iF)
+	if err != nil || got != nil {
+		t.Fatalf("empty decode: %v %v", got, err)
+	}
+}
+
+func TestEmptyReferenceRejected(t *testing.T) {
+	d := dev()
+	pF := sortedFrame(15, 100)
+	if _, _, err := EncodeP(d, nil, pF, DefaultParamsV1()); err == nil {
+		t.Fatal("empty reference must fail")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(16, 100)
+	if _, err := DecodeP(d, nil, iF); err == nil {
+		t.Error("empty stream must fail")
+	}
+	pF := jitterColors(iF, 17, 5)
+	data, _, _ := EncodeP(d, iF, pF, Params{Segments: 10, Candidates: 10, Threshold: -1, QStep: 1})
+	if _, err := DecodeP(d, data[:len(data)/3], iF); err == nil {
+		t.Error("truncated stream must fail")
+	}
+}
+
+func TestKernelLedgerHasFig9Kernels(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(18, 4000)
+	pF := jitterColors(iF, 19, 8)
+	if _, _, err := EncodeP(d, iF, pF, DefaultParamsV1()); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, k := range d.Kernels() {
+		names[k.Name] = true
+	}
+	for _, want := range []string{"Diff_Squared", "Squared_Sum", "AddressGen", "Reuse_Pointer", "Delta_Quantize"} {
+		if !names[want] {
+			t.Errorf("missing Fig. 9 kernel %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestPairIndex(t *testing.T) {
+	if pairIndex(0, 4, 8) != 0 || pairIndex(3, 4, 8) != 6 {
+		t.Error("pairIndex scaling wrong")
+	}
+	if pairIndex(5, 10, 1) != 0 {
+		t.Error("pairIndex with tiny reference")
+	}
+	if pairIndex(0, 1, 0) != -1 {
+		t.Error("pairIndex with empty reference")
+	}
+	// Pair index must stay in range for all shapes.
+	for kp := 1; kp < 30; kp++ {
+		for ki := 1; ki < 30; ki++ {
+			for i := 0; i < kp; i++ {
+				p := pairIndex(i, kp, ki)
+				if p < 0 || p >= ki {
+					t.Fatalf("pairIndex(%d,%d,%d) = %d out of range", i, kp, ki, p)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsReuseFraction(t *testing.T) {
+	s := Stats{Blocks: 4, DirectReuse: 3, DeltaBlocks: 1}
+	if s.ReuseFraction() != 0.75 {
+		t.Errorf("ReuseFraction = %v", s.ReuseFraction())
+	}
+	if (Stats{}).ReuseFraction() != 0 {
+		t.Error("empty stats fraction must be 0")
+	}
+}
+
+func BenchmarkInterEncode50K(b *testing.B) {
+	d := dev()
+	iF := sortedFrame(20, 50000)
+	pF := jitterColors(iF, 21, 8)
+	p := DefaultParamsV1()
+	p.Segments = 3000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EncodeP(d, iF, pF, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

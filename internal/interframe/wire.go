@@ -1,0 +1,121 @@
+package interframe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"sort"
+)
+
+// Small wire helpers shared by the inter-frame stream: varints, medians,
+// quantization, and per-block fixed-width residual packing (the same
+// GPU-friendly format internal/attr uses, duplicated in miniature here to
+// keep the block payloads self-contained).
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func readVarint(r *bytes.Reader) (int64, error) {
+	return binary.ReadVarint(r)
+}
+
+func io_ReadFull(r *bytes.Reader, p []byte) (int, error) {
+	return io.ReadFull(r, p)
+}
+
+func medianI32(vs []int32) int32 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := make([]int32, len(vs))
+	copy(s, vs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+func quantizeI32(v, q int32) int32 {
+	if q <= 1 {
+		return v
+	}
+	if v >= 0 {
+		return (v + q/2) / q
+	}
+	return -((-v + q/2) / q)
+}
+
+func zig32(v int32) uint32   { return uint32(v<<1) ^ uint32(v>>31) }
+func unzig32(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
+
+// packResiduals writes a width byte followed by fixed-width zig-zag codes.
+func packResiduals(buf *bytes.Buffer, vs []int32) {
+	var maxZ uint32
+	for _, v := range vs {
+		if z := zig32(v); z > maxZ {
+			maxZ = z
+		}
+	}
+	w := uint(0)
+	for maxZ != 0 {
+		w++
+		maxZ >>= 1
+	}
+	buf.WriteByte(byte(w))
+	var bits uint64
+	var n uint
+	for _, v := range vs {
+		bits |= (uint64(zig32(v)) & (1<<w - 1)) << n
+		n += w
+		for n >= 8 {
+			buf.WriteByte(byte(bits))
+			bits >>= 8
+			n -= 8
+		}
+	}
+	if n > 0 {
+		buf.WriteByte(byte(bits))
+	}
+}
+
+// unpackResiduals reads count fixed-width residuals.
+func unpackResiduals(r *bytes.Reader, count int) ([]int32, error) {
+	wb, err := r.ReadByte()
+	if err != nil {
+		return nil, ErrBadStream
+	}
+	w := uint(wb)
+	if w > 33 {
+		return nil, ErrBadStream
+	}
+	nbytes := (uint(count)*w + 7) / 8
+	raw := make([]byte, nbytes)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, ErrBadStream
+	}
+	out := make([]int32, count)
+	if w == 0 {
+		return out, nil
+	}
+	var bits uint64
+	var n uint
+	pos := 0
+	for i := range out {
+		for n < w {
+			bits |= uint64(raw[pos]) << n
+			pos++
+			n += 8
+		}
+		out[i] = unzig32(uint32(bits & (1<<w - 1)))
+		bits >>= w
+		n -= w
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+// Package kdtree implements the OTHER tree-structured geometry codec the
+// paper lists among state-of-the-art G-PCC pipelines (Sec. I: "tree
+// structures like Octree [63] or kd-tree [62]"): a Gandoin–Devillers-style
+// kd geometry coder as used by PCL's kd module and Draco.
+//
+// The coder recursively halves the bounding cell along its longest axis and
+// arithmetic-codes how many points fall in the lower half; cells shrink
+// until they are single voxels. Like the sequential octree, the recursion
+// is a serial, data-dependent walk — it serves as an additional baseline
+// for the geometry-codec ablation (size and latency vs the proposed
+// parallel pipeline).
+package kdtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/edgesim"
+	"repro/internal/entropy"
+	"repro/internal/geom"
+)
+
+// costCode is the calibrated serial CPU cost per point-level step of the
+// recursive coder (comparable to the sequential octree's insert cost).
+var costCode = edgesim.Cost{OpsPerItem: 210, BytesPerItem: 14}
+
+// ErrBadStream reports a malformed kd stream.
+var ErrBadStream = errors.New("kdtree: malformed stream")
+
+type cell struct {
+	minX, minY, minZ    uint32
+	sizeX, sizeY, sizeZ uint32 // cell side lengths (powers of two)
+}
+
+func (c cell) single() bool { return c.sizeX == 1 && c.sizeY == 1 && c.sizeZ == 1 }
+
+// longestAxis returns 0/1/2 for x/y/z, preferring x on ties (both sides of
+// the channel derive the identical split sequence).
+func (c cell) longestAxis() int {
+	if c.sizeX >= c.sizeY && c.sizeX >= c.sizeZ {
+		return 0
+	}
+	if c.sizeY >= c.sizeZ {
+		return 1
+	}
+	return 2
+}
+
+// split halves the cell along axis, returning the lower and upper halves.
+func (c cell) split(axis int) (lo, hi cell) {
+	lo, hi = c, c
+	switch axis {
+	case 0:
+		lo.sizeX /= 2
+		hi.sizeX /= 2
+		hi.minX += lo.sizeX
+	case 1:
+		lo.sizeY /= 2
+		hi.sizeY /= 2
+		hi.minY += lo.sizeY
+	default:
+		lo.sizeZ /= 2
+		hi.sizeZ /= 2
+		hi.minZ += lo.sizeZ
+	}
+	return lo, hi
+}
+
+func axisCoord(v geom.Voxel, axis int) uint32 {
+	switch axis {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+func axisMid(c cell, axis int) uint32 {
+	switch axis {
+	case 0:
+		return c.minX + c.sizeX/2
+	case 1:
+		return c.minY + c.sizeY/2
+	default:
+		return c.minZ + c.sizeZ/2
+	}
+}
+
+// Encode compresses the geometry of a voxel cloud (positions only;
+// duplicates are removed). The stream decodes with Decode given the depth.
+func Encode(dev *edgesim.Device, vc *geom.VoxelCloud) ([]byte, error) {
+	if vc.Depth == 0 || vc.Depth > 21 {
+		return nil, fmt.Errorf("kdtree: depth %d out of range", vc.Depth)
+	}
+	// Deduplicate via sort.
+	pts := make([]geom.Voxel, len(vc.Voxels))
+	copy(pts, vc.Voxels)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		if pts[i].Y != pts[j].Y {
+			return pts[i].Y < pts[j].Y
+		}
+		return pts[i].Z < pts[j].Z
+	})
+	w := 0
+	for i, p := range pts {
+		if i == 0 || p.X != pts[w-1].X || p.Y != pts[w-1].Y || p.Z != pts[w-1].Z {
+			pts[w] = p
+			w++
+		}
+	}
+	pts = pts[:w]
+
+	enc := entropy.NewEncoder()
+	countModel := entropy.NewUintModel()
+	countModel.Encode(enc, uint64(len(pts)))
+
+	root := cell{sizeX: vc.GridSize(), sizeY: vc.GridSize(), sizeZ: vc.GridSize()}
+	steps := 0
+	dev.CPUSerial("KDEncode", len(pts)*int(vc.Depth)*3, costCode, func() {
+		steps = encodeCell(enc, countModel, pts, root)
+	})
+	_ = steps
+	return enc.Bytes(), nil
+}
+
+// encodeCell recursively codes the subdivision; pts is the (sub)slice of
+// points inside c. Returns the number of recursion steps (for diagnostics).
+func encodeCell(enc *entropy.Encoder, m *entropy.UintModel, pts []geom.Voxel, c cell) int {
+	if len(pts) == 0 || c.single() {
+		return 1
+	}
+	axis := c.longestAxis()
+	mid := axisMid(c, axis)
+	// Partition in place: stable order not needed, the decoder only needs
+	// counts.
+	lo := 0
+	for i := range pts {
+		if axisCoord(pts[i], axis) < mid {
+			pts[lo], pts[i] = pts[i], pts[lo]
+			lo++
+		}
+	}
+	m.Encode(enc, uint64(lo))
+	l, h := c.split(axis)
+	return 1 + encodeCell(enc, m, pts[:lo], l) + encodeCell(enc, m, pts[lo:], h)
+}
+
+// Decode reconstructs the voxel positions from a kd stream.
+func Decode(dev *edgesim.Device, data []byte, depth uint) ([]geom.Voxel, error) {
+	if depth == 0 || depth > 21 {
+		return nil, fmt.Errorf("kdtree: depth %d out of range", depth)
+	}
+	dec, err := entropy.NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	countModel := entropy.NewUintModel()
+	total := countModel.Decode(dec)
+	const maxReasonable = 1 << 27
+	if total > maxReasonable {
+		return nil, ErrBadStream
+	}
+	out := make([]geom.Voxel, 0, total)
+	grid := uint32(1) << depth
+	root := cell{sizeX: grid, sizeY: grid, sizeZ: grid}
+	var decodeErr error
+	dev.CPUSerial("KDDecode", int(total)*int(depth)*3, costCode, func() {
+		decodeErr = decodeCell(dec, countModel, int(total), root, &out)
+	})
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	return out, nil
+}
+
+func decodeCell(dec *entropy.Decoder, m *entropy.UintModel, n int, c cell, out *[]geom.Voxel) error {
+	if n == 0 {
+		return nil
+	}
+	if c.single() {
+		if n != 1 {
+			return fmt.Errorf("kdtree: %d points in a unit cell", n)
+		}
+		*out = append(*out, geom.Voxel{X: c.minX, Y: c.minY, Z: c.minZ})
+		return nil
+	}
+	axis := c.longestAxis()
+	lo64 := m.Decode(dec)
+	if lo64 > uint64(n) {
+		return ErrBadStream
+	}
+	lo := int(lo64)
+	l, h := c.split(axis)
+	if err := decodeCell(dec, m, lo, l, out); err != nil {
+		return err
+	}
+	return decodeCell(dec, m, n-lo, h, out)
+}

@@ -1,0 +1,184 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+func dev() *edgesim.Device { return edgesim.NewXavier(edgesim.Mode15W) }
+
+func randomCloud(seed int64, n int, depth uint) *geom.VoxelCloud {
+	rng := rand.New(rand.NewSource(seed))
+	limit := int(uint32(1) << depth)
+	vc := &geom.VoxelCloud{Depth: depth}
+	for i := 0; i < n; i++ {
+		vc.Voxels = append(vc.Voxels, geom.Voxel{
+			X: uint32(rng.Intn(limit)), Y: uint32(rng.Intn(limit)), Z: uint32(rng.Intn(limit)),
+		})
+	}
+	return vc
+}
+
+func voxelSet(vs []geom.Voxel) map[[3]uint32]bool {
+	s := make(map[[3]uint32]bool, len(vs))
+	for _, v := range vs {
+		s[[3]uint32{v.X, v.Y, v.Z}] = true
+	}
+	return s
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		vc := randomCloud(seed, 3000, 8)
+		data, err := Encode(dev(), vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(dev(), data, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := voxelSet(vc.Voxels)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: decoded %d, want %d (deduplicated)", seed, len(got), len(want))
+		}
+		for _, v := range got {
+			if !want[[3]uint32{v.X, v.Y, v.Z}] {
+				t.Fatalf("seed %d: unexpected voxel %v", seed, v)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	d := dev()
+	f := func(raw [][3]uint16) bool {
+		vc := &geom.VoxelCloud{Depth: 5}
+		for _, r := range raw {
+			vc.Voxels = append(vc.Voxels, geom.Voxel{
+				X: uint32(r[0] & 31), Y: uint32(r[1] & 31), Z: uint32(r[2] & 31)})
+		}
+		data, err := Encode(d, vc)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(d, data, 5)
+		if err != nil {
+			return false
+		}
+		want := voxelSet(vc.Voxels)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, v := range got {
+			if !want[[3]uint32{v.X, v.Y, v.Z}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyCloud(t *testing.T) {
+	d := dev()
+	data, err := Encode(d, &geom.VoxelCloud{Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(d, data, 6)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	d := dev()
+	vc := &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{{X: 513, Y: 2, Z: 1000}}}
+	data, err := Encode(d, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(d, data, 10)
+	if err != nil || len(got) != 1 || got[0].X != 513 || got[0].Y != 2 || got[0].Z != 1000 {
+		t.Fatalf("single point: %v %v", got, err)
+	}
+}
+
+func TestDepthValidation(t *testing.T) {
+	if _, err := Encode(dev(), &geom.VoxelCloud{Depth: 0}); err == nil {
+		t.Error("bad depth encode must fail")
+	}
+	if _, err := Decode(dev(), []byte{0, 0, 0, 0, 0}, 0); err == nil {
+		t.Error("bad depth decode must fail")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(dev(), nil, 5); err == nil {
+		t.Error("nil stream must fail")
+	}
+	// A stream claiming an absurd point count must be rejected.
+	vc := randomCloud(4, 10, 5)
+	data, _ := Encode(dev(), vc)
+	// Flip bits in the middle; decode must either fail or produce at most
+	// the claimed count — never panic.
+	for i := 5; i < len(data); i++ {
+		corrupted := append([]byte{}, data...)
+		corrupted[i] ^= 0x55
+		_, _ = Decode(dev(), corrupted, 5)
+	}
+}
+
+func TestCompressesStructuredData(t *testing.T) {
+	spec, err := dataset.SpecByName("loot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := dataset.NewGenerator(spec, 0.02).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(dev(), vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawGeo := 12 * vc.Len() // 3 x uint32
+	if len(data) >= rawGeo/3 {
+		t.Fatalf("kd stream %d bytes >= raw/3 %d", len(data), rawGeo/3)
+	}
+}
+
+func TestSerialCPUAccounting(t *testing.T) {
+	d := dev()
+	vc := randomCloud(5, 2000, 8)
+	if _, err := Encode(d, vc); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range d.Kernels() {
+		if k.Engine != edgesim.EngineCPU {
+			t.Fatalf("kernel %s must be CPU-serial", k.Name)
+		}
+	}
+	if d.SimTime() <= 0 {
+		t.Fatal("no time accounted")
+	}
+}
+
+func BenchmarkKDEncode10K(b *testing.B) {
+	vc := randomCloud(6, 10000, 10)
+	d := dev()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(d, vc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

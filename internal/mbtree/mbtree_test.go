@@ -1,0 +1,187 @@
+package mbtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+func dev() *edgesim.Device { return edgesim.NewXavier(edgesim.Mode15W) }
+
+func frame(seed int64, n int) *geom.VoxelCloud {
+	rng := rand.New(rand.NewSource(seed))
+	vc := &geom.VoxelCloud{Depth: 10}
+	for i := 0; i < n; i++ {
+		vc.Voxels = append(vc.Voxels, geom.Voxel{
+			X: uint32(rng.Intn(256) + 100),
+			Y: uint32(rng.Intn(256) + 100),
+			Z: uint32(rng.Intn(256) + 100),
+			C: geom.Color{R: uint8(rng.Intn(50) + 100), G: 90, B: 30},
+		})
+	}
+	return vc
+}
+
+// shifted returns the frame translated by (dx,dy,dz) voxels with colours
+// preserved — a pure-motion P-frame.
+func shifted(vc *geom.VoxelCloud, dx, dy, dz uint32) *geom.VoxelCloud {
+	out := vc.Clone()
+	for i := range out.Voxels {
+		out.Voxels[i].X += dx
+		out.Voxels[i].Y += dy
+		out.Voxels[i].Z += dz
+	}
+	return out
+}
+
+func TestBuildPartitionsAllPoints(t *testing.T) {
+	vc := frame(1, 5000)
+	tr := Build(dev(), vc, 4)
+	total := 0
+	for _, b := range tr.Blocks {
+		total += len(b.Indices)
+		for _, i := range b.Indices {
+			v := vc.Voxels[i]
+			if v.X>>4 != b.Key.X || v.Y>>4 != b.Key.Y || v.Z>>4 != b.Key.Z {
+				t.Fatalf("voxel %v misassigned to block %v", v, b.Key)
+			}
+		}
+	}
+	if total != vc.Len() {
+		t.Fatalf("partition covers %d of %d points", total, vc.Len())
+	}
+	if len(tr.Keys) != len(tr.Blocks) {
+		t.Fatalf("Keys (%d) != Blocks (%d)", len(tr.Keys), len(tr.Blocks))
+	}
+}
+
+func TestCentroidAndMean(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 6, Voxels: []geom.Voxel{
+		{X: 0, Y: 0, Z: 0, C: geom.Color{R: 100}},
+		{X: 2, Y: 4, Z: 6, C: geom.Color{R: 200}},
+	}}
+	tr := Build(dev(), vc, 3)
+	if tr.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d, want 1", tr.NumBlocks())
+	}
+	b := tr.Blocks[BlockKey{0, 0, 0}]
+	if b.Centroid != [3]float64{1, 2, 3} {
+		t.Fatalf("centroid = %v", b.Centroid)
+	}
+	if b.MeanRGB[0] != 150 {
+		t.Fatalf("mean R = %v", b.MeanRGB[0])
+	}
+}
+
+func TestIdenticalFramesMatchPerfectly(t *testing.T) {
+	d := dev()
+	vc := frame(2, 3000)
+	it := Build(d, vc, 4)
+	pt := Build(d, vc.Clone(), 4)
+	results := MatchAll(d, it, pt, DefaultMatchParams())
+	for _, r := range results {
+		if !r.Found {
+			t.Fatalf("block %v unmatched between identical frames", r.PKey)
+		}
+		if r.Cost > 1e-9 {
+			t.Fatalf("block %v cost %v, want 0", r.PKey, r.Cost)
+		}
+		if r.RefKey != r.PKey {
+			t.Fatalf("block %v matched %v, want co-located", r.PKey, r.RefKey)
+		}
+	}
+}
+
+func TestSmallMotionRecovered(t *testing.T) {
+	d := dev()
+	vc := frame(3, 4000)
+	pv := shifted(vc, 3, 0, 0)
+	it := Build(d, vc, 4)
+	pt := Build(d, pv, 4)
+	results := MatchAll(d, it, pt, MatchParams{Threads: 4, SearchRadius: 1, MaxCost: 1e9})
+	matched := 0
+	for _, r := range results {
+		if !r.Found {
+			continue
+		}
+		matched++
+		// Estimated motion should be ~ +3 in x for blocks that kept their
+		// population (boundary blocks churn, so only check the bulk).
+		if math.Abs(r.Motion[0]-3) < 1.5 {
+			continue
+		}
+	}
+	if matched < len(results)*8/10 {
+		t.Fatalf("only %d/%d blocks matched under 3-voxel motion", matched, len(results))
+	}
+}
+
+func TestThresholdRejectsDissimilar(t *testing.T) {
+	d := dev()
+	a := frame(4, 2000)
+	b := frame(4, 2000)
+	for i := range b.Voxels {
+		b.Voxels[i].C = geom.Color{R: 255, G: 255, B: 255} // totally different colours
+	}
+	it := Build(d, a, 4)
+	pt := Build(d, b, 4)
+	strict := MatchAll(d, it, pt, MatchParams{Threads: 2, SearchRadius: 1, MaxCost: 100})
+	for _, r := range strict {
+		if r.Found {
+			t.Fatalf("block %v matched despite colour distance (cost %v)", r.PKey, r.Cost)
+		}
+	}
+}
+
+func TestMatchingIsDeterministic(t *testing.T) {
+	d := dev()
+	vc := frame(5, 3000)
+	pv := shifted(vc, 1, 1, 0)
+	it := Build(d, vc, 4)
+	pt := Build(d, pv, 4)
+	a := MatchAll(d, it, pt, DefaultMatchParams())
+	b := MatchAll(d, it, pt, DefaultMatchParams())
+	if len(a) != len(b) {
+		t.Fatal("result length differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMatchAccountsCPUParallel(t *testing.T) {
+	d := dev()
+	vc := frame(6, 2000)
+	it := Build(d, vc, 4)
+	pt := Build(d, vc.Clone(), 4)
+	MatchAll(d, it, pt, DefaultMatchParams())
+	found := false
+	for _, k := range d.Kernels() {
+		if k.Name == "MBMatch" {
+			found = true
+			if k.Engine != edgesim.EngineCPU {
+				t.Error("MBMatch must be CPU work")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("MBMatch missing from ledger")
+	}
+	if d.SimTime() <= 0 {
+		t.Fatal("no time accounted")
+	}
+}
+
+func TestOffsetU32(t *testing.T) {
+	if offsetU32(5, -3) != 2 {
+		t.Error("offsetU32(5,-3)")
+	}
+	if offsetU32(0, -1) != ^uint32(0) {
+		t.Error("negative offsets must map outside the lattice")
+	}
+}

@@ -1,0 +1,228 @@
+// Package metrics computes the four quantities the paper evaluates
+// (Sec. VI): execution latency and energy come from internal/edgesim;
+// this package provides the other two — video quality (PSNR, as MPEG's
+// pc_error computes it) and compression efficiency (compressed size /
+// compression ratio) — plus the CDF machinery behind the Fig. 3 locality
+// studies.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// PeakValue is the attribute peak for 8-bit channels.
+const PeakValue = 255.0
+
+// ErrEmpty is returned when a metric needs at least one point.
+var ErrEmpty = errors.New("metrics: empty input")
+
+// PSNRFromMSE converts a mean squared error to dB against a peak value.
+// Returns +Inf for zero error.
+func PSNRFromMSE(mse, peak float64) float64 {
+	if mse <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}
+
+// AttributePSNR compares decoded colours against the originals point-by-
+// point (same order, same geometry) and returns luma and per-channel RGB
+// PSNR in dB.
+func AttributePSNR(orig, decoded []geom.Color) (lumaDB, rgbDB float64, err error) {
+	if len(orig) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if len(orig) != len(decoded) {
+		return 0, 0, errors.New("metrics: length mismatch")
+	}
+	var lumaMSE, rgbMSE float64
+	for i := range orig {
+		dl := orig[i].Luma() - decoded[i].Luma()
+		lumaMSE += dl * dl
+		dr, dg, db := orig[i].Sub(decoded[i])
+		rgbMSE += float64(dr*dr+dg*dg+db*db) / 3
+	}
+	n := float64(len(orig))
+	return PSNRFromMSE(lumaMSE/n, PeakValue), PSNRFromMSE(rgbMSE/n, PeakValue), nil
+}
+
+// GeometryPSNR computes the symmetric D1 (point-to-point) geometry PSNR
+// between an original and a decoded voxel cloud, following pc_error: for
+// each point, the squared distance to its nearest neighbour in the other
+// cloud; MSE is the max of the two directional means; the peak is the
+// diagonal of the lattice. Identical clouds give +Inf.
+func GeometryPSNR(orig, decoded *geom.VoxelCloud) (float64, error) {
+	if orig.Len() == 0 || decoded.Len() == 0 {
+		return 0, ErrEmpty
+	}
+	peak := float64(orig.GridSize()) * math.Sqrt(3)
+	d1 := directionalMSE(orig, decoded)
+	d2 := directionalMSE(decoded, orig)
+	return PSNRFromMSE(math.Max(d1, d2), peak), nil
+}
+
+func directionalMSE(from, to *geom.VoxelCloud) float64 {
+	idx := geom.NewGridIndex(to, 2)
+	var sum float64
+	for _, v := range from.Voxels {
+		_, d2 := idx.Nearest(v)
+		sum += d2
+	}
+	return sum / float64(from.Len())
+}
+
+// CompressionRatio is inputBytes/compressedBytes (the paper's Fig. 10b
+// x-axis; their intra design reaches ~5.95, intra+inter ~10.43).
+func CompressionRatio(rawBytes, compressedBytes int64) float64 {
+	if compressedBytes <= 0 {
+		return 0
+	}
+	return float64(rawBytes) / float64(compressedBytes)
+}
+
+// CDF is an empirical cumulative distribution over float samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied, then sorted).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(q * float64(len(c.sorted)))
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Median returns the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// SegmentAttributeRanges computes, for a Morton-sorted frame partitioned
+// into `segments` blocks, the per-block attribute range Max_red - Min_red —
+// exactly the statistic Fig. 3a plots as a CDF to demonstrate spatial
+// locality ("more segments -> smaller deltas").
+func SegmentAttributeRanges(sorted []geom.Voxel, segments int, channel int) []float64 {
+	if len(sorted) == 0 {
+		return nil
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	if segments > len(sorted) {
+		segments = len(sorted)
+	}
+	out := make([]float64, 0, segments)
+	for s := 0; s < segments; s++ {
+		lo := s * len(sorted) / segments
+		hi := (s + 1) * len(sorted) / segments
+		if lo == hi {
+			continue
+		}
+		mn, mx := 255, 0
+		for _, v := range sorted[lo:hi] {
+			c := channelOf(v.C, channel)
+			if c < mn {
+				mn = c
+			}
+			if c > mx {
+				mx = c
+			}
+		}
+		out = append(out, float64(mx-mn))
+	}
+	return out
+}
+
+// SegmentTemporalDeltas computes, for two Morton-sorted frames partitioned
+// into `segments` blocks each, the per-block mean attribute distance to the
+// BEST matching block within a candidate window (window <= 0 compares
+// co-indexed blocks only) — the Fig. 3b statistic.
+func SegmentTemporalDeltas(iFrame, pFrame []geom.Voxel, segments, window int) []float64 {
+	if len(iFrame) == 0 || len(pFrame) == 0 {
+		return nil
+	}
+	if segments < 1 {
+		segments = 1
+	}
+	out := make([]float64, 0, segments)
+	for s := 0; s < segments; s++ {
+		plo := s * len(pFrame) / segments
+		phi := (s + 1) * len(pFrame) / segments
+		if plo == phi {
+			continue
+		}
+		best := math.Inf(1)
+		for c := s - window; c <= s+window; c++ {
+			if c < 0 || c >= segments {
+				continue
+			}
+			ilo := c * len(iFrame) / segments
+			ihi := (c + 1) * len(iFrame) / segments
+			if ilo == ihi {
+				continue
+			}
+			d := meanBlockDistance(iFrame[ilo:ihi], pFrame[plo:phi])
+			if d < best {
+				best = d
+			}
+		}
+		if !math.IsInf(best, 1) {
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+func meanBlockDistance(iv, pv []geom.Voxel) float64 {
+	kp, ki := len(pv), len(iv)
+	var sum float64
+	for i := 0; i < kp; i++ {
+		j := i * ki / kp
+		sum += float64(pv[i].C.Dist2(iv[j].C))
+	}
+	return sum / float64(kp)
+}
+
+func channelOf(c geom.Color, ch int) int {
+	switch ch {
+	case 0:
+		return int(c.R)
+	case 1:
+		return int(c.G)
+	default:
+		return int(c.B)
+	}
+}

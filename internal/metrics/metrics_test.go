@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPSNRFromMSE(t *testing.T) {
+	if !math.IsInf(PSNRFromMSE(0, 255), 1) {
+		t.Error("zero MSE must be +Inf")
+	}
+	// MSE = peak^2 -> 0 dB.
+	if got := PSNRFromMSE(255*255, 255); math.Abs(got) > 1e-12 {
+		t.Errorf("PSNR = %v, want 0", got)
+	}
+	// Each 4x MSE decrease adds ~6.02 dB.
+	d := PSNRFromMSE(100, 255) - PSNRFromMSE(400, 255)
+	if math.Abs(d-10*math.Log10(4)) > 1e-9 {
+		t.Errorf("dB delta = %v", d)
+	}
+}
+
+func TestAttributePSNR(t *testing.T) {
+	orig := []geom.Color{{R: 100, G: 100, B: 100}, {R: 200, G: 50, B: 0}}
+	if _, _, err := AttributePSNR(nil, nil); err != ErrEmpty {
+		t.Error("empty must fail")
+	}
+	if _, _, err := AttributePSNR(orig, orig[:1]); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	luma, rgb, err := AttributePSNR(orig, orig)
+	if err != nil || !math.IsInf(luma, 1) || !math.IsInf(rgb, 1) {
+		t.Fatalf("identical: %v %v %v", luma, rgb, err)
+	}
+	// Uniform +1 error on every channel: RGB MSE = 1 -> 48.13 dB.
+	decoded := make([]geom.Color, len(orig))
+	for i, c := range orig {
+		decoded[i] = c.Add(1, 1, 1)
+	}
+	_, rgb, err = AttributePSNR(orig, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255)
+	if math.Abs(rgb-want) > 1e-9 {
+		t.Errorf("rgb PSNR = %v, want %v", rgb, want)
+	}
+}
+
+func TestGeometryPSNRIdentical(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 6, Voxels: []geom.Voxel{{X: 1}, {X: 5, Y: 9, Z: 2}}}
+	p, err := GeometryPSNR(vc, vc)
+	if err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("identical clouds: %v %v", p, err)
+	}
+}
+
+func TestGeometryPSNRShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vc := &geom.VoxelCloud{Depth: 10}
+	for i := 0; i < 1000; i++ {
+		vc.Voxels = append(vc.Voxels, geom.Voxel{
+			X: uint32(rng.Intn(1000)), Y: uint32(rng.Intn(1000)), Z: uint32(rng.Intn(1000))})
+	}
+	shift := vc.Clone()
+	for i := range shift.Voxels {
+		shift.Voxels[i].X++ // one-voxel shift
+	}
+	p, err := GeometryPSNR(vc, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSE <= 1, peak = 1024*sqrt(3): PSNR >= 20log10(1024*sqrt3) = ~65 dB.
+	if p < 64 {
+		t.Fatalf("one-voxel shift PSNR = %.1f dB, want >= 64", p)
+	}
+	if math.IsInf(p, 1) {
+		t.Fatal("shifted cloud cannot be lossless")
+	}
+}
+
+func TestGeometryPSNRSymmetric(t *testing.T) {
+	a := &geom.VoxelCloud{Depth: 8, Voxels: []geom.Voxel{{X: 0}, {X: 100}}}
+	b := &geom.VoxelCloud{Depth: 8, Voxels: []geom.Voxel{{X: 0}}}
+	p1, _ := GeometryPSNR(a, b)
+	p2, _ := GeometryPSNR(b, a)
+	if p1 != p2 {
+		t.Fatalf("asymmetric PSNR: %v vs %v", p1, p2)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if CompressionRatio(100, 0) != 0 {
+		t.Error("zero compressed size")
+	}
+	if CompressionRatio(1000, 100) != 10 {
+		t.Error("ratio 10")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.At(0) != 0 {
+		t.Errorf("At(0) = %v", c.At(0))
+	}
+	if c.At(2) != 0.5 {
+		t.Errorf("At(2) = %v", c.At(2))
+	}
+	if c.At(10) != 1 {
+		t.Errorf("At(10) = %v", c.At(10))
+	}
+	if c.Median() != 3 {
+		t.Errorf("Median = %v", c.Median())
+	}
+	if c.Quantile(0) != 1 || c.Quantile(1) != 4 {
+		t.Error("extreme quantiles")
+	}
+	empty := NewCDF(nil)
+	if empty.At(5) != 0 || empty.Quantile(0.5) != 0 || empty.Len() != 0 {
+		t.Error("empty CDF behaviour")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() * 10
+	}
+	c := NewCDF(samples)
+	prev := -1.0
+	for x := -30.0; x <= 30; x += 0.5 {
+		v := c.At(x)
+		if v < prev {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		prev = v
+	}
+}
+
+// Fig. 3a's key claim: finer segmentation produces smaller attribute ranges
+// (the CDF shifts left). Verify on a smooth synthetic field.
+func TestSpatialLocalityImprovesWithSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	sorted := make([]geom.Voxel, n)
+	v := 128.0
+	for i := range sorted {
+		v += rng.Float64()*4 - 2
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		sorted[i].C.R = uint8(v)
+	}
+	coarse := NewCDF(SegmentAttributeRanges(sorted, 10, 0))
+	fine := NewCDF(SegmentAttributeRanges(sorted, 1000, 0))
+	if fine.Median() >= coarse.Median() {
+		t.Fatalf("fine median %v >= coarse median %v", fine.Median(), coarse.Median())
+	}
+}
+
+func TestSegmentAttributeRangesEdgeCases(t *testing.T) {
+	if SegmentAttributeRanges(nil, 10, 0) != nil {
+		t.Error("empty frame")
+	}
+	one := []geom.Voxel{{C: geom.Color{R: 7}}}
+	r := SegmentAttributeRanges(one, 100, 0)
+	if len(r) != 1 || r[0] != 0 {
+		t.Errorf("single voxel ranges = %v", r)
+	}
+}
+
+// Fig. 3b: a window search finds strictly better (or equal) matches than
+// co-indexed comparison, and finer segmentation reduces deltas.
+func TestTemporalDeltaWindowHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 10000
+	iF := make([]geom.Voxel, n)
+	val := 100.0
+	for i := range iF {
+		val += rng.Float64()*4 - 2
+		iF[i].C.R = uint8(math.Max(0, math.Min(255, val)))
+	}
+	// P-frame: shifted copy (temporal motion along the Morton order).
+	pF := make([]geom.Voxel, n)
+	copy(pF, iF[n/100:])
+	copy(pF[n-n/100:], iF[:n/100])
+
+	noWin := NewCDF(SegmentTemporalDeltas(iF, pF, 500, 0))
+	win := NewCDF(SegmentTemporalDeltas(iF, pF, 500, 10))
+	if win.Median() > noWin.Median() {
+		t.Fatalf("windowed median %v > co-indexed %v", win.Median(), noWin.Median())
+	}
+}
+
+func TestSegmentTemporalDeltasEdgeCases(t *testing.T) {
+	if SegmentTemporalDeltas(nil, nil, 10, 1) != nil {
+		t.Error("empty frames")
+	}
+	f := []geom.Voxel{{C: geom.Color{R: 10}}}
+	d := SegmentTemporalDeltas(f, f, 5, 2)
+	if len(d) != 1 || d[0] != 0 {
+		t.Errorf("identical singleton deltas = %v", d)
+	}
+}

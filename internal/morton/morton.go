@@ -1,0 +1,98 @@
+// Package morton implements 3-D Morton (Z-order) codes, the space-filling
+// curve at the heart of the paper's parallel compression pipelines
+// (Sec. III-B): interleaving the bits of (x, y, z) yields a 1-D key that
+// preserves spatial locality, so sorting points by Morton code clusters
+// geometrically-close points — which is exactly what both the parallel
+// octree construction and the segment-based attribute compression exploit.
+//
+// Codes cover up to 21 bits per axis (63-bit keys), enough for a 2^21-wide
+// lattice; the paper's 1024^3 frames need only 10 bits per axis.
+package morton
+
+// MaxBitsPerAxis is the widest supported lattice (2^21 per axis fills a
+// 63-bit code).
+const MaxBitsPerAxis = 21
+
+// Code is a 3-D Morton code. Bit 3i holds x's bit i, bit 3i+1 holds y's
+// bit i, bit 3i+2 holds z's bit i.
+type Code uint64
+
+// part1By2 spreads the low 21 bits of v so that consecutive input bits land
+// three positions apart ("magic bits" method, Baert 2013 [30]).
+func part1By2(v uint64) uint64 {
+	v &= 0x1FFFFF
+	v = (v | v<<32) & 0x1F00000000FFFF
+	v = (v | v<<16) & 0x1F0000FF0000FF
+	v = (v | v<<8) & 0x100F00F00F00F00F
+	v = (v | v<<4) & 0x10C30C30C30C30C3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// compact1By2 is the inverse of part1By2.
+func compact1By2(v uint64) uint64 {
+	v &= 0x1249249249249249
+	v = (v | v>>2) & 0x10C30C30C30C30C3
+	v = (v | v>>4) & 0x100F00F00F00F00F
+	v = (v | v>>8) & 0x1F0000FF0000FF
+	v = (v | v>>16) & 0x1F00000000FFFF
+	v = (v | v>>32) & 0x1FFFFF
+	return v
+}
+
+// Encode interleaves x, y, z (each masked to 21 bits) into a Morton code.
+func Encode(x, y, z uint32) Code {
+	return Code(part1By2(uint64(x)) | part1By2(uint64(y))<<1 | part1By2(uint64(z))<<2)
+}
+
+// Decode splits a Morton code back into its axis coordinates.
+func (c Code) Decode() (x, y, z uint32) {
+	return uint32(compact1By2(uint64(c))),
+		uint32(compact1By2(uint64(c) >> 1)),
+		uint32(compact1By2(uint64(c) >> 2))
+}
+
+// Child returns the octant index (0..7) of the code at tree level `level`
+// counted from the leaves: level 0 is the finest 3-bit digit. For a tree of
+// depth D, the root's children are distinguished by level D-1.
+func (c Code) Child(level uint) uint8 {
+	return uint8(c >> (3 * level) & 7)
+}
+
+// Parent returns the Morton code of the node's parent at the next-coarser
+// level (drops the finest 3-bit digit).
+func (c Code) Parent() Code { return c >> 3 }
+
+// AncestorAt returns the code truncated to the given level: the identity at
+// level 0, the parent at level 1, and so on. Two voxels share an ancestor at
+// level L iff their codes agree above bit 3L.
+func (c Code) AncestorAt(level uint) Code { return c >> (3 * level) }
+
+// lutEncode is a byte-wise lookup-table encoder. The LUT variant trades
+// three table lookups per axis for the shift chain; on the paper's edge CPU
+// it is the faster scalar path and we keep both for cross-validation.
+var encodeLUT [256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		var s uint32
+		for b := 0; b < 8; b++ {
+			if i>>b&1 == 1 {
+				s |= 1 << (3 * b)
+			}
+		}
+		encodeLUT[i] = s
+	}
+}
+
+// EncodeLUT is a table-driven equivalent of Encode (same result, different
+// implementation). Exposed so tests can cross-check the two paths and so the
+// benchmark harness can compare them.
+func EncodeLUT(x, y, z uint32) Code {
+	spread := func(v uint32) uint64 {
+		return uint64(encodeLUT[v&0xFF]) |
+			uint64(encodeLUT[v>>8&0xFF])<<24 |
+			uint64(encodeLUT[v>>16&0x1F])<<48
+	}
+	return Code(spread(x) | spread(y)<<1 | spread(z)<<2)
+}

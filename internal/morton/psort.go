@@ -1,0 +1,89 @@
+package morton
+
+import "sync"
+
+// ParallelRadixSort sorts keyed voxels by Morton code using a data-parallel
+// LSD radix sort: the same histogram → exclusive-scan → scatter structure a
+// GPU sort uses. Each pass splits the input into one chunk per worker;
+// workers build local digit histograms in parallel, a serial scan turns them
+// into disjoint scatter offsets (stable across chunks), and workers scatter
+// in parallel into disjoint regions. The result is identical to RadixSort.
+func ParallelRadixSort(ks []Keyed, workers int) {
+	if len(ks) < 2 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ks) {
+		workers = len(ks)
+	}
+	buf := make([]Keyed, len(ks))
+	src, dst := ks, buf
+
+	chunk := (len(ks) + workers - 1) / workers
+	bounds := make([][2]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(ks) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(ks) {
+			hi = len(ks)
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	nw := len(bounds)
+	hist := make([][256]int, nw)
+
+	for shift := uint(0); shift < 64; shift += 8 {
+		// Phase 1: local histograms (parallel).
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := &hist[w]
+				*h = [256]int{}
+				for _, k := range src[bounds[w][0]:bounds[w][1]] {
+					h[uint8(k.Code>>shift)]++
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Phase 2: exclusive scan over (digit, chunk) — serial, 256*nw steps.
+		// offset[w][d] = items with smaller digit anywhere, plus items with
+		// digit d in earlier chunks (stability).
+		pos := 0
+		offsets := make([][256]int, nw)
+		for d := 0; d < 256; d++ {
+			for w := 0; w < nw; w++ {
+				offsets[w][d] = pos
+				pos += hist[w][d]
+			}
+		}
+
+		// Phase 3: scatter (parallel; write regions are disjoint by
+		// construction of the offsets).
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				off := offsets[w]
+				for _, k := range src[bounds[w][0]:bounds[w][1]] {
+					d := uint8(k.Code >> shift)
+					dst[off[d]] = k
+					off[d]++
+				}
+			}(w)
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	// 8 passes (even): src is ks again.
+	if &src[0] != &ks[0] {
+		copy(ks, src)
+	}
+}

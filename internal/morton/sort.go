@@ -1,0 +1,104 @@
+package morton
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Keyed pairs a voxel with its Morton code. The compression pipelines carry
+// this form around: the codes are computed once during geometry compression
+// and reused for attribute compression "without any additional overhead"
+// (Sec. IV-C1).
+type Keyed struct {
+	Code  Code
+	Voxel geom.Voxel
+}
+
+// EncodeCloud computes the Morton code of every voxel in the cloud.
+// The returned slice is in the cloud's original order.
+func EncodeCloud(vc *geom.VoxelCloud) []Keyed {
+	out := make([]Keyed, len(vc.Voxels))
+	for i, v := range vc.Voxels {
+		out[i] = Keyed{Code: Encode(v.X, v.Y, v.Z), Voxel: v}
+	}
+	return out
+}
+
+// Sort orders keyed voxels by Morton code ascending (stable order for equal
+// codes, which occur only for duplicate voxels).
+func Sort(ks []Keyed) {
+	sort.SliceStable(ks, func(i, j int) bool { return ks[i].Code < ks[j].Code })
+}
+
+// IsSorted reports whether ks is in ascending Morton order.
+func IsSorted(ks []Keyed) bool {
+	return sort.SliceIsSorted(ks, func(i, j int) bool { return ks[i].Code < ks[j].Code })
+}
+
+// RadixSort sorts keyed voxels by Morton code with an LSD radix sort over
+// 8-bit digits. This is the data-parallel-friendly sort the GPU pipeline
+// models (a CUDA implementation would use the same digit histogram +
+// prefix-sum + scatter structure); it is also the fastest scalar path for
+// million-point frames.
+func RadixSort(ks []Keyed) {
+	if len(ks) < 2 {
+		return
+	}
+	buf := make([]Keyed, len(ks))
+	src, dst := ks, buf
+	// 63-bit codes: 8 passes of 8 bits cover them.
+	for shift := uint(0); shift < 64; shift += 8 {
+		var count [257]int
+		for _, k := range src {
+			count[int(uint8(k.Code>>shift))+1]++
+		}
+		for i := 1; i < 257; i++ {
+			count[i] += count[i-1]
+		}
+		for _, k := range src {
+			d := uint8(k.Code >> shift)
+			dst[count[d]] = k
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	// 8 passes: src ends up back at ks. (Even number of swaps.)
+	if &src[0] != &ks[0] {
+		copy(ks, src)
+	}
+}
+
+// Dedup removes consecutive entries with equal codes from a sorted slice,
+// keeping the first occurrence. Returns the deduplicated prefix.
+func Dedup(ks []Keyed) []Keyed {
+	if len(ks) == 0 {
+		return ks
+	}
+	w := 1
+	for i := 1; i < len(ks); i++ {
+		if ks[i].Code != ks[w-1].Code {
+			ks[w] = ks[i]
+			w++
+		}
+	}
+	return ks[:w]
+}
+
+// Codes extracts just the code column.
+func Codes(ks []Keyed) []Code {
+	out := make([]Code, len(ks))
+	for i, k := range ks {
+		out[i] = k.Code
+	}
+	return out
+}
+
+// Voxels extracts just the voxel column.
+func Voxels(ks []Keyed) []geom.Voxel {
+	out := make([]geom.Voxel, len(ks))
+	for i, k := range ks {
+		out[i] = k.Voxel
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package paroctree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/morton"
+	"repro/internal/octree"
+)
+
+func dev() *edgesim.Device { return edgesim.NewXavier(edgesim.Mode15W) }
+
+func randomCloud(seed int64, n int, depth uint) *geom.VoxelCloud {
+	rng := rand.New(rand.NewSource(seed))
+	limit := int(uint32(1) << depth)
+	vc := &geom.VoxelCloud{Depth: depth}
+	for i := 0; i < n; i++ {
+		vc.Voxels = append(vc.Voxels, geom.Voxel{
+			X: uint32(rng.Intn(limit)),
+			Y: uint32(rng.Intn(limit)),
+			Z: uint32(rng.Intn(limit)),
+			C: geom.Color{R: uint8(i), G: uint8(i >> 8), B: 3},
+		})
+	}
+	return vc
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(dev(), &geom.VoxelCloud{Depth: 10}); err != ErrNoPoints {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestBuildSinglePoint(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 3, Voxels: []geom.Voxel{{X: 3, Y: 3, Z: 3}}}
+	res, err := Build(dev(), vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tree
+	if tr.NumLeaves != 1 {
+		t.Fatalf("NumLeaves = %d", tr.NumLeaves)
+	}
+	// Depth 3, single point: 4 nodes (root + 3).
+	if len(tr.Codes) != 4 {
+		t.Fatalf("nodes = %d, want 4", len(tr.Codes))
+	}
+	if tr.Parent[0] != -1 {
+		t.Fatal("root parent must be -1")
+	}
+	if tr.Leaves()[0] != morton.Encode(3, 3, 3) {
+		t.Fatalf("leaf code = %d", tr.Leaves()[0])
+	}
+}
+
+// The Fig. 5 worked example: P0=(0,0,0), P1 at low corner, P2=(3,3,3) in a
+// side-8 cube (depth 3). The paper's parallel build places P0..P2 and emits
+// code/parent arrays; the occupy post-processing (Algo. 1) merges children.
+func TestFig5Example(t *testing.T) {
+	// Shift the paper's [-1..3] coordinates into the unsigned lattice by +1:
+	// P1=(0,0,0), P0=(1,1,1)? No — keep it faithful: P0=(1,0,0), P1=(0,0,0),
+	// P2=(4,3,3) in a depth-3 (side-8) lattice after offsetting x by +1.
+	vc := &geom.VoxelCloud{Depth: 3, Voxels: []geom.Voxel{
+		{X: 1, Y: 0, Z: 0}, // P0
+		{X: 0, Y: 0, Z: 0}, // P1
+		{X: 4, Y: 3, Z: 3}, // P2
+	}}
+	res, err := Build(dev(), vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tree
+	if tr.NumLeaves != 3 {
+		t.Fatalf("NumLeaves = %d", tr.NumLeaves)
+	}
+	// Sorted order: P1 (code 0), P0 (code 1), P2.
+	leaves := tr.Leaves()
+	if leaves[0] != 0 || leaves[1] != 1 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	// Root occupy: P0/P1 share octant 0; P2's octant differs.
+	rootOcc := tr.Occupy[0]
+	if popcount8(rootOcc) != 2 {
+		t.Fatalf("root occupancy %08b, want 2 children", rootOcc)
+	}
+	// Every parent pointer must point to a node one level up whose code is
+	// the child's code >> 3.
+	for d := uint(1); d <= tr.Depth; d++ {
+		for i := tr.LevelOffsets[d]; i < tr.LevelOffsets[d+1]; i++ {
+			p := tr.Parent[i]
+			if p < int32(tr.LevelOffsets[d-1]) || p >= int32(tr.LevelOffsets[d]) {
+				t.Fatalf("node %d parent %d outside level %d", i, p, d-1)
+			}
+			if tr.Codes[p] != tr.Codes[i].Parent() {
+				t.Fatalf("node %d: parent code mismatch", i)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequentialOctree(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		vc := randomCloud(seed, 2000, 7)
+		res, err := Build(dev(), vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := octree.Build(vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same node counts at every level.
+		got := res.Tree.LevelNodes()
+		want := seq.CountLevels()
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("seed %d level %d: parallel %d != sequential %d", seed, d, got[d], want[d])
+			}
+		}
+		// Same leaf sets.
+		seqVox, err := octree.Deserialize(seq.Serialize(), vc.Depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves := res.Tree.Leaves()
+		if len(seqVox) != len(leaves) {
+			t.Fatalf("leaf count %d != %d", len(leaves), len(seqVox))
+		}
+		for i, v := range seqVox {
+			if morton.Encode(v.X, v.Y, v.Z) != leaves[i] {
+				t.Fatalf("leaf %d differs", i)
+			}
+		}
+	}
+}
+
+func TestSerializeDeserializeRoundTrip(t *testing.T) {
+	d := dev()
+	vc := randomCloud(5, 3000, 8)
+	res, err := Build(d, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := res.Tree.Serialize(d)
+	codes, err := Deserialize(d, stream, vc.Depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := res.Tree.Leaves()
+	if len(codes) != len(leaves) {
+		t.Fatalf("decoded %d leaves, want %d", len(codes), len(leaves))
+	}
+	for i := range codes {
+		if codes[i] != leaves[i] {
+			t.Fatalf("leaf %d: %d != %d", i, codes[i], leaves[i])
+		}
+	}
+	vox := CodesToVoxels(d, codes, vc.Depth)
+	for i, v := range vox {
+		if morton.Encode(v.X, v.Y, v.Z) != codes[i] {
+			t.Fatalf("voxel %d decode mismatch", i)
+		}
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	d := dev()
+	if _, err := Deserialize(d, []byte{1}, 0); err == nil {
+		t.Error("bad depth must fail")
+	}
+	if _, err := Deserialize(d, []byte{1, 1}, 3); err == nil {
+		t.Error("truncated stream must fail")
+	}
+	if _, err := Deserialize(d, []byte{0}, 2); err == nil {
+		t.Error("zero mask must fail")
+	}
+	got, err := Deserialize(d, nil, 4)
+	if err != nil || got != nil {
+		t.Errorf("empty stream: %v %v", got, err)
+	}
+	// Trailing bytes.
+	vc := &geom.VoxelCloud{Depth: 1, Voxels: []geom.Voxel{{X: 0}}}
+	res, _ := Build(d, vc)
+	s := append(res.Tree.Serialize(d), 9)
+	if _, err := Deserialize(d, s, 1); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+}
+
+func TestBuildRejectsUnsortedInternal(t *testing.T) {
+	if _, err := buildFromSorted(dev(), []morton.Code{5, 3}, 4); err == nil {
+		t.Error("unsorted leaves must fail")
+	}
+	if _, err := buildFromSorted(dev(), []morton.Code{3, 3}, 4); err == nil {
+		t.Error("duplicate leaves must fail")
+	}
+}
+
+func TestBuildDeduplicatesInput(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 4, Voxels: []geom.Voxel{
+		{X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}, {X: 2, Y: 2, Z: 2},
+	}}
+	res, err := Build(dev(), vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.NumLeaves != 2 {
+		t.Fatalf("NumLeaves = %d, want 2", res.Tree.NumLeaves)
+	}
+	if len(res.Sorted) != 2 {
+		t.Fatalf("Sorted len = %d, want 2", len(res.Sorted))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	d := dev()
+	f := func(raw [][3]uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		const depth = 5
+		vc := &geom.VoxelCloud{Depth: depth}
+		want := map[morton.Code]bool{}
+		for _, r := range raw {
+			v := geom.Voxel{X: uint32(r[0] & 31), Y: uint32(r[1] & 31), Z: uint32(r[2] & 31)}
+			vc.Voxels = append(vc.Voxels, v)
+			want[morton.Encode(v.X, v.Y, v.Z)] = true
+		}
+		res, err := Build(d, vc)
+		if err != nil {
+			return false
+		}
+		codes, err := Deserialize(d, res.Tree.Serialize(d), depth)
+		if err != nil {
+			return false
+		}
+		if len(codes) != len(want) {
+			return false
+		}
+		for _, c := range codes {
+			if !want[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRescaleRoundTripSmallError(t *testing.T) {
+	vc := randomCloud(8, 500, 10)
+	// Constrain to a sub-box so rescale actually stretches.
+	for i := range vc.Voxels {
+		vc.Voxels[i].X = vc.Voxels[i].X%300 + 50
+		vc.Voxels[i].Y = vc.Voxels[i].Y%700 + 10
+		vc.Voxels[i].Z = vc.Voxels[i].Z%200 + 400
+	}
+	r := FitRescale(vc)
+	maxErr := 0.0
+	for _, v := range vc.Voxels {
+		back := r.Invert(r.Apply(v))
+		if d := v.Dist2(back); d > maxErr {
+			maxErr = d
+		}
+	}
+	// Sub-voxel error: squared distance at most 3 (one unit per axis).
+	if maxErr > 3 {
+		t.Fatalf("rescale max squared error = %v, want <= 3", maxErr)
+	}
+}
+
+func TestRescaleKeepsLatticeBounds(t *testing.T) {
+	f := func(coords [][3]uint16) bool {
+		if len(coords) == 0 {
+			return true
+		}
+		vc := &geom.VoxelCloud{Depth: 10}
+		for _, c := range coords {
+			vc.Voxels = append(vc.Voxels, geom.Voxel{
+				X: uint32(c[0] & 1023), Y: uint32(c[1] & 1023), Z: uint32(c[2] & 1023)})
+		}
+		r := FitRescale(vc)
+		for _, v := range vc.Voxels {
+			a := r.Apply(v)
+			if a.X > 1023 || a.Y > 1023 || a.Z > 1023 {
+				return false
+			}
+			b := r.Invert(a)
+			if b.X > 1023 || b.Y > 1023 || b.Z > 1023 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometrySimLatencyShape(t *testing.T) {
+	// The parallel geometry pipeline must be dramatically faster in
+	// simulated time than the sequential baseline at the same N — the
+	// paper reports ~37x at ~0.8M points; at 50k points we accept >5x.
+	vc := randomCloud(4, 50000, 10)
+
+	dPar := dev()
+	if _, err := Build(dPar, vc); err != nil {
+		t.Fatal(err)
+	}
+	parTime := dPar.SimTime()
+
+	dSeq := dev()
+	dSeq.CPUSerial("OctreeConstruct", vc.Len()*int(vc.Depth), edgesim.Cost{OpsPerItem: 170}, func() {
+		if _, err := octree.Build(vc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	seqTime := dSeq.SimTime()
+
+	if ratio := float64(seqTime) / float64(parTime); ratio < 5 {
+		t.Fatalf("parallel speedup = %.1fx, want >= 5x (seq %v, par %v)", ratio, seqTime, parTime)
+	}
+}
+
+func BenchmarkParallelBuild100K(b *testing.B) {
+	vc := randomCloud(1, 100000, 10)
+	d := dev()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d, vc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

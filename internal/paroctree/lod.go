@@ -1,0 +1,92 @@
+package paroctree
+
+import (
+	"fmt"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+// Level-of-detail decoding. Because the proposed pipeline serializes the
+// octree breadth-first (level by level), any PREFIX of the geometry stream
+// is a complete coarse octree: a receiver can decode the first L levels and
+// display a lower-resolution cloud before the rest arrives. This implements
+// the progressive-transmission property octree PCC systems ship with
+// (Schnabel & Klein [74]) and that the paper's BFS layout gets for free —
+// the DFS layout of the sequential baseline cannot be cut this way.
+
+// LoDResult is a partially-decoded frame.
+type LoDResult struct {
+	// Level is the decoded depth (== requested level, clamped).
+	Level uint
+	// Codes are the occupied node codes at that level (ascending).
+	Codes []morton.Code
+	// PrefixBytes is how many stream bytes were consumed — the amount a
+	// progressive receiver needs to have before it can show this level.
+	PrefixBytes int
+}
+
+// DeserializeLoD decodes only the first `level` levels of a BFS occupancy
+// stream (level == depth reproduces Deserialize).
+func DeserializeLoD(dev *edgesim.Device, stream []byte, depth, level uint) (*LoDResult, error) {
+	if depth == 0 || depth > 21 {
+		return nil, fmt.Errorf("paroctree: depth %d out of range [1,21]", depth)
+	}
+	if level > depth {
+		level = depth
+	}
+	if len(stream) == 0 {
+		return &LoDResult{Level: level}, nil
+	}
+	codes := []morton.Code{0}
+	pos := 0
+	for d := uint(0); d < level; d++ {
+		if pos+len(codes) > len(stream) {
+			return nil, ErrBadStream
+		}
+		masks := stream[pos : pos+len(codes)]
+		pos += len(codes)
+		offsets := make([]int, len(codes)+1)
+		for i, m := range masks {
+			if m == 0 {
+				return nil, fmt.Errorf("paroctree: zero occupancy mask at depth %d node %d", d, i)
+			}
+			offsets[i+1] = offsets[i] + popcount8(m)
+		}
+		next := make([]morton.Code, offsets[len(codes)])
+		parent := codes
+		dev.GPUKernelIdx("DecodeExpand", len(parent), edgesim.Cost{OpsPerItem: 30, BytesPerItem: 10}, func(i int) {
+			w := offsets[i]
+			base := parent[i] << 3
+			for b := uint(0); b < 8; b++ {
+				if masks[i]>>b&1 == 1 {
+					next[w] = base | morton.Code(b)
+					w++
+				}
+			}
+		})
+		codes = next
+	}
+	return &LoDResult{Level: level, Codes: codes, PrefixBytes: pos}, nil
+}
+
+// UpscaleToLattice maps level-L node codes back into full-lattice voxel
+// positions at the centres of their cells, so a coarse decode can be
+// rendered in the same coordinate frame as a full decode.
+func (r *LoDResult) UpscaleToLattice(dev *edgesim.Device, depth uint) []geom.Voxel {
+	if r.Level > depth {
+		return nil
+	}
+	shift := depth - r.Level
+	half := uint32(0)
+	if shift > 0 {
+		half = 1 << (shift - 1)
+	}
+	out := make([]geom.Voxel, len(r.Codes))
+	dev.GPUKernelIdx("LoDUpscale", len(r.Codes), costMortonGen, func(i int) {
+		x, y, z := r.Codes[i].Decode()
+		out[i] = geom.Voxel{X: x<<shift | half, Y: y<<shift | half, Z: z<<shift | half}
+	})
+	return out
+}

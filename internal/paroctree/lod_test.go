@@ -1,0 +1,167 @@
+package paroctree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+func TestLoDFullDepthMatchesDeserialize(t *testing.T) {
+	d := dev()
+	vc := randomCloud(31, 2000, 7)
+	res, err := Build(d, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := res.Tree.Serialize(d)
+
+	full, err := Deserialize(d, stream, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lod, err := DeserializeLoD(d, stream, 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lod.Codes) != len(full) {
+		t.Fatalf("LoD full decode %d codes, want %d", len(lod.Codes), len(full))
+	}
+	for i := range full {
+		if lod.Codes[i] != full[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+	if lod.PrefixBytes != len(stream) {
+		t.Fatalf("full decode consumed %d of %d bytes", lod.PrefixBytes, len(stream))
+	}
+}
+
+func TestLoDMatchesTreeLevels(t *testing.T) {
+	d := dev()
+	vc := randomCloud(32, 3000, 8)
+	res, err := Build(d, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := res.Tree.Serialize(d)
+	levels := res.Tree.LevelNodes()
+	for level := uint(1); level <= 8; level++ {
+		lod, err := DeserializeLoD(d, stream, 8, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lod.Codes) != levels[level] {
+			t.Fatalf("level %d: %d codes, tree has %d nodes", level, len(lod.Codes), levels[level])
+		}
+		// Codes at level L must equal the ancestors of all leaves at L.
+		want := map[morton.Code]bool{}
+		for _, leaf := range res.Tree.Leaves() {
+			want[leaf.AncestorAt(8-level)] = true
+		}
+		if len(want) != len(lod.Codes) {
+			t.Fatalf("level %d: ancestor set %d != decoded %d", level, len(want), len(lod.Codes))
+		}
+		for _, c := range lod.Codes {
+			if !want[c] {
+				t.Fatalf("level %d: unexpected code %d", level, c)
+			}
+		}
+	}
+}
+
+func TestLoDPrefixBytesMonotone(t *testing.T) {
+	d := dev()
+	vc := randomCloud(33, 1500, 7)
+	res, _ := Build(d, vc)
+	stream := res.Tree.Serialize(d)
+	prev := 0
+	for level := uint(1); level <= 7; level++ {
+		lod, err := DeserializeLoD(d, stream, 7, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lod.PrefixBytes <= prev {
+			t.Fatalf("level %d prefix %d not increasing (prev %d)", level, lod.PrefixBytes, prev)
+		}
+		// A TRUNCATED stream containing exactly the prefix must decode
+		// this level (progressive-transmission property).
+		trunc, err := DeserializeLoD(d, stream[:lod.PrefixBytes], 7, level)
+		if err != nil {
+			t.Fatalf("level %d: prefix decode failed: %v", level, err)
+		}
+		if len(trunc.Codes) != len(lod.Codes) {
+			t.Fatalf("level %d: prefix decode differs", level)
+		}
+		prev = lod.PrefixBytes
+	}
+}
+
+func TestLoDUpscaleWithinCells(t *testing.T) {
+	d := dev()
+	vc := randomCloud(34, 1000, 8)
+	res, _ := Build(d, vc)
+	stream := res.Tree.Serialize(d)
+	lod, err := DeserializeLoD(d, stream, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := lod.UpscaleToLattice(d, 8)
+	if len(coarse) != len(lod.Codes) {
+		t.Fatal("upscale length mismatch")
+	}
+	// Every coarse point must be the centre of its level-4 cell, and every
+	// original voxel must be within half a cell of some coarse point along
+	// each axis.
+	cellSet := map[morton.Code]geom.Voxel{}
+	for i, c := range lod.Codes {
+		cellSet[c] = coarse[i]
+	}
+	const cellShift = 4 // depth 8, level 4
+	for _, orig := range vc.Voxels {
+		code := morton.Encode(orig.X, orig.Y, orig.Z).AncestorAt(cellShift)
+		cv, ok := cellSet[code]
+		if !ok {
+			t.Fatalf("original voxel %v has no coarse cell", orig)
+		}
+		half := uint32(1) << (cellShift - 1)
+		if diffU32(cv.X, orig.X) > half || diffU32(cv.Y, orig.Y) > half || diffU32(cv.Z, orig.Z) > half {
+			t.Fatalf("coarse point %v too far from original %v", cv, orig)
+		}
+	}
+}
+
+func diffU32(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestLoDErrors(t *testing.T) {
+	d := dev()
+	if _, err := DeserializeLoD(d, []byte{1}, 0, 1); err == nil {
+		t.Error("bad depth must fail")
+	}
+	if _, err := DeserializeLoD(d, []byte{1, 1}, 4, 3); err == nil {
+		t.Error("truncated stream must fail")
+	}
+	if _, err := DeserializeLoD(d, []byte{0}, 4, 2); err == nil {
+		t.Error("zero mask must fail")
+	}
+	lod, err := DeserializeLoD(d, nil, 4, 2)
+	if err != nil || lod.Codes != nil {
+		t.Errorf("empty stream: %v %v", lod, err)
+	}
+	// Level clamping.
+	vc := randomCloud(35, 100, 4)
+	res, _ := Build(d, vc)
+	stream := res.Tree.Serialize(d)
+	over, err := DeserializeLoD(d, stream, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Level != 4 {
+		t.Fatalf("level clamp = %d", over.Level)
+	}
+}

@@ -1,0 +1,186 @@
+package paroctree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+// Serialize emits the occupancy stream in breadth-first (level) order:
+// all depth-0 masks, then depth-1, and so on down to depth Depth-1 (leaf
+// nodes carry no mask). Within a level nodes are in ascending Morton order,
+// which is exactly the order a level-wise decoder regenerates, so the
+// stream is self-describing given the depth.
+//
+// BFS order (rather than the baseline's DFS) is what makes the DECODER
+// parallelizable too (Sec. IV-B3 notes decompression also runs in parallel):
+// each level's masks expand independently once the previous level's node
+// list is known.
+func (t *Tree) Serialize(dev *edgesim.Device) []byte {
+	internal := t.LevelOffsets[t.Depth] // nodes below this index have children
+	out := make([]byte, internal)
+	dev.GPUKernelIdx("SerializePack", internal, costPack, func(i int) {
+		out[i] = t.Occupy[i]
+	})
+	return out
+}
+
+// ErrBadStream reports a malformed occupancy stream.
+var ErrBadStream = errors.New("paroctree: malformed occupancy stream")
+
+// Deserialize reconstructs the leaf Morton codes from a BFS occupancy
+// stream. The expansion proceeds level by level; within a level every node
+// expands independently (flag/scan/compact again), which the device ledger
+// records as the parallel decode path.
+func Deserialize(dev *edgesim.Device, stream []byte, depth uint) ([]morton.Code, error) {
+	if depth == 0 || depth > 21 {
+		return nil, fmt.Errorf("paroctree: depth %d out of range [1,21]", depth)
+	}
+	if len(stream) == 0 {
+		return nil, nil
+	}
+	// The per-level offset scan is serial in this implementation; the
+	// paper's decode is similarly "sub-optimal" (Sec. IV-B3, ~70 ms/frame
+	// end-to-end for Redandblack).
+	dev.CPUSerial("DecodeScan", len(stream), edgesim.Cost{OpsPerItem: 25, BytesPerItem: 2}, func() {})
+	codes := []morton.Code{0} // root
+	pos := 0
+	for d := uint(0); d < depth; d++ {
+		if pos+len(codes) > len(stream) {
+			return nil, ErrBadStream
+		}
+		masks := stream[pos : pos+len(codes)]
+		pos += len(codes)
+
+		// Exclusive scan of child counts gives each node its write offset.
+		offsets := make([]int, len(codes)+1)
+		for i, m := range masks {
+			if m == 0 {
+				return nil, fmt.Errorf("paroctree: zero occupancy mask at depth %d node %d", d, i)
+			}
+			offsets[i+1] = offsets[i] + popcount8(m)
+		}
+		next := make([]morton.Code, offsets[len(codes)])
+		parent := codes
+		dev.GPUKernelIdx("DecodeExpand", len(parent), edgesim.Cost{OpsPerItem: 30, BytesPerItem: 10}, func(i int) {
+			w := offsets[i]
+			base := parent[i] << 3
+			for b := uint(0); b < 8; b++ {
+				if masks[i]>>b&1 == 1 {
+					next[w] = base | morton.Code(b)
+					w++
+				}
+			}
+		})
+		codes = next
+	}
+	if pos != len(stream) {
+		return nil, fmt.Errorf("paroctree: %d trailing bytes", len(stream)-pos)
+	}
+	return codes, nil
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for b != 0 {
+		n += int(b & 1)
+		b >>= 1
+	}
+	return n
+}
+
+// CodesToVoxels decodes Morton leaf codes into voxel positions (attributes
+// zeroed; the attribute decoder fills them in).
+func CodesToVoxels(dev *edgesim.Device, codes []morton.Code, depth uint) []geom.Voxel {
+	out := make([]geom.Voxel, len(codes))
+	dev.GPUKernelIdx("MortonDecode", len(codes), costMortonGen, func(i int) {
+		x, y, z := codes[i].Decode()
+		out[i] = geom.Voxel{X: x, Y: y, Z: z}
+	})
+	return out
+}
+
+// Rescale models the quality cost of the paper's parallel pipeline
+// (Sec. IV-B3): the parallel build computes a tight per-axis bounding
+// cuboid and maps it onto the lattice, so decoded coordinates can shift
+// slightly relative to the original lattice (their Fig. 5 example decodes
+// P0 = [0,0,0] as [-0.43,0,0]). Applying Rescale before building and
+// InverseRescale after decoding reproduces this sub-voxel geometry error
+// (keeping geometry PSNR high but finite, >70 dB at depth 10).
+type Rescale struct {
+	MinX, MinY, MinZ uint32
+	// Per-axis scales mapping original coordinates into the tight cuboid
+	// (fixed-point, 16 fractional bits). FitRescale uses one UNIFORM scale
+	// (the paper's cuboid is translated and fit by its longest side, Fig. 5
+	// — stretching the short axes independently would inflate the octree's
+	// occupied-node count and hurt the compressed size); the three fields
+	// exist so the container format also supports anisotropic transforms.
+	ScaleX, ScaleY, ScaleZ uint64
+}
+
+// FitRescale computes the tight-cuboid transform for a cloud.
+func FitRescale(vc *geom.VoxelCloud) Rescale {
+	ident := uint64(1 << 16)
+	if vc.Len() == 0 {
+		return Rescale{ScaleX: ident, ScaleY: ident, ScaleZ: ident}
+	}
+	minX, minY, minZ := ^uint32(0), ^uint32(0), ^uint32(0)
+	var maxX, maxY, maxZ uint32
+	for _, v := range vc.Voxels {
+		minX = min(minX, v.X)
+		minY = min(minY, v.Y)
+		minZ = min(minZ, v.Z)
+		maxX = max(maxX, v.X)
+		maxY = max(maxY, v.Y)
+		maxZ = max(maxZ, v.Z)
+	}
+	grid := (uint32(1) << vc.Depth) - 1
+	extent := max(maxX-minX, max(maxY-minY, maxZ-minZ))
+	scale := ident
+	if extent > 0 {
+		scale = uint64(grid) << 16 / uint64(extent)
+	}
+	return Rescale{
+		MinX: minX, MinY: minY, MinZ: minZ,
+		ScaleX: scale, ScaleY: scale, ScaleZ: scale,
+	}
+}
+
+// Identity reports whether the transform is a no-op.
+func (r Rescale) Identity() bool {
+	const ident = 1 << 16
+	return r.MinX == 0 && r.MinY == 0 && r.MinZ == 0 &&
+		r.ScaleX == ident && r.ScaleY == ident && r.ScaleZ == ident
+}
+
+func applyAxis(c, mn uint32, scale uint64) uint32 {
+	return uint32((uint64(c-mn)*scale + 1<<15) >> 16)
+}
+
+func invertAxis(c, mn uint32, scale uint64) uint32 {
+	return mn + uint32((uint64(c)<<16+scale/2)/scale)
+}
+
+// Apply maps a voxel into the tight cuboid lattice (round-to-nearest).
+func (r Rescale) Apply(v geom.Voxel) geom.Voxel {
+	return geom.Voxel{
+		X: applyAxis(v.X, r.MinX, r.ScaleX),
+		Y: applyAxis(v.Y, r.MinY, r.ScaleY),
+		Z: applyAxis(v.Z, r.MinZ, r.ScaleZ),
+		C: v.C,
+	}
+}
+
+// Invert maps a tight-lattice voxel back to original coordinates
+// (round-to-nearest; the source of the sub-voxel error).
+func (r Rescale) Invert(v geom.Voxel) geom.Voxel {
+	return geom.Voxel{
+		X: invertAxis(v.X, r.MinX, r.ScaleX),
+		Y: invertAxis(v.Y, r.MinY, r.ScaleY),
+		Z: invertAxis(v.Z, r.MinZ, r.ScaleZ),
+		C: v.C,
+	}
+}

@@ -1,0 +1,324 @@
+package predlift
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/edgesim"
+	"repro/internal/entropy"
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+// Lifting Transform — the third G-PCC attribute method the paper lists
+// (Sec. II-B). Like the Predicting Transform it is built on hierarchical
+// nearest-neighbour interpolation, but it adds the UPDATE step of a lifting
+// scheme: the signal is split level-by-level into a coarse half and a
+// detail half (even/odd positions in Morton order), details are predicted
+// from the coarse half and their residuals coded, and the residuals are
+// fed back to smooth the coarse half before the next level. The update
+// step is what makes the multi-resolution decomposition energy-compacting;
+// it also makes the walk even more serial than plain prediction — another
+// data point for the paper's under-parallelism diagnosis.
+
+// costLift is the serial CPU cost per point-level visit.
+var costLift = edgesim.Cost{OpsPerItem: 1100, BytesPerItem: 48}
+
+// LiftParams configures the lifting codec.
+type LiftParams struct {
+	// Neighbors used for prediction at each level (G-PCC: 3).
+	Neighbors int
+	// QStep quantizes detail coefficients.
+	QStep int
+	// MinCoarse stops the recursion when a level has this few points.
+	MinCoarse int
+}
+
+// DefaultLiftParams mirrors a common G-PCC configuration.
+func DefaultLiftParams() LiftParams { return LiftParams{Neighbors: 3, QStep: 1, MinCoarse: 8} }
+
+func (p LiftParams) normalized() LiftParams {
+	if p.Neighbors < 1 {
+		p.Neighbors = 1
+	}
+	if p.QStep < 1 {
+		p.QStep = 1
+	}
+	if p.MinCoarse < 2 {
+		p.MinCoarse = 2
+	}
+	return p
+}
+
+// levelSplit returns the index lists of one even/odd split of `idx`
+// (indices into the sorted frame): evens keep Morton parity-0 positions.
+func levelSplit(idx []int32) (even, odd []int32) {
+	even = make([]int32, 0, (len(idx)+1)/2)
+	odd = make([]int32, 0, len(idx)/2)
+	for i, id := range idx {
+		if i%2 == 0 {
+			even = append(even, id)
+		} else {
+			odd = append(odd, id)
+		}
+	}
+	return even, odd
+}
+
+// neighborsOf finds the k nearest (by position) members of `coarse` around
+// sorted index position; both sides derive it from geometry alone.
+func neighborsOf(sorted []morton.Keyed, coarse []int32, target int32, k int) []int32 {
+	// coarse is in ascending sorted-index order; binary search the
+	// insertion point and scan outwards.
+	lo, hi := 0, len(coarse)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if coarse[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	type cand struct {
+		id int32
+		d2 float64
+	}
+	best := make([]cand, 0, k)
+	push := func(id int32) {
+		d2 := sorted[target].Voxel.Dist2(sorted[id].Voxel)
+		c := cand{id, d2}
+		inserted := false
+		for j := range best {
+			if c.d2 < best[j].d2 {
+				best = append(best[:j], append([]cand{c}, best[j:]...)...)
+				inserted = true
+				break
+			}
+		}
+		if !inserted && len(best) < k {
+			best = append(best, c)
+		}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	// Scan a bounded neighbourhood on both sides (Morton locality makes
+	// near-index entries near in space).
+	const scan = 8
+	for off := 1; off <= scan; off++ {
+		if i := lo - off; i >= 0 {
+			push(coarse[i])
+		}
+		if i := lo + off - 1; i < len(coarse) {
+			push(coarse[i])
+		}
+	}
+	out := make([]int32, len(best))
+	for i, c := range best {
+		out[i] = c.id
+	}
+	return out
+}
+
+// liftPredict computes the inverse-distance-weighted prediction of target
+// from vals at the neighbour indices.
+func liftPredict(sorted []morton.Keyed, vals [][3]float64, nbrs []int32, target int32) ([3]float64, []float64) {
+	if len(nbrs) == 0 {
+		return [3]float64{128, 128, 128}, nil
+	}
+	weights := make([]float64, len(nbrs))
+	var wsum float64
+	var acc [3]float64
+	for i, id := range nbrs {
+		w := 1 / (1 + math.Sqrt(sorted[target].Voxel.Dist2(sorted[id].Voxel)))
+		weights[i] = w
+		wsum += w
+		for ch := 0; ch < 3; ch++ {
+			acc[ch] += w * vals[id][ch]
+		}
+	}
+	for ch := 0; ch < 3; ch++ {
+		acc[ch] /= wsum
+	}
+	for i := range weights {
+		weights[i] /= wsum
+	}
+	return acc, weights
+}
+
+// ErrLiftMismatch reports geometry/stream disagreement.
+var ErrLiftMismatch = errors.New("predlift: lifting stream does not match geometry")
+
+// EncodeLifting compresses the attribute column of a Morton-sorted frame
+// with the lifting transform.
+func EncodeLifting(dev *edgesim.Device, sorted []morton.Keyed, p LiftParams) ([]byte, error) {
+	p = p.normalized()
+	enc := entropy.NewEncoder()
+	nm := entropy.NewUintModel()
+	nm.Encode(enc, uint64(len(sorted)))
+	res := entropy.NewIntModel()
+
+	vals := make([][3]float64, len(sorted))
+	for i := range sorted {
+		c := sorted[i].Voxel.C
+		vals[i] = [3]float64{float64(c.R), float64(c.G), float64(c.B)}
+	}
+	all := make([]int32, len(sorted))
+	for i := range all {
+		all[i] = int32(i)
+	}
+
+	dev.CPUSerial("LiftTransform", len(sorted), costLift, func() {
+		encodeLiftLevel(enc, res, sorted, vals, all, p)
+	})
+	return enc.Bytes(), nil
+}
+
+// encodeLiftLevel recursively codes one split level.
+func encodeLiftLevel(enc *entropy.Encoder, res *entropy.IntModel, sorted []morton.Keyed, vals [][3]float64, idx []int32, p LiftParams) {
+	if len(idx) <= p.MinCoarse {
+		// Base level: code values directly (quantized).
+		q := float64(p.QStep)
+		for _, id := range idx {
+			for ch := 0; ch < 3; ch++ {
+				qv := int64(math.Round(vals[id][ch] / q))
+				res.Encode(enc, qv)
+				vals[id][ch] = float64(qv) * q // track reconstruction
+			}
+		}
+		return
+	}
+	even, odd := levelSplit(idx)
+
+	// PREDICT: details of odd points vs prediction from even points, and
+	// UPDATE bookkeeping for the feedback pass.
+	type detail struct {
+		id      int32
+		nbrs    []int32
+		weights []float64
+		qd      [3]int64
+	}
+	details := make([]detail, len(odd))
+	q := float64(p.QStep)
+	for i, id := range odd {
+		nbrs := neighborsOf(sorted, even, id, p.Neighbors)
+		pred, weights := liftPredict(sorted, vals, nbrs, id)
+		var qd [3]int64
+		for ch := 0; ch < 3; ch++ {
+			d := vals[id][ch] - pred[ch]
+			qd[ch] = int64(math.Round(d / q))
+			// Reconstruction the decoder will compute.
+			vals[id][ch] = pred[ch] + float64(qd[ch])*q
+		}
+		details[i] = detail{id: id, nbrs: nbrs, weights: weights, qd: qd}
+	}
+
+	// UPDATE: feed quantized details back into the even (coarse) values so
+	// the next level codes a smoothed signal. Uses RECONSTRUCTED details,
+	// so the decoder can invert exactly.
+	for _, d := range details {
+		for k, nb := range d.nbrs {
+			for ch := 0; ch < 3; ch++ {
+				vals[nb][ch] += 0.5 * d.weights[k] * float64(d.qd[ch]) * q
+			}
+		}
+	}
+
+	// Emit details AFTER the recursion so the decoder, which must undo the
+	// update before predicting, reads coarse-first.
+	encodeLiftLevel(enc, res, sorted, vals, even, p)
+	for _, d := range details {
+		for ch := 0; ch < 3; ch++ {
+			res.Encode(enc, d.qd[ch])
+		}
+	}
+}
+
+// DecodeLifting inverts EncodeLifting given the decoded geometry.
+func DecodeLifting(dev *edgesim.Device, data []byte, sorted []morton.Keyed, p LiftParams) ([]geom.Color, error) {
+	p = p.normalized()
+	dec, err := entropy.NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	nm := entropy.NewUintModel()
+	if nm.Decode(dec) != uint64(len(sorted)) {
+		return nil, ErrLiftMismatch
+	}
+	res := entropy.NewIntModel()
+	vals := make([][3]float64, len(sorted))
+	all := make([]int32, len(sorted))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	dev.CPUSerial("LiftInverse", len(sorted), costLift, func() {
+		decodeLiftLevel(dec, res, sorted, vals, all, p)
+	})
+	out := make([]geom.Color, len(sorted))
+	for i, v := range vals {
+		out[i] = geom.Color{R: clampF(v[0]), G: clampF(v[1]), B: clampF(v[2])}
+	}
+	return out, nil
+}
+
+func decodeLiftLevel(dec *entropy.Decoder, res *entropy.IntModel, sorted []morton.Keyed, vals [][3]float64, idx []int32, p LiftParams) {
+	if len(idx) <= p.MinCoarse {
+		q := float64(p.QStep)
+		for _, id := range idx {
+			for ch := 0; ch < 3; ch++ {
+				vals[id][ch] = float64(res.Decode(dec)) * q
+			}
+		}
+		return
+	}
+	even, odd := levelSplit(idx)
+	// Coarse first (matches encoder's emit order).
+	decodeLiftLevel(dec, res, sorted, vals, even, p)
+
+	// Read details, compute neighbour sets (geometry-only, identical to the
+	// encoder's), UNDO the update, then predict + add details.
+	type detail struct {
+		id      int32
+		nbrs    []int32
+		weights []float64
+		qd      [3]int64
+	}
+	details := make([]detail, len(odd))
+	q := float64(p.QStep)
+	for i, id := range odd {
+		nbrs := neighborsOf(sorted, even, id, p.Neighbors)
+		// Weights depend only on geometry.
+		_, weights := liftPredict(sorted, vals, nbrs, id)
+		var qd [3]int64
+		for ch := 0; ch < 3; ch++ {
+			qd[ch] = res.Decode(dec)
+		}
+		details[i] = detail{id: id, nbrs: nbrs, weights: weights, qd: qd}
+	}
+	// Undo update (reverse order is unnecessary — updates are additive).
+	for _, d := range details {
+		for k, nb := range d.nbrs {
+			for ch := 0; ch < 3; ch++ {
+				vals[nb][ch] -= 0.5 * d.weights[k] * float64(d.qd[ch]) * q
+			}
+		}
+	}
+	// Predict from the restored coarse values and add details.
+	for _, d := range details {
+		pred, _ := liftPredict(sorted, vals, d.nbrs, d.id)
+		for ch := 0; ch < 3; ch++ {
+			vals[d.id][ch] = pred[ch] + float64(d.qd[ch])*q
+		}
+	}
+}
+
+func clampF(v float64) uint8 {
+	r := math.Round(v)
+	if r < 0 {
+		return 0
+	}
+	if r > 255 {
+		return 255
+	}
+	return uint8(r)
+}

@@ -1,0 +1,145 @@
+package predlift
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/edgesim"
+)
+
+func liftPSNR(t *testing.T, n int, p LiftParams) (psnr float64, bytes int) {
+	t.Helper()
+	sorted := smoothFrame(11, n)
+	d := dev()
+	data, err := EncodeLifting(d, sorted, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLifting(d, data, sorted, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := range sorted {
+		dr, dg, db := got[i].Sub(sorted[i].Voxel.C)
+		mse += float64(dr*dr+dg*dg+db*db) / 3
+	}
+	mse /= float64(len(sorted))
+	return 10 * math.Log10(255*255/math.Max(mse, 1e-9)), len(data)
+}
+
+func TestLiftingRoundTripNearLossless(t *testing.T) {
+	// Lifting with quantization propagates bounded coarse error through
+	// the prediction (standard for lifting schemes); q=1 must stay well
+	// above 45 dB.
+	psnr, _ := liftPSNR(t, 2000, DefaultLiftParams())
+	if psnr < 45 {
+		t.Fatalf("lifting q=1 PSNR %.1f dB", psnr)
+	}
+}
+
+func TestLiftingQuantizationTradeoff(t *testing.T) {
+	p := DefaultLiftParams()
+	psnr1, bytes1 := liftPSNR(t, 2000, p)
+	p.QStep = 8
+	psnr8, bytes8 := liftPSNR(t, 2000, p)
+	if bytes8 >= bytes1 {
+		t.Fatalf("coarser quantization must shrink the stream: %d vs %d", bytes8, bytes1)
+	}
+	if psnr8 >= psnr1 {
+		t.Fatalf("coarser quantization must cost quality: %.1f vs %.1f", psnr8, psnr1)
+	}
+	if psnr8 < 30 {
+		t.Fatalf("q=8 PSNR %.1f dB unreasonably low", psnr8)
+	}
+}
+
+func TestLiftingCompresses(t *testing.T) {
+	sorted := smoothFrame(12, 3000)
+	d := dev()
+	data, err := EncodeLifting(d, sorted, DefaultLiftParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 3 * len(sorted)
+	if len(data) >= raw {
+		t.Fatalf("lifting stream %d >= raw %d", len(data), raw)
+	}
+}
+
+func TestLiftingEmptyAndTiny(t *testing.T) {
+	d := dev()
+	for _, n := range []int{0, 1, 2, 7, 9} {
+		sorted := smoothFrame(13, n)
+		data, err := EncodeLifting(d, sorted, DefaultLiftParams())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := DecodeLifting(d, data, sorted, DefaultLiftParams())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(got))
+		}
+		for i := range sorted {
+			dr, dg, db := got[i].Sub(sorted[i].Voxel.C)
+			if abs(dr) > 1 || abs(dg) > 1 || abs(db) > 1 {
+				t.Fatalf("n=%d point %d: error too large (%d,%d,%d)", n, i, dr, dg, db)
+			}
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestLiftingMismatch(t *testing.T) {
+	sorted := smoothFrame(14, 64)
+	d := dev()
+	data, err := EncodeLifting(d, sorted, DefaultLiftParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeLifting(d, data, sorted[:32], DefaultLiftParams()); err != ErrLiftMismatch {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := DecodeLifting(d, nil, sorted, DefaultLiftParams()); err == nil {
+		t.Fatal("nil stream must fail")
+	}
+}
+
+func TestLevelSplit(t *testing.T) {
+	even, odd := levelSplit([]int32{0, 1, 2, 3, 4})
+	if len(even) != 3 || len(odd) != 2 || even[0] != 0 || odd[0] != 1 {
+		t.Fatalf("split = %v %v", even, odd)
+	}
+	e2, o2 := levelSplit(nil)
+	if len(e2) != 0 || len(o2) != 0 {
+		t.Fatal("empty split")
+	}
+}
+
+func TestLiftingSerialAccounting(t *testing.T) {
+	sorted := smoothFrame(15, 300)
+	d := dev()
+	if _, err := EncodeLifting(d, sorted, DefaultLiftParams()); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range d.Kernels() {
+		if k.Name == "LiftTransform" {
+			found = true
+			if k.Engine != edgesim.EngineCPU {
+				t.Fatal("lifting must be CPU-serial")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("LiftTransform missing from ledger")
+	}
+}

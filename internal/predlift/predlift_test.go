@@ -1,0 +1,176 @@
+package predlift
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+func dev() *edgesim.Device { return edgesim.NewXavier(edgesim.Mode15W) }
+
+// smoothFrame builds a Morton-sorted frame with spatially smooth colours.
+func smoothFrame(seed int64, n int) []morton.Keyed {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[morton.Code]bool{}
+	var keyed []morton.Keyed
+	for len(keyed) < n {
+		x, y, z := uint32(rng.Intn(256)), uint32(rng.Intn(256)), uint32(rng.Intn(256))
+		c := morton.Encode(x, y, z)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		keyed = append(keyed, morton.Keyed{Code: c, Voxel: geom.Voxel{
+			X: x, Y: y, Z: z,
+			C: geom.Color{R: uint8(x), G: uint8(y), B: uint8((x + y + z) / 3)},
+		}})
+	}
+	morton.Sort(keyed)
+	return keyed
+}
+
+func TestRoundTripLossless(t *testing.T) {
+	sorted := smoothFrame(1, 2000)
+	d := dev()
+	p := DefaultParams() // QStep 1
+	data, err := Encode(d, sorted, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(d, data, sorted, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sorted {
+		if got[i] != sorted[i].Voxel.C {
+			t.Fatalf("point %d: %v != %v", i, got[i], sorted[i].Voxel.C)
+		}
+	}
+}
+
+func TestRoundTripQuantized(t *testing.T) {
+	sorted := smoothFrame(2, 1500)
+	d := dev()
+	p := DefaultParams()
+	p.QStep = 6
+	data, err := Encode(d, sorted, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(d, data, sorted, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := range sorted {
+		dr, dg, db := got[i].Sub(sorted[i].Voxel.C)
+		mse += float64(dr*dr+dg*dg+db*db) / 3
+	}
+	mse /= float64(len(sorted))
+	if psnr := 10 * math.Log10(255*255/mse); psnr < 35 {
+		t.Fatalf("quantized PSNR %.1f dB too low", psnr)
+	}
+}
+
+func TestPredictionCompressesSmoothData(t *testing.T) {
+	// Dense frame: neighbours are close, so prediction works well.
+	rng := rand.New(rand.NewSource(3))
+	seen := map[morton.Code]bool{}
+	var sorted []morton.Keyed
+	for len(sorted) < 4000 {
+		x, y, z := uint32(rng.Intn(32)), uint32(rng.Intn(32)), uint32(rng.Intn(32))
+		c := morton.Encode(x, y, z)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		sorted = append(sorted, morton.Keyed{Code: c, Voxel: geom.Voxel{
+			X: x, Y: y, Z: z,
+			C: geom.Color{R: uint8(4 * x), G: uint8(4 * y), B: uint8(4 * z)},
+		}})
+	}
+	morton.Sort(sorted)
+	d := dev()
+	data, err := Encode(d, sorted, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 3 * len(sorted)
+	if len(data) >= raw*2/3 {
+		t.Fatalf("predicted stream %d >= 2/3 raw %d", len(data), raw*2/3)
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	d := dev()
+	data, err := Encode(d, nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(d, data, nil, DefaultParams())
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestGeometryMismatchDetected(t *testing.T) {
+	sorted := smoothFrame(4, 100)
+	d := dev()
+	data, err := Encode(d, sorted, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(d, data, sorted[:50], DefaultParams()); err != ErrGeometryMismatch {
+		t.Fatalf("err = %v, want ErrGeometryMismatch", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(dev(), nil, nil, DefaultParams()); err == nil {
+		t.Fatal("nil stream must fail")
+	}
+}
+
+func TestParamsNormalization(t *testing.T) {
+	p := Params{}.normalized()
+	if p.Neighbors < 1 || p.Window < p.Neighbors || p.QStep < 1 {
+		t.Fatalf("normalized params invalid: %+v", p)
+	}
+}
+
+func TestPredictFirstPointUsesPrior(t *testing.T) {
+	sorted := smoothFrame(5, 10)
+	pred := predict(sorted, make([][3]int32, len(sorted)), 0, DefaultParams().normalized())
+	if pred != [3]int32{128, 128, 128} {
+		t.Fatalf("first-point prior = %v", pred)
+	}
+}
+
+func TestSerialAccounting(t *testing.T) {
+	sorted := smoothFrame(6, 500)
+	d := dev()
+	if _, err := Encode(d, sorted, DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range d.Kernels() {
+		if k.Engine != edgesim.EngineCPU {
+			t.Fatalf("kernel %s must be CPU work", k.Name)
+		}
+	}
+}
+
+func BenchmarkPredEncode5K(b *testing.B) {
+	sorted := smoothFrame(7, 5000)
+	d := dev()
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(d, sorted, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

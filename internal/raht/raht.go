@@ -1,0 +1,285 @@
+// Package raht implements the BASELINE attribute transform the paper
+// compares against: the Region-Adaptive Hierarchical Transform of
+// de Queiroz & Chou [14], as used by TMC13's attribute path (Sec. IV-C1).
+//
+// RAHT walks the octree bottom-up. At each of the 3*Depth binary steps it
+// merges sibling nodes along one axis with the orthonormal butterfly of
+// Equ. 1: the low-pass coefficient (weighted mean) is promoted to the next
+// level, the high-pass coefficient (weighted difference) is quantized and
+// entropy-coded. The walk is inherently SEQUENTIAL ACROSS LEVELS — the
+// paper's motivation for replacing it — and our device accounting books it
+// as serial CPU work (Fig. 2 charges it ~2.6 s per ~1 M-point frame).
+//
+// The decoder regenerates the identical merge schedule from the decoded
+// geometry and inverts the butterflies top-down, so only the coefficients
+// travel in the bitstream.
+package raht
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/edgesim"
+	"repro/internal/entropy"
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+// costTransform is the calibrated serial cost of one node visit (all three
+// channels) in one butterfly pass; it lands the full transform at the
+// paper's ~2.6 s for ~0.8 M points on the Xavier model.
+var costTransform = edgesim.Cost{OpsPerItem: 940, BytesPerItem: 48}
+
+// costEntropy is the serial cost per coefficient of quantization plus
+// arithmetic coding.
+var costEntropy = edgesim.Cost{OpsPerItem: 180, BytesPerItem: 10}
+
+// Codec is a RAHT attribute encoder/decoder. QStep is the uniform
+// quantization step applied to high-pass coefficients (1 = near-lossless;
+// TMC13's "almost-lossless" setting in the paper's evaluation).
+type Codec struct {
+	QStep float64
+}
+
+// node is one active node during the bottom-up walk.
+type node struct {
+	code   morton.Code // code at the current (partial) level
+	weight float64     // number of voxels merged into this node
+	attr   [3]float64  // per-channel running low-pass value
+}
+
+// ErrGeometryMismatch reports attribute/geometry disagreement.
+var ErrGeometryMismatch = errors.New("raht: attribute count does not match geometry")
+
+// schedule enumerates the merge structure: for every binary pass, which
+// consecutive node pairs merge. It is a pure function of the sorted leaf
+// codes, so encoder and decoder derive it independently.
+//
+// The returned passes list, for each pass, the node count entering the pass
+// and the indices (into that pass's node list) where a merge happens.
+func schedule(codes []morton.Code, depth uint) (passes [][]int, sizes []int) {
+	cur := make([]morton.Code, len(codes))
+	copy(cur, codes)
+	totalPasses := int(3 * depth)
+	passes = make([][]int, totalPasses)
+	sizes = make([]int, totalPasses)
+	for p := 0; p < totalPasses; p++ {
+		sizes[p] = len(cur)
+		var merges []int
+		next := cur[:0]
+		for i := 0; i < len(cur); {
+			if i+1 < len(cur) && cur[i]>>1 == cur[i+1]>>1 {
+				merges = append(merges, i)
+				next = append(next, cur[i]>>1)
+				i += 2
+			} else {
+				next = append(next, cur[i]>>1)
+				i++
+			}
+		}
+		passes[p] = merges
+		cur = next
+	}
+	return passes, sizes
+}
+
+// butterfly applies the Equ. 1 forward transform.
+func butterfly(w1, w2 float64, a1, a2 [3]float64) (lc, hc [3]float64) {
+	s1, s2 := math.Sqrt(w1), math.Sqrt(w2)
+	inv := 1 / math.Sqrt(w1+w2)
+	for c := 0; c < 3; c++ {
+		lc[c] = (s1*a1[c] + s2*a2[c]) * inv
+		hc[c] = (-s2*a1[c] + s1*a2[c]) * inv
+	}
+	return lc, hc
+}
+
+// invButterfly inverts butterfly (the matrix is orthonormal).
+func invButterfly(w1, w2 float64, lc, hc [3]float64) (a1, a2 [3]float64) {
+	s1, s2 := math.Sqrt(w1), math.Sqrt(w2)
+	inv := 1 / math.Sqrt(w1+w2)
+	for c := 0; c < 3; c++ {
+		a1[c] = (s1*lc[c] - s2*hc[c]) * inv
+		a2[c] = (s2*lc[c] + s1*hc[c]) * inv
+	}
+	return a1, a2
+}
+
+// Encode transforms and entropy-codes the attributes of a Morton-sorted,
+// deduplicated frame. codes and colors must be parallel slices (the sorted
+// geometry order).
+func (cc Codec) Encode(dev *edgesim.Device, codes []morton.Code, colors []geom.Color, depth uint) ([]byte, error) {
+	if len(codes) != len(colors) {
+		return nil, ErrGeometryMismatch
+	}
+	if len(codes) == 0 {
+		return []byte{}, nil
+	}
+	q := cc.QStep
+	if q <= 0 {
+		q = 1
+	}
+
+	nodes := make([]node, len(codes))
+	for i := range codes {
+		nodes[i] = node{
+			code:   codes[i],
+			weight: 1,
+			attr:   [3]float64{float64(colors[i].R), float64(colors[i].G), float64(colors[i].B)},
+		}
+	}
+
+	enc := entropy.NewEncoder()
+	coefModel := entropy.NewIntModel()
+	nCoef := 0
+
+	totalPasses := int(3 * depth)
+	for p := 0; p < totalPasses; p++ {
+		visits := len(nodes)
+		dev.CPUSerial("RAHT_Transform", visits, costTransform, func() {
+			next := nodes[:0]
+			for i := 0; i < len(nodes); {
+				if i+1 < len(nodes) && nodes[i].code>>1 == nodes[i+1].code>>1 {
+					lc, hc := butterfly(nodes[i].weight, nodes[i+1].weight, nodes[i].attr, nodes[i+1].attr)
+					for c := 0; c < 3; c++ {
+						qv := int64(math.Round(hc[c] / q))
+						coefModel.Encode(enc, qv)
+						nCoef++
+					}
+					next = append(next, node{
+						code:   nodes[i].code >> 1,
+						weight: nodes[i].weight + nodes[i+1].weight,
+						attr:   lc,
+					})
+					i += 2
+				} else {
+					n := nodes[i]
+					n.code >>= 1
+					next = append(next, n)
+					i++
+				}
+			}
+			nodes = next
+		})
+	}
+	if len(nodes) != 1 {
+		return nil, fmt.Errorf("raht: transform left %d roots", len(nodes))
+	}
+	// DC coefficients, quantized on the same grid.
+	dev.CPUSerial("RAHT_Entropy", nCoef+3, costEntropy, func() {
+		for c := 0; c < 3; c++ {
+			coefModel.Encode(enc, int64(math.Round(nodes[0].attr[c]/q)))
+		}
+	})
+	return enc.Bytes(), nil
+}
+
+// Decode inverts Encode given the decoded geometry (sorted leaf codes).
+func (cc Codec) Decode(dev *edgesim.Device, data []byte, codes []morton.Code, depth uint) ([]geom.Color, error) {
+	if len(codes) == 0 {
+		return nil, nil
+	}
+	q := cc.QStep
+	if q <= 0 {
+		q = 1
+	}
+	dec, err := entropy.NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	coefModel := entropy.NewIntModel()
+
+	// Rebuild the merge schedule from geometry, reading the quantized HC
+	// coefficients in encoder order (bottom-up), then invert top-down.
+	passes, sizes := schedule(codes, depth)
+
+	hcs := make([][][3]float64, len(passes))
+	dev.CPUSerial("RAHT_EntropyDecode", len(codes)*3, costEntropy, func() {
+		for p := range passes {
+			hcs[p] = make([][3]float64, len(passes[p]))
+			for m := range passes[p] {
+				for c := 0; c < 3; c++ {
+					hcs[p][m][c] = float64(coefModel.Decode(dec)) * q
+				}
+			}
+		}
+	})
+
+	// DC.
+	var dc [3]float64
+	for c := 0; c < 3; c++ {
+		dc[c] = float64(coefModel.Decode(dec)) * q
+	}
+
+	// Reconstruct weights bottom-up (pure geometry), then attributes
+	// top-down.
+	weights := make([][]float64, len(passes)+1)
+	weights[0] = make([]float64, len(codes))
+	for i := range weights[0] {
+		weights[0][i] = 1
+	}
+	for p := range passes {
+		w := weights[p]
+		if len(w) != sizes[p] {
+			return nil, fmt.Errorf("raht: internal size mismatch at pass %d", p)
+		}
+		next := make([]float64, 0, sizes[p])
+		mi := 0
+		for i := 0; i < len(w); {
+			if mi < len(passes[p]) && passes[p][mi] == i {
+				next = append(next, w[i]+w[i+1])
+				i += 2
+				mi++
+			} else {
+				next = append(next, w[i])
+				i++
+			}
+		}
+		weights[p+1] = next
+	}
+
+	// Top-down inversion.
+	attrs := [][3]float64{dc}
+	for p := len(passes) - 1; p >= 0; p-- {
+		w := weights[p]
+		cur := attrs
+		expanded := make([][3]float64, 0, len(w))
+		mi := 0
+		ci := 0
+		dev.CPUSerial("RAHT_Inverse", len(w), costTransform, func() {
+			for i := 0; i < len(w); {
+				if mi < len(passes[p]) && passes[p][mi] == i {
+					a1, a2 := invButterfly(w[i], w[i+1], cur[ci], hcs[p][mi])
+					expanded = append(expanded, a1, a2)
+					i += 2
+					mi++
+				} else {
+					expanded = append(expanded, cur[ci])
+					i++
+				}
+				ci++
+			}
+		})
+		attrs = expanded
+	}
+	if len(attrs) != len(codes) {
+		return nil, fmt.Errorf("raht: inverse produced %d attrs for %d voxels", len(attrs), len(codes))
+	}
+	out := make([]geom.Color, len(codes))
+	for i, a := range attrs {
+		out[i] = geom.Color{R: clamp255(a[0]), G: clamp255(a[1]), B: clamp255(a[2])}
+	}
+	return out, nil
+}
+
+func clamp255(v float64) uint8 {
+	r := math.Round(v)
+	if r < 0 {
+		return 0
+	}
+	if r > 255 {
+		return 255
+	}
+	return uint8(r)
+}

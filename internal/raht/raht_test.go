@@ -1,0 +1,248 @@
+package raht
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+func dev() *edgesim.Device { return edgesim.NewXavier(edgesim.Mode15W) }
+
+// sortedFrame builds a Morton-sorted deduplicated frame with spatially
+// correlated colours (neighbouring voxels get similar values), the regime
+// RAHT is designed for.
+func sortedFrame(seed int64, n int, depth uint) ([]morton.Code, []geom.Color) {
+	rng := rand.New(rand.NewSource(seed))
+	limit := int(uint32(1) << depth)
+	seen := map[morton.Code]bool{}
+	var codes []morton.Code
+	var colors []geom.Color
+	for len(codes) < n {
+		x, y, z := uint32(rng.Intn(limit)), uint32(rng.Intn(limit)), uint32(rng.Intn(limit))
+		c := morton.Encode(x, y, z)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		codes = append(codes, c)
+		colors = append(colors, geom.Color{
+			R: uint8(100 + 50*int(x)/limit + rng.Intn(4)),
+			G: uint8(80 + 90*int(y)/limit + rng.Intn(4)),
+			B: uint8(60 + 120*int(z)/limit + rng.Intn(4)),
+		})
+	}
+	idx := make([]int, len(codes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return codes[idx[a]] < codes[idx[b]] })
+	sc := make([]morton.Code, len(codes))
+	scc := make([]geom.Color, len(colors))
+	for i, j := range idx {
+		sc[i] = codes[j]
+		scc[i] = colors[j]
+	}
+	return sc, scc
+}
+
+func TestButterflyOrthonormal(t *testing.T) {
+	a1 := [3]float64{10, 20, 30}
+	a2 := [3]float64{14, 18, 40}
+	lc, hc := butterfly(3, 5, a1, a2)
+	// Energy preservation.
+	e1 := 3*dot(a1, a1)/3 + 5*dot(a2, a2)/5 // placeholder to keep shape
+	_ = e1
+	for c := 0; c < 3; c++ {
+		in := a1[c]*a1[c] + a2[c]*a2[c]
+		out := lc[c]*lc[c] + hc[c]*hc[c]
+		if math.Abs(in-out) > 1e-9 {
+			t.Fatalf("channel %d: energy %v -> %v", c, in, out)
+		}
+	}
+	b1, b2 := invButterfly(3, 5, lc, hc)
+	for c := 0; c < 3; c++ {
+		if math.Abs(b1[c]-a1[c]) > 1e-9 || math.Abs(b2[c]-a2[c]) > 1e-9 {
+			t.Fatalf("inverse mismatch channel %d", c)
+		}
+	}
+}
+
+func dot(a, b [3]float64) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+func TestEqualWeightsButterflyIsHaar(t *testing.T) {
+	lc, hc := butterfly(1, 1, [3]float64{4, 0, 0}, [3]float64{2, 0, 0})
+	if math.Abs(lc[0]-6/math.Sqrt2) > 1e-12 {
+		t.Errorf("lc = %v, want %v", lc[0], 6/math.Sqrt2)
+	}
+	if math.Abs(hc[0]+2/math.Sqrt2) > 1e-12 {
+		t.Errorf("hc = %v, want %v", hc[0], -2/math.Sqrt2)
+	}
+}
+
+func TestScheduleMergesToRoot(t *testing.T) {
+	codes, _ := sortedFrame(1, 200, 5)
+	passes, sizes := schedule(codes, 5)
+	if len(passes) != 15 {
+		t.Fatalf("passes = %d, want 15", len(passes))
+	}
+	if sizes[0] != 200 {
+		t.Fatalf("first pass size = %d", sizes[0])
+	}
+	// Total merges must be N-1 (everything folds into one root).
+	merges := 0
+	for _, p := range passes {
+		merges += len(p)
+	}
+	if merges != 199 {
+		t.Fatalf("total merges = %d, want 199", merges)
+	}
+}
+
+func TestRoundTripLossless(t *testing.T) {
+	// QStep <= tiny quantization error: colours must reconstruct exactly
+	// after rounding (integer inputs, orthonormal transform).
+	codes, colors := sortedFrame(2, 500, 6)
+	d := dev()
+	cc := Codec{QStep: 0.01}
+	data, err := cc.Encode(d, codes, colors, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cc.Decode(d, data, codes, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(colors) {
+		t.Fatalf("decoded %d colours, want %d", len(got), len(colors))
+	}
+	for i := range got {
+		if got[i] != colors[i] {
+			t.Fatalf("colour %d: %v != %v", i, got[i], colors[i])
+		}
+	}
+}
+
+func TestRoundTripQuantized(t *testing.T) {
+	codes, colors := sortedFrame(3, 800, 7)
+	d := dev()
+	cc := Codec{QStep: 4}
+	data, err := cc.Encode(d, codes, colors, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cc.Decode(d, data, codes, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantized: small per-channel error, high PSNR.
+	var mse float64
+	for i := range got {
+		dr, dg, db := got[i].Sub(colors[i])
+		mse += float64(dr*dr+dg*dg+db*db) / 3
+	}
+	mse /= float64(len(got))
+	psnr := 10 * math.Log10(255*255/mse)
+	if psnr < 35 {
+		t.Fatalf("PSNR = %.1f dB, want >= 35", psnr)
+	}
+}
+
+func TestQuantizationShrinksStream(t *testing.T) {
+	codes, colors := sortedFrame(4, 1000, 7)
+	d := dev()
+	fine, err := Codec{QStep: 0.5}.Encode(d, codes, colors, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Codec{QStep: 16}.Encode(d, codes, colors, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coarse) >= len(fine) {
+		t.Fatalf("coarse quantization %d >= fine %d bytes", len(coarse), len(fine))
+	}
+}
+
+func TestCompressesCorrelatedAttributes(t *testing.T) {
+	codes, colors := sortedFrame(5, 2000, 8)
+	d := dev()
+	data, err := Codec{QStep: 2}.Encode(d, codes, colors, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 3 * len(colors)
+	if len(data) >= raw {
+		t.Fatalf("RAHT stream %d >= raw %d bytes", len(data), raw)
+	}
+}
+
+func TestMismatchedInputs(t *testing.T) {
+	if _, err := (Codec{}).Encode(dev(), make([]morton.Code, 3), make([]geom.Color, 2), 4); err != ErrGeometryMismatch {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	d := dev()
+	data, err := (Codec{QStep: 1}).Encode(d, nil, nil, 5)
+	if err != nil || len(data) != 0 {
+		t.Fatalf("empty encode: %v %v", data, err)
+	}
+	got, err := (Codec{QStep: 1}).Decode(d, data, nil, 5)
+	if err != nil || got != nil {
+		t.Fatalf("empty decode: %v %v", got, err)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	d := dev()
+	codes := []morton.Code{morton.Encode(3, 1, 2)}
+	colors := []geom.Color{{R: 200, G: 100, B: 50}}
+	cc := Codec{QStep: 1}
+	data, err := cc.Encode(d, codes, colors, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cc.Decode(d, data, codes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != colors[0] {
+		t.Fatalf("single point: %v != %v", got[0], colors[0])
+	}
+}
+
+func TestSerialAccounting(t *testing.T) {
+	// RAHT must be booked as CPU-serial work: simulated time should be
+	// orders of magnitude above a GPU kernel of the same item count.
+	codes, colors := sortedFrame(6, 5000, 8)
+	d := dev()
+	if _, err := (Codec{QStep: 1}).Encode(d, codes, colors, 8); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range d.Kernels() {
+		if k.Engine != edgesim.EngineCPU {
+			t.Fatalf("kernel %s ran on %v, want CPU", k.Name, k.Engine)
+		}
+	}
+	if d.SimTime() <= 0 {
+		t.Fatal("no simulated time accounted")
+	}
+}
+
+func BenchmarkRAHTEncode10K(b *testing.B) {
+	codes, colors := sortedFrame(7, 10000, 10)
+	d := dev()
+	cc := Codec{QStep: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cc.Encode(d, codes, colors, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

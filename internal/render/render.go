@@ -1,0 +1,189 @@
+// Package render implements the final stage of the paper's end-to-end
+// pipeline (Fig. 1: "Render and Display"): an orthographic point-splat
+// renderer with a z-buffer, used by the examples and the pccview tool to
+// turn decoded frames into images — which is also how the repository
+// reproduces the paper's visual comparison (Fig. 10a: raw vs decoded PCs).
+package render
+
+import (
+	"errors"
+	"image"
+	"image/color"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Axis selects the viewing direction of the orthographic camera.
+type Axis int
+
+const (
+	// FrontZ looks down the +Z axis (the paper's figures show frontal
+	// views of the body captures).
+	FrontZ Axis = iota
+	// SideX looks down the +X axis.
+	SideX
+	// TopY looks down the -Y axis.
+	TopY
+)
+
+// Options configures a render.
+type Options struct {
+	// Width and Height of the output image in pixels.
+	Width, Height int
+	// View selects the camera axis.
+	View Axis
+	// SplatRadius draws each point as a (2r+1)^2 square splat; 0 draws
+	// single pixels. Sparse clouds need r >= 1 to look solid.
+	SplatRadius int
+	// Background is the clear colour (default black).
+	Background color.RGBA
+	// Shade darkens points with depth for a cheap depth cue.
+	Shade bool
+}
+
+// DefaultOptions renders a 512x512 frontal view with 1-pixel splats.
+func DefaultOptions() Options {
+	return Options{Width: 512, Height: 512, View: FrontZ, SplatRadius: 1, Shade: true}
+}
+
+// ErrEmpty is returned when rendering an empty cloud.
+var ErrEmpty = errors.New("render: empty cloud")
+
+// project maps a voxel to (u, v, depth) in lattice units for the view.
+func project(v geom.Voxel, view Axis, grid float64) (u, vv, depth float64) {
+	x, y, z := float64(v.X), float64(v.Y), float64(v.Z)
+	switch view {
+	case SideX:
+		return z, grid - 1 - y, x
+	case TopY:
+		return x, z, grid - 1 - y
+	default: // FrontZ
+		return x, grid - 1 - y, z
+	}
+}
+
+// Render draws the cloud into a new RGBA image.
+func Render(vc *geom.VoxelCloud, o Options) (*image.RGBA, error) {
+	if vc.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if o.Width <= 0 || o.Height <= 0 {
+		return nil, errors.New("render: non-positive image size")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, o.Width, o.Height))
+	bg := o.Background
+	if bg == (color.RGBA{}) {
+		bg = color.RGBA{A: 255}
+	}
+	for i := 0; i < len(img.Pix); i += 4 {
+		img.Pix[i+0] = bg.R
+		img.Pix[i+1] = bg.G
+		img.Pix[i+2] = bg.B
+		img.Pix[i+3] = 255
+	}
+
+	grid := float64(vc.GridSize())
+	// Fit the occupied projected bounding box into the image with a small
+	// margin, preserving aspect.
+	minU, minV := math.Inf(1), math.Inf(1)
+	maxU, maxV := math.Inf(-1), math.Inf(-1)
+	for _, v := range vc.Voxels {
+		u, vv, _ := project(v, o.View, grid)
+		minU, maxU = math.Min(minU, u), math.Max(maxU, u)
+		minV, maxV = math.Min(minV, vv), math.Max(maxV, vv)
+	}
+	spanU := math.Max(maxU-minU, 1)
+	spanV := math.Max(maxV-minV, 1)
+	margin := 0.04
+	scale := math.Min(
+		float64(o.Width)*(1-2*margin)/spanU,
+		float64(o.Height)*(1-2*margin)/spanV,
+	)
+	offU := (float64(o.Width) - spanU*scale) / 2
+	offV := (float64(o.Height) - spanV*scale) / 2
+
+	zbuf := make([]float64, o.Width*o.Height)
+	for i := range zbuf {
+		zbuf[i] = math.Inf(1)
+	}
+	r := o.SplatRadius
+	for _, v := range vc.Voxels {
+		u, vv, depth := project(v, o.View, grid)
+		px := int((u-minU)*scale + offU)
+		py := int((vv-minV)*scale + offV)
+		c := v.C
+		if o.Shade {
+			// Darken by normalized depth (points further from the camera).
+			f := 1 - 0.35*depth/grid
+			c = geom.Color{
+				R: uint8(float64(c.R) * f),
+				G: uint8(float64(c.G) * f),
+				B: uint8(float64(c.B) * f),
+			}
+		}
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				x, y := px+dx, py+dy
+				if x < 0 || y < 0 || x >= o.Width || y >= o.Height {
+					continue
+				}
+				idx := y*o.Width + x
+				if depth >= zbuf[idx] {
+					continue
+				}
+				zbuf[idx] = depth
+				p := idx * 4
+				img.Pix[p+0] = c.R
+				img.Pix[p+1] = c.G
+				img.Pix[p+2] = c.B
+				img.Pix[p+3] = 255
+			}
+		}
+	}
+	return img, nil
+}
+
+// Coverage reports the fraction of image pixels covered by splats — a
+// cheap structural check used by tests and the visual-comparison harness.
+func Coverage(img *image.RGBA, background color.RGBA) float64 {
+	if background == (color.RGBA{}) {
+		background = color.RGBA{A: 255}
+	}
+	covered, total := 0, 0
+	for i := 0; i < len(img.Pix); i += 4 {
+		total++
+		if img.Pix[i] != background.R || img.Pix[i+1] != background.G || img.Pix[i+2] != background.B {
+			covered++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// DiffImage renders the per-pixel absolute colour difference of two images
+// of equal size (white = large error), the Fig. 10a-style visual diff.
+func DiffImage(a, b *image.RGBA) (*image.RGBA, error) {
+	if a.Bounds() != b.Bounds() {
+		return nil, errors.New("render: image size mismatch")
+	}
+	out := image.NewRGBA(a.Bounds())
+	for i := 0; i < len(a.Pix); i += 4 {
+		d := absDiff(a.Pix[i], b.Pix[i]) + absDiff(a.Pix[i+1], b.Pix[i+1]) + absDiff(a.Pix[i+2], b.Pix[i+2])
+		v := uint8(min(255, d))
+		out.Pix[i+0] = v
+		out.Pix[i+1] = v
+		out.Pix[i+2] = v
+		out.Pix[i+3] = 255
+	}
+	return out, nil
+}
+
+func absDiff(a, b uint8) int {
+	if a > b {
+		return int(a - b)
+	}
+	return int(b - a)
+}

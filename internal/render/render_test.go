@@ -1,0 +1,189 @@
+package render
+
+import (
+	"image/color"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func bodyFrame(t testing.TB) *geom.VoxelCloud {
+	t.Helper()
+	spec, err := dataset.SpecByName("loot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := dataset.NewGenerator(spec, 0.02).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if _, err := Render(&geom.VoxelCloud{Depth: 10}, DefaultOptions()); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestRenderBadSize(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 4, Voxels: []geom.Voxel{{X: 1}}}
+	o := DefaultOptions()
+	o.Width = 0
+	if _, err := Render(vc, o); err == nil {
+		t.Fatal("zero width must fail")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{
+		{X: 512, Y: 512, Z: 512, C: geom.Color{R: 250, G: 10, B: 10}},
+	}}
+	o := DefaultOptions()
+	o.Shade = false
+	img, err := Render(vc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := Coverage(img, color.RGBA{A: 255})
+	if cov <= 0 {
+		t.Fatal("single point must cover some pixels")
+	}
+	// Find the splat and check its colour.
+	found := false
+	for i := 0; i < len(img.Pix); i += 4 {
+		if img.Pix[i] == 250 && img.Pix[i+1] == 10 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("splat colour not found in image")
+	}
+}
+
+func TestRenderBodyCoverage(t *testing.T) {
+	vc := bodyFrame(t)
+	for _, view := range []Axis{FrontZ, SideX, TopY} {
+		o := DefaultOptions()
+		o.View = view
+		img, err := Render(vc, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov := Coverage(img, color.RGBA{A: 255})
+		// A body frame fills a substantial fraction of a fitted frame.
+		if cov < 0.05 || cov > 0.95 {
+			t.Fatalf("view %d coverage %.3f out of plausible range", view, cov)
+		}
+	}
+}
+
+func TestZBufferOcclusion(t *testing.T) {
+	// Two points projecting to the same pixel: the nearer one must win.
+	vc := &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{
+		{X: 512, Y: 512, Z: 100, C: geom.Color{R: 255}},           // near (FrontZ: small z)
+		{X: 512, Y: 512, Z: 900, C: geom.Color{G: 255}},           // far
+		{X: 100, Y: 100, Z: 500, C: geom.Color{B: 255}},           // spread the bbox
+		{X: 900, Y: 900, Z: 500, C: geom.Color{R: 1, G: 1, B: 1}}, // spread the bbox
+	}}
+	o := DefaultOptions()
+	o.Shade = false
+	o.SplatRadius = 0
+	img, err := Render(vc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRed, sawGreen := false, false
+	for i := 0; i < len(img.Pix); i += 4 {
+		if img.Pix[i] == 255 && img.Pix[i+1] == 0 {
+			sawRed = true
+		}
+		if img.Pix[i+1] == 255 && img.Pix[i] == 0 {
+			sawGreen = true
+		}
+	}
+	if !sawRed {
+		t.Fatal("near (red) point must be visible")
+	}
+	if sawGreen {
+		t.Fatal("far (green) point must be occluded")
+	}
+}
+
+func TestShadeDarkensWithDepth(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 10, Voxels: []geom.Voxel{
+		{X: 100, Y: 512, Z: 10, C: geom.Color{R: 200, G: 200, B: 200}},
+		{X: 900, Y: 512, Z: 1000, C: geom.Color{R: 200, G: 200, B: 200}},
+	}}
+	o := DefaultOptions()
+	o.SplatRadius = 0
+	img, err := Render(vc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bright []uint8
+	for i := 0; i < len(img.Pix); i += 4 {
+		if img.Pix[i] > 50 {
+			bright = append(bright, img.Pix[i])
+		}
+	}
+	if len(bright) < 2 {
+		t.Fatalf("expected two visible points, got %d", len(bright))
+	}
+	mn, mx := bright[0], bright[0]
+	for _, b := range bright {
+		if b < mn {
+			mn = b
+		}
+		if b > mx {
+			mx = b
+		}
+	}
+	if mn == mx {
+		t.Fatal("depth shading must darken the far point")
+	}
+}
+
+func TestDiffImage(t *testing.T) {
+	vc := bodyFrame(t)
+	o := DefaultOptions()
+	a, err := Render(vc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Render(vc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiffImage(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(d.Pix); i += 4 {
+		if d.Pix[i] != 0 {
+			t.Fatal("identical renders must have zero diff")
+		}
+	}
+	// Size mismatch.
+	o.Width = 64
+	o.Height = 64
+	small, _ := Render(vc, o)
+	if _, err := DiffImage(a, small); err == nil {
+		t.Fatal("size mismatch must fail")
+	}
+}
+
+func TestCoverageEmptyImage(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 4, Voxels: []geom.Voxel{{X: 1, C: geom.Color{R: 200}}}}
+	o := DefaultOptions()
+	o.Width, o.Height = 8, 8
+	img, err := Render(vc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := Coverage(img, color.RGBA{A: 255}); c <= 0 || c > 1 {
+		t.Fatalf("coverage %v", c)
+	}
+}

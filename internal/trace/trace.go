@@ -1,0 +1,168 @@
+// Package trace formats the experiment harness's result tables: aligned
+// plain-text tables and simple horizontal bar charts, so every figure and
+// table of the paper prints as rows/series on stdout (deliverable (d)).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and prints with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x != x: // NaN
+		return "-"
+	case x >= 1e9 || x <= -1e9:
+		return fmt.Sprintf("%.3g", x)
+	case x == float64(int64(x)) && x < 1e7 && x > -1e7:
+		return fmt.Sprintf("%d", int64(x))
+	case x >= 100 || x <= -100:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3g", x)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			sb.WriteString(c + strings.Repeat(" ", pad))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-ish comma-separated values (header row
+// first), so harness outputs can feed external plotting.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Bars renders a labelled horizontal bar chart (for breakdown figures).
+type Bars struct {
+	Title string
+	items []barItem
+	unit  string
+}
+
+type barItem struct {
+	label string
+	value float64
+}
+
+// NewBars creates a bar chart; unit is appended to values.
+func NewBars(title, unit string) *Bars { return &Bars{Title: title, unit: unit} }
+
+// Add appends one bar.
+func (b *Bars) Add(label string, value float64) { b.items = append(b.items, barItem{label, value}) }
+
+// String renders the chart with bars scaled to the maximum value.
+func (b *Bars) String() string {
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title + "\n")
+	}
+	maxV, maxL := 0.0, 0
+	for _, it := range b.items {
+		if it.value > maxV {
+			maxV = it.value
+		}
+		if len(it.label) > maxL {
+			maxL = len(it.label)
+		}
+	}
+	const width = 40
+	var total float64
+	for _, it := range b.items {
+		total += it.value
+	}
+	for _, it := range b.items {
+		n := 0
+		if maxV > 0 {
+			n = int(it.value / maxV * width)
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = it.value / total * 100
+		}
+		sb.WriteString(fmt.Sprintf("%-*s |%-*s %s%s (%.1f%%)\n",
+			maxL, it.label, width, strings.Repeat("#", n), formatFloat(it.value), b.unit, pct))
+	}
+	return sb.String()
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.Row("a", 1.0)
+	tb.Row("longer-name", 123456.0)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(lines[4], "longer-name") || !strings.Contains(lines[4], "123456") {
+		t.Errorf("row formatting: %q", lines[4])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.5:    "3.5",
+		123.45: "123.5",
+		0.0123: "0.0123",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	b := NewBars("B", "J")
+	b.Add("Diff_Squared", 35)
+	b.Add("Squared_Sum", 16)
+	b.Add("AddressGen", 32)
+	s := b.String()
+	if !strings.Contains(s, "Diff_Squared") || !strings.Contains(s, "#") {
+		t.Fatalf("bars output: %q", s)
+	}
+	// Percentages sum to ~100.
+	if !strings.Contains(s, "(42.2%)") {
+		t.Errorf("expected 35/83 = 42.2%% in output: %q", s)
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	if s := NewBars("", "").String(); s != "" {
+		t.Errorf("empty bars = %q", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.Row("x,y", 1.0)
+	tb.Row(`say "hi"`, 2.5)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",1\n\"say \"\"hi\"\"\",2.5\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,138 @@
+package viewport
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/morton"
+)
+
+func sortedBody(t testing.TB) []geom.Voxel {
+	t.Helper()
+	spec, err := dataset.SpecByName("soldier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := dataset.NewGenerator(spec, 0.02).Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := morton.EncodeCloud(vc)
+	morton.Sort(k)
+	k = morton.Dedup(k)
+	return morton.Voxels(k)
+}
+
+func TestFullFOVSeesEverything(t *testing.T) {
+	sorted := sortedBody(t)
+	cam := Camera{Pos: [3]float64{512, 512, -2000}, Dir: [3]float64{0, 0, 1}, FOVDegrees: 360}
+	kept, mask, res := Cull(sorted, 200, cam)
+	if len(kept) != len(sorted) {
+		t.Fatalf("360-degree camera culled %d points", len(sorted)-len(kept))
+	}
+	if res.VisibleBlocks != res.Blocks {
+		t.Fatalf("blocks: %d of %d visible", res.VisibleBlocks, res.Blocks)
+	}
+	for b, v := range mask {
+		if !v {
+			t.Fatalf("block %d invisible under 360-degree FOV", b)
+		}
+	}
+	if res.CulledFraction() != 0 {
+		t.Fatal("culled fraction must be 0")
+	}
+}
+
+func TestNarrowFOVCulls(t *testing.T) {
+	sorted := sortedBody(t)
+	cam := DefaultCamera(1024)
+	cam.FOVDegrees = 10 // very narrow: only the body's centre strip
+	kept, _, res := Cull(sorted, 500, cam)
+	if res.CulledFraction() < 0.3 {
+		t.Fatalf("narrow FOV culled only %.0f%%", res.CulledFraction()*100)
+	}
+	if len(kept) == 0 {
+		t.Fatal("a camera aimed at the body must see something")
+	}
+	// Kept points must preserve sorted order.
+	for i := 1; i < len(kept); i++ {
+		a := morton.Encode(kept[i-1].X, kept[i-1].Y, kept[i-1].Z)
+		b := morton.Encode(kept[i].X, kept[i].Y, kept[i].Z)
+		if b < a {
+			// Order is preserved within and across blocks (blocks are
+			// contiguous runs), so any inversion is a bug.
+			t.Fatalf("kept points out of Morton order at %d", i)
+		}
+	}
+}
+
+func TestBehindCameraInvisible(t *testing.T) {
+	sorted := sortedBody(t)
+	// Camera at the centre looking AWAY from the body (straight up +Y from
+	// above it): nothing should remain with a modest FOV.
+	cam := Camera{Pos: [3]float64{512, 5000, 512}, Dir: [3]float64{0, 1, 0}, FOVDegrees: 60}
+	kept, _, res := Cull(sorted, 300, cam)
+	if len(kept) != 0 || res.VisibleBlocks != 0 {
+		t.Fatalf("camera looking away still sees %d points", len(kept))
+	}
+}
+
+func TestMaxDistCulls(t *testing.T) {
+	sorted := sortedBody(t)
+	cam := DefaultCamera(1024)
+	cam.FOVDegrees = 360
+	cam.MaxDist = 1 // everything is farther than 1 voxel from the eye
+	kept, _, _ := Cull(sorted, 100, cam)
+	if len(kept) != 0 {
+		t.Fatalf("MaxDist=1 still sees %d points", len(kept))
+	}
+}
+
+func TestSeesEdgeCases(t *testing.T) {
+	c := Camera{Pos: [3]float64{0, 0, 0}, Dir: [3]float64{0, 0, 0}, FOVDegrees: 10}
+	if !c.sees(1, 2, 3) {
+		t.Fatal("zero view direction must degrade to seeing everything")
+	}
+	if !c.sees(0, 0, 0) {
+		t.Fatal("the eye point itself is visible")
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	kept, mask, res := Cull(nil, 10, DefaultCamera(1024))
+	if len(kept) != 0 || res.TotalPoints != 0 || len(mask) != 0 {
+		t.Fatalf("empty cull: %v %v %v", kept, mask, res)
+	}
+}
+
+func TestHalfSpaceCull(t *testing.T) {
+	// A synthetic frame of two separated slabs; a camera aimed at one slab
+	// with a tight cone must keep (mostly) that slab.
+	var sorted []geom.Voxel
+	for i := 0; i < 500; i++ {
+		sorted = append(sorted, geom.Voxel{X: uint32(i % 50), Y: uint32(i / 50), Z: 100})
+		sorted = append(sorted, geom.Voxel{X: uint32(i%50) + 900, Y: uint32(i / 50), Z: 100})
+	}
+	k := make([]morton.Keyed, len(sorted))
+	for i, v := range sorted {
+		k[i] = morton.Keyed{Code: morton.Encode(v.X, v.Y, v.Z), Voxel: v}
+	}
+	morton.Sort(k)
+	sorted = morton.Voxels(k)
+
+	cam := Camera{Pos: [3]float64{25, 5, -400}, Dir: [3]float64{0, 0, 1}, FOVDegrees: 30}
+	kept, _, _ := Cull(sorted, 100, cam)
+	if len(kept) == 0 {
+		t.Fatal("aimed slab must be visible")
+	}
+	farKept := 0
+	for _, v := range kept {
+		if v.X >= 900 {
+			farKept++
+		}
+	}
+	if farKept > len(kept)/4 {
+		t.Fatalf("far slab leaked through the cone: %d of %d", farKept, len(kept))
+	}
+}

@@ -1,0 +1,78 @@
+package pcc
+
+import (
+	"sync"
+	"testing"
+)
+
+// Independent encoder/decoder pairs must be safely usable from concurrent
+// goroutines (each owns its device; the internal worker pools are shared
+// only through the runtime). Run with -race.
+func TestConcurrentSessions(t *testing.T) {
+	v := testVideo(t)
+	f0, err := v.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := v.Frame(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for _, d := range Designs() {
+		for rep := 0; rep < 2; rep++ {
+			wg.Add(1)
+			go func(d Design) {
+				defer wg.Done()
+				o := DefaultOptions(d)
+				o.IntraAttr.Segments = 300
+				o.Inter.Segments = 400
+				o.Inter.Candidates = 16
+				enc := NewEncoderOptions(o)
+				dec := NewDecoder(o)
+				for _, f := range []*PointCloud{f0, f1} {
+					bits, _, err := enc.Encode(f)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, err := dec.Decode(bits); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(d)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// Two encoders sharing ONE device must accumulate consistent totals (the
+// device is documented as single-session, but its accounting must at least
+// stay race-free for the harness's sequential use).
+func TestSequentialSharedDevice(t *testing.T) {
+	v := testVideo(t)
+	f, _ := v.Frame(0)
+	dev := NewDevice(Mode15W)
+	o := DefaultOptions(IntraOnly)
+	o.IntraAttr.Segments = 300
+	a := NewEncoderOn(dev, o)
+	b := NewEncoderOn(dev, o)
+	if _, _, err := a.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	t1 := dev.SimTime()
+	if _, _, err := b.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	t2 := dev.SimTime()
+	if t2 <= t1 || t2 >= 3*t1 {
+		t.Fatalf("shared-device accumulation odd: %v then %v", t1, t2)
+	}
+}

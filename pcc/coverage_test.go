@@ -1,0 +1,90 @@
+package pcc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOnVariantsShareDevice(t *testing.T) {
+	v := testVideo(t)
+	f, _ := v.Frame(0)
+	dev := NewDevice(Mode15W)
+	o := DefaultOptions(IntraOnly)
+	o.IntraAttr.Segments = 200
+
+	var buf bytes.Buffer
+	w := NewStreamWriterOn(&buf, dev, o)
+	if _, err := w.WriteFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Device() != dev || dev.SimTime() <= 0 {
+		t.Fatal("writer must account on the supplied device")
+	}
+
+	rdev := NewDevice(Mode10W)
+	r, err := NewStreamReaderOn(&buf, rdev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Device() != rdev || rdev.SimTime() <= 0 {
+		t.Fatal("reader must account on the supplied device")
+	}
+
+	ddev := NewDevice(Mode15W)
+	dec := NewDecoderOn(ddev, o)
+	if dec.Device() != ddev {
+		t.Fatal("NewDecoderOn device")
+	}
+	dec.Reset()
+}
+
+func TestStreamReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewStreamReader(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage stream must fail")
+	}
+	if _, err := NewStreamReaderOn(bytes.NewReader(nil), NewDevice(Mode15W)); err == nil {
+		t.Fatal("empty stream must fail")
+	}
+}
+
+func TestAttributePSNRWrapper(t *testing.T) {
+	a := []Color{{R: 10}, {R: 20}}
+	luma, rgb, err := AttributePSNR(a, a)
+	if err != nil || luma < 100 || rgb < 100 {
+		t.Fatalf("identical colours: %v %v %v", luma, rgb, err)
+	}
+	if _, _, err := AttributePSNR(a, a[:1]); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestVideoAccessors(t *testing.T) {
+	v := testVideo(t)
+	if v.Name() != "redandblack" {
+		t.Fatalf("Name = %q", v.Name())
+	}
+	if v.Frames() != 300 {
+		t.Fatalf("Frames = %d", v.Frames())
+	}
+	if v.TargetPoints() <= 0 {
+		t.Fatal("TargetPoints")
+	}
+}
+
+func TestDesignsExported(t *testing.T) {
+	seen := map[Design]bool{}
+	for _, d := range Designs() {
+		seen[d] = true
+	}
+	for _, d := range []Design{TMC13, CWIPC, IntraOnly, IntraInterV1, IntraInterV2} {
+		if !seen[d] {
+			t.Fatalf("design %v missing from Designs()", d)
+		}
+	}
+}

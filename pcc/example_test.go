@@ -1,0 +1,90 @@
+package pcc_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"repro/pcc"
+)
+
+// ExampleVideoNames lists the six Table-I video presets.
+func ExampleVideoNames() {
+	for _, name := range pcc.VideoNames() {
+		fmt.Println(name)
+	}
+	// Output:
+	// redandblack
+	// longdress
+	// loot
+	// soldier
+	// andrew10
+	// phil10
+}
+
+// ExampleEncoder shows the basic encode/decode round trip with the paper's
+// intra-frame design.
+func ExampleEncoder() {
+	video := pcc.NewVideo("loot", 0.01)
+	frame, err := video.Frame(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := pcc.DefaultOptions(pcc.IntraOnly)
+	opts.IntraAttr.Segments = 300
+	enc := pcc.NewEncoderOptions(opts)
+	bits, _, err := enc.Encode(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dec := pcc.NewDecoder(enc.Options())
+	decoded, err := dec.Decode(bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(decoded.Len() == frame.Len())
+	// Output: true
+}
+
+// ExampleStreamWriter shows streaming a short IPP video through the
+// self-describing .pcv container.
+func ExampleStreamWriter() {
+	video := pcc.NewVideo("redandblack", 0.01)
+	opts := pcc.DefaultOptions(pcc.IntraInterV2)
+	opts.IntraAttr.Segments = 200
+	opts.Inter.Segments = 300
+
+	var buf bytes.Buffer
+	w := pcc.NewStreamWriter(&buf, opts)
+	for i := 0; i < 3; i++ {
+		frame, err := video.Frame(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := w.WriteFrame(frame); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := pcc.NewStreamReader(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, _, err := r.ReadFrame(); err == io.EOF {
+			break
+		} else if err != nil {
+			log.Fatal(err)
+		}
+		n++
+	}
+	fmt.Println(n)
+	// Output: 3
+}

@@ -1,0 +1,190 @@
+package pcc
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func testVideo(t testing.TB) *Video {
+	t.Helper()
+	v, err := NewVideoChecked("redandblack", 0.015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVideoNames(t *testing.T) {
+	names := VideoNames()
+	if len(names) != 6 {
+		t.Fatalf("videos = %v", names)
+	}
+	if _, err := NewVideoChecked("bogus", 1); err == nil {
+		t.Fatal("bogus name must fail")
+	}
+}
+
+func TestNewVideoPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVideo must panic on unknown name")
+		}
+	}()
+	NewVideo("bogus", 1)
+}
+
+func TestEncodeDecodeAllDesigns(t *testing.T) {
+	v := testVideo(t)
+	f0, err := v.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := v.Frame(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Designs() {
+		o := DefaultOptions(d)
+		o.IntraAttr.Segments = 400
+		o.Inter.Segments = 600
+		o.Inter.Candidates = 30
+		enc := NewEncoderOptions(o)
+		dec := NewDecoder(o)
+		for _, f := range []*PointCloud{f0, f1} {
+			bits, st, err := enc.Encode(f)
+			if err != nil {
+				t.Fatalf("%v encode: %v", d, err)
+			}
+			if st.SizeBytes <= 0 || st.TotalTime <= 0 || st.EnergyJ <= 0 {
+				t.Fatalf("%v stats: %+v", d, st)
+			}
+			out, err := dec.Decode(bits)
+			if err != nil {
+				t.Fatalf("%v decode: %v", d, err)
+			}
+			psnr, err := GeometryPSNR(f, out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if psnr < 55 {
+				t.Fatalf("%v geometry PSNR %.1f dB", d, psnr)
+			}
+		}
+		if enc.Device().SimTime() <= 0 || dec.Device().SimTime() <= 0 {
+			t.Fatalf("%v device accounting missing", d)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	v := testVideo(t)
+	o := DefaultOptions(IntraInterV1)
+	o.IntraAttr.Segments = 300
+	o.Inter.Segments = 500
+	o.Inter.Candidates = 20
+
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf, o)
+	for i := 0; i < 3; i++ {
+		f, err := v.Frame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Frames() != 3 || w.CompressedBytes() <= 0 || len(w.Stats()) != 3 {
+		t.Fatalf("writer state: %d frames, %d bytes", w.Frames(), w.CompressedBytes())
+	}
+
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Options().Design != IntraInterV1 {
+		t.Fatalf("stream design = %v", r.Options().Design)
+	}
+	n := 0
+	for {
+		vc, ef, err := r.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vc.Len() != int(ef.NumPoints) {
+			t.Fatal("point count mismatch")
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("read %d frames", n)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	v := testVideo(t)
+	f, _ := v.Frame(0)
+	o := DefaultOptions(IntraInterV2)
+	o.IntraAttr.Segments = 300
+	o.Inter.Segments = 400
+	enc := NewEncoderOptions(o)
+	b1, _, err := enc.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := enc.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Type != b2.Type {
+		enc.Reset()
+		b3, _, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b3.Type != b1.Type {
+			t.Fatal("Reset must restart the GOP with an I-frame")
+		}
+	}
+}
+
+func TestPowerModes(t *testing.T) {
+	v := testVideo(t)
+	f, _ := v.Frame(0)
+	run := func(mode PowerMode) float64 {
+		dev := NewDevice(mode)
+		o := DefaultOptions(IntraOnly)
+		o.IntraAttr.Segments = 300
+		enc := NewEncoderOn(dev, o)
+		if _, _, err := enc.Encode(f); err != nil {
+			t.Fatal(err)
+		}
+		return dev.SimTime().Seconds()
+	}
+	t15, t10 := run(Mode15W), run(Mode10W)
+	ratio := t10 / t15
+	if ratio < 1.2 || ratio > 1.4 {
+		t.Fatalf("10W/15W = %.3f, want ~1.29 (Sec. VI-C)", ratio)
+	}
+}
+
+func TestVoxelizeExported(t *testing.T) {
+	rc := &RawCloud{Points: []RawPoint{{X: 1, Y: 2, Z: 3, C: Color{R: 9}}}}
+	vc, err := Voxelize(rc, 10)
+	if err != nil || vc.Len() != 1 {
+		t.Fatalf("Voxelize: %v %v", vc, err)
+	}
+}
+
+func TestCompressionRatioExported(t *testing.T) {
+	if CompressionRatio(100, 10) != 10 {
+		t.Fatal("ratio")
+	}
+}

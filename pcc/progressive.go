@@ -1,0 +1,64 @@
+package pcc
+
+import (
+	"errors"
+
+	"repro/internal/codec"
+	"repro/internal/entropy"
+	"repro/internal/paroctree"
+)
+
+// Progressive decoding. The proposed designs serialize geometry
+// breadth-first, so ANY PREFIX of the stream is a complete coarse frame: a
+// streaming receiver can display a low-resolution cloud after the first few
+// kilobytes and refine as bytes arrive. (The sequential baselines' DFS
+// streams have no such cut points.)
+
+// ErrNotProgressive is returned for frames whose geometry stream does not
+// support prefix decoding (TMC13/CWIPC frames).
+var ErrNotProgressive = errors.New("pcc: frame is not progressively decodable")
+
+// DecodeProgressive decodes only the first `level` octree levels of a
+// proposed-design frame (IntraOnly / IntraInter*), returning a coarse cloud
+// with points at the centres of the level-`level` cells in full-lattice
+// coordinates. level >= the frame's depth decodes full resolution
+// (geometry only — attributes are not populated by this call).
+//
+// GeometryPrefixBytes in the second return is how much of the geometry
+// stream a receiver must have to show this level.
+func DecodeProgressive(f *EncodedFrame, level uint) (*PointCloud, int, error) {
+	dev := NewDevice(Mode15W)
+	if len(f.Geometry) == 0 {
+		return nil, 0, ErrNotProgressive
+	}
+	stream := f.Geometry[1:]
+	switch f.Geometry[0] {
+	case 0:
+		// fast path: raw BFS stream
+	case 1:
+		// Entropy-coded geometry must be fully decompressed first (the
+		// arithmetic stream is not prefix-decodable) — one more reason the
+		// paper's fast path discards the entropy stage.
+		var err error
+		stream, err = entropy.DecompressBytes(stream)
+		if err != nil {
+			return nil, 0, err
+		}
+	default:
+		return nil, 0, ErrNotProgressive
+	}
+	lod, err := paroctree.DeserializeLoD(dev, stream, uint(f.Depth), level)
+	if err != nil {
+		return nil, 0, err
+	}
+	voxels := lod.UpscaleToLattice(dev, uint(f.Depth))
+	if f.HasRescale {
+		for i := range voxels {
+			voxels[i] = f.Rescale.Invert(voxels[i])
+		}
+	}
+	return &PointCloud{Depth: uint(f.Depth), Voxels: voxels}, lod.PrefixBytes, nil
+}
+
+// interface check: EncodedFrame is the codec container type.
+var _ = codec.EncodedFrame{}

@@ -1,0 +1,102 @@
+package pcc
+
+import "testing"
+
+func TestDecodeProgressiveLevels(t *testing.T) {
+	v := testVideo(t)
+	f, err := v.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions(IntraOnly)
+	o.IntraAttr.Segments = 300
+	enc := NewEncoderOptions(o)
+	bits, _, err := enc.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPoints, prevBytes := 0, 0
+	for level := uint(1); level <= uint(bits.Depth); level++ {
+		coarse, prefix, err := DecodeProgressive(bits, level)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if coarse.Len() < prevPoints {
+			t.Fatalf("level %d: point count decreased (%d < %d)", level, coarse.Len(), prevPoints)
+		}
+		if prefix <= prevBytes {
+			t.Fatalf("level %d: prefix not growing", level)
+		}
+		if err := coarse.Validate(); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		prevPoints, prevBytes = coarse.Len(), prefix
+	}
+	// Full-level decode must have as many points as the decoded frame.
+	dec := NewDecoder(o)
+	full, err := dec.Decode(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prevPoints != full.Len() {
+		t.Fatalf("full-level progressive %d points != full decode %d", prevPoints, full.Len())
+	}
+}
+
+func TestDecodeProgressiveCoarseIsClose(t *testing.T) {
+	v := testVideo(t)
+	f, _ := v.Frame(0)
+	o := DefaultOptions(IntraOnly)
+	o.IntraAttr.Segments = 300
+	enc := NewEncoderOptions(o)
+	bits, _, err := enc.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, _, err := DecodeProgressive(bits, uint(bits.Depth)-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A level-(D-3) decode is within ~8 voxels of the original everywhere:
+	// geometry PSNR must still be substantial.
+	psnr, err := GeometryPSNR(f, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 40 {
+		t.Fatalf("coarse PSNR %.1f dB too low", psnr)
+	}
+}
+
+func TestDecodeProgressiveEntropyVariant(t *testing.T) {
+	v := testVideo(t)
+	f, _ := v.Frame(0)
+	o := DefaultOptions(IntraOnly)
+	o.IntraAttr.Segments = 300
+	o.EntropyGeometry = true
+	enc := NewEncoderOptions(o)
+	bits, _, err := enc.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, _, err := DecodeProgressive(bits, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Len() == 0 {
+		t.Fatal("entropy-coded stream must still LoD-decode (after full decompression)")
+	}
+}
+
+func TestDecodeProgressiveRejectsBaseline(t *testing.T) {
+	v := testVideo(t)
+	f, _ := v.Frame(0)
+	enc := NewEncoderOptions(DefaultOptions(TMC13))
+	bits, _, err := enc.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeProgressive(bits, 4); err == nil {
+		t.Fatal("TMC13 stream must not progressively decode")
+	}
+}
