@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments experiments-full clean
+.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full clean
 
 all: build test
 
@@ -21,6 +21,20 @@ vet:
 fmt:
 	gofmt -l -w .
 
+# Fails when any file needs gofmt (the CI drift check).
+fmt-check:
+	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:" >&2; echo "$$drift" >&2; exit 1; fi
+
+# 20 s of fuzzing per hardened decoder entry point.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/attr
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrameFrom -fuzztime=20s ./internal/codec
+
+# Everything the CI gate runs (see .github/workflows/ci.yml).
+ci: build vet fmt-check test race fuzz-smoke
+	$(GO) run ./cmd/pccbench -scale 0.05 all
+
 # One benchmark per paper table/figure (simulated edge-board metrics).
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -31,8 +45,7 @@ experiments:
 
 # Paper-scale canonical run (~30-45 min); regenerates results_full_scale.txt.
 experiments-full:
-	$(GO) build -o /tmp/pccbench ./cmd/pccbench
-	/tmp/pccbench -scale 1.0 -frames 3 -csv results_csv all | tee results_full_scale.txt
+	$(GO) run ./cmd/pccbench -scale 1.0 -frames 3 -csv results_csv all | tee results_full_scale.txt
 
 clean:
 	rm -rf results_csv

@@ -12,6 +12,7 @@
 //	pccbench power             Sec. VI-C 15 W vs 10 W mode
 //	pccbench decode            Sec. VI-C decode latency
 //	pccbench ablation          Sec. IV-B3 entropy / layers / segments
+//	pccbench pipeline          Sec. IV    concurrent streaming pipeline
 //	pccbench all               everything above
 //
 // Flags:
@@ -43,7 +44,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,9 +86,10 @@ func main() {
 		"altcodecs": runAltCodecs,
 		"viewport":  runViewport,
 		"capture":   runCapture,
+		"pipeline":  runPipeline,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture"} {
+		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "pccbench %s: %v\n", name, err)

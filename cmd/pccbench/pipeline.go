@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/edgesim"
+	"repro/internal/linksim"
+	"repro/internal/trace"
+	"repro/pcc/stream"
+)
+
+// runPipeline measures the concurrent streaming pipeline (pcc/stream):
+// first sequential vs pipelined wall clock on one video, then two parallel
+// sessions sharing a congested 1 Mbps link under the drop-oldest-P
+// backpressure policy, reporting per-session delivery, drops, and queue
+// watermarks.
+func runPipeline(cfg benchConfig) error {
+	spec := cfg.Videos[0]
+	nFrames := cfg.Frames
+	if nFrames < 8 {
+		nFrames = 8 // at least two IPP GOPs so the stages actually overlap
+	}
+	frames, err := loadFrames(spec, cfg.Scale, nFrames)
+	if err != nil {
+		return err
+	}
+	opts := scaledOptions(codec.IntraInterV1, cfg.Scale)
+
+	// Sequential reference: one encoder, one frame at a time.
+	start := time.Now()
+	enc := codec.NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+	for _, f := range frames {
+		if _, _, err := enc.EncodeFrame(f); err != nil {
+			return err
+		}
+	}
+	seqWall := time.Since(start)
+
+	// Pipelined: geometry of frame N+1 overlaps attribute coding of frame N.
+	start = time.Now()
+	s := stream.New(context.Background(), stream.Config{Options: opts})
+	col := stream.NewCollector(s)
+	for _, f := range frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			return err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	col.Wait()
+	pipeWall := time.Since(start)
+
+	tb := trace.NewTable(
+		fmt.Sprintf("Streaming pipeline — %s, %d frames, Intra-Inter-V1 (wall clock)", spec.Name, len(frames)),
+		"schedule", "wall ms", "speedup")
+	tb.Row("sequential", seqWall.Seconds()*1000, "1.00x")
+	tb.Row("pipelined", pipeWall.Seconds()*1000,
+		fmt.Sprintf("%.2fx", float64(seqWall)/float64(pipeWall)))
+	emit(tb)
+	fmt.Printf("stages overlap across frames on %d CPU(s); wall-clock gains need >1.\n",
+		runtime.NumCPU())
+
+	// Two parallel viewer sessions on a congested link: transmission is
+	// paced in real time, so the narrow link genuinely backpressures the
+	// pipeline and the drop policy sheds P-frames to bound latency.
+	congested := linksim.Link{Name: "congested", BandwidthMbps: 1, RTTMs: 40,
+		TxNanojoulePerByte: 1000, RxNanojoulePerByte: 500}
+	const nSessions = 2
+	metricsOut := make([]stream.Metrics, nSessions)
+	errs := make([]error, nSessions)
+	var wg sync.WaitGroup
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := stream.New(context.Background(), stream.Config{
+				Options: opts,
+				Link:    congested,
+				Queue:   2,
+				Policy:  stream.DropOldestP,
+				Pace:    0.1, // 100 ms real per simulated link second
+			})
+			col := stream.NewCollector(s)
+			for _, f := range frames {
+				if err := s.Submit(context.Background(), f); err != nil {
+					errs[i] = err
+					s.Cancel()
+					break
+				}
+			}
+			if err := s.Close(); err != nil && errs[i] == nil {
+				errs[i] = err
+			}
+			col.Wait()
+			metricsOut[i] = s.Metrics()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	tb2 := trace.NewTable(
+		fmt.Sprintf("Backpressure — %d parallel sessions, 1 Mbps link, drop-oldest-P (queue depth 2)", nSessions),
+		"session", "delivered", "dropped", "tx peak", "link ms", "wire KB")
+	for i, m := range metricsOut {
+		tb2.Row(fmt.Sprintf("viewer %d", i),
+			fmt.Sprintf("%d/%d", m.Delivered, m.Submitted),
+			fmt.Sprintf("%d", m.Dropped),
+			fmt.Sprintf("%d", m.Queues[3].MaxDepth),
+			m.LinkTime.Seconds()*1000,
+			float64(m.WireBytes)/1e3)
+	}
+	emit(tb2)
+	fmt.Println("drops (if any) are always P-frames: the policy never sheds an I-frame,")
+	fmt.Println("so every surviving frame still decodes against its GOP's reference.")
+	return nil
+}

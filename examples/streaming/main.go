@@ -1,9 +1,16 @@
-// Streaming: the paper's end-to-end pipeline (Fig. 1) over a real network
-// socket. A "capture" goroutine encodes an IPP video with Intra-Inter-V1
-// and streams it over TCP; a "display" goroutine receives, decodes, and
-// reports per-frame quality and the simulated edge budget on both sides —
-// demonstrating that the .pcv stream is self-describing and that the
-// proposed design sustains interactive rates on the modelled board.
+// Streaming: the paper's end-to-end pipeline (Fig. 1) over real network
+// sockets, served by the concurrent pcc/stream pipeline. One capture
+// process encodes an IPP video for two viewers at once — each viewer gets
+// its own isolated session (encoder, per-stage device ledgers, bounded
+// queues) and its own modelled link:
+//
+//   - viewer wifi keeps a clean Wi-Fi link and the lossless Block policy;
+//   - viewer edge sits behind a congested 1 Mbps link with the
+//     drop-oldest-P policy, so the transmit queue sheds P-frames (never
+//     I-frames) to bound latency while the stream stays decodable.
+//
+// The display side needs nothing but the socket bytes: the .pcv stream is
+// self-describing.
 package main
 
 import (
@@ -13,7 +20,9 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/linksim"
 	"repro/pcc"
+	"repro/pcc/stream"
 )
 
 const (
@@ -22,87 +31,129 @@ const (
 	nFrames   = 9 // three IPP groups
 )
 
+// viewer describes one streaming client and its modelled network.
+type viewer struct {
+	name   string
+	link   linksim.Link
+	policy stream.Policy
+	pace   float64 // real seconds per simulated link second
+	scored bool    // PSNR against originals (only valid when lossless)
+}
+
 func main() {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
+	viewers := []viewer{
+		{name: "wifi", link: linksim.WiFi, policy: stream.Block, scored: true},
+		{name: "edge", policy: stream.DropOldestP, pace: 0.2,
+			link: linksim.Link{Name: "1mbps", BandwidthMbps: 1, RTTMs: 40,
+				TxNanojoulePerByte: 1000, RxNanojoulePerByte: 500}},
 	}
-	defer ln.Close()
 
 	video := pcc.NewVideo(videoName, scale)
-	// The display side needs the originals only to score quality.
 	originals := make([]*pcc.PointCloud, nFrames)
+	var err error
 	for i := range originals {
 		if originals[i], err = video.Frame(i); err != nil {
 			log.Fatal(err)
 		}
 	}
 
+	opts := pcc.DefaultOptions(pcc.IntraInterV1)
+	opts.IntraAttr.Segments = 2500
+	opts.Inter.Segments = 4000
+
 	var wg sync.WaitGroup
-	wg.Add(2)
-
-	// Capture + encode side.
-	go func() {
-		defer wg.Done()
-		conn, err := net.Dial("tcp", ln.Addr().String())
+	for _, v := range viewers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer conn.Close()
-
-		opts := pcc.DefaultOptions(pcc.IntraInterV1)
-		opts.IntraAttr.Segments = 2500
-		opts.Inter.Segments = 4000
-		w := pcc.NewStreamWriter(conn, opts)
-		for i, f := range originals {
-			st, err := w.WriteFrame(f)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("[capture] frame %d: %s, %6.1f KB, sim %6.2f ms, reuse %3.0f%%\n",
-				i, st.Type, float64(st.SizeBytes)/1e3,
-				st.TotalTime.Seconds()*1000, st.Inter.ReuseFraction()*100)
-		}
-		if err := w.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("[capture] stream: %.2f MB for %d frames, encoder sim %v / %.2f J\n",
-			float64(w.CompressedBytes())/1e6, w.Frames(),
-			w.Device().SimTime().Round(1e5), w.Device().EnergyJ())
-	}()
-
-	// Receive + decode side.
-	go func() {
-		defer wg.Done()
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer conn.Close()
-
-		r, err := pcc.NewStreamReader(conn)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("[display] receiving %v stream\n", r.Options().Design)
-		for i := 0; ; i++ {
-			frame, _, err := r.ReadFrame()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				log.Fatal(err)
-			}
-			psnr, err := pcc.GeometryPSNR(originals[i], frame)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("[display] frame %d: %6d pts, geometry PSNR %5.1f dB\n",
-				i, frame.Len(), min(psnr, 120))
-		}
-		fmt.Printf("[display] decoder sim %v / %.2f J\n",
-			r.Device().SimTime().Round(1e5), r.Device().EnergyJ())
-	}()
-
+		wg.Add(2)
+		go capture(&wg, ln, v, originals, opts)
+		go display(&wg, ln.Addr().String(), v, originals)
+	}
 	wg.Wait()
+}
+
+// capture accepts the viewer's connection and streams all frames through a
+// pipelined session whose transmit stage writes straight to the socket.
+func capture(wg *sync.WaitGroup, ln net.Listener, v viewer, frames []*pcc.PointCloud, opts pcc.Options) {
+	defer wg.Done()
+	defer ln.Close()
+	conn, err := ln.Accept()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	w := pcc.NewPipelinedWriterConfig(stream.Config{
+		Options: opts,
+		Link:    v.link,
+		Queue:   2,
+		Policy:  v.policy,
+		Pace:    v.pace,
+		Output:  conn,
+	})
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	results, err := w.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fate := fmt.Sprintf("%6.1f KB, %2d pkts, link %5.1f ms",
+			float64(r.WireBytes)/1e3, r.Packets, r.Link.Latency.Seconds()*1000)
+		if r.Dropped {
+			fate = "DROPPED by backpressure policy"
+		}
+		fmt.Printf("[capture %s] frame %d: %s, sim %6.2f ms, %s\n",
+			v.name, r.Seq, r.Stats.Type, r.Stats.TotalTime.Seconds()*1000, fate)
+	}
+	m := w.Metrics()
+	fmt.Printf("[capture %s] %s link, %s policy: %d/%d delivered, %d dropped, tx queue peak %d\n",
+		v.name, v.link.Name, v.policy, m.Delivered, m.Submitted, m.Dropped, m.Queues[3].MaxDepth)
+	fmt.Printf("[capture %s] encode sim: geometry %v + attributes %v (overlapped), link %v\n",
+		v.name, m.GeometrySim.Round(1e5), m.AttrSim.Round(1e5), m.LinkTime.Round(1e5))
+}
+
+// display dials the capture side, decodes the self-describing stream, and
+// scores quality when the stream is lossless (frame indices line up).
+func display(wg *sync.WaitGroup, addr string, v viewer, originals []*pcc.PointCloud) {
+	defer wg.Done()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	r, err := pcc.NewStreamReader(conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[display %s] receiving %v stream\n", v.name, r.Options().Design)
+	decoded := 0
+	for {
+		frame, _, err := r.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.scored {
+			psnr, err := pcc.GeometryPSNR(originals[decoded], frame)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("[display %s] frame %d: %6d pts, geometry PSNR %5.1f dB\n",
+				v.name, decoded, frame.Len(), min(psnr, 120))
+		} else {
+			fmt.Printf("[display %s] frame %d: %6d pts\n", v.name, decoded, frame.Len())
+		}
+		decoded++
+	}
+	fmt.Printf("[display %s] %d frames decoded, decoder sim %v / %.2f J\n",
+		v.name, decoded, r.Device().SimTime().Round(1e5), r.Device().EnergyJ())
 }

@@ -182,7 +182,7 @@ func (e *Encoder) encodeCWIPC(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, edg
 	if isP {
 		ftype = PFrame
 	} else {
-		e.refSorted = sorted
+		e.setRef(sorted)
 	}
 	return &EncodedFrame{
 		Type:      ftype,
@@ -211,7 +211,7 @@ func (e *Encoder) encodeCWIPCRaw(sorted []geom.Voxel) ([]byte, error) {
 // reference frame: matched blocks store a reference-block pointer, the rest
 // ship raw (entropy-coded) colours.
 func (e *Encoder) encodeCWIPCPredicted(sorted []geom.Voxel, depth uint) ([]byte, error) {
-	iCloud := &geom.VoxelCloud{Depth: depth, Voxels: e.refSorted}
+	iCloud := &geom.VoxelCloud{Depth: depth, Voxels: e.ref()}
 	pCloud := &geom.VoxelCloud{Depth: depth, Voxels: sorted}
 	iTree := mbtree.Build(e.dev, iCloud, cwipcBlockShift)
 	pTree := mbtree.Build(e.dev, pCloud, cwipcBlockShift)

@@ -3,6 +3,7 @@ package codec
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/attr"
@@ -122,13 +123,22 @@ type FrameStats struct {
 	Inter interframe.Stats
 }
 
-// Encoder encodes a stream of frames under one design. Not safe for
-// concurrent use.
+// Encoder encodes a stream of frames under one design.
+//
+// EncodeFrame is not safe for concurrent use; but the split-phase API
+// (EncodeGeometryOn + FinishFrame, see pipeline.go) may run the geometry
+// phase of frame N+1 concurrently with the attribute phase of frame N:
+// the inter-frame reference handoff is guarded by refMu, and the geometry
+// phase touches no mutable encoder state.
 type Encoder struct {
 	dev  *edgesim.Device
 	opts Options
 
 	frameIdx int
+	// refMu guards refSorted: the reference is written by the attribute
+	// phase of I-frames and read by the attribute phase of P-frames, which
+	// may race with Reset/Threshold calls from a supervising goroutine.
+	refMu sync.Mutex
 	// refSorted is the reconstructed reference I-frame (sorted voxels with
 	// decoded colours) for P-frame prediction — the encoder tracks exactly
 	// what the decoder will have, avoiding drift.
@@ -160,8 +170,25 @@ func (e *Encoder) Options() Options { return e.opts }
 // Reset clears GOP state (e.g. when seeking).
 func (e *Encoder) Reset() {
 	e.frameIdx = 0
-	e.refSorted = nil
+	e.setRef(nil)
 }
+
+// setRef installs the reconstructed reference frame under the handoff lock.
+func (e *Encoder) setRef(ref []geom.Voxel) {
+	e.refMu.Lock()
+	e.refSorted = ref
+	e.refMu.Unlock()
+}
+
+// ref returns the current reference frame under the handoff lock.
+func (e *Encoder) ref() []geom.Voxel {
+	e.refMu.Lock()
+	defer e.refMu.Unlock()
+	return e.refSorted
+}
+
+// hasRef reports whether an I-frame reference is available.
+func (e *Encoder) hasRef() bool { return e.ref() != nil }
 
 // ErrEmptyFrame is returned for frames without points.
 var ErrEmptyFrame = errors.New("codec: empty frame")
@@ -171,7 +198,7 @@ func (e *Encoder) EncodeFrame(vc *geom.VoxelCloud) (*EncodedFrame, FrameStats, e
 	if vc.Len() == 0 {
 		return nil, FrameStats{}, ErrEmptyFrame
 	}
-	isP := e.opts.Design.UsesInter() && e.frameIdx%e.opts.GOP != 0 && e.refSorted != nil
+	isP := e.opts.Design.UsesInter() && e.frameIdx%e.opts.GOP != 0 && e.hasRef()
 
 	start := e.dev.Snapshot()
 	var (

@@ -17,14 +17,31 @@ var costRescale = edgesim.Cost{OpsPerItem: 12, BytesPerItem: 16}
 // encodeProposed runs the paper's pipelines: parallel geometry always;
 // attributes intra (Sec. IV) for I-frames and inter (Sec. V) for P-frames.
 func (e *Encoder) encodeProposed(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, edgesim.Snapshot, edgesim.Snapshot, error) {
+	g, err := e.proposedGeometry(e.dev, vc)
+	if err != nil {
+		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+	}
+	frame, attrDelta, err := e.proposedAttr(g, isP)
+	if err != nil {
+		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+	}
+	return frame, g.stageDelta, attrDelta, nil
+}
+
+// proposedGeometry runs the geometry half of the proposed pipeline on dev
+// (which may be a different device from the attribute phase's when the two
+// phases are pipelined across frames). It reads only immutable encoder
+// configuration, so it may run concurrently with proposedAttr of an
+// earlier frame.
+func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*GeometryIntermediate, error) {
 	var (
 		frame   = &EncodedFrame{Depth: uint8(vc.Depth)}
 		build   *paroctree.BuildResult
 		err     error
 		geomRaw []byte
 	)
-	s0 := e.dev.Snapshot()
-	e.dev.Stage("Geometry", func() {
+	s0 := dev.Snapshot()
+	dev.Stage("Geometry", func() {
 		work := vc
 		if !e.opts.Lossless {
 			// Tight-cuboid rescale: the source of the parallel pipeline's
@@ -33,26 +50,26 @@ func (e *Encoder) encodeProposed(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, 
 			frame.HasRescale = true
 			frame.Rescale = r
 			scaled := &geom.VoxelCloud{Depth: vc.Depth, Voxels: make([]geom.Voxel, vc.Len())}
-			e.dev.GPUKernelIdx("Rescale", vc.Len(), costRescale, func(i int) {
+			dev.GPUKernelIdx("Rescale", vc.Len(), costRescale, func(i int) {
 				scaled.Voxels[i] = r.Apply(vc.Voxels[i])
 			})
 			work = scaled
 		}
-		build, err = paroctree.Build(e.dev, work)
+		build, err = paroctree.Build(dev, work)
 		if err != nil {
 			return
 		}
-		geomRaw = build.Tree.Serialize(e.dev)
+		geomRaw = build.Tree.Serialize(dev)
 	})
-	geomDelta := e.dev.Since(s0)
+	stageDelta := dev.Since(s0)
 	if err != nil {
-		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+		return nil, err
 	}
 	if e.opts.EntropyGeometry {
 		// Optional entropy stage (Sec. IV-B3 ablation): ~halves the
 		// geometry stream, costs ~100 ms of serial coding at 1 M points.
 		var packed []byte
-		e.dev.CPUSerial("GeomEntropy", len(geomRaw), costEntropyByte, func() {
+		dev.CPUSerial("GeomEntropy", len(geomRaw), costEntropyByte, func() {
 			packed = entropy.CompressBytes(geomRaw)
 		})
 		frame.Geometry = append([]byte{1}, packed...)
@@ -60,20 +77,35 @@ func (e *Encoder) encodeProposed(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, 
 		frame.Geometry = append([]byte{0}, geomRaw...)
 	}
 
-	sorted := build.Sorted
-	frame.NumPoints = uint32(len(sorted))
+	frame.NumPoints = uint32(len(build.Sorted))
+	return &GeometryIntermediate{
+		frame:      frame,
+		sorted:     build.Sorted,
+		stageDelta: stageDelta,
+		phaseDelta: dev.Since(s0),
+		split:      true,
+	}, nil
+}
+
+// proposedAttr runs the attribute half on the encoder's own device,
+// consuming a proposedGeometry intermediate. It performs the reference
+// handoff: I-frames install the reconstructed reference under refMu,
+// P-frames read it.
+func (e *Encoder) proposedAttr(g *GeometryIntermediate, isP bool) (*EncodedFrame, edgesim.Snapshot, error) {
+	frame, sorted := g.frame, g.sorted
 	colors := make([]geom.Color, len(sorted))
 	for i, k := range sorted {
 		colors[i] = k.Voxel.C
 	}
 
+	var err error
 	s1 := e.dev.Snapshot()
 	var attrPayload []byte
 	e.dev.Stage("Attribute", func() {
 		if isP {
 			var st interframe.Stats
 			var data []byte
-			data, st, err = interframe.EncodeP(e.dev, e.refSorted, morton.Voxels(sorted), e.opts.Inter)
+			data, st, err = interframe.EncodeP(e.dev, e.ref(), morton.Voxels(sorted), e.opts.Inter)
 			e.lastInterStats = st
 			attrPayload = append([]byte{1}, data...)
 		} else {
@@ -84,7 +116,7 @@ func (e *Encoder) encodeProposed(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, 
 	})
 	attrDelta := e.dev.Since(s1)
 	if err != nil {
-		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
+		return nil, edgesim.Snapshot{}, err
 	}
 	frame.Attr = attrPayload
 	frame.Type = IFrame
@@ -95,16 +127,16 @@ func (e *Encoder) encodeProposed(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, 
 		// (decoded attributes on the sorted geometry, in rescaled space).
 		recon, rerr := attr.Decode(e.scratch, attrPayload[1:])
 		if rerr != nil {
-			return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, rerr
+			return nil, edgesim.Snapshot{}, rerr
 		}
 		ref := make([]geom.Voxel, len(sorted))
 		for i, k := range sorted {
 			ref[i] = k.Voxel
 			ref[i].C = recon[i]
 		}
-		e.refSorted = ref
+		e.setRef(ref)
 	}
-	return frame, geomDelta, attrDelta, nil
+	return frame, attrDelta, nil
 }
 
 // decodeProposed inverts encodeProposed. The inter designs require frames

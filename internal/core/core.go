@@ -23,6 +23,21 @@ const streamMagic = "PCV1"
 // ErrBadStream reports a malformed .pcv stream.
 var ErrBadStream = errors.New("core: malformed video stream")
 
+// WriteStreamHeader writes the .pcv magic plus the codec configuration —
+// everything a VideoReader needs before the first frame container. It is
+// used by VideoWriter and by transports (pcc/stream) that serialize frames
+// themselves.
+func WriteStreamHeader(w io.Writer, o codec.Options) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(streamMagic); err != nil {
+		return err
+	}
+	if err := writeOptions(bw, o); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // writeOptions serializes the codec configuration a decoder needs.
 func writeOptions(w *bufio.Writer, o codec.Options) error {
 	var buf []byte

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueGaugeSequential(t *testing.T) {
+	g := NewQueueGauge("tx")
+	g.Enqueue()
+	g.Enqueue()
+	g.Drop()
+	g.Dequeue()
+	s := g.Snapshot()
+	if s.Name != "tx" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if s.Depth != 1 || s.MaxDepth != 2 || s.Enqueued != 2 || s.Dequeued != 1 || s.Dropped != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+// The gauge is updated from every pipeline stage concurrently; totals must
+// balance and the watermark must never exceed the true peak. Run with -race.
+func TestQueueGaugeConcurrent(t *testing.T) {
+	g := NewQueueGauge("q")
+	const producers, perProducer = 8, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				g.Enqueue()
+				g.Dequeue()
+			}
+		}()
+	}
+	wg.Wait()
+	s := g.Snapshot()
+	if s.Depth != 0 {
+		t.Fatalf("depth = %d after balanced ops", s.Depth)
+	}
+	if s.Enqueued != producers*perProducer || s.Dequeued != producers*perProducer {
+		t.Fatalf("enqueued/dequeued = %d/%d", s.Enqueued, s.Dequeued)
+	}
+	if s.MaxDepth < 1 || s.MaxDepth > producers {
+		t.Fatalf("maxDepth = %d, want within [1,%d]", s.MaxDepth, producers)
+	}
+}

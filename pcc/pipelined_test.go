@@ -1,0 +1,69 @@
+package pcc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/pcc"
+)
+
+// The pipelined writer must emit the exact bytes of the sequential
+// StreamWriter, and the stream must round-trip through StreamReader.
+func TestPipelinedWriterMatchesStreamWriter(t *testing.T) {
+	video := pcc.NewVideo("loot", 0.02)
+	const n = 4
+	frames := make([]*pcc.PointCloud, n)
+	for i := range frames {
+		f, err := video.Frame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+	opts := pcc.DefaultOptions(pcc.IntraInterV1)
+	opts.IntraAttr.Segments = 64
+	opts.Inter.Segments = 96
+
+	var seq bytes.Buffer
+	w := pcc.NewStreamWriter(&seq, opts)
+	for _, f := range frames {
+		if _, err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var piped bytes.Buffer
+	pw := pcc.NewPipelinedWriter(&piped, opts)
+	for _, f := range frames {
+		if err := pw.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := pw.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	if !bytes.Equal(seq.Bytes(), piped.Bytes()) {
+		t.Fatalf("pipelined stream (%d B) != sequential stream (%d B)", piped.Len(), seq.Len())
+	}
+
+	r, err := pcc.NewStreamReader(bytes.NewReader(piped.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		frame, _, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if frame.Len() == 0 {
+			t.Fatalf("frame %d decoded empty", i)
+		}
+	}
+}
