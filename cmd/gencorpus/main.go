@@ -1,0 +1,235 @@
+// Command gencorpus regenerates the checked-in seed corpora for the
+// repository's fuzz targets (testdata/fuzz/<FuzzTarget>/ in each fuzzed
+// package). Each corpus entry is a REAL stream produced by the matching
+// encoder — a valid container, attribute stream, entropy stream, P-frame
+// stream, or framed packet — plus a few deliberately damaged variants, so
+// `go test -fuzz` and the CI fuzz smoke start from deep, structurally
+// meaningful inputs instead of empty bytes.
+//
+// The generator is deterministic: running it twice produces identical
+// files. Usage (from the repository root):
+//
+//	go run ./cmd/gencorpus
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/attr"
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/entropy"
+	"repro/internal/geom"
+	"repro/internal/interframe"
+	"repro/internal/morton"
+	"repro/pcc/stream"
+)
+
+var root = flag.String("root", ".", "repository root to write testdata under")
+
+// writeCorpus writes entries as Go fuzz corpus files (format "go test fuzz
+// v1") named seed-000, seed-001, … under dir, replacing existing seeds.
+func writeCorpus(dir string, entries [][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, data := range entries {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%-55s %d entries\n", dir, len(entries))
+	return nil
+}
+
+func dev() *edgesim.Device { return edgesim.NewXavier(edgesim.Mode15W) }
+
+// corrupt returns a copy of b with one byte XORed — a damaged sibling for
+// every healthy seed, so the fuzzer starts on both sides of the fence.
+func corrupt(b []byte, at int, mask byte) []byte {
+	c := append([]byte(nil), b...)
+	if len(c) > 0 {
+		c[at%len(c)] ^= mask
+	}
+	return c
+}
+
+// videoFrames encodes n frames of the loot sequence at a tiny scale.
+func videoFrames(n int) []*geom.VoxelCloud {
+	spec, err := dataset.SpecByName("loot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := dataset.NewGenerator(spec, 0.004)
+	out := make([]*geom.VoxelCloud, n)
+	for i := range out {
+		if out[i], err = g.Frame(i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return out
+}
+
+// codecCorpus: serialized .pcv frame containers (I and P, two designs).
+func codecCorpus() [][]byte {
+	var entries [][]byte
+	fs := videoFrames(2)
+	for _, d := range []codec.Design{codec.IntraInterV1, codec.TMC13} {
+		opts := codec.OptionsFor(d)
+		opts.IntraAttr.Segments = 32
+		opts.Inter.Segments = 48
+		opts.Inter.Candidates = 8
+		enc := codec.NewEncoder(dev(), opts)
+		for _, f := range fs {
+			ef, _, err := enc.EncodeFrame(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := ef.WriteTo(&buf); err != nil {
+				log.Fatal(err)
+			}
+			entries = append(entries, buf.Bytes())
+		}
+	}
+	full := entries[0]
+	entries = append(entries,
+		full[:len(full)/2],     // truncated mid-payload
+		corrupt(full, 2, 0xFF), // frame-type byte damage
+		corrupt(full, len(full)-4, 0x10),
+	)
+	return entries
+}
+
+// attrCorpus: real intra attribute streams across parameter variants.
+func attrCorpus() [][]byte {
+	rng := rand.New(rand.NewSource(11))
+	colors := make([]geom.Color, 400)
+	r, g, b := 128.0, 100.0, 60.0
+	for i := range colors {
+		r += rng.Float64()*6 - 3
+		g += rng.Float64()*6 - 3
+		b += rng.Float64()*6 - 3
+		colors[i] = geom.Color{R: uint8(r), G: uint8(g), B: uint8(b)}
+	}
+	var entries [][]byte
+	for _, p := range []attr.Params{
+		{Segments: 16, QStep: 1, Layers: 1},
+		{Segments: 16, QStep: 4, Layers: 2},
+		{Segments: 16, QStep: 4, Layers: 2, Entropy: true},
+		{Segments: 16, QStep: 2, Layers: 2, YCoCg: true},
+	} {
+		data, err := attr.Encode(dev(), colors, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries = append(entries, data)
+	}
+	entries = append(entries, corrupt(entries[0], 1, 0x80), entries[2][:len(entries[2])/3])
+	return entries
+}
+
+// entropyCorpus: compressed streams for the decompressor, raw inputs for
+// the round-trip target.
+func entropyCorpus() (decompress, roundTrip [][]byte) {
+	rng := rand.New(rand.NewSource(12))
+	noisy := make([]byte, 700)
+	rng.Read(noisy)
+	inputs := [][]byte{
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte{0x42}, 900),
+		noisy,
+		{},
+	}
+	for _, in := range inputs {
+		decompress = append(decompress, entropy.CompressBytes(in))
+		roundTrip = append(roundTrip, in)
+	}
+	decompress = append(decompress, corrupt(decompress[0], 3, 0x55), decompress[1][:4])
+	return decompress, roundTrip
+}
+
+// interframeCorpus: real P-frame streams against a synthetic reference.
+func interframeCorpus() [][]byte {
+	rng := rand.New(rand.NewSource(13))
+	seen := map[morton.Code]bool{}
+	keyed := make([]morton.Keyed, 0, 300)
+	for len(keyed) < 300 {
+		x, y, z := uint32(rng.Intn(512)), uint32(rng.Intn(512)), uint32(rng.Intn(512))
+		c := morton.Encode(x, y, z)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		keyed = append(keyed, morton.Keyed{Code: c, Voxel: geom.Voxel{
+			X: x, Y: y, Z: z,
+			C: geom.Color{R: uint8(x / 2), G: uint8(y / 2), B: uint8(z / 2)},
+		}})
+	}
+	morton.Sort(keyed)
+	iF := morton.Voxels(keyed)
+	pF := make([]geom.Voxel, len(iF))
+	copy(pF, iF)
+	for i := range pF {
+		pF[i].C = pF[i].C.Add(rng.Intn(9)-4, rng.Intn(9)-4, rng.Intn(9)-4)
+	}
+	var entries [][]byte
+	for _, p := range []interframe.Params{
+		{Segments: 20, Candidates: 10, Threshold: 50, QStep: 2},
+		{Segments: 20, Candidates: 10, Threshold: -1, QStep: 2},
+		{Segments: 40, Candidates: 4, Threshold: 1e9, QStep: 1},
+	} {
+		data, _, err := interframe.EncodeP(dev(), iF, pF, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries = append(entries, data)
+	}
+	entries = append(entries, corrupt(entries[0], 0, 0x01), entries[1][:2])
+	return entries
+}
+
+// packetCorpus: framed data and control packets from the stream transport.
+func packetCorpus() [][]byte {
+	payload := bytes.Repeat([]byte{0xC3, 0x96}, 300)
+	pkts := stream.PacketizeFrame(1, 4, codec.IFrame, 17, payload, 256)
+	entries := [][]byte{
+		pkts[0],
+		pkts[len(pkts)-1],
+		stream.PacketizeFrame(2, 5, codec.PFrame, 90, nil, 1400)[0], // empty frame
+		stream.MarshalControl(stream.Control{Kind: stream.ControlNACK, StreamID: 1, Seqs: []uint32{3, 9, 1 << 20}}),
+		stream.MarshalControl(stream.Control{Kind: stream.ControlRefresh, StreamID: 1, FrameIndex: 12}),
+	}
+	entries = append(entries,
+		corrupt(pkts[0], stream.PacketHeaderSize+1, 0x01), // payload bit → CRC fail
+		corrupt(pkts[0], 0, 0xFF),                         // magic damage
+		pkts[0][:stream.PacketHeaderSize-2],               // truncated header
+	)
+	return entries
+}
+
+func main() {
+	flag.Parse()
+	decompress, roundTrip := entropyCorpus()
+	for dir, entries := range map[string][][]byte{
+		"internal/codec/testdata/fuzz/FuzzReadFrameFrom":     codecCorpus(),
+		"internal/attr/testdata/fuzz/FuzzDecode":             attrCorpus(),
+		"internal/entropy/testdata/fuzz/FuzzDecompressBytes": decompress,
+		"internal/entropy/testdata/fuzz/FuzzRoundTrip":       roundTrip,
+		"internal/interframe/testdata/fuzz/FuzzDecodeP":      interframeCorpus(),
+		"pcc/stream/testdata/fuzz/FuzzParsePacket":           packetCorpus(),
+	} {
+		if err := writeCorpus(filepath.Join(*root, dir), entries); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/linksim"
+	"repro/internal/trace"
+	"repro/pcc/stream"
+)
+
+// lossDecodedFloor is the checked-in acceptance floor for the loss sweep:
+// at up to 5% packet loss the recovery protocol must still decode at least
+// this fraction of frames. CI fails the experiment if a run regresses.
+const lossDecodedFloor = 0.95
+
+// lossSeed fixes the fault injector so every sweep replays the same drops.
+const lossSeed = 42
+
+// runLoss sweeps packet-loss rates over the lossy transport (real packet
+// framing → seeded FaultyLink → receiver with NACK/conceal/refresh
+// recovery) and reports the decoded-frame ratio and the recovery latency
+// each loss rate costs. Rates at or below 5% enforce lossDecodedFloor.
+func runLoss(cfg benchConfig) error {
+	spec := cfg.Videos[0]
+	nFrames := cfg.Frames
+	if nFrames < 12 {
+		nFrames = 12 // at least four IPP GOPs so I-frame recovery matters
+	}
+	frames, err := loadFrames(spec, cfg.Scale, nFrames)
+	if err != nil {
+		return err
+	}
+	opts := scaledOptions(codec.IntraInterV1, cfg.Scale)
+
+	tb := trace.NewTable(
+		fmt.Sprintf("Loss resilience — %s, %d frames, GOP %d, WiFi + fault injection (seed %d)",
+			spec.Name, len(frames), opts.GOP, lossSeed),
+		"drop", "decoded", "concealed", "skipped", "ratio", "nacks", "retx", "recov ms")
+
+	type point struct {
+		rate  float64
+		ratio float64
+	}
+	var points []point
+	for _, rate := range []float64{0, 0.01, 0.05, 0.10} {
+		prof := linksim.FaultProfile{
+			DropRate:    rate,
+			ReorderRate: 0.03,
+			DupRate:     0.01,
+			Seed:        lossSeed,
+		}
+		if rate == 0 {
+			prof.ReorderRate, prof.DupRate = 0, 0
+		}
+
+		fl := linksim.NewFaultyLink(linksim.WiFi, prof)
+		var recovered time.Duration
+		var recoveredN int
+		pipe := stream.NewLossyPipe(fl, stream.ReceiverConfig{
+			Options: opts,
+			OnFrame: func(f stream.DecodedFrame) {
+				if f.Status == stream.FrameDecoded && f.Delay > 0 {
+					recovered += f.Delay
+					recoveredN++
+				}
+			},
+		})
+		s := stream.New(context.Background(), stream.Config{
+			Options:   opts,
+			PacketOut: pipe.PacketOut,
+		})
+		pipe.Attach(s)
+		col := stream.NewCollector(s)
+		for _, f := range frames {
+			if err := s.Submit(context.Background(), f); err != nil {
+				return err
+			}
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+		col.Wait()
+		if err := pipe.Finish(len(frames)); err != nil {
+			return err
+		}
+
+		rs := pipe.Receiver().Metrics()
+		ratio := rs.DecodedRatio()
+		meanRecov := 0.0
+		if recoveredN > 0 {
+			meanRecov = recovered.Seconds() * 1000 / float64(recoveredN)
+		}
+		tb.Row(fmt.Sprintf("%.0f%%", rate*100),
+			fmt.Sprintf("%d/%d", rs.FramesDecoded, rs.Frames()),
+			fmt.Sprintf("%d", rs.FramesConcealed),
+			fmt.Sprintf("%d", rs.FramesSkipped),
+			fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%d", rs.NACKsSent),
+			fmt.Sprintf("%d", rs.RetransmitsReceived),
+			meanRecov)
+		points = append(points, point{rate, ratio})
+	}
+	emit(tb)
+	fmt.Println("recov ms = mean first-to-last-packet delay of decoded frames (reassembly plus")
+	fmt.Println("NACK recovery); the rise over the 0% row is the latency the loss rate costs.")
+	fmt.Println("concealed frames repeat the last good frame, skipped frames had no usable reference.")
+
+	for _, p := range points {
+		if p.rate <= 0.05 && p.ratio < lossDecodedFloor {
+			return fmt.Errorf("loss sweep: decoded ratio %.3f at %.0f%% drop is below the %.2f floor",
+				p.ratio, p.rate*100, lossDecodedFloor)
+		}
+	}
+	return nil
+}

@@ -44,7 +44,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -87,9 +87,10 @@ func main() {
 		"viewport":  runViewport,
 		"capture":   runCapture,
 		"pipeline":  runPipeline,
+		"loss":      runLoss,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline"} {
+		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline", "loss"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "pccbench %s: %v\n", name, err)

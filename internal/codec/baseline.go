@@ -283,7 +283,7 @@ func (d *Decoder) decodeCWIPC(f *EncodedFrame) (*geom.VoxelCloud, error) {
 		d.refSorted = voxels
 	case 1: // predicted frame
 		if d.refSorted == nil {
-			return nil, fmt.Errorf("codec: P-frame without reference")
+			return nil, ErrMissingReference
 		}
 		if err := d.decodeCWIPCPredicted(f.Attr[1:], voxels, uint(f.Depth)); err != nil {
 			return nil, err

@@ -135,10 +135,14 @@ type Encoder struct {
 	opts Options
 
 	frameIdx int
-	// refMu guards refSorted: the reference is written by the attribute
-	// phase of I-frames and read by the attribute phase of P-frames, which
-	// may race with Reset/Threshold calls from a supervising goroutine.
+	// refMu guards refSorted and forceI: the reference is written by the
+	// attribute phase of I-frames and read by the attribute phase of
+	// P-frames, which may race with Reset/Threshold/ForceIFrame calls from
+	// a supervising goroutine.
 	refMu sync.Mutex
+	// forceI requests that the next frame open a fresh GOP (set by
+	// ForceIFrame when a receiver reports reference loss).
+	forceI bool
 	// refSorted is the reconstructed reference I-frame (sorted voxels with
 	// decoded colours) for P-frame prediction — the encoder tracks exactly
 	// what the decoder will have, avoiding drift.
@@ -190,8 +194,38 @@ func (e *Encoder) ref() []geom.Voxel {
 // hasRef reports whether an I-frame reference is available.
 func (e *Encoder) hasRef() bool { return e.ref() != nil }
 
+// ForceIFrame makes the next encoded frame open a fresh GOP (an I-frame)
+// regardless of the current GOP position — the sender side of a receiver's
+// I-frame refresh request after reference loss. Safe to call from any
+// goroutine; it takes effect on the next frame to finish encoding.
+func (e *Encoder) ForceIFrame() {
+	e.refMu.Lock()
+	e.forceI = true
+	e.refMu.Unlock()
+}
+
+// takeForceI consumes a pending ForceIFrame request.
+func (e *Encoder) takeForceI() bool {
+	e.refMu.Lock()
+	defer e.refMu.Unlock()
+	v := e.forceI
+	e.forceI = false
+	return v
+}
+
 // ErrEmptyFrame is returned for frames without points.
 var ErrEmptyFrame = errors.New("codec: empty frame")
+
+// ErrCorruptFrame reports a frame whose payload is truncated, bit-flipped,
+// or otherwise fails validation during decode. The decoder's GOP state is
+// left untouched: callers may keep decoding and resync at the next I-frame.
+var ErrCorruptFrame = errors.New("codec: corrupt frame payload")
+
+// ErrMissingReference reports a P-frame decoded without its GOP reference
+// (the preceding I-frame was lost, corrupt, or skipped). Recovery is to
+// skip P-frames until the next I-frame arrives, or to request an I-frame
+// refresh from the sender.
+var ErrMissingReference = errors.New("codec: P-frame without reference")
 
 // EncodeFrame compresses the next frame of the stream.
 func (e *Encoder) EncodeFrame(vc *geom.VoxelCloud) (*EncodedFrame, FrameStats, error) {
@@ -199,6 +233,10 @@ func (e *Encoder) EncodeFrame(vc *geom.VoxelCloud) (*EncodedFrame, FrameStats, e
 		return nil, FrameStats{}, ErrEmptyFrame
 	}
 	isP := e.opts.Design.UsesInter() && e.frameIdx%e.opts.GOP != 0 && e.hasRef()
+	if e.takeForceI() {
+		isP = false
+		e.frameIdx = 0 // restart the GOP so the following frames predict from this I
+	}
 
 	start := e.dev.Snapshot()
 	var (
@@ -258,15 +296,29 @@ func (d *Decoder) Reset() { d.refSorted = nil }
 
 // DecodeFrame reconstructs a frame. The returned cloud's voxels are in the
 // codec's canonical (Morton-sorted) order.
+//
+// Every decode failure is typed: errors.Is(err, ErrMissingReference) means
+// a P-frame arrived without its GOP reference, and any other failure wraps
+// ErrCorruptFrame (truncated or bit-flipped payload, header lies, wrong
+// design). A failed decode never mutates reference state, so the decoder
+// resyncs cleanly at the next I-frame.
 func (d *Decoder) DecodeFrame(f *EncodedFrame) (*geom.VoxelCloud, error) {
+	var (
+		vc  *geom.VoxelCloud
+		err error
+	)
 	switch d.opts.Design {
 	case TMC13:
-		return d.decodeTMC13(f)
+		vc, err = d.decodeTMC13(f)
 	case CWIPC:
-		return d.decodeCWIPC(f)
+		vc, err = d.decodeCWIPC(f)
 	case IntraOnly, IntraInterV1, IntraInterV2:
-		return d.decodeProposed(f)
+		vc, err = d.decodeProposed(f)
 	default:
 		return nil, fmt.Errorf("codec: unknown design %v", d.opts.Design)
 	}
+	if err != nil && !errors.Is(err, ErrMissingReference) && !errors.Is(err, ErrCorruptFrame) {
+		err = fmt.Errorf("%w: %w", ErrCorruptFrame, err)
+	}
+	return vc, err
 }

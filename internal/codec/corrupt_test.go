@@ -1,0 +1,269 @@
+package codec
+
+// Corrupt-stream recovery: table-driven mutations of a serialized .pcv
+// frame sequence — truncation, bit flips, frame reordering, frame drops —
+// decoded under the same policy the stream receiver applies: any error
+// must be one of the typed sentinels (never a panic), the decoder Resets
+// on failure, and decoding must resynchronize at the next I-frame with
+// byte-correct output from there on.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// corruptOutcome is the fate of one stream position under the hardened
+// decode loop.
+type corruptOutcome struct {
+	err     error
+	skipped bool // P-frame not decoded while waiting for an I after a failure
+	cloud   *geom.VoxelCloud
+}
+
+// buildCorpusStream encodes n frames (GOP 3: IPPIPP…) and returns each
+// frame's container bytes plus the clean decode of every frame.
+func buildCorpusStream(t *testing.T, n int) (Options, [][]byte, []*geom.VoxelCloud) {
+	t.Helper()
+	fs := frames(t, n)
+	opts := scaledOpts(IntraInterV1, fs[0].Len())
+	enc := NewEncoder(dev(), opts)
+	dec := NewDecoder(dev(), opts)
+	var raw [][]byte
+	var clean []*geom.VoxelCloud
+	for _, f := range fs {
+		ef, _, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ef.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, buf.Bytes())
+		rt, err := ReadFrameFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, err := dec.DecodeFrame(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean = append(clean, vc)
+	}
+	return opts, raw, clean
+}
+
+// decodeHardened runs the receiver's recovery policy over a (possibly
+// mutated) frame sequence: typed-error or clean on every frame, Reset and
+// wait for the next I-frame after any failure. It fails the test on a
+// panic or an untyped error.
+func decodeHardened(t *testing.T, opts Options, raw [][]byte) []corruptOutcome {
+	t.Helper()
+	dec := NewDecoder(dev(), opts)
+	needI := false
+	out := make([]corruptOutcome, len(raw))
+	for i, b := range raw {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("position %d: decoder panicked on corrupt stream: %v", i, r)
+				}
+			}()
+			ef, err := ReadFrameFrom(bytes.NewReader(b))
+			if err != nil {
+				if !errors.Is(err, ErrBadContainer) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+					t.Errorf("position %d: container error is untyped: %v", i, err)
+				}
+				out[i] = corruptOutcome{err: err}
+				dec.Reset()
+				needI = true
+				return
+			}
+			if needI && ef.Type != IFrame {
+				out[i] = corruptOutcome{skipped: true}
+				return
+			}
+			vc, err := dec.DecodeFrame(ef)
+			if err != nil {
+				if !errors.Is(err, ErrCorruptFrame) && !errors.Is(err, ErrMissingReference) {
+					t.Errorf("position %d: decode error is untyped: %v", i, err)
+				}
+				out[i] = corruptOutcome{err: err}
+				dec.Reset()
+				needI = true
+				return
+			}
+			needI = false
+			out[i] = corruptOutcome{cloud: vc}
+		}()
+	}
+	return out
+}
+
+func sameCloud(a, b *geom.VoxelCloud) bool {
+	if a == nil || b == nil || a.Depth != b.Depth || len(a.Voxels) != len(b.Voxels) {
+		return false
+	}
+	for i := range a.Voxels {
+		if a.Voxels[i] != b.Voxels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCorruptStreamRecovery(t *testing.T) {
+	const n = 9 // GOP 3: I P P I P P I P P
+	opts, raw, clean := buildCorpusStream(t, n)
+
+	clone := func() [][]byte {
+		c := make([][]byte, len(raw))
+		for i, b := range raw {
+			c[i] = append([]byte(nil), b...)
+		}
+		return c
+	}
+
+	cases := []struct {
+		name string
+		// mutate returns the corrupted sequence and origin[i] = index of
+		// the clean frame at position i (-1 when unknown/none).
+		mutate func() (mutated [][]byte, origin []int)
+		// firstBad is the first stream position allowed to misbehave.
+		firstBad int
+		// recoveredAt is the position from which every frame must again
+		// decode byte-correct (the next I-frame at or after the damage).
+		recoveredAt int
+	}{
+		{
+			name: "truncate mid-frame",
+			mutate: func() ([][]byte, []int) {
+				m := clone()
+				m[4] = m[4][:len(m[4])/2]
+				return m, []int{0, 1, 2, 3, -1, 5, 6, 7, 8}
+			},
+			firstBad:    4,
+			recoveredAt: 6,
+		},
+		{
+			name: "container header bit flip",
+			mutate: func() ([][]byte, []int) {
+				m := clone()
+				m[3][0] ^= 0xFF // kill the PCVF magic of the second I-frame
+				return m, []int{0, 1, 2, -1, 4, 5, 6, 7, 8}
+			},
+			firstBad:    3,
+			recoveredAt: 6,
+		},
+		{
+			name: "payload bit flip in P-frame",
+			mutate: func() ([][]byte, []int) {
+				m := clone()
+				m[4][len(m[4])-3] ^= 0x10 // attr payload tail of frame 4
+				return m, []int{0, 1, 2, 3, -1, 5, 6, 7, 8}
+			},
+			firstBad:    4,
+			recoveredAt: 6,
+		},
+		{
+			name: "payload bit flip in I-frame",
+			mutate: func() ([][]byte, []int) {
+				m := clone()
+				m[3][len(m[3])/2] ^= 0x04
+				return m, []int{0, 1, 2, -1, 4, 5, 6, 7, 8}
+			},
+			firstBad:    3,
+			recoveredAt: 6,
+		},
+		{
+			name: "P-frame reordered before its I",
+			mutate: func() ([][]byte, []int) {
+				m := clone()
+				m[3], m[4] = m[4], m[3] // stream order: ... P2, P4, I3, P5 ...
+				return m, []int{0, 1, 2, -1, 3, 5, 6, 7, 8}
+			},
+			firstBad:    3,
+			recoveredAt: 4,
+		},
+		{
+			name: "I-frame dropped",
+			mutate: func() ([][]byte, []int) {
+				m := clone()
+				m = append(m[:3], m[4:]...)               // I3 vanishes; P4,P5 lose their ref
+				return m, []int{0, 1, 2, -1, -1, 6, 7, 8} // positions shift left
+			},
+			firstBad:    3,
+			recoveredAt: 5, // original I6 now sits at position 5
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated, origin := tc.mutate()
+			out := decodeHardened(t, opts, mutated)
+			if len(out) != len(mutated) {
+				t.Fatalf("got %d outcomes for %d positions", len(out), len(mutated))
+			}
+			for i, o := range out {
+				switch {
+				case i < tc.firstBad:
+					if o.err != nil || o.skipped || !sameCloud(o.cloud, clean[origin[i]]) {
+						t.Errorf("position %d (before damage): err=%v skipped=%v clean=%v",
+							i, o.err, o.skipped, sameCloud(o.cloud, clean[origin[i]]))
+					}
+				case i >= tc.recoveredAt:
+					if origin[i] < 0 {
+						continue
+					}
+					if o.err != nil || o.skipped {
+						t.Errorf("position %d (after recovery point): err=%v skipped=%v", i, o.err, o.skipped)
+					} else if !sameCloud(o.cloud, clean[origin[i]]) {
+						t.Errorf("position %d: post-recovery decode differs from clean frame %d", i, origin[i])
+					}
+				default:
+					// Damage zone: anything typed/skipped/bounded is legal —
+					// decodeHardened already rejected panics and untyped
+					// errors. A successful decode here must not be silently
+					// presented as clean unless it actually is clean.
+					if o.cloud != nil && origin[i] >= 0 && !sameCloud(o.cloud, clean[origin[i]]) {
+						t.Logf("position %d: bounded-wrong decode inside damage zone (allowed)", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorruptStreamTypedErrors pins the exact sentinel for the two
+// canonical failures: a P-frame with no reference, and a structurally
+// corrupt payload.
+func TestCorruptStreamTypedErrors(t *testing.T) {
+	_, raw, _ := buildCorpusStream(t, 3)
+	opts := scaledOpts(IntraInterV1, 0)
+
+	// P-frame decoded by a fresh decoder: ErrMissingReference.
+	ef, err := ReadFrameFrom(bytes.NewReader(raw[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.Type != PFrame {
+		t.Fatalf("frame 1 is %v, want P", ef.Type)
+	}
+	if _, err := NewDecoder(dev(), opts).DecodeFrame(ef); !errors.Is(err, ErrMissingReference) {
+		t.Errorf("P without reference: got %v, want ErrMissingReference", err)
+	}
+
+	// Truncated attr payload: every decode failure wraps ErrCorruptFrame.
+	ef, err = ReadFrameFrom(bytes.NewReader(raw[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef.Attr = ef.Attr[:1]
+	if _, err := NewDecoder(dev(), opts).DecodeFrame(ef); !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("truncated attr: got %v, want ErrCorruptFrame", err)
+	}
+}

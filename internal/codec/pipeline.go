@@ -73,6 +73,10 @@ func (e *Encoder) EncodeGeometryOn(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 // predict from the preceding I); only one FinishFrame may run at a time.
 func (e *Encoder) FinishFrame(g *GeometryIntermediate) (*EncodedFrame, FrameStats, error) {
 	isP := e.opts.Design.UsesInter() && e.frameIdx%e.opts.GOP != 0 && e.hasRef()
+	if e.takeForceI() {
+		isP = false
+		e.frameIdx = 0 // restart the GOP so the following frames predict from this I
+	}
 
 	var (
 		frame     *EncodedFrame

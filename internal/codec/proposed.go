@@ -174,7 +174,7 @@ func (d *Decoder) decodeProposed(f *EncodedFrame) (*geom.VoxelCloud, error) {
 		colors, err = attr.Decode(d.dev, f.Attr[1:])
 	case 1: // inter
 		if d.refSorted == nil {
-			return nil, fmt.Errorf("codec: P-frame without reference")
+			return nil, ErrMissingReference
 		}
 		colors, err = interframe.DecodeP(d.dev, f.Attr[1:], d.refSorted)
 	default:

@@ -1,0 +1,166 @@
+package linksim
+
+// FaultyLink injects packet-level faults — drops, duplicates, reordering,
+// and burst outages — into a modelled Link. The paper's transmit stage
+// (Sec. II-A) assumes a wireless hop, and wireless hops lose packets: this
+// is the adversary the pcc/stream packet framing and receiver recovery are
+// built against.
+//
+// All faults are driven by one seeded PRNG, so a given (Link, FaultProfile)
+// pair replays the exact same fault sequence every run — failures found in
+// CI or a loss sweep reproduce from the seed alone.
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultProfile configures the fault injector. The zero value injects no
+// faults (a FaultyLink then behaves like its underlying Link, packet by
+// packet).
+type FaultProfile struct {
+	// DropRate is the independent per-packet loss probability in [0,1).
+	DropRate float64
+	// DupRate is the probability a delivered packet arrives twice.
+	DupRate float64
+	// ReorderRate is the probability a packet is held back and delivered
+	// after its successor (a one-slot swap, the common wireless reorder).
+	ReorderRate float64
+	// BurstEvery, when > 0, schedules a burst outage roughly every
+	// BurstEvery packets (uniform in [BurstEvery/2, 3*BurstEvery/2]).
+	BurstEvery int
+	// BurstLen is the number of consecutive packets lost per burst
+	// (default 4 when BurstEvery > 0).
+	BurstLen int
+	// Seed seeds the fault PRNG; equal seeds replay equal fault sequences.
+	Seed int64
+}
+
+// FaultStats counts the injector's decisions since creation.
+type FaultStats struct {
+	Sent       int64 // packets offered to the link (radio send attempts)
+	Delivered  int64 // packet copies handed to the receiver
+	Dropped    int64 // packets lost to independent drops
+	BurstDrops int64 // packets lost to burst outages
+	Duplicated int64 // extra copies delivered
+	Reordered  int64 // packets held back one slot
+	Bursts     int64 // burst outages begun
+}
+
+// FaultyLink wraps a Link with deterministic fault injection. Create with
+// NewFaultyLink. Safe for concurrent use, but the fault sequence is only
+// reproducible when packets are sent from one goroutine in a fixed order.
+type FaultyLink struct {
+	link Link
+	prof FaultProfile
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	held       [][]byte // packet (plus any dup) delayed by a reorder
+	untilBurst int      // packets until the next burst begins; <0 = never
+	burstLeft  int      // packets remaining in the current burst
+	stats      FaultStats
+}
+
+// NewFaultyLink wraps l with the given fault profile.
+func NewFaultyLink(l Link, p FaultProfile) *FaultyLink {
+	if p.BurstEvery > 0 && p.BurstLen <= 0 {
+		p.BurstLen = 4
+	}
+	f := &FaultyLink{link: l, prof: p, rng: rand.New(rand.NewSource(p.Seed))}
+	f.untilBurst = -1
+	if p.BurstEvery > 0 {
+		f.untilBurst = f.nextBurstGap()
+	}
+	return f
+}
+
+func (f *FaultyLink) nextBurstGap() int {
+	return f.prof.BurstEvery/2 + f.rng.Intn(f.prof.BurstEvery+1)
+}
+
+// Link returns the underlying fault-free link model.
+func (f *FaultyLink) Link() Link { return f.link }
+
+// Profile returns the fault profile in effect.
+func (f *FaultyLink) Profile() FaultProfile { return f.prof }
+
+// Stats snapshots the injector's counters.
+func (f *FaultyLink) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Send offers one packet to the link. It returns the packet copies that
+// reach the receiver — zero (dropped), one, or two (duplicated) — in
+// arrival order, possibly including an earlier packet released from a
+// reorder hold. The Cost is the radio cost of the send attempt, charged
+// whether or not the packet survives (the transmitter spent the energy
+// either way).
+func (f *FaultyLink) Send(pkt []byte) ([][]byte, Cost, error) {
+	cost, err := f.link.Transmit(int64(len(pkt)))
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Sent++
+
+	// Draw every fault decision each packet so the random sequence — and
+	// therefore every later packet's fate — is independent of which
+	// branches were taken.
+	pDrop, pDup, pReorder := f.rng.Float64(), f.rng.Float64(), f.rng.Float64()
+
+	dropped := false
+	if f.burstLeft > 0 {
+		f.burstLeft--
+		f.stats.BurstDrops++
+		dropped = true
+	} else if pDrop < f.prof.DropRate {
+		f.stats.Dropped++
+		dropped = true
+	}
+	if f.untilBurst > 0 {
+		f.untilBurst--
+		if f.untilBurst == 0 {
+			f.burstLeft = f.prof.BurstLen
+			f.stats.Bursts++
+			f.untilBurst = f.nextBurstGap()
+		}
+	}
+
+	var out [][]byte
+	if !dropped {
+		cur := [][]byte{pkt}
+		if pDup < f.prof.DupRate {
+			cur = append(cur, pkt)
+			f.stats.Duplicated++
+		}
+		if pReorder < f.prof.ReorderRate && f.held == nil {
+			f.held = cur
+			f.stats.Reordered++
+		} else {
+			out = cur
+		}
+	}
+	// A held packet is released after the next surviving packet, which
+	// realizes the one-slot swap.
+	if f.held != nil && len(out) > 0 {
+		out = append(out, f.held...)
+		f.held = nil
+	}
+	f.stats.Delivered += int64(len(out))
+	return out, cost, nil
+}
+
+// Flush releases any packet still delayed by a reorder hold. Call it when
+// the sender finishes, or a held final packet would never arrive.
+func (f *FaultyLink) Flush() [][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.held
+	f.held = nil
+	f.stats.Delivered += int64(len(out))
+	return out
+}

@@ -1,0 +1,162 @@
+package linksim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// collect pushes n numbered packets through f and returns the delivered
+// sequence (by packet number) after a final Flush.
+func collect(t *testing.T, f *FaultyLink, n int) []int {
+	t.Helper()
+	var got []int
+	push := func(pkts [][]byte) {
+		for _, p := range pkts {
+			var id int
+			if _, err := fmt.Sscanf(string(p), "pkt-%d", &id); err != nil {
+				t.Fatalf("bad packet %q", p)
+			}
+			got = append(got, id)
+		}
+	}
+	for i := 0; i < n; i++ {
+		out, cost, err := f.Send([]byte(fmt.Sprintf("pkt-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost.Latency <= 0 {
+			t.Fatalf("packet %d: no radio cost charged", i)
+		}
+		push(out)
+	}
+	push(f.Flush())
+	return got
+}
+
+func TestFaultyLinkNoFaultsIsTransparent(t *testing.T) {
+	f := NewFaultyLink(WiFi, FaultProfile{})
+	got := collect(t, f, 50)
+	if len(got) != 50 {
+		t.Fatalf("delivered %d of 50", len(got))
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("packet %d delivered as %d", i, id)
+		}
+	}
+}
+
+func TestFaultyLinkDeterministic(t *testing.T) {
+	prof := FaultProfile{DropRate: 0.1, DupRate: 0.05, ReorderRate: 0.1, BurstEvery: 40, BurstLen: 3, Seed: 7}
+	a := collect(t, NewFaultyLink(WiFi, prof), 200)
+	b := collect(t, NewFaultyLink(WiFi, prof), 200)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at delivery %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := collect(t, NewFaultyLink(WiFi, FaultProfile{DropRate: 0.1, DupRate: 0.05, ReorderRate: 0.1, BurstEvery: 40, BurstLen: 3, Seed: 8}), 200)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestFaultyLinkRates(t *testing.T) {
+	const n = 20000
+	prof := FaultProfile{DropRate: 0.05, DupRate: 0.02, ReorderRate: 0.03, Seed: 1}
+	f := NewFaultyLink(WiFi, prof)
+	for i := 0; i < n; i++ {
+		if _, _, err := f.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Flush()
+	st := f.Stats()
+	if st.Sent != n {
+		t.Fatalf("sent %d, want %d", st.Sent, n)
+	}
+	// Within ±30% of the configured rates at this sample size.
+	checkRate := func(name string, got int64, want float64) {
+		t.Helper()
+		r := float64(got) / n
+		if r < want*0.7 || r > want*1.3 {
+			t.Fatalf("%s rate %.4f, want ~%.4f", name, r, want)
+		}
+	}
+	checkRate("drop", st.Dropped, prof.DropRate)
+	checkRate("dup", st.Duplicated, prof.DupRate)
+	checkRate("reorder", st.Reordered, prof.ReorderRate)
+	if st.Delivered != st.Sent-st.Dropped-st.BurstDrops+st.Duplicated {
+		t.Fatalf("delivery accounting: %+v", st)
+	}
+}
+
+func TestFaultyLinkBurst(t *testing.T) {
+	f := NewFaultyLink(WiFi, FaultProfile{BurstEvery: 20, BurstLen: 5, Seed: 3})
+	got := collect(t, f, 200)
+	st := f.Stats()
+	if st.Bursts == 0 || st.BurstDrops == 0 {
+		t.Fatalf("no bursts fired: %+v", st)
+	}
+	if st.BurstDrops < st.Bursts*4 {
+		t.Fatalf("bursts too short: %+v", st)
+	}
+	if len(got)+int(st.BurstDrops) != 200 {
+		t.Fatalf("delivered %d + burst-dropped %d != 200", len(got), st.BurstDrops)
+	}
+	// Burst losses are consecutive: the delivered ids must contain a gap of
+	// at least BurstLen.
+	maxGap := 0
+	for i := 1; i < len(got); i++ {
+		if g := got[i] - got[i-1] - 1; g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap < 5 {
+		t.Fatalf("largest delivery gap %d, want >= burst length 5", maxGap)
+	}
+}
+
+func TestFaultyLinkReorderSwaps(t *testing.T) {
+	// With only reordering enabled, every packet is delivered exactly once
+	// and held packets land one slot late.
+	f := NewFaultyLink(WiFi, FaultProfile{ReorderRate: 0.2, Seed: 11})
+	got := collect(t, f, 500)
+	if len(got) != 500 {
+		t.Fatalf("delivered %d of 500", len(got))
+	}
+	seen := make([]bool, 500)
+	outOfOrder := 0
+	for i, id := range got {
+		if seen[id] {
+			t.Fatalf("packet %d delivered twice", id)
+		}
+		seen[id] = true
+		if i > 0 && id < got[i-1] {
+			outOfOrder++
+		}
+	}
+	if outOfOrder == 0 {
+		t.Fatal("no reordering observed at 20% reorder rate")
+	}
+}
+
+func TestFaultyLinkPropagatesLinkErrors(t *testing.T) {
+	f := NewFaultyLink(Link{}, FaultProfile{})
+	if _, _, err := f.Send(bytes.Repeat([]byte{1}, 10)); err != ErrBadLink {
+		t.Fatalf("err = %v, want ErrBadLink", err)
+	}
+}

@@ -43,6 +43,10 @@ func Presets() []Link { return []Link{WiFi, NR5G, LTE} }
 // ErrBadLink reports an unusable link configuration.
 var ErrBadLink = errors.New("linksim: bandwidth must be positive")
 
+// ErrBadSize reports a negative payload size, which would otherwise yield a
+// negative latency/energy Cost.
+var ErrBadSize = errors.New("linksim: payload size must be non-negative")
+
 // Cost is the transmission cost of one payload.
 type Cost struct {
 	Latency  time.Duration // serialization + propagation
@@ -54,6 +58,9 @@ type Cost struct {
 func (l Link) Transmit(bytes int64) (Cost, error) {
 	if l.BandwidthMbps <= 0 {
 		return Cost{}, ErrBadLink
+	}
+	if bytes < 0 {
+		return Cost{}, ErrBadSize
 	}
 	serialization := float64(bytes) * 8 / (l.BandwidthMbps * 1e6) // seconds
 	latency := time.Duration((serialization + l.RTTMs/1000) * float64(time.Second))

@@ -57,6 +57,17 @@ func TestBadLink(t *testing.T) {
 	}
 }
 
+func TestTransmitNegativeBytes(t *testing.T) {
+	// Regression: negative sizes used to yield a negative latency/energy
+	// Cost instead of an error.
+	if _, err := WiFi.Transmit(-1); err != ErrBadSize {
+		t.Fatalf("Transmit(-1) err = %v, want ErrBadSize", err)
+	}
+	if c, err := WiFi.Transmit(0); err != nil || c.TxEnergy != 0 {
+		t.Fatalf("Transmit(0) = %+v, %v", c, err)
+	}
+}
+
 func TestPresetsOrdering(t *testing.T) {
 	if len(Presets()) != 3 {
 		t.Fatal("three presets")

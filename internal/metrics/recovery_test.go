@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecoveryCountersSnapshot(t *testing.T) {
+	var c RecoveryCounters
+	c.PacketReceived()
+	c.PacketReceived()
+	c.PacketCorrupt()
+	c.PacketDuplicate()
+	c.RetransmitReceived()
+	c.NACKSent(3)
+	c.NACKSent(1)
+	c.NACKGiveUp()
+	c.RefreshRequest()
+	c.FrameDecoded()
+	c.FrameDecoded()
+	c.FrameConcealed()
+	c.FrameSkipped()
+
+	s := c.Snapshot()
+	want := RecoverySnapshot{
+		PacketsReceived:     2,
+		PacketsCorrupt:      1,
+		PacketsDuplicate:    1,
+		RetransmitsReceived: 1,
+		NACKsSent:           2,
+		NACKSeqs:            4,
+		NACKGiveUps:         1,
+		RefreshRequests:     1,
+		FramesDecoded:       2,
+		FramesConcealed:     1,
+		FramesSkipped:       1,
+	}
+	if s != want {
+		t.Errorf("snapshot %+v, want %+v", s, want)
+	}
+	if s.Frames() != 4 {
+		t.Errorf("Frames() = %d, want 4", s.Frames())
+	}
+	if got := s.DecodedRatio(); got != 0.5 {
+		t.Errorf("DecodedRatio() = %v, want 0.5", got)
+	}
+	if got := (RecoverySnapshot{}).DecodedRatio(); got != 1 {
+		t.Errorf("empty DecodedRatio() = %v, want 1", got)
+	}
+}
+
+// Counters must be scrape-safe while a transport goroutine is updating.
+func TestRecoveryCountersConcurrent(t *testing.T) {
+	var c RecoveryCounters
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.PacketReceived()
+				c.FrameDecoded()
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.PacketsReceived != 4000 || s.FramesDecoded != 4000 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}

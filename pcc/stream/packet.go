@@ -1,0 +1,251 @@
+package stream
+
+// Real packet framing for the transmit stage. The packetize stage used to
+// only COUNT MTU-sized packets; these types emit actual framed packets —
+// header, sequence number, fragment bookkeeping, payload checksum — so a
+// lossy link (linksim.FaultyLink, or a real datagram socket) can drop,
+// duplicate, and reorder them and the Receiver can still reassemble,
+// detect gaps, and recover.
+//
+// Wire layout (little-endian, PacketHeaderSize = 27 bytes):
+//
+//	offset size field
+//	     0    2 magic "PK"
+//	     2    1 version (1)
+//	     3    1 flags (bit0 retransmit, bit1 control)
+//	     4    4 stream/session id
+//	     8    4 frame index (data) / control target frame (control)
+//	    12    1 frame type: I=0, P=1 (data) / control kind (control)
+//	    13    2 fragment index
+//	    15    2 fragment count
+//	    17    4 packet sequence number
+//	    21    2 payload length
+//	    23    4 CRC-32 (IEEE) of the payload
+//	    27    - payload
+//
+// A frame's fragments carry consecutive sequence numbers, so the first
+// fragment's seq is always Seq-Frag and a receiver can attribute a missing
+// sequence number to a frame from any sibling fragment.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/codec"
+)
+
+const (
+	packetMagic0 = 'P'
+	packetMagic1 = 'K'
+	// PacketVersion is the framing version emitted by this package.
+	PacketVersion = 1
+	// PacketHeaderSize is the fixed per-packet header overhead in bytes.
+	PacketHeaderSize = 27
+	// MaxPayload is the largest payload one packet can carry.
+	MaxPayload = math.MaxUint16
+)
+
+// Packet flag bits.
+const (
+	// FlagRetransmit marks a packet re-sent in response to a NACK.
+	FlagRetransmit byte = 1 << 0
+	// FlagControl marks a receiver→sender control packet (NACK, refresh);
+	// its FrameType byte holds the ControlKind.
+	FlagControl byte = 1 << 1
+)
+
+// ErrBadPacket reports a malformed packet (bad magic, version, or lengths).
+var ErrBadPacket = errors.New("stream: malformed packet")
+
+// ErrChecksum reports a packet whose payload fails its CRC — corruption in
+// flight. The packet must be treated as lost.
+var ErrChecksum = errors.New("stream: packet checksum mismatch")
+
+// PacketHeader is the parsed fixed header of one packet.
+type PacketHeader struct {
+	Flags      byte
+	StreamID   uint32
+	FrameIndex uint32
+	FrameType  codec.FrameType
+	Frag       uint16 // fragment index within the frame
+	FragCount  uint16 // total fragments of the frame
+	Seq        uint32 // per-stream packet sequence number
+}
+
+// Packet is one parsed packet: header plus payload (which aliases the
+// buffer passed to ParsePacket).
+type Packet struct {
+	Header  PacketHeader
+	Payload []byte
+}
+
+// AppendPacket appends the framed packet (header + payload) to dst.
+func AppendPacket(dst []byte, h PacketHeader, payload []byte) []byte {
+	dst = append(dst, packetMagic0, packetMagic1, PacketVersion, h.Flags)
+	dst = binary.LittleEndian.AppendUint32(dst, h.StreamID)
+	dst = binary.LittleEndian.AppendUint32(dst, h.FrameIndex)
+	dst = append(dst, byte(h.FrameType))
+	dst = binary.LittleEndian.AppendUint16(dst, h.Frag)
+	dst = binary.LittleEndian.AppendUint16(dst, h.FragCount)
+	dst = binary.LittleEndian.AppendUint32(dst, h.Seq)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// MarshalPacket frames one packet.
+func MarshalPacket(h PacketHeader, payload []byte) []byte {
+	return AppendPacket(make([]byte, 0, PacketHeaderSize+len(payload)), h, payload)
+}
+
+// ParsePacket validates and parses one framed packet. The returned payload
+// aliases b. Corrupt payloads return ErrChecksum; structural problems
+// return ErrBadPacket.
+func ParsePacket(b []byte) (Packet, error) {
+	if len(b) < PacketHeaderSize {
+		return Packet{}, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(b))
+	}
+	if b[0] != packetMagic0 || b[1] != packetMagic1 {
+		return Packet{}, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	if b[2] != PacketVersion {
+		return Packet{}, fmt.Errorf("%w: version %d", ErrBadPacket, b[2])
+	}
+	h := PacketHeader{
+		Flags:      b[3],
+		StreamID:   binary.LittleEndian.Uint32(b[4:8]),
+		FrameIndex: binary.LittleEndian.Uint32(b[8:12]),
+		FrameType:  codec.FrameType(b[12]),
+		Frag:       binary.LittleEndian.Uint16(b[13:15]),
+		FragCount:  binary.LittleEndian.Uint16(b[15:17]),
+		Seq:        binary.LittleEndian.Uint32(b[17:21]),
+	}
+	plen := int(binary.LittleEndian.Uint16(b[21:23]))
+	if len(b) != PacketHeaderSize+plen {
+		return Packet{}, fmt.Errorf("%w: payload length %d in a %d-byte packet", ErrBadPacket, plen, len(b))
+	}
+	payload := b[PacketHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[23:27]) {
+		return Packet{}, ErrChecksum
+	}
+	if h.Flags&FlagControl == 0 {
+		if h.FragCount == 0 || h.Frag >= h.FragCount {
+			return Packet{}, fmt.Errorf("%w: fragment %d/%d", ErrBadPacket, h.Frag, h.FragCount)
+		}
+		if h.FrameType != codec.IFrame && h.FrameType != codec.PFrame {
+			return Packet{}, fmt.Errorf("%w: frame type %d", ErrBadPacket, h.FrameType)
+		}
+	}
+	return Packet{Header: h, Payload: payload}, nil
+}
+
+// PacketizeFrame splits one frame's wire bytes into MTU-sized framed
+// packets with consecutive sequence numbers starting at firstSeq. mtu is
+// the payload size per packet (the header adds PacketHeaderSize on top).
+func PacketizeFrame(streamID, frameIndex uint32, ftype codec.FrameType, firstSeq uint32, wire []byte, mtu int) [][]byte {
+	if mtu < 1 {
+		mtu = 1400
+	}
+	if mtu > MaxPayload {
+		mtu = MaxPayload
+	}
+	n := (len(wire) + mtu - 1) / mtu
+	if n == 0 {
+		n = 1 // an empty frame still ships one (empty) packet
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * mtu
+		hi := min(lo+mtu, len(wire))
+		out = append(out, MarshalPacket(PacketHeader{
+			StreamID:   streamID,
+			FrameIndex: frameIndex,
+			FrameType:  ftype,
+			Frag:       uint16(i),
+			FragCount:  uint16(n),
+			Seq:        firstSeq + uint32(i),
+		}, wire[lo:hi]))
+	}
+	return out
+}
+
+// ControlKind identifies a receiver→sender control message.
+type ControlKind byte
+
+const (
+	// ControlNACK requests retransmission of the listed sequence numbers.
+	ControlNACK ControlKind = 1
+	// ControlRefresh reports GOP reference loss and asks the sender to
+	// force the next frame to be an I-frame.
+	ControlRefresh ControlKind = 2
+)
+
+func (k ControlKind) String() string {
+	switch k {
+	case ControlNACK:
+		return "NACK"
+	case ControlRefresh:
+		return "REFRESH"
+	default:
+		return fmt.Sprintf("ControlKind(%d)", byte(k))
+	}
+}
+
+// Control is one receiver→sender control message.
+type Control struct {
+	Kind     ControlKind
+	StreamID uint32
+	// FrameIndex is the first frame the receiver could not recover
+	// (ControlRefresh only).
+	FrameIndex uint32
+	// Seqs lists the missing packet sequence numbers (ControlNACK only).
+	Seqs []uint32
+}
+
+// MarshalControl frames a control message as a packet (FlagControl set,
+// checksummed like data).
+func MarshalControl(c Control) []byte {
+	var payload []byte
+	if c.Kind == ControlNACK {
+		payload = make([]byte, 0, 4*len(c.Seqs))
+		for _, s := range c.Seqs {
+			payload = binary.LittleEndian.AppendUint32(payload, s)
+		}
+	}
+	return MarshalPacket(PacketHeader{
+		Flags:      FlagControl,
+		StreamID:   c.StreamID,
+		FrameIndex: c.FrameIndex,
+		FrameType:  codec.FrameType(c.Kind),
+		FragCount:  1,
+	}, payload)
+}
+
+// ParseControl decodes a control message from a parsed FlagControl packet.
+func ParseControl(p Packet) (Control, error) {
+	if p.Header.Flags&FlagControl == 0 {
+		return Control{}, fmt.Errorf("%w: not a control packet", ErrBadPacket)
+	}
+	c := Control{
+		Kind:       ControlKind(p.Header.FrameType),
+		StreamID:   p.Header.StreamID,
+		FrameIndex: p.Header.FrameIndex,
+	}
+	switch c.Kind {
+	case ControlNACK:
+		if len(p.Payload)%4 != 0 {
+			return Control{}, fmt.Errorf("%w: NACK payload %d bytes", ErrBadPacket, len(p.Payload))
+		}
+		c.Seqs = make([]uint32, len(p.Payload)/4)
+		for i := range c.Seqs {
+			c.Seqs[i] = binary.LittleEndian.Uint32(p.Payload[4*i:])
+		}
+	case ControlRefresh:
+	default:
+		return Control{}, fmt.Errorf("%w: control kind %d", ErrBadPacket, byte(c.Kind))
+	}
+	return c, nil
+}

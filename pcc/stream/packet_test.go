@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	h := PacketHeader{
+		Flags:      FlagRetransmit,
+		StreamID:   7,
+		FrameIndex: 42,
+		FrameType:  codec.PFrame,
+		Frag:       3,
+		FragCount:  9,
+		Seq:        1234,
+	}
+	payload := []byte("point cloud bits")
+	raw := MarshalPacket(h, payload)
+	if len(raw) != PacketHeaderSize+len(payload) {
+		t.Fatalf("packet length %d, want %d", len(raw), PacketHeaderSize+len(payload))
+	}
+	pkt, err := ParsePacket(raw)
+	if err != nil {
+		t.Fatalf("ParsePacket: %v", err)
+	}
+	if pkt.Header != h {
+		t.Errorf("header round trip: got %+v want %+v", pkt.Header, h)
+	}
+	if !bytes.Equal(pkt.Payload, payload) {
+		t.Errorf("payload round trip: got %q", pkt.Payload)
+	}
+}
+
+func TestParsePacketRejects(t *testing.T) {
+	good := MarshalPacket(PacketHeader{StreamID: 1, FrameType: codec.IFrame, FragCount: 1}, []byte("x"))
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"short", good[:PacketHeaderSize-1], ErrBadPacket},
+		{"empty", nil, ErrBadPacket},
+		{"magic", mut(func(b []byte) { b[0] = 'X' }), ErrBadPacket},
+		{"version", mut(func(b []byte) { b[2] = 99 }), ErrBadPacket},
+		{"truncated payload", good[:len(good)-1], ErrBadPacket},
+		{"trailing junk", append(append([]byte(nil), good...), 0), ErrBadPacket},
+		{"payload bit flip", mut(func(b []byte) { b[PacketHeaderSize] ^= 0x40 }), ErrChecksum},
+		{"crc bit flip", mut(func(b []byte) { b[23] ^= 1 }), ErrChecksum},
+		{"zero frag count", mut(func(b []byte) { b[15], b[16] = 0, 0 }), ErrBadPacket},
+		{"frag out of range", mut(func(b []byte) { b[13] = 5 }), ErrBadPacket},
+		{"bad frame type", mut(func(b []byte) { b[12] = 7 }), ErrBadPacket},
+	}
+	for _, tc := range cases {
+		if _, err := ParsePacket(tc.raw); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPacketizeFrame(t *testing.T) {
+	wire := make([]byte, 3500)
+	for i := range wire {
+		wire[i] = byte(i)
+	}
+	pkts := PacketizeFrame(9, 4, codec.IFrame, 100, wire, 1400)
+	if len(pkts) != 3 {
+		t.Fatalf("got %d packets, want 3", len(pkts))
+	}
+	var got []byte
+	for i, raw := range pkts {
+		p, err := ParsePacket(raw)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		h := p.Header
+		if h.StreamID != 9 || h.FrameIndex != 4 || h.FrameType != codec.IFrame {
+			t.Errorf("packet %d header: %+v", i, h)
+		}
+		if int(h.Frag) != i || h.FragCount != 3 || h.Seq != 100+uint32(i) {
+			t.Errorf("packet %d frag/seq: %+v", i, h)
+		}
+		if h.Seq-uint32(h.Frag) != 100 {
+			t.Errorf("packet %d: firstSeq derivation broken", i)
+		}
+		got = append(got, p.Payload...)
+	}
+	if !bytes.Equal(got, wire) {
+		t.Error("reassembled payload differs from wire bytes")
+	}
+
+	// An empty frame still ships one (empty) packet.
+	one := PacketizeFrame(9, 5, codec.PFrame, 200, nil, 1400)
+	if len(one) != 1 {
+		t.Fatalf("empty frame: got %d packets, want 1", len(one))
+	}
+	p, err := ParsePacket(one[0])
+	if err != nil || len(p.Payload) != 0 || p.Header.FragCount != 1 {
+		t.Fatalf("empty frame packet: %+v, %v", p, err)
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	for _, c := range []Control{
+		{Kind: ControlNACK, StreamID: 3, Seqs: []uint32{1, 5, 1 << 30}},
+		{Kind: ControlNACK, StreamID: 3}, // empty NACK is legal framing
+		{Kind: ControlRefresh, StreamID: 3, FrameIndex: 17},
+	} {
+		raw := MarshalControl(c)
+		pkt, err := ParsePacket(raw)
+		if err != nil {
+			t.Fatalf("%v: ParsePacket: %v", c.Kind, err)
+		}
+		if pkt.Header.Flags&FlagControl == 0 {
+			t.Fatalf("%v: FlagControl not set", c.Kind)
+		}
+		got, err := ParseControl(pkt)
+		if err != nil {
+			t.Fatalf("%v: ParseControl: %v", c.Kind, err)
+		}
+		if got.Kind != c.Kind || got.StreamID != c.StreamID || got.FrameIndex != c.FrameIndex {
+			t.Errorf("control round trip: got %+v want %+v", got, c)
+		}
+		if len(got.Seqs) != len(c.Seqs) {
+			t.Fatalf("seqs round trip: got %v want %v", got.Seqs, c.Seqs)
+		}
+		for i := range c.Seqs {
+			if got.Seqs[i] != c.Seqs[i] {
+				t.Errorf("seq %d: got %d want %d", i, got.Seqs[i], c.Seqs[i])
+			}
+		}
+	}
+}
+
+func TestParseControlRejects(t *testing.T) {
+	data := MarshalPacket(PacketHeader{StreamID: 1, FrameType: codec.IFrame, FragCount: 1}, nil)
+	pkt, err := ParsePacket(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseControl(pkt); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("data packet as control: got %v", err)
+	}
+
+	// A NACK whose payload length is not a multiple of 4 is malformed.
+	raw := MarshalPacket(PacketHeader{Flags: FlagControl, StreamID: 1, FrameType: codec.FrameType(ControlNACK), FragCount: 1}, []byte{1, 2, 3})
+	pkt, err = ParsePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseControl(pkt); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("ragged NACK payload: got %v", err)
+	}
+
+	raw = MarshalPacket(PacketHeader{Flags: FlagControl, StreamID: 1, FrameType: 99, FragCount: 1}, nil)
+	pkt, err = ParsePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseControl(pkt); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("unknown control kind: got %v", err)
+	}
+}
+
+// FuzzParsePacket hammers the packet parser with arbitrary bytes: it must
+// never panic, and structurally valid packets must re-marshal to identical
+// bytes.
+func FuzzParsePacket(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalPacket(PacketHeader{StreamID: 1, FrameType: codec.IFrame, FragCount: 1}, []byte("seed")))
+	f.Add(MarshalPacket(PacketHeader{Flags: FlagRetransmit, StreamID: 2, FrameIndex: 3, FrameType: codec.PFrame, Frag: 1, FragCount: 2, Seq: 9}, nil))
+	f.Add(MarshalControl(Control{Kind: ControlNACK, StreamID: 1, Seqs: []uint32{4, 5}}))
+	f.Add(MarshalControl(Control{Kind: ControlRefresh, StreamID: 1, FrameIndex: 6}))
+	long := bytes.Repeat([]byte{0xA5}, 2048)
+	f.Add(PacketizeFrame(1, 0, codec.IFrame, 0, long, 700)[1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := ParsePacket(data)
+		if err != nil {
+			return
+		}
+		back := MarshalPacket(pkt.Header, pkt.Payload)
+		if !bytes.Equal(back, data) {
+			t.Fatalf("re-marshal mismatch:\n in=%x\nout=%x", data, back)
+		}
+		if pkt.Header.Flags&FlagControl != 0 {
+			// Control payloads must parse or fail cleanly, never panic.
+			if c, err := ParseControl(pkt); err == nil && c.Kind == ControlNACK {
+				if len(c.Seqs) != len(pkt.Payload)/4 {
+					t.Fatalf("NACK seq count %d for %d payload bytes", len(c.Seqs), len(pkt.Payload))
+				}
+			}
+		}
+	})
+}
+
+// TestSeqFieldOffset pins the byte offset HandleControl patches when it
+// sets FlagRetransmit on a buffered packet (flags live outside the CRC).
+func TestSeqFieldOffset(t *testing.T) {
+	raw := MarshalPacket(PacketHeader{StreamID: 1, FrameType: codec.IFrame, FragCount: 1, Seq: 0xDEADBEEF}, []byte("p"))
+	if got := binary.LittleEndian.Uint32(raw[17:21]); got != 0xDEADBEEF {
+		t.Fatalf("seq field not at offset 17: %#x", got)
+	}
+	raw[3] |= FlagRetransmit
+	pkt, err := ParsePacket(raw)
+	if err != nil {
+		t.Fatalf("retransmit-flagged packet must still parse: %v", err)
+	}
+	if pkt.Header.Flags&FlagRetransmit == 0 {
+		t.Fatal("flag did not stick")
+	}
+}

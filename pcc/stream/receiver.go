@@ -1,0 +1,626 @@
+package stream
+
+// Receiver is the decode side of the lossy transport: it reassembles
+// framed packets (packet.go) into frame containers, detects gaps via
+// sequence numbers, and applies a GOP-aware recovery policy:
+//
+//   - Missing packets are NACKed back to the sender with a timeout and
+//     exponential backoff. I-frame packets get a deep retry budget — the
+//     stream is undecodable without them. P-frame packets get a shallow
+//     one: after it is exhausted the frame is concealed (the last good
+//     frame is repeated) and the stream moves on.
+//   - When an I-frame itself cannot be recovered the GOP reference is
+//     lost: the receiver sends a ControlRefresh asking the sender to force
+//     the next frame to be an I-frame, resets the decoder, and skips
+//     P-frames until that refresh I-frame arrives.
+//
+// Frames are delivered in order through OnFrame; every submitted frame is
+// eventually reported exactly once as decoded (byte-correct), concealed,
+// or skipped — there is no silent corruption path, because every packet
+// payload is checksummed and every decode failure is typed
+// (codec.ErrCorruptFrame / codec.ErrMissingReference).
+//
+// Threading: a Receiver is driven by ONE transport goroutine (Ingest /
+// Tick / Finish). Callbacks (SendControl, OnFrame) run on that goroutine
+// and may synchronously feed retransmitted packets back into Ingest — the
+// receiver queues re-entrant ingests instead of recursing. Metrics() is
+// safe from any goroutine.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+)
+
+// FrameStatus is the receiver's verdict on one frame.
+type FrameStatus int
+
+const (
+	// FrameDecoded frames decoded byte-correct.
+	FrameDecoded FrameStatus = iota
+	// FrameConcealed frames were lost P-frames: the last good frame is
+	// repeated in their place and the GOP stays decodable.
+	FrameConcealed
+	// FrameSkipped frames could not be presented at all: a lost I-frame,
+	// a P-frame without its reference, or a frame the sender never sent.
+	FrameSkipped
+)
+
+func (s FrameStatus) String() string {
+	switch s {
+	case FrameDecoded:
+		return "decoded"
+	case FrameConcealed:
+		return "concealed"
+	case FrameSkipped:
+		return "skipped"
+	default:
+		return fmt.Sprintf("FrameStatus(%d)", int(s))
+	}
+}
+
+// ErrFrameLost reports a frame whose packets could not be recovered within
+// the NACK retry budget.
+var ErrFrameLost = errors.New("stream: frame lost in transit")
+
+// ErrSenderDropped reports a frame the sender's backpressure policy shed
+// before transmission (its sequence numbers were never used).
+var ErrSenderDropped = errors.New("stream: frame dropped by sender")
+
+// DecodedFrame is the fate of one frame at the receiver, delivered in
+// frame order.
+type DecodedFrame struct {
+	Index int
+	Type  codec.FrameType
+	// Status tells whether Cloud is a byte-correct decode, a concealment
+	// (last good frame), or absent.
+	Status FrameStatus
+	Cloud  *geom.VoxelCloud
+	// Err explains concealed/skipped frames (ErrFrameLost,
+	// ErrSenderDropped, codec.ErrMissingReference, codec.ErrCorruptFrame).
+	Err error
+	// Delay is the recovery delay: first fragment seen → frame resolved
+	// (zero for frames that never arrived at all).
+	Delay time.Duration
+}
+
+// ReceiverConfig configures a Receiver. Options must match the sender's.
+type ReceiverConfig struct {
+	// Options selects and configures the codec (as the sender's Config).
+	Options codec.Options
+	// Mode selects the modelled decode board's power budget.
+	Mode edgesim.PowerMode
+	// StreamID, when non-zero, rejects packets from other streams;
+	// zero adopts the first stream seen.
+	StreamID uint32
+	// SendControl transmits a control message (NACK, refresh) back to the
+	// sender — typically Session.HandleControl or a socket write. Nil
+	// disables active recovery: losses conceal/skip on timeout alone.
+	SendControl func(Control) error
+	// OnFrame receives every frame's fate, in frame order.
+	OnFrame func(DecodedFrame)
+	// NACKTimeout is the base retransmit timeout; retry n waits
+	// NACKTimeout << n (default 15ms).
+	NACKTimeout time.Duration
+	// IFrameRetries / PFrameRetries bound the NACK retries for packets of
+	// I-frames (deep: the stream needs them) and P-frames (shallow: they
+	// conceal). Defaults 6 and 2.
+	IFrameRetries int
+	PFrameRetries int
+	// Now is the clock (default time.Now). Simulated transports inject a
+	// virtual clock to make timeouts deterministic.
+	Now func() time.Time
+}
+
+func (c ReceiverConfig) normalized() ReceiverConfig {
+	if c.NACKTimeout <= 0 {
+		c.NACKTimeout = 15 * time.Millisecond
+	}
+	if c.IFrameRetries <= 0 {
+		c.IFrameRetries = 6
+	}
+	if c.PFrameRetries <= 0 {
+		c.PFrameRetries = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// partialFrame is one frame being reassembled.
+type partialFrame struct {
+	index     uint32
+	ftype     codec.FrameType
+	firstSeq  uint32
+	frags     [][]byte
+	have      int
+	failed    bool // retry budget exhausted; resolve as concealed/skipped
+	firstSeen time.Time
+}
+
+// lossState tracks one missing sequence number's NACK schedule.
+type lossState struct {
+	deadline time.Time
+	attempts int
+}
+
+// Receiver reassembles and decodes a lossy packet stream. Create with
+// NewReceiver; see the package comment for the threading model.
+type Receiver struct {
+	cfg      ReceiverConfig
+	dev      *edgesim.Device
+	dec      *codec.Decoder
+	counters metrics.RecoveryCounters
+
+	inbox [][]byte
+	busy  bool
+
+	streamID  uint32
+	nextSeq   uint32 // next expected sequence number
+	missing   map[uint32]*lossState
+	frames    map[uint32]*partialFrame
+	nextFrame uint32 // next frame index to deliver
+	// gapLost marks that packets of entirely-unseen frames were given up:
+	// the frames in the current index gap were lost (not sender-dropped).
+	gapLost bool
+	// refValid tracks whether the decoder holds a usable GOP reference.
+	refValid bool
+	// refreshPending suppresses duplicate refresh requests until the next
+	// I-frame decodes.
+	refreshPending bool
+	lastCloud      *geom.VoxelCloud
+	finished       bool
+	err            error
+}
+
+// NewReceiver creates a receiver decoding on a fresh device model.
+func NewReceiver(cfg ReceiverConfig) *Receiver {
+	cfg = cfg.normalized()
+	dev := edgesim.NewXavier(cfg.Mode)
+	return &Receiver{
+		cfg:      cfg,
+		dev:      dev,
+		dec:      codec.NewDecoder(dev, cfg.Options),
+		missing:  make(map[uint32]*lossState),
+		frames:   make(map[uint32]*partialFrame),
+		streamID: cfg.StreamID,
+	}
+}
+
+// Device exposes the decode-side device model.
+func (r *Receiver) Device() *edgesim.Device { return r.dev }
+
+// Metrics snapshots the receiver's recovery counters (safe from any
+// goroutine).
+func (r *Receiver) Metrics() metrics.RecoverySnapshot { return r.counters.Snapshot() }
+
+// Err returns the first control-channel error, if any.
+func (r *Receiver) Err() error { return r.err }
+
+// Ingest feeds one received packet (header + payload, as framed by the
+// sender). Safe to call re-entrantly from SendControl/OnFrame callbacks.
+func (r *Receiver) Ingest(raw []byte) {
+	r.inbox = append(r.inbox, raw)
+	if r.busy {
+		return
+	}
+	r.busy = true
+	r.drain()
+	r.busy = false
+}
+
+// Tick advances the NACK timeout machinery without a packet arrival. Call
+// it periodically on live transports (packet arrivals also check).
+func (r *Receiver) Tick() {
+	if r.busy || r.finished {
+		return
+	}
+	r.busy = true
+	now := r.cfg.Now()
+	r.checkTimeouts(now, false)
+	r.advance(now)
+	r.drain()
+	r.busy = false
+}
+
+// drain processes queued packets, including ones enqueued re-entrantly by
+// retransmissions triggered from within processing.
+func (r *Receiver) drain() {
+	for len(r.inbox) > 0 {
+		raw := r.inbox[0]
+		r.inbox = r.inbox[1:]
+		r.ingestOne(raw)
+	}
+}
+
+func (r *Receiver) ingestOne(raw []byte) {
+	if r.finished {
+		return
+	}
+	now := r.cfg.Now()
+	r.counters.PacketReceived()
+	pkt, err := ParsePacket(raw)
+	if err != nil {
+		// Corrupt in flight: indistinguishable from a loss; the sequence
+		// gap it leaves behind drives recovery.
+		r.counters.PacketCorrupt()
+		return
+	}
+	h := pkt.Header
+	if h.Flags&FlagControl != 0 {
+		return // control flows sender-ward; not ours to consume
+	}
+	if r.streamID == 0 {
+		r.streamID = h.StreamID
+	}
+	if h.StreamID != r.streamID {
+		r.counters.PacketCorrupt()
+		return
+	}
+	if h.Flags&FlagRetransmit != 0 {
+		r.counters.RetransmitReceived()
+	}
+
+	// Sequence tracking: a jump past nextSeq opens a gap of missing seqs;
+	// an arrival inside the missing set heals it (retransmit or reorder).
+	if h.Seq >= r.nextSeq {
+		for s := r.nextSeq; s < h.Seq; s++ {
+			r.missing[s] = &lossState{deadline: now.Add(r.cfg.NACKTimeout)}
+		}
+		r.nextSeq = h.Seq + 1
+	} else if _, open := r.missing[h.Seq]; open {
+		delete(r.missing, h.Seq)
+	} else {
+		r.counters.PacketDuplicate()
+		return
+	}
+
+	// Frame reassembly.
+	if h.FrameIndex >= uint32(len(r.frames))+r.nextFrame+1<<20 {
+		// Absurd jump (corrupt header that passed CRC of its payload only).
+		r.counters.PacketCorrupt()
+		return
+	}
+	if h.FrameIndex < r.nextFrame {
+		r.counters.PacketDuplicate() // frame already resolved; late copy
+		return
+	}
+	pf := r.frames[h.FrameIndex]
+	if pf == nil {
+		pf = &partialFrame{
+			index:     h.FrameIndex,
+			ftype:     h.FrameType,
+			firstSeq:  h.Seq - uint32(h.Frag),
+			frags:     make([][]byte, h.FragCount),
+			firstSeen: now,
+		}
+		r.frames[h.FrameIndex] = pf
+	}
+	if int(h.FragCount) != len(pf.frags) || pf.firstSeq != h.Seq-uint32(h.Frag) || pf.ftype != h.FrameType {
+		r.counters.PacketCorrupt() // inconsistent with sibling fragments
+		return
+	}
+	if pf.frags[h.Frag] != nil {
+		r.counters.PacketDuplicate()
+		return
+	}
+	pf.frags[h.Frag] = pkt.Payload
+	pf.have++
+
+	r.advance(now)
+	r.checkTimeouts(now, false)
+}
+
+// findFrame returns the pending frame whose sequence range contains seq.
+func (r *Receiver) findFrame(seq uint32) *partialFrame {
+	for _, pf := range r.frames {
+		if seq >= pf.firstSeq && seq < pf.firstSeq+uint32(len(pf.frags)) {
+			return pf
+		}
+	}
+	return nil
+}
+
+// retryBudget returns the NACK retry budget for one missing seq: deep for
+// I-frame (and unattributed — possibly-I) packets, shallow for P.
+func (r *Receiver) retryBudget(seq uint32) int {
+	if pf := r.findFrame(seq); pf != nil && pf.ftype == codec.PFrame {
+		return r.cfg.PFrameRetries
+	}
+	return r.cfg.IFrameRetries
+}
+
+// checkTimeouts re-NACKs every missing seq whose deadline passed (force
+// treats all as due) with exponential backoff, and gives up on seqs whose
+// retry budget is exhausted.
+func (r *Receiver) checkTimeouts(now time.Time, force bool) {
+	var due []uint32
+	for s, ls := range r.missing {
+		if force || !now.Before(ls.deadline) {
+			due = append(due, s)
+		}
+	}
+	if len(due) == 0 {
+		return
+	}
+	// Sorted processing keeps the NACK (and so the retransmit) order
+	// deterministic across runs.
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	var nack []uint32
+	for _, s := range due {
+		ls := r.missing[s]
+		if ls == nil {
+			continue // healed by a retransmit earlier in this pass
+		}
+		if ls.attempts >= r.retryBudget(s) {
+			r.giveUp(s)
+			continue
+		}
+		ls.attempts++
+		ls.deadline = now.Add(r.cfg.NACKTimeout << uint(ls.attempts))
+		nack = append(nack, s)
+	}
+	if len(nack) > 0 {
+		r.sendControl(Control{Kind: ControlNACK, StreamID: r.streamID, Seqs: nack})
+		r.counters.NACKSent(len(nack))
+	}
+	r.advance(now)
+}
+
+// giveUp abandons one missing seq: its frame (if known) is marked failed;
+// unattributed seqs mean whole frames vanished, which the index-gap logic
+// in advance resolves via gapLost.
+func (r *Receiver) giveUp(seq uint32) {
+	delete(r.missing, seq)
+	r.counters.NACKGiveUp()
+	if pf := r.findFrame(seq); pf != nil {
+		pf.failed = true
+	} else {
+		r.gapLost = true
+	}
+}
+
+// minPending returns the smallest pending frame index.
+func (r *Receiver) minPending() (uint32, bool) {
+	var best uint32
+	found := false
+	for idx := range r.frames {
+		if !found || idx < best {
+			best, found = idx, true
+		}
+	}
+	return best, found
+}
+
+// missingBefore reports whether any missing seq precedes firstSeq.
+func (r *Receiver) missingBefore(firstSeq uint32) bool {
+	for s := range r.missing {
+		if s < firstSeq {
+			return true
+		}
+	}
+	return false
+}
+
+// advance delivers frames in order while the head of line is resolvable:
+// complete frames decode, failed frames conceal or skip, and index gaps
+// with fully-accounted sequence numbers resolve as sender-dropped or lost.
+func (r *Receiver) advance(now time.Time) {
+	for {
+		if pf, ok := r.frames[r.nextFrame]; ok {
+			if pf.failed {
+				r.resolveFailed(pf, now)
+			} else if pf.have == len(pf.frags) {
+				r.decodeAndEmit(pf, now)
+			} else {
+				return // head of line still recovering
+			}
+			r.nextFrame++
+			continue
+		}
+		// Frame index never seen. If no missing seq precedes the next
+		// pending frame, the gap's seqs are all accounted for: the sender
+		// never sent this index (backpressure drop — always a P-frame) or
+		// its packets were given up on (gapLost).
+		next, ok := r.minPending()
+		if !ok || next <= r.nextFrame {
+			return
+		}
+		if r.missingBefore(r.frames[next].firstSeq) {
+			return // the gap may still fill in via retransmits
+		}
+		if r.gapLost {
+			// Unknown frame type: the lost frame may have been the GOP
+			// reference — recover conservatively.
+			r.loseReference(r.nextFrame)
+			r.emit(DecodedFrame{Index: int(r.nextFrame), Type: codec.PFrame,
+				Status: FrameSkipped, Err: ErrFrameLost})
+			r.counters.FrameSkipped()
+		} else {
+			r.emit(DecodedFrame{Index: int(r.nextFrame), Type: codec.PFrame,
+				Status: FrameSkipped, Err: ErrSenderDropped})
+			r.counters.FrameSkipped()
+		}
+		r.nextFrame++
+		if r.nextFrame == next {
+			r.gapLost = false
+		}
+	}
+}
+
+// resolveFailed conceals or skips a frame whose retry budget ran out.
+func (r *Receiver) resolveFailed(pf *partialFrame, now time.Time) {
+	r.forgetFrame(pf)
+	switch {
+	case pf.ftype == codec.IFrame:
+		// The GOP reference is gone: ask the sender for a fresh I-frame
+		// and skip until it arrives.
+		r.loseReference(pf.index)
+		r.emit(DecodedFrame{Index: int(pf.index), Type: pf.ftype, Status: FrameSkipped,
+			Err: ErrFrameLost, Delay: now.Sub(pf.firstSeen)})
+		r.counters.FrameSkipped()
+	case !r.refValid:
+		r.emit(DecodedFrame{Index: int(pf.index), Type: pf.ftype, Status: FrameSkipped,
+			Err: codec.ErrMissingReference, Delay: now.Sub(pf.firstSeen)})
+		r.counters.FrameSkipped()
+	default:
+		// Lost P-frame with a healthy GOP: conceal by repeating the last
+		// good frame; later P-frames still predict from the intact I.
+		r.emit(DecodedFrame{Index: int(pf.index), Type: pf.ftype, Status: FrameConcealed,
+			Cloud: r.lastCloud, Err: ErrFrameLost, Delay: now.Sub(pf.firstSeen)})
+		r.counters.FrameConcealed()
+	}
+}
+
+// decodeAndEmit decodes a fully reassembled frame.
+func (r *Receiver) decodeAndEmit(pf *partialFrame, now time.Time) {
+	r.forgetFrame(pf)
+	size := 0
+	for _, f := range pf.frags {
+		size += len(f)
+	}
+	payload := make([]byte, 0, size)
+	for _, f := range pf.frags {
+		payload = append(payload, f...)
+	}
+	ef, err := codec.ReadFrameFrom(bytes.NewReader(payload))
+	var cloud *geom.VoxelCloud
+	if err == nil {
+		cloud, err = r.dec.DecodeFrame(ef)
+	}
+	delay := now.Sub(pf.firstSeen)
+	switch {
+	case err == nil:
+		if pf.ftype == codec.IFrame {
+			r.refValid = true
+			r.refreshPending = false
+		}
+		r.lastCloud = cloud
+		r.emit(DecodedFrame{Index: int(pf.index), Type: pf.ftype, Status: FrameDecoded,
+			Cloud: cloud, Delay: delay})
+		r.counters.FrameDecoded()
+	case errors.Is(err, codec.ErrMissingReference):
+		// P-frame arrived intact but its I was skipped.
+		r.loseReference(pf.index)
+		r.emit(DecodedFrame{Index: int(pf.index), Type: pf.ftype, Status: FrameSkipped,
+			Err: err, Delay: delay})
+		r.counters.FrameSkipped()
+	case pf.ftype == codec.IFrame:
+		// Corrupt I despite per-packet checksums (defense in depth).
+		r.loseReference(pf.index)
+		r.emit(DecodedFrame{Index: int(pf.index), Type: pf.ftype, Status: FrameSkipped,
+			Err: err, Delay: delay})
+		r.counters.FrameSkipped()
+	default:
+		r.emit(DecodedFrame{Index: int(pf.index), Type: pf.ftype, Status: FrameConcealed,
+			Cloud: r.lastCloud, Err: err, Delay: delay})
+		r.counters.FrameConcealed()
+	}
+}
+
+// forgetFrame drops a frame's reassembly state, including any still-missing
+// seqs in its range (late copies will count as duplicates).
+func (r *Receiver) forgetFrame(pf *partialFrame) {
+	delete(r.frames, pf.index)
+	for i := range pf.frags {
+		delete(r.missing, pf.firstSeq+uint32(i))
+	}
+}
+
+// loseReference records GOP reference loss: the decoder resets, P-frames
+// skip until the next I, and (once per loss) a refresh request goes back
+// to the sender.
+func (r *Receiver) loseReference(frameIndex uint32) {
+	r.refValid = false
+	r.dec.Reset()
+	if r.refreshPending {
+		return
+	}
+	r.refreshPending = true
+	r.counters.RefreshRequest()
+	r.sendControl(Control{Kind: ControlRefresh, StreamID: r.streamID, FrameIndex: frameIndex})
+}
+
+func (r *Receiver) sendControl(c Control) {
+	if r.cfg.SendControl == nil {
+		return
+	}
+	if err := r.cfg.SendControl(c); err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Receiver) emit(f DecodedFrame) {
+	if r.cfg.OnFrame != nil {
+		r.cfg.OnFrame(f)
+	}
+}
+
+// Finish ends the stream: totalFrames is the sender's submitted frame
+// count. Outstanding gaps get a final forced NACK round per remaining
+// retry, then everything unrecovered is concealed/skipped, including tail
+// frames that never arrived at all. Returns the first control error.
+func (r *Receiver) Finish(totalFrames int) error {
+	if r.finished {
+		return r.err
+	}
+	r.busy = true
+	defer func() { r.busy = false; r.finished = true }()
+	r.drain()
+	now := r.cfg.Now()
+
+	// Declare the invisible tail: fragments of partially received frames
+	// whose loss no later packet revealed.
+	for _, pf := range r.frames {
+		for i := range pf.frags {
+			seq := pf.firstSeq + uint32(i)
+			if pf.frags[i] == nil && seq >= r.nextSeq {
+				r.missing[seq] = &lossState{deadline: now}
+			}
+		}
+		if end := pf.firstSeq + uint32(len(pf.frags)); end > r.nextSeq {
+			r.nextSeq = end
+		}
+	}
+
+	// Final recovery rounds: force every missing seq due, let synchronous
+	// retransmissions land, until the budget gives out or nothing is left.
+	for i := 0; i <= r.cfg.IFrameRetries && len(r.missing) > 0; i++ {
+		r.checkTimeouts(now, true)
+		r.drain()
+	}
+	var rest []uint32
+	for s := range r.missing {
+		rest = append(rest, s)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, s := range rest {
+		r.giveUp(s)
+	}
+	r.advance(now)
+	r.drain()
+
+	// Frames that never produced a single packet and have no successor to
+	// reveal them: lost tail.
+	for r.nextFrame < uint32(totalFrames) {
+		if pf, ok := r.frames[r.nextFrame]; ok {
+			pf.failed = true
+			r.advance(now)
+			continue
+		}
+		r.refValid = false
+		r.emit(DecodedFrame{Index: int(r.nextFrame), Type: codec.PFrame,
+			Status: FrameSkipped, Err: ErrFrameLost})
+		r.counters.FrameSkipped()
+		r.nextFrame++
+	}
+	return r.err
+}

@@ -60,6 +60,14 @@ func (p Policy) String() string {
 // once it is cancelled, or Close cannot drain the pipeline.
 type SendFunc func(ctx context.Context, seq int, wire []byte) error
 
+// PacketSendFunc transmits one framed packet (packet.go layout) over a
+// datagram-style transport. It runs in the transmit stage for fresh
+// packets and on the HandleControl caller's goroutine for retransmissions;
+// returning an error aborts the session. Implementations must tolerate
+// re-entrant invocation: an in-process receiver can NACK from within the
+// delivery of an earlier packet.
+type PacketSendFunc func(ctx context.Context, pkt []byte) error
+
 // Config configures a Session. The zero value of every field is usable:
 // paper-default codec options require only Options.Design, the link
 // defaults to Wi-Fi, queues to depth 4, packets to a 1400-byte MTU.
@@ -87,6 +95,18 @@ type Config struct {
 	// Output, when set, receives the .pcv stream (header + surviving
 	// frames, in order); a core.VideoReader on the other end decodes it.
 	Output io.Writer
+	// StreamID tags every packet emitted through PacketOut (default 1).
+	StreamID uint32
+	// PacketOut, when set, emits each undropped frame as framed packets
+	// (packet.go) with consecutive per-stream sequence numbers, retaining
+	// them in a bounded retransmit buffer so HandleControl can answer
+	// receiver NACKs. Sequence numbers are assigned at transmit time, so
+	// frames shed by the backpressure policy leave a frame-index gap but
+	// no sequence gap — a receiver tells sender drops from network loss.
+	PacketOut PacketSendFunc
+	// RetransmitBuffer caps how many sent packets are retained for NACK
+	// retransmission (default 1024; oldest evicted first).
+	RetransmitBuffer int
 }
 
 func (c Config) normalized() Config {
@@ -99,6 +119,12 @@ func (c Config) normalized() Config {
 	if c.Link.BandwidthMbps <= 0 {
 		c.Link = linksim.WiFi
 	}
+	if c.StreamID == 0 {
+		c.StreamID = 1
+	}
+	if c.RetransmitBuffer < 1 {
+		c.RetransmitBuffer = 1024
+	}
 	return c
 }
 
@@ -109,6 +135,7 @@ type job struct {
 	cloud   *geom.VoxelCloud
 	g       *codec.GeometryIntermediate
 	frame   *codec.EncodedFrame
+	ftype   codec.FrameType
 	stats   codec.FrameStats
 	wire    []byte
 	packets int
@@ -148,6 +175,12 @@ type Metrics struct {
 	RxEnergyJ float64
 	WireBytes int64
 	Packets   int64
+	// Lossy-transport counters (PacketOut sessions): packets re-sent in
+	// answer to NACKs, NACKed packets already evicted from the retransmit
+	// buffer, and receiver-requested I-frame refreshes honoured.
+	Retransmits int64
+	RetxMisses  int64
+	Refreshes   int64
 }
 
 // Session is one live streaming pipeline. Create with New, feed frames with
@@ -178,15 +211,26 @@ type Session struct {
 	errOnce  sync.Once
 	firstErr error
 
-	mu        sync.Mutex
-	submitted int64
-	delivered int64
-	droppedN  int64
-	linkTime  time.Duration
-	txJ, rxJ  float64
-	wireBytes int64
-	packets   int64
-	wroteHdr  bool
+	mu          sync.Mutex
+	submitted   int64
+	delivered   int64
+	droppedN    int64
+	linkTime    time.Duration
+	txJ, rxJ    float64
+	wireBytes   int64
+	packets     int64
+	retransmits int64
+	retxMisses  int64
+	refreshes   int64
+	wroteHdr    bool
+
+	// Retransmit buffer: sent packets by sequence number, FIFO-evicted.
+	// pktSeq is only touched by the transmit stage; the buffer is shared
+	// with HandleControl callers.
+	pktSeq   uint32
+	retxMu   sync.Mutex
+	retx     map[uint32][]byte
+	retxFIFO []uint32
 }
 
 // New starts a session's stage goroutines. Cancelling ctx aborts the
@@ -208,6 +252,7 @@ func New(ctx context.Context, cfg Config) *Session {
 		gaugeGeom: metrics.NewQueueGauge("geometry"),
 		gaugePkt:  metrics.NewQueueGauge("packetize"),
 		gaugeTx:   metrics.NewQueueGauge("transmit"),
+		retx:      make(map[uint32][]byte),
 	}
 	s.enc = codec.NewEncoder(s.attrDev, cfg.Options)
 	s.txq = newFrameQueue(cfg.Queue, cfg.Policy, s.gaugeTx)
@@ -301,14 +346,17 @@ func (s *Session) Options() codec.Options { return s.enc.Options() }
 func (s *Session) Metrics() Metrics {
 	s.mu.Lock()
 	m := Metrics{
-		Submitted: s.submitted,
-		Delivered: s.delivered,
-		Dropped:   s.droppedN,
-		LinkTime:  s.linkTime,
-		TxEnergyJ: s.txJ,
-		RxEnergyJ: s.rxJ,
-		WireBytes: s.wireBytes,
-		Packets:   s.packets,
+		Submitted:   s.submitted,
+		Delivered:   s.delivered,
+		Dropped:     s.droppedN,
+		LinkTime:    s.linkTime,
+		TxEnergyJ:   s.txJ,
+		RxEnergyJ:   s.rxJ,
+		WireBytes:   s.wireBytes,
+		Packets:     s.packets,
+		Retransmits: s.retransmits,
+		RetxMisses:  s.retxMisses,
+		Refreshes:   s.refreshes,
 	}
 	s.mu.Unlock()
 	m.Queues = []metrics.QueueSnapshot{
@@ -363,7 +411,7 @@ func (s *Session) attrStage() {
 			s.fail(err)
 			continue
 		}
-		j.g, j.frame, j.stats = nil, frame, st
+		j.g, j.frame, j.ftype, j.stats = nil, frame, frame.Type, st
 		select {
 		case s.pq <- j:
 			s.gaugePkt.Enqueue()
@@ -445,6 +493,12 @@ func (s *Session) transmitStage() {
 				s.fail(err)
 				return
 			}
+			if s.cfg.PacketOut != nil {
+				if err := s.emitPackets(j); err != nil {
+					s.fail(err)
+					return
+				}
+			}
 		}
 		select {
 		case s.results <- res:
@@ -479,6 +533,80 @@ func NewCollector(s *Session) *Collector {
 func (c *Collector) Wait() []Result {
 	<-c.done
 	return c.results
+}
+
+// emitPackets frames one transmitted frame into real packets, assigns its
+// sequence-number range, buffers each packet for retransmission, and sends
+// it through PacketOut. Runs only on the transmit stage.
+func (s *Session) emitPackets(j *job) error {
+	first := s.pktSeq
+	pkts := PacketizeFrame(s.cfg.StreamID, uint32(j.seq), j.ftype, first, j.wire, s.cfg.MTU)
+	s.pktSeq += uint32(len(pkts))
+	for i, p := range pkts {
+		s.bufferPacket(first+uint32(i), p)
+		if err := s.cfg.PacketOut(s.ctx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bufferPacket retains one sent packet for NACK retransmission, evicting
+// the oldest once the buffer is full.
+func (s *Session) bufferPacket(seq uint32, pkt []byte) {
+	s.retxMu.Lock()
+	if len(s.retxFIFO) >= s.cfg.RetransmitBuffer {
+		delete(s.retx, s.retxFIFO[0])
+		s.retxFIFO = s.retxFIFO[1:]
+	}
+	s.retx[seq] = pkt
+	s.retxFIFO = append(s.retxFIFO, seq)
+	s.retxMu.Unlock()
+}
+
+// HandleControl processes a receiver→sender control message. NACKs are
+// answered by re-sending the buffered packets (with FlagRetransmit set)
+// through PacketOut; sequence numbers already evicted are counted as
+// misses and ignored — the receiver's retry budget will conceal or skip.
+// ControlRefresh forces the encoder's next frame to be an I-frame,
+// restarting the GOP for a receiver that lost its reference.
+//
+// Safe to call concurrently with a running pipeline, including
+// re-entrantly from within a PacketOut delivery chain (in-process
+// transports): the retransmit buffer lock is never held across PacketOut.
+func (s *Session) HandleControl(c Control) error {
+	switch c.Kind {
+	case ControlRefresh:
+		s.enc.ForceIFrame()
+		s.mu.Lock()
+		s.refreshes++
+		s.mu.Unlock()
+	case ControlNACK:
+		for _, seq := range c.Seqs {
+			s.retxMu.Lock()
+			buf, ok := s.retx[seq]
+			var cp []byte
+			if ok {
+				cp = append([]byte(nil), buf...)
+				cp[3] |= FlagRetransmit // flags are outside the payload CRC
+			}
+			s.retxMu.Unlock()
+			s.mu.Lock()
+			if ok {
+				s.retransmits++
+			} else {
+				s.retxMisses++
+			}
+			s.mu.Unlock()
+			if !ok || s.cfg.PacketOut == nil {
+				continue
+			}
+			if err := s.cfg.PacketOut(s.ctx, cp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // emitWire hands the frame's wire bytes to the configured transports.
