@@ -13,7 +13,8 @@
 //	pccbench decode            Sec. VI-C decode latency
 //	pccbench ablation          Sec. IV-B3 entropy / layers / segments
 //	pccbench pipeline          Sec. IV    concurrent streaming pipeline
-//	pccbench all               everything above
+//	pccbench bench             steady-state encode throughput (BENCH_3.json)
+//	pccbench all               everything above (except bench)
 //
 // Flags:
 //
@@ -40,11 +41,16 @@ var (
 	flagFrames = flag.Int("frames", 3, "frames per video per experiment")
 	flagVideos = flag.String("videos", "", "comma-separated subset of videos (default: all six)")
 	flagCSV    = flag.String("csv", "", "also write each result table as CSV into this directory")
+
+	// bench-experiment flags (see steady.go).
+	flagBenchOut = flag.String("benchout", "", "bench: write machine-readable results to this JSON file")
+	flagBaseline = flag.String("baseline", "", "bench: compare against this BENCH JSON and fail on regression")
+	flagGate     = flag.Float64("gate", 0.20, "bench: regression tolerance as a fraction")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss bench all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -88,6 +94,7 @@ func main() {
 		"capture":   runCapture,
 		"pipeline":  runPipeline,
 		"loss":      runLoss,
+		"bench":     runBench,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline", "loss"} {

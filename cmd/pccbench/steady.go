@@ -1,0 +1,226 @@
+package main
+
+// Steady-state encode throughput benchmark and regression gate.
+//
+// `pccbench bench` measures the real-execution encode hot path — wall-clock
+// frames/s, Mpts/s, output MB/s and allocations/frame — over a fixed
+// 60-frame GOP workload, independent of the -scale/-frames flags so the
+// numbers stay comparable across runs and machines. With -benchout it
+// writes the machine-readable BENCH_3.json tracked at the repo root; with
+// -baseline it compares against a previous BENCH_3.json and fails (exit 1)
+// when frames/s or allocs/frame regress beyond -gate (default 20%).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+// benchWorkload pins the measured workload: redandblack at 5% scale,
+// 60 frames, paper-scale segment counts (matching BenchmarkEncodeSteadyState).
+const (
+	benchVideo    = "redandblack"
+	benchScale    = 0.05
+	benchFrames   = 60
+	benchSegIntra = 1500
+	benchSegInter = 2500
+)
+
+// BenchResult is one design's steady-state measurement.
+type BenchResult struct {
+	FPS            float64 `json:"fps"`
+	MptsPerS       float64 `json:"mpts_per_s"`
+	MBPerS         float64 `json:"mb_per_s"`
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+}
+
+// BenchFile is the BENCH_3.json schema.
+type BenchFile struct {
+	Benchmark  string  `json:"benchmark"`
+	Video      string  `json:"video"`
+	Scale      float64 `json:"scale"`
+	Frames     int     `json:"frames"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	// Seed records the pre-optimization numbers (PR 3 starting point) for
+	// the speedup table; Designs holds the current measurements.
+	Seed    map[string]BenchResult `json:"seed,omitempty"`
+	Designs map[string]BenchResult `json:"designs"`
+}
+
+// seedNumbers are the measured pre-optimization figures (same workload,
+// same machine class) kept for the README speedup table.
+var seedNumbers = map[string]BenchResult{
+	codec.IntraOnly.String():    {FPS: 46.46, MptsPerS: 1.72, AllocsPerFrame: 45301},
+	codec.IntraInterV1.String(): {FPS: 36.76, MptsPerS: 1.36, AllocsPerFrame: 36305},
+}
+
+func benchFrameSet() ([]*geom.VoxelCloud, error) {
+	spec, err := dataset.SpecByName(benchVideo)
+	if err != nil {
+		return nil, err
+	}
+	g := dataset.NewGenerator(spec, benchScale)
+	frames := make([]*geom.VoxelCloud, benchFrames)
+	for i := range frames {
+		if frames[i], err = g.Frame(i % spec.Frames); err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+func benchOptions(d codec.Design) codec.Options {
+	o := codec.OptionsFor(d)
+	o.IntraAttr.Segments = benchSegIntra
+	o.Inter.Segments = benchSegInter
+	return o
+}
+
+// benchDesign measures one design: a full warmup session brings the arenas
+// to steady state, then sessions run until at least minWall of timed work.
+func benchDesign(d codec.Design, frames []*geom.VoxelCloud) (BenchResult, error) {
+	enc := codec.NewEncoder(edgesim.NewXavier(edgesim.Mode15W), benchOptions(d))
+	runSession := func() (pts, bytes int64, err error) {
+		for _, f := range frames {
+			frame, st, err := enc.EncodeFrame(f)
+			if err != nil {
+				return 0, 0, err
+			}
+			pts += int64(st.Points)
+			bytes += frame.Size()
+		}
+		return pts, bytes, nil
+	}
+	if _, _, err := runSession(); err != nil { // warmup
+		return BenchResult{}, err
+	}
+
+	// Allocation pass: one session bracketed by mallocs counters.
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	if _, _, err := runSession(); err != nil {
+		return BenchResult{}, err
+	}
+	runtime.ReadMemStats(&m1)
+	allocsPerFrame := float64(m1.Mallocs-m0.Mallocs) / float64(benchFrames)
+
+	// Throughput pass: repeat sessions until enough timed wall clock.
+	const minWall = 2 * time.Second
+	var pts, bytes, nframes int64
+	start := time.Now()
+	for time.Since(start) < minWall {
+		p, b, err := runSession()
+		if err != nil {
+			return BenchResult{}, err
+		}
+		pts += p
+		bytes += b
+		nframes += benchFrames
+	}
+	sec := time.Since(start).Seconds()
+	return BenchResult{
+		FPS:            round2(float64(nframes) / sec),
+		MptsPerS:       round3(float64(pts) / sec / 1e6),
+		MBPerS:         round2(float64(bytes) / sec / 1e6),
+		AllocsPerFrame: round2(allocsPerFrame),
+	}, nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+
+// runBench is the `bench` experiment entry point.
+func runBench(cfg benchConfig) error {
+	frames, err := benchFrameSet()
+	if err != nil {
+		return err
+	}
+	out := BenchFile{
+		Benchmark:  "steady-state-encode",
+		Video:      benchVideo,
+		Scale:      benchScale,
+		Frames:     benchFrames,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seedNumbers,
+		Designs:    make(map[string]BenchResult),
+	}
+	fmt.Printf("steady-state encode: %s @ %.2f, %d-frame GOP sessions, GOMAXPROCS=%d\n\n",
+		benchVideo, benchScale, benchFrames, out.GoMaxProcs)
+	fmt.Printf("%-16s %10s %10s %10s %14s\n", "design", "frames/s", "Mpts/s", "MB/s", "allocs/frame")
+	for _, d := range []codec.Design{codec.IntraOnly, codec.IntraInterV1} {
+		r, err := benchDesign(d, frames)
+		if err != nil {
+			return err
+		}
+		out.Designs[d.String()] = r
+		fmt.Printf("%-16s %10.2f %10.3f %10.2f %14.1f\n", d, r.FPS, r.MptsPerS, r.MBPerS, r.AllocsPerFrame)
+		if s, ok := seedNumbers[d.String()]; ok {
+			fmt.Printf("%-16s %9.2fx %30s %13.0fx\n", "  vs seed",
+				r.FPS/s.FPS, "", s.AllocsPerFrame/r.AllocsPerFrame)
+		}
+	}
+
+	if *flagBenchOut != "" {
+		if err := writeBenchFile(*flagBenchOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *flagBenchOut)
+	}
+	if *flagBaseline != "" {
+		return gateAgainst(*flagBaseline, out, *flagGate)
+	}
+	return nil
+}
+
+func writeBenchFile(path string, f BenchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gateAgainst fails when any design's frames/s fell, or allocs/frame rose,
+// more than tol (fraction) beyond the baseline file's figures.
+func gateAgainst(path string, cur BenchFile, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench gate: %w", err)
+	}
+	var base BenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench gate: %s: %w", path, err)
+	}
+	fmt.Printf("\nregression gate vs %s (tolerance %.0f%%):\n", path, tol*100)
+	var failed bool
+	for name, b := range base.Designs {
+		c, ok := cur.Designs[name]
+		if !ok {
+			fmt.Printf("  %-16s MISSING from current run\n", name)
+			failed = true
+			continue
+		}
+		fpsFloor := b.FPS * (1 - tol)
+		allocCap := b.AllocsPerFrame * (1 + tol)
+		status := "ok"
+		if c.FPS < fpsFloor || c.AllocsPerFrame > allocCap {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-16s fps %8.2f (floor %8.2f)  allocs/frame %8.1f (cap %8.1f)  %s\n",
+			name, c.FPS, fpsFloor, c.AllocsPerFrame, allocCap, status)
+	}
+	if failed {
+		return fmt.Errorf("bench gate: steady-state throughput regressed beyond %.0f%% tolerance", tol*100)
+	}
+	fmt.Println("  gate passed")
+	return nil
+}

@@ -465,3 +465,42 @@ func TestYCoCgImprovesCompressionOnNaturalColors(t *testing.T) {
 		t.Fatalf("YCoCg %d >= RGB %d bytes on correlated colours", len(ycocg), len(rgb))
 	}
 }
+
+// The encoder's recon by-product (used as the inter-frame reference without
+// a decode round-trip) must be bit-exact with what Decode reconstructs from
+// the payload, across every parameter combination that changes the math.
+func TestEncodeWithReconMatchesDecode(t *testing.T) {
+	cases := []Params{
+		{Segments: 64, QStep: 4, Layers: 2},
+		{Segments: 64, QStep: 4, Layers: 2, YCoCg: true},
+		{Segments: 64, QStep: 1, Layers: 2, YCoCg: true},
+		{Segments: 64, QStep: 6, Layers: 1},
+		{Segments: 64, QStep: 6, Layers: 1, YCoCg: true},
+		{Segments: 1, QStep: 4, Layers: 2},
+		{Segments: 7, QStep: 3, Layers: 2, YCoCg: true},
+		{Segments: 5000, QStep: 4, Layers: 2, YCoCg: true}, // more segments than points
+		{Segments: 64, QStep: 4, Layers: 2, Entropy: true},
+	}
+	colors := smoothColors(7, 997)
+	for _, p := range cases {
+		d := dev()
+		var s Scratch
+		recon := make([]geom.Color, len(colors))
+		payload, err := EncodeWith(d, colors, p, &s, recon)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		decoded, err := Decode(d, payload)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", p, err)
+		}
+		if len(decoded) != len(recon) {
+			t.Fatalf("%+v: decoded %d colours, recon %d", p, len(decoded), len(recon))
+		}
+		for i := range decoded {
+			if decoded[i] != recon[i] {
+				t.Fatalf("%+v: colour %d: recon %v, decoder %v", p, i, recon[i], decoded[i])
+			}
+		}
+	}
+}

@@ -61,15 +61,49 @@ var (
 // ErrBadStream reports a malformed attribute stream.
 var ErrBadStream = errors.New("attr: malformed stream")
 
-// Encode compresses the attribute column of a Morton-sorted frame.
-// colors[i] must correspond to the i-th sorted voxel.
+// Scratch is the intra attribute encoder's reusable arena: channel columns,
+// layer buffers, segment widths/offsets and the contiguous packed stream.
+// Buffers grow to the largest frame encoded and are then reused, so
+// steady-state encoding allocates only the escaping frame payload. A
+// Scratch must not be shared by concurrent encodes.
+type Scratch struct {
+	buf    bytes.Buffer
+	bounds []int
+	chans  [3][]int32
+	l1, l2 layerData
+	segW   []byte
+	segOff []int
+	packed []byte
+	recon  [3][]int32
+}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Encode compresses the attribute column of a Morton-sorted frame with a
+// fresh scratch. colors[i] must correspond to the i-th sorted voxel. Hot
+// paths should hold a Scratch and call EncodeWith.
 func Encode(dev *edgesim.Device, colors []geom.Color, p Params) ([]byte, error) {
+	return EncodeWith(dev, colors, p, new(Scratch), nil)
+}
+
+// EncodeWith compresses the attribute column of a Morton-sorted frame,
+// reusing the scratch arena. If recon is non-nil it must have len(colors)
+// and is filled with the decoder-exact reconstruction of the encoded
+// attributes — bit-for-bit what Decode(result) would return — so encoders
+// can maintain reference state without a decode round-trip.
+func EncodeWith(dev *edgesim.Device, colors []geom.Color, p Params, s *Scratch, recon []geom.Color) ([]byte, error) {
 	p = p.normalized()
 	n := len(colors)
-	var buf bytes.Buffer
-	writeUvarint(&buf, uint64(n))
-	writeUvarint(&buf, uint64(p.Segments))
-	writeUvarint(&buf, uint64(p.QStep))
+	buf := &s.buf
+	buf.Reset()
+	writeUvarint(buf, uint64(n))
+	writeUvarint(buf, uint64(p.Segments))
+	writeUvarint(buf, uint64(p.QStep))
 	buf.WriteByte(byte(p.Layers))
 	if p.YCoCg {
 		buf.WriteByte(1)
@@ -79,32 +113,36 @@ func Encode(dev *edgesim.Device, colors []geom.Color, p Params) ([]byte, error) 
 	if n == 0 {
 		return framePayload(dev, buf.Bytes(), p)
 	}
-	bounds := SegmentBounds(n, p.Segments)
+	s.bounds = segmentBoundsIn(s.bounds, n, p.Segments)
+	bounds := s.bounds
 	nSeg := len(bounds) - 1
 	perSegCost := func(c edgesim.Cost) edgesim.Cost {
 		scale := float64(n) / float64(nSeg)
 		return edgesim.Cost{OpsPerItem: c.OpsPerItem * scale, BytesPerItem: c.BytesPerItem * scale}
 	}
 
-	channels := extractChannels(colors, p.YCoCg)
+	extractChannelsInto(&s.chans, colors, p.YCoCg)
 	for ch := 0; ch < 3; ch++ {
-		values := channels[ch]
+		values := s.chans[ch]
 
 		// Layer 1: Mid + Residual + Quantize, parallel over segments
 		// (Sec. IV-A2: "these computations are light-weight, and can be
 		// performed in parallel").
-		l1 := layerData{bases: make([]int32, nSeg), qd: make([]int32, n)}
+		s.l1.bases = grow(s.l1.bases, nSeg)
+		s.l1.qd = grow(s.l1.qd, n)
+		l1 := s.l1
 		dev.GPUKernel("MidResidual", nSeg, perSegCost(costMedianBase), func(s0, s1 int) {
 			encodeLayerRange(values, bounds, int32(p.QStep), &l1, s0, s1)
 		})
 		dev.GPUNoop("Quantize", n, costResidualQ)
 
 		final := l1
-		var l2 layerData
 		if p.Layers == 2 {
 			// Layer 2: re-encode the residual stream (deltas as new
 			// attributes, Sec. VI-B), losslessly (q=1).
-			l2 = layerData{bases: make([]int32, nSeg), qd: make([]int32, n)}
+			s.l2.bases = grow(s.l2.bases, nSeg)
+			s.l2.qd = grow(s.l2.qd, n)
+			l2 := s.l2
 			dev.GPUKernel("MidResidual_L2", nSeg, perSegCost(costMedianBase), func(s0, s1 int) {
 				encodeLayerRange(l1.qd, bounds, 1, &l2, s0, s1)
 			})
@@ -112,30 +150,70 @@ func Encode(dev *edgesim.Device, colors []geom.Color, p Params) ([]byte, error) 
 		}
 
 		// Pack: bases (layer 1 [+ layer 2]) then per-segment fixed-width
-		// residuals.
-		packBases(&buf, l1.bases)
+		// residuals. The residual pack is a compound kernel: a parallel
+		// width pass, a serial byte-offset scan, and a parallel scatter of
+		// every segment into one contiguous buffer (segments start on byte
+		// boundaries, so the output is identical to per-segment streams —
+		// without the per-segment allocations).
+		s.packBases(buf, l1.bases)
 		if p.Layers == 2 {
-			packBases(&buf, l2.bases)
+			s.packBases(buf, final.bases)
 		}
-		segStreams := make([][]byte, nSeg)
-		dev.GPUKernel("PackBits", nSeg, perSegCost(costPackBits), func(s0, s1 int) {
-			for s := s0; s < s1; s++ {
-				lo, hi := bounds[s], bounds[s+1]
-				seg := final.qd[lo:hi]
-				w := widthFor(seg)
-				bw := &bitWriter{}
-				for _, v := range seg {
-					bw.write(uint64(zig(v)), w)
+		dev.GPUCompute("PackBits", nSeg, perSegCost(costPackBits), func() {
+			s.segW = grow(s.segW, nSeg)
+			s.segOff = grow(s.segOff, nSeg+1)
+			segW, segOff := s.segW, s.segOff
+			dev.ParallelFor(nSeg, func(g0, g1 int) {
+				for g := g0; g < g1; g++ {
+					segW[g] = byte(widthFor(final.qd[bounds[g]:bounds[g+1]]))
 				}
-				out := make([]byte, 0, 1+len(bw.buf)+1)
-				out = append(out, byte(w))
-				out = append(out, bw.flush()...)
-				segStreams[s] = out
+			})
+			off := 0
+			for g := 0; g < nSeg; g++ {
+				segOff[g] = off
+				off += 1 + (int(segW[g])*(bounds[g+1]-bounds[g])+7)/8
+			}
+			segOff[nSeg] = off
+			s.packed = grow(s.packed, off)
+			packed := s.packed
+			dev.ParallelFor(nSeg, func(g0, g1 int) {
+				for g := g0; g < g1; g++ {
+					o := segOff[g]
+					packed[o] = segW[g]
+					packInto(packed[o+1:segOff[g+1]], final.qd[bounds[g]:bounds[g+1]], uint(segW[g]))
+				}
+			})
+			buf.Write(packed[:off])
+		})
+
+		if recon != nil {
+			// Decoder-exact channel reconstruction from the layer-1 data:
+			// layer 2 is lossless (q=1), so bases2[s]+qd2[i] == qd1[i] and
+			// the decoder's value is bases1[s] + qd1[i]*QStep exactly.
+			s.recon[ch] = grow(s.recon[ch], n)
+			rc := s.recon[ch]
+			q := int32(p.QStep)
+			dev.ParallelFor(nSeg, func(g0, g1 int) {
+				for g := g0; g < g1; g++ {
+					for i := bounds[g]; i < bounds[g+1]; i++ {
+						rc[i] = l1.bases[g] + l1.qd[i]*q
+					}
+				}
+			})
+		}
+	}
+	if recon != nil {
+		r0, r1, r2 := s.recon[0], s.recon[1], s.recon[2]
+		ycocg := p.YCoCg
+		dev.ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a, b, c := r0[i], r1[i], r2[i]
+				if ycocg {
+					a, b, c = yCoCgToRGB(a, b, c)
+				}
+				recon[i] = geom.Color{R: clampU8i(a), G: clampU8i(b), B: clampU8i(c)}
 			}
 		})
-		for _, s := range segStreams {
-			buf.Write(s)
-		}
 	}
 	return framePayload(dev, buf.Bytes(), p)
 }
@@ -275,13 +353,12 @@ func Decode(dev *edgesim.Device, data []byte) ([]geom.Color, error) {
 	return out, nil
 }
 
-// extractChannels splits colours into three int32 channel columns, in RGB
-// or YCoCg-R space.
-func extractChannels(colors []geom.Color, ycocg bool) [3][]int32 {
+// extractChannelsInto splits colours into three int32 channel columns, in
+// RGB or YCoCg-R space, reusing the destination buffers.
+func extractChannelsInto(chans *[3][]int32, colors []geom.Color, ycocg bool) {
 	n := len(colors)
-	var chans [3][]int32
 	for ch := range chans {
-		chans[ch] = make([]int32, n)
+		chans[ch] = grow(chans[ch], n)
 	}
 	for i, c := range colors {
 		if ycocg {
@@ -291,7 +368,6 @@ func extractChannels(colors []geom.Color, ycocg bool) [3][]int32 {
 			chans[0][i], chans[1][i], chans[2][i] = int32(c.R), int32(c.G), int32(c.B)
 		}
 	}
-	return chans
 }
 
 // assembleColors converts decoded channel columns back to RGB colours.
@@ -315,14 +391,40 @@ func clampU8i(v int32) uint8 {
 	return uint8(v)
 }
 
-func packBases(buf *bytes.Buffer, bases []int32) {
+// packBases writes a width byte plus fixed-width zig-zag codes for the
+// per-segment base values, staging through the scratch's packed buffer.
+func (s *Scratch) packBases(buf *bytes.Buffer, bases []int32) {
 	w := widthFor(bases)
 	buf.WriteByte(byte(w))
-	bw := &bitWriter{}
-	for _, b := range bases {
-		bw.write(uint64(zig(b)), w)
+	nb := (len(bases)*int(w) + 7) / 8
+	s.packed = grow(s.packed, nb)
+	packInto(s.packed[:nb], bases, w)
+	buf.Write(s.packed[:nb])
+}
+
+// packInto packs the zig-zag codes of vs LSB-first at fixed width w into
+// dst, which must hold exactly ceil(len(vs)*w/8) bytes. Identical output to
+// bitWriter.write per value followed by flush.
+func packInto(dst []byte, vs []int32, w uint) {
+	if w == 0 {
+		return
 	}
-	buf.Write(bw.flush())
+	var bits uint64
+	var n uint
+	pos := 0
+	for _, v := range vs {
+		bits |= (uint64(zig(v)) & (1<<w - 1)) << n
+		n += w
+		for n >= 8 {
+			dst[pos] = byte(bits)
+			pos++
+			bits >>= 8
+			n -= 8
+		}
+	}
+	if n > 0 {
+		dst[pos] = byte(bits)
+	}
 }
 
 func unpackBases(r *bytes.Reader, nSeg int) ([]int32, error) {

@@ -147,22 +147,43 @@ type Encoder struct {
 	// decoded colours) for P-frame prediction — the encoder tracks exactly
 	// what the decoder will have, avoiding drift.
 	refSorted []geom.Voxel
-	// scratch is an unaccounted device used to reconstruct the reference
-	// (a real encoder gets the reconstruction as an encode by-product; its
-	// cost is already accounted by the encode kernels).
-	scratch *edgesim.Device
 	// lastInterStats captures the block-reuse statistics of the most
 	// recently encoded inter frame.
 	lastInterStats interframe.Stats
+
+	// Steady-state arenas. The attribute phase is serialized (FinishFrame
+	// order), so one scratch of each kind suffices; geometry phases may run
+	// concurrently under the pipeline's lookahead, so their arenas come from
+	// a pool and travel with the GeometryIntermediate until FinishFrame
+	// returns them.
+	geomPool     sync.Pool
+	attrScratch  attr.Scratch
+	interScratch interframe.EncodeScratch
+	colors       []geom.Color
+	pvox         []geom.Voxel
+	recon        []geom.Color
+	// refBufs ping-pong the reference voxel storage: the buffer installed at
+	// one I-frame is reused two I-frames later, when no P-frame can still
+	// read it.
+	refBufs  [2][]geom.Voxel
+	refWhich int
+}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // NewEncoder creates an encoder running on dev.
 func NewEncoder(dev *edgesim.Device, opts Options) *Encoder {
-	return &Encoder{
-		dev:     dev,
-		opts:    opts.normalized(),
-		scratch: edgesim.New(dev.Config()),
+	e := &Encoder{
+		dev:  dev,
+		opts: opts.normalized(),
 	}
+	e.geomPool.New = func() any { return new(geomScratch) }
+	return e
 }
 
 // Device exposes the accounting device (for harnesses).

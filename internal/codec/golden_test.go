@@ -1,0 +1,106 @@
+package codec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+// goldenStreamHashes pins the exact encoded bytes of every design over a
+// deterministic 6-frame (two-GOP) redandblack sequence at 5% scale. Any
+// refactor of the encode hot path (worker pools, scratch arenas, parallel
+// scan/compact) must keep the wire format byte-identical; a hash change here
+// means the change is NOT a pure performance optimization.
+//
+// Captured from the pre-worker-pool implementation (PR 2 tree) and verified
+// unchanged after the steady-state throughput overhaul.
+var goldenStreamHashes = map[Design]string{
+	TMC13:        "338364b6aba6eac46c62fa5beb98d102ccec1332343f92db369099285e65ee77",
+	CWIPC:        "e71b0067b84f60b8b5d05b660964816a9d14c6b6c334b727321eb2b8f2edb730",
+	IntraOnly:    "9d1b26ec0e7f32b087b28e65a8c282bf3f9cec631647e12ed00afaf2fb8f9199",
+	IntraInterV1: "3fd2f932928b37e14bb6f79f1ccf11514858e8c9e7d3d94fd6d5979f819b8ba5",
+	IntraInterV2: "fcfc6cc2577c5a27b80e55dbf2d16e086a5412b90b518f706718d8d363593652",
+}
+
+func goldenFrames(t testing.TB) []*geom.VoxelCloud {
+	t.Helper()
+	spec, err := dataset.SpecByName("redandblack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataset.NewGenerator(spec, 0.05)
+	frames := make([]*geom.VoxelCloud, 6)
+	for i := range frames {
+		if frames[i], err = g.Frame(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return frames
+}
+
+// TestGoldenStreams asserts byte-identical encoded output across the
+// performance refactors of the encode hot path.
+func TestGoldenStreams(t *testing.T) {
+	frames := goldenFrames(t)
+	for _, d := range Designs() {
+		t.Run(d.String(), func(t *testing.T) {
+			opts := OptionsFor(d)
+			opts.IntraAttr.Segments = 1500
+			opts.Inter.Segments = 2500
+			enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+			h := sha256.New()
+			for _, f := range frames {
+				ef, _, err := enc.EncodeFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ef.WriteTo(h); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := hex.EncodeToString(h.Sum(nil))
+			want := goldenStreamHashes[d]
+			if got != want {
+				t.Errorf("encoded stream hash changed:\n got  %s\n want %s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenStreamsSplitPhase asserts the split-phase (pipeline) API
+// produces the same bytes as EncodeFrame for the proposed designs.
+func TestGoldenStreamsSplitPhase(t *testing.T) {
+	frames := goldenFrames(t)
+	for _, d := range []Design{IntraOnly, IntraInterV1} {
+		t.Run(d.String(), func(t *testing.T) {
+			opts := OptionsFor(d)
+			opts.IntraAttr.Segments = 1500
+			opts.Inter.Segments = 2500
+			enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+			geomDev := edgesim.NewXavier(edgesim.Mode15W)
+			h := sha256.New()
+			for _, f := range frames {
+				g, err := enc.EncodeGeometryOn(geomDev, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ef, _, err := enc.FinishFrame(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ef.WriteTo(h); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := hex.EncodeToString(h.Sum(nil))
+			want := goldenStreamHashes[d]
+			if got != want {
+				t.Errorf("split-phase stream hash differs from EncodeFrame golden:\n got  %s\n want %s", got, want)
+			}
+		})
+	}
+}

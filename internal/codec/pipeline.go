@@ -32,6 +32,9 @@ type GeometryIntermediate struct {
 	stageDelta edgesim.Snapshot
 	phaseDelta edgesim.Snapshot
 	split      bool
+	// gs is the geometry arena backing sorted; FinishFrame returns it to
+	// the encoder's pool once the frame is complete.
+	gs *geomScratch
 }
 
 // Points returns the frame's (deduplicated) point count, or the raw count
@@ -87,6 +90,7 @@ func (e *Encoder) FinishFrame(g *GeometryIntermediate) (*EncodedFrame, FrameStat
 	)
 	if g.split {
 		frame, attrDelta, err = e.proposedAttr(g, isP)
+		e.releaseGeom(g)
 		geomDelta = g.stageDelta
 		// phaseDelta already contains the geometry stage (plus the optional
 		// entropy pass); the frame total is both phases end to end.

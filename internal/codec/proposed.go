@@ -8,11 +8,31 @@ import (
 	"repro/internal/entropy"
 	"repro/internal/geom"
 	"repro/internal/interframe"
-	"repro/internal/morton"
 	"repro/internal/paroctree"
 )
 
 var costRescale = edgesim.Cost{OpsPerItem: 12, BytesPerItem: 16}
+
+// geomScratch is the per-frame geometry arena: the rescaled cloud, the
+// octree build scratch and the serialized occupancy buffer. It is pooled by
+// the encoder (several geometry phases may run concurrently under the
+// pipeline's lookahead) and travels with the GeometryIntermediate until
+// FinishFrame consumes the frame.
+type geomScratch struct {
+	scaled geom.VoxelCloud
+	build  paroctree.BuildScratch
+	wire   []byte
+}
+
+// releaseGeom returns a consumed intermediate's arena to the pool. The
+// intermediate's sorted view aliases the arena, so it is cleared too.
+func (e *Encoder) releaseGeom(g *GeometryIntermediate) {
+	if g.gs != nil {
+		e.geomPool.Put(g.gs)
+		g.gs = nil
+		g.sorted = nil
+	}
+}
 
 // encodeProposed runs the paper's pipelines: parallel geometry always;
 // attributes intra (Sec. IV) for I-frames and inter (Sec. V) for P-frames.
@@ -22,6 +42,7 @@ func (e *Encoder) encodeProposed(vc *geom.VoxelCloud, isP bool) (*EncodedFrame, 
 		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
 	}
 	frame, attrDelta, err := e.proposedAttr(g, isP)
+	e.releaseGeom(g)
 	if err != nil {
 		return nil, edgesim.Snapshot{}, edgesim.Snapshot{}, err
 	}
@@ -40,6 +61,7 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 		err     error
 		geomRaw []byte
 	)
+	gs := e.geomPool.Get().(*geomScratch)
 	s0 := dev.Snapshot()
 	dev.Stage("Geometry", func() {
 		work := vc
@@ -49,20 +71,24 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 			r := paroctree.FitRescale(vc)
 			frame.HasRescale = true
 			frame.Rescale = r
-			scaled := &geom.VoxelCloud{Depth: vc.Depth, Voxels: make([]geom.Voxel, vc.Len())}
+			gs.scaled.Depth = vc.Depth
+			gs.scaled.Voxels = grow(gs.scaled.Voxels, vc.Len())
+			scaled := &gs.scaled
 			dev.GPUKernelIdx("Rescale", vc.Len(), costRescale, func(i int) {
 				scaled.Voxels[i] = r.Apply(vc.Voxels[i])
 			})
 			work = scaled
 		}
-		build, err = paroctree.Build(dev, work)
+		build, err = paroctree.BuildWith(dev, work, &gs.build)
 		if err != nil {
 			return
 		}
-		geomRaw = build.Tree.Serialize(dev)
+		gs.wire = build.Tree.SerializeInto(dev, gs.wire)
+		geomRaw = gs.wire
 	})
 	stageDelta := dev.Since(s0)
 	if err != nil {
+		e.geomPool.Put(gs)
 		return nil, err
 	}
 	if e.opts.EntropyGeometry {
@@ -84,6 +110,7 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 		stageDelta: stageDelta,
 		phaseDelta: dev.Since(s0),
 		split:      true,
+		gs:         gs,
 	}, nil
 }
 
@@ -93,24 +120,37 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 // P-frames read it.
 func (e *Encoder) proposedAttr(g *GeometryIntermediate, isP bool) (*EncodedFrame, edgesim.Snapshot, error) {
 	frame, sorted := g.frame, g.sorted
-	colors := make([]geom.Color, len(sorted))
-	for i, k := range sorted {
-		colors[i] = k.Voxel.C
-	}
+	// I-frames of inter designs need the decoder-exact reconstruction as
+	// the next reference; the intra encoder produces it as an encode
+	// by-product (no decode round-trip).
+	needRef := !isP && e.opts.Design.UsesInter()
 
 	var err error
 	s1 := e.dev.Snapshot()
 	var attrPayload []byte
 	e.dev.Stage("Attribute", func() {
 		if isP {
+			e.pvox = grow(e.pvox, len(sorted))
+			for i, k := range sorted {
+				e.pvox[i] = k.Voxel
+			}
 			var st interframe.Stats
 			var data []byte
-			data, st, err = interframe.EncodeP(e.dev, e.ref(), morton.Voxels(sorted), e.opts.Inter)
+			data, st, err = interframe.EncodePWith(e.dev, e.ref(), e.pvox, e.opts.Inter, &e.interScratch)
 			e.lastInterStats = st
 			attrPayload = append([]byte{1}, data...)
 		} else {
+			e.colors = grow(e.colors, len(sorted))
+			for i, k := range sorted {
+				e.colors[i] = k.Voxel.C
+			}
+			var reconDst []geom.Color
+			if needRef {
+				e.recon = grow(e.recon, len(sorted))
+				reconDst = e.recon
+			}
 			var data []byte
-			data, err = attr.Encode(e.dev, colors, e.opts.IntraAttr)
+			data, err = attr.EncodeWith(e.dev, e.colors, e.opts.IntraAttr, &e.attrScratch, reconDst)
 			attrPayload = append([]byte{0}, data...)
 		}
 	})
@@ -122,17 +162,17 @@ func (e *Encoder) proposedAttr(g *GeometryIntermediate, isP bool) (*EncodedFrame
 	frame.Type = IFrame
 	if isP {
 		frame.Type = PFrame
-	} else {
-		// Reconstruct the reference exactly as the decoder will see it
-		// (decoded attributes on the sorted geometry, in rescaled space).
-		recon, rerr := attr.Decode(e.scratch, attrPayload[1:])
-		if rerr != nil {
-			return nil, edgesim.Snapshot{}, rerr
-		}
-		ref := make([]geom.Voxel, len(sorted))
+	} else if needRef {
+		// Install the reference exactly as the decoder will see it (decoded
+		// attributes on the sorted geometry, in rescaled space). Reference
+		// storage ping-pongs between two encoder-owned buffers.
+		which := e.refWhich
+		e.refWhich ^= 1
+		ref := grow(e.refBufs[which], len(sorted))
+		e.refBufs[which] = ref
 		for i, k := range sorted {
 			ref[i] = k.Voxel
-			ref[i].C = recon[i]
+			ref[i].C = e.recon[i]
 		}
 		e.setRef(ref)
 	}

@@ -1,0 +1,111 @@
+package codec
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+// steadyFrames returns a deterministic 60-frame GOP session (redandblack at
+// 5% scale, frames cycling through the generator's articulation loop).
+func steadyFrames(tb testing.TB, n int) []*geom.VoxelCloud {
+	tb.Helper()
+	spec, err := dataset.SpecByName("redandblack")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g := dataset.NewGenerator(spec, 0.05)
+	frames := make([]*geom.VoxelCloud, n)
+	for i := range frames {
+		if frames[i], err = g.Frame(i % spec.Frames); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return frames
+}
+
+func steadyOpts(d Design) Options {
+	o := OptionsFor(d)
+	o.IntraAttr.Segments = 1500
+	o.Inter.Segments = 2500
+	return o
+}
+
+// BenchmarkEncodeSteadyState measures the real-execution encode hot path
+// over a 60-frame GOP session: the workload every scaling PR (session
+// multiplexing, FEC) rides on. Run with -benchmem; allocs/op divided by 60
+// is allocs/frame.
+func BenchmarkEncodeSteadyState(b *testing.B) {
+	frames := steadyFrames(b, 60)
+	for _, d := range []Design{IntraOnly, IntraInterV1} {
+		b.Run(d.String(), func(b *testing.B) {
+			enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), steadyOpts(d))
+			// Warm up one full session so arena buffers reach steady state.
+			for _, f := range frames {
+				if _, _, err := enc.EncodeFrame(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var pts int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range frames {
+					_, st, err := enc.EncodeFrame(f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pts += int64(st.Points)
+				}
+			}
+			b.StopTimer()
+			sec := b.Elapsed().Seconds()
+			b.ReportMetric(float64(60*b.N)/sec, "frames/s")
+			b.ReportMetric(float64(pts)/sec/1e6, "Mpts/s")
+		})
+	}
+}
+
+// TestSteadyStateAllocsPerFrame is the allocation-regression gate: after a
+// one-session warmup, steady-state encoding must stay under a hard
+// allocs/frame cap. The caps are set ~2.3x above the post-arena
+// measurements (IntraOnly ~172, IntraInterV1 ~159 allocs/frame at
+// 1500/2500 segments — mostly the escaping frame payloads) so GC and pool
+// noise does not flake the gate, while the pre-arena figures
+// (~45k/~36k allocs/frame) fail it by two orders of magnitude.
+func TestSteadyStateAllocsPerFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs full frames")
+	}
+	caps := map[Design]float64{
+		IntraOnly:    400,
+		IntraInterV1: 400,
+	}
+	frames := steadyFrames(t, 60)
+	for d, cap := range caps {
+		t.Run(d.String(), func(t *testing.T) {
+			enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), steadyOpts(d))
+			for _, f := range frames { // warmup session
+				if _, _, err := enc.EncodeFrame(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(1, func() {
+				for _, f := range frames {
+					if _, _, err := enc.EncodeFrame(f); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+			perFrame := allocs / 60
+			t.Logf("%s: %.1f allocs/frame (cap %.0f)", d, perFrame, cap)
+			if perFrame > cap {
+				t.Errorf("%s steady-state allocations regressed: %.1f allocs/frame > cap %.0f", d, perFrame, cap)
+			}
+		})
+	}
+	runtime.KeepAlive(frames)
+}

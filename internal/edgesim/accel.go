@@ -63,9 +63,9 @@ func (d *Device) AccelKernel(name string, items int, c Cost, body func(start, en
 		return
 	}
 	start := time.Now()
-	parallelRanges(d.workers, items, body)
+	d.pool.ranges(d.workers, items, body)
 	wall := time.Since(start)
-	d.account(name, EngineAccel, int64(items), c, d.accelTime(int64(items), c), wall, 0)
+	d.account(name, EngineAccel, int64(items), c, d.accelTime(int64(items), c), wall, 0, d.workers)
 }
 
 // AccelNoop accounts accelerator work whose computation already happened
@@ -75,5 +75,5 @@ func (d *Device) AccelNoop(name string, items int, c Cost) {
 		d.GPUNoop(name, items, c)
 		return
 	}
-	d.account(name, EngineAccel, int64(items), c, d.accelTime(int64(items), c), 0, 0)
+	d.account(name, EngineAccel, int64(items), c, d.accelTime(int64(items), c), 0, 0, 0)
 }

@@ -25,7 +25,6 @@ package edgesim
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -135,6 +134,21 @@ type KernelRecord struct {
 	Bytes    float64
 	SimTime  time.Duration
 	EnergyJ  float64
+	// ModelThreads is the core count the analytic model charged for CPU
+	// work (0 for GPU/accel kernels, whose model uses the full engine).
+	ModelThreads int
+	// RealWorkers is the largest goroutine worker count the real execution
+	// actually used across launches. When it is smaller than ModelThreads
+	// the host clamped the launch (GOMAXPROCS below the modelled cores), so
+	// wall-vs-sim comparisons for this kernel are not like-for-like.
+	RealWorkers int
+}
+
+// Clamped reports whether real execution ran on fewer workers than the
+// analytic model assumed — the wall-clock sanity check must not read this
+// kernel's wall time as a model validation when true.
+func (k KernelRecord) Clamped() bool {
+	return k.ModelThreads > 0 && k.RealWorkers < k.ModelThreads
 }
 
 // StageRecord aggregates simulated time/energy for a named pipeline stage
@@ -193,19 +207,21 @@ type Device struct {
 	kernelOrder []string
 
 	workers int
+	pool    *Pool
 }
 
-// New creates a device with the given configuration.
+// New creates a device with the given configuration. The device attaches to
+// the persistent kernel worker pool (created on the first New, shared by
+// every device in the process the way concurrent sessions share one SoC),
+// so kernel launches wake parked workers instead of spawning goroutines.
 func New(cfg Config) *Device {
-	w := runtime.GOMAXPROCS(0)
-	if w < 1 {
-		w = 1
-	}
+	p := newSharedPool()
 	return &Device{
 		cfg:     cfg,
 		stages:  make(map[string]*StageRecord),
 		kernels: make(map[string]*KernelRecord),
-		workers: w,
+		workers: p.Workers(),
+		pool:    p,
 	}
 }
 
@@ -288,8 +304,10 @@ func (d *Device) currentStage() string {
 }
 
 // account books simulated time/energy for a kernel under the current stage.
+// threads is the core count the analytic model charged (CPU engines);
+// realWorkers is the goroutine worker count the real execution used.
 // Callers must NOT hold d.mu.
-func (d *Device) account(name string, engine Engine, items int64, c Cost, simTime time.Duration, wall time.Duration, threads int) {
+func (d *Device) account(name string, engine Engine, items int64, c Cost, simTime time.Duration, wall time.Duration, threads, realWorkers int) {
 	power := d.powerMW(engine, threads)
 	energy := power / 1000 * simTime.Seconds()
 
@@ -318,6 +336,12 @@ func (d *Device) account(name string, engine Engine, items int64, c Cost, simTim
 	kr.Bytes += c.BytesPerItem * float64(items)
 	kr.SimTime += simTime
 	kr.EnergyJ += energy
+	if threads > kr.ModelThreads {
+		kr.ModelThreads = threads
+	}
+	if realWorkers > kr.RealWorkers {
+		kr.RealWorkers = realWorkers
+	}
 }
 
 // powerMW returns the board power draw while the given engine executes.
@@ -375,9 +399,22 @@ func (d *Device) cpuTime(items int64, c Cost, threads int) time.Duration {
 // outside its range without its own synchronization.
 func (d *Device) GPUKernel(name string, items int, c Cost, body func(start, end int)) {
 	start := time.Now()
-	parallelRanges(d.workers, items, body)
+	d.pool.ranges(d.workers, items, body)
 	wall := time.Since(start)
-	d.account(name, EngineGPU, int64(items), c, d.gpuTime(int64(items), c), wall, 0)
+	d.account(name, EngineGPU, int64(items), c, d.gpuTime(int64(items), c), wall, 0, d.workers)
+}
+
+// GPUCompute accounts one kernel launch while running f once on the calling
+// goroutine. f is a compound kernel body: it parallelizes internally through
+// the device primitives (ParallelFor, ScanFlags, GatherFlags, Pool), so
+// multi-phase GPU stages (sort passes, scan+compact) genuinely use every
+// core while still appearing as a single ledger entry, exactly like a fused
+// CUDA kernel.
+func (d *Device) GPUCompute(name string, items int, c Cost, f func()) {
+	start := time.Now()
+	f()
+	wall := time.Since(start)
+	d.account(name, EngineGPU, int64(items), c, d.gpuTime(int64(items), c), wall, 0, d.workers)
 }
 
 // GPUKernelIdx is GPUKernel with a per-index body, for kernels whose items
@@ -394,7 +431,7 @@ func (d *Device) GPUKernelIdx(name string, items int, c Cost, body func(i int)) 
 // already happened as a by-product of another call but the paper's pipeline
 // launches it as a distinct kernel (keeps the Fig. 9 ledger faithful).
 func (d *Device) GPUNoop(name string, items int, c Cost) {
-	d.account(name, EngineGPU, int64(items), c, d.gpuTime(int64(items), c), 0, 0)
+	d.account(name, EngineGPU, int64(items), c, d.gpuTime(int64(items), c), 0, 0, 0)
 }
 
 // CPUSerial runs body on one CPU thread and accounts items*cost of work.
@@ -403,12 +440,14 @@ func (d *Device) CPUSerial(name string, items int, c Cost, body func()) {
 	start := time.Now()
 	body()
 	wall := time.Since(start)
-	d.account(name, EngineCPU, int64(items), c, d.cpuTime(int64(items), c, 1), wall, 1)
+	d.account(name, EngineCPU, int64(items), c, d.cpuTime(int64(items), c, 1), wall, 1, 1)
 }
 
 // CPUParallel runs body over `threads` OS-thread-like workers (the CWIPC
 // baseline uses 4 matching threads). The real execution uses min(threads,
-// GOMAXPROCS) goroutines; the model uses exactly `threads` cores.
+// GOMAXPROCS) pool workers while the model uses exactly `threads` cores;
+// the ledger records both (KernelRecord.ModelThreads / .RealWorkers), so
+// wall-vs-sim sanity checks can see when the host clamped the launch.
 func (d *Device) CPUParallel(name string, threads, items int, c Cost, body func(start, end int)) {
 	if threads < 1 {
 		threads = 1
@@ -421,42 +460,9 @@ func (d *Device) CPUParallel(name string, threads, items int, c Cost, body func(
 	if w > d.workers {
 		w = d.workers
 	}
-	parallelRanges(w, items, body)
+	d.pool.ranges(w, items, body)
 	wall := time.Since(start)
-	d.account(name, EngineCPU, int64(items), c, d.cpuTime(int64(items), c, threads), wall, threads)
-}
-
-// parallelRanges splits [0, items) into one contiguous range per worker and
-// runs body concurrently.
-func parallelRanges(workers, items int, body func(start, end int)) {
-	if items <= 0 {
-		return
-	}
-	if workers > items {
-		workers = items
-	}
-	if workers <= 1 {
-		body(0, items)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (items + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= items {
-			break
-		}
-		hi := lo + chunk
-		if hi > items {
-			hi = items
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	d.account(name, EngineCPU, int64(items), c, d.cpuTime(int64(items), c, threads), wall, threads, w)
 }
 
 // Stages returns stage records in first-use order.

@@ -1,0 +1,174 @@
+package edgesim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Ranges must cover [0, items) exactly once, with the documented
+// deterministic decomposition (ceil(items/workers) chunks, lo a multiple of
+// the chunk length), for every worker count including the clamped ones.
+func TestPoolRangesCoverExactlyOnce(t *testing.T) {
+	p := DefaultPool()
+	for _, items := range []int{0, 1, 2, 7, 64, 1000, 4097} {
+		for _, workers := range []int{1, 2, 3, 8, 1 << 20} {
+			var mu sync.Mutex
+			seen := make([]int, items)
+			chunks := 0
+			p.Ranges(workers, items, func(lo, hi int) {
+				if lo < 0 || hi > items || lo >= hi {
+					t.Errorf("items=%d workers=%d: bad range [%d,%d)", items, workers, lo, hi)
+				}
+				mu.Lock()
+				chunks++
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("items=%d workers=%d: index %d covered %d times", items, workers, i, c)
+				}
+			}
+			w := workers
+			if w > p.Workers() {
+				w = p.Workers()
+			}
+			if w > items {
+				w = items
+			}
+			if items > 0 && chunks > w {
+				t.Errorf("items=%d workers=%d: %d chunks for %d effective workers", items, workers, chunks, w)
+			}
+		}
+	}
+}
+
+// ScanFlags must produce exactly the serial exclusive-rank loop it replaced,
+// for sizes spanning the serial and multi-chunk paths.
+func TestScanFlagsMatchesSerial(t *testing.T) {
+	d := NewXavier(Mode15W)
+	for _, n := range []int{0, 1, 2, 3, 17, 256, 4099} {
+		flags := make([]int32, n)
+		// Deterministic irregular pattern exercising runs of 0s and 1s.
+		x := uint32(12345)
+		for i := range flags {
+			x = x*1664525 + 1013904223
+			if x&3 != 0 {
+				flags[i] = 1
+			}
+		}
+		want := make([]int32, n)
+		var r int32 = -1
+		for i, f := range flags {
+			r += f & 1
+			want[i] = r
+		}
+		wantTotal := int(r + 1)
+
+		got := make([]int32, n)
+		total := d.ScanFlags(flags, got)
+		if total != wantTotal {
+			t.Fatalf("n=%d: total %d, want %d", n, total, wantTotal)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: ranks[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// GatherFlags must place exactly the flagged elements at their scan ranks.
+func TestGatherFlagsCompacts(t *testing.T) {
+	d := NewXavier(Mode15W)
+	n := 1001
+	flags := make([]int32, n)
+	for i := range flags {
+		if i%3 == 0 {
+			flags[i] = 1
+		}
+	}
+	ranks := make([]int32, n)
+	total := d.ScanFlags(flags, ranks)
+	dst := make([]int, total)
+	GatherFlags(d, flags, ranks, dst, func(i int) int { return i * 10 })
+	k := 0
+	for i := 0; i < n; i += 3 {
+		if dst[k] != i*10 {
+			t.Fatalf("dst[%d] = %d, want %d", k, dst[k], i*10)
+		}
+		k++
+	}
+	if k != total {
+		t.Fatalf("compacted %d elements, scan said %d", k, total)
+	}
+}
+
+// CPUParallel launches asking for more threads than the host has must be
+// surfaced in the kernel ledger: ModelThreads keeps the modelled count,
+// RealWorkers the clamped one, and Clamped() reports the mismatch.
+func TestKernelRecordSurfacesClamp(t *testing.T) {
+	d := NewXavier(Mode15W)
+	host := runtime.GOMAXPROCS(0)
+	want := host + 4 // guaranteed above the host budget
+	d.CPUParallel("ClampProbe", want, 1000, Cost{OpsPerItem: 1}, func(lo, hi int) {})
+	for _, k := range d.Kernels() {
+		if k.Name != "ClampProbe" {
+			continue
+		}
+		if k.ModelThreads != want {
+			t.Errorf("ModelThreads = %d, want %d", k.ModelThreads, want)
+		}
+		if k.RealWorkers > host {
+			t.Errorf("RealWorkers = %d exceeds host budget %d", k.RealWorkers, host)
+		}
+		if !k.Clamped() {
+			t.Errorf("Clamped() = false for a %d-thread launch on %d cores", want, host)
+		}
+		return
+	}
+	t.Fatal("ClampProbe kernel not in ledger")
+}
+
+// The shared pool must stay correct under concurrent submission from many
+// devices (the multi-session serving shape); run with -race in CI.
+func TestPoolConcurrentStress(t *testing.T) {
+	const sessions = 8
+	var wg sync.WaitGroup
+	var sum atomic.Int64
+	wantPer := int64(0)
+	n := 10000
+	for i := 0; i < n; i++ {
+		wantPer += int64(i)
+	}
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := NewXavier(Mode15W)
+			for iter := 0; iter < 50; iter++ {
+				var local atomic.Int64
+				d.ParallelFor(n, func(lo, hi int) {
+					var acc int64
+					for i := lo; i < hi; i++ {
+						acc += int64(i)
+					}
+					local.Add(acc)
+				})
+				if local.Load() != wantPer {
+					t.Errorf("ParallelFor sum = %d, want %d", local.Load(), wantPer)
+					return
+				}
+				sum.Add(local.Load())
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := sum.Load(), int64(sessions)*50*wantPer; got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+}

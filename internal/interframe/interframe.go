@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/attr"
 	"repro/internal/edgesim"
@@ -132,31 +133,64 @@ func blockDiff(iv, pv []geom.Voxel) float64 {
 	return sum / float64(kp)
 }
 
+// EncodeScratch is the inter-frame encoder's reusable arena: segment
+// bounds, block-match state, the reuse bitmap and the per-block delta
+// payload buffers. Buffers grow to the largest frame encoded and are then
+// reused, so steady-state P-frame encoding allocates only the escaping
+// payload. A scratch must not be shared by concurrent encodes.
+type EncodeScratch struct {
+	buf      bytes.Buffer
+	pBounds  []int
+	iBounds  []int
+	bestIdx  []int32
+	bestDiff []float64
+	reuse    []bool
+	bitmap   []byte
+	streams  [][]byte
+}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // EncodeP compresses the attributes of a P-frame against a reference
-// I-frame. Both frames must be Morton-sorted, deduplicated voxel slices
-// (the geometry pipeline's output order). The P-frame's geometry is coded
-// separately by the intra geometry pipeline.
+// I-frame with a fresh scratch. Hot paths should hold an EncodeScratch and
+// call EncodePWith.
 func EncodeP(dev *edgesim.Device, iFrame, pFrame []geom.Voxel, p Params) ([]byte, Stats, error) {
+	return EncodePWith(dev, iFrame, pFrame, p, new(EncodeScratch))
+}
+
+// EncodePWith compresses the attributes of a P-frame against a reference
+// I-frame, reusing the scratch arena. Both frames must be Morton-sorted,
+// deduplicated voxel slices (the geometry pipeline's output order). The
+// P-frame's geometry is coded separately by the intra geometry pipeline.
+func EncodePWith(dev *edgesim.Device, iFrame, pFrame []geom.Voxel, p Params, sc *EncodeScratch) ([]byte, Stats, error) {
 	p = p.normalized()
 	nP, nI := len(pFrame), len(iFrame)
-	var buf bytes.Buffer
-	writeUvarint(&buf, uint64(nP))
-	writeUvarint(&buf, uint64(p.Segments))
-	writeUvarint(&buf, uint64(p.QStep))
+	buf := &sc.buf
+	buf.Reset()
+	writeUvarint(buf, uint64(nP))
+	writeUvarint(buf, uint64(p.Segments))
+	writeUvarint(buf, uint64(p.QStep))
 	if nP == 0 {
-		return buf.Bytes(), Stats{}, nil
+		return append([]byte(nil), buf.Bytes()...), Stats{}, nil
 	}
 	if nI == 0 {
 		return nil, Stats{}, errors.New("interframe: empty reference frame")
 	}
-	pBounds := attr.SegmentBounds(nP, p.Segments)
-	iBounds := attr.SegmentBounds(nI, p.Segments)
+	sc.pBounds = attr.SegmentBoundsIn(sc.pBounds, nP, p.Segments)
+	sc.iBounds = attr.SegmentBoundsIn(sc.iBounds, nI, p.Segments)
+	pBounds, iBounds := sc.pBounds, sc.iBounds
 	nBlocks := len(pBounds) - 1
 	nIBlocks := len(iBounds) - 1
 
 	// Block match: for each P-block, scan the candidate window.
-	bestIdx := make([]int32, nBlocks)
-	bestDiff := make([]float64, nBlocks)
+	sc.bestIdx = grow(sc.bestIdx, nBlocks)
+	sc.bestDiff = grow(sc.bestDiff, nBlocks)
+	bestIdx, bestDiff := sc.bestIdx, sc.bestDiff
 	pairItems := nP * p.Candidates
 	// Diff_Squared and Squared_Sum run on the fixed-function unit when one
 	// is configured (the paper's Sec. VI-D future-work projection); on the
@@ -204,7 +238,8 @@ func EncodeP(dev *edgesim.Device, iFrame, pFrame []geom.Voxel, p Params) ([]byte
 	dev.AccelNoop("Squared_Sum", pairItems, costSquaredSum)
 
 	// Reuse decision per block.
-	reuse := make([]bool, nBlocks)
+	sc.reuse = grow(sc.reuse, nBlocks)
+	reuse := sc.reuse
 	st := Stats{Blocks: nBlocks}
 	dev.GPUKernelIdx("ReuseDecide", nBlocks, costReuseDecide, func(j int) {
 		reuse[j] = bestDiff[j] <= p.Threshold
@@ -220,7 +255,9 @@ func EncodeP(dev *edgesim.Device, iFrame, pFrame []geom.Voxel, p Params) ([]byte
 	// Emit: reuse bitmap, then per block the reference pointer (offset from
 	// the window centre; the paper notes few bits suffice for 100
 	// candidates), then delta payloads for non-reuse blocks.
-	bitmap := make([]byte, (nBlocks+7)/8)
+	sc.bitmap = grow(sc.bitmap, (nBlocks+7)/8)
+	bitmap := sc.bitmap
+	clear(bitmap)
 	for j, r := range reuse {
 		if r {
 			bitmap[j/8] |= 1 << uint(j%8)
@@ -229,41 +266,60 @@ func EncodeP(dev *edgesim.Device, iFrame, pFrame []geom.Voxel, p Params) ([]byte
 	buf.Write(bitmap)
 	for j := 0; j < nBlocks; j++ {
 		center := j * nIBlocks / nBlocks
-		writeVarint(&buf, int64(bestIdx[j])-int64(center))
+		writeVarint(buf, int64(bestIdx[j])-int64(center))
 	}
 	dev.GPUNoop("Reuse_Pointer", nBlocks, edgesim.Cost{OpsPerItem: 20, BytesPerItem: 2})
 
 	// Address generation + delta quantization + packing for delta blocks.
+	// Delta payloads append into per-block scratch buffers (reused across
+	// frames) so parallel workers write independently with no per-block
+	// allocation in the steady state.
 	dev.GPUNoop("AddressGen", nP, costAddressGen)
-	deltaStreams := make([][]byte, nBlocks)
+	if cap(sc.streams) < nBlocks {
+		sc.streams = make([][]byte, nBlocks)
+	}
+	deltaStreams := sc.streams[:nBlocks]
 	dev.GPUKernel("Delta_Quantize", nBlocks, edgesim.Cost{
 		OpsPerItem:   (costDeltaQuant.OpsPerItem + costPack.OpsPerItem) * float64(nP) / float64(nBlocks),
 		BytesPerItem: (costDeltaQuant.BytesPerItem + costPack.BytesPerItem) * float64(nP) / float64(nBlocks),
 	}, func(b0, b1 int) {
+		ds := deltaPool.Get().(*deltaScratch)
 		for j := b0; j < b1; j++ {
 			if reuse[j] {
+				deltaStreams[j] = deltaStreams[j][:0]
 				continue
 			}
-			deltaStreams[j] = encodeDeltaBlock(
+			deltaStreams[j] = encodeDeltaBlock(deltaStreams[j][:0],
 				iFrame[iBounds[bestIdx[j]]:iBounds[bestIdx[j]+1]],
 				pFrame[pBounds[j]:pBounds[j+1]],
-				int32(p.QStep))
+				int32(p.QStep), ds)
 		}
+		deltaPool.Put(ds)
 	})
 	for _, s := range deltaStreams {
 		buf.Write(s)
 	}
-	return buf.Bytes(), st, nil
+	return append([]byte(nil), buf.Bytes()...), st, nil
 }
 
-// encodeDeltaBlock stores one block's per-point, per-channel deltas versus
+// deltaScratch holds one worker's per-block delta/residual buffers.
+type deltaScratch struct {
+	deltas, resid, med []int32
+}
+
+var deltaPool = sync.Pool{New: func() any { return new(deltaScratch) }}
+
+// encodeDeltaBlock appends one block's per-point, per-channel deltas versus
 // its reference, as Base (median delta) + quantized residuals — the intra
 // Base+Deltas technique applied to the delta values (Sec. V-A2 "Reuse").
-func encodeDeltaBlock(iv, pv []geom.Voxel, q int32) []byte {
+func encodeDeltaBlock(out []byte, iv, pv []geom.Voxel, q int32, ds *deltaScratch) []byte {
 	kp, ki := len(pv), len(iv)
-	var out bytes.Buffer
+	if cap(ds.deltas) < kp {
+		ds.deltas = make([]int32, kp)
+		ds.resid = make([]int32, kp)
+	}
+	deltas, resid := ds.deltas[:kp], ds.resid[:kp]
 	for ch := 0; ch < 3; ch++ {
-		deltas := make([]int32, kp)
 		for i := 0; i < kp; i++ {
 			ic := iv[pairIndex(i, kp, ki)].C
 			pc := pv[i].C
@@ -276,15 +332,14 @@ func encodeDeltaBlock(iv, pv []geom.Voxel, q int32) []byte {
 				deltas[i] = int32(pc.B) - int32(ic.B)
 			}
 		}
-		base := medianI32(deltas)
-		writeVarint(&out, int64(base))
-		resid := make([]int32, kp)
+		base := medianI32(deltas, &ds.med)
+		out = appendVarint(out, int64(base))
 		for i, d := range deltas {
 			resid[i] = quantizeI32(d-base, q)
 		}
-		packResiduals(&out, resid)
+		out = appendResiduals(out, resid)
 	}
-	return out.Bytes()
+	return out
 }
 
 // DecodeP reconstructs the P-frame's attribute column. iFrame is the

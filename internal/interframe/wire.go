@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Small wire helpers shared by the inter-frame stream: varints, medians,
@@ -28,17 +28,28 @@ func readVarint(r *bytes.Reader) (int64, error) {
 	return binary.ReadVarint(r)
 }
 
+func appendVarint(dst []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
 func io_ReadFull(r *bytes.Reader, p []byte) (int, error) {
 	return io.ReadFull(r, p)
 }
 
-func medianI32(vs []int32) int32 {
+// medianI32 returns the lower median of vs via the caller's reusable copy
+// buffer (vs is not modified).
+func medianI32(vs []int32, scratch *[]int32) int32 {
 	if len(vs) == 0 {
 		return 0
 	}
-	s := make([]int32, len(vs))
-	copy(s, vs)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if scratch == nil {
+		scratch = new([]int32)
+	}
+	s := append((*scratch)[:0], vs...)
+	*scratch = s
+	slices.Sort(s)
 	return s[(len(s)-1)/2]
 }
 
@@ -55,8 +66,9 @@ func quantizeI32(v, q int32) int32 {
 func zig32(v int32) uint32   { return uint32(v<<1) ^ uint32(v>>31) }
 func unzig32(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
 
-// packResiduals writes a width byte followed by fixed-width zig-zag codes.
-func packResiduals(buf *bytes.Buffer, vs []int32) {
+// appendResiduals appends a width byte followed by fixed-width zig-zag
+// codes.
+func appendResiduals(dst []byte, vs []int32) []byte {
 	var maxZ uint32
 	for _, v := range vs {
 		if z := zig32(v); z > maxZ {
@@ -68,21 +80,22 @@ func packResiduals(buf *bytes.Buffer, vs []int32) {
 		w++
 		maxZ >>= 1
 	}
-	buf.WriteByte(byte(w))
+	dst = append(dst, byte(w))
 	var bits uint64
 	var n uint
 	for _, v := range vs {
 		bits |= (uint64(zig32(v)) & (1<<w - 1)) << n
 		n += w
 		for n >= 8 {
-			buf.WriteByte(byte(bits))
+			dst = append(dst, byte(bits))
 			bits >>= 8
 			n -= 8
 		}
 	}
 	if n > 0 {
-		buf.WriteByte(byte(bits))
+		dst = append(dst, byte(bits))
 	}
+	return dst
 }
 
 // unpackResiduals reads count fixed-width residuals.

@@ -1,63 +1,77 @@
 package morton
 
-import "sync"
+import "repro/internal/edgesim"
 
-// ParallelRadixSort sorts keyed voxels by Morton code using a data-parallel
-// LSD radix sort: the same histogram → exclusive-scan → scatter structure a
-// GPU sort uses. Each pass splits the input into one chunk per worker;
-// workers build local digit histograms in parallel, a serial scan turns them
-// into disjoint scatter offsets (stable across chunks), and workers scatter
-// in parallel into disjoint regions. The result is identical to RadixSort.
-func ParallelRadixSort(ks []Keyed, workers int) {
+// Data-parallel LSD radix sort over Morton codes: the same histogram →
+// exclusive-scan → scatter structure a GPU sort uses. Each pass splits the
+// input into one chunk per worker; workers build local digit histograms in
+// parallel, a serial scan turns them into disjoint scatter offsets (stable
+// across chunks), and workers scatter in parallel into disjoint regions.
+// The result is identical to RadixSort.
+//
+// The phases run on the persistent edgesim worker pool (channel wake, not
+// goroutine spawn — this sort used to spawn 16×workers goroutines per
+// frame), and every buffer lives in a reusable SortScratch so steady-state
+// sorting allocates nothing.
+
+// SortScratch holds the reusable buffers of the parallel radix sort. The
+// zero value is ready to use; buffers grow to the largest frame sorted and
+// are reused across frames.
+type SortScratch struct {
+	buf     []Keyed
+	hist    [][256]int
+	offsets [][256]int
+}
+
+func (s *SortScratch) ensure(n, nw int) {
+	if cap(s.buf) < n {
+		s.buf = make([]Keyed, n)
+	}
+	s.buf = s.buf[:n]
+	if len(s.hist) < nw {
+		s.hist = make([][256]int, nw)
+		s.offsets = make([][256]int, nw)
+	}
+}
+
+// Sort sorts ks by Morton code on the pool's workers, reusing the scratch
+// buffers. workers caps the chunk count (≤ pool workers).
+func (s *SortScratch) Sort(pool *edgesim.Pool, ks []Keyed, workers int) {
 	if len(ks) < 2 {
 		return
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	if workers > pool.Workers() {
+		workers = pool.Workers()
+	}
 	if workers > len(ks) {
 		workers = len(ks)
 	}
-	buf := make([]Keyed, len(ks))
-	src, dst := ks, buf
-
+	// chunk mirrors the pool's own range decomposition, so lo/chunk is the
+	// chunk ordinal a body invocation owns.
 	chunk := (len(ks) + workers - 1) / workers
-	bounds := make([][2]int, 0, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(ks) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(ks) {
-			hi = len(ks)
-		}
-		bounds = append(bounds, [2]int{lo, hi})
-	}
-	nw := len(bounds)
-	hist := make([][256]int, nw)
+	nw := (len(ks) + chunk - 1) / chunk
+	s.ensure(len(ks), nw)
+	src, dst := ks, s.buf
 
 	for shift := uint(0); shift < 64; shift += 8 {
-		// Phase 1: local histograms (parallel).
-		var wg sync.WaitGroup
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				h := &hist[w]
-				*h = [256]int{}
-				for _, k := range src[bounds[w][0]:bounds[w][1]] {
-					h[uint8(k.Code>>shift)]++
-				}
-			}(w)
-		}
-		wg.Wait()
+		// Phase 1: local histograms (parallel; one chunk per worker index).
+		hist := s.hist
+		pool.Ranges(workers, len(src), func(lo, hi int) {
+			h := &hist[lo/chunk]
+			*h = [256]int{}
+			for _, k := range src[lo:hi] {
+				h[uint8(k.Code>>shift)]++
+			}
+		})
 
 		// Phase 2: exclusive scan over (digit, chunk) — serial, 256*nw steps.
 		// offset[w][d] = items with smaller digit anywhere, plus items with
 		// digit d in earlier chunks (stability).
 		pos := 0
-		offsets := make([][256]int, nw)
+		offsets := s.offsets
 		for d := 0; d < 256; d++ {
 			for w := 0; w < nw; w++ {
 				offsets[w][d] = pos
@@ -67,23 +81,26 @@ func ParallelRadixSort(ks []Keyed, workers int) {
 
 		// Phase 3: scatter (parallel; write regions are disjoint by
 		// construction of the offsets).
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				off := offsets[w]
-				for _, k := range src[bounds[w][0]:bounds[w][1]] {
-					d := uint8(k.Code >> shift)
-					dst[off[d]] = k
-					off[d]++
-				}
-			}(w)
-		}
-		wg.Wait()
+		pool.Ranges(workers, len(src), func(lo, hi int) {
+			off := offsets[lo/chunk]
+			for _, k := range src[lo:hi] {
+				d := uint8(k.Code >> shift)
+				dst[off[d]] = k
+				off[d]++
+			}
+		})
 		src, dst = dst, src
 	}
 	// 8 passes (even): src is ks again.
 	if &src[0] != &ks[0] {
 		copy(ks, src)
 	}
+}
+
+// ParallelRadixSort sorts keyed voxels by Morton code with fresh scratch on
+// the shared worker pool. Hot paths should hold a SortScratch and call its
+// Sort method instead.
+func ParallelRadixSort(ks []Keyed, workers int) {
+	var s SortScratch
+	s.Sort(edgesim.DefaultPool(), ks, workers)
 }

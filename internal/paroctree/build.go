@@ -12,7 +12,11 @@
 // and Algorithm 1 folds them into per-node occupy bits.
 //
 // Every stage runs as a kernel on an edgesim.Device, so the latency/energy
-// ledger reflects the paper's GPU pipeline.
+// ledger reflects the paper's GPU pipeline. The flag→scan→compact stages
+// execute through the device's parallel scan/compact primitives
+// (edgesim.ScanFlags / GatherFlags) over the persistent worker pool, and
+// all intermediate buffers live in a reusable BuildScratch so steady-state
+// frame encoding allocates nothing here.
 package paroctree
 
 import (
@@ -83,9 +87,54 @@ type BuildResult struct {
 	Sorted []morton.Keyed
 }
 
-// Build runs the full parallel construction on dev. The input cloud does
-// not need to be sorted or deduplicated.
+// BuildScratch is the geometry pipeline's reusable arena: every
+// intermediate buffer of the construction (keyed codes, sort passes,
+// flag/rank vectors, per-level code and rank arrays, occupancy words) plus
+// the output Tree. Buffers grow to the largest frame built and are then
+// reused, so steady-state encoding is allocation-free.
+//
+// A scratch must not be shared by concurrent builds, and the BuildResult of
+// BuildWith aliases the scratch: it is valid only until the next BuildWith
+// on the same scratch.
+type BuildScratch struct {
+	keyed  []morton.Keyed
+	sort   morton.SortScratch
+	dedup  []morton.Keyed
+	flags  []int32
+	levels [][]morton.Code // levels[d]: node codes at depth d
+	pranks [][]int32       // pranks[d]: rank (index within depth d-1) of each depth-d node's parent
+	occ32  []uint32
+	tree   Tree
+}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// ensureDepth sizes the per-level slices for a depth-deep build.
+func (s *BuildScratch) ensureDepth(depth uint) {
+	for len(s.levels) <= int(depth) {
+		s.levels = append(s.levels, nil)
+	}
+	for len(s.pranks) <= int(depth) {
+		s.pranks = append(s.pranks, nil)
+	}
+}
+
+// Build runs the full parallel construction on dev with a fresh scratch;
+// the result is independently owned. Hot paths (the codec's per-frame
+// encode) should hold a BuildScratch and call BuildWith.
 func Build(dev *edgesim.Device, vc *geom.VoxelCloud) (*BuildResult, error) {
+	return BuildWith(dev, vc, new(BuildScratch))
+}
+
+// BuildWith runs the full parallel construction on dev, reusing the given
+// scratch arena. The input cloud does not need to be sorted or
+// deduplicated. The returned BuildResult aliases the scratch.
+func BuildWith(dev *edgesim.Device, vc *geom.VoxelCloud, s *BuildScratch) (*BuildResult, error) {
 	if vc.Len() == 0 {
 		return nil, ErrNoPoints
 	}
@@ -94,35 +143,56 @@ func Build(dev *edgesim.Device, vc *geom.VoxelCloud) (*BuildResult, error) {
 
 	// Kernel 1: Morton code generation — one independent work-item per
 	// point ("in one shot ... only takes 0.5ms", Sec. IV-A2).
-	keyed := make([]morton.Keyed, n)
+	s.keyed = grow(s.keyed, n)
+	keyed := s.keyed
 	dev.GPUKernelIdx("MortonGen", n, costMortonGen, func(i int) {
 		v := vc.Voxels[i]
 		keyed[i] = morton.Keyed{Code: morton.Encode(v.X, v.Y, v.Z), Voxel: v}
 	})
 
-	// Kernel 2: data-parallel radix sort (8 digit passes).
+	// Kernel 2: data-parallel radix sort (8 digit passes) — histogram,
+	// scan and scatter phases run over the persistent worker pool.
 	sortCost := costSortPass
 	sortCost.OpsPerItem *= 8
 	sortCost.BytesPerItem *= 8
-	dev.GPUKernel("RadixSort", n, sortCost, func(start, end int) {
-		// The sort is a global operation; run it once from the range that
-		// owns index 0 (other ranges are accounted but the algorithm
-		// internally parallelizes across the same worker budget).
-		if start == 0 {
-			morton.ParallelRadixSort(keyed, 8)
-		}
+	dev.GPUCompute("RadixSort", n, sortCost, func() {
+		s.sort.Sort(dev.Pool(), keyed, 8)
 	})
 
-	// Kernel 3: deduplicate equal codes (captured voxel duplicates).
-	// Flag + compact; serially compacted here, accounted per item.
+	// Kernel 3: deduplicate equal codes (captured voxel duplicates) as a
+	// genuine parallel flag → scan → compact.
+	s.ensureDepth(depth)
 	var sorted []morton.Keyed
-	dev.GPUKernel("Dedup", n, costDedup, func(start, end int) {
-		if start == 0 {
-			sorted = morton.Dedup(keyed)
+	dev.GPUCompute("Dedup", n, costDedup, func() {
+		s.flags = grow(s.flags, n)
+		s.pranks[0] = grow(s.pranks[0], n)
+		flags, ranks := s.flags, s.pranks[0]
+		dev.ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == 0 || keyed[i].Code != keyed[i-1].Code {
+					flags[i] = 1
+				} else {
+					flags[i] = 0
+				}
+			}
+		})
+		total := dev.ScanFlags(flags, ranks)
+		s.dedup = grow(s.dedup, total)
+		sorted = s.dedup
+		edgesim.GatherFlags(dev, flags, ranks, sorted, func(i int) morton.Keyed { return keyed[i] })
+	})
+
+	// Extract the leaf-code column into the scratch's leaf-level buffer
+	// (read by every level of the construction).
+	s.levels[depth] = grow(s.levels[depth], len(sorted))
+	leaves := s.levels[depth]
+	dev.ParallelFor(len(sorted), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			leaves[i] = sorted[i].Code
 		}
 	})
 
-	tree, err := buildFromSorted(dev, morton.Codes(sorted), depth)
+	tree, err := buildFromSortedWith(dev, leaves, depth, s)
 	if err != nil {
 		return nil, err
 	}
@@ -130,78 +200,94 @@ func Build(dev *edgesim.Device, vc *geom.VoxelCloud) (*BuildResult, error) {
 }
 
 // buildFromSorted performs the level-wise construction over sorted unique
-// leaf codes.
+// leaf codes (fresh scratch; tests and standalone callers).
 func buildFromSorted(dev *edgesim.Device, leaves []morton.Code, depth uint) (*Tree, error) {
+	return buildFromSortedWith(dev, leaves, depth, new(BuildScratch))
+}
+
+// buildFromSortedWith performs the level-wise construction over sorted
+// unique leaf codes, reusing the scratch. leaves may alias
+// s.levels[depth].
+func buildFromSortedWith(dev *edgesim.Device, leaves []morton.Code, depth uint, s *BuildScratch) (*Tree, error) {
 	if len(leaves) == 0 {
 		return nil, ErrNoPoints
 	}
-	for i := 1; i < len(leaves); i++ {
-		if leaves[i] <= leaves[i-1] {
-			return nil, fmt.Errorf("paroctree: leaf codes not strictly ascending at %d", i)
-		}
-	}
+	s.ensureDepth(depth)
+	s.levels[depth] = leaves
 
-	// Build levels bottom-up: levelCodes[d] for d = depth down to 0.
-	levelCodes := make([][]morton.Code, depth+1)
-	levelCodes[depth] = leaves
-	// parentRank[d][i] = index (within level d-1) of node i's parent.
-	parentRank := make([][]int32, depth+1)
-
+	// Build levels bottom-up, each as flag → scan → compact on the worker
+	// pool. Input validation (leaf codes strictly ascending) is folded into
+	// the leaf-level flag kernel — it already reads child[i-1] — so it is
+	// parallel and costed instead of a serial unaccounted prefix pass.
+	var badLeaf atomic.Int64
+	badLeaf.Store(-1)
 	for d := depth; d >= 1; d-- {
-		child := levelCodes[d]
-		flags := make([]int32, len(child))
+		child := s.levels[d]
+		s.flags = grow(s.flags, len(child))
+		flags := s.flags
+		validate := d == depth
 		// Kernel: flag new parent prefixes (independent per element).
 		dev.GPUKernelIdx("LevelFlag", len(child), edgesim.Cost{OpsPerItem: 6, BytesPerItem: 8}, func(i int) {
 			if i == 0 || child[i].Parent() != child[i-1].Parent() {
 				flags[i] = 1
+			} else {
+				flags[i] = 0
+			}
+			if validate && i > 0 && child[i] <= child[i-1] {
+				// Record the smallest offending index (CAS-min keeps the
+				// error deterministic under parallel execution).
+				for {
+					cur := badLeaf.Load()
+					if cur >= 0 && cur <= int64(i) {
+						break
+					}
+					if badLeaf.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
 			}
 		})
+		if i := badLeaf.Load(); i >= 0 {
+			return nil, fmt.Errorf("paroctree: leaf codes not strictly ascending at %d", i)
+		}
 		// Scan + compact. A GPU implements this as a prefix sum; the cost
 		// model charges the per-node level-build cost here.
-		ranks := make([]int32, len(child))
-		var parents []morton.Code
-		dev.GPUKernel("LevelCompact", len(child), costLevelBuild, func(start, end int) {
-			if start != 0 {
-				return
-			}
-			var r int32 = -1
-			for i := range child {
-				if flags[i] == 1 {
-					r++
-					parents = append(parents, child[i].Parent())
-				}
-				ranks[i] = r
-			}
+		s.pranks[d] = grow(s.pranks[d], len(child))
+		ranks := s.pranks[d]
+		dev.GPUCompute("LevelCompact", len(child), costLevelBuild, func() {
+			total := dev.ScanFlags(flags, ranks)
+			s.levels[d-1] = grow(s.levels[d-1], total)
+			edgesim.GatherFlags(dev, flags, ranks, s.levels[d-1], func(i int) morton.Code { return child[i].Parent() })
 		})
-		levelCodes[d-1] = parents
-		parentRank[d] = ranks
 		if d == 1 {
 			break
 		}
 	}
-	if len(levelCodes[0]) != 1 || levelCodes[0][0] != 0 {
-		return nil, fmt.Errorf("paroctree: construction did not converge to a single root (got %v)", levelCodes[0])
+	if len(s.levels[0]) != 1 || s.levels[0][0] != 0 {
+		return nil, fmt.Errorf("paroctree: construction did not converge to a single root (got %v)", s.levels[0])
 	}
 
 	// Flatten into the Fig. 5 array form (root first).
-	t := &Tree{Depth: depth, NumLeaves: len(leaves)}
-	t.LevelOffsets = make([]int, depth+2)
+	t := &s.tree
+	t.Depth = depth
+	t.NumLeaves = len(leaves)
+	t.LevelOffsets = grow(t.LevelOffsets, int(depth)+2)
 	total := 0
 	for d := uint(0); d <= depth; d++ {
 		t.LevelOffsets[d] = total
-		total += len(levelCodes[d])
+		total += len(s.levels[d])
 	}
 	t.LevelOffsets[depth+1] = total
-	t.Codes = make([]morton.Code, 0, total)
+	t.Codes = grow(t.Codes, total)[:0]
 	for d := uint(0); d <= depth; d++ {
-		t.Codes = append(t.Codes, levelCodes[d]...)
+		t.Codes = append(t.Codes, s.levels[d]...)
 	}
-	t.Parent = make([]int32, total)
+	t.Parent = grow(t.Parent, total)
 	t.Parent[0] = -1
 	for d := uint(1); d <= depth; d++ {
 		off := t.LevelOffsets[d]
 		parentOff := int32(t.LevelOffsets[d-1])
-		ranks := parentRank[d]
+		ranks := s.pranks[d]
 		dev.GPUKernelIdx("ParentLink", len(ranks), edgesim.Cost{OpsPerItem: 4, BytesPerItem: 8}, func(i int) {
 			t.Parent[off+i] = parentOff + ranks[i]
 		})
@@ -211,14 +297,18 @@ func buildFromSorted(dev *edgesim.Device, leaves []morton.Code, depth uint) (*Tr
 	// octant bit into its parent's mask; children of one parent may be
 	// split across work-items, so the OR is atomic (a CUDA kernel would
 	// use atomicOr identically).
-	occ32 := make([]uint32, total)
+	s.occ32 = grow(s.occ32, total)
+	occ32 := s.occ32
+	dev.ParallelFor(total, func(lo, hi int) {
+		clear(occ32[lo:hi])
+	})
 	nonRoot := total - 1
 	dev.GPUKernelIdx("OccupyBits", nonRoot, costOccupy, func(i int) {
 		j := i + 1
 		p := t.Parent[j]
 		atomic.OrUint32(&occ32[p], 1<<uint(t.Codes[j]&7))
 	})
-	t.Occupy = make([]byte, total)
+	t.Occupy = grow(t.Occupy, total)
 	dev.GPUKernelIdx("OccupyPack", total, costPack, func(i int) {
 		t.Occupy[i] = byte(occ32[i])
 	})

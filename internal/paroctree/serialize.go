@@ -20,8 +20,13 @@ import (
 // each level's masks expand independently once the previous level's node
 // list is known.
 func (t *Tree) Serialize(dev *edgesim.Device) []byte {
+	return t.SerializeInto(dev, nil)
+}
+
+// SerializeInto is Serialize into a reusable buffer (grown as needed).
+func (t *Tree) SerializeInto(dev *edgesim.Device, dst []byte) []byte {
 	internal := t.LevelOffsets[t.Depth] // nodes below this index have children
-	out := make([]byte, internal)
+	out := grow(dst, internal)
 	dev.GPUKernelIdx("SerializePack", internal, costPack, func(i int) {
 		out[i] = t.Occupy[i]
 	})

@@ -57,7 +57,10 @@ func (p Policy) String() string {
 // (the wire bytes are one .pcv frame container). It runs in the transmit
 // stage, in frame order; returning an error aborts the session. The
 // context is the session's: implementations must return (with any error)
-// once it is cancelled, or Close cannot drain the pipeline.
+// once it is cancelled, or Close cannot drain the pipeline. The wire slice
+// is only valid for the duration of the call — the session recycles its
+// backing buffer for a later frame; implementations that retain the bytes
+// must copy them.
 type SendFunc func(ctx context.Context, seq int, wire []byte) error
 
 // PacketSendFunc transmits one framed packet (packet.go layout) over a
@@ -80,6 +83,12 @@ type Config struct {
 	Link linksim.Link
 	// Queue is the per-stage queue capacity (default 4).
 	Queue int
+	// Lookahead is how many frames the geometry stage may encode ahead of
+	// the in-order attribute stage (default 1 = classic two-stage overlap).
+	// Values > 1 run that many concurrent geometry workers, each with its
+	// own device ledger; frames still reach the attribute stage — and the
+	// GOP reference handoff — strictly in submission order.
+	Lookahead int
 	// Policy is the transmit-queue backpressure policy.
 	Policy Policy
 	// MTU is the packet payload size used by the packetize stage
@@ -94,6 +103,8 @@ type Config struct {
 	Send SendFunc
 	// Output, when set, receives the .pcv stream (header + surviving
 	// frames, in order); a core.VideoReader on the other end decodes it.
+	// The byte slice passed to Write is recycled after the call returns, so
+	// writers that buffer asynchronously must copy (io.Writer's contract).
 	Output io.Writer
 	// StreamID tags every packet emitted through PacketOut (default 1).
 	StreamID uint32
@@ -113,6 +124,9 @@ func (c Config) normalized() Config {
 	if c.Queue < 1 {
 		c.Queue = 4
 	}
+	if c.Lookahead < 1 {
+		c.Lookahead = 1
+	}
 	if c.MTU < 64 {
 		c.MTU = 1400
 	}
@@ -131,16 +145,23 @@ func (c Config) normalized() Config {
 // job is one frame flowing through the pipeline; stages fill and then
 // release their fields so a queued frame holds only what later stages need.
 type job struct {
-	seq     int
-	cloud   *geom.VoxelCloud
-	g       *codec.GeometryIntermediate
-	frame   *codec.EncodedFrame
-	ftype   codec.FrameType
-	stats   codec.FrameStats
-	wire    []byte
+	seq   int
+	cloud *geom.VoxelCloud
+	g     *codec.GeometryIntermediate
+	frame *codec.EncodedFrame
+	ftype codec.FrameType
+	stats codec.FrameStats
+	wire  []byte
+	// wbuf is the pooled buffer backing wire; the transmit stage recycles
+	// it once the frame has been emitted (or dropped).
+	wbuf    *bytes.Buffer
 	packets int
 	dropped bool
 }
+
+// wireBufs pools the per-frame wire serialization buffers so steady-state
+// packetization allocates nothing beyond the frame payload itself.
+var wireBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // Result reports the fate of one submitted frame, delivered in submission
 // order on Session.Results.
@@ -187,10 +208,12 @@ type Metrics struct {
 // Submit (single producer), consume Results, then Close to drain. Cancel —
 // or cancelling the context passed to New — aborts mid-stream.
 type Session struct {
-	cfg     Config
-	enc     *codec.Encoder
-	geomDev *edgesim.Device
-	attrDev *edgesim.Device
+	cfg Config
+	enc *codec.Encoder
+	// geomDevs holds one device per geometry worker (len = Lookahead), so
+	// concurrent geometry phases keep per-frame stage deltas exact.
+	geomDevs []*edgesim.Device
+	attrDev  *edgesim.Device
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -240,7 +263,6 @@ func New(ctx context.Context, cfg Config) *Session {
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Session{
 		cfg:       cfg,
-		geomDev:   edgesim.NewXavier(cfg.Mode),
 		attrDev:   edgesim.NewXavier(cfg.Mode),
 		ctx:       sctx,
 		cancel:    cancel,
@@ -253,6 +275,10 @@ func New(ctx context.Context, cfg Config) *Session {
 		gaugePkt:  metrics.NewQueueGauge("packetize"),
 		gaugeTx:   metrics.NewQueueGauge("transmit"),
 		retx:      make(map[uint32][]byte),
+	}
+	s.geomDevs = make([]*edgesim.Device, cfg.Lookahead)
+	for i := range s.geomDevs {
+		s.geomDevs[i] = edgesim.NewXavier(cfg.Mode)
 	}
 	s.enc = codec.NewEncoder(s.attrDev, cfg.Options)
 	s.txq = newFrameQueue(cfg.Queue, cfg.Policy, s.gaugeTx)
@@ -365,35 +391,82 @@ func (s *Session) Metrics() Metrics {
 		s.gaugePkt.Snapshot(),
 		s.gaugeTx.Snapshot(),
 	}
-	m.GeometrySim = s.geomDev.SimTime()
-	m.GeometryEnergyJ = s.geomDev.EnergyJ()
+	for _, d := range s.geomDevs {
+		m.GeometrySim += d.SimTime()
+		m.GeometryEnergyJ += d.EnergyJ()
+	}
 	m.AttrSim = s.attrDev.SimTime()
 	m.AttrEnergyJ = s.attrDev.EnergyJ()
 	return m
 }
 
-// geometryStage encodes geometry on its own device; it never touches the
-// encoder's GOP or reference state, so it freely runs ahead of attrStage.
+// geometryStage encodes geometry up to cfg.Lookahead frames ahead of the
+// in-order attribute stage: a dispatcher feeds a fixed set of workers (one
+// device each — geometry touches no mutable encoder state, so frames
+// encode concurrently), and an in-order collector forwards completed
+// frames to attrStage strictly in submission order, preserving the GOP
+// reference handoff.
 func (s *Session) geometryStage() {
 	defer s.wg.Done()
 	defer close(s.gq)
+	type pending struct {
+		j    *job
+		err  error
+		done chan struct{}
+	}
+	look := s.cfg.Lookahead
+	work := make(chan *pending)
+	order := make(chan *pending, look) // bounds in-flight geometry
+	var wwg sync.WaitGroup
+	wwg.Add(look)
+	for w := 0; w < look; w++ {
+		dev := s.geomDevs[w]
+		go func() {
+			defer wwg.Done()
+			for p := range work {
+				if err := s.ctx.Err(); err != nil {
+					p.err = err
+				} else {
+					p.j.g, p.err = s.enc.EncodeGeometryOn(dev, p.j.cloud)
+				}
+				close(p.done)
+			}
+		}()
+	}
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for p := range order {
+			<-p.done
+			if p.err != nil {
+				// Suppress the cancellation pseudo-error workers report
+				// while draining an aborted session.
+				if s.ctx.Err() == nil {
+					s.fail(p.err)
+				}
+				continue
+			}
+			p.j.cloud = nil
+			select {
+			case s.gq <- p.j:
+				s.gaugeGeom.Enqueue()
+			case <-s.ctx.Done():
+			}
+		}
+	}()
 	for j := range s.in {
 		s.gaugeIn.Dequeue()
 		if s.ctx.Err() != nil {
 			continue // drain remaining submissions without encoding
 		}
-		g, err := s.enc.EncodeGeometryOn(s.geomDev, j.cloud)
-		if err != nil {
-			s.fail(err)
-			continue
-		}
-		j.g, j.cloud = g, nil
-		select {
-		case s.gq <- j:
-			s.gaugeGeom.Enqueue()
-		case <-s.ctx.Done():
-		}
+		p := &pending{j: j, done: make(chan struct{})}
+		order <- p
+		work <- p
 	}
+	close(work)
+	wwg.Wait()
+	close(order)
+	<-collectorDone
 }
 
 // attrStage finishes frames strictly in order: it owns the GOP position and
@@ -431,13 +504,16 @@ func (s *Session) packetizeStage() {
 		if s.ctx.Err() != nil {
 			continue
 		}
-		var buf bytes.Buffer
-		if _, err := j.frame.WriteTo(&buf); err != nil {
+		buf := wireBufs.Get().(*bytes.Buffer)
+		buf.Reset()
+		if _, err := j.frame.WriteTo(buf); err != nil {
+			wireBufs.Put(buf)
 			s.fail(err)
 			continue
 		}
 		j.frame = nil
 		j.wire = buf.Bytes()
+		j.wbuf = buf
 		j.packets = (len(j.wire) + s.cfg.MTU - 1) / s.cfg.MTU
 		if err := s.txq.push(j); err != nil {
 			continue // canceled
@@ -499,6 +575,13 @@ func (s *Session) transmitStage() {
 					return
 				}
 			}
+		}
+		if j.wbuf != nil {
+			// Packets and outputs copy the wire bytes, so the buffer is
+			// free for a later frame once emission is done.
+			j.wire = nil
+			wireBufs.Put(j.wbuf)
+			j.wbuf = nil
 		}
 		select {
 		case s.results <- res:
