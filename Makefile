@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full clean
+.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout clean
 
 all: build test
 
@@ -31,9 +31,11 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/attr
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrameFrom -fuzztime=20s ./internal/codec
 
-# Everything the CI gate runs (see .github/workflows/ci.yml).
+# Everything the CI gate runs (see .github/workflows/ci.yml), including the
+# fan-out serving smoke (8 viewers against the aggregate frames/s floor).
 ci: build vet fmt-check test race fuzz-smoke
 	$(GO) run ./cmd/pccbench -scale 0.05 all
+	$(GO) run ./cmd/pccbench -viewers 8 -frames 20 -floor 80 fanout
 
 # One benchmark per paper table/figure (simulated edge-board metrics).
 bench:
@@ -42,6 +44,10 @@ bench:
 # Quick sweep of every experiment at 10% dataset scale (~2 min).
 experiments:
 	$(GO) run ./cmd/pccbench -scale 0.1 all
+
+# Multi-viewer serving fan-out sweep, 1 -> 64 viewers (pccbench fanout).
+fanout:
+	$(GO) run ./cmd/pccbench fanout
 
 # Paper-scale canonical run (~30-45 min); regenerates results_full_scale.txt.
 experiments-full:

@@ -1,0 +1,155 @@
+package main
+
+// Fan-out serving benchmark: one stream.Server encodes the bench workload
+// once while N attached viewers packetize, account, and (virtually)
+// transmit it — the encode-amortization claim measured end to end.
+//
+//	pccbench fanout                    sweep viewers 1 → 64
+//	pccbench -viewers 8 fanout         one point
+//	pccbench -viewers 8 -floor 100 fanout
+//	                                   CI smoke: fail when the aggregate
+//	                                   delivered viewer-frames/s < 100
+//
+// (Flags precede the experiment name: the flag package stops parsing at
+// the first positional argument.)
+//
+// The aggregate delivered viewer-frames/s is the serving capacity: with
+// the encode paid once, it should scale near-linearly with the viewer
+// count until packetization or the shared egress link saturates. The
+// encode cost per viewer — the shared pipeline's simulated device time
+// divided by the viewer count — is the amortization itself: it must fall
+// as 1/N while per-session designs hold it constant.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/geom"
+	"repro/internal/linksim"
+	"repro/pcc/stream"
+)
+
+// fanoutPoint is one sweep measurement.
+type fanoutPoint struct {
+	Viewers       int
+	Wall          time.Duration
+	FramesEncoded int64
+	AggVFPS       float64 // delivered viewer-frames / wall second
+	EncCPUPerView time.Duration
+	Dropped       int64
+	Resyncs       int64
+}
+
+// runFanoutPoint streams the workload to n viewers and measures delivery.
+func runFanoutPoint(n int, frames []*geom.VoxelCloud) (fanoutPoint, error) {
+	srv := stream.NewServer(context.Background(), stream.ServerConfig{
+		Options: benchOptions(codec.IntraInterV1),
+		// One egress radio shared by all viewers.
+		Link:        linksim.WiFi.Share(n),
+		ViewerQueue: 64,
+	})
+	views := make([]*stream.Viewer, n)
+	for i := range views {
+		v, err := srv.Attach(stream.ViewerConfig{})
+		if err != nil {
+			return fanoutPoint{}, err
+		}
+		views[i] = v
+	}
+	start := time.Now()
+	for _, f := range frames {
+		if err := srv.Submit(context.Background(), f); err != nil {
+			return fanoutPoint{}, err
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return fanoutPoint{}, err
+	}
+	wall := time.Since(start)
+
+	m := srv.Metrics()
+	pt := fanoutPoint{
+		Viewers:       n,
+		Wall:          wall,
+		FramesEncoded: m.FramesEncoded,
+	}
+	var sent int64
+	for _, vm := range m.PerViewer {
+		sent += vm.FramesSent
+		pt.Dropped += vm.FramesDropped
+		pt.Resyncs += vm.Resyncs
+	}
+	pt.AggVFPS = float64(sent) / wall.Seconds()
+	encCPU := m.Pipeline.GeometrySim + m.Pipeline.AttrSim
+	pt.EncCPUPerView = encCPU / time.Duration(n)
+	return pt, nil
+}
+
+// runFanout is the `fanout` experiment entry point.
+func runFanout(cfg benchConfig) error {
+	// The workload is the steady-state bench set (60 frames); an explicit
+	// -frames flag overrides the count for quick smoke runs.
+	nframes := benchFrames
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "frames" {
+			nframes = cfg.Frames
+		}
+	})
+	frames, err := benchFrameSet()
+	if err != nil {
+		return err
+	}
+	if nframes < len(frames) {
+		frames = frames[:nframes]
+	}
+	for len(frames) < nframes {
+		frames = append(frames, frames[len(frames)%benchFrames])
+	}
+
+	sweep := []int{1, 2, 4, 8, 16, 32, 64}
+	if *flagViewers > 0 {
+		sweep = []int{*flagViewers}
+	}
+
+	fmt.Printf("fan-out serving: %s @ %.2f, %d frames, GOP %d, shared WiFi egress, GOMAXPROCS=%d\n\n",
+		benchVideo, benchScale, len(frames), benchOptions(codec.IntraInterV1).GOP, runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s %10s %12s %10s %14s %8s %8s\n",
+		"viewers", "enc-frames", "agg vf/s", "speedup", "enc-CPU/viewer", "drops", "resyncs")
+
+	var base float64 // 1-viewer aggregate, when the sweep starts there
+	var last fanoutPoint
+	for _, n := range sweep {
+		pt, err := runFanoutPoint(n, frames)
+		if err != nil {
+			return err
+		}
+		if pt.FramesEncoded != int64(len(frames)) {
+			return fmt.Errorf("fanout: encoded %d frames for %d viewers, want %d (encode-once violated)",
+				pt.FramesEncoded, n, len(frames))
+		}
+		if n == 1 {
+			base = pt.AggVFPS
+		}
+		speedup := "-"
+		if base > 0 {
+			speedup = fmt.Sprintf("%.1fx", pt.AggVFPS/base)
+		}
+		fmt.Printf("%8d %10d %12.1f %10s %14s %8d %8d\n",
+			n, pt.FramesEncoded, pt.AggVFPS, speedup,
+			pt.EncCPUPerView.Round(time.Millisecond), pt.Dropped, pt.Resyncs)
+		last = pt
+	}
+
+	if *flagFloor > 0 {
+		if last.AggVFPS < *flagFloor {
+			return fmt.Errorf("fanout: aggregate %.1f viewer-frames/s below floor %.1f",
+				last.AggVFPS, *flagFloor)
+		}
+		fmt.Printf("\nfloor passed: %.1f viewer-frames/s >= %.1f\n", last.AggVFPS, *flagFloor)
+	}
+	return nil
+}

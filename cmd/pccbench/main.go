@@ -14,7 +14,8 @@
 //	pccbench ablation          Sec. IV-B3 entropy / layers / segments
 //	pccbench pipeline          Sec. IV    concurrent streaming pipeline
 //	pccbench bench             steady-state encode throughput (BENCH_3.json)
-//	pccbench all               everything above (except bench)
+//	pccbench fanout            multi-viewer serving fan-out (stream.Server)
+//	pccbench all               everything above (except bench, fanout)
 //
 // Flags:
 //
@@ -46,11 +47,15 @@ var (
 	flagBenchOut = flag.String("benchout", "", "bench: write machine-readable results to this JSON file")
 	flagBaseline = flag.String("baseline", "", "bench: compare against this BENCH JSON and fail on regression")
 	flagGate     = flag.Float64("gate", 0.20, "bench: regression tolerance as a fraction")
+
+	// fanout-experiment flags (see fanout.go).
+	flagViewers = flag.Int("viewers", 0, "fanout: viewer count (0 = sweep 1..64)")
+	flagFloor   = flag.Float64("floor", 0, "fanout: fail when aggregate viewer-frames/s falls below this")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss bench all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss bench fanout all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -95,6 +100,7 @@ func main() {
 		"pipeline":  runPipeline,
 		"loss":      runLoss,
 		"bench":     runBench,
+		"fanout":    runFanout,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline", "loss"} {

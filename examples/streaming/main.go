@@ -1,29 +1,31 @@
-// Streaming: the paper's end-to-end pipeline (Fig. 1) over real network
-// sockets, served by the concurrent pcc/stream pipeline. One capture
-// process encodes an IPP video for two viewers at once — each viewer gets
-// its own isolated session (encoder, per-stage device ledgers, bounded
-// queues) and its own modelled link:
+// Streaming: the paper's end-to-end pipeline (Fig. 1) served to many
+// viewers at once by the fan-out stream.Server. One capture feed is
+// encoded ONCE — the server pays a single shared encode pipeline — and
+// every attached viewer gets its own bounded send queue, packet sequence
+// space, retransmit buffer, and modelled link:
 //
-//   - viewer wifi keeps a clean Wi-Fi link and the lossless Block policy;
-//   - viewer edge sits behind a congested 1 Mbps link with the
-//     drop-oldest-P policy, so the transmit queue sheds P-frames (never
-//     I-frames) to bound latency while the stream stays decodable;
-//   - viewer lossy streams real framed packets through a seeded
-//     fault-injected link (5% drop + reordering): lost packets are NACKed
-//     and retransmitted, unrecoverable P-frames are concealed, and a lost
-//     I-frame forces a GOP refresh.
-//
-// The display side needs nothing but the socket bytes: the .pcv stream is
-// self-describing.
+//   - viewer wifi receives framed packets over a real TCP socket and
+//     decodes them with a stream.Receiver, scoring geometry PSNR;
+//   - viewer slow sits behind a paced 1 Mbps link with a 2-frame queue:
+//     overflow sheds P-frames and I-frames force a resync (flush to the
+//     fresh keyframe) — the slow viewer degrades alone, the rest don't;
+//   - viewer lossy streams through a seeded fault-injected link with 5%
+//     drop and reordering: lost packets are NACKed back through the
+//     server to this viewer's retransmit buffer, unrecoverable P-frames
+//     conceal, and a lost I-frame forces a (coalesced) GOP refresh;
+//   - viewer late attaches mid-GOP and starts instantly from the server's
+//     cached keyframe — no re-encode, no wait for the next GOP.
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/linksim"
 	"repro/pcc"
@@ -36,23 +38,7 @@ const (
 	nFrames   = 9 // three IPP groups
 )
 
-// viewer describes one streaming client and its modelled network.
-type viewer struct {
-	name   string
-	link   linksim.Link
-	policy stream.Policy
-	pace   float64 // real seconds per simulated link second
-	scored bool    // PSNR against originals (only valid when lossless)
-}
-
 func main() {
-	viewers := []viewer{
-		{name: "wifi", link: linksim.WiFi, policy: stream.Block, scored: true},
-		{name: "edge", policy: stream.DropOldestP, pace: 0.2,
-			link: linksim.Link{Name: "1mbps", BandwidthMbps: 1, RTTMs: 40,
-				TxNanojoulePerByte: 1000, RxNanojoulePerByte: 500}},
-	}
-
 	video := pcc.NewVideo(videoName, scale)
 	originals := make([]*pcc.PointCloud, nFrames)
 	var err error
@@ -66,71 +52,136 @@ func main() {
 	opts.IntraAttr.Segments = 2500
 	opts.Inter.Segments = 4000
 
+	srv := stream.NewServer(context.Background(), stream.ServerConfig{
+		Options:     opts,
+		ViewerQueue: 32,
+	})
+
+	// Viewer wifi: framed packets over a real TCP socket, decoded by a
+	// Receiver on the display side.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
 	var wg sync.WaitGroup
-	for _, v := range viewers {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
+	wg.Add(1)
+	go displayWifi(&wg, ln, originals)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	wifi, err := srv.Attach(stream.ViewerConfig{
+		Link:      linksim.WiFi,
+		PacketOut: func(_ context.Context, pkt []byte) error { return writePacket(conn, pkt) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Viewer slow: a 1 Mbps link paced into real time with a 2-frame
+	// queue, so the send queue genuinely overflows mid-stream.
+	slowRx := newLocalReceiver("slow", opts, nil)
+	slow, err := srv.Attach(stream.ViewerConfig{
+		Queue: 2,
+		Pace:  0.2,
+		Link: linksim.Link{Name: "1mbps", BandwidthMbps: 1, RTTMs: 40,
+			TxNanojoulePerByte: 1000, RxNanojoulePerByte: 500},
+		PacketOut: slowRx.packetOut,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Viewer lossy: a seeded fault-injected link with the NACK/refresh
+	// control loop routed back through the server.
+	faults := linksim.FaultProfile{DropRate: 0.05, ReorderRate: 0.03, Seed: 7}
+	pipe := stream.NewLossyPipe(linksim.NewFaultyLink(linksim.WiFi, faults), stream.ReceiverConfig{
+		Options: opts,
+		OnFrame: reportFrame("lossy", nil),
+	})
+	pipe.AttachServer(srv)
+	lossy, err := srv.Attach(stream.ViewerConfig{Link: linksim.WiFi, PacketOut: pipe.PacketOut})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream the first two GOPs, then attach the late joiner mid-stream.
+	for _, f := range originals[:6] {
+		if err := srv.Submit(context.Background(), f); err != nil {
 			log.Fatal(err)
 		}
-		wg.Add(2)
-		go capture(&wg, ln, v, originals, opts)
-		go display(&wg, ln.Addr().String(), v, originals)
 	}
+	for srv.Metrics().FramesEncoded < 6 {
+		time.Sleep(time.Millisecond)
+	}
+	lateRx := newLocalReceiver("late", opts, nil)
+	late, err := srv.Attach(stream.ViewerConfig{Link: linksim.WiFi, PacketOut: lateRx.packetOut})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range originals[6:] {
+		if err := srv.Submit(context.Background(), f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	conn.Close() // EOF ends the wifi display
 	wg.Wait()
 
-	lossyViewer(originals, opts)
-}
+	// Resolve the in-process receivers' tails against each viewer's own
+	// frame-index space (queue sheds leave index gaps, counted as sender
+	// drops, not loss).
+	slowRx.finish(int(slow.Metrics().FramesEnqueued))
+	lateRx.finish(int(late.Metrics().FramesEnqueued))
+	if err := pipe.Finish(int(lossy.Metrics().FramesEnqueued)); err != nil {
+		log.Fatal(err)
+	}
 
-// lossyViewer streams the same video as real framed packets across a
-// fault-injected link. The receiver reassembles, NACKs gaps, conceals
-// unrecoverable P-frames, and requests an I-frame refresh if a GOP
-// reference is lost — every frame's fate is reported, never silently
-// wrong.
-func lossyViewer(frames []*pcc.PointCloud, opts pcc.Options) {
-	faults := linksim.FaultProfile{DropRate: 0.05, ReorderRate: 0.03, Seed: 7}
-	fl := linksim.NewFaultyLink(linksim.WiFi, faults)
-	pipe := stream.NewLossyPipe(fl, stream.ReceiverConfig{
-		Options: opts,
-		OnFrame: func(f stream.DecodedFrame) {
-			switch f.Status {
-			case stream.FrameDecoded:
-				fmt.Printf("[viewer lossy] frame %d: %s decoded, %6d pts (delay %v)\n",
-					f.Index, f.Type, f.Cloud.Len(), f.Delay.Round(1e5))
-			case stream.FrameConcealed:
-				fmt.Printf("[viewer lossy] frame %d: %s CONCEALED (%v)\n", f.Index, f.Type, f.Err)
-			case stream.FrameSkipped:
-				fmt.Printf("[viewer lossy] frame %d: %s SKIPPED (%v)\n", f.Index, f.Type, f.Err)
-			}
-		},
-	})
-	s := stream.New(context.Background(), stream.Config{
-		Options:   opts,
-		PacketOut: pipe.PacketOut,
-	})
-	pipe.Attach(s)
-	col := stream.NewCollector(s)
-	for _, f := range frames {
-		if err := s.Submit(context.Background(), f); err != nil {
-			log.Fatal(err)
+	m := srv.Metrics()
+	fmt.Printf("\n[server] %d viewers served from %d frame encodes (%d I), geometry %v + attributes %v — encode paid once\n",
+		m.Viewers, m.FramesEncoded, m.IFrames,
+		m.Pipeline.GeometrySim.Round(1e5), m.Pipeline.AttrSim.Round(1e5))
+	fmt.Printf("[server] cached-keyframe joins %d, refreshes %d (+%d coalesced)\n",
+		m.CachedJoins, m.Refreshes, m.RefreshesCoalesced)
+	for _, tag := range []struct {
+		name string
+		v    *stream.Viewer
+	}{{"wifi", wifi}, {"slow", slow}, {"lossy", lossy}, {"late", late}} {
+		vm := tag.v.Metrics()
+		extra := ""
+		if vm.Resyncs > 0 {
+			extra = fmt.Sprintf(", %d forced I-frame resyncs", vm.Resyncs)
 		}
+		if vm.CachedJoin {
+			extra = fmt.Sprintf(", joined from cached keyframe in %v", vm.JoinLatency.Round(1e5))
+		}
+		fmt.Printf("[viewer %-5s] sent %d/%d frames (%d shed), %d pkts / %.1f KB, %d retransmits%s\n",
+			tag.name, vm.FramesSent, vm.FramesEnqueued, vm.FramesDropped,
+			vm.Packets, float64(vm.WireBytes)/1e3, vm.Retransmits, extra)
 	}
-	if err := s.Close(); err != nil {
-		log.Fatal(err)
-	}
-	col.Wait()
-	if err := pipe.Finish(len(frames)); err != nil {
-		log.Fatal(err)
-	}
-	st, rs, sm := fl.Stats(), pipe.Receiver().Metrics(), s.Metrics()
-	fmt.Printf("[viewer lossy] link dropped %d/%d packets (%d reordered); %d NACKs → %d retransmits, %d refreshes\n",
-		st.Dropped+st.BurstDrops, st.Sent, st.Reordered, rs.NACKsSent, sm.Retransmits, sm.Refreshes)
+	st, rs := pipe.FaultyLink().Stats(), pipe.Receiver().Metrics()
+	fmt.Printf("[viewer lossy] link dropped %d/%d packets (%d reordered); %d NACKs sent, %d retransmits received\n",
+		st.Dropped+st.BurstDrops, st.Sent, st.Reordered, rs.NACKsSent, rs.RetransmitsReceived)
 	fmt.Printf("[viewer lossy] frames: %d decoded, %d concealed, %d skipped (decoded ratio %.3f)\n",
 		rs.FramesDecoded, rs.FramesConcealed, rs.FramesSkipped, rs.DecodedRatio())
 }
 
-// capture accepts the viewer's connection and streams all frames through a
-// pipelined session whose transmit stage writes straight to the socket.
-func capture(wg *sync.WaitGroup, ln net.Listener, v viewer, frames []*pcc.PointCloud, opts pcc.Options) {
+// writePacket frames one packet onto the TCP stream (length-prefixed).
+func writePacket(w io.Writer, pkt []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(pkt)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(pkt)
+	return err
+}
+
+// displayWifi accepts the capture side's connection, reassembles the
+// length-prefixed packets into a Receiver, and scores geometry PSNR.
+func displayWifi(wg *sync.WaitGroup, ln net.Listener, originals []*pcc.PointCloud) {
 	defer wg.Done()
 	defer ln.Close()
 	conn, err := ln.Accept()
@@ -139,75 +190,85 @@ func capture(wg *sync.WaitGroup, ln net.Listener, v viewer, frames []*pcc.PointC
 	}
 	defer conn.Close()
 
-	w := pcc.NewPipelinedWriterConfig(stream.Config{
-		Options: opts,
-		Link:    v.link,
-		Queue:   2,
-		Policy:  v.policy,
-		Pace:    v.pace,
-		Output:  conn,
+	rx := stream.NewReceiver(stream.ReceiverConfig{
+		Options: pcc.DefaultOptions(pcc.IntraInterV1),
+		OnFrame: reportFrame("wifi", originals),
 	})
-	for _, f := range frames {
-		if err := w.WriteFrame(f); err != nil {
+	var hdr [4]byte
+	got := 0
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			break // EOF: capture side closed
+		}
+		pkt := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, pkt); err != nil {
 			log.Fatal(err)
 		}
+		rx.Ingest(pkt)
+		got++
 	}
-	results, err := w.Close()
-	if err != nil {
+	if err := rx.Finish(nFrames); err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range results {
-		fate := fmt.Sprintf("%6.1f KB, %2d pkts, link %5.1f ms",
-			float64(r.WireBytes)/1e3, r.Packets, r.Link.Latency.Seconds()*1000)
-		if r.Dropped {
-			fate = "DROPPED by backpressure policy"
-		}
-		fmt.Printf("[capture %s] frame %d: %s, sim %6.2f ms, %s\n",
-			v.name, r.Seq, r.Stats.Type, r.Stats.TotalTime.Seconds()*1000, fate)
-	}
-	m := w.Metrics()
-	fmt.Printf("[capture %s] %s link, %s policy: %d/%d delivered, %d dropped, tx queue peak %d\n",
-		v.name, v.link.Name, v.policy, m.Delivered, m.Submitted, m.Dropped, m.Queues[3].MaxDepth)
-	fmt.Printf("[capture %s] encode sim: geometry %v + attributes %v (overlapped), link %v\n",
-		v.name, m.GeometrySim.Round(1e5), m.AttrSim.Round(1e5), m.LinkTime.Round(1e5))
+	rs := rx.Metrics()
+	fmt.Printf("[display wifi ] %d packets over TCP: %d/%d frames decoded, decode sim %v\n",
+		got, rs.FramesDecoded, nFrames, rx.Device().SimTime().Round(1e5))
 }
 
-// display dials the capture side, decodes the self-describing stream, and
-// scores quality when the stream is lossless (frame indices line up).
-func display(wg *sync.WaitGroup, addr string, v viewer, originals []*pcc.PointCloud) {
-	defer wg.Done()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
+// localReceiver is an in-process display: packets go straight from the
+// viewer's sender into a Receiver.
+type localReceiver struct {
+	mu   sync.Mutex
+	name string
+	rx   *stream.Receiver
+}
 
-	r, err := pcc.NewStreamReader(conn)
-	if err != nil {
+func newLocalReceiver(name string, opts pcc.Options, originals []*pcc.PointCloud) *localReceiver {
+	lr := &localReceiver{name: name}
+	lr.rx = stream.NewReceiver(stream.ReceiverConfig{
+		Options: opts,
+		OnFrame: reportFrame(name, originals),
+	})
+	return lr
+}
+
+func (lr *localReceiver) packetOut(_ context.Context, pkt []byte) error {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	lr.rx.Ingest(pkt)
+	return nil
+}
+
+func (lr *localReceiver) finish(totalFrames int) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if err := lr.rx.Finish(totalFrames); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("[display %s] receiving %v stream\n", v.name, r.Options().Design)
-	decoded := 0
-	for {
-		frame, _, err := r.ReadFrame()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		if v.scored {
-			psnr, err := pcc.GeometryPSNR(originals[decoded], frame)
-			if err != nil {
-				log.Fatal(err)
+}
+
+// reportFrame prints each frame's fate; with originals it also scores
+// geometry PSNR (only meaningful when frame indices line up with the
+// source, i.e. a from-the-start lossless viewer).
+func reportFrame(name string, originals []*pcc.PointCloud) func(stream.DecodedFrame) {
+	return func(f stream.DecodedFrame) {
+		switch f.Status {
+		case stream.FrameDecoded:
+			if originals != nil && f.Index < len(originals) {
+				psnr, err := pcc.GeometryPSNR(originals[f.Index], f.Cloud)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("[viewer %-5s] frame %d: %s decoded, %6d pts, geometry PSNR %5.1f dB\n",
+					name, f.Index, f.Type, f.Cloud.Len(), min(psnr, 120))
+				return
 			}
-			fmt.Printf("[display %s] frame %d: %6d pts, geometry PSNR %5.1f dB\n",
-				v.name, decoded, frame.Len(), min(psnr, 120))
-		} else {
-			fmt.Printf("[display %s] frame %d: %6d pts\n", v.name, decoded, frame.Len())
+			fmt.Printf("[viewer %-5s] frame %d: %s decoded, %6d pts\n",
+				name, f.Index, f.Type, f.Cloud.Len())
+		case stream.FrameConcealed:
+			fmt.Printf("[viewer %-5s] frame %d: %s CONCEALED (%v)\n", name, f.Index, f.Type, f.Err)
+		case stream.FrameSkipped:
+			fmt.Printf("[viewer %-5s] frame %d: %s skipped (%v)\n", name, f.Index, f.Type, f.Err)
 		}
-		decoded++
 	}
-	fmt.Printf("[display %s] %d frames decoded, decoder sim %v / %.2f J\n",
-		v.name, decoded, r.Device().SimTime().Round(1e5), r.Device().EnergyJ())
 }

@@ -219,10 +219,17 @@ func (e *Encoder) hasRef() bool { return e.ref() != nil }
 // regardless of the current GOP position — the sender side of a receiver's
 // I-frame refresh request after reference loss. Safe to call from any
 // goroutine; it takes effect on the next frame to finish encoding.
-func (e *Encoder) ForceIFrame() {
+//
+// It reports whether this call armed the restart: false means a restart was
+// already pending, so the request coalesced into it — requests arriving
+// between two encodes cost at most one GOP restart however many callers
+// (e.g. fan-out viewers) raise them.
+func (e *Encoder) ForceIFrame() bool {
 	e.refMu.Lock()
+	defer e.refMu.Unlock()
+	armed := !e.forceI
 	e.forceI = true
-	e.refMu.Unlock()
+	return armed
 }
 
 // takeForceI consumes a pending ForceIFrame request.

@@ -470,3 +470,35 @@ func TestStageLatencySplit(t *testing.T) {
 		t.Fatalf("total %v < geo+attr %v", st.TotalTime, st.GeometryTime+st.AttrTime)
 	}
 }
+
+// ForceIFrame reports whether the call armed the restart: concurrent
+// refresh requests between two encodes coalesce into one GOP restart.
+func TestForceIFrameCoalesces(t *testing.T) {
+	e := NewEncoder(dev(), OptionsFor(IntraInterV1))
+	if !e.ForceIFrame() {
+		t.Fatal("first ForceIFrame must arm the restart")
+	}
+	if e.ForceIFrame() {
+		t.Fatal("second ForceIFrame must coalesce into the pending restart")
+	}
+	fs := frames(t, 3)
+	for i, f := range fs {
+		want := IFrame // frame 0 consumes the restart
+		if i > 0 {
+			want = PFrame // the restart must not leak into later frames
+		}
+		if _, st, err := e.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		} else if st.Type != want {
+			t.Fatalf("frame %d type %v, want %v", i, st.Type, want)
+		}
+	}
+	if !e.ForceIFrame() {
+		t.Fatal("ForceIFrame after the restart landed must arm again")
+	}
+	if _, st, err := e.EncodeFrame(fs[0]); err != nil {
+		t.Fatal(err)
+	} else if st.Type != IFrame {
+		t.Fatalf("forced frame type %v, want I", st.Type)
+	}
+}

@@ -16,6 +16,7 @@ type RecoveryCounters struct {
 	packetsCorrupt   atomic.Int64
 	packetsDuplicate atomic.Int64
 	retransmitsRecv  atomic.Int64
+	cachedRecv       atomic.Int64
 	// Recovery protocol.
 	nacksSent       atomic.Int64
 	nackSeqs        atomic.Int64
@@ -33,6 +34,10 @@ func (c *RecoveryCounters) PacketReceived()     { c.packetsReceived.Add(1) }
 func (c *RecoveryCounters) PacketCorrupt()      { c.packetsCorrupt.Add(1) }
 func (c *RecoveryCounters) PacketDuplicate()    { c.packetsDuplicate.Add(1) }
 func (c *RecoveryCounters) RetransmitReceived() { c.retransmitsRecv.Add(1) }
+
+// CachedReceived records a packet replayed from a sender-side keyframe
+// cache (a late join served from the last encoded I-frame).
+func (c *RecoveryCounters) CachedReceived() { c.cachedRecv.Add(1) }
 func (c *RecoveryCounters) NACKSent(seqs int) {
 	c.nacksSent.Add(1)
 	c.nackSeqs.Add(int64(seqs))
@@ -49,6 +54,7 @@ type RecoverySnapshot struct {
 	PacketsCorrupt      int64
 	PacketsDuplicate    int64
 	RetransmitsReceived int64
+	CachedReceived      int64
 	NACKsSent           int64
 	NACKSeqs            int64
 	NACKGiveUps         int64
@@ -79,6 +85,7 @@ func (c *RecoveryCounters) Snapshot() RecoverySnapshot {
 		PacketsCorrupt:      c.packetsCorrupt.Load(),
 		PacketsDuplicate:    c.packetsDuplicate.Load(),
 		RetransmitsReceived: c.retransmitsRecv.Load(),
+		CachedReceived:      c.cachedRecv.Load(),
 		NACKsSent:           c.nacksSent.Load(),
 		NACKSeqs:            c.nackSeqs.Load(),
 		NACKGiveUps:         c.nackGiveUps.Load(),

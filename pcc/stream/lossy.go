@@ -27,13 +27,16 @@ import (
 	"repro/internal/linksim"
 )
 
-// LossyPipe is an in-process lossy transport between one Session and one
-// Receiver. Create with NewLossyPipe, set the session's Config.PacketOut
-// to pipe.PacketOut, then Attach the session before submitting frames.
+// LossyPipe is an in-process lossy transport between one sender and one
+// Receiver. Create with NewLossyPipe, set the sender's PacketOut to
+// pipe.PacketOut, then Attach the Session (or AttachServer the Server
+// owning the viewer) before submitting frames.
 type LossyPipe struct {
-	fl   *linksim.FaultyLink
-	rx   *Receiver
-	sess *Session
+	fl *linksim.FaultyLink
+	rx *Receiver
+	// ctrl is the sender's control entry point: Session.HandleControl, or
+	// Server.HandleControl (which routes by the message's stream id).
+	ctrl interface{ HandleControl(Control) error }
 
 	mu  sync.Mutex
 	now time.Time
@@ -50,7 +53,11 @@ func NewLossyPipe(fl *linksim.FaultyLink, rcfg ReceiverConfig) *LossyPipe {
 }
 
 // Attach wires the sender side so receiver control messages reach it.
-func (p *LossyPipe) Attach(s *Session) { p.sess = s }
+func (p *LossyPipe) Attach(s *Session) { p.ctrl = s }
+
+// AttachServer wires a fan-out Server as the sender side: control messages
+// route to the viewer whose stream id they carry.
+func (p *LossyPipe) AttachServer(sv *Server) { p.ctrl = sv }
 
 // Receiver returns the pipe's receive side.
 func (p *LossyPipe) Receiver() *Receiver { return p.rx }
@@ -94,10 +101,10 @@ func (p *LossyPipe) control(c Control) error {
 	if cost, err := p.fl.Link().Transmit(int64(len(raw))); err == nil {
 		p.advance(cost.Latency)
 	}
-	if p.sess == nil {
+	if p.ctrl == nil {
 		return nil
 	}
-	return p.sess.HandleControl(c)
+	return p.ctrl.HandleControl(c)
 }
 
 // Finish ends the session on the receive side after the sender has closed:

@@ -12,7 +12,7 @@ package stream
 //	offset size field
 //	     0    2 magic "PK"
 //	     2    1 version (1)
-//	     3    1 flags (bit0 retransmit, bit1 control)
+//	     3    1 flags (bit0 retransmit, bit1 control, bit2 cached replay)
 //	     4    4 stream/session id
 //	     8    4 frame index (data) / control target frame (control)
 //	    12    1 frame type: I=0, P=1 (data) / control kind (control)
@@ -55,6 +55,12 @@ const (
 	// FlagControl marks a receiver→sender control packet (NACK, refresh);
 	// its FrameType byte holds the ControlKind.
 	FlagControl byte = 1 << 1
+	// FlagCached marks a packet replayed from a Server's keyframe cache: a
+	// late-joining viewer's copy of the last encoded I-frame, sent so it
+	// can start decoding mid-GOP without a re-encode. Like FlagRetransmit
+	// it sits outside the payload CRC, so senders can set it on buffered
+	// packet copies in place.
+	FlagCached byte = 1 << 2
 )
 
 // ErrBadPacket reports a malformed packet (bad magic, version, or lengths).

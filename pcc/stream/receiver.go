@@ -268,6 +268,9 @@ func (r *Receiver) ingestOne(raw []byte) {
 	if h.Flags&FlagRetransmit != 0 {
 		r.counters.RetransmitReceived()
 	}
+	if h.Flags&FlagCached != 0 {
+		r.counters.CachedReceived()
+	}
 
 	// Sequence tracking: a jump past nextSeq opens a gap of missing seqs;
 	// an arrival inside the missing set heals it (retransmit or reorder).

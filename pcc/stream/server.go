@@ -1,0 +1,363 @@
+package stream
+
+// Server is the encode-once fan-out: one capture feed drives a single
+// shared encode pipeline (a Session with its geometry lookahead and
+// scratch-arena hot path), and each encoded frame is broadcast to every
+// attached Viewer. N viewers cost ONE encode per frame — the serving-scale
+// amortization the ROADMAP's session-multiplexing item asks for — while
+// per-viewer queues, sequence spaces, and retransmit buffers keep a slow
+// or lossy viewer from stalling the rest.
+//
+//	capture ─▶ [shared Session: geometry ∥ attr ∥ packetize ∥ transmit]
+//	                                │ FrameOut (one encode per frame)
+//	                ┌───────────────┼────────────────┐
+//	           Viewer A        Viewer B          Viewer C …
+//	         queue+seq+retx  queue+seq+retx   queue+seq+retx
+//	                │               │                │
+//	           PacketOut       PacketOut        PacketOut
+//
+// Keyframe cache: the server retains the last encoded I-frame's wire
+// bytes, so a late-joining viewer starts from a decodable keyframe
+// immediately (packets marked FlagCached) instead of forcing a mid-GOP
+// re-encode. Receiver-requested I-frame refreshes — and cacheless
+// mid-stream joins — are coalesced into at most one GOP restart: the
+// first request arms the encoder, later ones ride along until the next
+// I-frame clears the arm.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/linksim"
+)
+
+// ErrServerClosed reports an operation on a closed Server.
+var ErrServerClosed = errors.New("stream: server closed")
+
+// ServerConfig configures a Server. The zero value of every field is
+// usable: paper-default codec options require only Options.Design; the
+// per-viewer defaults mirror Session's.
+type ServerConfig struct {
+	// Options selects and configures the shared codec (as codec.OptionsFor).
+	Options codec.Options
+	// Mode selects the modelled edge board's power budget.
+	Mode edgesim.PowerMode
+	// Queue is the shared pipeline's per-stage queue capacity (default 4).
+	Queue int
+	// Lookahead is the shared pipeline's concurrent geometry depth.
+	Lookahead int
+	// Link is the default per-viewer downlink (default linksim.WiFi); a
+	// ViewerConfig.Link overrides it per viewer.
+	Link linksim.Link
+	// MTU is the default per-viewer packet payload size (default 1400).
+	MTU int
+	// ViewerQueue is the default per-viewer send-queue capacity in frames
+	// (default 8).
+	ViewerQueue int
+	// RetransmitBuffer is the default per-viewer retained-packet cap
+	// (default 1024).
+	RetransmitBuffer int
+}
+
+func (c ServerConfig) normalized() ServerConfig {
+	if c.Link.BandwidthMbps <= 0 {
+		c.Link = linksim.WiFi
+	}
+	if c.MTU < 64 {
+		c.MTU = 1400
+	}
+	if c.ViewerQueue < 1 {
+		c.ViewerQueue = 8
+	}
+	if c.RetransmitBuffer < 1 {
+		c.RetransmitBuffer = 1024
+	}
+	return c
+}
+
+// ServerMetrics is a point-in-time snapshot of the fan-out state.
+type ServerMetrics struct {
+	// FramesEncoded counts frames the shared pipeline encoded — one per
+	// submitted frame, however many viewers are attached.
+	FramesEncoded int64
+	// IFrames counts the keyframes among them (GOP opens plus restarts).
+	IFrames int64
+	// Refreshes counts GOP restarts actually applied by the encoder;
+	// RefreshesCoalesced counts refresh requests absorbed by an
+	// already-armed restart.
+	Refreshes          int64
+	RefreshesCoalesced int64
+	// CachedJoins counts viewers whose first frame came from the keyframe
+	// cache; KeyframeCached reports whether the cache currently holds one.
+	CachedJoins    int64
+	KeyframeCached bool
+	// Viewers is the current attachment count.
+	Viewers int
+	// Pipeline is the shared Session's snapshot (queues, device ledgers).
+	Pipeline Metrics
+	// PerViewer lists every attached viewer's snapshot, by StreamID.
+	PerViewer []ViewerMetrics
+}
+
+// sharedFrame is one encoded frame shared by all viewers: the wire bytes
+// are copied once out of the session's recycled buffer and never mutated.
+type sharedFrame struct {
+	index  int // shared-pipeline frame index (viewers renumber locally)
+	ftype  codec.FrameType
+	wire   []byte
+	cached bool // replayed from the keyframe cache (late join)
+}
+
+// Server fans one encode out to N viewers. Create with NewServer, attach
+// viewers with Attach (before or during the stream), feed frames with
+// Submit, then Close to drain. All methods are safe for concurrent use.
+type Server struct {
+	cfg  ServerConfig
+	sess *Session
+	done chan struct{} // results collector finished
+
+	mu           sync.Mutex
+	viewers      []*Viewer
+	byID         map[uint32]*Viewer
+	nextID       uint32
+	cache        *sharedFrame
+	refreshArmed bool
+	coalesced    int64
+	cachedJoins  int64
+	encoded      int64
+	iFrames      int64
+	closed       bool
+}
+
+// NewServer starts the shared encode pipeline. Cancelling ctx aborts it.
+func NewServer(ctx context.Context, cfg ServerConfig) *Server {
+	cfg = cfg.normalized()
+	sv := &Server{
+		cfg:  cfg,
+		byID: make(map[uint32]*Viewer),
+		done: make(chan struct{}),
+	}
+	sv.sess = New(ctx, Config{
+		Options:   cfg.Options,
+		Mode:      cfg.Mode,
+		Queue:     cfg.Queue,
+		Lookahead: cfg.Lookahead,
+		MTU:       cfg.MTU,
+		// The shared pipeline never sheds frames; per-viewer queues are
+		// where slowness resolves, in isolation.
+		Policy:   Block,
+		FrameOut: sv.broadcast,
+	})
+	// The session's Results channel must drain for the pipeline to flow;
+	// the broadcast hook does the accounting, so the fates are discarded.
+	go func() {
+		defer close(sv.done)
+		for range sv.sess.Results() {
+		}
+	}()
+	return sv
+}
+
+// Options returns the shared encoder's normalized configuration (e.g. for
+// building matching ReceiverConfigs).
+func (sv *Server) Options() codec.Options { return sv.sess.Options() }
+
+// Submit hands the shared pipeline the next captured frame. It blocks when
+// the pipeline's ingest queue is full. Single producer, like
+// Session.Submit.
+func (sv *Server) Submit(ctx context.Context, vc *geom.VoxelCloud) error {
+	return sv.sess.Submit(ctx, vc)
+}
+
+// broadcast is the shared session's FrameOut hook: copy the frame once,
+// refresh the keyframe cache, and offer it to every viewer's queue. Runs
+// on the transmit stage; per-viewer enqueue never blocks.
+func (sv *Server) broadcast(_ context.Context, seq int, ftype codec.FrameType, wire []byte) error {
+	f := &sharedFrame{index: seq, ftype: ftype, wire: append([]byte(nil), wire...)}
+	sv.mu.Lock()
+	sv.encoded++
+	if ftype == codec.IFrame {
+		sv.iFrames++
+		sv.cache = f
+		sv.refreshArmed = false // the pending restart (if any) just landed
+	}
+	for _, v := range sv.viewers {
+		v.enqueue(f)
+	}
+	sv.mu.Unlock()
+	return nil
+}
+
+// Attach adds a viewer and starts its sender. When the keyframe cache
+// holds an I-frame the viewer's stream opens with it (frame 0, packets
+// marked FlagCached), so a mid-GOP join decodes immediately without a
+// re-encode; a cacheless mid-stream join instead arms a (coalesced)
+// I-frame restart and skips P-frames until the keyframe arrives.
+func (sv *Server) Attach(cfg ViewerConfig) (*Viewer, error) {
+	if cfg.Link.BandwidthMbps <= 0 {
+		cfg.Link = sv.cfg.Link
+	}
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	id := cfg.StreamID
+	if id == 0 {
+		sv.nextID++
+		id = sv.nextID
+		for sv.byID[id] != nil { // skip explicit ids already taken
+			sv.nextID++
+			id = sv.nextID
+		}
+	} else if sv.byID[id] != nil {
+		sv.mu.Unlock()
+		return nil, fmt.Errorf("stream: viewer id %d already attached", id)
+	}
+	v := newViewer(sv, cfg, id, sv.cache != nil)
+	sv.viewers = append(sv.viewers, v)
+	sv.byID[id] = v
+	needRestart := false
+	if sv.cache != nil {
+		cached := &sharedFrame{index: sv.cache.index, ftype: sv.cache.ftype,
+			wire: sv.cache.wire, cached: true}
+		v.enqueue(cached)
+		sv.cachedJoins++
+	} else if sv.encoded > 0 {
+		// Mid-stream join with an empty cache (nothing but P-frames so
+		// far would be unusual, but possible after a server restart):
+		// fall back to a coalesced GOP restart.
+		needRestart = true
+	}
+	sv.mu.Unlock()
+	if needRestart {
+		sv.requestIFrame()
+	}
+	go v.sendLoop()
+	return v, nil
+}
+
+// Detach removes a viewer: its queue is abandoned, its sender stops, and
+// its retransmit buffer is freed. Counters stay readable via the returned
+// Viewer's Metrics. Detaching an unknown (or already detached) viewer is a
+// no-op.
+func (sv *Server) Detach(v *Viewer) {
+	sv.mu.Lock()
+	if _, ok := sv.byID[v.id]; !ok || sv.byID[v.id] != v {
+		sv.mu.Unlock()
+		return
+	}
+	delete(sv.byID, v.id)
+	for i, w := range sv.viewers {
+		if w == v {
+			sv.viewers = append(sv.viewers[:i], sv.viewers[i+1:]...)
+			break
+		}
+	}
+	sv.mu.Unlock()
+	v.shutdown(true)
+}
+
+// HandleControl routes a receiver→sender control message to the viewer
+// that owns its stream id (e.g. from a shared control socket). Messages
+// for unknown stream ids — a viewer that just detached — are dropped.
+func (sv *Server) HandleControl(c Control) error {
+	sv.mu.Lock()
+	v := sv.byID[c.StreamID]
+	sv.mu.Unlock()
+	if v == nil {
+		return nil
+	}
+	return v.HandleControl(c)
+}
+
+// requestIFrame arms one coalesced GOP restart: the first caller forces
+// the encoder, every caller before the next I-frame lands rides along.
+func (sv *Server) requestIFrame() {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return
+	}
+	armed := sv.refreshArmed
+	if armed {
+		sv.coalesced++
+	} else {
+		sv.refreshArmed = true
+	}
+	sv.mu.Unlock()
+	if !armed {
+		// ControlRefresh never touches PacketOut, so no error can surface.
+		_ = sv.sess.HandleControl(Control{Kind: ControlRefresh})
+	}
+}
+
+// Metrics snapshots the server, the shared pipeline, and every attached
+// viewer (sorted by stream id).
+func (sv *Server) Metrics() ServerMetrics {
+	sv.mu.Lock()
+	m := ServerMetrics{
+		FramesEncoded:      sv.encoded,
+		IFrames:            sv.iFrames,
+		RefreshesCoalesced: sv.coalesced,
+		CachedJoins:        sv.cachedJoins,
+		KeyframeCached:     sv.cache != nil,
+		Viewers:            len(sv.viewers),
+	}
+	vs := append([]*Viewer(nil), sv.viewers...)
+	sv.mu.Unlock()
+	m.Pipeline = sv.sess.Metrics()
+	m.Refreshes = m.Pipeline.Refreshes
+	for _, v := range vs {
+		m.PerViewer = append(m.PerViewer, v.Metrics())
+	}
+	sort.Slice(m.PerViewer, func(i, j int) bool {
+		return m.PerViewer[i].StreamID < m.PerViewer[j].StreamID
+	})
+	return m
+}
+
+// Err returns the shared pipeline's first error, if any.
+func (sv *Server) Err() error { return sv.sess.Err() }
+
+// Close stops accepting frames, drains the shared pipeline (every
+// broadcast lands in viewer queues), then drains and stops every viewer's
+// sender. Idempotent; returns the pipeline's close error. Attached
+// viewers' counters stay readable afterwards.
+func (sv *Server) Close() error {
+	err := sv.sess.Close()
+	<-sv.done
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return err
+	}
+	sv.closed = true
+	vs := append([]*Viewer(nil), sv.viewers...)
+	sv.mu.Unlock()
+	for _, v := range vs {
+		v.shutdown(err != nil) // drain on a clean close, discard on abort
+	}
+	return err
+}
+
+// Cancel aborts the shared pipeline and every viewer immediately.
+func (sv *Server) Cancel() {
+	sv.sess.Cancel()
+	sv.mu.Lock()
+	vs := append([]*Viewer(nil), sv.viewers...)
+	sv.mu.Unlock()
+	for _, v := range vs {
+		v.mu.Lock()
+		v.closed, v.discard = true, true
+		v.queue = nil
+		v.cond.Broadcast()
+		v.mu.Unlock()
+	}
+}

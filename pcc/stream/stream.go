@@ -71,6 +71,14 @@ type SendFunc func(ctx context.Context, seq int, wire []byte) error
 // delivery of an earlier packet.
 type PacketSendFunc func(ctx context.Context, pkt []byte) error
 
+// FrameSendFunc receives each undropped frame's type and wire bytes, in
+// transmit order — the fan-out hook a Server uses to broadcast one encode
+// to many viewers. It runs in the transmit stage; returning an error aborts
+// the session. The wire slice is only valid for the duration of the call
+// (the session recycles its backing buffer); implementations that retain
+// the bytes must copy them.
+type FrameSendFunc func(ctx context.Context, seq int, ftype codec.FrameType, wire []byte) error
+
 // Config configures a Session. The zero value of every field is usable:
 // paper-default codec options require only Options.Design, the link
 // defaults to Wi-Fi, queues to depth 4, packets to a 1400-byte MTU.
@@ -106,6 +114,10 @@ type Config struct {
 	// The byte slice passed to Write is recycled after the call returns, so
 	// writers that buffer asynchronously must copy (io.Writer's contract).
 	Output io.Writer
+	// FrameOut, when set, receives each undropped frame's encoded wire
+	// bytes in transmit order, before Send/Output/PacketOut emission. A
+	// Server uses it to broadcast one encode to many viewers.
+	FrameOut FrameSendFunc
 	// StreamID tags every packet emitted through PacketOut (default 1).
 	StreamID uint32
 	// PacketOut, when set, emits each undropped frame as framed packets
@@ -565,6 +577,12 @@ func (s *Session) transmitStage() {
 					return
 				}
 			}
+			if s.cfg.FrameOut != nil {
+				if err := s.cfg.FrameOut(s.ctx, j.seq, j.ftype, j.wire); err != nil {
+					s.fail(err)
+					return
+				}
+			}
 			if err := s.emitWire(j); err != nil {
 				s.fail(err)
 				return
@@ -665,7 +683,20 @@ func (s *Session) HandleControl(c Control) error {
 		s.refreshes++
 		s.mu.Unlock()
 	case ControlNACK:
+		var seen map[uint32]struct{}
+		if len(c.Seqs) > 1 {
+			seen = make(map[uint32]struct{}, len(c.Seqs))
+		}
 		for _, seq := range c.Seqs {
+			// Coalesce duplicate sequence numbers within one NACK (a
+			// receiver retry race, or a hostile message): each is answered
+			// at most once per control message.
+			if seen != nil {
+				if _, dup := seen[seq]; dup {
+					continue
+				}
+				seen[seq] = struct{}{}
+			}
 			s.retxMu.Lock()
 			buf, ok := s.retx[seq]
 			var cp []byte

@@ -1,0 +1,459 @@
+package stream
+
+// Viewer is one attached consumer of a Server's shared encode: it owns a
+// bounded send queue, a backpressure policy, a private packet sequence
+// space and frame-index space, a retransmit buffer, and a control loop —
+// everything per-session except the encode itself, which the Server pays
+// once per frame for all viewers.
+//
+// Slow-viewer isolation: enqueueing never blocks the broadcaster. A full
+// queue sheds its oldest P-frame (frame-index gaps read as sender drops at
+// the receiver, which stays decodable because P-frames predict from their
+// GOP I-frame, not from each other). When an I-frame arrives at a full
+// queue the viewer is force-resynced: the stale backlog is flushed and the
+// stream restarts from that fresh keyframe — a drowning viewer jumps to
+// the newest I instead of serving frames it can no longer afford to send.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/linksim"
+	"repro/internal/metrics"
+)
+
+// ViewerConfig configures one attached viewer. The zero value of every
+// field is usable: the server assigns a stream id, the queue defaults to
+// the server's ViewerQueue, the MTU and retransmit buffer to the server's.
+type ViewerConfig struct {
+	// StreamID tags this viewer's packets (0 = server-assigned, unique).
+	StreamID uint32
+	// Queue is the viewer's send-queue capacity in frames.
+	Queue int
+	// MTU is the packet payload size for this viewer.
+	MTU int
+	// Link is this viewer's modelled downlink (default: the server's link).
+	Link linksim.Link
+	// Pace, when > 0, makes the viewer's sender sleep Pace real seconds per
+	// simulated link second — the knob that turns a narrow Link into a
+	// genuinely slow viewer.
+	Pace float64
+	// RetransmitBuffer caps the packets retained to answer NACKs.
+	RetransmitBuffer int
+	// PacketOut transmits this viewer's framed packets. It runs on the
+	// viewer's sender goroutine (fresh and cached frames) and on the
+	// HandleControl caller's goroutine (retransmissions). Nil builds and
+	// accounts packets without sending — useful for capacity benchmarks.
+	// A PacketOut error marks the viewer failed and stops its sender; it
+	// never aborts the server or the other viewers.
+	PacketOut PacketSendFunc
+}
+
+// ViewerMetrics is a point-in-time snapshot of one viewer's delivery state.
+type ViewerMetrics struct {
+	StreamID uint32
+	// Queue is the send-queue gauge (depth, watermark, enqueues, drops).
+	Queue metrics.QueueSnapshot
+	// FramesEnqueued counts frames that entered the send queue (the size of
+	// the viewer's frame-index space; queue drops leave index gaps).
+	FramesEnqueued int64
+	// FramesSent counts frames fully packetized and emitted.
+	FramesSent int64
+	// FramesDropped counts frames shed by the queue policy — queued frames
+	// removed plus incoming frames rejected at a full queue.
+	FramesDropped int64
+	// SkippedNoRef counts P-frames skipped while the viewer had no usable
+	// I-frame reference (cacheless join before the first keyframe).
+	SkippedNoRef int64
+	// Resyncs counts forced I-frame resyncs: overflows where the backlog
+	// was flushed and the stream restarted from a fresh keyframe.
+	Resyncs int64
+	// CachedJoin reports that the viewer's first frame came from the
+	// server's keyframe cache rather than a live encode.
+	CachedJoin bool
+	// JoinLatency is attach → first frame on the wire (0 until then).
+	JoinLatency time.Duration
+	// Packets / WireBytes total the emitted packets (headers included).
+	Packets   int64
+	WireBytes int64
+	// Control-loop counters: NACK messages handled, packets re-sent,
+	// NACKed packets already evicted, refresh requests forwarded.
+	NACKsReceived int64
+	Retransmits   int64
+	RetxMisses    int64
+	Refreshes     int64
+	// RetxBuffered is the retransmit buffer's current occupancy (0 once
+	// the viewer detaches — detach frees the buffer).
+	RetxBuffered int
+	// Link totals over all sent frames.
+	LinkTime  time.Duration
+	TxEnergyJ float64
+	RxEnergyJ float64
+	// Err is the viewer's first transport error, if any.
+	Err error
+}
+
+// queuedFrame is one frame waiting in a viewer's send queue, tagged with
+// the viewer-local frame index assigned at enqueue time.
+type queuedFrame struct {
+	idx uint32
+	f   *sharedFrame
+}
+
+// Viewer is one fan-out consumer. Create with Server.Attach; release with
+// Server.Detach (or Close). All methods are safe for concurrent use.
+type Viewer struct {
+	sv  *Server
+	cfg ViewerConfig
+	id  uint32
+
+	gauge    *metrics.QueueGauge
+	joinedAt time.Time
+	done     chan struct{}
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []queuedFrame
+	closed  bool // no further enqueues; sender drains then exits
+	discard bool // sender exits without draining
+	// lostRef marks that the viewer has no decodable I-frame reference
+	// (cacheless join): P-frames are skipped until the next keyframe.
+	lostRef bool
+	nextIdx uint32
+	pktSeq  uint32
+
+	framesSent    int64
+	framesDropped int64
+	skippedNoRef  int64
+	resyncs       int64
+	cachedJoin    bool
+	joinLatency   time.Duration
+	packets       int64
+	wireBytes     int64
+	nacksRecv     int64
+	retransmits   int64
+	retxMisses    int64
+	refreshes     int64
+	linkTime      time.Duration
+	txJ, rxJ      float64
+	err           error
+
+	retx     map[uint32][]byte
+	retxFIFO []uint32
+}
+
+func newViewer(sv *Server, cfg ViewerConfig, id uint32, haveCache bool) *Viewer {
+	v := &Viewer{
+		sv:       sv,
+		cfg:      cfg,
+		id:       id,
+		gauge:    metrics.NewQueueGauge("viewer-send"),
+		joinedAt: time.Now(),
+		done:     make(chan struct{}),
+		lostRef:  !haveCache,
+		retx:     make(map[uint32][]byte),
+	}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// StreamID returns the viewer's packet stream id.
+func (v *Viewer) StreamID() uint32 { return v.id }
+
+// Close detaches the viewer from its server (Server.Detach shorthand).
+func (v *Viewer) Close() { v.sv.Detach(v) }
+
+// Err returns the viewer's first transport error, if any.
+func (v *Viewer) Err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.err
+}
+
+// Metrics snapshots the viewer's counters.
+func (v *Viewer) Metrics() ViewerMetrics {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return ViewerMetrics{
+		StreamID:       v.id,
+		Queue:          v.gauge.Snapshot(),
+		FramesEnqueued: int64(v.nextIdx),
+		FramesSent:     v.framesSent,
+		FramesDropped:  v.framesDropped,
+		SkippedNoRef:   v.skippedNoRef,
+		Resyncs:        v.resyncs,
+		CachedJoin:     v.cachedJoin,
+		JoinLatency:    v.joinLatency,
+		Packets:        v.packets,
+		WireBytes:      v.wireBytes,
+		NACKsReceived:  v.nacksRecv,
+		Retransmits:    v.retransmits,
+		RetxMisses:     v.retxMisses,
+		Refreshes:      v.refreshes,
+		RetxBuffered:   len(v.retx),
+		LinkTime:       v.linkTime,
+		TxEnergyJ:      v.txJ,
+		RxEnergyJ:      v.rxJ,
+		Err:            v.err,
+	}
+}
+
+// enqueue offers one broadcast frame to the viewer. It never blocks: the
+// queue policy resolves overflow by shedding (see the type comment). Runs
+// under the server's broadcast lock, so it must stay O(queue).
+func (v *Viewer) enqueue(f *sharedFrame) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return
+	}
+	if v.lostRef {
+		if f.ftype == codec.PFrame {
+			// Undecodable without a reference; don't waste queue or wire.
+			v.skippedNoRef++
+			v.framesDropped++
+			v.gauge.Drop()
+			return
+		}
+		v.lostRef = false
+	}
+	if len(v.queue) >= v.queueCap() {
+		switch {
+		case f.ftype == codec.IFrame:
+			// Forced I-frame resync: the backlog is stale and a fresh
+			// keyframe supersedes all of it — flush and restart from f.
+			for range v.queue {
+				v.gauge.Dequeue()
+				v.gauge.Drop()
+			}
+			v.framesDropped += int64(len(v.queue))
+			v.queue = v.queue[:0]
+			v.resyncs++
+		case v.dropOldestPLocked():
+			// One slot freed; fall through to the append.
+		default:
+			// Queue full of I-frames: the incoming P predicts from the
+			// newest queued keyframe, which will be delivered — shedding
+			// the P keeps the stream decodable.
+			v.framesDropped++
+			v.gauge.Drop()
+			return
+		}
+	}
+	if f.cached {
+		v.cachedJoin = true
+	}
+	v.queue = append(v.queue, queuedFrame{idx: v.nextIdx, f: f})
+	v.nextIdx++
+	v.gauge.Enqueue()
+	v.cond.Signal()
+}
+
+// dropOldestPLocked removes the oldest queued P-frame. Returns false when
+// the queue holds only I-frames (which are only superseded, never shed).
+func (v *Viewer) dropOldestPLocked() bool {
+	for i, qf := range v.queue {
+		if qf.f.ftype == codec.PFrame {
+			copy(v.queue[i:], v.queue[i+1:])
+			v.queue[len(v.queue)-1] = queuedFrame{}
+			v.queue = v.queue[:len(v.queue)-1]
+			v.gauge.Dequeue()
+			v.gauge.Drop()
+			v.framesDropped++
+			return true
+		}
+	}
+	return false
+}
+
+func (v *Viewer) queueCap() int {
+	if v.cfg.Queue > 0 {
+		return v.cfg.Queue
+	}
+	return v.sv.cfg.ViewerQueue
+}
+
+func (v *Viewer) mtu() int {
+	if v.cfg.MTU >= 64 {
+		return v.cfg.MTU
+	}
+	return v.sv.cfg.MTU
+}
+
+func (v *Viewer) retxCap() int {
+	if v.cfg.RetransmitBuffer > 0 {
+		return v.cfg.RetransmitBuffer
+	}
+	return v.sv.cfg.RetransmitBuffer
+}
+
+// sendLoop is the viewer's sender goroutine: it drains the queue in order,
+// packetizes each frame in the viewer's own sequence space, buffers the
+// packets for NACK retransmission, and emits them through PacketOut.
+func (v *Viewer) sendLoop() {
+	defer close(v.done)
+	for {
+		v.mu.Lock()
+		for len(v.queue) == 0 && !v.closed && !v.discard {
+			v.cond.Wait()
+		}
+		if v.discard || (v.closed && len(v.queue) == 0) || v.err != nil {
+			v.mu.Unlock()
+			return
+		}
+		qf := v.queue[0]
+		copy(v.queue, v.queue[1:])
+		v.queue[len(v.queue)-1] = queuedFrame{}
+		v.queue = v.queue[:len(v.queue)-1]
+		v.gauge.Dequeue()
+		firstSeq := v.pktSeq
+		v.mu.Unlock()
+
+		if err := v.sendFrame(qf, firstSeq); err != nil {
+			v.mu.Lock()
+			if v.err == nil {
+				v.err = err
+			}
+			v.mu.Unlock()
+			return
+		}
+	}
+}
+
+// sendFrame packetizes and emits one frame. Runs only on the sender loop.
+func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
+	pkts := PacketizeFrame(v.id, qf.idx, qf.f.ftype, firstSeq, qf.f.wire, v.mtu())
+	bytes := int64(0)
+	for _, p := range pkts {
+		if qf.f.cached {
+			p[3] |= FlagCached // outside the payload CRC, like FlagRetransmit
+		}
+		bytes += int64(len(p))
+	}
+	cost, err := v.cfg.Link.Transmit(bytes)
+	if err != nil {
+		return err
+	}
+	for i, p := range pkts {
+		v.bufferPacket(firstSeq+uint32(i), p)
+		if v.cfg.PacketOut != nil {
+			if err := v.cfg.PacketOut(v.sv.sess.ctx, p); err != nil {
+				return err
+			}
+		}
+	}
+	v.mu.Lock()
+	v.pktSeq = firstSeq + uint32(len(pkts))
+	v.framesSent++
+	v.packets += int64(len(pkts))
+	v.wireBytes += bytes
+	v.linkTime += cost.Latency
+	v.txJ += cost.TxEnergy
+	v.rxJ += cost.RxEnergy
+	if v.joinLatency == 0 {
+		v.joinLatency = time.Since(v.joinedAt)
+	}
+	v.mu.Unlock()
+	if v.cfg.Pace > 0 {
+		pause := time.Duration(float64(cost.Latency) * v.cfg.Pace)
+		select {
+		case <-time.After(pause):
+		case <-v.sv.sess.ctx.Done():
+		}
+	}
+	return nil
+}
+
+// bufferPacket retains one sent packet for NACK retransmission, evicting
+// the oldest once the buffer is full. A detached viewer (nil buffer)
+// retains nothing.
+func (v *Viewer) bufferPacket(seq uint32, pkt []byte) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.retx == nil {
+		return
+	}
+	if len(v.retxFIFO) >= v.retxCap() {
+		delete(v.retx, v.retxFIFO[0])
+		v.retxFIFO = v.retxFIFO[1:]
+	}
+	v.retx[seq] = pkt
+	v.retxFIFO = append(v.retxFIFO, seq)
+}
+
+// HandleControl processes one receiver→sender control message addressed to
+// this viewer. NACKs are answered from the viewer's own retransmit buffer
+// (duplicate sequence numbers within one message coalesce to a single
+// retransmit); a refresh request is forwarded to the server, which
+// coalesces concurrent requests into at most one GOP restart. Safe to call
+// concurrently with a live stream, including re-entrantly from within a
+// PacketOut delivery chain.
+func (v *Viewer) HandleControl(c Control) error {
+	switch c.Kind {
+	case ControlRefresh:
+		v.mu.Lock()
+		v.refreshes++
+		v.mu.Unlock()
+		v.sv.requestIFrame()
+	case ControlNACK:
+		v.mu.Lock()
+		v.nacksRecv++
+		v.mu.Unlock()
+		var seen map[uint32]struct{}
+		if len(c.Seqs) > 1 {
+			seen = make(map[uint32]struct{}, len(c.Seqs))
+		}
+		for _, seq := range c.Seqs {
+			if seen != nil {
+				if _, dup := seen[seq]; dup {
+					continue
+				}
+				seen[seq] = struct{}{}
+			}
+			v.mu.Lock()
+			buf, ok := v.retx[seq]
+			var cp []byte
+			if ok {
+				cp = append([]byte(nil), buf...)
+				cp[3] |= FlagRetransmit
+			}
+			if ok {
+				v.retransmits++
+			} else {
+				v.retxMisses++
+			}
+			v.mu.Unlock()
+			if !ok || v.cfg.PacketOut == nil {
+				continue
+			}
+			if err := v.cfg.PacketOut(v.sv.sess.ctx, cp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// shutdown stops the viewer: no further enqueues, the sender either drains
+// the queue (clean close) or abandons it (detach/cancel), and the
+// retransmit buffer is freed. Blocks until the sender goroutine exits;
+// counters remain readable through Metrics afterwards.
+func (v *Viewer) shutdown(discard bool) {
+	v.mu.Lock()
+	v.closed = true
+	if discard {
+		v.discard = true
+		for range v.queue {
+			v.gauge.Dequeue()
+		}
+		v.queue = nil
+	}
+	v.cond.Broadcast()
+	v.mu.Unlock()
+	<-v.done
+	v.mu.Lock()
+	v.retx = nil
+	v.retxFIFO = nil
+	v.mu.Unlock()
+}
