@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout clean
+.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout adapt clean
 
 all: build test
 
@@ -30,10 +30,11 @@ fmt-check:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/attr
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrameFrom -fuzztime=20s ./internal/codec
+	$(GO) test -run='^$$' -fuzz=FuzzParseFeedback -fuzztime=20s ./pcc/stream
 
 # Everything the CI gate runs (see .github/workflows/ci.yml), including the
 # fan-out serving smoke (8 viewers against the aggregate frames/s floor).
-ci: build vet fmt-check test race fuzz-smoke
+ci: build vet fmt-check test race fuzz-smoke adapt
 	$(GO) run ./cmd/pccbench -scale 0.05 all
 	$(GO) run ./cmd/pccbench -viewers 8 -frames 20 -floor 80 fanout
 
@@ -48,6 +49,11 @@ experiments:
 # Multi-viewer serving fan-out sweep, 1 -> 64 viewers (pccbench fanout).
 fanout:
 	$(GO) run ./cmd/pccbench fanout
+
+# Congestion-adaptation step response against the checked-in convergence
+# contract (GOP reacts within 24 frames, settled decoded ratio >= 0.70).
+adapt:
+	$(GO) run ./cmd/pccbench -scale 0.008 -frames 90 adapt
 
 # Paper-scale canonical run (~30-45 min); regenerates results_full_scale.txt.
 experiments-full:

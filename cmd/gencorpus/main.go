@@ -208,6 +208,9 @@ func packetCorpus() [][]byte {
 		stream.PacketizeFrame(2, 5, codec.PFrame, 90, nil, 1400)[0], // empty frame
 		stream.MarshalControl(stream.Control{Kind: stream.ControlNACK, StreamID: 1, Seqs: []uint32{3, 9, 1 << 20}}),
 		stream.MarshalControl(stream.Control{Kind: stream.ControlRefresh, StreamID: 1, FrameIndex: 12}),
+		stream.MarshalControl(stream.Control{Kind: stream.ControlFeedback, StreamID: 1, FrameIndex: 30,
+			Feedback: stream.Feedback{Report: 2, HighestFrame: 30, Received: 480, Lost: 21,
+				NACKs: 25, Decoded: 10, Concealed: 1, Skipped: 1}}),
 	}
 	entries = append(entries,
 		corrupt(pkts[0], stream.PacketHeaderSize+1, 0x01), // payload bit → CRC fail
@@ -215,6 +218,31 @@ func packetCorpus() [][]byte {
 		pkts[0][:stream.PacketHeaderSize-2],               // truncated header
 	)
 	return entries
+}
+
+// feedbackCorpus: receiver congestion-feedback payloads (the 32-byte
+// ControlFeedback body) — healthy reports, boundary values, and damaged
+// siblings on both sides of the size fence.
+func feedbackCorpus() [][]byte {
+	healthy := stream.AppendFeedback(nil, stream.Feedback{
+		Report: 3, HighestFrame: 17, Received: 900, Lost: 45,
+		NACKs: 51, Decoded: 14, Concealed: 2, Skipped: 1,
+	})
+	lossless := stream.AppendFeedback(nil, stream.Feedback{Report: 1, Received: 300, Decoded: 12})
+	saturated := stream.AppendFeedback(nil, stream.Feedback{
+		Report: 1 << 31, HighestFrame: ^uint32(0), Received: ^uint32(0), Lost: ^uint32(0),
+		NACKs: ^uint32(0), Decoded: ^uint32(0), Concealed: ^uint32(0), Skipped: ^uint32(0),
+	})
+	return [][]byte{
+		healthy,
+		lossless,
+		saturated,
+		stream.AppendFeedback(nil, stream.Feedback{}), // all-zero report
+		corrupt(healthy, 0, 0xFF),                     // report-number damage
+		corrupt(healthy, 12, 0x80),                    // loss-count damage
+		healthy[:stream.FeedbackSize/2],               // truncated
+		append(append([]byte(nil), healthy...), 0),    // one byte long
+	}
 }
 
 func main() {
@@ -227,6 +255,7 @@ func main() {
 		"internal/entropy/testdata/fuzz/FuzzRoundTrip":       roundTrip,
 		"internal/interframe/testdata/fuzz/FuzzDecodeP":      interframeCorpus(),
 		"pcc/stream/testdata/fuzz/FuzzParsePacket":           packetCorpus(),
+		"pcc/stream/testdata/fuzz/FuzzParseFeedback":         feedbackCorpus(),
 	} {
 		if err := writeCorpus(filepath.Join(*root, dir), entries); err != nil {
 			log.Fatal(err)

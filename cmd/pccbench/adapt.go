@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/linksim"
+	"repro/internal/trace"
+	"repro/pcc/stream"
+)
+
+// Checked-in convergence contract for the adapt experiment — CI's
+// adapt-smoke job fails the build when a change regresses either bound.
+const (
+	// adaptStepRate is the packet-drop step applied a third of the way in.
+	adaptStepRate = 0.15
+	// adaptConvergeBudget is how many frames after the step the controller
+	// has to shrink the GOP below its pre-step value.
+	adaptConvergeBudget = 24
+	// adaptDecodedFloor is the minimum decoded-frame ratio over the final
+	// third of the run, once the controller has settled.
+	adaptDecodedFloor = 0.70
+	// adaptSeed fixes the fault injector; the whole closed loop is
+	// deterministic, so the printed trajectory replays exactly.
+	adaptSeed = 42
+	// adaptFeedbackEvery is the receiver's report cadence in frames.
+	adaptFeedbackEvery = 4
+)
+
+// runAdapt drives the closed-loop congestion controller through a drop-rate
+// step: a clean link for the first third of the run, then adaptStepRate
+// packet loss for the rest. Frames go through the real lossy transport
+// (packet framing → seeded FaultyLink → receiver recovery) LOCKSTEP — one
+// frame's full encode→transmit→feedback cycle completes before the next
+// encode reads the knobs — so the printed step response is deterministic.
+// The run fails if the GOP does not shrink within adaptConvergeBudget
+// frames of the step or the settled decoded ratio drops below
+// adaptDecodedFloor.
+func runAdapt(cfg benchConfig) error {
+	spec := cfg.Videos[0]
+	nFrames := cfg.Frames
+	if nFrames < 36 {
+		nFrames = 36 // room for stretch, step, and a settled tail
+	}
+	frames, err := loadFrames(spec, cfg.Scale, nFrames)
+	if err != nil {
+		return err
+	}
+	nFrames = len(frames)
+	stepAt := nFrames / 3
+
+	opts := scaledOptions(codec.IntraInterV2, cfg.Scale)
+	opts.Adapt = codec.AdaptiveRate{Enabled: true}
+
+	fl := linksim.NewFaultyLink(linksim.WiFi, linksim.FaultProfile{Seed: adaptSeed})
+	statuses := make([]stream.FrameStatus, 0, nFrames)
+	pipe := stream.NewLossyPipe(fl, stream.ReceiverConfig{
+		Options:       opts,
+		FeedbackEvery: adaptFeedbackEvery,
+		OnFrame: func(f stream.DecodedFrame) {
+			statuses = append(statuses, f.Status)
+		},
+	})
+	s := stream.New(context.Background(), stream.Config{
+		Options:   opts,
+		PacketOut: pipe.PacketOut,
+	})
+	pipe.Attach(s)
+
+	tb := trace.NewTable(
+		fmt.Sprintf("Congestion adaptation — %s, %d frames, %.0f%% drop step at frame %d (seed %d)",
+			spec.Name, nFrames, adaptStepRate*100, stepAt, adaptSeed),
+		"frames", "drop", "gop", "qscale", "boost", "loss ewma", "ok", "conceal", "skip")
+
+	gops := make([]int, 0, nFrames)
+	results := s.Results()
+	winStart := 0
+	flushWindow := func(end int) {
+		snap := s.Controller().Snapshot()
+		rate := 0.0
+		if winStart >= stepAt {
+			rate = adaptStepRate
+		}
+		var ok, conceal, skip int
+		for _, st := range statuses[min(winStart, len(statuses)):min(end, len(statuses))] {
+			switch st {
+			case stream.FrameDecoded:
+				ok++
+			case stream.FrameConcealed:
+				conceal++
+			case stream.FrameSkipped:
+				skip++
+			}
+		}
+		tb.Row(fmt.Sprintf("%d-%d", winStart, end-1),
+			fmt.Sprintf("%.0f%%", rate*100),
+			snap.Knobs.GOP, snap.Knobs.QScale,
+			fmt.Sprintf("%.0fx", snap.Knobs.Threshold/opts.Inter.Threshold),
+			fmt.Sprintf("%.3f", snap.LossEWMA),
+			ok, conceal, skip)
+		winStart = end
+	}
+	for i, f := range frames {
+		if i == stepAt {
+			fl.SetDropRate(adaptStepRate)
+		}
+		if err := s.Submit(context.Background(), f); err != nil {
+			return err
+		}
+		if _, open := <-results; !open {
+			return fmt.Errorf("adapt: pipeline failed at frame %d: %v", i, s.Err())
+		}
+		gops = append(gops, s.Controller().Knobs().GOP)
+		if (i+1)%adaptFeedbackEvery == 0 {
+			flushWindow(i + 1)
+		}
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if err := pipe.Finish(nFrames); err != nil {
+		return err
+	}
+	if winStart < nFrames {
+		flushWindow(nFrames)
+	}
+	emit(tb)
+
+	snap := s.Controller().Snapshot()
+	fmt.Printf("controller: %d feedback reports, %d stale; gop %d->%d->%d, qscale x%d; "+
+		"shrinks %d, drops %d, boosts %d, congested enters %d\n",
+		s.Metrics().FeedbackReports, s.Metrics().FeedbackStale,
+		gops[0], gops[stepAt-1], gops[nFrames-1], snap.Knobs.QScale,
+		snap.Counters.GOPShrinks, snap.Counters.QualityDrops,
+		snap.Counters.ThresholdBoosts, snap.Counters.CongestedEnters)
+
+	// Convergence contract.
+	shrunkAt := -1
+	for i := stepAt; i < nFrames; i++ {
+		if gops[i] < gops[stepAt-1] {
+			shrunkAt = i
+			break
+		}
+	}
+	switch {
+	case shrunkAt < 0:
+		return fmt.Errorf("adapt: GOP never shrank after the %.0f%% drop step", adaptStepRate*100)
+	case shrunkAt-stepAt > adaptConvergeBudget:
+		return fmt.Errorf("adapt: GOP took %d frames to react, budget is %d",
+			shrunkAt-stepAt, adaptConvergeBudget)
+	}
+	tail := statuses[len(statuses)-nFrames/3:]
+	decoded := 0
+	for _, st := range tail {
+		if st == stream.FrameDecoded {
+			decoded++
+		}
+	}
+	ratio := float64(decoded) / float64(len(tail))
+	fmt.Printf("converged %d frames after the step; settled decoded ratio %.3f (floor %.2f)\n",
+		shrunkAt-stepAt, ratio, adaptDecodedFloor)
+	if ratio < adaptDecodedFloor {
+		return fmt.Errorf("adapt: settled decoded ratio %.3f below the %.2f floor",
+			ratio, adaptDecodedFloor)
+	}
+	return nil
+}

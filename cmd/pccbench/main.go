@@ -13,6 +13,8 @@
 //	pccbench decode            Sec. VI-C decode latency
 //	pccbench ablation          Sec. IV-B3 entropy / layers / segments
 //	pccbench pipeline          Sec. IV    concurrent streaming pipeline
+//	pccbench loss              lossy-transport recovery sweep
+//	pccbench adapt             closed-loop congestion adaptation step response
 //	pccbench bench             steady-state encode throughput (BENCH_3.json)
 //	pccbench fanout            multi-viewer serving fan-out (stream.Server)
 //	pccbench all               everything above (except bench, fanout)
@@ -55,7 +57,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss bench fanout all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench fanout all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -99,11 +101,12 @@ func main() {
 		"capture":   runCapture,
 		"pipeline":  runPipeline,
 		"loss":      runLoss,
+		"adapt":     runAdapt,
 		"bench":     runBench,
 		"fanout":    runFanout,
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline", "loss"} {
+		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline", "loss", "adapt"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "pccbench %s: %v\n", name, err)

@@ -12,7 +12,11 @@
 //   - viewer lossy streams through a seeded fault-injected link with 5%
 //     drop and reordering: lost packets are NACKed back through the
 //     server to this viewer's retransmit buffer, unrecoverable P-frames
-//     conceal, and a lost I-frame forces a (coalesced) GOP refresh;
+//     conceal, and a lost I-frame forces a (coalesced) GOP refresh; its
+//     receiver also emits periodic congestion-feedback reports that the
+//     server aggregates into the shared encoder's adaptive controller
+//     (Options.Adapt), which trades GOP length and quantization against
+//     the observed loss;
 //   - viewer late attaches mid-GOP and starts instantly from the server's
 //     cached keyframe — no re-encode, no wait for the next GOP.
 package main
@@ -51,6 +55,7 @@ func main() {
 	opts := pcc.DefaultOptions(pcc.IntraInterV1)
 	opts.IntraAttr.Segments = 2500
 	opts.Inter.Segments = 4000
+	opts.Adapt = pcc.AdaptiveRate{Enabled: true} // close the loop on viewer feedback
 
 	srv := stream.NewServer(context.Background(), stream.ServerConfig{
 		Options:     opts,
@@ -96,8 +101,9 @@ func main() {
 	// control loop routed back through the server.
 	faults := linksim.FaultProfile{DropRate: 0.05, ReorderRate: 0.03, Seed: 7}
 	pipe := stream.NewLossyPipe(linksim.NewFaultyLink(linksim.WiFi, faults), stream.ReceiverConfig{
-		Options: opts,
-		OnFrame: reportFrame("lossy", nil),
+		Options:       opts,
+		FeedbackEvery: 3, // report loss back to the server's controller each GOP
+		OnFrame:       reportFrame("lossy", nil),
 	})
 	pipe.AttachServer(srv)
 	lossy, err := srv.Attach(stream.ViewerConfig{Link: linksim.WiFi, PacketOut: pipe.PacketOut})
@@ -166,6 +172,11 @@ func main() {
 		st.Dropped+st.BurstDrops, st.Sent, st.Reordered, rs.NACKsSent, rs.RetransmitsReceived)
 	fmt.Printf("[viewer lossy] frames: %d decoded, %d concealed, %d skipped (decoded ratio %.3f)\n",
 		rs.FramesDecoded, rs.FramesConcealed, rs.FramesSkipped, rs.DecodedRatio())
+	snap := srv.Controller().Snapshot()
+	fmt.Printf("[adaptation  ] %d feedback reports aggregated (worst-percentile loss ewma %.3f); knobs: gop %d, qscale x%d, reuse x%.0f; %d knob moves\n",
+		snap.Counters.FeedbackReports, snap.LossEWMA,
+		snap.Knobs.GOP, snap.Knobs.QScale, snap.Knobs.Threshold/opts.Inter.Threshold,
+		snap.Counters.Transitions())
 }
 
 // writePacket frames one packet onto the TCP stream (length-prefixed).

@@ -72,6 +72,10 @@ type Options struct {
 	// Rate optionally closes the loop on the inter-frame threshold to hit
 	// a target compressed rate (extension of the Sec. VI-E knob).
 	Rate RateControl
+	// Adapt optionally attaches the closed-loop congestion controller
+	// (ratecontrol.go): receiver feedback and local pipeline state steer
+	// the reuse threshold, attribute quantization, and GOP length.
+	Adapt AdaptiveRate
 }
 
 // OptionsFor returns the paper's configuration for a design (Sec. VI-B).
@@ -134,6 +138,14 @@ type Encoder struct {
 	dev  *edgesim.Device
 	opts Options
 
+	// ctrl is the congestion controller (nil unless Options.Adapt.Enabled).
+	// Its knob state is copied into opts at each frame boundary by
+	// applyKnobs, on the goroutine that owns the attribute phase; the bases
+	// below anchor the quality knob so repeated scaling never drifts.
+	ctrl       *Controller
+	baseIntraQ int
+	baseInterQ int
+
 	frameIdx int
 	// refMu guards refSorted and forceI: the reference is written by the
 	// attribute phase of I-frames and read by the attribute phase of
@@ -183,6 +195,11 @@ func NewEncoder(dev *edgesim.Device, opts Options) *Encoder {
 		opts: opts.normalized(),
 	}
 	e.geomPool.New = func() any { return new(geomScratch) }
+	if e.opts.Adapt.Enabled {
+		e.baseIntraQ = e.opts.IntraAttr.QStep
+		e.baseInterQ = e.opts.Inter.QStep
+		e.ctrl = newController(e.opts)
+	}
 	return e
 }
 
@@ -260,6 +277,7 @@ func (e *Encoder) EncodeFrame(vc *geom.VoxelCloud) (*EncodedFrame, FrameStats, e
 	if vc.Len() == 0 {
 		return nil, FrameStats{}, ErrEmptyFrame
 	}
+	e.applyKnobs()
 	isP := e.opts.Design.UsesInter() && e.frameIdx%e.opts.GOP != 0 && e.hasRef()
 	if e.takeForceI() {
 		isP = false

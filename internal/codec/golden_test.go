@@ -104,3 +104,42 @@ func TestGoldenStreamsSplitPhase(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenStreamsControlLoopInert proves the adaptive control loop is
+// byte-inert when it has nothing to say: with the congestion controller
+// ATTACHED but never fed a signal, and with the rate loop disabled
+// (TargetBitsPerPoint == 0), the encoded stream must equal the golden
+// hashes bit for bit. Adaptation must be a pure overlay — attaching it
+// cannot perturb the wire format.
+func TestGoldenStreamsControlLoopInert(t *testing.T) {
+	frames := goldenFrames(t)
+	for _, d := range Designs() {
+		t.Run(d.String(), func(t *testing.T) {
+			opts := OptionsFor(d)
+			opts.IntraAttr.Segments = 1500
+			opts.Inter.Segments = 2500
+			opts.Adapt = AdaptiveRate{Enabled: true} // attached, silent
+			enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+			if enc.Controller() == nil {
+				t.Fatal("controller not attached")
+			}
+			h := sha256.New()
+			for _, f := range frames {
+				ef, _, err := enc.EncodeFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ef.WriteTo(h); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := hex.EncodeToString(h.Sum(nil))
+			if want := goldenStreamHashes[d]; got != want {
+				t.Errorf("silent controller changed the stream:\n got  %s\n want %s", got, want)
+			}
+			if n := enc.Controller().Snapshot().Counters.Transitions(); n != 0 {
+				t.Errorf("%d controller transitions without any signal", n)
+			}
+		})
+	}
+}

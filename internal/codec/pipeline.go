@@ -75,6 +75,7 @@ func (e *Encoder) EncodeGeometryOn(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 // lock. Frames MUST be finished in their submission order (P-frames
 // predict from the preceding I); only one FinishFrame may run at a time.
 func (e *Encoder) FinishFrame(g *GeometryIntermediate) (*EncodedFrame, FrameStats, error) {
+	e.applyKnobs()
 	isP := e.opts.Design.UsesInter() && e.frameIdx%e.opts.GOP != 0 && e.hasRef()
 	if e.takeForceI() {
 		isP = false

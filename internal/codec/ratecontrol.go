@@ -2,13 +2,37 @@ package codec
 
 // Rate control. The paper leaves the direct-reuse threshold as a manually
 // tuned knob ("can be adjusted based on the application preference",
-// Sec. III-B/VI-E). This file closes the loop: given a target compressed
-// rate in bits per point, the encoder nudges the inter-frame threshold
-// after every P-frame so the stream converges onto the target — turning
-// Fig. 10b's static trade-off curve into an online controller, the way a
-// streaming deployment would actually run it.
+// Sec. III-B/VI-E) and evaluates fixed operating points on Fig. 10b's
+// static trade-off curve. This file closes the loop twice over:
+//
+//   - RateControl (PR 1 of this subsystem) steers the inter-frame reuse
+//     threshold after every P-frame so the stream converges onto a target
+//     compressed rate — a per-frame proportional loop on ONE knob.
+//
+//   - Controller (this PR) is the closed-loop congestion controller: it
+//     fuses receiver feedback reports (observed packet loss, NACK and
+//     concealment counts) with local pipeline state (transmit-queue fill,
+//     backpressure sheds, modelled link utilization) into a hysteresis
+//     state machine that actuates THREE knobs — the reuse threshold, the
+//     attribute quantization step, and the GOP length. Sustained loss
+//     shrinks the GOP (more I-frames → faster resync after a lost
+//     reference); clean links stretch it back to amortize I-frame cost;
+//     congestion without loss degrades quality (bigger quantization step,
+//     higher reuse threshold) instead of shedding frames.
+//
+// Every controller decision is pure integer/float math on explicit state —
+// no clocks, no randomness — so a seeded virtual-time harness
+// (pcc/stream.LossyPipe) replays an entire adaptation trajectory
+// byte-for-byte.
 
-// RateControl configures the optional controller.
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RateControl configures the optional per-frame threshold controller.
 type RateControl struct {
 	// TargetBitsPerPoint is the desired compressed rate for P-frames
 	// (0 disables rate control).
@@ -62,7 +86,10 @@ func (rc RateControl) update(threshold, achievedBPP float64) float64 {
 	return threshold
 }
 
-// applyRateControl is called by EncodeFrame after each P-frame.
+// applyRateControl is called after each encoded frame: the per-frame rate
+// loop nudges the threshold on P-frames, and the congestion controller's
+// knob state is refreshed for the NEXT frame (applyKnobs). Frames without
+// points, and non-P frames, never move the rate loop.
 func (e *Encoder) applyRateControl(st FrameStats) {
 	rc := e.opts.Rate
 	if !rc.Enabled() || st.Type != PFrame || st.Points == 0 {
@@ -75,3 +102,354 @@ func (e *Encoder) applyRateControl(st FrameStats) {
 // Threshold returns the encoder's current direct-reuse threshold (moves
 // over time under rate control).
 func (e *Encoder) Threshold() float64 { return e.opts.Inter.Threshold }
+
+// AdaptiveRate configures the closed-loop congestion controller. The zero
+// value is disabled; setting Enabled with every other field zero uses the
+// documented defaults.
+type AdaptiveRate struct {
+	// Enabled turns the controller on. Off, the encoder's knobs never move
+	// (beyond the independent RateControl loop) and the wire output is
+	// byte-identical to a controller-free encoder.
+	Enabled bool
+	// HighLoss is the observed-loss EWMA above which the link counts as
+	// lossy: the GOP shrinks and quality degrades (default 0.04).
+	HighLoss float64
+	// LowLoss is the loss EWMA below which the link counts as clean
+	// (default 0.01). Between the two the controller holds its knobs —
+	// the hysteresis band that stops actuation flapping.
+	LowLoss float64
+	// MinGOP / MaxGOP clamp the GOP-length knob (defaults 1 and
+	// 4x the configured GOP). MinGOP 1 degrades to all-I streaming.
+	MinGOP, MaxGOP int
+	// MaxQScale clamps the quality knob: the attribute quantization steps
+	// scale by up to this factor, doubling per degrade step (default 8).
+	MaxQScale int
+	// MaxBoost clamps the congestion boost on the reuse threshold
+	// (default 8x the configured threshold). Ignored while the RateControl
+	// loop is enabled — that loop owns the threshold.
+	MaxBoost float64
+	// CleanHold is how many consecutive clean observations ease the knobs
+	// one notch (default 2).
+	CleanHold int
+	// LossGain is the EWMA weight of a new feedback report's loss rate
+	// (default 0.5); local signals blend at half this gain.
+	LossGain float64
+	// HighUtil is the local link-utilization EWMA (modelled transmit time
+	// per frame over FrameBudget) above which the sender counts as
+	// congested even without receiver loss (default 1.0).
+	HighUtil float64
+	// FrameBudget is the real-time budget per frame used to normalize link
+	// utilization (default 33ms ≈ 30 fps).
+	FrameBudget time.Duration
+	// LocalPeriod is how many local (per-frame) observations elapse
+	// between controller steps driven by local state alone, so a session
+	// without receiver feedback still adapts at report-like cadence
+	// (default 8 frames).
+	LocalPeriod int
+}
+
+func (a AdaptiveRate) normalized(baseGOP int) AdaptiveRate {
+	if a.HighLoss <= 0 {
+		a.HighLoss = 0.04
+	}
+	if a.LowLoss <= 0 || a.LowLoss >= a.HighLoss {
+		a.LowLoss = a.HighLoss / 4
+	}
+	if a.MinGOP < 1 {
+		a.MinGOP = 1
+	}
+	if a.MaxGOP < baseGOP {
+		a.MaxGOP = 4 * baseGOP
+	}
+	if a.MaxGOP < a.MinGOP {
+		a.MaxGOP = a.MinGOP
+	}
+	if a.MaxQScale < 1 {
+		a.MaxQScale = 8
+	}
+	if a.MaxBoost < 1 {
+		a.MaxBoost = 8
+	}
+	if a.CleanHold < 1 {
+		a.CleanHold = 2
+	}
+	if a.LossGain <= 0 || a.LossGain > 1 {
+		a.LossGain = 0.5
+	}
+	if a.HighUtil <= 0 {
+		a.HighUtil = 1.0
+	}
+	if a.FrameBudget <= 0 {
+		a.FrameBudget = 33 * time.Millisecond
+	}
+	if a.LocalPeriod < 1 {
+		a.LocalPeriod = 8
+	}
+	return a
+}
+
+// Signal is one receiver feedback observation: the report window's loss
+// rate plus the recovery work it cost.
+type Signal struct {
+	// LossRate is packets lost / (received + lost) over the report window.
+	LossRate float64
+	// NACKs, Concealed and Skipped count the window's recovery events;
+	// they are recorded for metrics but do not steer the knobs (loss rate
+	// already subsumes them).
+	NACKs, Concealed, Skipped int
+}
+
+// LocalSignal is one sender-side per-frame observation from the transmit
+// stage.
+type LocalSignal struct {
+	// QueueFill is transmit-queue depth over capacity at observe time.
+	QueueFill float64
+	// Shed reports that this frame was sacrificed by the backpressure
+	// policy before transmission.
+	Shed bool
+	// Utilization is the frame's modelled link time over FrameBudget
+	// (>1 = the link alone cannot sustain the frame rate).
+	Utilization float64
+}
+
+// Knobs is the controller's actuator state, applied by the encoder at the
+// next frame boundary.
+type Knobs struct {
+	// Threshold is the effective inter-frame reuse threshold (base x
+	// congestion boost). Ignored while RateControl owns the knob.
+	Threshold float64
+	// QScale multiplies the configured attribute quantization steps
+	// (1 = configured quality).
+	QScale int
+	// GOP is the effective group-of-pictures length.
+	GOP int
+}
+
+// ControllerSnapshot is a point-in-time copy of the controller state.
+type ControllerSnapshot struct {
+	Knobs     Knobs
+	LossEWMA  float64
+	UtilEWMA  float64
+	QueueEWMA float64
+	ShedEWMA  float64
+	Congested bool
+	Counters  metrics.AdaptSnapshot
+}
+
+// Controller is the closed-loop congestion controller. Create through
+// Options.Adapt (NewEncoder attaches one); observe signals from any
+// goroutine — the encoder consumes the knob state at frame boundaries.
+type Controller struct {
+	cfg AdaptiveRate
+	// rateActive: the RateControl loop owns the threshold; the congestion
+	// boost then stays inert.
+	rateActive    bool
+	baseThreshold float64
+
+	mu          sync.Mutex
+	loss        float64 // receiver-observed loss EWMA
+	util        float64 // local link-utilization EWMA
+	queue       float64 // transmit-queue fill EWMA
+	shed        float64 // backpressure-shed EWMA
+	boost       float64 // current threshold congestion boost (>= 1)
+	cleanStreak int
+	congested   bool
+	localCount  int
+	k           Knobs
+
+	counters metrics.ControllerCounters
+}
+
+// newController builds the controller for normalized options.
+func newController(o Options) *Controller {
+	cfg := o.Adapt.normalized(o.GOP)
+	return &Controller{
+		cfg:           cfg,
+		rateActive:    o.Rate.Enabled(),
+		baseThreshold: o.Inter.Threshold,
+		boost:         1,
+		k: Knobs{
+			Threshold: o.Inter.Threshold,
+			QScale:    1,
+			GOP:       o.GOP,
+		},
+	}
+}
+
+// Config returns the normalized controller configuration.
+func (c *Controller) Config() AdaptiveRate { return c.cfg }
+
+// Knobs returns the current actuator state.
+func (c *Controller) Knobs() Knobs {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.k
+}
+
+// Snapshot copies the controller state and its transition counters.
+func (c *Controller) Snapshot() ControllerSnapshot {
+	c.mu.Lock()
+	s := ControllerSnapshot{
+		Knobs:     c.k,
+		LossEWMA:  c.loss,
+		UtilEWMA:  c.util,
+		QueueEWMA: c.queue,
+		ShedEWMA:  c.shed,
+		Congested: c.congested,
+	}
+	c.mu.Unlock()
+	s.Counters = c.counters.Snapshot()
+	return s
+}
+
+func mix(old, sample, gain float64) float64 {
+	return old*(1-gain) + sample*gain
+}
+
+// ObserveFeedback folds one receiver feedback report into the loss EWMA
+// and runs a controller step.
+func (c *Controller) ObserveFeedback(sig Signal) {
+	c.counters.FeedbackReport()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sig.LossRate < 0 {
+		sig.LossRate = 0
+	}
+	if sig.LossRate > 1 {
+		sig.LossRate = 1
+	}
+	c.loss = mix(c.loss, sig.LossRate, c.cfg.LossGain)
+	c.step(true)
+}
+
+// ObserveLocal folds one per-frame transmit-stage observation into the
+// local EWMAs. Steps driven by local state alone run every LocalPeriod
+// frames, so a feedback-free session still adapts — at report cadence, not
+// per frame.
+func (c *Controller) ObserveLocal(sig LocalSignal) {
+	c.counters.LocalSignal()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.cfg.LossGain / 2
+	c.util = mix(c.util, sig.Utilization, g)
+	c.queue = mix(c.queue, sig.QueueFill, g)
+	shed := 0.0
+	if sig.Shed {
+		shed = 1
+	}
+	c.shed = mix(c.shed, shed, g)
+	c.localCount++
+	if c.localCount%c.cfg.LocalPeriod == 0 {
+		c.step(false)
+	}
+}
+
+// step is the controller decision: classify the fused state as lossy,
+// locally congested, clean, or in the hysteresis band, and actuate. Runs
+// under c.mu.
+func (c *Controller) step(fromFeedback bool) {
+	lossHigh := c.loss >= c.cfg.HighLoss
+	localHigh := c.util >= c.cfg.HighUtil || c.queue >= 0.9 || c.shed >= 0.25
+	clean := c.loss <= c.cfg.LowLoss && c.util < c.cfg.HighUtil && c.queue < 0.5 && c.shed < 0.05
+
+	switch {
+	case lossHigh || localHigh:
+		c.cleanStreak = 0
+		if !c.congested {
+			c.congested = true
+			c.counters.CongestedEnter()
+		}
+		c.degrade(lossHigh)
+	case clean:
+		if c.congested {
+			c.congested = false
+			c.counters.CongestedExit()
+		}
+		c.cleanStreak++
+		if c.cleanStreak >= c.cfg.CleanHold {
+			c.cleanStreak = 0
+			c.ease()
+		}
+	default:
+		// Hysteresis band: hold every knob, restart the clean streak. No
+		// hidden integrator accumulates here (anti-windup): the next clean
+		// or congested classification acts from the clamped knobs alone.
+		c.cleanStreak = 0
+		if c.congested {
+			c.congested = false
+			c.counters.CongestedExit()
+		}
+	}
+}
+
+// degrade steps the knobs one notch toward survival: quality halves
+// (quantization doubles), loss-driven congestion halves the GOP for faster
+// resync, and — when the rate loop is off — the reuse threshold boost
+// doubles. Every knob saturates at its clamp with no windup.
+func (c *Controller) degrade(lossDriven bool) {
+	if q := c.k.QScale * 2; q <= c.cfg.MaxQScale {
+		c.k.QScale = q
+		c.counters.QualityDrop()
+	}
+	if lossDriven && c.k.GOP > c.cfg.MinGOP {
+		g := c.k.GOP / 2
+		if g < c.cfg.MinGOP {
+			g = c.cfg.MinGOP
+		}
+		c.k.GOP = g
+		c.counters.GOPShrink()
+	}
+	if !c.rateActive {
+		if b := c.boost * 2; b <= c.cfg.MaxBoost {
+			c.boost = b
+			c.k.Threshold = c.baseThreshold * c.boost
+			c.counters.ThresholdBoost()
+		}
+	}
+}
+
+// ease relaxes the knobs one notch after a sustained clean window: quality
+// recovers a halving, the GOP stretches by one frame (clean links amortize
+// I-frames further — above the configured base, up to MaxGOP), and the
+// threshold boost halves back toward 1.
+func (c *Controller) ease() {
+	if c.k.QScale > 1 {
+		c.k.QScale /= 2
+		c.counters.QualityRaise()
+	}
+	if c.k.GOP < c.cfg.MaxGOP {
+		c.k.GOP++
+		c.counters.GOPGrow()
+	}
+	if !c.rateActive && c.boost > 1 {
+		c.boost /= 2
+		if c.boost < 1 {
+			c.boost = 1
+		}
+		c.k.Threshold = c.baseThreshold * c.boost
+		c.counters.ThresholdEase()
+	}
+}
+
+// applyKnobs copies the controller's actuator state into the encoder's
+// options at a frame boundary. It runs on the goroutine that owns the
+// attribute phase (EncodeFrame, or the pipeline's in-order FinishFrame), so
+// every field it writes is read only by that same goroutine afterwards.
+// With no observed congestion the knobs equal the configured options and
+// the encoded bytes are untouched.
+func (e *Encoder) applyKnobs() {
+	if e.ctrl == nil {
+		return
+	}
+	k := e.ctrl.Knobs()
+	e.opts.GOP = k.GOP
+	e.opts.IntraAttr.QStep = e.baseIntraQ * k.QScale
+	e.opts.Inter.QStep = e.baseInterQ * k.QScale
+	if !e.opts.Rate.Enabled() {
+		e.opts.Inter.Threshold = k.Threshold
+	}
+}
+
+// Controller returns the encoder's congestion controller, nil when
+// Options.Adapt is disabled.
+func (e *Encoder) Controller() *Controller { return e.ctrl }

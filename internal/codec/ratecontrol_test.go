@@ -94,3 +94,229 @@ func TestRateControlConvergesOnStream(t *testing.T) {
 		t.Fatalf("achieved %.1f bpp, target %.1f (threshold %.1f)", lastBPP, target, enc.Threshold())
 	}
 }
+
+// adaptOpts builds normalized options with the congestion controller on.
+func adaptOpts(mut func(*Options)) Options {
+	o := OptionsFor(IntraInterV2)
+	o.Adapt = AdaptiveRate{Enabled: true}
+	if mut != nil {
+		mut(&o)
+	}
+	return o.normalized()
+}
+
+// feedLoss pushes n feedback reports with a fixed loss rate.
+func feedLoss(c *Controller, rate float64, n int) {
+	for i := 0; i < n; i++ {
+		c.ObserveFeedback(Signal{LossRate: rate})
+	}
+}
+
+func TestAdaptiveRateDefaults(t *testing.T) {
+	a := AdaptiveRate{Enabled: true}.normalized(3)
+	if a.HighLoss <= a.LowLoss || a.LowLoss <= 0 {
+		t.Fatalf("loss band inverted: low %v high %v", a.LowLoss, a.HighLoss)
+	}
+	if a.MinGOP != 1 || a.MaxGOP != 12 {
+		t.Fatalf("GOP clamps = [%d, %d], want [1, 12]", a.MinGOP, a.MaxGOP)
+	}
+	if a.MaxQScale != 8 || a.MaxBoost != 8 || a.CleanHold != 2 {
+		t.Fatalf("defaults: MaxQScale %d MaxBoost %v CleanHold %d", a.MaxQScale, a.MaxBoost, a.CleanHold)
+	}
+	if a.LocalPeriod != 8 || a.FrameBudget <= 0 {
+		t.Fatalf("defaults: LocalPeriod %d FrameBudget %v", a.LocalPeriod, a.FrameBudget)
+	}
+}
+
+func TestControllerInertWithoutSignals(t *testing.T) {
+	o := adaptOpts(nil)
+	c := newController(o)
+	k := c.Knobs()
+	if k.GOP != o.GOP || k.QScale != 1 || k.Threshold != o.Inter.Threshold {
+		t.Fatalf("fresh knobs %+v differ from options (GOP %d, threshold %v)", k, o.GOP, o.Inter.Threshold)
+	}
+	if n := c.Snapshot().Counters.Transitions(); n != 0 {
+		t.Fatalf("%d transitions before any signal", n)
+	}
+}
+
+// TestControllerStepResponse drives the fused state machine through the
+// directions the ISSUE pins down: rising loss degrades every knob the
+// right way, a clean hold eases them back, and the hysteresis band between
+// the two holds everything still.
+func TestControllerStepResponse(t *testing.T) {
+	t.Run("rising loss shrinks GOP and quality", func(t *testing.T) {
+		c := newController(adaptOpts(nil))
+		c.ObserveFeedback(Signal{LossRate: 0.5}) // EWMA 0.25 >= HighLoss
+		k := c.Knobs()
+		if k.GOP >= 3 {
+			t.Fatalf("GOP %d did not shrink under loss", k.GOP)
+		}
+		if k.QScale <= 1 {
+			t.Fatalf("QScale %d did not degrade under loss", k.QScale)
+		}
+		if k.Threshold <= c.baseThreshold {
+			t.Fatalf("threshold %v did not boost under loss", k.Threshold)
+		}
+		s := c.Snapshot()
+		if s.Counters.GOPShrinks == 0 || s.Counters.QualityDrops == 0 || s.Counters.ThresholdBoosts == 0 {
+			t.Fatalf("missing actuation counters: %+v", s.Counters)
+		}
+		if s.Counters.CongestedEnters != 1 || !s.Congested {
+			t.Fatalf("congested transition not recorded: %+v", s)
+		}
+	})
+
+	t.Run("falling loss eases after CleanHold", func(t *testing.T) {
+		c := newController(adaptOpts(nil))
+		feedLoss(c, 0.5, 2) // deep congestion: GOP -> 1, QScale -> 4
+		degraded := c.Knobs()
+		feedLoss(c, 0, 10) // loss EWMA decays below LowLoss, then holds clean
+		eased := c.Knobs()
+		if eased.QScale >= degraded.QScale {
+			t.Fatalf("QScale %d did not ease from %d", eased.QScale, degraded.QScale)
+		}
+		if eased.GOP <= degraded.GOP {
+			t.Fatalf("GOP %d did not grow from %d", eased.GOP, degraded.GOP)
+		}
+		if eased.Threshold >= degraded.Threshold {
+			t.Fatalf("threshold %v did not ease from %v", eased.Threshold, degraded.Threshold)
+		}
+		s := c.Snapshot().Counters
+		if s.QualityRaises == 0 || s.GOPGrows == 0 || s.ThresholdEases == 0 {
+			t.Fatalf("missing ease counters: %+v", s)
+		}
+	})
+
+	t.Run("hysteresis band holds the knobs", func(t *testing.T) {
+		c := newController(adaptOpts(nil))
+		c.ObserveFeedback(Signal{LossRate: 0.5})
+		feedLoss(c, 0, 3) // decay the loss EWMA down into the band
+		s := c.Snapshot()
+		if s.LossEWMA <= c.cfg.LowLoss || s.LossEWMA >= c.cfg.HighLoss {
+			t.Fatalf("EWMA %v not inside the band (%v, %v)", s.LossEWMA, c.cfg.LowLoss, c.cfg.HighLoss)
+		}
+		k0 := c.Knobs()
+		// Feeding the EWMA's own value is its fixed point: the state stays
+		// in the band however many reports arrive, and no knob may move.
+		feedLoss(c, s.LossEWMA, 6)
+		if k := c.Knobs(); k != k0 {
+			t.Fatalf("knobs moved inside the hysteresis band: %+v -> %+v", k0, k)
+		}
+	})
+
+	t.Run("local congestion degrades quality but not GOP", func(t *testing.T) {
+		c := newController(adaptOpts(nil))
+		// Saturated link, full queue: every LocalPeriod-th observation steps.
+		for i := 0; i < c.cfg.LocalPeriod; i++ {
+			c.ObserveLocal(LocalSignal{QueueFill: 1, Shed: true, Utilization: 3})
+		}
+		k := c.Knobs()
+		if k.QScale <= 1 {
+			t.Fatalf("QScale %d did not degrade under local congestion", k.QScale)
+		}
+		if k.GOP != 3 {
+			t.Fatalf("GOP %d moved without receiver loss", k.GOP)
+		}
+		s := c.Snapshot()
+		if s.Counters.LocalSignals != int64(c.cfg.LocalPeriod) {
+			t.Fatalf("local signals %d, want %d", s.Counters.LocalSignals, c.cfg.LocalPeriod)
+		}
+	})
+}
+
+// TestControllerClampsAndAntiWindup drives the controller far past every
+// clamp and checks (a) no knob escapes its bounds and (b) recovery begins
+// on the very first ease — saturation accumulated no hidden integrator.
+func TestControllerClampsAndAntiWindup(t *testing.T) {
+	c := newController(adaptOpts(nil))
+	feedLoss(c, 1, 50) // way past saturation
+	k := c.Knobs()
+	if k.GOP != c.cfg.MinGOP {
+		t.Fatalf("GOP %d, want clamp %d", k.GOP, c.cfg.MinGOP)
+	}
+	if k.QScale != c.cfg.MaxQScale {
+		t.Fatalf("QScale %d, want clamp %d", k.QScale, c.cfg.MaxQScale)
+	}
+	if max := c.baseThreshold * c.cfg.MaxBoost; k.Threshold != max {
+		t.Fatalf("threshold %v, want clamp %v", k.Threshold, max)
+	}
+	s := c.Snapshot().Counters
+	// Saturated steps must not keep counting actuations.
+	if s.QualityDrops > 3 || s.GOPShrinks > 2 || s.ThresholdBoosts > 3 {
+		t.Fatalf("actuations counted past the clamps: %+v", s)
+	}
+
+	// Anti-windup: the FIRST clean hold must ease — 50 saturated reports
+	// must not have buried the recovery under accumulated error.
+	feedLoss(c, 0, 20)
+	e := c.Knobs()
+	if e.QScale == c.cfg.MaxQScale && e.GOP == c.cfg.MinGOP {
+		t.Fatalf("knobs still pinned after clean holds: %+v", e)
+	}
+	// And a long clean run must restore (and clamp at) the configured ends.
+	feedLoss(c, 0, 200)
+	r := c.Knobs()
+	if r.QScale != 1 || r.Threshold != c.baseThreshold {
+		t.Fatalf("quality/threshold did not recover: %+v", r)
+	}
+	if r.GOP != c.cfg.MaxGOP {
+		t.Fatalf("GOP %d did not stretch to MaxGOP %d on a clean link", r.GOP, c.cfg.MaxGOP)
+	}
+}
+
+// TestControllerRateLoopOwnsThreshold: with RateControl enabled the
+// congestion controller must keep its hands off the threshold knob.
+func TestControllerRateLoopOwnsThreshold(t *testing.T) {
+	c := newController(adaptOpts(func(o *Options) {
+		o.Rate = RateControl{TargetBitsPerPoint: 20}
+	}))
+	feedLoss(c, 1, 10)
+	if got := c.Knobs().Threshold; got != c.baseThreshold {
+		t.Fatalf("controller moved the threshold (%v) while the rate loop owns it", got)
+	}
+	if n := c.Snapshot().Counters.ThresholdBoosts; n != 0 {
+		t.Fatalf("%d threshold boosts recorded while rate loop active", n)
+	}
+}
+
+// TestRateControlNoOpFrames: the per-frame rate loop must ignore I-frames
+// and degenerate Points==0 stats entirely.
+func TestRateControlNoOpFrames(t *testing.T) {
+	o := OptionsFor(IntraInterV2)
+	o.Rate = RateControl{TargetBitsPerPoint: 1} // tiny target: any P would move it
+	e := NewEncoder(dev(), o)
+	before := e.Threshold()
+	e.applyRateControl(FrameStats{Type: IFrame, Points: 1000, SizeBytes: 1 << 20})
+	if e.Threshold() != before {
+		t.Fatal("I-frame moved the rate loop")
+	}
+	e.applyRateControl(FrameStats{Type: PFrame, Points: 0, SizeBytes: 1 << 20})
+	if e.Threshold() != before {
+		t.Fatal("Points==0 frame moved the rate loop")
+	}
+	e.applyRateControl(FrameStats{Type: PFrame, Points: 1000, SizeBytes: 1 << 20})
+	if e.Threshold() == before {
+		t.Fatal("control P-frame did not move the rate loop (test harness broken)")
+	}
+}
+
+// TestControllerIFrameOnlyStream: an all-intra design with the controller
+// on still adapts quality, but the GOP knob is irrelevant and the encoder
+// must keep producing I-frames only.
+func TestControllerIFrameOnlyStream(t *testing.T) {
+	fs := frames(t, 2)
+	o := scaledOpts(IntraOnly, fs[0].Len())
+	o.Adapt = AdaptiveRate{Enabled: true}
+	enc := NewEncoder(dev(), o)
+	enc.Controller().ObserveFeedback(Signal{LossRate: 0.5})
+	for i := 0; i < 4; i++ {
+		_, st, err := enc.EncodeFrame(fs[i%2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Type != IFrame {
+			t.Fatalf("frame %d: type %v in an intra-only stream", i, st.Type)
+		}
+	}
+}

@@ -83,7 +83,22 @@ func (f *FaultyLink) nextBurstGap() int {
 func (f *FaultyLink) Link() Link { return f.link }
 
 // Profile returns the fault profile in effect.
-func (f *FaultyLink) Profile() FaultProfile { return f.prof }
+func (f *FaultyLink) Profile() FaultProfile {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.prof
+}
+
+// SetDropRate changes the independent per-packet loss probability mid-run —
+// the step input for congestion-adaptation experiments. The PRNG stream is
+// untouched (every packet draws the same three floats regardless of the
+// rate), so a run with a scheduled rate step is exactly as reproducible as
+// a fixed-rate run.
+func (f *FaultyLink) SetDropRate(r float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prof.DropRate = r
+}
 
 // Stats snapshots the injector's counters.
 func (f *FaultyLink) Stats() FaultStats {

@@ -15,6 +15,7 @@ type RecoveryCounters struct {
 	packetsReceived  atomic.Int64
 	packetsCorrupt   atomic.Int64
 	packetsDuplicate atomic.Int64
+	packetsLost      atomic.Int64
 	retransmitsRecv  atomic.Int64
 	cachedRecv       atomic.Int64
 	// Recovery protocol.
@@ -35,6 +36,12 @@ func (c *RecoveryCounters) PacketCorrupt()      { c.packetsCorrupt.Add(1) }
 func (c *RecoveryCounters) PacketDuplicate()    { c.packetsDuplicate.Add(1) }
 func (c *RecoveryCounters) RetransmitReceived() { c.retransmitsRecv.Add(1) }
 
+// PacketLost records a sequence number observed lost on its first
+// transmission: the NACK timeout expired without it arriving (reordered
+// packets that heal before the timeout are not counted). This is the
+// receiver-side loss signal the congestion feedback reports carry.
+func (c *RecoveryCounters) PacketLost() { c.packetsLost.Add(1) }
+
 // CachedReceived records a packet replayed from a sender-side keyframe
 // cache (a late join served from the last encoded I-frame).
 func (c *RecoveryCounters) CachedReceived() { c.cachedRecv.Add(1) }
@@ -53,6 +60,7 @@ type RecoverySnapshot struct {
 	PacketsReceived     int64
 	PacketsCorrupt      int64
 	PacketsDuplicate    int64
+	PacketsLost         int64
 	RetransmitsReceived int64
 	CachedReceived      int64
 	NACKsSent           int64
@@ -84,6 +92,7 @@ func (c *RecoveryCounters) Snapshot() RecoverySnapshot {
 		PacketsReceived:     c.packetsReceived.Load(),
 		PacketsCorrupt:      c.packetsCorrupt.Load(),
 		PacketsDuplicate:    c.packetsDuplicate.Load(),
+		PacketsLost:         c.packetsLost.Load(),
 		RetransmitsReceived: c.retransmitsRecv.Load(),
 		CachedReceived:      c.cachedRecv.Load(),
 		NACKsSent:           c.nacksSent.Load(),

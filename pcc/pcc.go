@@ -78,6 +78,13 @@ func DefaultOptions(d Design) Options { return codec.OptionsFor(d) }
 // paper's Sec. VI-E tuning knob. Set it on Options.Rate.
 type RateControl = codec.RateControl
 
+// AdaptiveRate enables the closed-loop congestion controller: receiver
+// feedback (stream.ReceiverConfig.FeedbackEvery) and local pipeline
+// pressure steer the GOP length, attribute quantization, and reuse
+// threshold. Set it on Options.Adapt; the zero Enabled field leaves the
+// codec byte-for-byte identical to a non-adaptive one.
+type AdaptiveRate = codec.AdaptiveRate
+
 // EncodedFrame is one compressed frame.
 type EncodedFrame = codec.EncodedFrame
 

@@ -1,0 +1,514 @@
+package stream
+
+// Closed-loop congestion adaptation tests. The deterministic harness runs
+// the sender LOCKSTEP — submit one frame, wait for its Result — so each
+// frame's full cycle (encode → transmit → faulty link → receiver ingest →
+// feedback report → HandleControl → controller step) completes before the
+// next frame's encode reads the knobs. Combined with the virtual-clock
+// LossyPipe and the seeded FaultyLink, an entire adaptation trajectory —
+// fault pattern, feedback cadence, knob moves, decoded bytes — replays
+// identically from the seed alone.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/geom"
+	"repro/internal/linksim"
+	"repro/internal/metrics"
+)
+
+// adaptOptions is testOptions plus the congestion controller.
+func adaptOptions(d codec.Design) codec.Options {
+	o := testOptions(d)
+	o.Adapt = codec.AdaptiveRate{Enabled: true}
+	return o
+}
+
+// adaptRun captures one lockstep adaptive session end to end.
+type adaptRun struct {
+	gops     []int // GOP knob after each frame's cycle
+	qscales  []int // quality knob after each frame's cycle
+	statuses []FrameStatus
+	wireHash string // sha256 of the sender's clean .pcv output
+	sender   Metrics
+	recovery metrics.RecoverySnapshot
+	faults   linksim.FaultStats
+}
+
+// runAdaptive streams frames lockstep through a seeded FaultyLink with the
+// controller closed over receiver feedback, stepping the drop rate from
+// pre to post before frame stepAt.
+func runAdaptive(t testing.TB, frames []*geom.VoxelCloud, seed int64, stepAt int, pre, post float64) adaptRun {
+	t.Helper()
+	opts := adaptOptions(codec.IntraInterV2)
+	fl := linksim.NewFaultyLink(linksim.WiFi, linksim.FaultProfile{DropRate: pre, Seed: seed})
+	var run adaptRun
+	pipe := NewLossyPipe(fl, ReceiverConfig{
+		Options:       opts,
+		FeedbackEvery: 4,
+		OnFrame:       func(f DecodedFrame) { run.statuses = append(run.statuses, f.Status) },
+	})
+	var wire bytes.Buffer
+	s := New(context.Background(), Config{
+		Options:   opts,
+		PacketOut: pipe.PacketOut,
+		Output:    &wire,
+	})
+	pipe.Attach(s)
+	results := s.Results()
+	for i, f := range frames {
+		if i == stepAt {
+			fl.SetDropRate(post)
+		}
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if _, ok := <-results; !ok {
+			t.Fatalf("results closed at frame %d: %v", i, s.Err())
+		}
+		k := s.Controller().Knobs()
+		run.gops = append(run.gops, k.GOP)
+		run.qscales = append(run.qscales, k.QScale)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := pipe.Finish(len(frames)); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	run.sender = s.Metrics()
+	run.recovery = pipe.Receiver().Metrics()
+	run.faults = fl.Stats()
+	sum := sha256.Sum256(wire.Bytes())
+	run.wireHash = hex.EncodeToString(sum[:])
+	return run
+}
+
+// TestAdaptConvergesOnDropStep is the step-response acceptance run: a
+// clean link for 16 frames, then a 15% drop step. The controller must
+// shrink the GOP within the frame budget, degrade quality, and the
+// decoded ratio over the trailing window must stay above the floor —
+// exactly the contract the CI adapt-smoke sweep enforces at larger scale.
+func TestAdaptConvergesOnDropStep(t *testing.T) {
+	const (
+		total      = 48
+		stepAt     = 16
+		budget     = 24 // frames after the step for the GOP to shrink
+		tailFloor  = 0.70
+		tailWindow = 12
+	)
+	frames := lossyFrames(t, total, 0.008)
+	run := runAdaptive(t, frames, 42, stepAt, 0, 0.15)
+
+	if len(run.statuses) != total || len(run.gops) != total {
+		t.Fatalf("accounting: %d statuses, %d knob samples, want %d", len(run.statuses), len(run.gops), total)
+	}
+	// Pre-step: a clean link must never shrink the GOP below its base.
+	for i := 0; i < stepAt; i++ {
+		if run.gops[i] < 3 {
+			t.Fatalf("frame %d (clean link): GOP knob %d below base", i, run.gops[i])
+		}
+	}
+	// Post-step: the GOP must shrink within the budget...
+	shrunkAt := -1
+	for i := stepAt; i < stepAt+budget && i < total; i++ {
+		if run.gops[i] < run.gops[stepAt-1] {
+			shrunkAt = i
+			break
+		}
+	}
+	if shrunkAt < 0 {
+		t.Fatalf("GOP never shrank within %d frames of the drop step (trajectory %v)", budget, run.gops)
+	}
+	// ...and quality must have degraded with it.
+	if run.qscales[total-1] <= 1 {
+		t.Errorf("quality knob never degraded under 15%% loss (trajectory %v)", run.qscales)
+	}
+	// Controller bookkeeping must reflect the story.
+	if run.sender.FeedbackReports == 0 {
+		t.Fatal("no feedback reports consumed")
+	}
+	a := run.sender.Adapt.Counters
+	if a.GOPShrinks == 0 || a.QualityDrops == 0 || a.CongestedEnters == 0 {
+		t.Errorf("controller counters missing the step response: %+v", a)
+	}
+	// Recovery: the trailing window (shrunken GOP in effect) must decode.
+	decoded := 0
+	for _, st := range run.statuses[total-tailWindow:] {
+		if st == FrameDecoded {
+			decoded++
+		}
+	}
+	ratio := float64(decoded) / float64(tailWindow)
+	t.Logf("GOP shrank at frame %d (%d→%d); tail decoded %d/%d (%.2f); gops=%v qscales=%v",
+		shrunkAt, run.gops[stepAt-1], run.gops[total-1], decoded, tailWindow, ratio,
+		run.gops, run.qscales)
+	if ratio < tailFloor {
+		t.Fatalf("trailing decoded ratio %.2f below the %.2f floor", ratio, tailFloor)
+	}
+}
+
+// TestAdaptDeterministic: the same seed must replay the same knob
+// trajectory, frame fates, recovery counters, and the exact same encoded
+// bytes — the adaptation loop adds no nondeterminism to the pipeline.
+func TestAdaptDeterministic(t *testing.T) {
+	frames := lossyFrames(t, 30, 0.008)
+	a := runAdaptive(t, frames, 9, 10, 0, 0.15)
+	b := runAdaptive(t, frames, 9, 10, 0, 0.15)
+	if a.wireHash != b.wireHash {
+		t.Errorf("encoded bytes diverged across identical seeded runs:\n a=%s\n b=%s", a.wireHash, b.wireHash)
+	}
+	for i := range a.gops {
+		if a.gops[i] != b.gops[i] || a.qscales[i] != b.qscales[i] {
+			t.Fatalf("knob trajectory diverged at frame %d: (%d,%d) vs (%d,%d)",
+				i, a.gops[i], a.qscales[i], b.gops[i], b.qscales[i])
+		}
+	}
+	for i := range a.statuses {
+		if a.statuses[i] != b.statuses[i] {
+			t.Fatalf("frame %d fate diverged: %v vs %v", i, a.statuses[i], b.statuses[i])
+		}
+	}
+	if a.recovery != b.recovery {
+		t.Errorf("recovery counters diverged:\n a=%+v\n b=%+v", a.recovery, b.recovery)
+	}
+	if a.faults != b.faults {
+		t.Errorf("fault stats diverged:\n a=%+v\n b=%+v", a.faults, b.faults)
+	}
+	// A different seed must produce a different fault pattern (and is
+	// allowed — expected — to steer the knobs differently).
+	c := runAdaptive(t, frames, 10, 10, 0, 0.15)
+	if c.faults == a.faults {
+		t.Error("different seeds replayed identical fault sequences")
+	}
+}
+
+// TestHandleControlFeedback is the table over duplicate, stale, zero, and
+// fresh feedback reports at the Session: only strictly increasing report
+// numbers may reach the controller.
+func TestHandleControlFeedback(t *testing.T) {
+	steps := []struct {
+		name        string
+		report      uint32
+		loss        float64
+		wantReports int64
+		wantStale   int64
+	}{
+		{"first report accepted", 1, 0.5, 1, 0},
+		{"duplicate dropped", 1, 0.5, 1, 1},
+		{"older dropped", 0, 0.5, 1, 2}, // report 0 is never valid
+		{"regression dropped", 1, 0.9, 1, 3},
+		{"next accepted", 2, 0.5, 2, 3},
+		{"gap accepted", 9, 0.5, 3, 3}, // lost reports don't wedge the stream
+		{"post-gap stale dropped", 5, 0.5, 3, 4},
+	}
+	s := New(context.Background(), Config{Options: adaptOptions(codec.IntraInterV2)})
+	defer func() {
+		_ = s.Close()
+	}()
+	for _, st := range steps {
+		fb := Feedback{Report: st.report, Received: 100, Lost: uint32(100 * st.loss / (1 - st.loss))}
+		if err := s.HandleControl(Control{Kind: ControlFeedback, StreamID: 1, Feedback: fb}); err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		m := s.Metrics()
+		if m.FeedbackReports != st.wantReports || m.FeedbackStale != st.wantStale {
+			t.Fatalf("%s: reports=%d stale=%d, want %d/%d",
+				st.name, m.FeedbackReports, m.FeedbackStale, st.wantReports, st.wantStale)
+		}
+		if m.Adapt.Counters.FeedbackReports != st.wantReports {
+			t.Fatalf("%s: controller saw %d reports, want %d",
+				st.name, m.Adapt.Counters.FeedbackReports, st.wantReports)
+		}
+	}
+}
+
+// TestReceiverEmitsFeedback: a receiver configured with FeedbackEvery must
+// emit monotonically numbered reports whose window deltas sum to its
+// lifetime counters.
+func TestReceiverEmitsFeedback(t *testing.T) {
+	frames := lossyFrames(t, 12, 0.01)
+	opts := testOptions(codec.IntraInterV1)
+	fl := linksim.NewFaultyLink(linksim.WiFi, linksim.FaultProfile{})
+	var reports []Feedback
+	pipe := NewLossyPipe(fl, ReceiverConfig{Options: opts, FeedbackEvery: 3})
+	s := New(context.Background(), Config{Options: opts, PacketOut: pipe.PacketOut})
+	// Intercept the control path to record reports while still forwarding.
+	pipe.ctrl = controlFunc(func(c Control) error {
+		if c.Kind == ControlFeedback {
+			reports = append(reports, c.Feedback)
+		}
+		return s.HandleControl(c)
+	})
+	col := NewCollector(s)
+	for _, f := range frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	col.Wait()
+	if err := pipe.Finish(len(frames)); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 { // 12 frames / FeedbackEvery 3
+		t.Fatalf("got %d reports, want 4: %+v", len(reports), reports)
+	}
+	var frameSum int64
+	for i, fb := range reports {
+		if fb.Report != uint32(i+1) {
+			t.Errorf("report %d numbered %d", i, fb.Report)
+		}
+		frameSum += int64(fb.Decoded) + int64(fb.Concealed) + int64(fb.Skipped)
+	}
+	if got := pipe.Receiver().Metrics().Frames(); frameSum != got {
+		t.Errorf("window deltas sum to %d frames, lifetime counters say %d", frameSum, got)
+	}
+	if s.Metrics().FeedbackReports != int64(len(reports)) {
+		t.Errorf("session consumed %d reports, receiver sent %d", s.Metrics().FeedbackReports, len(reports))
+	}
+}
+
+// controlFunc adapts a closure to the LossyPipe's sender interface.
+type controlFunc func(Control) error
+
+func (f controlFunc) HandleControl(c Control) error { return f(c) }
+
+// TestFeedbackRoundTrip: a feedback report survives the payload encoding
+// and the full control-packet framing byte-for-byte.
+func TestFeedbackRoundTrip(t *testing.T) {
+	fb := Feedback{
+		Report: 7, HighestFrame: 41, Received: 1200, Lost: 37,
+		NACKs: 44, Decoded: 33, Concealed: 5, Skipped: 2,
+	}
+	payload := AppendFeedback(nil, fb)
+	if len(payload) != FeedbackSize {
+		t.Fatalf("payload is %d bytes, want %d", len(payload), FeedbackSize)
+	}
+	got, err := ParseFeedback(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fb {
+		t.Fatalf("payload roundtrip: %+v != %+v", got, fb)
+	}
+	raw := MarshalControl(Control{Kind: ControlFeedback, StreamID: 9, FrameIndex: 42, Feedback: fb})
+	pkt, err := ParsePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseControl(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != ControlFeedback || c.StreamID != 9 || c.Feedback != fb {
+		t.Fatalf("control roundtrip: %+v", c)
+	}
+	if fb.LossRate() != float64(37)/float64(1200+37) {
+		t.Errorf("LossRate = %v", fb.LossRate())
+	}
+	if (Feedback{}).LossRate() != 0 {
+		t.Error("empty window must report zero loss")
+	}
+}
+
+// TestParseFeedbackRejectsBadSizes: anything but exactly FeedbackSize
+// bytes is malformed — truncated, padded, or empty.
+func TestParseFeedbackRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, FeedbackSize - 1, FeedbackSize + 1, 2 * FeedbackSize} {
+		if _, err := ParseFeedback(make([]byte, n)); !errors.Is(err, ErrBadPacket) {
+			t.Errorf("%d bytes: err = %v, want ErrBadPacket", n, err)
+		}
+	}
+	// And the error propagates through ParseControl for a framed feedback
+	// packet whose payload was truncated in flight.
+	raw := MarshalPacket(PacketHeader{
+		Flags:     FlagControl,
+		FrameType: codec.FrameType(ControlFeedback),
+		FragCount: 1,
+	}, make([]byte, FeedbackSize-4))
+	pkt, err := ParsePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseControl(pkt); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("truncated feedback control: err = %v, want ErrBadPacket", err)
+	}
+}
+
+// FuzzParseFeedback: ParseFeedback must never panic, must accept exactly
+// FeedbackSize-byte inputs (every bit pattern is a valid report), and
+// accepted reports must re-encode to the identical bytes.
+func FuzzParseFeedback(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, FeedbackSize))
+	f.Add(make([]byte, FeedbackSize-1))
+	f.Add(make([]byte, FeedbackSize+1))
+	f.Add(AppendFeedback(nil, Feedback{
+		Report: 3, HighestFrame: 17, Received: 900, Lost: 45,
+		NACKs: 51, Decoded: 14, Concealed: 2, Skipped: 1,
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fb, err := ParseFeedback(data)
+		if err != nil {
+			if len(data) == FeedbackSize {
+				t.Fatalf("rejected a %d-byte payload: %v", FeedbackSize, err)
+			}
+			if !errors.Is(err, ErrBadPacket) {
+				t.Fatalf("non-ErrBadPacket failure: %v", err)
+			}
+			return
+		}
+		if len(data) != FeedbackSize {
+			t.Fatalf("accepted %d bytes", len(data))
+		}
+		if out := AppendFeedback(nil, fb); !bytes.Equal(out, data) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data, out)
+		}
+		if lr := fb.LossRate(); lr < 0 || lr > 1 {
+			t.Fatalf("loss rate %v outside [0,1] for %+v", lr, fb)
+		}
+	})
+}
+
+// TestServerFeedbackAggregation: the shared controller must see the
+// worst-percentile viewer loss, not the average and not a lone outlier
+// (at the default 0.9 quantile with few viewers, the worst).
+func TestServerFeedbackAggregation(t *testing.T) {
+	sv := NewServer(context.Background(), ServerConfig{Options: adaptOptions(codec.IntraInterV2)})
+	defer func() { _ = sv.Close() }()
+	var vs []*Viewer
+	for i := 0; i < 4; i++ {
+		v, err := sv.Attach(ViewerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	// Three clean viewers, one at 50% loss. Quantile 0.9 over 4 viewers
+	// picks index ceil(0.9*4)-1 = 3: the worst.
+	for i, v := range vs {
+		var lost uint32
+		if i == 3 {
+			lost = 100
+		}
+		err := sv.HandleControl(Control{Kind: ControlFeedback, StreamID: v.StreamID(),
+			Feedback: Feedback{Report: 1, Received: 100, Lost: lost}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sv.Controller().Snapshot()
+	if snap.Counters.FeedbackReports != 4 {
+		t.Fatalf("controller saw %d reports, want 4", snap.Counters.FeedbackReports)
+	}
+	// The last aggregation mixed 0.5 (the worst viewer) into the EWMA; had
+	// it averaged (0.125) or taken the best (0), the EWMA could not reach
+	// the high-loss region that shrinks the GOP.
+	if !snap.Congested || snap.Knobs.GOP >= 3 {
+		t.Errorf("worst-percentile signal did not drive congestion: %+v", snap)
+	}
+	// Per-viewer stale handling: a replayed report must not re-steer.
+	before := sv.Controller().Snapshot().Counters.FeedbackReports
+	err := sv.HandleControl(Control{Kind: ControlFeedback, StreamID: vs[3].StreamID(),
+		Feedback: Feedback{Report: 1, Received: 100, Lost: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vs[3].Metrics()
+	if vm.FeedbackStale != 1 || vm.FeedbackReports != 1 {
+		t.Errorf("viewer stale handling: %+v", vm)
+	}
+	if after := sv.Controller().Snapshot().Counters.FeedbackReports; after != before {
+		t.Error("stale viewer report reached the controller")
+	}
+	// Unknown stream ids drop silently (viewer just detached).
+	if err := sv.HandleControl(Control{Kind: ControlFeedback, StreamID: 999,
+		Feedback: Feedback{Report: 1, Received: 1, Lost: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerFeedbackChurnRace floods a live fan-out server with feedback
+// reports, refresh requests, and viewer attach/detach churn concurrently
+// with the broadcast — the -race acceptance for the aggregation lock
+// order (server mu, then viewer mu).
+func TestServerFeedbackChurnRace(t *testing.T) {
+	frames := lossyFrames(t, 10, 0.01)
+	sv := NewServer(context.Background(), ServerConfig{Options: adaptOptions(codec.IntraInterV2)})
+
+	stable, err := sv.Attach(ViewerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // viewer churn
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			v, err := sv.Attach(ViewerConfig{})
+			if err != nil {
+				return // server closed
+			}
+			_ = sv.HandleControl(Control{Kind: ControlFeedback, StreamID: v.StreamID(),
+				Feedback: Feedback{Report: 1, Received: 10, Lost: uint32(i % 5)}})
+			sv.Detach(v)
+		}
+	}()
+	go func() { // feedback storm at the stable viewer, reports ascending
+		defer wg.Done()
+		for i := uint32(1); ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = sv.HandleControl(Control{Kind: ControlFeedback, StreamID: stable.StreamID(),
+				Feedback: Feedback{Report: i, Received: 100, Lost: i % 30}})
+		}
+	}()
+	go func() { // refresh storm: ForceIFrame coalescing under churn
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = sv.HandleControl(Control{Kind: ControlRefresh, StreamID: stable.StreamID()})
+		}
+	}()
+
+	for _, f := range frames {
+		if err := sv.Submit(context.Background(), f); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := sv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	m := sv.Metrics()
+	if m.Pipeline.Adapt.Counters.FeedbackReports == 0 {
+		t.Error("no feedback reached the controller under churn")
+	}
+	if stable.Metrics().FeedbackReports == 0 {
+		t.Error("stable viewer consumed no reports")
+	}
+}

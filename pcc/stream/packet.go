@@ -187,6 +187,10 @@ const (
 	// ControlRefresh reports GOP reference loss and asks the sender to
 	// force the next frame to be an I-frame.
 	ControlRefresh ControlKind = 2
+	// ControlFeedback carries a periodic receiver feedback report
+	// (Feedback): observed loss, NACK work, and frame outcomes over the
+	// last report window. The sender's congestion controller consumes it.
+	ControlFeedback ControlKind = 3
 )
 
 func (k ControlKind) String() string {
@@ -195,9 +199,81 @@ func (k ControlKind) String() string {
 		return "NACK"
 	case ControlRefresh:
 		return "REFRESH"
+	case ControlFeedback:
+		return "FEEDBACK"
 	default:
 		return fmt.Sprintf("ControlKind(%d)", byte(k))
 	}
+}
+
+// FeedbackSize is the fixed wire size of a Feedback payload.
+const FeedbackSize = 32
+
+// Feedback is one receiver feedback report: windowed deltas of the
+// receiver's recovery counters since its previous report, plus the
+// monotonically increasing report number that lets the sender drop
+// duplicated or reordered (stale) reports.
+//
+// Wire layout (the ControlFeedback payload; all fields uint32 LE):
+//
+//	offset field
+//	     0 Report        report number, 1-based, monotonic per receiver
+//	     4 HighestFrame  next in-order frame index the receiver needs
+//	     8 Received      packets received in the window
+//	    12 Lost          packets lost in the window (first-transmission
+//	                     NACK-timeout losses; healed reorders excluded)
+//	    16 NACKs         sequence numbers NACKed in the window
+//	    20 Decoded       frames decoded byte-correct in the window
+//	    24 Concealed     frames concealed in the window
+//	    28 Skipped       frames skipped in the window
+type Feedback struct {
+	Report       uint32
+	HighestFrame uint32
+	Received     uint32
+	Lost         uint32
+	NACKs        uint32
+	Decoded      uint32
+	Concealed    uint32
+	Skipped      uint32
+}
+
+// LossRate returns the window's packet loss ratio, Lost/(Received+Lost)
+// (0 when the window saw no packets).
+func (f Feedback) LossRate() float64 {
+	if n := uint64(f.Received) + uint64(f.Lost); n > 0 {
+		return float64(f.Lost) / float64(n)
+	}
+	return 0
+}
+
+// AppendFeedback appends the FeedbackSize-byte wire form to dst.
+func AppendFeedback(dst []byte, f Feedback) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, f.Report)
+	dst = binary.LittleEndian.AppendUint32(dst, f.HighestFrame)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Received)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Lost)
+	dst = binary.LittleEndian.AppendUint32(dst, f.NACKs)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Decoded)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Concealed)
+	return binary.LittleEndian.AppendUint32(dst, f.Skipped)
+}
+
+// ParseFeedback decodes a Feedback payload. Anything but exactly
+// FeedbackSize bytes is ErrBadPacket.
+func ParseFeedback(b []byte) (Feedback, error) {
+	if len(b) != FeedbackSize {
+		return Feedback{}, fmt.Errorf("%w: feedback payload %d bytes", ErrBadPacket, len(b))
+	}
+	return Feedback{
+		Report:       binary.LittleEndian.Uint32(b[0:4]),
+		HighestFrame: binary.LittleEndian.Uint32(b[4:8]),
+		Received:     binary.LittleEndian.Uint32(b[8:12]),
+		Lost:         binary.LittleEndian.Uint32(b[12:16]),
+		NACKs:        binary.LittleEndian.Uint32(b[16:20]),
+		Decoded:      binary.LittleEndian.Uint32(b[20:24]),
+		Concealed:    binary.LittleEndian.Uint32(b[24:28]),
+		Skipped:      binary.LittleEndian.Uint32(b[28:32]),
+	}, nil
 }
 
 // Control is one receiver→sender control message.
@@ -209,17 +285,22 @@ type Control struct {
 	FrameIndex uint32
 	// Seqs lists the missing packet sequence numbers (ControlNACK only).
 	Seqs []uint32
+	// Feedback is the receiver report (ControlFeedback only).
+	Feedback Feedback
 }
 
 // MarshalControl frames a control message as a packet (FlagControl set,
 // checksummed like data).
 func MarshalControl(c Control) []byte {
 	var payload []byte
-	if c.Kind == ControlNACK {
+	switch c.Kind {
+	case ControlNACK:
 		payload = make([]byte, 0, 4*len(c.Seqs))
 		for _, s := range c.Seqs {
 			payload = binary.LittleEndian.AppendUint32(payload, s)
 		}
+	case ControlFeedback:
+		payload = AppendFeedback(make([]byte, 0, FeedbackSize), c.Feedback)
 	}
 	return MarshalPacket(PacketHeader{
 		Flags:      FlagControl,
@@ -250,6 +331,12 @@ func ParseControl(p Packet) (Control, error) {
 			c.Seqs[i] = binary.LittleEndian.Uint32(p.Payload[4*i:])
 		}
 	case ControlRefresh:
+	case ControlFeedback:
+		fb, err := ParseFeedback(p.Payload)
+		if err != nil {
+			return Control{}, err
+		}
+		c.Feedback = fb
 	default:
 		return Control{}, fmt.Errorf("%w: control kind %d", ErrBadPacket, byte(c.Kind))
 	}

@@ -114,6 +114,11 @@ type ReceiverConfig struct {
 	// conceal). Defaults 6 and 2.
 	IFrameRetries int
 	PFrameRetries int
+	// FeedbackEvery emits a ControlFeedback report through SendControl after
+	// every N delivered frames: windowed loss rate, NACK work, and frame
+	// outcomes for the sender's congestion controller. 0 disables feedback
+	// (the default — the transport behaves exactly as before).
+	FeedbackEvery int
 	// Now is the clock (default time.Now). Simulated transports inject a
 	// virtual clock to make timeouts deterministic.
 	Now func() time.Time
@@ -179,6 +184,12 @@ type Receiver struct {
 	lastCloud      *geom.VoxelCloud
 	finished       bool
 	err            error
+
+	// Feedback reporting (FeedbackEvery > 0): fbReport numbers the reports
+	// monotonically; fbBase is the counter snapshot at the previous report,
+	// so each report carries window deltas, not lifetime totals.
+	fbReport uint32
+	fbBase   metrics.RecoverySnapshot
 }
 
 // NewReceiver creates a receiver decoding on a fresh device model.
@@ -368,6 +379,11 @@ func (r *Receiver) checkTimeouts(now time.Time, force bool) {
 			continue
 		}
 		ls.attempts++
+		if ls.attempts == 1 {
+			// First NACK timeout expired without the packet arriving: count
+			// it lost. Reorders that heal inside the timeout never get here.
+			r.counters.PacketLost()
+		}
 		ls.deadline = now.Add(r.cfg.NACKTimeout << uint(ls.attempts))
 		nack = append(nack, s)
 	}
@@ -416,7 +432,13 @@ func (r *Receiver) missingBefore(firstSeq uint32) bool {
 // advance delivers frames in order while the head of line is resolvable:
 // complete frames decode, failed frames conceal or skip, and index gaps
 // with fully-accounted sequence numbers resolve as sender-dropped or lost.
+// Each pass ends with a feedback check (maybeFeedback).
 func (r *Receiver) advance(now time.Time) {
+	r.deliver(now)
+	r.maybeFeedback()
+}
+
+func (r *Receiver) deliver(now time.Time) {
 	for {
 		if pf, ok := r.frames[r.nextFrame]; ok {
 			if pf.failed {
@@ -457,6 +479,34 @@ func (r *Receiver) advance(now time.Time) {
 			r.gapLost = false
 		}
 	}
+}
+
+// maybeFeedback emits a ControlFeedback report once FeedbackEvery frames
+// have resolved since the previous report. Runs on the transport goroutine
+// after the in-order delivery loop, so a report reflects a consistent
+// prefix of the stream.
+func (r *Receiver) maybeFeedback() {
+	if r.cfg.FeedbackEvery <= 0 || r.cfg.SendControl == nil {
+		return
+	}
+	cur := r.counters.Snapshot()
+	if cur.Frames()-r.fbBase.Frames() < int64(r.cfg.FeedbackEvery) {
+		return
+	}
+	r.fbReport++
+	fb := Feedback{
+		Report:       r.fbReport,
+		HighestFrame: r.nextFrame,
+		Received:     uint32(cur.PacketsReceived - r.fbBase.PacketsReceived),
+		Lost:         uint32(cur.PacketsLost - r.fbBase.PacketsLost),
+		NACKs:        uint32(cur.NACKSeqs - r.fbBase.NACKSeqs),
+		Decoded:      uint32(cur.FramesDecoded - r.fbBase.FramesDecoded),
+		Concealed:    uint32(cur.FramesConcealed - r.fbBase.FramesConcealed),
+		Skipped:      uint32(cur.FramesSkipped - r.fbBase.FramesSkipped),
+	}
+	r.fbBase = cur
+	r.sendControl(Control{Kind: ControlFeedback, StreamID: r.streamID,
+		FrameIndex: r.nextFrame, Feedback: fb})
 }
 
 // resolveFailed conceals or skips a frame whose retry budget ran out.

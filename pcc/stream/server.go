@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -63,6 +64,12 @@ type ServerConfig struct {
 	// RetransmitBuffer is the default per-viewer retained-packet cap
 	// (default 1024).
 	RetransmitBuffer int
+	// FeedbackQuantile picks the per-viewer loss rate fed to the shared
+	// congestion controller (Options.Adapt): with N reporting viewers the
+	// controller sees the ceil(q·N)-th worst loss (default 0.9). 1 tracks
+	// the single worst viewer; lower values let outliers resolve through
+	// their own queue shedding while fleet-wide loss adapts the encode.
+	FeedbackQuantile float64
 }
 
 func (c ServerConfig) normalized() ServerConfig {
@@ -77,6 +84,9 @@ func (c ServerConfig) normalized() ServerConfig {
 	}
 	if c.RetransmitBuffer < 1 {
 		c.RetransmitBuffer = 1024
+	}
+	if c.FeedbackQuantile <= 0 || c.FeedbackQuantile > 1 {
+		c.FeedbackQuantile = 0.9
 	}
 	return c
 }
@@ -276,6 +286,48 @@ func (sv *Server) HandleControl(c Control) error {
 	}
 	return v.HandleControl(c)
 }
+
+// observeFeedback aggregates per-viewer observed loss into the shared
+// controller's signal after one viewer's report landed (fb). Per-viewer
+// queues already isolate one congested viewer; the shared encode only
+// reacts when the FeedbackQuantile-th worst viewer sees loss, so the
+// controller tracks sustained fleet-wide congestion, not a single outlier
+// (unless the quantile is set to 1). Lock order is broadcast's: sv.mu,
+// then each viewer's mu.
+func (sv *Server) observeFeedback(fb Feedback) {
+	ctrl := sv.sess.Controller()
+	if ctrl == nil {
+		return
+	}
+	sv.mu.Lock()
+	losses := make([]float64, 0, len(sv.viewers))
+	for _, v := range sv.viewers {
+		v.mu.Lock()
+		if v.fbReports > 0 {
+			losses = append(losses, v.lastLoss)
+		}
+		v.mu.Unlock()
+	}
+	sv.mu.Unlock()
+	if len(losses) == 0 {
+		return
+	}
+	sort.Float64s(losses)
+	idx := int(math.Ceil(sv.cfg.FeedbackQuantile*float64(len(losses)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	ctrl.ObserveFeedback(codec.Signal{
+		LossRate:  losses[idx],
+		NACKs:     int(fb.NACKs),
+		Concealed: int(fb.Concealed),
+		Skipped:   int(fb.Skipped),
+	})
+}
+
+// Controller returns the shared pipeline's congestion controller, nil
+// unless Options.Adapt is enabled.
+func (sv *Server) Controller() *codec.Controller { return sv.sess.Controller() }
 
 // requestIFrame arms one coalesced GOP restart: the first caller forces
 // the encoder, every caller before the next I-frame lands rides along.

@@ -214,6 +214,13 @@ type Metrics struct {
 	Retransmits int64
 	RetxMisses  int64
 	Refreshes   int64
+	// Congestion-feedback counters: receiver reports consumed by the
+	// controller, and reports rejected as duplicate or out of order.
+	FeedbackReports int64
+	FeedbackStale   int64
+	// Adapt is the congestion controller's state (zero value when
+	// Options.Adapt is disabled).
+	Adapt codec.ControllerSnapshot
 }
 
 // Session is one live streaming pipeline. Create with New, feed frames with
@@ -257,7 +264,13 @@ type Session struct {
 	retransmits int64
 	retxMisses  int64
 	refreshes   int64
-	wroteHdr    bool
+	// Feedback bookkeeping: the highest report number consumed (reports are
+	// numbered monotonically by the receiver; lower-or-equal ones are
+	// duplicates or reorders and must not double-steer the controller).
+	feedbackReports int64
+	staleFeedback   int64
+	lastFbReport    uint32
+	wroteHdr        bool
 
 	// Retransmit buffer: sent packets by sequence number, FIFO-evicted.
 	// pktSeq is only touched by the transmit stage; the buffer is shared
@@ -384,19 +397,24 @@ func (s *Session) Options() codec.Options { return s.enc.Options() }
 func (s *Session) Metrics() Metrics {
 	s.mu.Lock()
 	m := Metrics{
-		Submitted:   s.submitted,
-		Delivered:   s.delivered,
-		Dropped:     s.droppedN,
-		LinkTime:    s.linkTime,
-		TxEnergyJ:   s.txJ,
-		RxEnergyJ:   s.rxJ,
-		WireBytes:   s.wireBytes,
-		Packets:     s.packets,
-		Retransmits: s.retransmits,
-		RetxMisses:  s.retxMisses,
-		Refreshes:   s.refreshes,
+		Submitted:       s.submitted,
+		Delivered:       s.delivered,
+		Dropped:         s.droppedN,
+		LinkTime:        s.linkTime,
+		TxEnergyJ:       s.txJ,
+		RxEnergyJ:       s.rxJ,
+		WireBytes:       s.wireBytes,
+		Packets:         s.packets,
+		Retransmits:     s.retransmits,
+		RetxMisses:      s.retxMisses,
+		Refreshes:       s.refreshes,
+		FeedbackReports: s.feedbackReports,
+		FeedbackStale:   s.staleFeedback,
 	}
 	s.mu.Unlock()
+	if ctrl := s.enc.Controller(); ctrl != nil {
+		m.Adapt = ctrl.Snapshot()
+	}
 	m.Queues = []metrics.QueueSnapshot{
 		s.gaugeIn.Snapshot(),
 		s.gaugeGeom.Snapshot(),
@@ -554,6 +572,7 @@ func (s *Session) transmitStage() {
 			s.mu.Lock()
 			s.droppedN++
 			s.mu.Unlock()
+			s.observeLocal(linksim.Cost{}, true)
 		} else {
 			cost, err := s.cfg.Link.Transmit(int64(len(j.wire)))
 			if err != nil {
@@ -561,6 +580,7 @@ func (s *Session) transmitStage() {
 				return
 			}
 			res.Link = cost
+			s.observeLocal(cost, false)
 			s.mu.Lock()
 			s.delivered++
 			s.linkTime += cost.Latency
@@ -665,12 +685,38 @@ func (s *Session) bufferPacket(seq uint32, pkt []byte) {
 	s.retxMu.Unlock()
 }
 
+// Controller returns the session's congestion controller, nil unless
+// Options.Adapt is enabled.
+func (s *Session) Controller() *codec.Controller { return s.enc.Controller() }
+
+// observeLocal feeds the congestion controller one per-frame observation
+// from the transmit stage: transmit-queue fill, whether the backpressure
+// policy shed the frame, and the frame's modelled link time against the
+// controller's real-time budget.
+func (s *Session) observeLocal(cost linksim.Cost, shed bool) {
+	ctrl := s.enc.Controller()
+	if ctrl == nil {
+		return
+	}
+	ctrl.ObserveLocal(codec.LocalSignal{
+		QueueFill:   float64(s.gaugeTx.Depth()) / float64(s.cfg.Queue),
+		Shed:        shed,
+		Utilization: float64(cost.Latency) / float64(ctrl.Config().FrameBudget),
+	})
+}
+
 // HandleControl processes a receiver→sender control message. NACKs are
 // answered by re-sending the buffered packets (with FlagRetransmit set)
 // through PacketOut; sequence numbers already evicted are counted as
 // misses and ignored — the receiver's retry budget will conceal or skip.
 // ControlRefresh forces the encoder's next frame to be an I-frame,
 // restarting the GOP for a receiver that lost its reference.
+// ControlFeedback reports steer the congestion controller (when
+// Options.Adapt is enabled); duplicated or reordered reports — the report
+// number is not strictly increasing — are dropped as stale so a replayed
+// report can never double-steer the knobs. Feedback is counted even with
+// the controller disabled, so a misconfigured pairing is visible in
+// Metrics.
 //
 // Safe to call concurrently with a running pipeline, including
 // re-entrantly from within a PacketOut delivery chain (in-process
@@ -682,6 +728,25 @@ func (s *Session) HandleControl(c Control) error {
 		s.mu.Lock()
 		s.refreshes++
 		s.mu.Unlock()
+	case ControlFeedback:
+		fb := c.Feedback
+		s.mu.Lock()
+		if fb.Report == 0 || fb.Report <= s.lastFbReport {
+			s.staleFeedback++
+			s.mu.Unlock()
+			return nil
+		}
+		s.lastFbReport = fb.Report
+		s.feedbackReports++
+		s.mu.Unlock()
+		if ctrl := s.enc.Controller(); ctrl != nil {
+			ctrl.ObserveFeedback(codec.Signal{
+				LossRate:  fb.LossRate(),
+				NACKs:     int(fb.NACKs),
+				Concealed: int(fb.Concealed),
+				Skipped:   int(fb.Skipped),
+			})
+		}
 	case ControlNACK:
 		var seen map[uint32]struct{}
 		if len(c.Seqs) > 1 {

@@ -83,6 +83,13 @@ type ViewerMetrics struct {
 	Retransmits   int64
 	RetxMisses    int64
 	Refreshes     int64
+	// Congestion-feedback counters: reports this viewer's receiver sent
+	// that were accepted, reports dropped as duplicate/stale, and the loss
+	// rate its latest report carried (the server aggregates these across
+	// viewers into the shared controller's signal).
+	FeedbackReports int64
+	FeedbackStale   int64
+	LastLossRate    float64
 	// RetxBuffered is the retransmit buffer's current occupancy (0 once
 	// the viewer detaches — detach frees the buffer).
 	RetxBuffered int
@@ -135,9 +142,15 @@ type Viewer struct {
 	retransmits   int64
 	retxMisses    int64
 	refreshes     int64
-	linkTime      time.Duration
-	txJ, rxJ      float64
-	err           error
+	// Feedback state: per-viewer report numbering is independent, so the
+	// stale check lives here, not on the server.
+	lastFbReport uint32
+	fbReports    int64
+	fbStale      int64
+	lastLoss     float64
+	linkTime     time.Duration
+	txJ, rxJ     float64
+	err          error
 
 	retx     map[uint32][]byte
 	retxFIFO []uint32
@@ -176,26 +189,29 @@ func (v *Viewer) Metrics() ViewerMetrics {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return ViewerMetrics{
-		StreamID:       v.id,
-		Queue:          v.gauge.Snapshot(),
-		FramesEnqueued: int64(v.nextIdx),
-		FramesSent:     v.framesSent,
-		FramesDropped:  v.framesDropped,
-		SkippedNoRef:   v.skippedNoRef,
-		Resyncs:        v.resyncs,
-		CachedJoin:     v.cachedJoin,
-		JoinLatency:    v.joinLatency,
-		Packets:        v.packets,
-		WireBytes:      v.wireBytes,
-		NACKsReceived:  v.nacksRecv,
-		Retransmits:    v.retransmits,
-		RetxMisses:     v.retxMisses,
-		Refreshes:      v.refreshes,
-		RetxBuffered:   len(v.retx),
-		LinkTime:       v.linkTime,
-		TxEnergyJ:      v.txJ,
-		RxEnergyJ:      v.rxJ,
-		Err:            v.err,
+		StreamID:        v.id,
+		Queue:           v.gauge.Snapshot(),
+		FramesEnqueued:  int64(v.nextIdx),
+		FramesSent:      v.framesSent,
+		FramesDropped:   v.framesDropped,
+		SkippedNoRef:    v.skippedNoRef,
+		Resyncs:         v.resyncs,
+		CachedJoin:      v.cachedJoin,
+		JoinLatency:     v.joinLatency,
+		Packets:         v.packets,
+		WireBytes:       v.wireBytes,
+		NACKsReceived:   v.nacksRecv,
+		Retransmits:     v.retransmits,
+		RetxMisses:      v.retxMisses,
+		Refreshes:       v.refreshes,
+		FeedbackReports: v.fbReports,
+		FeedbackStale:   v.fbStale,
+		LastLossRate:    v.lastLoss,
+		RetxBuffered:    len(v.retx),
+		LinkTime:        v.linkTime,
+		TxEnergyJ:       v.txJ,
+		RxEnergyJ:       v.rxJ,
+		Err:             v.err,
 	}
 }
 
@@ -386,7 +402,10 @@ func (v *Viewer) bufferPacket(seq uint32, pkt []byte) {
 // this viewer. NACKs are answered from the viewer's own retransmit buffer
 // (duplicate sequence numbers within one message coalesce to a single
 // retransmit); a refresh request is forwarded to the server, which
-// coalesces concurrent requests into at most one GOP restart. Safe to call
+// coalesces concurrent requests into at most one GOP restart; a feedback
+// report updates this viewer's observed loss (duplicates and reorders are
+// dropped against the viewer's own report numbering) and triggers the
+// server's worst-percentile aggregation. Safe to call
 // concurrently with a live stream, including re-entrantly from within a
 // PacketOut delivery chain.
 func (v *Viewer) HandleControl(c Control) error {
@@ -396,6 +415,21 @@ func (v *Viewer) HandleControl(c Control) error {
 		v.refreshes++
 		v.mu.Unlock()
 		v.sv.requestIFrame()
+	case ControlFeedback:
+		fb := c.Feedback
+		v.mu.Lock()
+		if fb.Report == 0 || fb.Report <= v.lastFbReport {
+			v.fbStale++
+			v.mu.Unlock()
+			return nil
+		}
+		v.lastFbReport = fb.Report
+		v.fbReports++
+		v.lastLoss = fb.LossRate()
+		v.mu.Unlock()
+		// Aggregate outside v.mu: observeFeedback takes sv.mu then each
+		// viewer's mu (the broadcast lock order).
+		v.sv.observeFeedback(fb)
 	case ControlNACK:
 		v.mu.Lock()
 		v.nacksRecv++
