@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout adapt clean
+.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout fanout-scale adapt clean
 
 all: build test
 
@@ -33,8 +33,9 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseFeedback -fuzztime=20s ./pcc/stream
 
 # Everything the CI gate runs (see .github/workflows/ci.yml), including the
-# fan-out serving smoke (8 viewers against the aggregate frames/s floor).
-ci: build vet fmt-check test race fuzz-smoke adapt
+# fan-out serving smoke (8 viewers against the aggregate frames/s floor)
+# and the CI-sized relay-tree viewer-scaling gate.
+ci: build vet fmt-check test race fuzz-smoke adapt fanout-scale
 	$(GO) run ./cmd/pccbench -scale 0.05 all
 	$(GO) run ./cmd/pccbench -viewers 8 -frames 20 -floor 80 fanout
 
@@ -49,6 +50,14 @@ experiments:
 # Multi-viewer serving fan-out sweep, 1 -> 64 viewers (pccbench fanout).
 fanout:
 	$(GO) run ./cmd/pccbench fanout
+
+# Relay-tree viewer-scaling gate, CI-sized (64 -> 2048 viewers) with the
+# per-viewer CPU-cost ceiling and max/min cost-ratio budgets CI enforces.
+# The full 64 -> 16k sweep that maintains BENCH_6.json is
+#   go run ./cmd/pccbench -ratio 2 -ceiling 100 -benchout BENCH_6.json fanout-scale
+fanout-scale:
+	$(GO) test -race -count=1 -run 'TestServerShardChurn1k|TestServerCloseDuringChurn|TestServerDetachInFlight|TestRingFrozenBytes|TestServerShardPartition' ./pcc/stream
+	$(GO) run ./cmd/pccbench -maxviewers 2048 -ceiling 100 -ratio 2 fanout-scale
 
 # Congestion-adaptation step response against the checked-in convergence
 # contract (GOP reacts within 24 frames, settled decoded ratio >= 0.70).

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+// processCPUTime is unavailable off unix; callers fall back to wall time.
+func processCPUTime() (time.Duration, bool) { return 0, false }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's cumulative user+system CPU time.
+// The fanout-scale sweep differences it across a serving run to price the
+// relay work itself, independent of sleeps and scheduler idle time.
+func processCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano()), true
+}

@@ -17,7 +17,8 @@
 //	pccbench adapt             closed-loop congestion adaptation step response
 //	pccbench bench             steady-state encode throughput (BENCH_3.json)
 //	pccbench fanout            multi-viewer serving fan-out (stream.Server)
-//	pccbench all               everything above (except bench, fanout)
+//	pccbench fanout-scale      relay-tree viewer scaling 64 → 16k (BENCH_6.json)
+//	pccbench all               everything above (except bench, fanout, fanout-scale)
 //
 // Flags:
 //
@@ -50,14 +51,17 @@ var (
 	flagBaseline = flag.String("baseline", "", "bench: compare against this BENCH JSON and fail on regression")
 	flagGate     = flag.Float64("gate", 0.20, "bench: regression tolerance as a fraction")
 
-	// fanout-experiment flags (see fanout.go).
-	flagViewers = flag.Int("viewers", 0, "fanout: viewer count (0 = sweep 1..64)")
-	flagFloor   = flag.Float64("floor", 0, "fanout: fail when aggregate viewer-frames/s falls below this")
+	// fanout-experiment flags (see fanout.go, fanoutscale.go).
+	flagViewers    = flag.Int("viewers", 0, "fanout: viewer count (0 = sweep 1..64)")
+	flagFloor      = flag.Float64("floor", 0, "fanout: fail when aggregate viewer-frames/s falls below this")
+	flagMaxViewers = flag.Int("maxviewers", 0, "fanout-scale: cap the sweep (0 = full 64..16384)")
+	flagCeiling    = flag.Float64("ceiling", 0, "fanout-scale: fail when per-viewer CPU cost (µs/viewer-frame) at the largest point exceeds this")
+	flagRatio      = flag.Float64("ratio", 0, "fanout-scale: fail when cost(largest)/cost(smallest) exceeds this")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench fanout all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench fanout fanout-scale all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,27 +87,28 @@ func main() {
 	}
 
 	experiments := map[string]func(benchConfig) error{
-		"table1":    runTable1,
-		"fig2":      runFig2,
-		"fig3a":     runFig3a,
-		"fig3b":     runFig3b,
-		"fig8":      runFig8,
-		"fig9":      runFig9,
-		"fig10b":    runFig10b,
-		"power":     runPower,
-		"decode":    runDecode,
-		"ablation":  runAblation,
-		"future":    runFuture,
-		"endtoend":  runEndToEnd,
-		"lod":       runLoD,
-		"altcodecs": runAltCodecs,
-		"viewport":  runViewport,
-		"capture":   runCapture,
-		"pipeline":  runPipeline,
-		"loss":      runLoss,
-		"adapt":     runAdapt,
-		"bench":     runBench,
-		"fanout":    runFanout,
+		"table1":       runTable1,
+		"fig2":         runFig2,
+		"fig3a":        runFig3a,
+		"fig3b":        runFig3b,
+		"fig8":         runFig8,
+		"fig9":         runFig9,
+		"fig10b":       runFig10b,
+		"power":        runPower,
+		"decode":       runDecode,
+		"ablation":     runAblation,
+		"future":       runFuture,
+		"endtoend":     runEndToEnd,
+		"lod":          runLoD,
+		"altcodecs":    runAltCodecs,
+		"viewport":     runViewport,
+		"capture":      runCapture,
+		"pipeline":     runPipeline,
+		"loss":         runLoss,
+		"adapt":        runAdapt,
+		"bench":        runBench,
+		"fanout":       runFanout,
+		"fanout-scale": runFanoutScale,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline", "loss", "adapt"} {

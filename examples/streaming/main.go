@@ -60,6 +60,7 @@ func main() {
 	srv := stream.NewServer(context.Background(), stream.ServerConfig{
 		Options:     opts,
 		ViewerQueue: 32,
+		Shards:      2, // relay tree: viewers partitioned over two shard workers
 	})
 
 	// Viewer wifi: framed packets over a real TCP socket, decoded by a
@@ -151,6 +152,11 @@ func main() {
 		m.Pipeline.GeometrySim.Round(1e5), m.Pipeline.AttrSim.Round(1e5))
 	fmt.Printf("[server] cached-keyframe joins %d, refreshes %d (+%d coalesced)\n",
 		m.CachedJoins, m.Refreshes, m.RefreshesCoalesced)
+	for _, s := range m.PerShard {
+		fmt.Printf("[shard %d] %d viewers (peak %d): relayed %d frames (%d enqueues), retx cache %d frames/%d pkts (%d hits, %d misses), %d feedback reports\n",
+			s.Shard, s.Viewers, s.PeakViewers, s.FramesRelayed, s.Enqueues,
+			s.CacheFrames, s.CachePackets, s.RetxHits, s.RetxMisses, s.FeedbackReports)
+	}
 	for _, tag := range []struct {
 		name string
 		v    *stream.Viewer

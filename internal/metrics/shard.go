@@ -1,0 +1,121 @@
+package metrics
+
+// Relay-shard instrumentation: lock-free counters for the sharded fan-out
+// tree in pcc/stream. Each shard worker owns a partition of viewers and
+// updates its counters on the relay hot path, so — like QueueGauge —
+// everything here is a handful of atomics, safe under -race and cheap
+// enough to stay enabled in production servers.
+
+import "sync/atomic"
+
+// ShardCounters tracks one relay shard: its viewer partition size, the
+// frames it has fanned out, its retransmit-cache effectiveness, and the
+// control-plane work (refresh coalescing, feedback reports) it absorbed
+// before anything reached the encode path. The zero value is NOT usable;
+// use NewShardCounters. All methods are safe for concurrent use.
+type ShardCounters struct {
+	shard int
+
+	viewers     atomic.Int64
+	peakViewers atomic.Int64
+
+	framesRelayed atomic.Int64
+	enqueues      atomic.Int64
+
+	cacheFrames  atomic.Int64
+	cachePackets atomic.Int64
+	retxHits     atomic.Int64
+	retxMisses   atomic.Int64
+
+	refreshCoalesced atomic.Int64
+	feedbackReports  atomic.Int64
+}
+
+// NewShardCounters creates counters for the shard with the given index.
+func NewShardCounters(shard int) *ShardCounters { return &ShardCounters{shard: shard} }
+
+// Shard returns the shard's index within its server.
+func (c *ShardCounters) Shard() int { return c.shard }
+
+// ViewerAttached records one viewer joining the shard's partition,
+// updating the peak watermark.
+func (c *ShardCounters) ViewerAttached() {
+	n := c.viewers.Add(1)
+	for {
+		p := c.peakViewers.Load()
+		if n <= p || c.peakViewers.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+// ViewerDetached records one viewer leaving the shard's partition.
+func (c *ShardCounters) ViewerDetached() { c.viewers.Add(-1) }
+
+// Viewers returns the partition's instantaneous size.
+func (c *ShardCounters) Viewers() int64 { return c.viewers.Load() }
+
+// FrameRelayed records one ring frame offered to every viewer in the
+// partition; enqueues is how many viewer queues accepted it.
+func (c *ShardCounters) FrameRelayed(enqueues int64) {
+	c.framesRelayed.Add(1)
+	c.enqueues.Add(enqueues)
+}
+
+// CacheResize sets the retransmit cache's occupancy gauges.
+func (c *ShardCounters) CacheResize(frames, packets int64) {
+	c.cacheFrames.Store(frames)
+	c.cachePackets.Store(packets)
+}
+
+// RetxHit records a NACK answered from the shard's retransmit cache.
+func (c *ShardCounters) RetxHit() { c.retxHits.Add(1) }
+
+// RetxMiss records a NACK whose frame had already been evicted.
+func (c *ShardCounters) RetxMiss() { c.retxMisses.Add(1) }
+
+// RefreshCoalesced records an I-frame refresh request absorbed by the
+// shard's already-armed restart (it never reached the server).
+func (c *ShardCounters) RefreshCoalesced() { c.refreshCoalesced.Add(1) }
+
+// FeedbackReport records one viewer feedback report folded into the
+// shard's loss aggregate.
+func (c *ShardCounters) FeedbackReport() { c.feedbackReports.Add(1) }
+
+// ShardSnapshot is a point-in-time copy of one shard's counters.
+type ShardSnapshot struct {
+	Shard         int
+	Viewers       int64
+	PeakViewers   int64
+	FramesRelayed int64
+	// Enqueues counts viewer-queue offers that were accepted; with V
+	// steady viewers it approaches FramesRelayed x V.
+	Enqueues int64
+	// CacheFrames/CachePackets are the retransmit cache's occupancy.
+	CacheFrames  int64
+	CachePackets int64
+	RetxHits     int64
+	RetxMisses   int64
+	// RefreshesCoalesced counts refresh requests absorbed shard-locally.
+	RefreshesCoalesced int64
+	// FeedbackReports counts viewer reports aggregated through this shard.
+	FeedbackReports int64
+}
+
+// Snapshot captures the counters. Taken while the shard runs, fields are
+// individually — not mutually — consistent.
+func (c *ShardCounters) Snapshot() ShardSnapshot {
+	return ShardSnapshot{
+		Shard:              c.shard,
+		Viewers:            c.viewers.Load(),
+		PeakViewers:        c.peakViewers.Load(),
+		FramesRelayed:      c.framesRelayed.Load(),
+		Enqueues:           c.enqueues.Load(),
+		CacheFrames:        c.cacheFrames.Load(),
+		CachePackets:       c.cachePackets.Load(),
+		RetxHits:           c.retxHits.Load(),
+		RetxMisses:         c.retxMisses.Load(),
+		RefreshesCoalesced: c.refreshCoalesced.Load(),
+		FeedbackReports:    c.feedbackReports.Load(),
+	}
+}

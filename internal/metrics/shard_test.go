@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardCountersPeakViewers(t *testing.T) {
+	c := NewShardCounters(3)
+	if c.Shard() != 3 {
+		t.Fatalf("Shard()=%d, want 3", c.Shard())
+	}
+	for i := 0; i < 5; i++ {
+		c.ViewerAttached()
+	}
+	c.ViewerDetached()
+	c.ViewerDetached()
+	c.ViewerAttached()
+	s := c.Snapshot()
+	if s.Viewers != 4 || s.PeakViewers != 5 {
+		t.Fatalf("viewers=%d peak=%d, want 4/5", s.Viewers, s.PeakViewers)
+	}
+}
+
+func TestShardCountersPeakConcurrent(t *testing.T) {
+	c := NewShardCounters(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.ViewerAttached()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Viewers != 800 || s.PeakViewers != 800 {
+		t.Fatalf("viewers=%d peak=%d, want 800/800", s.Viewers, s.PeakViewers)
+	}
+}
+
+func TestShardCountersRelayAndCache(t *testing.T) {
+	c := NewShardCounters(1)
+	c.FrameRelayed(10)
+	c.FrameRelayed(7)
+	c.CacheResize(3, 48)
+	c.CacheResize(2, 32) // gauges overwrite, not accumulate
+	c.RetxHit()
+	c.RetxHit()
+	c.RetxMiss()
+	c.RefreshCoalesced()
+	c.FeedbackReport()
+	s := c.Snapshot()
+	if s.FramesRelayed != 2 || s.Enqueues != 17 {
+		t.Fatalf("relayed=%d enqueues=%d, want 2/17", s.FramesRelayed, s.Enqueues)
+	}
+	if s.CacheFrames != 2 || s.CachePackets != 32 {
+		t.Fatalf("cache gauges %d/%d, want 2/32", s.CacheFrames, s.CachePackets)
+	}
+	if s.RetxHits != 2 || s.RetxMisses != 1 {
+		t.Fatalf("retx %d/%d, want 2/1", s.RetxHits, s.RetxMisses)
+	}
+	if s.RefreshesCoalesced != 1 || s.FeedbackReports != 1 {
+		t.Fatalf("coalesced=%d reports=%d, want 1/1", s.RefreshesCoalesced, s.FeedbackReports)
+	}
+}

@@ -1,0 +1,206 @@
+package stream
+
+// The relay tree's trunk: an immutable, reference-counted frame ring.
+//
+// The encode pipeline publishes each frame's wire bytes exactly once into
+// a ring slot; S shard workers each keep a cursor into the ring and fan
+// the frame out to their own viewer partition. Payload buffers are pooled
+// and recycled by reference count, so the steady-state fan-out allocates
+// one payload copy per frame regardless of the viewer count — and a slot
+// is never overwritten until every shard's cursor has moved past it, so a
+// published payload is frozen for as long as anything can read it (the
+// checksum taken at publish time makes that invariant testable).
+//
+// Reference-count ownership:
+//
+//   - the ring slot itself holds one reference (dropped on overwrite or
+//     at ring teardown);
+//   - the server's keyframe cache holds one for the latest I-frame;
+//   - every viewer queue entry holds one (dropped after send or shed);
+//   - every shard retransmit-cache entry holds one (dropped on eviction).
+//
+// The payload bytes are returned to the pool only when the last holder
+// releases, so a slow viewer mid-send can never observe a recycled buffer.
+
+import (
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+)
+
+// framePayload is one frame's published wire bytes plus its lifetime.
+type framePayload struct {
+	wire []byte
+	// sum is the CRC-32 of wire taken at publish time. The bytes are
+	// immutable from publish to final release; tests (and debug asserts)
+	// recompute the checksum to prove no holder ever saw a mutation.
+	sum  uint32
+	refs atomic.Int32
+}
+
+// payloadPool recycles payload backing arrays between frames.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// newFramePayload copies wire into a pooled buffer with one reference.
+func newFramePayload(wire []byte) *framePayload {
+	bp := payloadPool.Get().(*[]byte)
+	p := &framePayload{wire: append((*bp)[:0], wire...)}
+	p.sum = crc32.ChecksumIEEE(p.wire)
+	p.refs.Store(1)
+	return p
+}
+
+// retain adds one reference. The caller must already hold one.
+func (p *framePayload) retain() { p.refs.Add(1) }
+
+// release drops one reference; the last release recycles the buffer.
+func (p *framePayload) release() {
+	if p.refs.Add(-1) == 0 {
+		buf := p.wire[:0]
+		p.wire = nil
+		payloadPool.Put(&buf)
+	}
+}
+
+// frozen reports whether the payload still matches its publish checksum.
+func (p *framePayload) frozen() bool { return crc32.ChecksumIEEE(p.wire) == p.sum }
+
+// sharedFrame is one encoded frame as the relay tree sees it: an immutable
+// payload plus routing metadata. The cached-replay copy handed to a late
+// joiner is a distinct sharedFrame sharing the same payload.
+type sharedFrame struct {
+	seq    uint64 // ring publish sequence (relay order; dense)
+	index  int    // shared-pipeline frame index (viewers renumber locally)
+	ftype  codec.FrameType
+	cached bool // replayed from the keyframe cache (late join)
+	p      *framePayload
+	// pending counts shards that have not yet finished relaying this
+	// frame; the last decrement marks the frame fully fanned out.
+	pending atomic.Int32
+}
+
+// frameRing is the bounded publish ring. All methods are safe for
+// concurrent use; publish blocks only when a shard is a full ring behind
+// (shard workers never block on viewers, so in practice it never waits).
+type frameRing struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled on cursor advance, close, and cancel
+	slots   []*sharedFrame
+	head    uint64   // frames published; next publish seq
+	cursors []uint64 // per-shard consumed count (cursors[i] <= head)
+	closed  bool     // no further publishes; workers drain then exit
+	stopped bool     // canceled: workers abandon unconsumed frames
+}
+
+func newFrameRing(capacity, shards int) *frameRing {
+	if capacity < 2 {
+		capacity = 2
+	}
+	r := &frameRing{
+		slots:   make([]*sharedFrame, capacity),
+		cursors: make([]uint64, shards),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// publish stores f at the next sequence, waiting (only) while the slot it
+// replaces is still unconsumed by some shard. Returns false after cancel.
+func (r *frameRing) publish(f *sharedFrame) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.stopped || r.closed {
+			return false
+		}
+		if r.head < uint64(len(r.slots))+r.minCursorLocked() {
+			break
+		}
+		r.cond.Wait()
+	}
+	i := r.head % uint64(len(r.slots))
+	if old := r.slots[i]; old != nil {
+		old.p.release() // slot reference; all shards are past it
+	}
+	f.seq = r.head
+	r.slots[i] = f
+	r.head++
+	r.cond.Broadcast() // wake shard workers waiting in waitNext
+	return true
+}
+
+func (r *frameRing) minCursorLocked() uint64 {
+	mn := r.cursors[0]
+	for _, c := range r.cursors[1:] {
+		if c < mn {
+			mn = c
+		}
+	}
+	return mn
+}
+
+// waitNext blocks until the given shard's cursor has a frame to relay and
+// returns it without advancing the cursor. ok is false once no further
+// frame will ever appear (closed-and-drained, or canceled).
+func (r *frameRing) waitNext(shard int) (f *sharedFrame, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.stopped {
+			return nil, false
+		}
+		if cur := r.cursors[shard]; cur < r.head {
+			return r.slots[cur%uint64(len(r.slots))], true
+		}
+		if r.closed {
+			return nil, false
+		}
+		r.cond.Wait()
+	}
+}
+
+// advance moves the shard's cursor past the frame next returned, waking
+// any publisher waiting on the slot.
+func (r *frameRing) advance(shard int) {
+	r.mu.Lock()
+	r.cursors[shard]++
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// published returns the number of frames published so far.
+func (r *frameRing) published() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.head
+}
+
+// close marks the producer side finished; workers drain the remainder.
+func (r *frameRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// cancel aborts: publishers unblock, workers abandon unconsumed frames.
+func (r *frameRing) cancel() {
+	r.mu.Lock()
+	r.stopped = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// drain releases every slot reference at teardown (after workers exited).
+func (r *frameRing) drain() {
+	r.mu.Lock()
+	for i, f := range r.slots {
+		if f != nil {
+			f.p.release()
+			r.slots[i] = nil
+		}
+	}
+	r.mu.Unlock()
+}

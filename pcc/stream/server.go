@@ -1,41 +1,56 @@
 package stream
 
-// Server is the encode-once fan-out: one capture feed drives a single
-// shared encode pipeline (a Session with its geometry lookahead and
-// scratch-arena hot path), and each encoded frame is broadcast to every
-// attached Viewer. N viewers cost ONE encode per frame — the serving-scale
-// amortization the ROADMAP's session-multiplexing item asks for — while
-// per-viewer queues, sequence spaces, and retransmit buffers keep a slow
-// or lossy viewer from stalling the rest.
+// Server is the encode-once fan-out, restructured as a two-level relay
+// tree so one process serves 10k+ viewers: one capture feed drives a
+// single shared encode pipeline (a Session with its geometry lookahead
+// and scratch-arena hot path), the pipeline publishes each frame's wire
+// bytes exactly once into an immutable refcounted frame ring, and S
+// relay shards (default one per core) each fan the ring out to their own
+// partition of viewers. N viewers cost ONE encode and ONE payload copy
+// per frame; the encode goroutine's fan-out work is O(1) in the viewer
+// count (a ring publish), and the O(N) per-viewer work spreads across
+// the shard workers.
 //
 //	capture ─▶ [shared Session: geometry ∥ attr ∥ packetize ∥ transmit]
-//	                                │ FrameOut (one encode per frame)
-//	                ┌───────────────┼────────────────┐
-//	           Viewer A        Viewer B          Viewer C …
-//	         queue+seq+retx  queue+seq+retx   queue+seq+retx
-//	                │               │                │
-//	           PacketOut       PacketOut        PacketOut
+//	                            │ FrameOut (one encode per frame)
+//	                      [frame ring]  immutable, refcounted
+//	              ┌─────────────┼──────────────┐
+//	          shard 0        shard 1   …   shard S-1     one worker each:
+//	        retx cache      retx cache     retx cache    relay, NACK cache,
+//	        loss table      loss table     loss table    refresh coalesce,
+//	        ┌───┼───┐       ┌──┼──┐        ┌──┼──┐       feedback reduce
+//	       V0  VS  V2S …   V1 … …         … … …
+//	      queue+seq per viewer; senders drain independently
 //
-// Keyframe cache: the server retains the last encoded I-frame's wire
-// bytes, so a late-joining viewer starts from a decodable keyframe
-// immediately (packets marked FlagCached) instead of forcing a mid-GOP
-// re-encode. Receiver-requested I-frame refreshes — and cacheless
-// mid-stream joins — are coalesced into at most one GOP restart: the
-// first request arms the encoder, later ones ride along until the next
-// I-frame clears the arm.
+// Viewer churn, NACK storms, and slow readers touch only their shard —
+// never the encode goroutine. Feedback reduces viewer → shard loss table
+// → worst-percentile signal before reaching the rate controller, and
+// I-frame refresh requests coalesce twice (shard arm, then server arm)
+// into at most one GOP restart.
+//
+// Keyframe cache: the server retains the last encoded I-frame's payload,
+// so a late-joining viewer starts from a decodable keyframe immediately
+// (packets marked FlagCached) instead of forcing a mid-GOP re-encode.
+// Receiver-requested refreshes — and cacheless mid-stream joins — are
+// coalesced into at most one GOP restart.
+//
+// Lock order: sv.mu > shard.mu > viewer.mu (see shard.go for the audit).
 
 import (
 	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/codec"
 	"repro/internal/edgesim"
 	"repro/internal/geom"
 	"repro/internal/linksim"
+	"repro/internal/metrics"
 )
 
 // ErrServerClosed reports an operation on a closed Server.
@@ -53,6 +68,13 @@ type ServerConfig struct {
 	Queue int
 	// Lookahead is the shared pipeline's concurrent geometry depth.
 	Lookahead int
+	// Shards is the relay-tree width: how many shard workers partition
+	// the viewers (default runtime.NumCPU()). Viewer id % Shards picks
+	// the owning shard, so every viewer maps to exactly one.
+	Shards int
+	// Ring is the frame ring's capacity in frames (default 64). The
+	// encode path blocks only when a shard falls a full ring behind.
+	Ring int
 	// Link is the default per-viewer downlink (default linksim.WiFi); a
 	// ViewerConfig.Link overrides it per viewer.
 	Link linksim.Link
@@ -61,8 +83,11 @@ type ServerConfig struct {
 	// ViewerQueue is the default per-viewer send-queue capacity in frames
 	// (default 8).
 	ViewerQueue int
-	// RetransmitBuffer is the default per-viewer retained-packet cap
-	// (default 1024).
+	// RetransmitBuffer is the per-shard retransmit-cache budget in
+	// packets (default 1024): each shard retains the most recent frames
+	// covering that many packets — shared by every viewer in the
+	// partition — and rebuilds NACKed fragments from them on demand. It
+	// also caps the per-viewer span of answerable sequence numbers.
 	RetransmitBuffer int
 	// FeedbackQuantile picks the per-viewer loss rate fed to the shared
 	// congestion controller (Options.Adapt): with N reporting viewers the
@@ -79,6 +104,12 @@ func (c ServerConfig) normalized() ServerConfig {
 	if c.MTU < 64 {
 		c.MTU = 1400
 	}
+	if c.Shards < 1 {
+		c.Shards = runtime.NumCPU()
+	}
+	if c.Ring < 2 {
+		c.Ring = 64
+	}
 	if c.ViewerQueue < 1 {
 		c.ViewerQueue = 8
 	}
@@ -93,65 +124,67 @@ func (c ServerConfig) normalized() ServerConfig {
 
 // ServerMetrics is a point-in-time snapshot of the fan-out state.
 type ServerMetrics struct {
-	// FramesEncoded counts frames the shared pipeline encoded — one per
-	// submitted frame, however many viewers are attached.
+	// FramesEncoded counts frames the shared pipeline encoded AND every
+	// shard finished relaying — one per submitted frame, however many
+	// viewers are attached.
 	FramesEncoded int64
 	// IFrames counts the keyframes among them (GOP opens plus restarts).
 	IFrames int64
 	// Refreshes counts GOP restarts actually applied by the encoder;
 	// RefreshesCoalesced counts refresh requests absorbed by an
-	// already-armed restart.
+	// already-armed restart (at the shard or the server).
 	Refreshes          int64
 	RefreshesCoalesced int64
 	// CachedJoins counts viewers whose first frame came from the keyframe
 	// cache; KeyframeCached reports whether the cache currently holds one.
 	CachedJoins    int64
 	KeyframeCached bool
-	// Viewers is the current attachment count.
+	// Viewers is the current attachment count; Shards the relay width.
 	Viewers int
+	Shards  int
 	// Pipeline is the shared Session's snapshot (queues, device ledgers).
 	Pipeline Metrics
+	// PerShard lists every relay shard's counters, by shard index.
+	PerShard []metrics.ShardSnapshot
 	// PerViewer lists every attached viewer's snapshot, by StreamID.
 	PerViewer []ViewerMetrics
 }
 
-// sharedFrame is one encoded frame shared by all viewers: the wire bytes
-// are copied once out of the session's recycled buffer and never mutated.
-type sharedFrame struct {
-	index  int // shared-pipeline frame index (viewers renumber locally)
-	ftype  codec.FrameType
-	wire   []byte
-	cached bool // replayed from the keyframe cache (late join)
-}
-
-// Server fans one encode out to N viewers. Create with NewServer, attach
-// viewers with Attach (before or during the stream), feed frames with
-// Submit, then Close to drain. All methods are safe for concurrent use.
+// Server fans one encode out to N viewers through the relay tree. Create
+// with NewServer, attach viewers with Attach (before or during the
+// stream), feed frames with Submit, then Close to drain. All methods are
+// safe for concurrent use.
 type Server struct {
-	cfg  ServerConfig
-	sess *Session
-	done chan struct{} // results collector finished
+	cfg    ServerConfig
+	sess   *Session
+	done   chan struct{} // results collector finished
+	ring   *frameRing
+	shards []*shard
+
+	nextID      atomic.Uint32
+	relayed     atomic.Int64 // frames fully fanned out by every shard
+	iFrames     atomic.Int64
+	coalesced   atomic.Int64 // refresh requests absorbed (shard + server)
+	cachedJoins atomic.Int64
 
 	mu           sync.Mutex
-	viewers      []*Viewer
-	byID         map[uint32]*Viewer
-	nextID       uint32
-	cache        *sharedFrame
+	cache        *sharedFrame // latest I-frame, payload retained
 	refreshArmed bool
-	coalesced    int64
-	cachedJoins  int64
-	encoded      int64
-	iFrames      int64
 	closed       bool
 }
 
-// NewServer starts the shared encode pipeline. Cancelling ctx aborts it.
+// NewServer starts the shared encode pipeline and the shard workers.
+// Cancelling ctx aborts them.
 func NewServer(ctx context.Context, cfg ServerConfig) *Server {
 	cfg = cfg.normalized()
 	sv := &Server{
 		cfg:  cfg,
-		byID: make(map[uint32]*Viewer),
 		done: make(chan struct{}),
+		ring: newFrameRing(cfg.Ring, cfg.Shards),
+	}
+	sv.shards = make([]*shard, cfg.Shards)
+	for i := range sv.shards {
+		sv.shards[i] = newShard(sv, i)
 	}
 	sv.sess = New(ctx, Config{
 		Options:   cfg.Options,
@@ -162,10 +195,13 @@ func NewServer(ctx context.Context, cfg ServerConfig) *Server {
 		// The shared pipeline never sheds frames; per-viewer queues are
 		// where slowness resolves, in isolation.
 		Policy:   Block,
-		FrameOut: sv.broadcast,
+		FrameOut: sv.publish,
 	})
+	for _, sh := range sv.shards {
+		go sh.run()
+	}
 	// The session's Results channel must drain for the pipeline to flow;
-	// the broadcast hook does the accounting, so the fates are discarded.
+	// the publish hook does the accounting, so the fates are discarded.
 	go func() {
 		defer close(sv.done)
 		for range sv.sess.Results() {
@@ -185,30 +221,52 @@ func (sv *Server) Submit(ctx context.Context, vc *geom.VoxelCloud) error {
 	return sv.sess.Submit(ctx, vc)
 }
 
-// broadcast is the shared session's FrameOut hook: copy the frame once,
-// refresh the keyframe cache, and offer it to every viewer's queue. Runs
-// on the transmit stage; per-viewer enqueue never blocks.
-func (sv *Server) broadcast(_ context.Context, seq int, ftype codec.FrameType, wire []byte) error {
-	f := &sharedFrame{index: seq, ftype: ftype, wire: append([]byte(nil), wire...)}
-	sv.mu.Lock()
-	sv.encoded++
+// publish is the shared session's FrameOut hook: copy the frame's wire
+// bytes ONCE into a refcounted ring slot and refresh the keyframe cache.
+// Runs on the transmit stage; its cost is O(1) in the viewer count — the
+// shard workers do the O(N) fan-out.
+func (sv *Server) publish(_ context.Context, seq int, ftype codec.FrameType, wire []byte) error {
+	f := &sharedFrame{index: seq, ftype: ftype, p: newFramePayload(wire)}
+	f.pending.Store(int32(len(sv.shards)))
+	if !sv.ring.publish(f) {
+		f.p.release() // canceled mid-publish; the session is aborting
+		return nil
+	}
 	if ftype == codec.IFrame {
-		sv.iFrames++
+		f.p.retain() // cache reference
+		sv.mu.Lock()
+		old := sv.cache
 		sv.cache = f
 		sv.refreshArmed = false // the pending restart (if any) just landed
+		sv.mu.Unlock()
+		if old != nil {
+			old.p.release()
+		}
 	}
-	for _, v := range sv.viewers {
-		v.enqueue(f)
-	}
-	sv.mu.Unlock()
 	return nil
 }
 
-// Attach adds a viewer and starts its sender. When the keyframe cache
-// holds an I-frame the viewer's stream opens with it (frame 0, packets
-// marked FlagCached), so a mid-GOP join decodes immediately without a
-// re-encode; a cacheless mid-stream join instead arms a (coalesced)
-// I-frame restart and skips P-frames until the keyframe arrives.
+// frameRelayed is called by the last shard to finish fanning a frame out.
+func (sv *Server) frameRelayed(f *sharedFrame) {
+	sv.relayed.Add(1)
+	if f.ftype == codec.IFrame {
+		sv.iFrames.Add(1)
+	}
+}
+
+// shardOf maps a viewer id to its owning shard — the partition function:
+// deterministic, total, and one shard per id.
+func (sv *Server) shardOf(id uint32) *shard {
+	return sv.shards[int(id%uint32(len(sv.shards)))]
+}
+
+// Attach adds a viewer to its shard's partition and starts its sender.
+// When the keyframe cache holds an I-frame the viewer's stream opens with
+// it (frame 0, packets marked FlagCached), so a mid-GOP join decodes
+// immediately without a re-encode; a cacheless mid-stream join instead
+// arms a (coalesced) I-frame restart and skips P-frames until the
+// keyframe arrives. Only the owning shard's lock is taken — attaching
+// never touches the encode path or the other partitions.
 func (sv *Server) Attach(cfg ViewerConfig) (*Viewer, error) {
 	if cfg.Link.BandwidthMbps <= 0 {
 		cfg.Link = sv.cfg.Link
@@ -218,97 +276,103 @@ func (sv *Server) Attach(cfg ViewerConfig) (*Viewer, error) {
 		sv.mu.Unlock()
 		return nil, ErrServerClosed
 	}
-	id := cfg.StreamID
-	if id == 0 {
-		sv.nextID++
-		id = sv.nextID
-		for sv.byID[id] != nil { // skip explicit ids already taken
-			sv.nextID++
-			id = sv.nextID
-		}
-	} else if sv.byID[id] != nil {
-		sv.mu.Unlock()
-		return nil, fmt.Errorf("stream: viewer id %d already attached", id)
+	var joinCache *sharedFrame
+	if c := sv.cache; c != nil {
+		c.p.retain() // creation reference, released by shard.attach
+		joinCache = &sharedFrame{seq: c.seq, index: c.index, ftype: c.ftype, cached: true, p: c.p}
 	}
-	v := newViewer(sv, cfg, id, sv.cache != nil)
-	sv.viewers = append(sv.viewers, v)
-	sv.byID[id] = v
-	needRestart := false
-	if sv.cache != nil {
-		cached := &sharedFrame{index: sv.cache.index, ftype: sv.cache.ftype,
-			wire: sv.cache.wire, cached: true}
-		v.enqueue(cached)
-		sv.cachedJoins++
-	} else if sv.encoded > 0 {
+	sv.mu.Unlock()
+
+	v := newViewer(sv, cfg, joinCache)
+	var sh *shard
+	for {
+		id := cfg.StreamID
+		if id == 0 {
+			id = sv.nextID.Add(1)
+			if id == 0 { // wrapped
+				continue
+			}
+		}
+		v.id = id
+		sh = sv.shardOf(id)
+		if sh.attach(v) {
+			break
+		}
+		if cfg.StreamID != 0 {
+			if joinCache != nil {
+				joinCache.p.release()
+			}
+			return nil, fmt.Errorf("stream: viewer id %d already attached", cfg.StreamID)
+		}
+		// Server-assigned id collided with an explicitly chosen one: skip.
+	}
+	v.shard = sh
+
+	// Re-check closed: Close snapshots the partitions after setting the
+	// flag, so a viewer inserted later must tear itself down.
+	sv.mu.Lock()
+	closed := sv.closed
+	sv.mu.Unlock()
+	if closed {
+		sh.detach(v)
+		v.shutdown(true)
+		return nil, ErrServerClosed
+	}
+
+	needRestart := joinCache == nil && sv.ring.published() > 0
+	if joinCache != nil {
+		sv.cachedJoins.Add(1)
+	}
+	if needRestart {
 		// Mid-stream join with an empty cache (nothing but P-frames so
 		// far would be unusual, but possible after a server restart):
 		// fall back to a coalesced GOP restart.
-		needRestart = true
-	}
-	sv.mu.Unlock()
-	if needRestart {
-		sv.requestIFrame()
+		sh.requestRefresh()
 	}
 	go v.sendLoop()
 	return v, nil
 }
 
-// Detach removes a viewer: its queue is abandoned, its sender stops, and
-// its retransmit buffer is freed. Counters stay readable via the returned
-// Viewer's Metrics. Detaching an unknown (or already detached) viewer is a
-// no-op.
+// Detach removes a viewer from its shard: its queue is abandoned, its
+// sender stops, and its retransmit records are freed. Counters stay
+// readable via the returned Viewer's Metrics. Detaching an unknown (or
+// already detached) viewer is a no-op.
 func (sv *Server) Detach(v *Viewer) {
-	sv.mu.Lock()
-	if _, ok := sv.byID[v.id]; !ok || sv.byID[v.id] != v {
-		sv.mu.Unlock()
+	if v.shard == nil || !v.shard.detach(v) {
 		return
 	}
-	delete(sv.byID, v.id)
-	for i, w := range sv.viewers {
-		if w == v {
-			sv.viewers = append(sv.viewers[:i], sv.viewers[i+1:]...)
-			break
-		}
-	}
-	sv.mu.Unlock()
 	v.shutdown(true)
 }
 
 // HandleControl routes a receiver→sender control message to the viewer
-// that owns its stream id (e.g. from a shared control socket). Messages
-// for unknown stream ids — a viewer that just detached — are dropped.
+// that owns its stream id (e.g. from a shared control socket), through
+// the owning shard. Messages for unknown stream ids — a viewer that just
+// detached — are dropped.
 func (sv *Server) HandleControl(c Control) error {
-	sv.mu.Lock()
-	v := sv.byID[c.StreamID]
-	sv.mu.Unlock()
+	v := sv.shardOf(c.StreamID).lookup(c.StreamID)
 	if v == nil {
 		return nil
 	}
 	return v.HandleControl(c)
 }
 
-// observeFeedback aggregates per-viewer observed loss into the shared
-// controller's signal after one viewer's report landed (fb). Per-viewer
-// queues already isolate one congested viewer; the shared encode only
-// reacts when the FeedbackQuantile-th worst viewer sees loss, so the
-// controller tracks sustained fleet-wide congestion, not a single outlier
-// (unless the quantile is set to 1). Lock order is broadcast's: sv.mu,
-// then each viewer's mu.
-func (sv *Server) observeFeedback(fb Feedback) {
+// reduceFeedback is the root of the feedback reduction tree: after one
+// viewer's report lands in its shard's loss table, reduce the S shard
+// tables to the FeedbackQuantile-th worst loss and feed the shared
+// controller. Per-viewer queues already isolate one congested viewer;
+// the shared encode only reacts when the quantile-th worst viewer sees
+// loss, so the controller tracks sustained fleet-wide congestion, not a
+// single outlier (unless the quantile is set to 1). No viewer lock is
+// taken: the reduction reads S shard tables, not N viewers.
+func (sv *Server) reduceFeedback(fb Feedback) {
 	ctrl := sv.sess.Controller()
 	if ctrl == nil {
 		return
 	}
-	sv.mu.Lock()
-	losses := make([]float64, 0, len(sv.viewers))
-	for _, v := range sv.viewers {
-		v.mu.Lock()
-		if v.fbReports > 0 {
-			losses = append(losses, v.lastLoss)
-		}
-		v.mu.Unlock()
+	losses := make([]float64, 0, 64)
+	for _, sh := range sv.shards {
+		losses = sh.appendLosses(losses)
 	}
-	sv.mu.Unlock()
 	if len(losses) == 0 {
 		return
 	}
@@ -329,8 +393,13 @@ func (sv *Server) observeFeedback(fb Feedback) {
 // unless Options.Adapt is enabled.
 func (sv *Server) Controller() *codec.Controller { return sv.sess.Controller() }
 
-// requestIFrame arms one coalesced GOP restart: the first caller forces
-// the encoder, every caller before the next I-frame lands rides along.
+// noteCoalescedRefresh counts a refresh request absorbed by a shard's
+// already-armed restart.
+func (sv *Server) noteCoalescedRefresh() { sv.coalesced.Add(1) }
+
+// requestIFrame arms one coalesced GOP restart at the server level: the
+// first caller forces the encoder, every caller before the next I-frame
+// lands rides along.
 func (sv *Server) requestIFrame() {
 	sv.mu.Lock()
 	if sv.closed {
@@ -338,32 +407,36 @@ func (sv *Server) requestIFrame() {
 		return
 	}
 	armed := sv.refreshArmed
-	if armed {
-		sv.coalesced++
-	} else {
-		sv.refreshArmed = true
-	}
+	sv.refreshArmed = true
 	sv.mu.Unlock()
-	if !armed {
-		// ControlRefresh never touches PacketOut, so no error can surface.
-		_ = sv.sess.HandleControl(Control{Kind: ControlRefresh})
+	if armed {
+		sv.coalesced.Add(1)
+		return
 	}
+	// ControlRefresh never touches PacketOut, so no error can surface.
+	_ = sv.sess.HandleControl(Control{Kind: ControlRefresh})
 }
 
-// Metrics snapshots the server, the shared pipeline, and every attached
-// viewer (sorted by stream id).
+// Metrics snapshots the server, the shared pipeline, every shard, and
+// every attached viewer (sorted by stream id).
 func (sv *Server) Metrics() ServerMetrics {
 	sv.mu.Lock()
-	m := ServerMetrics{
-		FramesEncoded:      sv.encoded,
-		IFrames:            sv.iFrames,
-		RefreshesCoalesced: sv.coalesced,
-		CachedJoins:        sv.cachedJoins,
-		KeyframeCached:     sv.cache != nil,
-		Viewers:            len(sv.viewers),
-	}
-	vs := append([]*Viewer(nil), sv.viewers...)
+	cached := sv.cache != nil
 	sv.mu.Unlock()
+	m := ServerMetrics{
+		FramesEncoded:      sv.relayed.Load(),
+		IFrames:            sv.iFrames.Load(),
+		RefreshesCoalesced: sv.coalesced.Load(),
+		CachedJoins:        sv.cachedJoins.Load(),
+		KeyframeCached:     cached,
+		Shards:             len(sv.shards),
+	}
+	var vs []*Viewer
+	for _, sh := range sv.shards {
+		m.PerShard = append(m.PerShard, sh.stats.Snapshot())
+		vs = append(vs, sh.snapshotViewers()...)
+	}
+	m.Viewers = len(vs)
 	m.Pipeline = sv.sess.Metrics()
 	m.Refreshes = m.Pipeline.Refreshes
 	for _, v := range vs {
@@ -378,38 +451,50 @@ func (sv *Server) Metrics() ServerMetrics {
 // Err returns the shared pipeline's first error, if any.
 func (sv *Server) Err() error { return sv.sess.Err() }
 
-// Close stops accepting frames, drains the shared pipeline (every
-// broadcast lands in viewer queues), then drains and stops every viewer's
-// sender. Idempotent; returns the pipeline's close error. Attached
-// viewers' counters stay readable afterwards.
+// Close stops accepting frames, drains the shared pipeline (every frame
+// reaches the ring), waits for every shard to finish relaying, then
+// drains and stops every viewer's sender. Idempotent; returns the
+// pipeline's close error. Attached viewers' counters stay readable
+// afterwards.
 func (sv *Server) Close() error {
 	err := sv.sess.Close()
 	<-sv.done
+	sv.ring.close()
+	for _, sh := range sv.shards {
+		<-sh.done
+	}
 	sv.mu.Lock()
 	if sv.closed {
 		sv.mu.Unlock()
 		return err
 	}
 	sv.closed = true
-	vs := append([]*Viewer(nil), sv.viewers...)
+	cache := sv.cache
+	sv.cache = nil
 	sv.mu.Unlock()
-	for _, v := range vs {
-		v.shutdown(err != nil) // drain on a clean close, discard on abort
+	for _, sh := range sv.shards {
+		for _, v := range sh.snapshotViewers() {
+			v.shutdown(err != nil) // drain on a clean close, discard on abort
+		}
 	}
+	for _, sh := range sv.shards {
+		sh.drainCache()
+	}
+	if cache != nil {
+		cache.p.release()
+	}
+	sv.ring.drain()
 	return err
 }
 
-// Cancel aborts the shared pipeline and every viewer immediately.
+// Cancel aborts the shared pipeline, the shard workers, and every viewer
+// immediately.
 func (sv *Server) Cancel() {
 	sv.sess.Cancel()
-	sv.mu.Lock()
-	vs := append([]*Viewer(nil), sv.viewers...)
-	sv.mu.Unlock()
-	for _, v := range vs {
-		v.mu.Lock()
-		v.closed, v.discard = true, true
-		v.queue = nil
-		v.cond.Broadcast()
-		v.mu.Unlock()
+	sv.ring.cancel()
+	for _, sh := range sv.shards {
+		for _, v := range sh.snapshotViewers() {
+			v.abort()
+		}
 	}
 }

@@ -2,17 +2,24 @@ package stream
 
 // Viewer is one attached consumer of a Server's shared encode: it owns a
 // bounded send queue, a backpressure policy, a private packet sequence
-// space and frame-index space, a retransmit buffer, and a control loop —
-// everything per-session except the encode itself, which the Server pays
-// once per frame for all viewers.
+// space and frame-index space, and a control loop — everything
+// per-session except the encode itself, which the Server pays once per
+// frame for all viewers, and the frame bytes themselves, which the
+// viewer's queue holds by reference into the server's frame ring.
 //
-// Slow-viewer isolation: enqueueing never blocks the broadcaster. A full
+// Slow-viewer isolation: enqueueing never blocks the relay shard. A full
 // queue sheds its oldest P-frame (frame-index gaps read as sender drops at
 // the receiver, which stays decodable because P-frames predict from their
 // GOP I-frame, not from each other). When an I-frame arrives at a full
 // queue the viewer is force-resynced: the stale backlog is flushed and the
 // stream restarts from that fresh keyframe — a drowning viewer jumps to
 // the newest I instead of serving frames it can no longer afford to send.
+//
+// NACKs are answered without per-viewer packet copies: the viewer keeps
+// only compact sent-records (which sequence range mapped to which ring
+// frame) and rebuilds the requested fragment from its shard's retransmit
+// cache on demand, so the retransmit memory for a partition is one
+// refcounted frame set shared by every viewer in it.
 
 import (
 	"sync"
@@ -39,7 +46,8 @@ type ViewerConfig struct {
 	// simulated link second — the knob that turns a narrow Link into a
 	// genuinely slow viewer.
 	Pace float64
-	// RetransmitBuffer caps the packets retained to answer NACKs.
+	// RetransmitBuffer caps the sent packets this viewer can still answer
+	// NACKs for (records only; the payload bytes live in the shard cache).
 	RetransmitBuffer int
 	// PacketOut transmits this viewer's framed packets. It runs on the
 	// viewer's sender goroutine (fresh and cached frames) and on the
@@ -78,20 +86,22 @@ type ViewerMetrics struct {
 	Packets   int64
 	WireBytes int64
 	// Control-loop counters: NACK messages handled, packets re-sent,
-	// NACKed packets already evicted, refresh requests forwarded.
+	// NACKed packets no longer answerable (record or shard cache evicted),
+	// refresh requests forwarded.
 	NACKsReceived int64
 	Retransmits   int64
 	RetxMisses    int64
 	Refreshes     int64
 	// Congestion-feedback counters: reports this viewer's receiver sent
 	// that were accepted, reports dropped as duplicate/stale, and the loss
-	// rate its latest report carried (the server aggregates these across
+	// rate its latest report carried (shards aggregate these across
 	// viewers into the shared controller's signal).
 	FeedbackReports int64
 	FeedbackStale   int64
 	LastLossRate    float64
-	// RetxBuffered is the retransmit buffer's current occupancy (0 once
-	// the viewer detaches — detach frees the buffer).
+	// RetxBuffered is the packet span the sent-records currently cover —
+	// how many recent sequence numbers this viewer can still answer NACKs
+	// for (0 once the viewer detaches; detach frees the records).
 	RetxBuffered int
 	// Link totals over all sent frames.
 	LinkTime  time.Duration
@@ -102,22 +112,44 @@ type ViewerMetrics struct {
 }
 
 // queuedFrame is one frame waiting in a viewer's send queue, tagged with
-// the viewer-local frame index assigned at enqueue time.
+// the viewer-local frame index assigned at enqueue time. The entry holds
+// one payload reference, released after the frame is sent or shed.
 type queuedFrame struct {
 	idx uint32
 	f   *sharedFrame
 }
 
+// sentRec records one sent frame's place in the viewer's sequence space:
+// enough to rebuild any of its fragments from the shard retransmit cache
+// on a NACK, without retaining per-viewer packet copies.
+type sentRec struct {
+	firstSeq uint32 // sequence number of fragment 0
+	n        uint16 // fragment count
+	frameSeq uint64 // ring publish sequence (shard cache key)
+	frameIdx uint32 // viewer-local frame index
+	ftype    codec.FrameType
+	cached   bool // replayed join keyframe (FlagCached on rebuild)
+}
+
 // Viewer is one fan-out consumer. Create with Server.Attach; release with
 // Server.Detach (or Close). All methods are safe for concurrent use.
 type Viewer struct {
-	sv  *Server
-	cfg ViewerConfig
-	id  uint32
+	sv    *Server
+	shard *shard // owning relay shard (set by Attach before the sender starts)
+	cfg   ViewerConfig
+	id    uint32
 
 	gauge    *metrics.QueueGauge
 	joinedAt time.Time
 	done     chan struct{}
+
+	// joinCache is the cached keyframe handed to a late joiner, holding
+	// one payload reference; shard.attach enqueues and clears it.
+	joinCache *sharedFrame
+	// minLiveSeq is the first ring sequence this viewer accepts live: a
+	// cached join supersedes everything published up to the cached
+	// keyframe, so older in-flight frames are skipped silently.
+	minLiveSeq uint64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -143,7 +175,7 @@ type Viewer struct {
 	retxMisses    int64
 	refreshes     int64
 	// Feedback state: per-viewer report numbering is independent, so the
-	// stale check lives here, not on the server.
+	// stale check lives here, not on the shard.
 	lastFbReport uint32
 	fbReports    int64
 	fbStale      int64
@@ -152,20 +184,25 @@ type Viewer struct {
 	txJ, rxJ     float64
 	err          error
 
-	retx     map[uint32][]byte
-	retxFIFO []uint32
+	// records is the sent-record FIFO (ordered by firstSeq; pktSeq is
+	// monotonic), bounded so the covered packet span stays <= retxCap.
+	records []sentRec
+	recPkts int
+	recDead bool // detached: answer no further NACKs
 }
 
-func newViewer(sv *Server, cfg ViewerConfig, id uint32, haveCache bool) *Viewer {
+func newViewer(sv *Server, cfg ViewerConfig, joinCache *sharedFrame) *Viewer {
 	v := &Viewer{
-		sv:       sv,
-		cfg:      cfg,
-		id:       id,
-		gauge:    metrics.NewQueueGauge("viewer-send"),
-		joinedAt: time.Now(),
-		done:     make(chan struct{}),
-		lostRef:  !haveCache,
-		retx:     make(map[uint32][]byte),
+		sv:        sv,
+		cfg:       cfg,
+		gauge:     metrics.NewQueueGauge("viewer-send"),
+		joinedAt:  time.Now(),
+		done:      make(chan struct{}),
+		joinCache: joinCache,
+		lostRef:   joinCache == nil,
+	}
+	if joinCache != nil {
+		v.minLiveSeq = joinCache.seq + 1
 	}
 	v.cond = sync.NewCond(&v.mu)
 	return v
@@ -207,7 +244,7 @@ func (v *Viewer) Metrics() ViewerMetrics {
 		FeedbackReports: v.fbReports,
 		FeedbackStale:   v.fbStale,
 		LastLossRate:    v.lastLoss,
-		RetxBuffered:    len(v.retx),
+		RetxBuffered:    v.recPkts,
 		LinkTime:        v.linkTime,
 		TxEnergyJ:       v.txJ,
 		RxEnergyJ:       v.rxJ,
@@ -215,14 +252,22 @@ func (v *Viewer) Metrics() ViewerMetrics {
 	}
 }
 
-// enqueue offers one broadcast frame to the viewer. It never blocks: the
-// queue policy resolves overflow by shedding (see the type comment). Runs
-// under the server's broadcast lock, so it must stay O(queue).
-func (v *Viewer) enqueue(f *sharedFrame) {
+// enqueue offers one relayed frame to the viewer, retaining a payload
+// reference on acceptance. It never blocks: the queue policy resolves
+// overflow by shedding (see the type comment). Runs under the owning
+// shard's lock, so it must stay O(queue). Returns whether the frame
+// entered the queue.
+func (v *Viewer) enqueue(f *sharedFrame) bool {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.closed {
-		return
+		return false
+	}
+	if !f.cached && f.seq < v.minLiveSeq {
+		// Published before this viewer's cached join point: the cached
+		// keyframe already supersedes it. Not a drop — the frame was
+		// never part of this viewer's stream.
+		return false
 	}
 	if v.lostRef {
 		if f.ftype == codec.PFrame {
@@ -230,7 +275,7 @@ func (v *Viewer) enqueue(f *sharedFrame) {
 			v.skippedNoRef++
 			v.framesDropped++
 			v.gauge.Drop()
-			return
+			return false
 		}
 		v.lostRef = false
 	}
@@ -239,9 +284,10 @@ func (v *Viewer) enqueue(f *sharedFrame) {
 		case f.ftype == codec.IFrame:
 			// Forced I-frame resync: the backlog is stale and a fresh
 			// keyframe supersedes all of it — flush and restart from f.
-			for range v.queue {
+			for _, qf := range v.queue {
 				v.gauge.Dequeue()
 				v.gauge.Drop()
+				qf.f.p.release()
 			}
 			v.framesDropped += int64(len(v.queue))
 			v.queue = v.queue[:0]
@@ -254,23 +300,27 @@ func (v *Viewer) enqueue(f *sharedFrame) {
 			// the P keeps the stream decodable.
 			v.framesDropped++
 			v.gauge.Drop()
-			return
+			return false
 		}
 	}
 	if f.cached {
 		v.cachedJoin = true
 	}
+	f.p.retain()
 	v.queue = append(v.queue, queuedFrame{idx: v.nextIdx, f: f})
 	v.nextIdx++
 	v.gauge.Enqueue()
 	v.cond.Signal()
+	return true
 }
 
-// dropOldestPLocked removes the oldest queued P-frame. Returns false when
-// the queue holds only I-frames (which are only superseded, never shed).
+// dropOldestPLocked removes (and releases) the oldest queued P-frame.
+// Returns false when the queue holds only I-frames (which are only
+// superseded, never shed).
 func (v *Viewer) dropOldestPLocked() bool {
 	for i, qf := range v.queue {
 		if qf.f.ftype == codec.PFrame {
+			qf.f.p.release()
 			copy(v.queue[i:], v.queue[i+1:])
 			v.queue[len(v.queue)-1] = queuedFrame{}
 			v.queue = v.queue[:len(v.queue)-1]
@@ -290,11 +340,17 @@ func (v *Viewer) queueCap() int {
 	return v.sv.cfg.ViewerQueue
 }
 
+// mtu returns the payload size per packet, with PacketizeFrame's clamps
+// applied so NACK rebuilds fragment exactly like the original send.
 func (v *Viewer) mtu() int {
-	if v.cfg.MTU >= 64 {
-		return v.cfg.MTU
+	m := v.cfg.MTU
+	if m < 64 {
+		m = v.sv.cfg.MTU
 	}
-	return v.sv.cfg.MTU
+	if m > MaxPayload {
+		m = MaxPayload
+	}
+	return m
 }
 
 func (v *Viewer) retxCap() int {
@@ -305,8 +361,8 @@ func (v *Viewer) retxCap() int {
 }
 
 // sendLoop is the viewer's sender goroutine: it drains the queue in order,
-// packetizes each frame in the viewer's own sequence space, buffers the
-// packets for NACK retransmission, and emits them through PacketOut.
+// packetizes each frame in the viewer's own sequence space, records the
+// sent range for NACK rebuilds, and emits the packets through PacketOut.
 func (v *Viewer) sendLoop() {
 	defer close(v.done)
 	for {
@@ -326,7 +382,9 @@ func (v *Viewer) sendLoop() {
 		firstSeq := v.pktSeq
 		v.mu.Unlock()
 
-		if err := v.sendFrame(qf, firstSeq); err != nil {
+		err := v.sendFrame(qf, firstSeq)
+		qf.f.p.release() // queue entry's reference
+		if err != nil {
 			v.mu.Lock()
 			if v.err == nil {
 				v.err = err
@@ -339,7 +397,7 @@ func (v *Viewer) sendLoop() {
 
 // sendFrame packetizes and emits one frame. Runs only on the sender loop.
 func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
-	pkts := PacketizeFrame(v.id, qf.idx, qf.f.ftype, firstSeq, qf.f.wire, v.mtu())
+	pkts := PacketizeFrame(v.id, qf.idx, qf.f.ftype, firstSeq, qf.f.p.wire, v.mtu())
 	bytes := int64(0)
 	for _, p := range pkts {
 		if qf.f.cached {
@@ -351,8 +409,10 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	if err != nil {
 		return err
 	}
-	for i, p := range pkts {
-		v.bufferPacket(firstSeq+uint32(i), p)
+	// Record before the first PacketOut: a receiver NACKing from inside
+	// the delivery chain (re-entrant HandleControl) must find the frame.
+	v.recordSent(qf, firstSeq, len(pkts))
+	for _, p := range pkts {
 		if v.cfg.PacketOut != nil {
 			if err := v.cfg.PacketOut(v.sv.sess.ctx, p); err != nil {
 				return err
@@ -381,31 +441,117 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	return nil
 }
 
-// bufferPacket retains one sent packet for NACK retransmission, evicting
-// the oldest once the buffer is full. A detached viewer (nil buffer)
-// retains nothing.
-func (v *Viewer) bufferPacket(seq uint32, pkt []byte) {
+// recordSent appends one frame's sent-record, evicting the oldest records
+// once the covered packet span exceeds the viewer's retransmit budget.
+func (v *Viewer) recordSent(qf queuedFrame, firstSeq uint32, n int) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if v.retx == nil {
+	if v.recDead {
 		return
 	}
-	if len(v.retxFIFO) >= v.retxCap() {
-		delete(v.retx, v.retxFIFO[0])
-		v.retxFIFO = v.retxFIFO[1:]
+	budget := v.retxCap()
+	for v.recPkts+n > budget && len(v.records) > 0 {
+		v.recPkts -= int(v.records[0].n)
+		v.records = v.records[1:]
 	}
-	v.retx[seq] = pkt
-	v.retxFIFO = append(v.retxFIFO, seq)
+	if n > budget {
+		return // one frame wider than the whole budget: not answerable
+	}
+	v.records = append(v.records, sentRec{
+		firstSeq: firstSeq,
+		n:        uint16(n),
+		frameSeq: qf.f.seq,
+		frameIdx: qf.idx,
+		ftype:    qf.f.ftype,
+		cached:   qf.f.cached,
+	})
+	v.recPkts += n
+}
+
+// findRecLocked locates the sent-record covering seq. Records are sorted
+// by firstSeq (the sequence space is monotonic), so this is a binary
+// search. Caller holds v.mu.
+func (v *Viewer) findRecLocked(seq uint32) (sentRec, bool) {
+	lo, hi := 0, len(v.records)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.records[mid].firstSeq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return sentRec{}, false
+	}
+	rec := v.records[lo-1]
+	if seq-rec.firstSeq >= uint32(rec.n) {
+		return sentRec{}, false
+	}
+	return rec, true
+}
+
+// rebuildPacket reconstructs one NACKed packet from the shard retransmit
+// cache: the sent-record maps the viewer sequence number back to a ring
+// frame and fragment, and the shared payload rebuilds the exact original
+// packet (plus FlagRetransmit). Returns nil when the record or the cached
+// frame has been evicted.
+func (v *Viewer) rebuildPacket(seq uint32) []byte {
+	v.mu.Lock()
+	rec, ok := v.findRecLocked(seq)
+	v.mu.Unlock()
+	sh := v.shard
+	if !ok || sh == nil {
+		v.noteRetxMiss(sh)
+		return nil
+	}
+	f := sh.cacheGet(rec.frameSeq)
+	if f == nil {
+		v.noteRetxMiss(sh)
+		return nil
+	}
+	mtu := v.mtu()
+	frag := seq - rec.firstSeq
+	lo := int(frag) * mtu
+	hi := min(lo+mtu, len(f.p.wire))
+	flags := FlagRetransmit
+	if rec.cached {
+		flags |= FlagCached
+	}
+	pkt := MarshalPacket(PacketHeader{
+		Flags:      flags,
+		StreamID:   v.id,
+		FrameIndex: rec.frameIdx,
+		FrameType:  rec.ftype,
+		Frag:       uint16(frag),
+		FragCount:  rec.n,
+		Seq:        seq,
+	}, f.p.wire[lo:hi])
+	f.p.release()
+	v.mu.Lock()
+	v.retransmits++
+	v.mu.Unlock()
+	sh.stats.RetxHit()
+	return pkt
+}
+
+func (v *Viewer) noteRetxMiss(sh *shard) {
+	v.mu.Lock()
+	v.retxMisses++
+	v.mu.Unlock()
+	if sh != nil {
+		sh.stats.RetxMiss()
+	}
 }
 
 // HandleControl processes one receiver→sender control message addressed to
-// this viewer. NACKs are answered from the viewer's own retransmit buffer
+// this viewer. NACKs are rebuilt from the owning shard's retransmit cache
 // (duplicate sequence numbers within one message coalesce to a single
-// retransmit); a refresh request is forwarded to the server, which
-// coalesces concurrent requests into at most one GOP restart; a feedback
-// report updates this viewer's observed loss (duplicates and reorders are
-// dropped against the viewer's own report numbering) and triggers the
-// server's worst-percentile aggregation. Safe to call
+// retransmit); a refresh request is coalesced by the shard, then the
+// server, into at most one GOP restart; a feedback report updates this
+// viewer's observed loss (duplicates and reorders are dropped against the
+// viewer's own report numbering), folds it into the shard's loss table,
+// and triggers the server's worst-percentile reduction. Safe to call
 // concurrently with a live stream, including re-entrantly from within a
 // PacketOut delivery chain.
 func (v *Viewer) HandleControl(c Control) error {
@@ -414,7 +560,9 @@ func (v *Viewer) HandleControl(c Control) error {
 		v.mu.Lock()
 		v.refreshes++
 		v.mu.Unlock()
-		v.sv.requestIFrame()
+		if v.shard != nil {
+			v.shard.requestRefresh()
+		}
 	case ControlFeedback:
 		fb := c.Feedback
 		v.mu.Lock()
@@ -426,10 +574,14 @@ func (v *Viewer) HandleControl(c Control) error {
 		v.lastFbReport = fb.Report
 		v.fbReports++
 		v.lastLoss = fb.LossRate()
+		loss := v.lastLoss
 		v.mu.Unlock()
-		// Aggregate outside v.mu: observeFeedback takes sv.mu then each
-		// viewer's mu (the broadcast lock order).
-		v.sv.observeFeedback(fb)
+		// Aggregate outside v.mu: the fold takes shard.mu, the reduction
+		// every shard's mu in turn (the relay lock order).
+		if v.shard != nil {
+			v.shard.noteLoss(v.id, loss)
+		}
+		v.sv.reduceFeedback(fb)
 	case ControlNACK:
 		v.mu.Lock()
 		v.nacksRecv++
@@ -445,23 +597,11 @@ func (v *Viewer) HandleControl(c Control) error {
 				}
 				seen[seq] = struct{}{}
 			}
-			v.mu.Lock()
-			buf, ok := v.retx[seq]
-			var cp []byte
-			if ok {
-				cp = append([]byte(nil), buf...)
-				cp[3] |= FlagRetransmit
-			}
-			if ok {
-				v.retransmits++
-			} else {
-				v.retxMisses++
-			}
-			v.mu.Unlock()
-			if !ok || v.cfg.PacketOut == nil {
+			pkt := v.rebuildPacket(seq)
+			if pkt == nil || v.cfg.PacketOut == nil {
 				continue
 			}
-			if err := v.cfg.PacketOut(v.sv.sess.ctx, cp); err != nil {
+			if err := v.cfg.PacketOut(v.sv.sess.ctx, pkt); err != nil {
 				return err
 			}
 		}
@@ -470,24 +610,30 @@ func (v *Viewer) HandleControl(c Control) error {
 }
 
 // shutdown stops the viewer: no further enqueues, the sender either drains
-// the queue (clean close) or abandons it (detach/cancel), and the
-// retransmit buffer is freed. Blocks until the sender goroutine exits;
-// counters remain readable through Metrics afterwards.
+// the queue (clean close) or abandons it (detach/cancel), queued payload
+// references are released, and the sent-records are freed. Blocks until
+// the sender goroutine exits; counters remain readable through Metrics
+// afterwards. Idempotent.
 func (v *Viewer) shutdown(discard bool) {
 	v.mu.Lock()
 	v.closed = true
 	if discard {
 		v.discard = true
-		for range v.queue {
-			v.gauge.Dequeue()
-		}
-		v.queue = nil
 	}
 	v.cond.Broadcast()
 	v.mu.Unlock()
 	<-v.done
 	v.mu.Lock()
-	v.retx = nil
-	v.retxFIFO = nil
+	for _, qf := range v.queue {
+		v.gauge.Dequeue()
+		qf.f.p.release()
+	}
+	v.queue = nil
+	v.records = nil
+	v.recPkts = 0
+	v.recDead = true
 	v.mu.Unlock()
 }
+
+// abort is Cancel's teardown: abandon the queue immediately.
+func (v *Viewer) abort() { v.shutdown(true) }
