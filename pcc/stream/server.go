@@ -309,13 +309,21 @@ func (sv *Server) Attach(cfg ViewerConfig) (*Viewer, error) {
 	v.shard = sh
 
 	// Re-check closed: Close snapshots the partitions after setting the
-	// flag, so a viewer inserted later must tear itself down.
+	// flag, so a viewer inserted later must tear itself down. The sender
+	// goroutine was never started, so close v.done here — shutdown (ours,
+	// or a racing Close's that snapshotted this viewer) waits on it and
+	// would otherwise block forever on a sendLoop that will never run.
 	sv.mu.Lock()
 	closed := sv.closed
 	sv.mu.Unlock()
 	if closed {
 		sh.detach(v)
+		close(v.done)
 		v.shutdown(true)
+		// The flag is set only after the shard workers exit, so the retx
+		// reference attach just took (the join keyframe) may have landed
+		// after the closing side's drain; drain again to drop it.
+		sh.drainCache()
 		return nil, ErrServerClosed
 	}
 
@@ -488,13 +496,30 @@ func (sv *Server) Close() error {
 }
 
 // Cancel aborts the shared pipeline, the shard workers, and every viewer
-// immediately.
+// immediately, then releases every cached payload reference (ring slots,
+// shard retransmit caches, keyframe cache) so the buffers return to the
+// pool. The server is closed afterwards: Attach fails, Close stays safe.
 func (sv *Server) Cancel() {
 	sv.sess.Cancel()
 	sv.ring.cancel()
+	for _, sh := range sv.shards {
+		<-sh.done
+	}
+	sv.mu.Lock()
+	sv.closed = true
+	cache := sv.cache
+	sv.cache = nil
+	sv.mu.Unlock()
 	for _, sh := range sv.shards {
 		for _, v := range sh.snapshotViewers() {
 			v.abort()
 		}
 	}
+	for _, sh := range sv.shards {
+		sh.drainCache()
+	}
+	if cache != nil {
+		cache.p.release()
+	}
+	sv.ring.drain()
 }

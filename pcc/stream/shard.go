@@ -170,6 +170,9 @@ func (sh *shard) attach(v *Viewer) bool {
 		sh.cacheLocked(c)
 		v.enqueue(c)
 		v.joinCache = nil
+		// Attach's creation reference is done: the retx cache and the
+		// queue entry (when accepted) each took their own above.
+		c.p.release()
 	}
 	sh.viewers = append(sh.viewers, v)
 	sh.byID[v.id] = v

@@ -396,3 +396,224 @@ func TestServerCloseDuringChurn(t *testing.T) {
 		t.Fatalf("%d viewers attached after close + churn drain", m.Viewers)
 	}
 }
+
+// waitRelayed blocks until every shard has finished relaying n frames.
+func waitRelayed(t *testing.T, sv *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for sv.relayed.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d frames to relay (got %d)", n, sv.relayed.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// capturePayloads snapshots every live payload the server currently holds
+// a reference to — keyframe cache, shard retransmit caches, ring slots —
+// so a teardown test can assert the refcounts unwind to zero.
+func capturePayloads(t *testing.T, sv *Server) []*framePayload {
+	t.Helper()
+	seen := make(map[*framePayload]bool)
+	var ps []*framePayload
+	add := func(p *framePayload) {
+		if p != nil && !seen[p] {
+			seen[p] = true
+			ps = append(ps, p)
+		}
+	}
+	sv.mu.Lock()
+	if sv.cache != nil {
+		add(sv.cache.p)
+	}
+	sv.mu.Unlock()
+	for _, sh := range sv.shards {
+		sh.mu.Lock()
+		for _, e := range sh.retx {
+			add(e.f.p)
+		}
+		sh.mu.Unlock()
+	}
+	sv.ring.mu.Lock()
+	for _, f := range sv.ring.slots {
+		if f != nil {
+			add(f.p)
+		}
+	}
+	sv.ring.mu.Unlock()
+	if len(ps) == 0 {
+		t.Fatal("captured no live payloads")
+	}
+	return ps
+}
+
+// TestServerCloseReleasesPayloadRefs proves the reference-count ledger
+// balances on a clean close: every payload the relay tree held — ring
+// slots, shard retransmit caches, the keyframe cache, and the late-join
+// path's creation/cache/queue references — reaches zero references, so
+// the buffers return to the pool.
+func TestServerCloseReleasesPayloadRefs(t *testing.T) {
+	frames := testFrames(t, 6)
+	opts := testOptions(codec.IntraInterV1)
+	ctx := context.Background()
+	sv := NewServer(ctx, ServerConfig{Options: opts, Shards: 2, ViewerQueue: 32})
+
+	for _, f := range frames[:4] {
+		if err := sv.Submit(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRelayed(t, sv, 4)
+
+	// Late join through the keyframe cache: this path takes the creation,
+	// retx-cache, and queue references that must all unwind by Close.
+	sink := newViewerSink(opts)
+	if _, err := sv.Attach(ViewerConfig{PacketOut: sink.packetOut}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames[4:] {
+		if err := sv.Submit(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRelayed(t, sv, int64(len(frames)))
+
+	payloads := capturePayloads(t, sv)
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		if n := p.refs.Load(); n != 0 {
+			t.Fatalf("payload %d: %d references after Close, want 0 (pool recycling defeated)", i, n)
+		}
+	}
+}
+
+// TestServerCancelReleasesPayloadRefs proves Cancel is a complete
+// teardown, not just an abort: after it returns, the ring slots, shard
+// retransmit caches, and keyframe cache have released their references
+// and the server refuses further attaches.
+func TestServerCancelReleasesPayloadRefs(t *testing.T) {
+	frames := testFrames(t, 6)
+	opts := testOptions(codec.IntraInterV1)
+	ctx := context.Background()
+	sv := NewServer(ctx, ServerConfig{Options: opts, Shards: 2, ViewerQueue: 32})
+
+	if _, err := sv.Attach(ViewerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := sv.Submit(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRelayed(t, sv, int64(len(frames)))
+
+	payloads := capturePayloads(t, sv)
+	sv.Cancel()
+	for i, p := range payloads {
+		if n := p.refs.Load(); n != 0 {
+			t.Fatalf("payload %d: %d references after Cancel, want 0 (pool recycling defeated)", i, n)
+		}
+	}
+	if _, err := sv.Attach(ViewerConfig{}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("attach after cancel: err=%v, want ErrServerClosed", err)
+	}
+}
+
+// TestServerAttachCloseRaceNoDeadlock drives the narrow Attach-vs-Close
+// window deterministically: the test holds the shard lock so an attacher
+// that already passed the first closed check parks on the partition
+// insert, lets Close set the closed flag, then releases the lock. The
+// viewer is inserted after Close's flag, so it must tear itself down —
+// without waiting on a sender goroutine that never started — and Close
+// must not hang on it either.
+func TestServerAttachCloseRaceNoDeadlock(t *testing.T) {
+	sv := NewServer(context.Background(), ServerConfig{
+		Options: testOptions(codec.IntraInterV1),
+		Shards:  1,
+	})
+	sh := sv.shards[0]
+
+	sh.mu.Lock()
+	attachErr := make(chan error, 1)
+	go func() {
+		_, err := sv.Attach(ViewerConfig{})
+		attachErr <- err
+	}()
+	// Give the attacher time to pass the first closed check and park on
+	// sh.mu. (If it hasn't yet, the test degrades to the trivial
+	// closed-up-front path rather than flaking.)
+	time.Sleep(10 * time.Millisecond)
+	closed := make(chan error, 1)
+	go func() { closed <- sv.Close() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sv.mu.Lock()
+		c := sv.closed
+		sv.mu.Unlock()
+		if c {
+			break
+		}
+		if time.Now().After(deadline) {
+			sh.mu.Unlock()
+			t.Fatal("Close never set the closed flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sh.mu.Unlock()
+
+	select {
+	case err := <-attachErr:
+		if !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("attach racing close: err=%v, want ErrServerClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Attach deadlocked tearing down a viewer inserted after Close")
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked against the racing attacher")
+	}
+	if m := sv.Metrics(); m.Viewers != 0 {
+		t.Fatalf("%d viewers attached after the race", m.Viewers)
+	}
+}
+
+// TestViewerRetxRecordSeqWrap proves NACK record lookups survive the
+// uint32 packet-sequence wraparound: records straddling 2^32 resolve to
+// the right frame, and sequences outside the window miss cleanly on both
+// sides of the wrap.
+func TestViewerRetxRecordSeqWrap(t *testing.T) {
+	v := &Viewer{}
+	base := uint32(0xFFFFFFF8) // 8 sequence numbers before the wrap
+	for i := 0; i < 4; i++ {   // 5-packet frames: two records cross the wrap
+		v.records = append(v.records, sentRec{
+			firstSeq: base + uint32(i*5),
+			n:        5,
+			frameSeq: uint64(i),
+		})
+		v.recPkts += 5
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := 0; i < 4; i++ {
+		for off := uint32(0); off < 5; off++ {
+			seq := base + uint32(i*5) + off
+			rec, ok := v.findRecLocked(seq)
+			if !ok || rec.frameSeq != uint64(i) {
+				t.Fatalf("seq %#x: ok=%v frame=%d, want record %d", seq, ok, rec.frameSeq, i)
+			}
+		}
+	}
+	if _, ok := v.findRecLocked(base - 1); ok {
+		t.Fatal("sequence before the record window resolved to a record")
+	}
+	if _, ok := v.findRecLocked(base + 20); ok {
+		t.Fatal("sequence past the record window resolved to a record")
+	}
+}

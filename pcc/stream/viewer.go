@@ -184,8 +184,9 @@ type Viewer struct {
 	txJ, rxJ     float64
 	err          error
 
-	// records is the sent-record FIFO (ordered by firstSeq; pktSeq is
-	// monotonic), bounded so the covered packet span stays <= retxCap.
+	// records is the sent-record FIFO, ordered by firstSeq in the modular
+	// uint32 sequence space (pktSeq wraps), bounded so the covered packet
+	// span stays <= retxCap — which keeps modular lookups unambiguous.
 	records []sentRec
 	recPkts int
 	recDead bool // detached: answer no further NACKs
@@ -468,21 +469,26 @@ func (v *Viewer) recordSent(qf queuedFrame, firstSeq uint32, n int) {
 	v.recPkts += n
 }
 
-// findRecLocked locates the sent-record covering seq. Records are sorted
-// by firstSeq (the sequence space is monotonic), so this is a binary
-// search. Caller holds v.mu.
+// findRecLocked locates the sent-record covering seq. Records are ordered
+// by firstSeq in the viewer's modular sequence space, and the span they
+// cover is bounded by the retransmit budget (far below 2^31), so binary
+// searching on the offset from the oldest record stays correct across
+// uint32 wraparound; sequences outside the window wrap to huge offsets
+// and miss cleanly. Caller holds v.mu.
 func (v *Viewer) findRecLocked(seq uint32) (sentRec, bool) {
+	if len(v.records) == 0 {
+		return sentRec{}, false
+	}
+	base := v.records[0].firstSeq
+	want := seq - base
 	lo, hi := 0, len(v.records)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if v.records[mid].firstSeq <= seq {
+		if v.records[mid].firstSeq-base <= want {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
-	}
-	if lo == 0 {
-		return sentRec{}, false
 	}
 	rec := v.records[lo-1]
 	if seq-rec.firstSeq >= uint32(rec.n) {
