@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout fanout-scale adapt clean
+.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout fanout-scale adapt fec clean
 
 all: build test
 
@@ -31,11 +31,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/attr
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrameFrom -fuzztime=20s ./internal/codec
 	$(GO) test -run='^$$' -fuzz=FuzzParseFeedback -fuzztime=20s ./pcc/stream
+	$(GO) test -run='^$$' -fuzz=FuzzParseParity -fuzztime=20s ./pcc/stream
 
 # Everything the CI gate runs (see .github/workflows/ci.yml), including the
 # fan-out serving smoke (8 viewers against the aggregate frames/s floor)
 # and the CI-sized relay-tree viewer-scaling gate.
-ci: build vet fmt-check test race fuzz-smoke adapt fanout-scale
+ci: build vet fmt-check test race fuzz-smoke fec adapt fanout-scale
 	$(GO) run ./cmd/pccbench -scale 0.05 all
 	$(GO) run ./cmd/pccbench -viewers 8 -frames 20 -floor 80 fanout
 
@@ -60,9 +61,22 @@ fanout-scale:
 	$(GO) run ./cmd/pccbench -maxviewers 2048 -ceiling 100 -ratio 2 fanout-scale
 
 # Congestion-adaptation step response against the checked-in convergence
-# contract (GOP reacts within 24 frames, settled decoded ratio >= 0.70).
+# contract (GOP reacts within 24 frames of the loss step, the probing
+# upswitch returns every knob to baseline within 30 frames of the loss
+# clearing — at most half the passive decay, measured against a probing-off
+# control run — and the settled decoded ratio stays >= 0.70).
 adapt:
-	$(GO) run ./cmd/pccbench -scale 0.008 -frames 90 adapt
+	$(GO) run ./cmd/pccbench -scale 0.008 -frames 96 adapt
+
+# Zero-RTT FEC loss-repair gate: the parity/repair unit and integration
+# tests under the race detector, then the loss sweep with parity armed
+# (decoded ratio >= 0.99 at up to 5% random loss, single losses repaired
+# with zero retransmit round trips).
+fec:
+	$(GO) test -race -count=1 -run 'TestParity|TestParseParity|TestFEC|TestServerFEC|TestFeedbackNetsRecoveredLosses|TestAdaptiveParity' ./pcc/stream
+	$(GO) test -race -count=1 -run 'TestParityKnob|TestParityGroupLen|TestProbe' ./internal/codec
+	$(GO) test -race -count=1 -run 'TestFaultyLink' ./internal/linksim
+	$(GO) run ./cmd/pccbench -scale 0.008 -frames 60 -fec loss
 
 # Paper-scale canonical run (~30-45 min); regenerates results_full_scale.txt.
 experiments-full:

@@ -245,6 +245,41 @@ func feedbackCorpus() [][]byte {
 	}
 }
 
+// parityCorpus: FEC parity payloads (the ParityGroup wire form) —
+// healthy stride-1 and interleaved stride-2 groups, geometry boundary
+// values, and damaged siblings on both sides of every validation fence.
+func parityCorpus() [][]byte {
+	rng := rand.New(rand.NewSource(14))
+	body := make([]byte, 2+300)
+	rng.Read(body)
+	tail := make([]byte, 2+41) // ragged-tail group: short widest member
+	rng.Read(tail)
+	healthy := stream.AppendParity(nil, stream.ParityGroup{
+		BaseSeq: 117, Count: 4, Stride: 1, FrameFirstSeq: 115, FragCount: 9, Body: body})
+	interleaved := stream.AppendParity(nil, stream.ParityGroup{
+		BaseSeq: 115, Count: 5, Stride: 2, FrameFirstSeq: 115, FragCount: 9, Body: body})
+	entries := [][]byte{
+		healthy,
+		interleaved,
+		stream.AppendParity(nil, stream.ParityGroup{ // singleton group
+			BaseSeq: 40, Count: 1, Stride: 1, FrameFirstSeq: 40, FragCount: 1, Body: tail}),
+		stream.AppendParity(nil, stream.ParityGroup{ // widest legal span
+			BaseSeq: 1 << 30, Count: stream.MaxParityGroup, Stride: stream.MaxParityStride,
+			FrameFirstSeq: 1 << 30, FragCount: 600, Body: tail}),
+		stream.AppendParity(nil, stream.ParityGroup{ // seq-space wraparound
+			BaseSeq: 2, Count: 3, Stride: 1, FrameFirstSeq: ^uint32(0) - 1, FragCount: 8, Body: tail}),
+	}
+	entries = append(entries,
+		corrupt(healthy, 4, 0xFF),           // count beyond MaxParityGroup
+		corrupt(healthy, 5, 0x0F),           // stride beyond MaxParityStride
+		corrupt(healthy, 0, 0x80),           // base seq far outside the frame
+		corrupt(healthy, 10, 0xFF),          // fragment-count damage
+		healthy[:stream.ParityHeaderSize+1], // body too short
+		healthy[:3],                         // truncated header
+	)
+	return entries
+}
+
 func main() {
 	flag.Parse()
 	decompress, roundTrip := entropyCorpus()
@@ -256,6 +291,7 @@ func main() {
 		"internal/interframe/testdata/fuzz/FuzzDecodeP":      interframeCorpus(),
 		"pcc/stream/testdata/fuzz/FuzzParsePacket":           packetCorpus(),
 		"pcc/stream/testdata/fuzz/FuzzParseFeedback":         feedbackCorpus(),
+		"pcc/stream/testdata/fuzz/FuzzParseParity":           parityCorpus(),
 	} {
 		if err := writeCorpus(filepath.Join(*root, dir), entries); err != nil {
 			log.Fatal(err)

@@ -5,19 +5,32 @@ import (
 	"fmt"
 
 	"repro/internal/codec"
+	"repro/internal/geom"
 	"repro/internal/linksim"
 	"repro/internal/trace"
 	"repro/pcc/stream"
 )
 
 // Checked-in convergence contract for the adapt experiment — CI's
-// adapt-smoke job fails the build when a change regresses either bound.
+// adapt-smoke job fails the build when a change regresses any bound.
 const (
-	// adaptStepRate is the packet-drop step applied a third of the way in.
+	// adaptStepRate is the packet-drop step applied a quarter of the way
+	// in and removed again at the half-way mark (15% -> 0%).
 	adaptStepRate = 0.15
-	// adaptConvergeBudget is how many frames after the step the controller
-	// has to shrink the GOP below its pre-step value.
+	// adaptConvergeBudget is how many frames after the loss step the
+	// controller has to shrink the GOP below its pre-step value (the PR 5
+	// downswitch contract).
 	adaptConvergeBudget = 24
+	// adaptPassiveDecayFrames is the PR 5 passive recovery reference: how
+	// many frames the controller needs to ease every knob back to baseline
+	// from deep congestion on CleanHold decay alone (measured with probing
+	// disabled, ProbeAfter < 0: 15 clean feedback reports at a report
+	// every adaptFeedbackEvery frames).
+	adaptPassiveDecayFrames = 60
+	// adaptRecoverBudget is the probing-upswitch recovery contract: after
+	// the loss step clears, the controller must return every knob to
+	// baseline within this many frames — half the passive decay time.
+	adaptRecoverBudget = adaptPassiveDecayFrames / 2
 	// adaptDecodedFloor is the minimum decoded-frame ratio over the final
 	// third of the run, once the controller has settled.
 	adaptDecodedFloor = 0.70
@@ -28,38 +41,28 @@ const (
 	adaptFeedbackEvery = 4
 )
 
-// runAdapt drives the closed-loop congestion controller through a drop-rate
-// step: a clean link for the first third of the run, then adaptStepRate
-// packet loss for the rest. Frames go through the real lossy transport
-// (packet framing → seeded FaultyLink → receiver recovery) LOCKSTEP — one
-// frame's full encode→transmit→feedback cycle completes before the next
-// encode reads the knobs — so the printed step response is deterministic.
-// The run fails if the GOP does not shrink within adaptConvergeBudget
-// frames of the step or the settled decoded ratio drops below
-// adaptDecodedFloor.
-func runAdapt(cfg benchConfig) error {
-	spec := cfg.Videos[0]
-	nFrames := cfg.Frames
-	if nFrames < 36 {
-		nFrames = 36 // room for stretch, step, and a settled tail
-	}
-	frames, err := loadFrames(spec, cfg.Scale, nFrames)
-	if err != nil {
-		return err
-	}
-	nFrames = len(frames)
-	stepAt := nFrames / 3
+// adaptRun is one deterministic closed-loop run: clean link, drop step at
+// stepAt, clean again from recoverAt. Every frame's GOP knob and
+// at-baseline state is sampled in lockstep.
+type adaptRun struct {
+	gops       []int
+	atBase     []bool
+	statuses   []stream.FrameStatus
+	snap       codec.ControllerSnapshot
+	metrics    stream.Metrics
+	recovered  int // frames after recoverAt until every knob was at baseline
+	recoverCap int // nFrames - recoverAt: the "never recovered" ceiling
+}
 
-	opts := scaledOptions(codec.IntraInterV2, cfg.Scale)
-	opts.Adapt = codec.AdaptiveRate{Enabled: true}
-
+func runAdaptOnce(frames []*geom.VoxelCloud, opts codec.Options, stepAt, recoverAt int, tb *trace.Table) (adaptRun, error) {
+	nFrames := len(frames)
 	fl := linksim.NewFaultyLink(linksim.WiFi, linksim.FaultProfile{Seed: adaptSeed})
-	statuses := make([]stream.FrameStatus, 0, nFrames)
+	run := adaptRun{recoverCap: nFrames - recoverAt}
 	pipe := stream.NewLossyPipe(fl, stream.ReceiverConfig{
 		Options:       opts,
 		FeedbackEvery: adaptFeedbackEvery,
 		OnFrame: func(f stream.DecodedFrame) {
-			statuses = append(statuses, f.Status)
+			run.statuses = append(run.statuses, f.Status)
 		},
 	})
 	s := stream.New(context.Background(), stream.Config{
@@ -68,22 +71,19 @@ func runAdapt(cfg benchConfig) error {
 	})
 	pipe.Attach(s)
 
-	tb := trace.NewTable(
-		fmt.Sprintf("Congestion adaptation — %s, %d frames, %.0f%% drop step at frame %d (seed %d)",
-			spec.Name, nFrames, adaptStepRate*100, stepAt, adaptSeed),
-		"frames", "drop", "gop", "qscale", "boost", "loss ewma", "ok", "conceal", "skip")
-
-	gops := make([]int, 0, nFrames)
 	results := s.Results()
 	winStart := 0
 	flushWindow := func(end int) {
+		if tb == nil {
+			return
+		}
 		snap := s.Controller().Snapshot()
 		rate := 0.0
-		if winStart >= stepAt {
+		if winStart >= stepAt && winStart < recoverAt {
 			rate = adaptStepRate
 		}
 		var ok, conceal, skip int
-		for _, st := range statuses[min(winStart, len(statuses)):min(end, len(statuses))] {
+		for _, st := range run.statuses[min(winStart, len(run.statuses)):min(end, len(run.statuses))] {
 			switch st {
 			case stream.FrameDecoded:
 				ok++
@@ -93,10 +93,15 @@ func runAdapt(cfg benchConfig) error {
 				skip++
 			}
 		}
+		probe := ""
+		if snap.Probing {
+			probe = "*"
+		}
 		tb.Row(fmt.Sprintf("%d-%d", winStart, end-1),
 			fmt.Sprintf("%.0f%%", rate*100),
-			snap.Knobs.GOP, snap.Knobs.QScale,
+			fmt.Sprintf("%d%s", snap.Knobs.GOP, probe), snap.Knobs.QScale,
 			fmt.Sprintf("%.0fx", snap.Knobs.Threshold/opts.Inter.Threshold),
+			fmt.Sprintf("%.2f", snap.Knobs.Parity),
 			fmt.Sprintf("%.3f", snap.LossEWMA),
 			ok, conceal, skip)
 		winStart = end
@@ -105,40 +110,98 @@ func runAdapt(cfg benchConfig) error {
 		if i == stepAt {
 			fl.SetDropRate(adaptStepRate)
 		}
+		if i == recoverAt {
+			fl.SetDropRate(0)
+		}
 		if err := s.Submit(context.Background(), f); err != nil {
-			return err
+			return run, err
 		}
 		if _, open := <-results; !open {
-			return fmt.Errorf("adapt: pipeline failed at frame %d: %v", i, s.Err())
+			return run, fmt.Errorf("pipeline failed at frame %d: %v", i, s.Err())
 		}
-		gops = append(gops, s.Controller().Knobs().GOP)
+		run.gops = append(run.gops, s.Controller().Knobs().GOP)
+		run.atBase = append(run.atBase, s.Controller().AtBaseline())
 		if (i+1)%adaptFeedbackEvery == 0 {
 			flushWindow(i + 1)
 		}
 	}
 	if err := s.Close(); err != nil {
-		return err
+		return run, err
 	}
 	if err := pipe.Finish(nFrames); err != nil {
-		return err
+		return run, err
 	}
 	if winStart < nFrames {
 		flushWindow(nFrames)
 	}
+
+	run.snap = s.Controller().Snapshot()
+	run.metrics = s.Metrics()
+	run.recovered = run.recoverCap
+	for i := recoverAt; i < nFrames; i++ {
+		if run.atBase[i] {
+			run.recovered = i - recoverAt
+			break
+		}
+	}
+	return run, nil
+}
+
+// runAdapt drives the closed-loop congestion controller through a loss
+// step and back: a clean link for the first quarter, adaptStepRate packet
+// loss until the half-way mark, then clean again. Frames go through the
+// real lossy transport (packet framing → seeded FaultyLink → receiver
+// recovery) LOCKSTEP — one frame's full encode→transmit→feedback cycle
+// completes before the next encode reads the knobs — so the printed step
+// response is deterministic. The contract has three legs:
+//
+//   - downswitch: the GOP shrinks within adaptConvergeBudget frames of
+//     the loss step;
+//   - probing upswitch: after the loss clears, every knob returns to
+//     baseline within adaptRecoverBudget frames — at most half the
+//     passive CleanHold decay, verified against a control run with
+//     probing disabled;
+//   - quality: the settled decoded ratio stays above adaptDecodedFloor.
+func runAdapt(cfg benchConfig) error {
+	spec := cfg.Videos[0]
+	nFrames := cfg.Frames
+	if nFrames < 48 {
+		nFrames = 48 // room for stretch, step, recovery, and a settled tail
+	}
+	frames, err := loadFrames(spec, cfg.Scale, nFrames)
+	if err != nil {
+		return err
+	}
+	nFrames = len(frames)
+	stepAt, recoverAt := nFrames/4, nFrames/2
+
+	opts := scaledOptions(codec.IntraInterV2, cfg.Scale)
+	opts.Adapt = codec.AdaptiveRate{Enabled: true}
+
+	tb := trace.NewTable(
+		fmt.Sprintf("Congestion adaptation — %s, %d frames, %.0f%% drop step over frames %d-%d (seed %d)",
+			spec.Name, nFrames, adaptStepRate*100, stepAt, recoverAt-1, adaptSeed),
+		"frames", "drop", "gop", "qscale", "boost", "parity", "loss ewma", "ok", "conceal", "skip")
+	run, err := runAdaptOnce(frames, opts, stepAt, recoverAt, tb)
+	if err != nil {
+		return fmt.Errorf("adapt: %w", err)
+	}
 	emit(tb)
+	fmt.Println("gop marked * while a probing upswitch is in flight; parity is the FEC knob.")
 
-	snap := s.Controller().Snapshot()
+	snap := run.snap
 	fmt.Printf("controller: %d feedback reports, %d stale; gop %d->%d->%d, qscale x%d; "+
-		"shrinks %d, drops %d, boosts %d, congested enters %d\n",
-		s.Metrics().FeedbackReports, s.Metrics().FeedbackStale,
-		gops[0], gops[stepAt-1], gops[nFrames-1], snap.Knobs.QScale,
+		"shrinks %d, drops %d, boosts %d, congested enters %d; probes %d (win %d, revert %d)\n",
+		run.metrics.FeedbackReports, run.metrics.FeedbackStale,
+		run.gops[0], run.gops[stepAt-1], run.gops[nFrames-1], snap.Knobs.QScale,
 		snap.Counters.GOPShrinks, snap.Counters.QualityDrops,
-		snap.Counters.ThresholdBoosts, snap.Counters.CongestedEnters)
+		snap.Counters.ThresholdBoosts, snap.Counters.CongestedEnters,
+		snap.FEC.Probes, snap.FEC.ProbeWins, snap.FEC.ProbeReverts)
 
-	// Convergence contract.
+	// Leg 1 — downswitch contract.
 	shrunkAt := -1
 	for i := stepAt; i < nFrames; i++ {
-		if gops[i] < gops[stepAt-1] {
+		if run.gops[i] < run.gops[stepAt-1] {
 			shrunkAt = i
 			break
 		}
@@ -150,7 +213,37 @@ func runAdapt(cfg benchConfig) error {
 		return fmt.Errorf("adapt: GOP took %d frames to react, budget is %d",
 			shrunkAt-stepAt, adaptConvergeBudget)
 	}
-	tail := statuses[len(statuses)-nFrames/3:]
+
+	// Leg 2 — probing upswitch contract, with a passive control run
+	// (probing disabled) to hold the "at most half the passive decay"
+	// claim against a measurement, not just the checked-in constant.
+	passiveOpts := opts
+	passiveOpts.Adapt.ProbeAfter = -1
+	passive, err := runAdaptOnce(frames, passiveOpts, stepAt, recoverAt, nil)
+	if err != nil {
+		return fmt.Errorf("adapt (passive control): %w", err)
+	}
+	fmt.Printf("converged %d frames after the step; recovery to baseline: probing %d frames, "+
+		"passive %d frames (cap %d); budget %d (= passive reference %d / 2)\n",
+		shrunkAt-stepAt, run.recovered, passive.recovered, passive.recoverCap,
+		adaptRecoverBudget, adaptPassiveDecayFrames)
+	if run.recovered >= run.recoverCap {
+		return fmt.Errorf("adapt: knobs never returned to baseline in the %d clean tail frames", run.recoverCap)
+	}
+	if run.recovered > adaptRecoverBudget {
+		return fmt.Errorf("adapt: recovery took %d frames, budget is %d",
+			run.recovered, adaptRecoverBudget)
+	}
+	if 2*run.recovered > passive.recovered && passive.recovered < passive.recoverCap {
+		return fmt.Errorf("adapt: probing recovery (%d frames) is not at least twice as fast as passive decay (%d)",
+			run.recovered, passive.recovered)
+	}
+	if snap.FEC.Probes == 0 {
+		return fmt.Errorf("adapt: the controller never probed after the loss cleared")
+	}
+
+	// Leg 3 — settled quality.
+	tail := run.statuses[len(run.statuses)-nFrames/3:]
 	decoded := 0
 	for _, st := range tail {
 		if st == stream.FrameDecoded {
@@ -158,8 +251,7 @@ func runAdapt(cfg benchConfig) error {
 		}
 	}
 	ratio := float64(decoded) / float64(len(tail))
-	fmt.Printf("converged %d frames after the step; settled decoded ratio %.3f (floor %.2f)\n",
-		shrunkAt-stepAt, ratio, adaptDecodedFloor)
+	fmt.Printf("settled decoded ratio %.3f (floor %.2f)\n", ratio, adaptDecodedFloor)
 	if ratio < adaptDecodedFloor {
 		return fmt.Errorf("adapt: settled decoded ratio %.3f below the %.2f floor",
 			ratio, adaptDecodedFloor)

@@ -25,6 +25,7 @@
 //	-scale f    dataset scale (fraction of Table I points/frame; default 0.1)
 //	-frames n   frames per video per experiment (default 3)
 //	-videos csv comma-separated subset of video names (default all six)
+//	-fec        loss: arm XOR parity (group 4) and gate on the FEC floor
 //
 // Latency and energy are simulated Jetson-AGX-Xavier numbers from the
 // device model; they scale linearly with point count, so sub-scale runs
@@ -45,6 +46,7 @@ var (
 	flagFrames = flag.Int("frames", 3, "frames per video per experiment")
 	flagVideos = flag.String("videos", "", "comma-separated subset of videos (default: all six)")
 	flagCSV    = flag.String("csv", "", "also write each result table as CSV into this directory")
+	flagFEC    = flag.Bool("fec", false, "loss: arm XOR parity (group 4) and gate on the FEC decoded floor")
 
 	// bench-experiment flags (see steady.go).
 	flagBenchOut = flag.String("benchout", "", "bench: write machine-readable results to this JSON file")
@@ -81,6 +83,7 @@ func main() {
 		Scale:  *flagScale,
 		Frames: *flagFrames,
 		Videos: selectVideos(*flagVideos),
+		FEC:    *flagFEC,
 	}
 	if cfg.Frames < 1 {
 		cfg.Frames = 1
@@ -136,6 +139,7 @@ type benchConfig struct {
 	Scale  float64
 	Frames int
 	Videos []dataset.VideoSpec
+	FEC    bool // loss: arm sender-side XOR parity and gate on the FEC floor
 }
 
 func selectVideos(csv string) []dataset.VideoSpec {

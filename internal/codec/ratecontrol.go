@@ -146,6 +146,24 @@ type AdaptiveRate struct {
 	// without receiver feedback still adapts at report-like cadence
 	// (default 8 frames).
 	LocalPeriod int
+	// MinParity / MaxParity clamp the FEC parity-overhead knob
+	// (Knobs.Parity): the fraction of data packets re-sent as XOR parity.
+	// Loss-driven degradation raises parity toward the observed loss rate
+	// (times a safety factor); easing decays it back to MinParity.
+	// Defaults 0 and 0.5 — no parity overhead on clean links.
+	MinParity, MaxParity float64
+	// ProbeAfter is how many non-congested controller steps the probing
+	// upswitch waits, while the knobs are degraded, before provisionally
+	// easing one notch on every knob (the probe: deliberately
+	// larger-than-steady-state frames) and judging the next feedback
+	// report's echo. A clean echo keeps the ease and compounds it; a
+	// congested echo reverts and doubles the probe interval (capped at
+	// ProbeBackoffMax). 0 defaults to 2; negative disables probing and
+	// recovery falls back to passive CleanHold decay alone.
+	ProbeAfter int
+	// ProbeBackoffMax caps the probe-interval exponential backoff, in
+	// controller steps (default 16).
+	ProbeBackoffMax int
 }
 
 func (a AdaptiveRate) normalized(baseGOP int) AdaptiveRate {
@@ -185,17 +203,38 @@ func (a AdaptiveRate) normalized(baseGOP int) AdaptiveRate {
 	if a.LocalPeriod < 1 {
 		a.LocalPeriod = 8
 	}
+	if a.MaxParity <= 0 {
+		a.MaxParity = 0.5
+	}
+	if a.MaxParity > 1 {
+		a.MaxParity = 1
+	}
+	if a.MinParity < 0 {
+		a.MinParity = 0
+	}
+	if a.MinParity > a.MaxParity {
+		a.MinParity = a.MaxParity
+	}
+	if a.ProbeAfter == 0 {
+		a.ProbeAfter = 2
+	}
+	if a.ProbeBackoffMax < 1 {
+		a.ProbeBackoffMax = 16
+	}
 	return a
 }
 
 // Signal is one receiver feedback observation: the report window's loss
 // rate plus the recovery work it cost.
 type Signal struct {
-	// LossRate is packets lost / (received + lost) over the report window.
+	// LossRate is the window's steering loss signal in [0,1]. Transports
+	// feed Feedback.CongestionRate here: unrecovered losses plus NACK
+	// round trips, with zero-RTT parity repairs in neither term — so FEC
+	// absorbing the link's loss reads as clean and lets quality recover.
 	LossRate float64
 	// NACKs, Concealed and Skipped count the window's recovery events;
-	// they are recorded for metrics but do not steer the knobs (loss rate
-	// already subsumes them).
+	// they are recorded for metrics but do not steer the knobs (the
+	// transport folds round trips into LossRate before observing).
 	NACKs, Concealed, Skipped int
 }
 
@@ -223,6 +262,31 @@ type Knobs struct {
 	QScale int
 	// GOP is the effective group-of-pictures length.
 	GOP int
+	// Parity is the FEC overhead knob: the target fraction of data packets
+	// re-sent as XOR parity (0 = no parity). The transport turns it into a
+	// parity group size via ParityGroupLen.
+	Parity float64
+}
+
+// minParityKnob is the smallest parity fraction worth a packet: below
+// 1/32 the knob reads as off.
+const minParityKnob = 1.0 / 32
+
+// ParityGroupLen converts the parity-overhead knob into an XOR group
+// size — one parity packet per K data packets — clamped to [2, 16].
+// Returns 0 when the knob is (effectively) off.
+func (k Knobs) ParityGroupLen() int {
+	if k.Parity < minParityKnob {
+		return 0
+	}
+	g := int(1/k.Parity + 0.5)
+	if g < 2 {
+		g = 2
+	}
+	if g > 16 {
+		g = 16
+	}
+	return g
 }
 
 // ControllerSnapshot is a point-in-time copy of the controller state.
@@ -233,7 +297,12 @@ type ControllerSnapshot struct {
 	QueueEWMA float64
 	ShedEWMA  float64
 	Congested bool
-	Counters  metrics.AdaptSnapshot
+	// Probing reports an in-flight probing upswitch: a provisional ease
+	// whose feedback echo has not been judged yet.
+	Probing  bool
+	Counters metrics.AdaptSnapshot
+	// FEC carries the probe-outcome counters.
+	FEC metrics.FECSnapshot
 }
 
 // Controller is the closed-loop congestion controller. Create through
@@ -245,6 +314,7 @@ type Controller struct {
 	// boost then stays inert.
 	rateActive    bool
 	baseThreshold float64
+	baseGOP       int
 
 	mu          sync.Mutex
 	loss        float64 // receiver-observed loss EWMA
@@ -257,21 +327,36 @@ type Controller struct {
 	localCount  int
 	k           Knobs
 
+	// Probing upswitch state (see armProbe/step): probing marks an applied
+	// provisional ease awaiting its feedback echo; probeCountdown counts
+	// non-congested degraded steps down to the next probe; probeInterval is
+	// the current (backed-off) rearm distance; probeAge bounds how many
+	// steps a probe waits for a feedback verdict.
+	probing        bool
+	probeCountdown int
+	probeInterval  int
+	probeAge       int
+
 	counters metrics.ControllerCounters
+	fec      metrics.FECCounters
 }
 
 // newController builds the controller for normalized options.
 func newController(o Options) *Controller {
 	cfg := o.Adapt.normalized(o.GOP)
 	return &Controller{
-		cfg:           cfg,
-		rateActive:    o.Rate.Enabled(),
-		baseThreshold: o.Inter.Threshold,
-		boost:         1,
+		cfg:            cfg,
+		rateActive:     o.Rate.Enabled(),
+		baseThreshold:  o.Inter.Threshold,
+		baseGOP:        o.GOP,
+		boost:          1,
+		probeInterval:  cfg.ProbeAfter,
+		probeCountdown: cfg.ProbeAfter,
 		k: Knobs{
 			Threshold: o.Inter.Threshold,
 			QScale:    1,
 			GOP:       o.GOP,
+			Parity:    cfg.MinParity,
 		},
 	}
 }
@@ -296,10 +381,27 @@ func (c *Controller) Snapshot() ControllerSnapshot {
 		QueueEWMA: c.queue,
 		ShedEWMA:  c.shed,
 		Congested: c.congested,
+		Probing:   c.probing,
 	}
 	c.mu.Unlock()
 	s.Counters = c.counters.Snapshot()
+	s.FEC = c.fec.Snapshot()
 	return s
+}
+
+// AtBaseline reports whether every knob sits at its configured clean-link
+// operating point — no residual degradation. This is the recovery target
+// the probing upswitch races toward after congestion clears (a GOP
+// stretched ABOVE its configured base still counts as baseline).
+func (c *Controller) AtBaseline() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.degradedLocked()
+}
+
+// degradedLocked reports residual degradation on any knob. Runs under c.mu.
+func (c *Controller) degradedLocked() bool {
+	return c.k.QScale > 1 || c.k.GOP < c.baseGOP || c.boost > 1 || c.k.Parity > c.cfg.MinParity
 }
 
 func mix(old, sample, gain float64) float64 {
@@ -344,9 +446,15 @@ func (c *Controller) ObserveLocal(sig LocalSignal) {
 	}
 }
 
+// probeTimeout is how many controller steps an in-flight probe waits for
+// a feedback verdict before resolving as a quiet keep — a feedback-free
+// session cannot wedge the prober (its local congestion signals still
+// revert a bad probe through the congested classification).
+const probeTimeout = 4
+
 // step is the controller decision: classify the fused state as lossy,
-// locally congested, clean, or in the hysteresis band, and actuate. Runs
-// under c.mu.
+// locally congested, clean, or in the hysteresis band, actuate, then run
+// the probing upswitch state machine. Runs under c.mu.
 func (c *Controller) step(fromFeedback bool) {
 	lossHigh := c.loss >= c.cfg.HighLoss
 	localHigh := c.util >= c.cfg.HighUtil || c.queue >= 0.9 || c.shed >= 0.25
@@ -359,11 +467,23 @@ func (c *Controller) step(fromFeedback bool) {
 			c.congested = true
 			c.counters.CongestedEnter()
 		}
+		if c.probing {
+			// The probe's echo came back congested: the link cannot absorb
+			// the bigger frames yet. Revert the provisional ease and back
+			// off the probe cadence.
+			c.probeRevert()
+		}
 		c.degrade(lossHigh)
 	case clean:
 		if c.congested {
 			c.congested = false
 			c.counters.CongestedExit()
+		}
+		if c.probing && fromFeedback {
+			// Clean echo: the link absorbed the probe's larger frames with
+			// no loss. Keep the ease, compound it, and rearm immediately —
+			// this is the upswitch-in-seconds path.
+			c.probeWin(true)
 		}
 		c.cleanStreak++
 		if c.cleanStreak >= c.cfg.CleanHold {
@@ -379,7 +499,76 @@ func (c *Controller) step(fromFeedback bool) {
 			c.congested = false
 			c.counters.CongestedExit()
 		}
+		if c.probing && fromFeedback {
+			// Band echo: the probe survived without pushing loss over
+			// HighLoss. Keep the notch, rearm at normal cadence.
+			c.probeWin(false)
+		}
 	}
+	c.armProbe(lossHigh || localHigh)
+}
+
+// armProbe is the probing upswitch's idle side: while the knobs carry
+// residual degradation and the link is not classified congested, count
+// non-congested steps down to the next probe. Launching one applies a
+// provisional easeFast — the deliberately larger-than-steady-state frames
+// ARE the probe — whose echo the next feedback-driven step judges.
+func (c *Controller) armProbe(congestedNow bool) {
+	if c.cfg.ProbeAfter < 0 {
+		return
+	}
+	if c.probing {
+		c.probeAge++
+		if c.probeAge >= probeTimeout {
+			// No feedback verdict in time: resolve quietly as a keep.
+			c.probing = false
+			c.probeInterval = c.cfg.ProbeAfter
+			c.probeCountdown = c.probeInterval
+		}
+		return
+	}
+	if congestedNow || !c.degradedLocked() {
+		c.probeCountdown = c.probeInterval
+		return
+	}
+	c.probeCountdown--
+	if c.probeCountdown > 0 {
+		return
+	}
+	c.probing = true
+	c.probeAge = 0
+	c.fec.Probe()
+	c.easeFast()
+}
+
+// probeWin resolves an in-flight probe whose echo came back non-congested.
+// A fully clean echo compounds the win (another fast ease) and rearms at
+// the shortest cadence, so consecutive wins chain the knobs back to
+// baseline in a few feedback windows.
+func (c *Controller) probeWin(cleanEcho bool) {
+	c.probing = false
+	c.fec.ProbeWin()
+	if cleanEcho {
+		c.easeFast()
+		c.probeInterval = 1
+	} else {
+		c.probeInterval = c.cfg.ProbeAfter
+	}
+	c.probeCountdown = c.probeInterval
+}
+
+// probeRevert rolls back a probe whose echo came back congested and
+// doubles the probe interval (capped), so a persistently congested link
+// is probed ever more rarely.
+func (c *Controller) probeRevert() {
+	c.probing = false
+	c.fec.ProbeRevert()
+	c.degradeFast()
+	c.probeInterval *= 2
+	if c.probeInterval > c.cfg.ProbeBackoffMax {
+		c.probeInterval = c.cfg.ProbeBackoffMax
+	}
+	c.probeCountdown = c.probeInterval
 }
 
 // degrade steps the knobs one notch toward survival: quality halves
@@ -406,6 +595,41 @@ func (c *Controller) degrade(lossDriven bool) {
 			c.counters.ThresholdBoost()
 		}
 	}
+	if lossDriven {
+		c.raiseParity()
+	}
+}
+
+// parityLossGain scales the observed loss EWMA into the parity-overhead
+// knob: at 4x, a 5% lossy link gets ~20% parity (one packet per 5-packet
+// group) — enough that single losses per group repair with no round trip.
+const parityLossGain = 4
+
+// raiseParity tracks the parity knob up to the observed loss (never down:
+// ease decays it once the loss clears).
+func (c *Controller) raiseParity() {
+	p := parityLossGain * c.loss
+	if p > c.cfg.MaxParity {
+		p = c.cfg.MaxParity
+	}
+	if p < minParityKnob {
+		p = c.cfg.MinParity
+	}
+	if p > c.k.Parity {
+		c.k.Parity = p
+	}
+}
+
+// easeParity halves the parity knob back toward MinParity.
+func (c *Controller) easeParity() {
+	if c.k.Parity <= c.cfg.MinParity {
+		return
+	}
+	p := c.k.Parity / 2
+	if p < minParityKnob || p < c.cfg.MinParity {
+		p = c.cfg.MinParity
+	}
+	c.k.Parity = p
 }
 
 // ease relaxes the knobs one notch after a sustained clean window: quality
@@ -429,6 +653,62 @@ func (c *Controller) ease() {
 		c.k.Threshold = c.baseThreshold * c.boost
 		c.counters.ThresholdEase()
 	}
+	c.easeParity()
+}
+
+// easeFast is the probe notch: one multiplicative step back toward the
+// configured baseline on EVERY knob — the inverse of degrade, where the
+// passive ease only grows the GOP additively. The GOP clamps at its
+// configured base here (stretching beyond base stays the passive
+// clean-link behavior); the threshold boost still belongs to the rate
+// loop when that is active.
+func (c *Controller) easeFast() {
+	if c.k.QScale > 1 {
+		c.k.QScale /= 2
+		c.counters.QualityRaise()
+	}
+	if c.k.GOP < c.baseGOP {
+		g := c.k.GOP * 2
+		if g > c.baseGOP {
+			g = c.baseGOP
+		}
+		c.k.GOP = g
+		c.counters.GOPGrow()
+	}
+	if !c.rateActive && c.boost > 1 {
+		c.boost /= 2
+		if c.boost < 1 {
+			c.boost = 1
+		}
+		c.k.Threshold = c.baseThreshold * c.boost
+		c.counters.ThresholdEase()
+	}
+	c.easeParity()
+}
+
+// degradeFast rolls back one easeFast: the congested echo of a failed
+// probe undoes exactly the notch the probe applied.
+func (c *Controller) degradeFast() {
+	if q := c.k.QScale * 2; q <= c.cfg.MaxQScale {
+		c.k.QScale = q
+		c.counters.QualityDrop()
+	}
+	if c.k.GOP > c.cfg.MinGOP {
+		g := c.k.GOP / 2
+		if g < c.cfg.MinGOP {
+			g = c.cfg.MinGOP
+		}
+		c.k.GOP = g
+		c.counters.GOPShrink()
+	}
+	if !c.rateActive {
+		if b := c.boost * 2; b <= c.cfg.MaxBoost {
+			c.boost = b
+			c.k.Threshold = c.baseThreshold * c.boost
+			c.counters.ThresholdBoost()
+		}
+	}
+	c.raiseParity()
 }
 
 // applyKnobs copies the controller's actuator state into the encoder's

@@ -189,7 +189,10 @@ func TestControllerStepResponse(t *testing.T) {
 	})
 
 	t.Run("hysteresis band holds the knobs", func(t *testing.T) {
-		c := newController(adaptOpts(nil))
+		// ProbeAfter -1: the band-hold invariant is the NON-probing
+		// behavior — the probing upswitch deliberately breaks it (that is
+		// the feature) and has its own tests below.
+		c := newController(adaptOpts(func(o *Options) { o.Adapt.ProbeAfter = -1 }))
 		c.ObserveFeedback(Signal{LossRate: 0.5})
 		feedLoss(c, 0, 3) // decay the loss EWMA down into the band
 		s := c.Snapshot()
@@ -298,6 +301,213 @@ func TestRateControlNoOpFrames(t *testing.T) {
 	e.applyRateControl(FrameStats{Type: PFrame, Points: 1000, SizeBytes: 1 << 20})
 	if e.Threshold() == before {
 		t.Fatal("control P-frame did not move the rate loop (test harness broken)")
+	}
+}
+
+// TestParityKnobTracksLoss: loss-driven degradation must raise the parity
+// knob toward the observed loss (times the safety factor), easing must
+// decay it back to MinParity, and the group-size mapping must honour its
+// clamps.
+func TestParityKnobTracksLoss(t *testing.T) {
+	c := newController(adaptOpts(nil))
+	if p := c.Knobs().Parity; p != 0 {
+		t.Fatalf("fresh parity knob %v, want 0", p)
+	}
+	feedLoss(c, 0.5, 2)
+	k := c.Knobs()
+	if k.Parity != c.cfg.MaxParity {
+		t.Fatalf("deep loss: parity %v, want clamp %v", k.Parity, c.cfg.MaxParity)
+	}
+	if g := k.ParityGroupLen(); g != 2 {
+		t.Fatalf("parity %v maps to group %d, want 2", k.Parity, g)
+	}
+	if !c.Snapshot().Congested {
+		t.Fatal("controller not congested under 50% loss")
+	}
+	feedLoss(c, 0, 200)
+	if p := c.Knobs().Parity; p != 0 {
+		t.Fatalf("parity %v did not decay to zero on a clean link", p)
+	}
+	if !c.AtBaseline() {
+		t.Fatalf("not at baseline after a long clean run: %+v", c.Knobs())
+	}
+
+	// A configured MinParity is the always-on floor, not zero.
+	c = newController(adaptOpts(func(o *Options) { o.Adapt.MinParity = 0.1 }))
+	if p := c.Knobs().Parity; p != 0.1 {
+		t.Fatalf("fresh parity knob %v, want the 0.1 floor", p)
+	}
+	feedLoss(c, 0.5, 2)
+	feedLoss(c, 0, 200)
+	if p := c.Knobs().Parity; p != 0.1 {
+		t.Fatalf("parity %v did not decay to the 0.1 floor", p)
+	}
+	if !c.AtBaseline() {
+		t.Fatal("MinParity floor must count as baseline")
+	}
+}
+
+func TestParityGroupLenMapping(t *testing.T) {
+	cases := []struct {
+		parity float64
+		want   int
+	}{
+		{0, 0},
+		{0.01, 0},      // below the 1/32 floor: off
+		{1.0 / 32, 16}, // 1/k = 32 clamps to 16
+		{0.0625, 16},
+		{0.2, 5},
+		{0.25, 4},
+		{0.5, 2},
+		{1, 2}, // 1/k = 1 clamps to 2
+	}
+	for _, tc := range cases {
+		if got := (Knobs{Parity: tc.parity}).ParityGroupLen(); got != tc.want {
+			t.Errorf("Parity %v: group %d, want %d", tc.parity, got, tc.want)
+		}
+	}
+}
+
+// degradeDeep drives the controller to full degradation and returns once
+// the loss EWMA is saturated.
+func degradeDeep(c *Controller) {
+	feedLoss(c, 0.5, 4)
+}
+
+// reportsToBaseline feeds clean reports until AtBaseline, returning how
+// many it took (capped to keep a broken controller from spinning).
+func reportsToBaseline(t *testing.T, c *Controller) int {
+	t.Helper()
+	for n := 1; n <= 100; n++ {
+		c.ObserveFeedback(Signal{LossRate: 0})
+		if c.AtBaseline() {
+			return n
+		}
+	}
+	t.Fatalf("no baseline within 100 clean reports: %+v", c.Knobs())
+	return -1
+}
+
+// TestProbingUpswitchBeatsPassiveDecay: after congestion clears, the
+// probing controller must return every knob to baseline in strictly fewer
+// feedback windows than the passive CleanHold decay (ProbeAfter -1), with
+// the probe outcome counters telling the story.
+func TestProbingUpswitchBeatsPassiveDecay(t *testing.T) {
+	passive := newController(adaptOpts(func(o *Options) { o.Adapt.ProbeAfter = -1 }))
+	degradeDeep(passive)
+	passiveN := reportsToBaseline(t, passive)
+
+	probing := newController(adaptOpts(nil))
+	degradeDeep(probing)
+	probingN := reportsToBaseline(t, probing)
+
+	t.Logf("recovery: probing %d reports, passive %d", probingN, passiveN)
+	if probingN >= passiveN {
+		t.Fatalf("probing recovery (%d reports) not faster than passive (%d)", probingN, passiveN)
+	}
+	s := probing.Snapshot()
+	if s.FEC.Probes == 0 || s.FEC.ProbeWins == 0 {
+		t.Fatalf("probe counters missing the upswitch: %+v", s.FEC)
+	}
+	if s.FEC.ProbeReverts != 0 {
+		t.Fatalf("%d reverts on a clean recovery", s.FEC.ProbeReverts)
+	}
+	if ps := passive.Snapshot(); ps.FEC.Probes != 0 {
+		t.Fatalf("ProbeAfter -1 still probed %d times", ps.FEC.Probes)
+	}
+}
+
+// probeNow decays the controller into the hysteresis band and feeds band
+// reports until a probe launches.
+func probeNow(t *testing.T, c *Controller) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		s := c.Snapshot()
+		rate := s.LossEWMA // EWMA fixed point: holds the band state
+		if rate >= c.cfg.HighLoss {
+			rate = 0 // still above the band: decay
+		}
+		c.ObserveFeedback(Signal{LossRate: rate})
+		if c.Snapshot().Probing {
+			return
+		}
+	}
+	t.Fatalf("no probe launched: %+v", c.Snapshot())
+}
+
+// TestProbeRevertBacksOff: a probe answered by a congested echo must roll
+// the provisional ease back and double the probe interval, capped at
+// ProbeBackoffMax.
+func TestProbeRevertBacksOff(t *testing.T) {
+	c := newController(adaptOpts(nil))
+	degradeDeep(c)
+	probeNow(t, c)
+	preEcho := c.Knobs()
+	interval0 := c.probeInterval
+
+	c.ObserveFeedback(Signal{LossRate: 1}) // congested echo
+	k := c.Knobs()
+	if k.QScale < preEcho.QScale || k.GOP > preEcho.GOP {
+		t.Fatalf("congested echo did not revert the probe: %+v -> %+v", preEcho, k)
+	}
+	s := c.Snapshot()
+	if s.Probing {
+		t.Fatal("still probing after a congested echo")
+	}
+	if s.FEC.ProbeReverts != 1 {
+		t.Fatalf("ProbeReverts = %d, want 1", s.FEC.ProbeReverts)
+	}
+	if c.probeInterval != 2*interval0 {
+		t.Fatalf("probe interval %d after revert, want %d", c.probeInterval, 2*interval0)
+	}
+
+	// Every further failed probe doubles again, saturating at the cap.
+	for i := 0; i < 8; i++ {
+		probeNow(t, c)
+		c.ObserveFeedback(Signal{LossRate: 1})
+	}
+	if c.probeInterval != c.cfg.ProbeBackoffMax {
+		t.Fatalf("probe interval %d, want cap %d", c.probeInterval, c.cfg.ProbeBackoffMax)
+	}
+}
+
+// TestProbeTimeoutQuietKeep: a probe that never hears a feedback echo (a
+// local-signal-only session) must resolve as a quiet keep after
+// probeTimeout steps instead of wedging the prober.
+func TestProbeTimeoutQuietKeep(t *testing.T) {
+	c := newController(adaptOpts(nil))
+	degradeDeep(c)
+	probeNow(t, c)
+	post := c.Knobs()
+	// Local steps in the hysteresis band: no echo verdict, just age.
+	for i := 0; i < probeTimeout*c.cfg.LocalPeriod; i++ {
+		c.ObserveLocal(LocalSignal{Utilization: 0.7})
+	}
+	s := c.Snapshot()
+	if s.Probing {
+		t.Fatal("probe still pending after the timeout")
+	}
+	if k := c.Knobs(); k != post {
+		t.Fatalf("quiet keep moved the knobs: %+v -> %+v", post, k)
+	}
+	if s.FEC.ProbeWins != 0 || s.FEC.ProbeReverts != 0 {
+		t.Fatalf("timeout resolved as a verdict: %+v", s.FEC)
+	}
+}
+
+// TestProbeRespectsRateLoop: the probe's fast ease must leave the
+// threshold knob alone while the RateControl loop owns it.
+func TestProbeRespectsRateLoop(t *testing.T) {
+	c := newController(adaptOpts(func(o *Options) {
+		o.Rate = RateControl{TargetBitsPerPoint: 20}
+	}))
+	degradeDeep(c)
+	probeNow(t, c)
+	if got := c.Knobs().Threshold; got != c.baseThreshold {
+		t.Fatalf("probe moved the threshold (%v) while the rate loop owns it", got)
+	}
+	if n := c.Snapshot().Counters.ThresholdEases; n != 0 {
+		t.Fatalf("%d threshold eases recorded while rate loop active", n)
 	}
 }
 

@@ -32,19 +32,41 @@ type FaultProfile struct {
 	// BurstLen is the number of consecutive packets lost per burst
 	// (default 4 when BurstEvery > 0).
 	BurstLen int
+	// DropEvery, when > 0, deterministically drops every DropEvery-th send
+	// attempt (1-based), consuming no randomness — the PRNG stream is
+	// identical with and without it. It is the fixture for FEC tests that
+	// need exactly one loss per parity group at a known spacing.
+	DropEvery int
+	// Gilbert–Elliott correlated loss: a two-state Markov channel (Good,
+	// loss-free; Bad, lossy) layered under the independent DropRate — the
+	// standard model for wireless burst loss, where fades cluster drops
+	// instead of spreading them uniformly. GEBadLoss > 0 enables the model.
+	//
+	// GEGoodToBad is the per-packet probability of falling into a fade
+	// (default 0.02 when enabled); GEBadToGood of climbing out (default
+	// 0.25, i.e. mean fade length 4 packets); GEBadLoss the loss
+	// probability while faded. Enabled, every packet draws exactly two
+	// extra floats (state transition, then loss-in-state), always in the
+	// same order, so GE runs replay from the seed like every other fault.
+	GEGoodToBad float64
+	GEBadToGood float64
+	GEBadLoss   float64
 	// Seed seeds the fault PRNG; equal seeds replay equal fault sequences.
 	Seed int64
 }
 
 // FaultStats counts the injector's decisions since creation.
 type FaultStats struct {
-	Sent       int64 // packets offered to the link (radio send attempts)
-	Delivered  int64 // packet copies handed to the receiver
-	Dropped    int64 // packets lost to independent drops
-	BurstDrops int64 // packets lost to burst outages
-	Duplicated int64 // extra copies delivered
-	Reordered  int64 // packets held back one slot
-	Bursts     int64 // burst outages begun
+	Sent           int64 // packets offered to the link (radio send attempts)
+	Delivered      int64 // packet copies handed to the receiver
+	Dropped        int64 // packets lost to independent drops
+	BurstDrops     int64 // packets lost to burst outages
+	ScheduledDrops int64 // packets lost to DropEvery
+	GEDrops        int64 // packets lost in the Gilbert–Elliott Bad state
+	GEBadSpells    int64 // fades entered (Good → Bad transitions)
+	Duplicated     int64 // extra copies delivered
+	Reordered      int64 // packets held back one slot
+	Bursts         int64 // burst outages begun
 }
 
 // FaultyLink wraps a Link with deterministic fault injection. Create with
@@ -59,6 +81,7 @@ type FaultyLink struct {
 	held       [][]byte // packet (plus any dup) delayed by a reorder
 	untilBurst int      // packets until the next burst begins; <0 = never
 	burstLeft  int      // packets remaining in the current burst
+	geBad      bool     // Gilbert–Elliott state (false = Good)
 	stats      FaultStats
 }
 
@@ -66,6 +89,14 @@ type FaultyLink struct {
 func NewFaultyLink(l Link, p FaultProfile) *FaultyLink {
 	if p.BurstEvery > 0 && p.BurstLen <= 0 {
 		p.BurstLen = 4
+	}
+	if p.GEBadLoss > 0 {
+		if p.GEGoodToBad <= 0 {
+			p.GEGoodToBad = 0.02
+		}
+		if p.GEBadToGood <= 0 {
+			p.GEBadToGood = 0.25
+		}
 	}
 	f := &FaultyLink{link: l, prof: p, rng: rand.New(rand.NewSource(p.Seed))}
 	f.untilBurst = -1
@@ -91,9 +122,9 @@ func (f *FaultyLink) Profile() FaultProfile {
 
 // SetDropRate changes the independent per-packet loss probability mid-run —
 // the step input for congestion-adaptation experiments. The PRNG stream is
-// untouched (every packet draws the same three floats regardless of the
-// rate), so a run with a scheduled rate step is exactly as reproducible as
-// a fixed-rate run.
+// untouched (every packet draws the same floats regardless of the rate),
+// so a run with a scheduled rate step is exactly as reproducible as a
+// fixed-rate run.
 func (f *FaultyLink) SetDropRate(r float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -124,17 +155,38 @@ func (f *FaultyLink) Send(pkt []byte) ([][]byte, Cost, error) {
 
 	// Draw every fault decision each packet so the random sequence — and
 	// therefore every later packet's fate — is independent of which
-	// branches were taken.
+	// branches were taken. The Gilbert–Elliott draws are likewise
+	// unconditional while the model is enabled: transition first, then
+	// loss in the resulting state, so a packet can be lost by the very
+	// fade it opens.
 	pDrop, pDup, pReorder := f.rng.Float64(), f.rng.Float64(), f.rng.Float64()
+	geDrop := false
+	if f.prof.GEBadLoss > 0 {
+		pState, pLoss := f.rng.Float64(), f.rng.Float64()
+		if f.geBad {
+			if pState < f.prof.GEBadToGood {
+				f.geBad = false
+			}
+		} else if pState < f.prof.GEGoodToBad {
+			f.geBad = true
+			f.stats.GEBadSpells++
+		}
+		geDrop = f.geBad && pLoss < f.prof.GEBadLoss
+	}
 
-	dropped := false
-	if f.burstLeft > 0 {
+	dropped := true
+	switch {
+	case f.burstLeft > 0:
 		f.burstLeft--
 		f.stats.BurstDrops++
-		dropped = true
-	} else if pDrop < f.prof.DropRate {
+	case f.prof.DropEvery > 0 && f.stats.Sent%int64(f.prof.DropEvery) == 0:
+		f.stats.ScheduledDrops++
+	case geDrop:
+		f.stats.GEDrops++
+	case pDrop < f.prof.DropRate:
 		f.stats.Dropped++
-		dropped = true
+	default:
+		dropped = false
 	}
 	if f.untilBurst > 0 {
 		f.untilBurst--

@@ -160,3 +160,146 @@ func TestFaultyLinkPropagatesLinkErrors(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBadLink", err)
 	}
 }
+
+func TestFaultyLinkDropEvery(t *testing.T) {
+	f := NewFaultyLink(WiFi, FaultProfile{DropEvery: 23})
+	got := collect(t, f, 200)
+	st := f.Stats()
+	if want := int64(200 / 23); st.ScheduledDrops != want {
+		t.Fatalf("ScheduledDrops = %d over 200 sends, want %d", st.ScheduledDrops, want)
+	}
+	if st.Dropped != 0 || st.GEDrops != 0 || st.BurstDrops != 0 {
+		t.Fatalf("random drops fired on a DropEvery-only profile: %+v", st)
+	}
+	// Exactly the 1-based multiples of 23 are missing (0-based ids 22, 45, …).
+	missing := make(map[int]bool)
+	for want := 22; want < 200; want += 23 {
+		missing[want] = true
+	}
+	for i, id := range got {
+		if missing[id] {
+			t.Fatalf("scheduled victim %d was delivered (position %d)", id, i)
+		}
+	}
+	if len(got)+len(missing) != 200 {
+		t.Fatalf("delivered %d + scheduled %d != 200", len(got), len(missing))
+	}
+}
+
+// TestFaultyLinkDropEveryIsPRNGNeutral: DropEvery consumes no randomness,
+// so layering it over a random profile must leave every random fault
+// decision — and the burst schedule — exactly where it was.
+func TestFaultyLinkDropEveryIsPRNGNeutral(t *testing.T) {
+	base := FaultProfile{DropRate: 0.05, DupRate: 0.03, ReorderRate: 0.04, BurstEvery: 60, Seed: 9}
+	over := base
+	over.DropEvery = 17
+	a := NewFaultyLink(WiFi, base)
+	b := NewFaultyLink(WiFi, over)
+	collect(t, a, 400)
+	collect(t, b, 400)
+	sa, sb := a.Stats(), b.Stats()
+	if sb.ScheduledDrops == 0 {
+		t.Fatal("DropEvery never fired")
+	}
+	// Bursts shadow everything and are PRNG-scheduled: identical. The
+	// random counters can only shrink (a scheduled drop claims a packet
+	// the random drop would have), never grow or shift the schedule.
+	if sa.Bursts != sb.Bursts || sa.BurstDrops != sb.BurstDrops {
+		t.Fatalf("burst schedule moved: %+v vs %+v", sa, sb)
+	}
+	if sb.Dropped > sa.Dropped {
+		t.Fatalf("random drops grew under DropEvery: %d vs %d", sb.Dropped, sa.Dropped)
+	}
+}
+
+func TestFaultyLinkGilbertElliott(t *testing.T) {
+	const n = 20000
+	prof := FaultProfile{GEBadLoss: 0.7, GEGoodToBad: 0.02, GEBadToGood: 0.25, Seed: 5}
+	f := NewFaultyLink(WiFi, prof)
+	for i := 0; i < n; i++ {
+		if _, _, err := f.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.GEBadSpells == 0 || st.GEDrops == 0 {
+		t.Fatalf("Gilbert–Elliott never faded: %+v", st)
+	}
+	// Stationary Bad-state share = p/(p+r) ≈ 0.074; expected loss rate
+	// = share * BadLoss ≈ 0.052. Allow ±35% at this sample size.
+	share := prof.GEGoodToBad / (prof.GEGoodToBad + prof.GEBadToGood)
+	wantLoss := share * prof.GEBadLoss
+	if r := float64(st.GEDrops) / n; r < wantLoss*0.65 || r > wantLoss*1.35 {
+		t.Fatalf("GE loss rate %.4f, want ~%.4f", r, wantLoss)
+	}
+	// Mean fade length ≈ 1/BadToGood packets; drops per spell must reflect
+	// clustering (well above the i.i.d. expectation of wantLoss per packet).
+	dropsPerSpell := float64(st.GEDrops) / float64(st.GEBadSpells)
+	if wantPerSpell := prof.GEBadLoss / prof.GEBadToGood; dropsPerSpell < wantPerSpell*0.65 || dropsPerSpell > wantPerSpell*1.35 {
+		t.Fatalf("drops per fade %.2f, want ~%.2f (loss is not clustering)", dropsPerSpell, wantPerSpell)
+	}
+}
+
+// TestFaultyLinkGilbertElliottBursty: correlated loss at the same average
+// rate as an i.i.d. profile must produce longer consecutive-loss runs.
+func TestFaultyLinkGilbertElliottBursty(t *testing.T) {
+	longestGap := func(got []int, n int) int {
+		max := 0
+		prev := -1
+		for _, id := range append(got, n) {
+			if g := id - prev - 1; g > max {
+				max = g
+			}
+			prev = id
+		}
+		return max
+	}
+	ge := NewFaultyLink(WiFi, FaultProfile{GEBadLoss: 0.9, GEGoodToBad: 0.01, GEBadToGood: 0.2, Seed: 17})
+	geGot := collect(t, ge, 3000)
+	iid := NewFaultyLink(WiFi, FaultProfile{DropRate: float64(ge.Stats().GEDrops) / 3000, Seed: 17})
+	iidGot := collect(t, iid, 3000)
+	geGap, iidGap := longestGap(geGot, 3000), longestGap(iidGot, 3000)
+	t.Logf("GE drops=%d longest run=%d; iid drops=%d longest run=%d",
+		ge.Stats().GEDrops, geGap, iid.Stats().Dropped, iidGap)
+	if geGap <= iidGap {
+		t.Fatalf("GE longest loss run %d not burstier than i.i.d. %d", geGap, iidGap)
+	}
+}
+
+// TestFaultyLinkGEDeterministicAndIsolated: same seed replays the same GE
+// run, and disabling GE leaves the base PRNG stream untouched (the base
+// fault counters are identical with and without the model).
+func TestFaultyLinkGEDeterministicAndIsolated(t *testing.T) {
+	prof := FaultProfile{DropRate: 0.04, DupRate: 0.02, ReorderRate: 0.03,
+		GEBadLoss: 0.6, GEGoodToBad: 0.02, Seed: 29}
+	a := collect(t, NewFaultyLink(WiFi, prof), 600)
+	b := collect(t, NewFaultyLink(WiFi, prof), 600)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at delivery %d", i)
+		}
+	}
+
+	noGE := prof
+	noGE.GEBadLoss = 0
+	f, g := NewFaultyLink(WiFi, prof), NewFaultyLink(WiFi, noGE)
+	collect(t, f, 600)
+	collect(t, g, 600)
+	sf, sg := f.Stats(), g.Stats()
+	// The GE draws happen after the three base draws, so the base fault
+	// pattern is seed-identical; GE can only shadow a would-be random drop
+	// (dup/reorder apply to surviving packets and GE changes which survive,
+	// so only the schedule-independent counters must match exactly).
+	if sf.Bursts != sg.Bursts {
+		t.Fatalf("burst schedule moved when GE was enabled: %+v vs %+v", sf, sg)
+	}
+	if sg.GEDrops != 0 || sg.GEBadSpells != 0 {
+		t.Fatalf("disabled GE still fired: %+v", sg)
+	}
+	if sf.GEDrops == 0 {
+		t.Fatal("enabled GE never fired")
+	}
+}

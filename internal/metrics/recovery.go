@@ -18,6 +18,7 @@ type RecoveryCounters struct {
 	packetsLost      atomic.Int64
 	retransmitsRecv  atomic.Int64
 	cachedRecv       atomic.Int64
+	packetsRecovered atomic.Int64
 	// Recovery protocol.
 	nacksSent       atomic.Int64
 	nackSeqs        atomic.Int64
@@ -42,6 +43,13 @@ func (c *RecoveryCounters) RetransmitReceived() { c.retransmitsRecv.Add(1) }
 // receiver-side loss signal the congestion feedback reports carry.
 func (c *RecoveryCounters) PacketLost() { c.packetsLost.Add(1) }
 
+// PacketRecovered records a sequence number healed AFTER it was already
+// counted lost by PacketLost — a parity repair or a late retransmit
+// landing after the first NACK timeout. Feedback windows net these
+// against PacketsLost so the congestion controller does not keep seeing
+// losses that were in fact recovered.
+func (c *RecoveryCounters) PacketRecovered() { c.packetsRecovered.Add(1) }
+
 // CachedReceived records a packet replayed from a sender-side keyframe
 // cache (a late join served from the last encoded I-frame).
 func (c *RecoveryCounters) CachedReceived() { c.cachedRecv.Add(1) }
@@ -63,6 +71,7 @@ type RecoverySnapshot struct {
 	PacketsLost         int64
 	RetransmitsReceived int64
 	CachedReceived      int64
+	PacketsRecovered    int64
 	NACKsSent           int64
 	NACKSeqs            int64
 	NACKGiveUps         int64
@@ -70,6 +79,10 @@ type RecoverySnapshot struct {
 	FramesDecoded       int64
 	FramesConcealed     int64
 	FramesSkipped       int64
+	// FEC carries the receiver's parity counters when forward error
+	// correction is in play (the Receiver merges its FECCounters in;
+	// Snapshot alone leaves it zero).
+	FEC FECSnapshot
 }
 
 // Frames returns the total number of frame outcomes recorded.
@@ -95,6 +108,7 @@ func (c *RecoveryCounters) Snapshot() RecoverySnapshot {
 		PacketsLost:         c.packetsLost.Load(),
 		RetransmitsReceived: c.retransmitsRecv.Load(),
 		CachedReceived:      c.cachedRecv.Load(),
+		PacketsRecovered:    c.packetsRecovered.Load(),
 		NACKsSent:           c.nacksSent.Load(),
 		NACKSeqs:            c.nackSeqs.Load(),
 		NACKGiveUps:         c.nackGiveUps.Load(),

@@ -65,7 +65,11 @@ func runLossy(t *testing.T, frames []*geom.VoxelCloud, prof linksim.FaultProfile
 	pipe := NewLossyPipe(fl, ReceiverConfig{
 		Options: cfg.Options,
 		Mode:    cfg.Mode,
-		OnFrame: func(f DecodedFrame) { run.outcomes = append(run.outcomes, f) },
+		// Feedback rides the reliable control path (no fault-PRNG draws),
+		// so enabling it here keeps every run seed-deterministic while
+		// letting adaptive sessions close the congestion loop.
+		FeedbackEvery: 4,
+		OnFrame:       func(f DecodedFrame) { run.outcomes = append(run.outcomes, f) },
 	})
 	var wire bytes.Buffer
 	cfg.PacketOut = pipe.PacketOut

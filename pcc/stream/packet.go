@@ -61,6 +61,12 @@ const (
 	// it sits outside the payload CRC, so senders can set it on buffered
 	// packet copies in place.
 	FlagCached byte = 1 << 2
+	// FlagParity marks a forward-error-correction parity packet: its
+	// payload is a ParityGroup (XOR parity over a group of the frame's
+	// data packets) rather than frame bytes. Parity packets consume no
+	// sequence numbers and are never retransmitted — losing one costs only
+	// its repair power.
+	FlagParity byte = 1 << 3
 )
 
 // ErrBadPacket reports a malformed packet (bad magic, version, or lengths).
@@ -178,6 +184,104 @@ func PacketizeFrame(streamID, frameIndex uint32, ftype codec.FrameType, firstSeq
 	return out
 }
 
+// Parity (forward error correction) payload framing.
+//
+// A parity packet carries the XOR of a group of the frame's data packets.
+// Each covered packet contributes [uint16 len LE || payload] zero-padded
+// to the widest member, so recovering the single missing member of a
+// group yields both its exact payload length and its bytes. The covered
+// sequence numbers are BaseSeq, BaseSeq+Stride, … (Count members): a
+// stride of 1 covers consecutive fragments, a stride of 2 interleaves two
+// groups over a span so two consecutive losses land in different groups.
+//
+// ParityGroup wire layout (the FlagParity payload, little-endian):
+//
+//	offset size field
+//	     0    4 BaseSeq        first covered sequence number
+//	     4    1 Count          covered packets (1..MaxParityGroup)
+//	     5    1 Stride         sequence step between members (1..MaxParityStride)
+//	     6    4 FrameFirstSeq  sequence number of the frame's fragment 0
+//	    10    2 FragCount      the frame's fragment count
+//	    12    - Body           XOR of [len16 || payload], ≥ 2 bytes
+//
+// FrameFirstSeq/FragCount repeat the frame geometry so a parity packet
+// alone (every data packet of the frame lost or still in flight) is
+// enough for the receiver to set up reassembly state.
+
+const (
+	// ParityHeaderSize is the fixed prefix of a ParityGroup payload.
+	ParityHeaderSize = 12
+	// MaxParityGroup caps how many data packets one parity packet covers.
+	MaxParityGroup = 64
+	// MaxParityStride caps the interleave stride.
+	MaxParityStride = 8
+)
+
+// ParityGroup is one parsed parity payload.
+type ParityGroup struct {
+	BaseSeq       uint32
+	Count         uint8
+	Stride        uint8
+	FrameFirstSeq uint32
+	FragCount     uint16
+	// Body is the XOR of the covered packets' [len16 || payload] records,
+	// zero-padded to the widest member (so len(Body) = 2 + widest payload).
+	Body []byte
+}
+
+// AppendParity appends g's wire form to dst.
+func AppendParity(dst []byte, g ParityGroup) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, g.BaseSeq)
+	dst = append(dst, g.Count, g.Stride)
+	dst = binary.LittleEndian.AppendUint32(dst, g.FrameFirstSeq)
+	dst = binary.LittleEndian.AppendUint16(dst, g.FragCount)
+	return append(dst, g.Body...)
+}
+
+// ParseParity decodes a ParityGroup payload and validates that the group
+// geometry is internally consistent: the covered sequence range must fall
+// inside the frame [FrameFirstSeq, FrameFirstSeq+FragCount). The returned
+// Body aliases b.
+func ParseParity(b []byte) (ParityGroup, error) {
+	if len(b) < ParityHeaderSize+2 {
+		return ParityGroup{}, fmt.Errorf("%w: parity payload %d bytes", ErrBadPacket, len(b))
+	}
+	g := ParityGroup{
+		BaseSeq:       binary.LittleEndian.Uint32(b[0:4]),
+		Count:         b[4],
+		Stride:        b[5],
+		FrameFirstSeq: binary.LittleEndian.Uint32(b[6:10]),
+		FragCount:     binary.LittleEndian.Uint16(b[10:12]),
+		Body:          b[ParityHeaderSize:],
+	}
+	if g.Count < 1 || g.Count > MaxParityGroup {
+		return ParityGroup{}, fmt.Errorf("%w: parity count %d", ErrBadPacket, g.Count)
+	}
+	if g.Stride < 1 || g.Stride > MaxParityStride {
+		return ParityGroup{}, fmt.Errorf("%w: parity stride %d", ErrBadPacket, g.Stride)
+	}
+	if g.FragCount == 0 {
+		return ParityGroup{}, fmt.Errorf("%w: parity over empty frame", ErrBadPacket)
+	}
+	base := g.BaseSeq - g.FrameFirstSeq // fragment index of the first member
+	last := base + uint32(g.Count-1)*uint32(g.Stride)
+	if base >= uint32(g.FragCount) || last >= uint32(g.FragCount) {
+		return ParityGroup{}, fmt.Errorf("%w: parity span [%d,%d] outside %d fragments",
+			ErrBadPacket, base, last, g.FragCount)
+	}
+	return g, nil
+}
+
+// xorRecord folds one covered packet's [len16 || payload] record into a
+// parity body in place. The body must be at least 2+len(payload) bytes.
+func xorRecord(body, payload []byte) {
+	body[0] ^= byte(len(payload))
+	body[1] ^= byte(len(payload) >> 8)
+	for i, b := range payload {
+		body[2+i] ^= b
+	}
+}
+
 // ControlKind identifies a receiver→sender control message.
 type ControlKind byte
 
@@ -221,7 +325,9 @@ const FeedbackSize = 32
 //	     4 HighestFrame  next in-order frame index the receiver needs
 //	     8 Received      packets received in the window
 //	    12 Lost          packets lost in the window (first-transmission
-//	                     NACK-timeout losses; healed reorders excluded)
+//	                     NACK-timeout losses; healed reorders excluded,
+//	                     and losses later recovered — by parity or a late
+//	                     retransmit — are netted back out)
 //	    16 NACKs         sequence numbers NACKed in the window
 //	    20 Decoded       frames decoded byte-correct in the window
 //	    24 Concealed     frames concealed in the window
@@ -238,10 +344,25 @@ type Feedback struct {
 }
 
 // LossRate returns the window's packet loss ratio, Lost/(Received+Lost)
-// (0 when the window saw no packets).
+// (0 when the window saw no packets). Lost is net of recoveries, so this
+// is the unrecovered wire-loss rate.
 func (f Feedback) LossRate() float64 {
 	if n := uint64(f.Received) + uint64(f.Lost); n > 0 {
 		return float64(f.Lost) / float64(n)
+	}
+	return 0
+}
+
+// CongestionRate returns the knob-steering congestion signal:
+// (Lost+NACKs)/(Received+Lost+NACKs). A parity-repaired packet appears in
+// neither term — the repair cost the viewer nothing — so FEC-absorbed loss
+// reads as a clean link and the controller keeps quality up. A
+// retransmit-recovered packet is netted out of Lost but still charges the
+// NACK round trips it took, so congestion that FEC cannot absorb keeps
+// degrading quality exactly as before parity existed.
+func (f Feedback) CongestionRate() float64 {
+	if n := uint64(f.Received) + uint64(f.Lost) + uint64(f.NACKs); n > 0 {
+		return float64(uint64(f.Lost)+uint64(f.NACKs)) / float64(n)
 	}
 	return 0
 }

@@ -149,6 +149,10 @@ type partialFrame struct {
 	have      int
 	failed    bool // retry budget exhausted; resolve as concealed/skipped
 	firstSeen time.Time
+	// parity holds the frame's pending FEC groups: each repairs its single
+	// missing member as soon as the rest arrive, and is dropped once spent
+	// (repaired, or nothing left to repair).
+	parity []*ParityGroup
 }
 
 // lossState tracks one missing sequence number's NACK schedule.
@@ -164,6 +168,7 @@ type Receiver struct {
 	dev      *edgesim.Device
 	dec      *codec.Decoder
 	counters metrics.RecoveryCounters
+	fec      metrics.FECCounters
 
 	inbox [][]byte
 	busy  bool
@@ -173,6 +178,11 @@ type Receiver struct {
 	missing   map[uint32]*lossState
 	frames    map[uint32]*partialFrame
 	nextFrame uint32 // next frame index to deliver
+	// prehealed marks sequence numbers repaired from parity BEFORE any
+	// later arrival revealed their loss (a repaired tail fragment): when
+	// the gap detector later sweeps past one, it must not open a missing
+	// entry for an already-healed packet.
+	prehealed map[uint32]struct{}
 	// gapLost marks that packets of entirely-unseen frames were given up:
 	// the frames in the current index gap were lost (not sender-dropped).
 	gapLost bool
@@ -197,21 +207,26 @@ func NewReceiver(cfg ReceiverConfig) *Receiver {
 	cfg = cfg.normalized()
 	dev := edgesim.NewXavier(cfg.Mode)
 	return &Receiver{
-		cfg:      cfg,
-		dev:      dev,
-		dec:      codec.NewDecoder(dev, cfg.Options),
-		missing:  make(map[uint32]*lossState),
-		frames:   make(map[uint32]*partialFrame),
-		streamID: cfg.StreamID,
+		cfg:       cfg,
+		dev:       dev,
+		dec:       codec.NewDecoder(dev, cfg.Options),
+		missing:   make(map[uint32]*lossState),
+		frames:    make(map[uint32]*partialFrame),
+		prehealed: make(map[uint32]struct{}),
+		streamID:  cfg.StreamID,
 	}
 }
 
 // Device exposes the decode-side device model.
 func (r *Receiver) Device() *edgesim.Device { return r.dev }
 
-// Metrics snapshots the receiver's recovery counters (safe from any
-// goroutine).
-func (r *Receiver) Metrics() metrics.RecoverySnapshot { return r.counters.Snapshot() }
+// Metrics snapshots the receiver's recovery counters, including its FEC
+// parity counters (safe from any goroutine).
+func (r *Receiver) Metrics() metrics.RecoverySnapshot {
+	snap := r.counters.Snapshot()
+	snap.FEC = r.fec.Snapshot()
+	return snap
+}
 
 // Err returns the first control-channel error, if any.
 func (r *Receiver) Err() error { return r.err }
@@ -276,6 +291,12 @@ func (r *Receiver) ingestOne(raw []byte) {
 		r.counters.PacketCorrupt()
 		return
 	}
+	if h.Flags&FlagParity != 0 {
+		// Parity packets occupy no slot in the data sequence stream: route
+		// them to repair before any sequence bookkeeping.
+		r.ingestParity(pkt, now)
+		return
+	}
 	if h.Flags&FlagRetransmit != 0 {
 		r.counters.RetransmitReceived()
 	}
@@ -287,10 +308,20 @@ func (r *Receiver) ingestOne(raw []byte) {
 	// an arrival inside the missing set heals it (retransmit or reorder).
 	if h.Seq >= r.nextSeq {
 		for s := r.nextSeq; s < h.Seq; s++ {
+			if _, ok := r.prehealed[s]; ok {
+				delete(r.prehealed, s) // parity already rebuilt this one
+				continue
+			}
 			r.missing[s] = &lossState{deadline: now.Add(r.cfg.NACKTimeout)}
 		}
+		delete(r.prehealed, h.Seq) // a repaired original arriving late
 		r.nextSeq = h.Seq + 1
-	} else if _, open := r.missing[h.Seq]; open {
+	} else if ls, open := r.missing[h.Seq]; open {
+		if ls.attempts >= 1 {
+			// Late retransmit landing after its first NACK timeout already
+			// counted it lost — net it back out of the next feedback window.
+			r.counters.PacketRecovered()
+		}
 		delete(r.missing, h.Seq)
 	} else {
 		r.counters.PacketDuplicate()
@@ -328,9 +359,127 @@ func (r *Receiver) ingestOne(raw []byte) {
 	}
 	pf.frags[h.Frag] = pkt.Payload
 	pf.have++
+	if len(pf.parity) > 0 {
+		// This arrival may have reduced one of the frame's parity groups to
+		// a single missing member — repairable now.
+		r.tryRepair(pf)
+	}
 
 	r.advance(now)
 	r.checkTimeouts(now, false)
+}
+
+// ingestParity folds one parity packet into its frame's reassembly state
+// and repairs whatever it can. Malformed or frame-inconsistent parity
+// counts corrupt; parity for already-resolved frames counts wasted.
+func (r *Receiver) ingestParity(pkt Packet, now time.Time) {
+	h := pkt.Header
+	pg, err := ParseParity(pkt.Payload)
+	if err != nil {
+		r.counters.PacketCorrupt()
+		return
+	}
+	r.fec.ParityReceived()
+	if h.FrameIndex < r.nextFrame {
+		r.fec.ParityWasted() // frame already resolved; nothing to repair
+		return
+	}
+	if h.FrameIndex >= uint32(len(r.frames))+r.nextFrame+1<<20 {
+		r.counters.PacketCorrupt()
+		return
+	}
+	pf := r.frames[h.FrameIndex]
+	if pf == nil {
+		// Parity alone carries the frame geometry: set up reassembly state
+		// even when every data packet is still in flight (or lost).
+		pf = &partialFrame{
+			index:     h.FrameIndex,
+			ftype:     h.FrameType,
+			firstSeq:  pg.FrameFirstSeq,
+			frags:     make([][]byte, pg.FragCount),
+			firstSeen: now,
+		}
+		r.frames[h.FrameIndex] = pf
+	}
+	if int(pg.FragCount) != len(pf.frags) || pf.firstSeq != pg.FrameFirstSeq || pf.ftype != h.FrameType {
+		r.counters.PacketCorrupt() // inconsistent with sibling fragments
+		return
+	}
+	for _, g := range pf.parity {
+		if g.BaseSeq == pg.BaseSeq && g.Stride == pg.Stride {
+			r.counters.PacketDuplicate()
+			return
+		}
+	}
+	// Repair XORs arrivals into the body in place: keep a private copy so a
+	// duplicated parity packet (same backing bytes) stays parseable.
+	pg.Body = append([]byte(nil), pg.Body...)
+	pf.parity = append(pf.parity, &pg)
+	r.tryRepair(pf)
+	r.advance(now)
+}
+
+// tryRepair runs every pending parity group of pf, dropping the spent
+// ones (repaired a member, or had nothing to repair).
+func (r *Receiver) tryRepair(pf *partialFrame) {
+	kept := pf.parity[:0]
+	for _, g := range pf.parity {
+		if r.repairGroup(pf, g) {
+			kept = append(kept, g)
+		}
+	}
+	for i := len(kept); i < len(pf.parity); i++ {
+		pf.parity[i] = nil
+	}
+	pf.parity = kept
+}
+
+// repairGroup reconstructs the group's single missing member if exactly
+// one is missing. Returns true when the group is still pending (≥ 2
+// members missing — the NACK path keeps chasing them), false when spent.
+func (r *Receiver) repairGroup(pf *partialFrame, g *ParityGroup) bool {
+	miss := -1
+	for i := 0; i < int(g.Count); i++ {
+		frag := int(g.BaseSeq-pf.firstSeq) + i*int(g.Stride)
+		if pf.frags[frag] == nil {
+			if miss >= 0 {
+				return true // two or more missing: XOR cannot resolve yet
+			}
+			miss = frag
+		}
+	}
+	if miss < 0 {
+		r.fec.ParityWasted() // every member arrived on its own
+		return false
+	}
+	// XOR the present members into the body: what remains is the missing
+	// member's [len16 || payload] record.
+	for i := 0; i < int(g.Count); i++ {
+		frag := int(g.BaseSeq-pf.firstSeq) + i*int(g.Stride)
+		if frag != miss {
+			xorRecord(g.Body, pf.frags[frag])
+		}
+	}
+	plen := int(g.Body[0]) | int(g.Body[1])<<8
+	if plen > len(g.Body)-2 {
+		r.counters.PacketCorrupt() // parity/data disagree on geometry
+		return false
+	}
+	seq := pf.firstSeq + uint32(miss)
+	if ls, open := r.missing[seq]; open {
+		if ls.attempts >= 1 {
+			r.counters.PacketRecovered()
+		}
+		delete(r.missing, seq)
+	} else if seq >= r.nextSeq {
+		// Repaired before any later arrival revealed the loss: remember so
+		// the gap detector won't re-open it.
+		r.prehealed[seq] = struct{}{}
+	}
+	pf.frags[miss] = g.Body[2 : 2+plen]
+	pf.have++
+	r.fec.ParityRepair()
+	return false
 }
 
 // findFrame returns the pending frame whose sequence range contains seq.
@@ -493,12 +642,22 @@ func (r *Receiver) maybeFeedback() {
 	if cur.Frames()-r.fbBase.Frames() < int64(r.cfg.FeedbackEvery) {
 		return
 	}
+	// Net recoveries (parity repairs and late retransmits that already
+	// counted lost) out of the window's losses: a healed packet must not
+	// keep inflating the controller's loss signal. Clamped at zero — a
+	// recovery can land a window after its loss was reported.
+	lost := cur.PacketsLost - r.fbBase.PacketsLost
+	if rec := cur.PacketsRecovered - r.fbBase.PacketsRecovered; rec < lost {
+		lost -= rec
+	} else {
+		lost = 0
+	}
 	r.fbReport++
 	fb := Feedback{
 		Report:       r.fbReport,
 		HighestFrame: r.nextFrame,
 		Received:     uint32(cur.PacketsReceived - r.fbBase.PacketsReceived),
-		Lost:         uint32(cur.PacketsLost - r.fbBase.PacketsLost),
+		Lost:         uint32(lost),
 		NACKs:        uint32(cur.NACKSeqs - r.fbBase.NACKSeqs),
 		Decoded:      uint32(cur.FramesDecoded - r.fbBase.FramesDecoded),
 		Concealed:    uint32(cur.FramesConcealed - r.fbBase.FramesConcealed),
@@ -585,7 +744,12 @@ func (r *Receiver) forgetFrame(pf *partialFrame) {
 	delete(r.frames, pf.index)
 	for i := range pf.frags {
 		delete(r.missing, pf.firstSeq+uint32(i))
+		delete(r.prehealed, pf.firstSeq+uint32(i))
 	}
+	for range pf.parity {
+		r.fec.ParityWasted() // still pending at resolution: bought nothing
+	}
+	pf.parity = nil
 }
 
 // loseReference records GOP reference loss: the decoder resets, P-frames

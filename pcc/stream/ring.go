@@ -76,6 +76,9 @@ type sharedFrame struct {
 	ftype  codec.FrameType
 	cached bool // replayed from the keyframe cache (late join)
 	p      *framePayload
+	// fec is the publish-time parity build (nil when FEC is off, and on
+	// cached-join replays — a late joiner's keyframe is NACK-repairable).
+	fec *parityShare
 	// pending counts shards that have not yet finished relaying this
 	// frame; the last decrement marks the frame fully fanned out.
 	pending atomic.Int32

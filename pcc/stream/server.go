@@ -95,6 +95,10 @@ type ServerConfig struct {
 	// the single worst viewer; lower values let outliers resolve through
 	// their own queue shedding while fleet-wide loss adapts the encode.
 	FeedbackQuantile float64
+	// FEC configures parity emission for every viewer. The XOR bodies are
+	// built once per published frame at the server MTU and shared; viewers
+	// at other MTUs rebuild from the immutable ring payload.
+	FEC FECConfig
 }
 
 func (c ServerConfig) normalized() ServerConfig {
@@ -227,6 +231,11 @@ func (sv *Server) Submit(ctx context.Context, vc *geom.VoxelCloud) error {
 // shard workers do the O(N) fan-out.
 func (sv *Server) publish(_ context.Context, seq int, ftype codec.FrameType, wire []byte) error {
 	f := &sharedFrame{index: seq, ftype: ftype, p: newFramePayload(wire)}
+	if k := sv.cfg.FEC.groupLen(sv.sess.Controller()); k > 0 {
+		// Build the parity bodies once, here on the O(1) encode path, so
+		// the O(N) viewer fan-out only copies them under per-viewer headers.
+		f.fec = buildParityShare(f.p.wire, sv.cfg.MTU, k, ftype)
+	}
 	f.pending.Store(int32(len(sv.shards)))
 	if !sv.ring.publish(f) {
 		f.p.release() // canceled mid-publish; the session is aborting

@@ -130,6 +130,12 @@ type Config struct {
 	// RetransmitBuffer caps how many sent packets are retained for NACK
 	// retransmission (default 1024; oldest evicted first).
 	RetransmitBuffer int
+	// FEC configures forward-error-correction parity emission over
+	// PacketOut (see fec.go). The zero value emits no parity unless the
+	// congestion controller's adaptive parity knob raises it; either way
+	// the .pcv wire output (Send/Output/FrameOut) is untouched — parity
+	// exists only in the packet stream.
+	FEC FECConfig
 }
 
 func (c Config) normalized() Config {
@@ -221,6 +227,9 @@ type Metrics struct {
 	// Adapt is the congestion controller's state (zero value when
 	// Options.Adapt is disabled).
 	Adapt codec.ControllerSnapshot
+	// FEC counts the session's parity emission (ParitySent; the receive
+	// side lives in the Receiver's RecoverySnapshot).
+	FEC metrics.FECSnapshot
 }
 
 // Session is one live streaming pipeline. Create with New, feed frames with
@@ -279,6 +288,10 @@ type Session struct {
 	retxMu   sync.Mutex
 	retx     map[uint32][]byte
 	retxFIFO []uint32
+
+	// fec counts parity packets emitted (transmit stage only writes;
+	// Metrics reads atomically).
+	fec metrics.FECCounters
 }
 
 // New starts a session's stage goroutines. Cancelling ctx aborts the
@@ -412,6 +425,7 @@ func (s *Session) Metrics() Metrics {
 		FeedbackStale:   s.staleFeedback,
 	}
 	s.mu.Unlock()
+	m.FEC = s.fec.Snapshot()
 	if ctrl := s.enc.Controller(); ctrl != nil {
 		m.Adapt = ctrl.Snapshot()
 	}
@@ -663,10 +677,33 @@ func (s *Session) emitPackets(j *job) error {
 	first := s.pktSeq
 	pkts := PacketizeFrame(s.cfg.StreamID, uint32(j.seq), j.ftype, first, j.wire, s.cfg.MTU)
 	s.pktSeq += uint32(len(pkts))
+	var groups []groupSpec
+	if k := s.cfg.FEC.groupLen(s.enc.Controller()); k > 0 {
+		groups = parityGroups(len(pkts), k, j.ftype)
+	}
+	gi := 0
+	mtu := payloadMTU(s.cfg.MTU)
 	for i, p := range pkts {
 		s.bufferPacket(first+uint32(i), p)
 		if err := s.cfg.PacketOut(s.ctx, p); err != nil {
 			return err
+		}
+		// Parity interleaves with data: each group's XOR packet goes out
+		// right after the group's last covered fragment, so a repair trails
+		// the loss it fixes by at most a group's worth of packet-times and
+		// lands well inside the receiver's NACK timer even on long frames.
+		// Parity consumes no sequence numbers and is not buffered for
+		// retransmission — a lost parity packet costs only its own repair
+		// power, never a NACK round trip.
+		for gi < len(groups) && groups[gi].end() <= i {
+			g := groups[gi]
+			gi++
+			body := buildParityBody(j.wire, mtu, g)
+			pkt := parityPacket(s.cfg.StreamID, uint32(j.seq), j.ftype, first, len(pkts), g, body)
+			s.fec.ParitySent()
+			if err := s.cfg.PacketOut(s.ctx, pkt); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -741,7 +778,7 @@ func (s *Session) HandleControl(c Control) error {
 		s.mu.Unlock()
 		if ctrl := s.enc.Controller(); ctrl != nil {
 			ctrl.ObserveFeedback(codec.Signal{
-				LossRate:  fb.LossRate(),
+				LossRate:  fb.CongestionRate(),
 				NACKs:     int(fb.NACKs),
 				Concealed: int(fb.Concealed),
 				Skipped:   int(fb.Skipped),

@@ -83,8 +83,14 @@ type ViewerMetrics struct {
 	// JoinLatency is attach → first frame on the wire (0 until then).
 	JoinLatency time.Duration
 	// Packets / WireBytes total the emitted packets (headers included).
+	// Packets counts data packets only; parity rides in ParitySent and its
+	// bytes fold into WireBytes and the link cost.
 	Packets   int64
 	WireBytes int64
+	// ParitySent counts FEC parity packets emitted after data packets.
+	// Parity consumes no viewer sequence numbers and is never cached for
+	// retransmission.
+	ParitySent int64
 	// Control-loop counters: NACK messages handled, packets re-sent,
 	// NACKed packets no longer answerable (record or shard cache evicted),
 	// refresh requests forwarded.
@@ -170,6 +176,7 @@ type Viewer struct {
 	joinLatency   time.Duration
 	packets       int64
 	wireBytes     int64
+	paritySent    int64
 	nacksRecv     int64
 	retransmits   int64
 	retxMisses    int64
@@ -238,6 +245,7 @@ func (v *Viewer) Metrics() ViewerMetrics {
 		JoinLatency:     v.joinLatency,
 		Packets:         v.packets,
 		WireBytes:       v.wireBytes,
+		ParitySent:      v.paritySent,
 		NACKsReceived:   v.nacksRecv,
 		Retransmits:     v.retransmits,
 		RetxMisses:      v.retxMisses,
@@ -406,6 +414,33 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 		}
 		bytes += int64(len(p))
 	}
+	// Frame the parity packets (if the published frame carries a share):
+	// bodies are reused verbatim at the share's MTU and rebuilt from the
+	// immutable ring payload otherwise. Parity takes no viewer sequence
+	// numbers and no sent-record — it is never NACKed or retransmitted —
+	// but its bytes ride the same link budget as the data.
+	var parity [][]byte
+	var parityEnds []int // last covered fragment index per parity packet
+	if fec := qf.f.fec; fec != nil {
+		groups, bodies := fec.groups, fec.bodies
+		if v.mtu() != fec.mtu {
+			groups, bodies = parityGroups(len(pkts), fec.k, qf.f.ftype), nil
+		}
+		parity = make([][]byte, 0, len(groups))
+		parityEnds = make([]int, 0, len(groups))
+		for gi, g := range groups {
+			body := []byte(nil)
+			if bodies != nil {
+				body = bodies[gi]
+			} else {
+				body = buildParityBody(qf.f.p.wire, v.mtu(), g)
+			}
+			p := parityPacket(v.id, qf.idx, qf.f.ftype, firstSeq, len(pkts), g, body)
+			parity = append(parity, p)
+			parityEnds = append(parityEnds, g.end())
+			bytes += int64(len(p))
+		}
+	}
 	cost, err := v.cfg.Link.Transmit(bytes)
 	if err != nil {
 		return err
@@ -413,10 +448,23 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	// Record before the first PacketOut: a receiver NACKing from inside
 	// the delivery chain (re-entrant HandleControl) must find the frame.
 	v.recordSent(qf, firstSeq, len(pkts))
-	for _, p := range pkts {
+	// Each group's parity packet interleaves right after the group's last
+	// covered data packet, so a repair trails the loss it fixes by at most
+	// a group's worth of packet-times — well inside the NACK timer.
+	gi := 0
+	for i, p := range pkts {
 		if v.cfg.PacketOut != nil {
 			if err := v.cfg.PacketOut(v.sv.sess.ctx, p); err != nil {
 				return err
+			}
+		}
+		for gi < len(parity) && parityEnds[gi] <= i {
+			pp := parity[gi]
+			gi++
+			if v.cfg.PacketOut != nil {
+				if err := v.cfg.PacketOut(v.sv.sess.ctx, pp); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -424,6 +472,7 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	v.pktSeq = firstSeq + uint32(len(pkts))
 	v.framesSent++
 	v.packets += int64(len(pkts))
+	v.paritySent += int64(len(parity))
 	v.wireBytes += bytes
 	v.linkTime += cost.Latency
 	v.txJ += cost.TxEnergy
@@ -580,7 +629,7 @@ func (v *Viewer) HandleControl(c Control) error {
 		v.lastFbReport = fb.Report
 		v.fbReports++
 		v.lastLoss = fb.LossRate()
-		loss := v.lastLoss
+		loss := fb.CongestionRate() // steering signal; lastLoss stays wire loss
 		v.mu.Unlock()
 		// Aggregate outside v.mu: the fold takes shard.mu, the reduction
 		// every shard's mu in turn (the relay lock order).
