@@ -288,6 +288,7 @@ func main() {
 		"internal/attr/testdata/fuzz/FuzzDecode":             attrCorpus(),
 		"internal/entropy/testdata/fuzz/FuzzDecompressBytes": decompress,
 		"internal/entropy/testdata/fuzz/FuzzRoundTrip":       roundTrip,
+		"internal/entropy/testdata/fuzz/FuzzSliceDecoder":    decompress,
 		"internal/interframe/testdata/fuzz/FuzzDecodeP":      interframeCorpus(),
 		"pcc/stream/testdata/fuzz/FuzzParsePacket":           packetCorpus(),
 		"pcc/stream/testdata/fuzz/FuzzParseFeedback":         feedbackCorpus(),

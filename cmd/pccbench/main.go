@@ -16,6 +16,7 @@
 //	pccbench loss              lossy-transport recovery sweep
 //	pccbench adapt             closed-loop congestion adaptation step response
 //	pccbench bench             steady-state encode throughput (BENCH_3.json)
+//	pccbench hotpath           entropy/Morton hot-loop micros + sparse row (BENCH_8.json)
 //	pccbench fanout            multi-viewer serving fan-out (stream.Server)
 //	pccbench fanout-scale      relay-tree viewer scaling 64 → 16k (BENCH_6.json)
 //	pccbench all               everything above (except bench, fanout, fanout-scale)
@@ -63,7 +64,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench fanout fanout-scale all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench hotpath fanout fanout-scale all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -110,6 +111,7 @@ func main() {
 		"loss":         runLoss,
 		"adapt":        runAdapt,
 		"bench":        runBench,
+		"hotpath":      runHotpath,
 		"fanout":       runFanout,
 		"fanout-scale": runFanoutScale,
 	}

@@ -90,7 +90,14 @@ func benchOptions(d codec.Design) codec.Options {
 // to steady state, then sessions run until at least minWall of timed work.
 // bytesPerFrame reports the measured compressed output size per frame.
 func benchDesign(d codec.Design, frames []*geom.VoxelCloud) (res BenchResult, bytesPerFrame float64, err error) {
-	enc := codec.NewEncoder(edgesim.NewXavier(edgesim.Mode15W), benchOptions(d))
+	return benchDesignOpts(benchOptions(d), frames)
+}
+
+// benchDesignOpts is benchDesign for an explicit option set (ablation and
+// sparse-regime rows in the hotpath benchmark reuse the same measurement
+// discipline with non-default options).
+func benchDesignOpts(opts codec.Options, frames []*geom.VoxelCloud) (res BenchResult, bytesPerFrame float64, err error) {
+	enc := codec.NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
 	runSession := func() (pts, bytes int64, err error) {
 		for _, f := range frames {
 			frame, st, err := enc.EncodeFrame(f)

@@ -28,7 +28,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, s := range dataset.TableI() {
+		for _, s := range append(dataset.TableI(), dataset.SparsePresets()...) {
 			fmt.Printf("%-12s %-6s %3d frames, %7d pts/frame\n", s.Name, s.Dataset, s.Frames, s.PointsPerFrame)
 		}
 		return

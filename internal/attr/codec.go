@@ -224,11 +224,12 @@ func framePayload(dev *edgesim.Device, payload []byte, p Params) ([]byte, error)
 	if !p.Entropy {
 		return append([]byte{0}, payload...), nil
 	}
-	var out []byte
+	out := make([]byte, 1, 64+len(payload)/2)
+	out[0] = 1
 	dev.CPUSerial("AttrEntropy", len(payload), costEntropyByte, func() {
-		out = entropy.CompressBytes(payload)
+		out = entropy.AppendCompressBytes(out, payload)
 	})
-	return append([]byte{1}, out...), nil
+	return out, nil
 }
 
 // Decode reconstructs the attribute column for n voxels in sorted order.

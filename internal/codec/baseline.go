@@ -130,8 +130,8 @@ func (d *Decoder) decodeTMC13(f *EncodedFrame) (*geom.VoxelCloud, error) {
 		return nil, fmt.Errorf("codec: geometry decoded %d points, header says %d", len(voxels), f.NumPoints)
 	}
 	codes := make([]morton.Code, len(voxels))
-	for i, v := range voxels {
-		codes[i] = morton.Encode(v.X, v.Y, v.Z)
+	if len(voxels) > 0 {
+		morton.EncodeVoxels(codes, voxels)
 	}
 	cc := raht.Codec{QStep: d.opts.RAHTQStep}
 	colors, err := cc.Decode(d.dev, f.Attr, codes, uint(f.Depth))
@@ -200,11 +200,11 @@ func (e *Encoder) encodeCWIPCRaw(sorted []geom.Voxel) ([]byte, error) {
 	for _, v := range sorted {
 		raw = append(raw, v.C.R, v.C.G, v.C.B)
 	}
-	var packed []byte
+	out := make([]byte, 1, 64+len(raw)/2)
 	e.dev.CPUSerial("RawAttrEntropy", len(raw), costEntropyByte, func() {
-		packed = entropy.CompressBytes(raw)
+		out = entropy.AppendCompressBytes(out, raw)
 	})
-	return append([]byte{0}, packed...), nil
+	return out, nil
 }
 
 // encodeCWIPCPredicted runs macro-block motion estimation against the
@@ -237,7 +237,7 @@ func (e *Encoder) encodeCWIPCPredicted(sorted []geom.Voxel, depth uint) ([]byte,
 	}
 	var packed []byte
 	e.dev.CPUSerial("RawAttrEntropy", len(raw), costEntropyByte, func() {
-		packed = entropy.CompressBytes(raw)
+		packed = entropy.AppendCompressBytes(packed, raw)
 	})
 	matched := 0
 	for _, r := range results {

@@ -94,11 +94,12 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 	if e.opts.EntropyGeometry {
 		// Optional entropy stage (Sec. IV-B3 ablation): ~halves the
 		// geometry stream, costs ~100 ms of serial coding at 1 M points.
-		var packed []byte
+		out := make([]byte, 1, 64+len(geomRaw)/2)
+		out[0] = 1
 		dev.CPUSerial("GeomEntropy", len(geomRaw), costEntropyByte, func() {
-			packed = entropy.CompressBytes(geomRaw)
+			out = entropy.AppendCompressBytes(out, geomRaw)
 		})
-		frame.Geometry = append([]byte{1}, packed...)
+		frame.Geometry = out
 	} else {
 		frame.Geometry = append([]byte{0}, geomRaw...)
 	}

@@ -28,6 +28,9 @@ type VideoSpec struct {
 	SensorNoise float64
 	// Seed decorrelates textures across videos.
 	Seed uint32
+	// LiDAR selects the sparse spinning-scanner generator (lidar.go)
+	// instead of the dense body model.
+	LiDAR bool
 }
 
 // TableI returns the six video presets of the paper's Table I with the
@@ -43,14 +46,32 @@ func TableI() []VideoSpec {
 	}
 }
 
-// SpecByName returns the Table I preset with the given name.
+// SparsePresets returns the LiDAR-regime presets. These are NOT Table I
+// entries — they model the automotive-scan regime (KITTI/Ford, the datasets
+// SparsePCGC evaluates on) whose per-region occupancy is 10-100x below the
+// photogrammetry videos, so the codecs can be benchmarked at the opposite
+// density extreme. Point count and frame rate follow a KITTI HDL-64 sweep.
+func SparsePresets() []VideoSpec {
+	return []VideoSpec{
+		{Name: "kitti-sparse", Dataset: "LiDAR", Frames: 300, PointsPerFrame: 72000, SensorNoise: 0.6, Seed: 71, LiDAR: true},
+		{Name: "ford-sparse", Dataset: "LiDAR", Frames: 300, PointsPerFrame: 52000, SensorNoise: 0.9, Seed: 83, LiDAR: true},
+	}
+}
+
+// SpecByName returns the preset with the given name (Table I video or
+// sparse LiDAR regime).
 func SpecByName(name string) (VideoSpec, error) {
 	for _, s := range TableI() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return VideoSpec{}, fmt.Errorf("dataset: unknown video %q (have redandblack, longdress, loot, soldier, andrew10, phil10)", name)
+	for _, s := range SparsePresets() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return VideoSpec{}, fmt.Errorf("dataset: unknown video %q (have redandblack, longdress, loot, soldier, andrew10, phil10, kitti-sparse, ford-sparse)", name)
 }
 
 // Depth is the voxelization depth used by 8iVFB/MVUB (1024^3).
@@ -138,6 +159,9 @@ func (g *Generator) poseAt(frame int) pose {
 func (g *Generator) Frame(t int) (*geom.VoxelCloud, error) {
 	if t < 0 || t >= g.Spec.Frames {
 		return nil, fmt.Errorf("dataset: frame %d outside [0,%d)", t, g.Spec.Frames)
+	}
+	if g.Spec.LiDAR {
+		return g.lidarFrame(t)
 	}
 	p := g.poseAt(t)
 	pts := g.samplePose(p, frameSalt(t))

@@ -1,0 +1,464 @@
+package entropy
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Differential property tests: every batched API must be byte-identical to
+// its bit-at-a-time ancestor — same output stream, same final context
+// states, same cursor positions. These are the local proofs backing the
+// whole-pipeline golden-stream hashes in internal/codec.
+
+// randProbs returns a context slab in random (but valid) adaptation states,
+// produced by running random bits through scalar EncodeBit so the states are
+// reachable ones.
+func randProbs(rng *rand.Rand, n int) []Prob {
+	e := NewEncoder()
+	ps := make([]Prob, n)
+	for i := range ps {
+		ps[i] = NewProb()
+		for k := rng.Intn(20); k > 0; k-- {
+			e.EncodeBit(&ps[i], rng.Intn(2))
+		}
+	}
+	return ps
+}
+
+func TestEncodeBitsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		base := randProbs(rng, n)
+		v := rng.Uint64()
+
+		ctxA := append([]Prob(nil), base...)
+		encA := NewEncoder()
+		encA.EncodeBits(ctxA, v, n)
+		a := append([]byte(nil), encA.Bytes()...)
+
+		ctxB := append([]Prob(nil), base...)
+		encB := NewEncoder()
+		for k := 0; k < n; k++ {
+			encB.EncodeBit(&ctxB[k], int(v>>uint(n-1-k)&1))
+		}
+		b := encB.Bytes()
+
+		if !bytes.Equal(a, b) {
+			t.Fatalf("trial %d: EncodeBits stream differs from EncodeBit loop (n=%d)", trial, n)
+		}
+		for k := range ctxA {
+			if ctxA[k] != ctxB[k] {
+				t.Fatalf("trial %d: context %d diverged: %d vs %d", trial, k, ctxA[k], ctxB[k])
+			}
+		}
+	}
+}
+
+func TestEncodeZeroRunMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(500)
+		p0 := randProbs(rng, 1)[0]
+
+		pa := p0
+		encA := NewEncoder()
+		encA.EncodeZeroRun(&pa, n)
+		a := append([]byte(nil), encA.Bytes()...)
+
+		pb := p0
+		encB := NewEncoder()
+		for i := 0; i < n; i++ {
+			encB.EncodeBit(&pb, 0)
+		}
+		b := encB.Bytes()
+
+		if !bytes.Equal(a, b) || pa != pb {
+			t.Fatalf("trial %d: EncodeZeroRun(n=%d) differs from EncodeBit(p,0) loop", trial, n)
+		}
+	}
+}
+
+func TestEncodeDirectMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(65)
+		v := rng.Uint64()
+
+		encA := NewEncoder()
+		encA.EncodeDirect(v, n)
+		a := append([]byte(nil), encA.Bytes()...)
+
+		encB := NewEncoder()
+		for i := n - 1; i >= 0; i-- {
+			encB.EncodeBitDirect(int(v >> uint(i) & 1))
+		}
+		b := encB.Bytes()
+
+		if !bytes.Equal(a, b) {
+			t.Fatalf("trial %d: EncodeDirect(n=%d) differs from EncodeBitDirect loop", trial, n)
+		}
+	}
+}
+
+func TestDecodeBitsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		base := randProbs(rng, n)
+		v := rng.Uint64()
+		if n < 64 {
+			v &= 1<<uint(n) - 1
+		}
+
+		ctxE := append([]Prob(nil), base...)
+		enc := NewEncoder()
+		enc.EncodeBits(ctxE, v, n)
+		stream := enc.Bytes()
+
+		ctxA := append([]Prob(nil), base...)
+		decA, err := NewDecoder(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decA.DecodeBits(ctxA, n)
+
+		ctxB := append([]Prob(nil), base...)
+		decB, err := NewDecoder(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref uint64
+		for k := 0; k < n; k++ {
+			ref = ref<<1 | uint64(decB.DecodeBit(&ctxB[k]))
+		}
+
+		if got != v || ref != v {
+			t.Fatalf("trial %d: round trip broke: got=%x ref=%x want=%x", trial, got, ref, v)
+		}
+		if decA.pos != decB.pos || decA.code != decB.code || decA.rng != decB.rng {
+			t.Fatalf("trial %d: decoder registers diverged", trial)
+		}
+		for k := range ctxA {
+			if ctxA[k] != ctxB[k] {
+				t.Fatalf("trial %d: decode context %d diverged", trial, k)
+			}
+		}
+		if decA.Overrun() != 0 || decB.Overrun() != 0 {
+			t.Fatalf("trial %d: valid stream reported overrun", trial)
+		}
+	}
+}
+
+func TestDecodeDirectMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(64)
+		v := rng.Uint64()
+		if n < 64 {
+			v &= 1<<uint(n) - 1
+		}
+		enc := NewEncoder()
+		enc.EncodeDirect(v, n)
+		stream := enc.Bytes()
+
+		decA, _ := NewDecoder(stream)
+		got := decA.DecodeDirect(n)
+		decB, _ := NewDecoder(stream)
+		var ref uint64
+		for i := 0; i < n; i++ {
+			ref = ref<<1 | uint64(decB.DecodeBitDirect())
+		}
+		if got != v || ref != v || decA.pos != decB.pos {
+			t.Fatalf("trial %d: DecodeDirect mismatch: got=%x ref=%x want=%x", trial, got, ref, v)
+		}
+	}
+}
+
+func TestByteModelSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, n := range []int{0, 1, 7, 256, 4096} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Intn(8)) // skewed alphabet, like occupancy bytes
+		}
+
+		mA := NewByteModel()
+		encA := NewEncoder()
+		mA.EncodeSlice(encA, data)
+		a := append([]byte(nil), encA.Bytes()...)
+
+		mB := NewByteModel()
+		encB := NewEncoder()
+		for _, b := range data {
+			mB.Encode(encB, b)
+		}
+		if !bytes.Equal(a, encB.Bytes()) {
+			t.Fatalf("n=%d: ByteModel.EncodeSlice differs from Encode loop", n)
+		}
+		if mA.probs != mB.probs {
+			t.Fatalf("n=%d: ByteModel contexts diverged", n)
+		}
+
+		mC := NewByteModel()
+		decC, _ := NewDecoder(a)
+		outC := make([]byte, n)
+		mC.DecodeSlice(decC, outC)
+
+		mD := NewByteModel()
+		decD, _ := NewDecoder(a)
+		outD := make([]byte, n)
+		for i := range outD {
+			outD[i] = mD.Decode(decD)
+		}
+		if !bytes.Equal(outC, data) || !bytes.Equal(outD, data) {
+			t.Fatalf("n=%d: ByteModel slice round trip mismatch", n)
+		}
+		if decC.pos != decD.pos || mC.probs != mD.probs {
+			t.Fatalf("n=%d: ByteModel decode state diverged", n)
+		}
+	}
+}
+
+func TestUintModelSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300)
+		vs := make([]uint64, n)
+		for i := range vs {
+			switch rng.Intn(4) {
+			case 0, 1: // zero runs are the hot case
+				vs[i] = 0
+			case 2:
+				vs[i] = uint64(rng.Intn(100))
+			default:
+				vs[i] = rng.Uint64() // exercises the 64-bit length clamp
+			}
+		}
+
+		mA := NewUintModel()
+		encA := NewEncoder()
+		mA.EncodeSlice(encA, vs)
+		a := append([]byte(nil), encA.Bytes()...)
+
+		mB := NewUintModel()
+		encB := NewEncoder()
+		for _, v := range vs {
+			mB.Encode(encB, v)
+		}
+		if !bytes.Equal(a, encB.Bytes()) {
+			t.Fatalf("trial %d: UintModel.EncodeSlice differs from Encode loop", trial)
+		}
+		if mA.lenProbs != mB.lenProbs {
+			t.Fatalf("trial %d: UintModel contexts diverged", trial)
+		}
+
+		mC := NewUintModel()
+		decC, _ := NewDecoder(a)
+		out := make([]uint64, n)
+		mC.DecodeSlice(decC, out)
+		for i := range vs {
+			if out[i] != vs[i] {
+				t.Fatalf("trial %d: value %d: got %d want %d", trial, i, out[i], vs[i])
+			}
+		}
+		if err := decC.Err(); err != nil {
+			t.Fatalf("trial %d: valid stream: %v", trial, err)
+		}
+	}
+}
+
+func TestIntModelSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300)
+		vs := make([]int64, n)
+		for i := range vs {
+			if rng.Intn(2) == 0 {
+				vs[i] = 0
+			} else {
+				vs[i] = int64(rng.Intn(2001) - 1000)
+			}
+		}
+
+		mA := NewIntModel()
+		encA := NewEncoder()
+		mA.EncodeSlice(encA, vs)
+		a := append([]byte(nil), encA.Bytes()...)
+
+		mB := NewIntModel()
+		encB := NewEncoder()
+		for _, v := range vs {
+			mB.Encode(encB, v)
+		}
+		if !bytes.Equal(a, encB.Bytes()) {
+			t.Fatalf("trial %d: IntModel.EncodeSlice differs from Encode loop", trial)
+		}
+
+		mC := NewIntModel()
+		decC, _ := NewDecoder(a)
+		out := make([]int64, n)
+		mC.DecodeSlice(decC, out)
+		for i := range vs {
+			if out[i] != vs[i] {
+				t.Fatalf("trial %d: value %d: got %d want %d", trial, i, out[i], vs[i])
+			}
+		}
+	}
+}
+
+func TestEncoderResetReuse(t *testing.T) {
+	data := []byte("the encoder scratch must be rewound, not leaked, across Reset")
+	fresh := CompressBytes(data)
+
+	e := NewEncoder()
+	m := NewByteModel()
+	lm := NewUintModel()
+	for round := 0; round < 3; round++ {
+		e.Reset()
+		m.Init()
+		lm.Init()
+		lm.Encode(e, uint64(len(data)))
+		m.EncodeSlice(e, data)
+		if !bytes.Equal(e.Bytes(), fresh) {
+			t.Fatalf("round %d: reused encoder stream differs from fresh encoder", round)
+		}
+	}
+}
+
+func TestDecoderResetReuse(t *testing.T) {
+	a := CompressBytes([]byte("first"))
+	b := CompressBytes([]byte("second stream, different length"))
+	var d Decoder
+	for round := 0; round < 2; round++ {
+		for _, tc := range []struct {
+			stream []byte
+			want   string
+		}{{a, "first"}, {b, "second stream, different length"}} {
+			if err := d.Reset(tc.stream); err != nil {
+				t.Fatal(err)
+			}
+			lm := NewUintModel()
+			bm := NewByteModel()
+			n := lm.Decode(&d)
+			out := make([]byte, n)
+			bm.DecodeSlice(&d, out)
+			if err := d.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if string(out) != tc.want {
+				t.Fatalf("round %d: got %q want %q", round, out, tc.want)
+			}
+		}
+	}
+}
+
+// TestValidStreamsNeverOverrun pins the invariant the corruption check rests
+// on: the 5-byte flush means a decoder that stops at the last coded symbol
+// never reads past the end of a complete stream.
+func TestValidStreamsNeverOverrun(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(2000)
+		data := make([]byte, n)
+		rng.Read(data)
+		stream := CompressBytes(data)
+
+		var d Decoder
+		if err := d.Reset(stream); err != nil {
+			t.Fatal(err)
+		}
+		lm := NewUintModel()
+		bm := NewByteModel()
+		got := make([]byte, lm.Decode(&d))
+		bm.DecodeSlice(&d, got)
+		if d.Overrun() != 0 {
+			t.Fatalf("trial %d: complete stream overran by %d bytes", trial, d.Overrun())
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: payload mismatch", trial)
+		}
+	}
+}
+
+// TestTruncatedStreamErrCorrupt pins satellite behavior: a mid-stream read
+// failure (modelled by truncation — the only way a slice cursor can fail)
+// surfaces as ErrCorrupt at the API boundary instead of silently decoding
+// zero-filled garbage.
+func TestTruncatedStreamErrCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	data := make([]byte, 1000)
+	rng.Read(data)
+	stream := CompressBytes(data)
+
+	for cut := 0; cut < len(stream); cut++ {
+		out, err := DecompressBytes(stream[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d/%d accepted (returned %d bytes)", cut, len(stream), len(out))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+	if _, err := DecompressBytes(stream); err != nil {
+		t.Fatalf("untruncated stream: %v", err)
+	}
+}
+
+// TestEOFSynthesizesZeroBytes pins the legitimate tail behavior: reading
+// past the end behaves exactly as if the stream were zero-padded — the bit
+// stream stays deterministic, the overrun counter records the synthetic
+// reads, and Err reports the corruption.
+func TestEOFSynthesizesZeroBytes(t *testing.T) {
+	enc := NewEncoder()
+	p := NewProb()
+	for i := 0; i < 40; i++ {
+		enc.EncodeBit(&p, i%3%2)
+	}
+	stream := append([]byte(nil), enc.Bytes()...)
+	padded := append(append([]byte(nil), stream...), make([]byte, 64)...)
+
+	dTrunc, _ := NewDecoder(stream)
+	dPad, _ := NewDecoder(padded)
+	pT, pP := NewProb(), NewProb()
+	for i := 0; i < 300; i++ { // way past the 40 coded bits
+		bt := dTrunc.DecodeBit(&pT)
+		bp := dPad.DecodeBit(&pP)
+		if bt != bp {
+			t.Fatalf("bit %d: truncated decoder %d != zero-padded decoder %d", i, bt, bp)
+		}
+	}
+	if dTrunc.Overrun() == 0 {
+		t.Fatal("decoding past the end did not record an overrun")
+	}
+	if !errors.Is(dTrunc.Err(), ErrCorrupt) {
+		t.Fatalf("Err after overrun: got %v, want ErrCorrupt", dTrunc.Err())
+	}
+	if dPad.Overrun() != 0 || dPad.Err() != nil {
+		t.Fatal("zero-padded decoder should not overrun")
+	}
+}
+
+func TestAppendCompressBytesPreservesPrefix(t *testing.T) {
+	prefix := []byte{0xAB, 0xCD}
+	payload := []byte("payload under test")
+	out := AppendCompressBytes(append([]byte(nil), prefix...), payload)
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	if !bytes.Equal(out[2:], CompressBytes(payload)) {
+		t.Fatal("appended stream differs from CompressBytes")
+	}
+	dec, err := AppendDecompressBytes([]byte{1, 2, 3}, out[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, append([]byte{1, 2, 3}, payload...)) {
+		t.Fatal("AppendDecompressBytes prefix/payload mismatch")
+	}
+}

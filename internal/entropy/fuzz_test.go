@@ -24,6 +24,83 @@ func FuzzDecompressBytes(f *testing.F) {
 	})
 }
 
+// FuzzSliceDecoder drives the slice-cursor decoder's batched entry points
+// with arbitrary bytes and checks them against the scalar bit-at-a-time
+// decoder over the same stream: identical symbols, identical cursor/register
+// state, identical overrun accounting — on corrupt inputs as well as valid
+// ones (the batched paths must stay differential even when synthesizing the
+// zero tail).
+func FuzzSliceDecoder(f *testing.F) {
+	f.Add(CompressBytes([]byte("slice cursor seed")))
+	f.Add(CompressBytes(bytes.Repeat([]byte{0, 0, 3}, 400)))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dA, dB Decoder
+		if err := dA.Reset(data); err != nil {
+			if dB.Reset(data) == nil {
+				t.Fatal("Reset verdicts disagree")
+			}
+			return
+		}
+		if err := dB.Reset(data); err != nil {
+			t.Fatal("Reset verdicts disagree")
+		}
+
+		// Batched byte-tree vs scalar byte-tree.
+		bmA, bmB := NewByteModel(), NewByteModel()
+		outA := make([]byte, 64)
+		bmA.DecodeSlice(&dA, outA)
+		for i := 0; i < 64; i++ {
+			if got := bmB.Decode(&dB); got != outA[i] {
+				t.Fatalf("byte %d: slice %d != scalar %d", i, outA[i], got)
+			}
+		}
+
+		// Batched context slab vs scalar adaptive bits.
+		ctxA := make([]Prob, 32)
+		ctxB := make([]Prob, 32)
+		for i := range ctxA {
+			ctxA[i] = NewProb()
+			ctxB[i] = NewProb()
+		}
+		vA := dA.DecodeBits(ctxA, len(ctxA))
+		var vB uint64
+		for i := range ctxB {
+			vB = vB<<1 | uint64(dB.DecodeBit(&ctxB[i]))
+		}
+		if vA != vB {
+			t.Fatalf("DecodeBits %x != DecodeBit loop %x", vA, vB)
+		}
+
+		// Batched direct bits vs scalar direct bits.
+		wA := dA.DecodeDirect(48)
+		var wB uint64
+		for i := 0; i < 48; i++ {
+			wB = wB<<1 | uint64(dB.DecodeBitDirect())
+		}
+		if wA != wB {
+			t.Fatalf("DecodeDirect %x != DecodeBitDirect loop %x", wA, wB)
+		}
+
+		if dA.pos != dB.pos || dA.code != dB.code || dA.rng != dB.rng {
+			t.Fatal("decoder registers diverged")
+		}
+		if dA.Overrun() != dB.Overrun() {
+			t.Fatalf("overrun accounting diverged: %d vs %d", dA.Overrun(), dB.Overrun())
+		}
+		if (dA.Err() == nil) != (dB.Err() == nil) {
+			t.Fatal("Err verdicts diverged")
+		}
+		for i := range ctxA {
+			if ctxA[i] != ctxB[i] {
+				t.Fatalf("context %d diverged", i)
+			}
+		}
+	})
+}
+
 // FuzzRoundTrip checks compress->decompress is the identity for arbitrary
 // inputs.
 func FuzzRoundTrip(f *testing.F) {

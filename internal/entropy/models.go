@@ -1,5 +1,7 @@
 package entropy
 
+import "sync"
+
 // ByteModel is an adaptive order-0 byte model: a bit-tree of 255 binary
 // contexts, one per internal node of the 8-level decision tree. It adapts to
 // the symbol distribution as it codes — occupancy-byte streams (whose
@@ -12,10 +14,15 @@ type ByteModel struct {
 // NewByteModel returns a fresh, unbiased model.
 func NewByteModel() *ByteModel {
 	m := &ByteModel{}
-	for i := range m.probs {
-		m.probs[i] = NewProb()
-	}
+	m.Init()
 	return m
+}
+
+// Init resets every context to the unbiased state (for pooled reuse).
+func (m *ByteModel) Init() {
+	for i := range m.probs {
+		m.probs[i] = probInit
+	}
 }
 
 // Encode codes one byte with e under this model.
@@ -35,6 +42,74 @@ func (m *ByteModel) Decode(d *Decoder) byte {
 		ctx = ctx<<1 | d.DecodeBit(&m.probs[ctx])
 	}
 	return byte(ctx & 0xFF)
+}
+
+// EncodeSlice codes every byte of data in order — the byte-tree fast path.
+// It is byte-identical to calling Encode per byte; the tree walk and the
+// range registers stay local across the whole slab.
+func (m *ByteModel) EncodeSlice(e *Encoder, data []byte) {
+	probs := &m.probs
+	rng := e.rng
+	for _, b := range data {
+		ctx := 1
+		for i := 7; i >= 0; i-- {
+			bit := int(b >> uint(i) & 1)
+			p := probs[ctx]
+			bound := (rng >> probBits) * uint32(p)
+			if bit == 0 {
+				rng = bound
+				probs[ctx] = p + (1<<probBits-p)>>probMoves
+			} else {
+				e.low += uint64(bound)
+				rng -= bound
+				probs[ctx] = p - p>>probMoves
+			}
+			ctx = ctx<<1 | bit
+			if rng < topValue {
+				rng <<= 8
+				e.shiftLow()
+			}
+		}
+	}
+	e.rng = rng
+}
+
+// DecodeSlice fills dst by decoding len(dst) bytes — the decode-side
+// byte-tree fast path, bit-exact with per-byte Decode calls.
+func (m *ByteModel) DecodeSlice(d *Decoder, dst []byte) {
+	probs := &m.probs
+	code, rng := d.code, d.rng
+	data, pos := d.data, d.pos
+	for j := range dst {
+		ctx := 1
+		for i := 0; i < 8; i++ {
+			p := probs[ctx]
+			bound := (rng >> probBits) * uint32(p)
+			if code < bound {
+				rng = bound
+				probs[ctx] = p + (1<<probBits-p)>>probMoves
+				ctx <<= 1
+			} else {
+				code -= bound
+				rng -= bound
+				probs[ctx] = p - p>>probMoves
+				ctx = ctx<<1 | 1
+			}
+			if rng < topValue {
+				rng <<= 8
+				var nb byte
+				if pos < len(data) {
+					nb = data[pos]
+					pos++
+				} else {
+					d.overrun++
+				}
+				code = code<<8 | uint32(nb)
+			}
+		}
+		dst[j] = byte(ctx & 0xFF)
+	}
+	d.code, d.rng, d.pos = code, rng, pos
 }
 
 // NibbleModel is a 4-bit bit-tree model (15 contexts), used where symbols
@@ -82,10 +157,15 @@ type UintModel struct {
 // NewUintModel returns a fresh model.
 func NewUintModel() *UintModel {
 	m := &UintModel{}
-	for i := range m.lenProbs {
-		m.lenProbs[i] = NewProb()
-	}
+	m.Init()
 	return m
+}
+
+// Init resets every context to the unbiased state (for pooled reuse).
+func (m *UintModel) Init() {
+	for i := range m.lenProbs {
+		m.lenProbs[i] = probInit
+	}
 }
 
 func bitLen(v uint64) int {
@@ -97,18 +177,39 @@ func bitLen(v uint64) int {
 	return n
 }
 
-// Encode codes v >= 0.
+// Encode codes v >= 0. The unary length prefix goes through the batched
+// EncodeBits slab (byte-identical to the historical per-bit loop).
 func (m *UintModel) Encode(e *Encoder, v uint64) {
 	n := bitLen(v)
-	for i := 0; i < n; i++ {
-		e.EncodeBit(&m.lenProbs[i], 1)
-	}
 	if n < len(m.lenProbs) {
-		e.EncodeBit(&m.lenProbs[n], 0)
+		// n one-bits then the zero terminator: (n+1)-bit word 111...10.
+		e.EncodeBits(m.lenProbs[:n+1], (1<<uint(n)-1)<<1, n+1)
+	} else {
+		e.EncodeBits(m.lenProbs[:], ^uint64(0), len(m.lenProbs))
 	}
 	if n > 1 {
 		// Top bit is implied by the length.
 		e.EncodeDirect(v&(1<<uint(n-1)-1), n-1)
+	}
+}
+
+// EncodeSlice codes each value of vs in order, collapsing runs of zeros
+// (which cost one zero bit each under the same context) into the zero-run
+// fast path. Byte-identical to per-value Encode calls.
+func (m *UintModel) EncodeSlice(e *Encoder, vs []uint64) {
+	i := 0
+	for i < len(vs) {
+		if vs[i] == 0 {
+			j := i + 1
+			for j < len(vs) && vs[j] == 0 {
+				j++
+			}
+			e.EncodeZeroRun(&m.lenProbs[0], j-i)
+			i = j
+			continue
+		}
+		m.Encode(e, vs[i])
+		i++
 	}
 }
 
@@ -126,6 +227,14 @@ func (m *UintModel) Decode(d *Decoder) uint64 {
 		v |= d.DecodeDirect(n - 1)
 	}
 	return v
+}
+
+// DecodeSlice fills dst by decoding len(dst) values, bit-exact with
+// per-value Decode calls.
+func (m *UintModel) DecodeSlice(d *Decoder, dst []uint64) {
+	for i := range dst {
+		dst[i] = m.Decode(d)
+	}
 }
 
 // ZigZag maps signed to unsigned so small magnitudes stay small
@@ -150,39 +259,105 @@ func NewIntModel() *IntModel { return &IntModel{u: *NewUintModel()} }
 // Encode codes a signed integer.
 func (m *IntModel) Encode(e *Encoder, v int64) { m.u.Encode(e, ZigZag(v)) }
 
+// EncodeSlice codes each value of vs in order, collapsing zero runs (the
+// common case for quantized residuals) into the zero-run fast path.
+// Byte-identical to per-value Encode calls.
+func (m *IntModel) EncodeSlice(e *Encoder, vs []int64) {
+	i := 0
+	for i < len(vs) {
+		if vs[i] == 0 {
+			j := i + 1
+			for j < len(vs) && vs[j] == 0 {
+				j++
+			}
+			e.EncodeZeroRun(&m.u.lenProbs[0], j-i)
+			i = j
+			continue
+		}
+		m.u.Encode(e, ZigZag(vs[i]))
+		i++
+	}
+}
+
 // Decode decodes a signed integer.
 func (m *IntModel) Decode(d *Decoder) int64 { return UnZigZag(m.u.Decode(d)) }
+
+// DecodeSlice fills dst by decoding len(dst) signed values, bit-exact with
+// per-value Decode calls.
+func (m *IntModel) DecodeSlice(d *Decoder, dst []int64) {
+	for i := range dst {
+		dst[i] = UnZigZag(m.u.Decode(d))
+	}
+}
+
+// byteCodec bundles the coder and the models CompressBytes/DecompressBytes
+// need, so the whole per-call working set comes from one pool hit.
+type byteCodec struct {
+	enc Encoder
+	dec Decoder
+	lm  UintModel
+	bm  ByteModel
+}
+
+var byteCodecPool = sync.Pool{New: func() any { return new(byteCodec) }}
 
 // CompressBytes entropy-codes a byte slice with an adaptive order-0 model,
 // prefixing the length. This is the generic "Entropy Encoding" stage the
 // baseline pipelines apply to their serialized streams.
 func CompressBytes(data []byte) []byte {
-	e := NewEncoder()
-	lm := NewUintModel()
-	lm.Encode(e, uint64(len(data)))
-	bm := NewByteModel()
-	for _, b := range data {
-		bm.Encode(e, b)
-	}
-	return e.Bytes()
+	return AppendCompressBytes(nil, data)
 }
 
-// DecompressBytes inverts CompressBytes.
+// AppendCompressBytes appends the entropy-coded form of data to dst and
+// returns the extended slice. The coder and models come from a pool, so the
+// only allocation in steady state is dst's own growth.
+func AppendCompressBytes(dst, data []byte) []byte {
+	c := byteCodecPool.Get().(*byteCodec)
+	c.enc.Reset()
+	c.lm.Init()
+	c.bm.Init()
+	c.lm.Encode(&c.enc, uint64(len(data)))
+	c.bm.EncodeSlice(&c.enc, data)
+	dst = append(dst, c.enc.Bytes()...)
+	byteCodecPool.Put(c)
+	return dst
+}
+
+// DecompressBytes inverts CompressBytes. A stream that ends before the
+// declared payload has been decoded — the decoder cursor running off the
+// end of data — is reported as ErrCorrupt rather than silently returning
+// zero-filled garbage.
 func DecompressBytes(data []byte) ([]byte, error) {
-	d, err := NewDecoder(data)
-	if err != nil {
+	return AppendDecompressBytes(nil, data)
+}
+
+// AppendDecompressBytes appends the decoded payload to dst and returns the
+// extended slice (pooled decoder/models, same corruption checks as
+// DecompressBytes).
+func AppendDecompressBytes(dst, data []byte) ([]byte, error) {
+	c := byteCodecPool.Get().(*byteCodec)
+	defer byteCodecPool.Put(c)
+	if err := c.dec.Reset(data); err != nil {
 		return nil, err
 	}
-	lm := NewUintModel()
-	n := lm.Decode(d)
+	c.lm.Init()
+	c.bm.Init()
+	n := c.lm.Decode(&c.dec)
 	const maxReasonable = 1 << 31
 	if n > maxReasonable {
 		return nil, ErrCorrupt
 	}
-	out := make([]byte, n)
-	bm := NewByteModel()
-	for i := range out {
-		out[i] = bm.Decode(d)
+	base := len(dst)
+	if cap(dst)-base < int(n) {
+		grown := make([]byte, base+int(n))
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:base+int(n)]
 	}
-	return out, nil
+	c.bm.DecodeSlice(&c.dec, dst[base:])
+	if err := c.dec.Err(); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }

@@ -8,13 +8,18 @@
 // PCC codecs [35], [60]: 11-bit probabilities with exponential adaptation,
 // carry-propagation via the cache/shiftLow construction. On top of it sit
 // adaptive bit-tree byte models, zig-zag varints, and run-length helpers.
+//
+// Hot-path layout: the encoder writes into a growable []byte scratch and the
+// decoder reads a []byte with an inlined position cursor — no bytes.Buffer /
+// bytes.Reader method calls in the bit loops. Both sides expose batched
+// entry points (EncodeBits/DecodeBits over a context slab, byte-tree slabs
+// in models.go, zero-run fast paths) that keep the coder registers live
+// across a whole batch while performing the exact per-bit state transitions
+// of the scalar EncodeBit/DecodeBit — the output stream is byte-identical,
+// which the golden-stream hashes in internal/codec pin.
 package entropy
 
-import (
-	"bytes"
-	"errors"
-	"io"
-)
+import "errors"
 
 const (
 	probBits  = 11
@@ -30,13 +35,16 @@ type Prob uint16
 // NewProb returns an unbiased probability state.
 func NewProb() Prob { return probInit }
 
-// Encoder is a binary adaptive range encoder.
+// Encoder is a binary adaptive range encoder. It writes into an internal
+// growable byte slice; Reset rewinds it for pooled reuse, so steady-state
+// callers pay no per-stream allocation once the scratch has grown to the
+// high-water mark.
 type Encoder struct {
 	low       uint64
 	rng       uint32
 	cache     byte
 	cacheSize int64
-	buf       bytes.Buffer
+	out       []byte
 }
 
 // NewEncoder returns an encoder ready for use.
@@ -44,12 +52,23 @@ func NewEncoder() *Encoder {
 	return &Encoder{rng: 0xFFFFFFFF, cacheSize: 1}
 }
 
+// Reset rewinds the encoder to its initial state, retaining the output
+// scratch capacity. Any slice previously returned by Bytes aliases that
+// scratch and is invalidated.
+func (e *Encoder) Reset() {
+	e.low = 0
+	e.rng = 0xFFFFFFFF
+	e.cache = 0
+	e.cacheSize = 1
+	e.out = e.out[:0]
+}
+
 func (e *Encoder) shiftLow() {
 	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
 		carry := byte(e.low >> 32)
 		b := e.cache
 		for {
-			e.buf.WriteByte(b + carry)
+			e.out = append(e.out, b+carry)
 			b = 0xFF
 			e.cacheSize--
 			if e.cacheSize == 0 {
@@ -79,6 +98,54 @@ func (e *Encoder) EncodeBit(p *Prob, bit int) {
 	}
 }
 
+// EncodeBits encodes the low n bits of v MSB-first, bit k (counted from the
+// most significant of the n) under its own adaptive context ctxs[k]. It is
+// byte-identical to n EncodeBit calls over consecutive contexts and exists
+// so a whole context slab is coded with the range registers kept local.
+func (e *Encoder) EncodeBits(ctxs []Prob, v uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	_ = ctxs[n-1]
+	rng := e.rng
+	for k := 0; k < n; k++ {
+		p := ctxs[k]
+		bound := (rng >> probBits) * uint32(p)
+		if v>>uint(n-1-k)&1 == 0 {
+			rng = bound
+			ctxs[k] = p + (1<<probBits-p)>>probMoves
+		} else {
+			e.low += uint64(bound)
+			rng -= bound
+			ctxs[k] = p - p>>probMoves
+		}
+		if rng < topValue {
+			rng <<= 8
+			e.shiftLow()
+		}
+	}
+	e.rng = rng
+}
+
+// EncodeZeroRun encodes n zero bits under the single adaptive context *p —
+// the shape a run of zero-valued residuals takes under UintModel. It is
+// byte-identical to n EncodeBit(p, 0) calls; the adaptation and range
+// updates stay in registers for the whole run.
+func (e *Encoder) EncodeZeroRun(p *Prob, n int) {
+	rng := e.rng
+	pv := *p
+	for ; n > 0; n-- {
+		rng = (rng >> probBits) * uint32(pv)
+		pv += (1<<probBits - pv) >> probMoves
+		if rng < topValue {
+			rng <<= 8
+			e.shiftLow()
+		}
+	}
+	*p = pv
+	e.rng = rng
+}
+
 // EncodeBitDirect encodes one bit at fixed probability 1/2 (no context).
 func (e *Encoder) EncodeBitDirect(bit int) {
 	e.rng >>= 1
@@ -93,62 +160,104 @@ func (e *Encoder) EncodeBitDirect(bit int) {
 
 // EncodeDirect encodes the low n bits of v at fixed probability.
 func (e *Encoder) EncodeDirect(v uint64, n int) {
+	rng := e.rng
 	for i := n - 1; i >= 0; i-- {
-		e.EncodeBitDirect(int(v >> uint(i) & 1))
+		rng >>= 1
+		if v>>uint(i)&1 != 0 {
+			e.low += uint64(rng)
+		}
+		if rng < topValue {
+			rng <<= 8
+			e.shiftLow()
+		}
 	}
+	e.rng = rng
 }
 
-// Bytes flushes the coder and returns the compressed stream. The encoder
-// must not be used afterwards.
+// Bytes flushes the coder and returns the compressed stream. The returned
+// slice aliases the encoder's scratch: it is valid until the next Reset.
+// After Bytes, the encoder must be Reset before coding again.
 func (e *Encoder) Bytes() []byte {
 	for i := 0; i < 5; i++ {
 		e.shiftLow()
 	}
-	return e.buf.Bytes()
+	return e.out
 }
 
 // Len returns the number of bytes emitted so far (excluding unflushed
 // state); useful for budget tracking mid-stream.
-func (e *Encoder) Len() int { return e.buf.Len() }
+func (e *Encoder) Len() int { return len(e.out) }
 
 // ErrCorrupt is returned when a decoder detects an invalid stream.
 var ErrCorrupt = errors.New("entropy: corrupt stream")
 
-// Decoder is the matching binary adaptive range decoder.
+// Decoder is the matching binary adaptive range decoder. It reads directly
+// from the input slice through an inlined position cursor; Reset re-arms it
+// over a new stream for pooled reuse.
 type Decoder struct {
-	rng  uint32
-	code uint32
-	in   *bytes.Reader
+	rng     uint32
+	code    uint32
+	data    []byte
+	pos     int
+	overrun int
 }
 
 // NewDecoder initializes a decoder over a compressed stream.
 func NewDecoder(data []byte) (*Decoder, error) {
-	d := &Decoder{rng: 0xFFFFFFFF, in: bytes.NewReader(data)}
-	// The first emitted byte is always 0 (initial cache); skip it and load
-	// the 32-bit code window.
-	b, err := d.in.ReadByte()
-	if err != nil {
-		return nil, ErrCorrupt
-	}
-	if b != 0 {
-		return nil, ErrCorrupt
-	}
-	for i := 0; i < 4; i++ {
-		nb, err := d.in.ReadByte()
-		if err != nil {
-			return nil, ErrCorrupt
-		}
-		d.code = d.code<<8 | uint32(nb)
+	d := &Decoder{}
+	if err := d.Reset(data); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
 
+// Reset re-arms the decoder over a new compressed stream, validating the
+// 5-byte header exactly like NewDecoder. The decoder retains a reference to
+// data until the next Reset.
+func (d *Decoder) Reset(data []byte) error {
+	// The first emitted byte is always 0 (initial cache); it must be present
+	// together with the 32-bit code window.
+	if len(data) < 5 || data[0] != 0 {
+		return ErrCorrupt
+	}
+	d.rng = 0xFFFFFFFF
+	d.code = uint32(data[1])<<24 | uint32(data[2])<<16 | uint32(data[3])<<8 | uint32(data[4])
+	d.data = data
+	d.pos = 5
+	d.overrun = 0
+	return nil
+}
+
+// Err reports whether the decoder has run off the end of its stream. A
+// complete stream never does: the encoder's 5-byte flush emits exactly the
+// bytes the matching decode sequence loads, so the cursor reaching past the
+// end means the input was truncated (or the caller decoded more symbols
+// than were coded) and everything decoded since is garbage. Callers check
+// this at their API boundary and surface ErrCorrupt instead of returning
+// silently mis-decoded data. Bit-level behavior is unchanged — reads past
+// the end still synthesize zero bytes (the legitimate tail behavior for a
+// decoder that stops exactly at the last coded symbol), so valid decodes
+// are byte-identical to the pre-cursor implementation.
+func (d *Decoder) Err() error {
+	if d.overrun > 0 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// Overrun returns how many zero bytes the decoder has synthesized past the
+// end of the input (0 for any complete stream).
+func (d *Decoder) Overrun() int { return d.overrun }
+
 func (d *Decoder) normalize() {
 	if d.rng < topValue {
 		d.rng <<= 8
-		nb, err := d.in.ReadByte()
-		if err != nil && err != io.EOF {
-			nb = 0
+		var nb byte
+		if d.pos < len(d.data) {
+			nb = d.data[d.pos]
+			d.pos++
+		} else {
+			d.overrun++
 		}
 		d.code = d.code<<8 | uint32(nb)
 	}
@@ -161,7 +270,6 @@ func (d *Decoder) DecodeBit(p *Prob) int {
 	if d.code < bound {
 		d.rng = bound
 		*p += (1<<probBits - *p) >> probMoves
-		bit = 0
 	} else {
 		d.code -= bound
 		d.rng -= bound
@@ -170,6 +278,46 @@ func (d *Decoder) DecodeBit(p *Prob) int {
 	}
 	d.normalize()
 	return bit
+}
+
+// DecodeBits decodes n bits, bit k under ctxs[k], returning them packed
+// MSB-first. It mirrors EncodeBits and is bit-exact with n DecodeBit calls.
+func (d *Decoder) DecodeBits(ctxs []Prob, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	_ = ctxs[n-1]
+	var v uint64
+	code, rng := d.code, d.rng
+	data, pos := d.data, d.pos
+	for k := 0; k < n; k++ {
+		p := ctxs[k]
+		bound := (rng >> probBits) * uint32(p)
+		var bit uint64
+		if code < bound {
+			rng = bound
+			ctxs[k] = p + (1<<probBits-p)>>probMoves
+		} else {
+			code -= bound
+			rng -= bound
+			ctxs[k] = p - p>>probMoves
+			bit = 1
+		}
+		v = v<<1 | bit
+		if rng < topValue {
+			rng <<= 8
+			var nb byte
+			if pos < len(data) {
+				nb = data[pos]
+				pos++
+			} else {
+				d.overrun++
+			}
+			code = code<<8 | uint32(nb)
+		}
+	}
+	d.code, d.rng, d.pos = code, rng, pos
+	return v
 }
 
 // DecodeBitDirect decodes one fixed-probability bit.
@@ -187,8 +335,28 @@ func (d *Decoder) DecodeBitDirect() int {
 // DecodeDirect decodes n fixed-probability bits.
 func (d *Decoder) DecodeDirect(n int) uint64 {
 	var v uint64
+	code, rng := d.code, d.rng
+	data, pos := d.data, d.pos
 	for i := 0; i < n; i++ {
-		v = v<<1 | uint64(d.DecodeBitDirect())
+		rng >>= 1
+		var bit uint64
+		if code >= rng {
+			code -= rng
+			bit = 1
+		}
+		v = v<<1 | bit
+		if rng < topValue {
+			rng <<= 8
+			var nb byte
+			if pos < len(data) {
+				nb = data[pos]
+				pos++
+			} else {
+				d.overrun++
+			}
+			code = code<<8 | uint32(nb)
+		}
 	}
+	d.code, d.rng, d.pos = code, rng, pos
 	return v
 }

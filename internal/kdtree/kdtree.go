@@ -121,19 +121,22 @@ func Encode(dev *edgesim.Device, vc *geom.VoxelCloud) ([]byte, error) {
 	countModel.Encode(enc, uint64(len(pts)))
 
 	root := cell{sizeX: vc.GridSize(), sizeY: vc.GridSize(), sizeZ: vc.GridSize()}
-	steps := 0
 	dev.CPUSerial("KDEncode", len(pts)*int(vc.Depth)*3, costCode, func() {
-		steps = encodeCell(enc, countModel, pts, root)
+		// Two passes: the recursion partitions and collects the per-cell
+		// counts, then the whole count column goes through the batched
+		// entropy slab in one call (same symbol order, byte-identical).
+		counts := collectCells(pts, root, make([]uint64, 0, 2*len(pts)))
+		countModel.EncodeSlice(enc, counts)
 	})
-	_ = steps
 	return enc.Bytes(), nil
 }
 
-// encodeCell recursively codes the subdivision; pts is the (sub)slice of
-// points inside c. Returns the number of recursion steps (for diagnostics).
-func encodeCell(enc *entropy.Encoder, m *entropy.UintModel, pts []geom.Voxel, c cell) int {
+// collectCells recursively partitions and appends each coded cell's
+// lower-half count in DFS order — the exact symbol sequence the historical
+// interleaved encoder produced.
+func collectCells(pts []geom.Voxel, c cell, counts []uint64) []uint64 {
 	if len(pts) == 0 || c.single() {
-		return 1
+		return counts
 	}
 	axis := c.longestAxis()
 	mid := axisMid(c, axis)
@@ -146,9 +149,10 @@ func encodeCell(enc *entropy.Encoder, m *entropy.UintModel, pts []geom.Voxel, c 
 			lo++
 		}
 	}
-	m.Encode(enc, uint64(lo))
+	counts = append(counts, uint64(lo))
 	l, h := c.split(axis)
-	return 1 + encodeCell(enc, m, pts[:lo], l) + encodeCell(enc, m, pts[lo:], h)
+	counts = collectCells(pts[:lo], l, counts)
+	return collectCells(pts[lo:], h, counts)
 }
 
 // Decode reconstructs the voxel positions from a kd stream.
@@ -175,6 +179,11 @@ func Decode(dev *edgesim.Device, data []byte, depth uint) ([]geom.Voxel, error) 
 	})
 	if decodeErr != nil {
 		return nil, decodeErr
+	}
+	// A truncated stream makes the cursor run off the end (zero-filled
+	// bits); surface that as corruption instead of returning garbage.
+	if err := dec.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

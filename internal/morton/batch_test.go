@@ -1,0 +1,169 @@
+package morton
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+)
+
+// Differential property tests pinning the slab Morton paths against the
+// scalar Encode/EncodeLUT/Decode ancestors — batching a call site must be
+// byte-inert for every stream format.
+
+func randCoords(rng *rand.Rand, n int) (xs, ys, zs []uint32) {
+	xs = make([]uint32, n)
+	ys = make([]uint32, n)
+	zs = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		// Full 21-bit coordinate range, with boundary values mixed in.
+		switch rng.Intn(8) {
+		case 0:
+			xs[i], ys[i], zs[i] = 0, 0, 0
+		case 1:
+			xs[i], ys[i], zs[i] = 1<<21-1, 1<<21-1, 1<<21-1
+		default:
+			xs[i] = rng.Uint32() & (1<<21 - 1)
+			ys[i] = rng.Uint32() & (1<<21 - 1)
+			zs[i] = rng.Uint32() & (1<<21 - 1)
+		}
+	}
+	return
+}
+
+func TestEncodeBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pool := edgesim.DefaultPool()
+	for _, n := range []int{0, 1, 2, 63, 1000, 10007} {
+		xs, ys, zs := randCoords(rng, n)
+		serial := make([]Code, n)
+		pooled := make([]Code, n)
+		EncodeBatch(nil, serial, xs, ys, zs)
+		EncodeBatch(pool, pooled, xs, ys, zs)
+		for i := 0; i < n; i++ {
+			want := Encode(xs[i], ys[i], zs[i])
+			if lut := EncodeLUT(xs[i], ys[i], zs[i]); lut != want {
+				t.Fatalf("n=%d i=%d: EncodeLUT %x != Encode %x", n, i, lut, want)
+			}
+			if serial[i] != want {
+				t.Fatalf("n=%d i=%d: serial EncodeBatch %x != Encode %x", n, i, serial[i], want)
+			}
+			if pooled[i] != want {
+				t.Fatalf("n=%d i=%d: pooled EncodeBatch %x != Encode %x", n, i, pooled[i], want)
+			}
+		}
+	}
+}
+
+func TestDecodeBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pool := edgesim.DefaultPool()
+	for _, n := range []int{0, 1, 2, 63, 1000, 10007} {
+		xs, ys, zs := randCoords(rng, n)
+		codes := make([]Code, n)
+		EncodeBatch(nil, codes, xs, ys, zs)
+
+		sx, sy, sz := make([]uint32, n), make([]uint32, n), make([]uint32, n)
+		px, py, pz := make([]uint32, n), make([]uint32, n), make([]uint32, n)
+		DecodeBatch(nil, codes, sx, sy, sz)
+		DecodeBatch(pool, codes, px, py, pz)
+		for i := 0; i < n; i++ {
+			wx, wy, wz := codes[i].Decode()
+			if sx[i] != wx || sy[i] != wy || sz[i] != wz {
+				t.Fatalf("n=%d i=%d: serial DecodeBatch != Code.Decode", n, i)
+			}
+			if px[i] != wx || py[i] != wy || pz[i] != wz {
+				t.Fatalf("n=%d i=%d: pooled DecodeBatch != Code.Decode", n, i)
+			}
+			if wx != xs[i] || wy != ys[i] || wz != zs[i] {
+				t.Fatalf("n=%d i=%d: round trip lost coordinates", n, i)
+			}
+		}
+	}
+}
+
+func TestVoxelSlabsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xs, ys, zs := randCoords(rng, 5000)
+	vs := make([]geom.Voxel, len(xs))
+	for i := range vs {
+		vs[i] = geom.Voxel{X: xs[i], Y: ys[i], Z: zs[i],
+			C: geom.Color{R: uint8(i), G: uint8(i >> 8), B: uint8(i >> 16)}}
+	}
+
+	keyed := make([]Keyed, len(vs))
+	EncodeKeyed(keyed, vs)
+	codes := make([]Code, len(vs))
+	EncodeVoxels(codes, vs)
+	for i, v := range vs {
+		want := Encode(v.X, v.Y, v.Z)
+		if keyed[i].Code != want || keyed[i].Voxel != v {
+			t.Fatalf("i=%d: EncodeKeyed mismatch", i)
+		}
+		if codes[i] != want {
+			t.Fatalf("i=%d: EncodeVoxels %x != Encode %x", i, codes[i], want)
+		}
+	}
+
+	decoded := make([]geom.Voxel, len(codes))
+	DecodeVoxels(decoded, codes)
+	for i, c := range codes {
+		x, y, z := c.Decode()
+		if decoded[i] != (geom.Voxel{X: x, Y: y, Z: z}) {
+			t.Fatalf("i=%d: DecodeVoxels != Code.Decode (colors must stay zero)", i)
+		}
+	}
+
+	vc := &geom.VoxelCloud{Depth: 21, Voxels: vs}
+	fresh := EncodeCloudInto(nil, vc)
+	reused := EncodeCloudInto(make([]Keyed, 0, len(vs)+100), vc)
+	if len(fresh) != len(vs) || len(reused) != len(vs) {
+		t.Fatal("EncodeCloudInto length mismatch")
+	}
+	for i := range fresh {
+		if fresh[i] != keyed[i] || reused[i] != keyed[i] {
+			t.Fatalf("i=%d: EncodeCloudInto != EncodeKeyed", i)
+		}
+	}
+}
+
+func TestEncodeCloudIntoEmpty(t *testing.T) {
+	vc := &geom.VoxelCloud{Depth: 10}
+	if got := EncodeCloudInto(nil, vc); len(got) != 0 {
+		t.Fatalf("empty cloud keyed to %d entries", len(got))
+	}
+}
+
+func BenchmarkMortonScalar1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs, ys, zs := randCoords(rng, 1<<20)
+	dst := make([]Code, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst {
+			dst[j] = Encode(xs[j], ys[j], zs[j])
+		}
+	}
+}
+
+func BenchmarkMortonBatchSerial1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs, ys, zs := randCoords(rng, 1<<20)
+	dst := make([]Code, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(nil, dst, xs, ys, zs)
+	}
+}
+
+func BenchmarkMortonBatchPool1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs, ys, zs := randCoords(rng, 1<<20)
+	dst := make([]Code, len(xs))
+	pool := edgesim.DefaultPool()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(pool, dst, xs, ys, zs)
+	}
+}

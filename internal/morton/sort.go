@@ -15,14 +15,10 @@ type Keyed struct {
 	Voxel geom.Voxel
 }
 
-// EncodeCloud computes the Morton code of every voxel in the cloud.
-// The returned slice is in the cloud's original order.
+// EncodeCloud computes the Morton code of every voxel in the cloud through
+// the batched LUT path. The returned slice is in the cloud's original order.
 func EncodeCloud(vc *geom.VoxelCloud) []Keyed {
-	out := make([]Keyed, len(vc.Voxels))
-	for i, v := range vc.Voxels {
-		out[i] = Keyed{Code: Encode(v.X, v.Y, v.Z), Voxel: v}
-	}
-	return out
+	return EncodeCloudInto(nil, vc)
 }
 
 // Sort orders keyed voxels by Morton code ascending (stable order for equal

@@ -142,12 +142,13 @@ func BuildWith(dev *edgesim.Device, vc *geom.VoxelCloud, s *BuildScratch) (*Buil
 	n := vc.Len()
 
 	// Kernel 1: Morton code generation — one independent work-item per
-	// point ("in one shot ... only takes 0.5ms", Sec. IV-A2).
+	// point ("in one shot ... only takes 0.5ms", Sec. IV-A2). Each range
+	// block keys its slab through the batched LUT path (byte-identical
+	// codes to the scalar Encode).
 	s.keyed = grow(s.keyed, n)
 	keyed := s.keyed
-	dev.GPUKernelIdx("MortonGen", n, costMortonGen, func(i int) {
-		v := vc.Voxels[i]
-		keyed[i] = morton.Keyed{Code: morton.Encode(v.X, v.Y, v.Z), Voxel: v}
+	dev.GPUKernel("MortonGen", n, costMortonGen, func(lo, hi int) {
+		morton.EncodeKeyed(keyed[lo:hi], vc.Voxels[lo:hi])
 	})
 
 	// Kernel 2: data-parallel radix sort (8 digit passes) — histogram,

@@ -84,9 +84,11 @@ func (r *LoDResult) UpscaleToLattice(dev *edgesim.Device, depth uint) []geom.Vox
 		half = 1 << (shift - 1)
 	}
 	out := make([]geom.Voxel, len(r.Codes))
-	dev.GPUKernelIdx("LoDUpscale", len(r.Codes), costMortonGen, func(i int) {
-		x, y, z := r.Codes[i].Decode()
-		out[i] = geom.Voxel{X: x<<shift | half, Y: y<<shift | half, Z: z<<shift | half}
+	dev.GPUKernel("LoDUpscale", len(r.Codes), costMortonGen, func(lo, hi int) {
+		morton.DecodeVoxels(out[lo:hi], r.Codes[lo:hi])
+		for i := lo; i < hi; i++ {
+			out[i] = geom.Voxel{X: out[i].X<<shift | half, Y: out[i].Y<<shift | half, Z: out[i].Z<<shift | half}
+		}
 	})
 	return out
 }

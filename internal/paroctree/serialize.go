@@ -101,9 +101,8 @@ func popcount8(b byte) int {
 // zeroed; the attribute decoder fills them in).
 func CodesToVoxels(dev *edgesim.Device, codes []morton.Code, depth uint) []geom.Voxel {
 	out := make([]geom.Voxel, len(codes))
-	dev.GPUKernelIdx("MortonDecode", len(codes), costMortonGen, func(i int) {
-		x, y, z := codes[i].Decode()
-		out[i] = geom.Voxel{X: x, Y: y, Z: z}
+	dev.GPUKernel("MortonDecode", len(codes), costMortonGen, func(lo, hi int) {
+		morton.DecodeVoxels(out[lo:hi], codes[lo:hi])
 	})
 	return out
 }

@@ -177,15 +177,17 @@ func EncodeLifting(dev *edgesim.Device, sorted []morton.Keyed, p LiftParams) ([]
 // encodeLiftLevel recursively codes one split level.
 func encodeLiftLevel(enc *entropy.Encoder, res *entropy.IntModel, sorted []morton.Keyed, vals [][3]float64, idx []int32, p LiftParams) {
 	if len(idx) <= p.MinCoarse {
-		// Base level: code values directly (quantized).
+		// Base level: code values directly (quantized), as one batched slab.
 		q := float64(p.QStep)
+		base := make([]int64, 0, 3*len(idx))
 		for _, id := range idx {
 			for ch := 0; ch < 3; ch++ {
 				qv := int64(math.Round(vals[id][ch] / q))
-				res.Encode(enc, qv)
+				base = append(base, qv)
 				vals[id][ch] = float64(qv) * q // track reconstruction
 			}
 		}
+		res.EncodeSlice(enc, base)
 		return
 	}
 	even, odd := levelSplit(idx)
@@ -227,11 +229,11 @@ func encodeLiftLevel(enc *entropy.Encoder, res *entropy.IntModel, sorted []morto
 	// Emit details AFTER the recursion so the decoder, which must undo the
 	// update before predicting, reads coarse-first.
 	encodeLiftLevel(enc, res, sorted, vals, even, p)
+	level := make([]int64, 0, 3*len(details))
 	for _, d := range details {
-		for ch := 0; ch < 3; ch++ {
-			res.Encode(enc, d.qd[ch])
-		}
+		level = append(level, d.qd[0], d.qd[1], d.qd[2])
 	}
+	res.EncodeSlice(enc, level)
 }
 
 // DecodeLifting inverts EncodeLifting given the decoded geometry.
@@ -254,6 +256,9 @@ func DecodeLifting(dev *edgesim.Device, data []byte, sorted []morton.Keyed, p Li
 	dev.CPUSerial("LiftInverse", len(sorted), costLift, func() {
 		decodeLiftLevel(dec, res, sorted, vals, all, p)
 	})
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]geom.Color, len(sorted))
 	for i, v := range vals {
 		out[i] = geom.Color{R: clampF(v[0]), G: clampF(v[1]), B: clampF(v[2])}
@@ -264,9 +269,11 @@ func DecodeLifting(dev *edgesim.Device, data []byte, sorted []morton.Keyed, p Li
 func decodeLiftLevel(dec *entropy.Decoder, res *entropy.IntModel, sorted []morton.Keyed, vals [][3]float64, idx []int32, p LiftParams) {
 	if len(idx) <= p.MinCoarse {
 		q := float64(p.QStep)
-		for _, id := range idx {
+		base := make([]int64, 3*len(idx))
+		res.DecodeSlice(dec, base)
+		for i, id := range idx {
 			for ch := 0; ch < 3; ch++ {
-				vals[id][ch] = float64(res.Decode(dec)) * q
+				vals[id][ch] = float64(base[3*i+ch]) * q
 			}
 		}
 		return
@@ -285,14 +292,15 @@ func decodeLiftLevel(dec *entropy.Decoder, res *entropy.IntModel, sorted []morto
 	}
 	details := make([]detail, len(odd))
 	q := float64(p.QStep)
+	// This level's detail coefficients sit consecutively in the stream:
+	// decode them as one batched slab before the geometry work.
+	level := make([]int64, 3*len(odd))
+	res.DecodeSlice(dec, level)
 	for i, id := range odd {
 		nbrs := neighborsOf(sorted, even, id, p.Neighbors)
 		// Weights depend only on geometry.
 		_, weights := liftPredict(sorted, vals, nbrs, id)
-		var qd [3]int64
-		for ch := 0; ch < 3; ch++ {
-			qd[ch] = res.Decode(dec)
-		}
+		qd := [3]int64{level[3*i], level[3*i+1], level[3*i+2]}
 		details[i] = detail{id: id, nbrs: nbrs, weights: weights, qd: qd}
 	}
 	// Undo update (reverse order is unnecessary — updates are additive).

@@ -119,6 +119,10 @@ func Encode(dev *edgesim.Device, sorted []morton.Keyed, p Params) ([]byte, error
 
 	coded := make([][3]int32, len(sorted))
 	dev.CPUSerial("PredTransform", len(sorted), costPredict, func() {
+		// The prediction loop depends on reconstructed values, not on the
+		// coder, so the residual column is computed first and entropy-coded
+		// as one batched slab (same symbol order, byte-identical).
+		resv := make([]int64, 0, 3*len(sorted))
 		q := int32(p.QStep)
 		for i := range sorted {
 			pred := predict(sorted, coded, i, p)
@@ -127,10 +131,11 @@ func Encode(dev *edgesim.Device, sorted []morton.Keyed, p Params) ([]byte, error
 			for ch := 0; ch < 3; ch++ {
 				d := actual[ch] - pred[ch]
 				qd := quantize(d, q)
-				res.Encode(enc, int64(qd))
+				resv = append(resv, int64(qd))
 				coded[i][ch] = clamp255(pred[ch] + qd*q)
 			}
 		}
+		res.EncodeSlice(enc, resv)
 	})
 	return enc.Bytes(), nil
 }
@@ -152,11 +157,15 @@ func Decode(dev *edgesim.Device, data []byte, sorted []morton.Keyed, p Params) (
 	coded := make([][3]int32, len(sorted))
 	out := make([]geom.Color, len(sorted))
 	dev.CPUSerial("PredInverse", len(sorted), costPredict, func() {
+		// Residuals sit consecutively in the stream, so the whole column is
+		// decoded as one batched slab before the reconstruction loop.
+		resv := make([]int64, 3*len(sorted))
+		res.DecodeSlice(dec, resv)
 		q := int32(p.QStep)
 		for i := range sorted {
 			pred := predict(sorted, coded, i, p)
 			for ch := 0; ch < 3; ch++ {
-				qd := int32(res.Decode(dec))
+				qd := int32(resv[3*i+ch])
 				coded[i][ch] = clamp255(pred[ch] + qd*q)
 			}
 			out[i] = geom.Color{
@@ -164,6 +173,9 @@ func Decode(dev *edgesim.Device, data []byte, sorted []morton.Keyed, p Params) (
 			}
 		}
 	})
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -135,17 +135,21 @@ func (cc Codec) Encode(dev *edgesim.Device, codes []morton.Code, colors []geom.C
 	nCoef := 0
 
 	totalPasses := int(3 * depth)
+	var coefs []int64 // per-pass quantized HC slab, reused across passes
 	for p := 0; p < totalPasses; p++ {
 		visits := len(nodes)
 		dev.CPUSerial("RAHT_Transform", visits, costTransform, func() {
+			// Quantized coefficients are collected per pass and handed to
+			// the batched entropy slab in one call: the symbol order (merge
+			// order within the pass) is unchanged, so the stream stays
+			// byte-identical to the interleaved per-coefficient encode.
+			coefs = coefs[:0]
 			next := nodes[:0]
 			for i := 0; i < len(nodes); {
 				if i+1 < len(nodes) && nodes[i].code>>1 == nodes[i+1].code>>1 {
 					lc, hc := butterfly(nodes[i].weight, nodes[i+1].weight, nodes[i].attr, nodes[i+1].attr)
 					for c := 0; c < 3; c++ {
-						qv := int64(math.Round(hc[c] / q))
-						coefModel.Encode(enc, qv)
-						nCoef++
+						coefs = append(coefs, int64(math.Round(hc[c]/q)))
 					}
 					next = append(next, node{
 						code:   nodes[i].code >> 1,
@@ -160,6 +164,8 @@ func (cc Codec) Encode(dev *edgesim.Device, codes []morton.Code, colors []geom.C
 					i++
 				}
 			}
+			coefModel.EncodeSlice(enc, coefs)
+			nCoef += len(coefs)
 			nodes = next
 		})
 	}
@@ -196,11 +202,18 @@ func (cc Codec) Decode(dev *edgesim.Device, data []byte, codes []morton.Code, de
 
 	hcs := make([][][3]float64, len(passes))
 	dev.CPUSerial("RAHT_EntropyDecode", len(codes)*3, costEntropy, func() {
+		var slab []int64 // per-pass coefficient slab, reused across passes
 		for p := range passes {
 			hcs[p] = make([][3]float64, len(passes[p]))
+			if n := 3 * len(passes[p]); cap(slab) < n {
+				slab = make([]int64, n)
+			} else {
+				slab = slab[:n]
+			}
+			coefModel.DecodeSlice(dec, slab)
 			for m := range passes[p] {
 				for c := 0; c < 3; c++ {
-					hcs[p][m][c] = float64(coefModel.Decode(dec)) * q
+					hcs[p][m][c] = float64(slab[3*m+c]) * q
 				}
 			}
 		}
@@ -210,6 +223,11 @@ func (cc Codec) Decode(dev *edgesim.Device, data []byte, codes []morton.Code, de
 	var dc [3]float64
 	for c := 0; c < 3; c++ {
 		dc[c] = float64(coefModel.Decode(dec)) * q
+	}
+	// All coefficients are in; a cursor overrun means the stream was
+	// truncated and the values above are zero-filled garbage.
+	if err := dec.Err(); err != nil {
+		return nil, err
 	}
 
 	// Reconstruct weights bottom-up (pure geometry), then attributes
