@@ -19,6 +19,7 @@
 //	pccbench hotpath           entropy/Morton hot-loop micros + sparse row (BENCH_8.json)
 //	pccbench fanout            multi-viewer serving fan-out (stream.Server)
 //	pccbench fanout-scale      relay-tree viewer scaling 64 → 16k (BENCH_6.json)
+//	pccbench tiles             tile-parallel encode sweep + viewport egress (BENCH_9.json)
 //	pccbench all               everything above (except bench, fanout, fanout-scale)
 //
 // Flags:
@@ -64,7 +65,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench hotpath fanout fanout-scale all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench hotpath fanout fanout-scale tiles all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -114,6 +115,7 @@ func main() {
 		"hotpath":      runHotpath,
 		"fanout":       runFanout,
 		"fanout-scale": runFanoutScale,
+		"tiles":        runTiles,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline", "loss", "adapt"} {

@@ -1,0 +1,346 @@
+package main
+
+// Tile-parallel encode and viewport-adaptive fan-out benchmark
+// (BENCH_9.json).
+//
+// `pccbench tiles` measures the two tentpole claims of the tiled codec:
+//
+//   - encode scaling: wall-clock per-frame encode latency of the same
+//     longdress workload at T ∈ {1, 2, 4, 8} tiles. Every tile encodes as
+//     a self-contained unit fanned across the kernel worker pool, so on a
+//     multi-core host T=8 must reach the speedup floor vs T=1. The floor
+//     is a HARD gate on hosts with >= tileMinCores CPUs; below that the
+//     sweep is recorded but the (meaningless) single-core ratio is not
+//     enforced. The simulated device time is analytic and host-independent.
+//   - per-viewer egress: one tiled Server, two viewers — no viewport vs a
+//     overhead 60° close-up (see tilesCamera) — and the culled viewer's wire
+//     bytes must be <= cullRatioFloor of the full viewer's. Byte counts
+//     are deterministic, so this gate is enforced everywhere.
+//
+// With -benchout it writes BENCH_9.json; with -baseline it additionally
+// gates the egress ratio (and, on gated hosts, the T=8 fps) against the
+// committed file.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/edgesim"
+	"repro/internal/geom"
+	"repro/internal/viewport"
+	"repro/pcc/stream"
+)
+
+const (
+	tilesVideo       = "longdress"
+	tilesScale       = 0.05
+	tilesFrames      = 12
+	tileSweepMax     = 8
+	tileSpeedupFloor = 1.5
+	tileMinCores     = 4
+	cullRatioFloor   = 0.60 // culled egress / full egress, i.e. >= 40% saved
+)
+
+// TileSweepRow is one tile-count measurement of the encode sweep.
+type TileSweepRow struct {
+	Tiles    int     `json:"tiles"`
+	WallMsPF float64 `json:"wall_ms_per_frame"`
+	FPS      float64 `json:"fps"`
+	SimMsPF  float64 `json:"sim_ms_per_frame"`
+	// MeanTileCount is the mean directory size actually produced (cut
+	// snapping can merge tiles; T<=1 frames have no directory).
+	MeanTileCount float64 `json:"mean_tile_count"`
+}
+
+// TileViewportResult is the per-viewer egress comparison.
+type TileViewportResult struct {
+	FullBytes   int64   `json:"full_bytes"`   // no-viewport viewer egress
+	CulledBytes int64   `json:"culled_bytes"` // 60° camera viewer egress
+	Ratio       float64 `json:"ratio"`
+	SavedBytes  int64   `json:"saved_bytes"` // payload bytes kept off the wire
+	TilesCulled int64   `json:"tiles_culled"`
+	TilesCoarse int64   `json:"tiles_coarse"`
+}
+
+// TilesFile is the BENCH_9.json schema.
+type TilesFile struct {
+	Benchmark    string             `json:"benchmark"`
+	Video        string             `json:"video"`
+	Scale        float64            `json:"scale"`
+	Frames       int                `json:"frames"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	NumCPU       int                `json:"numcpu"`
+	Sweep        []TileSweepRow     `json:"sweep"`
+	SpeedupT8    float64            `json:"speedup_t8"`
+	SpeedupGated bool               `json:"speedup_gated"` // floor enforced (NumCPU >= tileMinCores)
+	Viewport     TileViewportResult `json:"viewport"`
+}
+
+func tilesFrameSet() ([]*geom.VoxelCloud, error) {
+	spec, err := dataset.SpecByName(tilesVideo)
+	if err != nil {
+		return nil, err
+	}
+	g := dataset.NewGenerator(spec, tilesScale)
+	frames := make([]*geom.VoxelCloud, tilesFrames)
+	for i := range frames {
+		if frames[i], err = g.Frame(i % spec.Frames); err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+func tilesOptions(tiles int) codec.Options {
+	o := benchOptions(codec.IntraInterV1)
+	o.Tiles = tiles
+	return o
+}
+
+// benchTileSweep measures one tile count: warmup session, then timed
+// sessions until enough wall clock, plus one fresh-device session for the
+// analytic sim time and the mean directory size.
+func benchTileSweep(tiles int, frames []*geom.VoxelCloud) (TileSweepRow, error) {
+	opts := tilesOptions(tiles)
+	enc := codec.NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+	runSession := func(e *codec.Encoder) (dirSum int, err error) {
+		for _, f := range frames {
+			ef, _, err := e.EncodeFrame(f)
+			if err != nil {
+				return 0, err
+			}
+			dirSum += len(ef.Tiles)
+		}
+		return dirSum, nil
+	}
+	if _, err := runSession(enc); err != nil { // warmup: arenas to steady state
+		return TileSweepRow{}, err
+	}
+	const minWall = 2 * time.Second
+	var nframes int64
+	start := time.Now()
+	for time.Since(start) < minWall {
+		if _, err := runSession(enc); err != nil {
+			return TileSweepRow{}, err
+		}
+		nframes += int64(len(frames))
+	}
+	sec := time.Since(start).Seconds()
+
+	dev := edgesim.NewXavier(edgesim.Mode15W)
+	dirSum, err := runSession(codec.NewEncoder(dev, opts))
+	if err != nil {
+		return TileSweepRow{}, err
+	}
+	return TileSweepRow{
+		Tiles:         tiles,
+		WallMsPF:      round3(sec / float64(nframes) * 1e3),
+		FPS:           round2(float64(nframes) / sec),
+		SimMsPF:       round3(dev.SimTime().Seconds() * 1e3 / float64(len(frames))),
+		MeanTileCount: round2(float64(dirSum) / float64(len(frames))),
+	}, nil
+}
+
+// tilesCamera is the egress scenario's 60° viewer: a close-up hovering an
+// eighth of the subject's height above its head, looking straight down its
+// long (y) axis with range limited to the top quarter. The synthetic
+// figures stand along y, so the Morton-balanced tiles stack into y slabs —
+// this pose keeps the head-and-shoulders slabs, coarsens the torso at the
+// widened margin, and drops everything below (tiles behind the subject and
+// outside the cone send nothing; the coarse band keeps geometry only).
+func tilesCamera(f *geom.VoxelCloud) viewport.Camera {
+	mn := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	mx := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for _, v := range f.Voxels {
+		for a, c := range [3]float64{float64(v.X), float64(v.Y), float64(v.Z)} {
+			mn[a] = math.Min(mn[a], c)
+			mx[a] = math.Max(mx[a], c)
+		}
+	}
+	height := mx[1] - mn[1] + 1
+	return viewport.Camera{
+		Pos:        [3]float64{(mn[0] + mx[0]) / 2, mx[1] + height/8, (mn[2] + mx[2]) / 2},
+		Dir:        [3]float64{0, -1, 0},
+		FOVDegrees: 60,
+		MaxDist:    height * 0.25,
+	}
+}
+
+// benchTileViewport streams the workload once through a tiled Server to a
+// full viewer and a 60°-camera viewer (packets built and accounted, not
+// transmitted) and compares their egress.
+func benchTileViewport(frames []*geom.VoxelCloud) (TileViewportResult, error) {
+	srv := stream.NewServer(context.Background(), stream.ServerConfig{
+		Options:     tilesOptions(tileSweepMax),
+		ViewerQueue: len(frames) + 1,
+	})
+	full, err := srv.Attach(stream.ViewerConfig{})
+	if err != nil {
+		return TileViewportResult{}, err
+	}
+	cam := tilesCamera(frames[0])
+	culled, err := srv.Attach(stream.ViewerConfig{Viewport: &cam})
+	if err != nil {
+		return TileViewportResult{}, err
+	}
+	for _, f := range frames {
+		if err := srv.Submit(context.Background(), f); err != nil {
+			return TileViewportResult{}, err
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return TileViewportResult{}, err
+	}
+	fm, cm := full.Metrics(), culled.Metrics()
+	if fm.FramesSent != int64(len(frames)) || cm.FramesSent != int64(len(frames)) {
+		return TileViewportResult{}, fmt.Errorf("tiles: sent %d/%d frames, want %d",
+			fm.FramesSent, cm.FramesSent, len(frames))
+	}
+	if fm.WireBytes == 0 {
+		return TileViewportResult{}, fmt.Errorf("tiles: full viewer sent no bytes")
+	}
+	return TileViewportResult{
+		FullBytes:   fm.WireBytes,
+		CulledBytes: cm.WireBytes,
+		Ratio:       round3(float64(cm.WireBytes) / float64(fm.WireBytes)),
+		SavedBytes:  cm.CulledBytes,
+		TilesCulled: cm.TilesCulled,
+		TilesCoarse: cm.TilesCoarse,
+	}, nil
+}
+
+// runTiles is the `tiles` experiment entry point (BENCH_9.json).
+func runTiles(cfg benchConfig) error {
+	frames, err := tilesFrameSet()
+	if err != nil {
+		return err
+	}
+	out := TilesFile{
+		Benchmark:  "tile-parallel-encode",
+		Video:      tilesVideo,
+		Scale:      tilesScale,
+		Frames:     tilesFrames,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	fmt.Printf("tile-parallel encode: %s @ %.2f, %d-frame GOP sessions, GOMAXPROCS=%d, NumCPU=%d\n\n",
+		tilesVideo, tilesScale, tilesFrames, out.GoMaxProcs, out.NumCPU)
+	fmt.Printf("%-8s %14s %10s %12s %12s\n", "tiles", "wall ms/frame", "frames/s", "sim ms/frm", "dir entries")
+	var t1, t8 TileSweepRow
+	for _, tiles := range []int{1, 2, 4, tileSweepMax} {
+		row, err := benchTileSweep(tiles, frames)
+		if err != nil {
+			return err
+		}
+		out.Sweep = append(out.Sweep, row)
+		fmt.Printf("%-8d %14.3f %10.2f %12.3f %12.2f\n",
+			row.Tiles, row.WallMsPF, row.FPS, row.SimMsPF, row.MeanTileCount)
+		switch tiles {
+		case 1:
+			t1 = row
+		case tileSweepMax:
+			t8 = row
+		}
+	}
+	out.SpeedupT8 = round2(t1.WallMsPF / t8.WallMsPF)
+	out.SpeedupGated = out.NumCPU >= tileMinCores
+	fmt.Printf("\nT=%d wall speedup vs T=1: %.2fx (floor %.1fx, %s on %d CPUs)\n",
+		tileSweepMax, out.SpeedupT8, tileSpeedupFloor,
+		map[bool]string{true: "ENFORCED", false: "not enforced"}[out.SpeedupGated], out.NumCPU)
+
+	vp, err := benchTileViewport(frames)
+	if err != nil {
+		return err
+	}
+	out.Viewport = vp
+	fmt.Printf("\nper-viewer egress, T=%d (overhead 60° close-up vs no viewport):\n", tileSweepMax)
+	fmt.Printf("  %-22s %12d bytes\n", "full viewer", vp.FullBytes)
+	fmt.Printf("  %-22s %12d bytes (ratio %.3f, floor %.2f)\n", "culled viewer", vp.CulledBytes, vp.Ratio, cullRatioFloor)
+	fmt.Printf("  %-22s %12d omitted, %d coarse, %d payload bytes saved\n\n",
+		"tiles", vp.TilesCulled, vp.TilesCoarse, vp.SavedBytes)
+
+	if *flagBenchOut != "" {
+		if err := writeTilesFile(*flagBenchOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *flagBenchOut)
+	}
+
+	// Hard gates: egress everywhere, wall speedup only on capable hosts.
+	if vp.Ratio > cullRatioFloor {
+		return fmt.Errorf("tiles gate: culled egress ratio %.3f above the %.2f floor (saved %.0f%%, want >= %.0f%%)",
+			vp.Ratio, cullRatioFloor, (1-vp.Ratio)*100, (1-cullRatioFloor)*100)
+	}
+	if out.SpeedupGated && out.SpeedupT8 < tileSpeedupFloor {
+		return fmt.Errorf("tiles gate: T=%d wall speedup %.2fx below the %.1fx floor on %d CPUs",
+			tileSweepMax, out.SpeedupT8, tileSpeedupFloor, out.NumCPU)
+	}
+	if *flagBaseline != "" {
+		return gateTiles(*flagBaseline, out, *flagGate)
+	}
+	return nil
+}
+
+func writeTilesFile(path string, f TilesFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gateTiles compares the deterministic egress ratio against the committed
+// BENCH_9.json (tolerance applies), and the T=8 fps only when both the
+// committed run and this host enforce the speedup floor (wall clock on an
+// undersized host says nothing about the parallel claim).
+func gateTiles(path string, cur TilesFile, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("tiles gate: %w", err)
+	}
+	var base TilesFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("tiles gate: %s: %w", path, err)
+	}
+	fmt.Printf("regression gate vs %s (tolerance %.0f%%):\n", path, tol*100)
+	var failed bool
+	ratioCap := base.Viewport.Ratio * (1 + tol)
+	status := "ok"
+	if cur.Viewport.Ratio > ratioCap {
+		status = "REGRESSED"
+		failed = true
+	}
+	fmt.Printf("  %-18s %8.3f (cap %8.3f)  %s\n", "egress ratio", cur.Viewport.Ratio, ratioCap, status)
+	if base.SpeedupGated && cur.SpeedupGated {
+		var baseT8, curT8 TileSweepRow
+		for _, r := range base.Sweep {
+			if r.Tiles == tileSweepMax {
+				baseT8 = r
+			}
+		}
+		for _, r := range cur.Sweep {
+			if r.Tiles == tileSweepMax {
+				curT8 = r
+			}
+		}
+		fpsFloor := baseT8.FPS * (1 - tol)
+		status = "ok"
+		if curT8.FPS < fpsFloor {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-18s %8.2f (floor %8.2f)  %s\n", "T=8 fps", curT8.FPS, fpsFloor, status)
+	}
+	if failed {
+		return fmt.Errorf("tiles gate: regressed beyond %.0f%% tolerance", tol*100)
+	}
+	fmt.Println("  gate passed")
+	return nil
+}

@@ -18,7 +18,13 @@
 //     (Options.Adapt), which trades GOP length and quantization against
 //     the observed loss;
 //   - viewer late attaches mid-GOP and starts instantly from the server's
-//     cached keyframe — no re-encode, no wait for the next GOP.
+//     cached keyframe — no re-encode, no wait for the next GOP;
+//   - viewer vp announces a 60° overhead camera in-band (its receiver
+//     sends a ControlViewport packet): the frames are encoded as eight
+//     self-contained Morton-range tiles, and the server slices each
+//     published frame per viewer — visible tiles ship in full, a widened
+//     margin ships geometry only, everything else is dropped. Same
+//     encode, a fraction of the bytes.
 package main
 
 import (
@@ -27,11 +33,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/linksim"
+	"repro/internal/viewport"
 	"repro/pcc"
 	"repro/pcc/stream"
 )
@@ -56,6 +64,7 @@ func main() {
 	opts.IntraAttr.Segments = 2500
 	opts.Inter.Segments = 4000
 	opts.Adapt = pcc.AdaptiveRate{Enabled: true} // close the loop on viewer feedback
+	opts.Tiles = 8                               // tiled frames: parallel encode + per-viewer viewport culling
 
 	srv := stream.NewServer(context.Background(), stream.ServerConfig{
 		Options:     opts,
@@ -112,6 +121,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Viewer vp: announces its camera in-band, so the server culls tiles
+	// outside the frustum from this viewer's copy of every frame.
+	vpRx := newLocalReceiver("vp", opts, nil)
+	vp, err := srv.Attach(stream.ViewerConfig{Link: linksim.WiFi, PacketOut: vpRx.packetOut})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vpRx.bind(vp) // route the receiver's control packets back to its viewer
+	vpRx.rx.SendViewport(overheadCamera(originals[0]))
+
 	// Stream the first two GOPs, then attach the late joiner mid-stream.
 	for _, f := range originals[:6] {
 		if err := srv.Submit(context.Background(), f); err != nil {
@@ -142,6 +161,7 @@ func main() {
 	// drops, not loss).
 	slowRx.finish(int(slow.Metrics().FramesEnqueued))
 	lateRx.finish(int(late.Metrics().FramesEnqueued))
+	vpRx.finish(int(vp.Metrics().FramesEnqueued))
 	if err := pipe.Finish(int(lossy.Metrics().FramesEnqueued)); err != nil {
 		log.Fatal(err)
 	}
@@ -160,7 +180,7 @@ func main() {
 	for _, tag := range []struct {
 		name string
 		v    *stream.Viewer
-	}{{"wifi", wifi}, {"slow", slow}, {"lossy", lossy}, {"late", late}} {
+	}{{"wifi", wifi}, {"slow", slow}, {"lossy", lossy}, {"late", late}, {"vp", vp}} {
 		vm := tag.v.Metrics()
 		extra := ""
 		if vm.Resyncs > 0 {
@@ -173,6 +193,10 @@ func main() {
 			tag.name, vm.FramesSent, vm.FramesEnqueued, vm.FramesDropped,
 			vm.Packets, float64(vm.WireBytes)/1e3, vm.Retransmits, extra)
 	}
+	vpm, wifim := vp.Metrics(), wifi.Metrics()
+	fmt.Printf("[viewer vp   ] viewport culling: %d tiles omitted, %d geometry-only, %.1f KB saved — %.2fx the full viewer's bytes\n",
+		vpm.TilesCulled, vpm.TilesCoarse, float64(vpm.CulledBytes)/1e3,
+		float64(vpm.WireBytes)/float64(wifim.WireBytes))
 	st, rs := pipe.FaultyLink().Stats(), pipe.Receiver().Metrics()
 	fmt.Printf("[viewer lossy] link dropped %d/%d packets (%d reordered); %d NACKs sent, %d retransmits received\n",
 		st.Dropped+st.BurstDrops, st.Sent, st.Reordered, rs.NACKsSent, rs.RetransmitsReceived)
@@ -233,20 +257,61 @@ func displayWifi(wg *sync.WaitGroup, ln net.Listener, originals []*pcc.PointClou
 }
 
 // localReceiver is an in-process display: packets go straight from the
-// viewer's sender into a Receiver.
+// viewer's sender into a Receiver, and — once bound — control packets
+// (viewport announcements, NACKs) straight back to the viewer.
 type localReceiver struct {
 	mu   sync.Mutex
 	name string
 	rx   *stream.Receiver
+	v    *stream.Viewer
 }
 
 func newLocalReceiver(name string, opts pcc.Options, originals []*pcc.PointCloud) *localReceiver {
 	lr := &localReceiver{name: name}
 	lr.rx = stream.NewReceiver(stream.ReceiverConfig{
-		Options: opts,
-		OnFrame: reportFrame(name, originals),
+		Options:     opts,
+		OnFrame:     reportFrame(name, originals),
+		SendControl: lr.sendControl,
 	})
 	return lr
+}
+
+func (lr *localReceiver) bind(v *stream.Viewer) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	lr.v = v
+}
+
+func (lr *localReceiver) sendControl(c stream.Control) error {
+	lr.mu.Lock()
+	v := lr.v
+	lr.mu.Unlock()
+	if v == nil {
+		return nil // unbound displays drop their control uplink
+	}
+	return v.HandleControl(c)
+}
+
+// overheadCamera is the vp viewer's pose: a 60° close-up hovering an
+// eighth of the figure's height above its head, looking straight down
+// with range limited to the top quarter — head and shoulders in full,
+// torso as a geometry-only halo, the rest culled.
+func overheadCamera(f *pcc.PointCloud) viewport.Camera {
+	mn := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	mx := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for _, v := range f.Voxels {
+		for a, c := range [3]float64{float64(v.X), float64(v.Y), float64(v.Z)} {
+			mn[a] = math.Min(mn[a], c)
+			mx[a] = math.Max(mx[a], c)
+		}
+	}
+	height := mx[1] - mn[1] + 1
+	return viewport.Camera{
+		Pos:        [3]float64{(mn[0] + mx[0]) / 2, mx[1] + height/8, (mn[2] + mx[2]) / 2},
+		Dir:        [3]float64{0, -1, 0},
+		FOVDegrees: 60,
+		MaxDist:    height * 0.25,
+	}
 }
 
 func (lr *localReceiver) packetOut(_ context.Context, pkt []byte) error {

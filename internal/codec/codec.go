@@ -69,6 +69,13 @@ type Options struct {
 	// EntropyGeometry adds the optional entropy stage to the proposed
 	// geometry stream (the Sec. IV-B3 ablation; default off = fast path).
 	EntropyGeometry bool
+	// Tiles partitions each proposed-design frame into up to this many
+	// spatial tiles (contiguous Morton-key ranges, balanced by point count)
+	// that encode as self-contained units fanned out across the worker
+	// pool, and that viewers can drop per-viewport without a re-encode.
+	// 0 or 1 keeps the untiled path (byte-identical streams); capped at
+	// MaxTiles. Baseline designs ignore it.
+	Tiles int
 	// Rate optionally closes the loop on the inter-frame threshold to hit
 	// a target compressed rate (extension of the Sec. VI-E knob).
 	Rate RateControl
@@ -109,6 +116,12 @@ func (o Options) normalized() Options {
 	}
 	if o.Inter.Segments == 0 {
 		o.Inter = interframe.DefaultParamsV1()
+	}
+	if o.Tiles < 1 {
+		o.Tiles = 1
+	}
+	if o.Tiles > MaxTiles {
+		o.Tiles = MaxTiles
 	}
 	return o
 }
@@ -174,6 +187,8 @@ type Encoder struct {
 	colors       []geom.Color
 	pvox         []geom.Voxel
 	recon        []geom.Color
+	// iBounds is the tiled P-path's reference-frame segment grid.
+	iBounds []int
 	// refBufs ping-pong the reference voxel storage: the buffer installed at
 	// one I-frame is reused two I-frames later, when no P-frame can still
 	// read it.

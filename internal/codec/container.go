@@ -53,14 +53,23 @@ type EncodedFrame struct {
 	// geometry path re-scales (zero value = identity/absent).
 	HasRescale bool
 	Rescale    paroctree.Rescale
-	Geometry   []byte
-	Attr       []byte
+	// Tiles, when non-empty, marks the frame as tiled: Geometry and Attr
+	// are concatenations of per-tile self-contained chunks, sliced by the
+	// directory's byte lengths. NumPoints stays the FULL frame total even
+	// when tiles are omitted.
+	Tiles    []TileInfo
+	Geometry []byte
+	Attr     []byte
 }
+
+// Tiled reports whether the frame carries a tile directory.
+func (f *EncodedFrame) Tiled() bool { return len(f.Tiles) > 0 }
 
 // Size returns the total compressed size in bytes (the Fig. 8c metric),
 // including the container header.
 func (f *EncodedFrame) Size() int64 {
-	return int64(frameHeaderSize(f.HasRescale)) + int64(len(f.Geometry)) + int64(len(f.Attr))
+	return int64(frameHeaderSize(f.HasRescale)) + int64(tileDirSize(len(f.Tiles))) +
+		int64(len(f.Geometry)) + int64(len(f.Attr))
 }
 
 const frameMagic = "PCVF"
@@ -73,17 +82,195 @@ func frameHeaderSize(hasRescale bool) int {
 	return n
 }
 
+// MaxTiles caps the tile count per frame: per-viewer tile masks are 64-bit
+// words throughout the streaming layer.
+const MaxTiles = 64
+
+// Tile flag bits in the container's tile directory.
+const (
+	// TileOmitted marks a tile stripped from the frame entirely (per-viewer
+	// viewport culling); its geometry and attribute lengths are zero.
+	TileOmitted = 1 << 0
+	// TileCoarse marks a tile kept for geometry but stripped of attributes
+	// (the frustum-margin "coarsened" representation); the decoder renders
+	// it with zero colours.
+	TileCoarse = 1 << 1
+)
+
+// TileInfo is one entry of a tiled frame's directory: the tile's flags, its
+// FULL point count (unchanged by per-viewer stripping, so the decoder can
+// keep global indexing for the inter-frame reference), the byte lengths of
+// its self-contained geometry and attribute chunks within the frame's
+// concatenated streams, and its axis-aligned bounding box in the ORIGINAL
+// lattice (pre-rescale), which the sender tests against each viewer's
+// frustum.
+type TileInfo struct {
+	Flags   uint8
+	Points  uint32
+	GeomLen uint32
+	AttrLen uint32
+	Min     [3]uint32
+	Max     [3]uint32
+}
+
+// Omitted reports whether the tile was stripped from the frame.
+func (ti TileInfo) Omitted() bool { return ti.Flags&TileOmitted != 0 }
+
+// Coarse reports whether the tile carries geometry but no attributes.
+func (ti TileInfo) Coarse() bool { return ti.Flags&TileCoarse != 0 }
+
+// tileRecordSize is one directory entry: flags, points, geomLen, attrLen,
+// and the 6-coordinate AABB.
+const tileRecordSize = 1 + 4 + 4 + 4 + 6*4
+
+// tileDirSize returns the directory's wire size: a u16 tile count followed
+// by the records. Zero for untiled frames (no directory at all).
+func tileDirSize(tiles int) int {
+	if tiles == 0 {
+		return 0
+	}
+	return 2 + tiles*tileRecordSize
+}
+
 // ErrBadContainer reports a malformed frame container.
 var ErrBadContainer = errors.New("codec: bad frame container")
 
+// FrameLayout maps a tiled frame's serialized form (as written by WriteTo)
+// without copying it: where the container header ends, where each tile's
+// geometry and attribute chunks sit, and the directory needed to rewrite
+// the frame per viewer. The streaming layer uses it to slice per-tile
+// payload spans straight out of an immutable published buffer.
+type FrameLayout struct {
+	Type FrameType
+	// HeaderLen is the byte length of the container header including the
+	// tile directory and the trailing geomLen/attrLen fields — the offset
+	// of the first geometry byte.
+	HeaderLen int
+	// DirOff is the offset of the first directory record (after the u16
+	// tile count).
+	DirOff int
+	Tiles  []TileInfo
+	// GeomOff / AttrOff hold len(Tiles)+1 absolute byte offsets: tile t's
+	// geometry chunk is wire[GeomOff[t]:GeomOff[t+1]], attributes likewise.
+	GeomOff []int
+	AttrOff []int
+}
+
+// ParseFrameLayout parses a serialized frame's tile layout in place.
+// Returns nil for untiled frames and for anything inconsistent — callers
+// treat nil as "not sliceable" and fall back to whole-frame handling.
+func ParseFrameLayout(wire []byte) *FrameLayout {
+	const fixed = 4 + 1 + 1 + 1 + 4
+	if len(wire) < fixed || string(wire[:4]) != frameMagic {
+		return nil
+	}
+	flags := wire[6]
+	if flags&2 == 0 {
+		return nil
+	}
+	off := fixed
+	if flags&1 == 1 {
+		off += 3*4 + 3*8
+	}
+	if len(wire) < off+2 {
+		return nil
+	}
+	tiles := int(binary.LittleEndian.Uint16(wire[off:]))
+	if tiles < 1 || tiles > MaxTiles {
+		return nil
+	}
+	dirOff := off + 2
+	headerLen := dirOff + tiles*tileRecordSize + 8
+	if len(wire) < headerLen {
+		return nil
+	}
+	l := &FrameLayout{
+		Type:      FrameType(wire[4]),
+		HeaderLen: headerLen,
+		DirOff:    dirOff,
+		Tiles:     make([]TileInfo, tiles),
+		GeomOff:   make([]int, tiles+1),
+		AttrOff:   make([]int, tiles+1),
+	}
+	var gsum, asum uint64
+	for t := range l.Tiles {
+		rec := wire[dirOff+t*tileRecordSize:]
+		ti := TileInfo{
+			Flags:   rec[0],
+			Points:  binary.LittleEndian.Uint32(rec[1:5]),
+			GeomLen: binary.LittleEndian.Uint32(rec[5:9]),
+			AttrLen: binary.LittleEndian.Uint32(rec[9:13]),
+		}
+		for a := 0; a < 3; a++ {
+			ti.Min[a] = binary.LittleEndian.Uint32(rec[13+4*a : 17+4*a])
+			ti.Max[a] = binary.LittleEndian.Uint32(rec[25+4*a : 29+4*a])
+		}
+		l.Tiles[t] = ti
+		gsum += uint64(ti.GeomLen)
+		asum += uint64(ti.AttrLen)
+	}
+	geomLen := binary.LittleEndian.Uint32(wire[headerLen-8 : headerLen-4])
+	attrLen := binary.LittleEndian.Uint32(wire[headerLen-4 : headerLen])
+	if gsum != uint64(geomLen) || asum != uint64(attrLen) {
+		return nil
+	}
+	if len(wire) != headerLen+int(geomLen)+int(attrLen) {
+		return nil
+	}
+	l.GeomOff[0] = headerLen
+	for t, ti := range l.Tiles {
+		l.GeomOff[t+1] = l.GeomOff[t] + int(ti.GeomLen)
+	}
+	l.AttrOff[0] = headerLen + int(geomLen)
+	for t, ti := range l.Tiles {
+		l.AttrOff[t+1] = l.AttrOff[t] + int(ti.AttrLen)
+	}
+	return l
+}
+
+// RewriteHeader returns a fresh copy of the frame's container header with
+// the given tiles marked omitted or coarse: their directory lengths zeroed
+// and the header's geometry/attribute totals patched to the kept sums.
+// Combined with the kept tiles' payload spans (GeomOff/AttrOff slices of
+// the original wire) this is the complete per-viewer culled frame — no
+// re-encode, no payload copy. Point counts stay at the FULL values, so the
+// receiver's decoder keeps global indexing for reference concealment.
+func (l *FrameLayout) RewriteHeader(wire []byte, omit, coarse uint64) []byte {
+	head := append([]byte(nil), wire[:l.HeaderLen]...)
+	var gsum, asum uint32
+	for t, ti := range l.Tiles {
+		rec := head[l.DirOff+t*tileRecordSize:]
+		bit := uint64(1) << uint(t)
+		g, a := ti.GeomLen, ti.AttrLen
+		switch {
+		case ti.Omitted() || omit&bit != 0:
+			rec[0] = ti.Flags | TileOmitted
+			g, a = 0, 0
+		case coarse&bit != 0:
+			rec[0] = ti.Flags | TileCoarse
+			a = 0
+		}
+		binary.LittleEndian.PutUint32(rec[5:9], g)
+		binary.LittleEndian.PutUint32(rec[9:13], a)
+		gsum += g
+		asum += a
+	}
+	binary.LittleEndian.PutUint32(head[l.HeaderLen-8:l.HeaderLen-4], gsum)
+	binary.LittleEndian.PutUint32(head[l.HeaderLen-4:l.HeaderLen], asum)
+	return head
+}
+
 // WriteTo serializes the frame. Implements io.WriterTo.
 func (f *EncodedFrame) WriteTo(w io.Writer) (int64, error) {
-	hdr := make([]byte, 0, frameHeaderSize(f.HasRescale))
+	hdr := make([]byte, 0, frameHeaderSize(f.HasRescale)+tileDirSize(len(f.Tiles)))
 	hdr = append(hdr, frameMagic...)
 	hdr = append(hdr, byte(f.Type), f.Depth)
 	var flags byte
 	if f.HasRescale {
 		flags |= 1
+	}
+	if f.Tiled() {
+		flags |= 2
 	}
 	hdr = append(hdr, flags)
 	hdr = binary.LittleEndian.AppendUint32(hdr, f.NumPoints)
@@ -94,6 +281,21 @@ func (f *EncodedFrame) WriteTo(w io.Writer) (int64, error) {
 		hdr = binary.LittleEndian.AppendUint64(hdr, f.Rescale.ScaleX)
 		hdr = binary.LittleEndian.AppendUint64(hdr, f.Rescale.ScaleY)
 		hdr = binary.LittleEndian.AppendUint64(hdr, f.Rescale.ScaleZ)
+	}
+	if f.Tiled() {
+		hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(f.Tiles)))
+		for _, ti := range f.Tiles {
+			hdr = append(hdr, ti.Flags)
+			hdr = binary.LittleEndian.AppendUint32(hdr, ti.Points)
+			hdr = binary.LittleEndian.AppendUint32(hdr, ti.GeomLen)
+			hdr = binary.LittleEndian.AppendUint32(hdr, ti.AttrLen)
+			for a := 0; a < 3; a++ {
+				hdr = binary.LittleEndian.AppendUint32(hdr, ti.Min[a])
+			}
+			for a := 0; a < 3; a++ {
+				hdr = binary.LittleEndian.AppendUint32(hdr, ti.Max[a])
+			}
+		}
 	}
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(f.Geometry)))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(f.Attr)))
@@ -149,6 +351,49 @@ func ReadFrameFrom(r io.Reader) (*EncodedFrame, error) {
 			return nil, ErrBadContainer
 		}
 	}
+	if fixed[6]&2 == 2 {
+		cnt := make([]byte, 2)
+		if _, err := io.ReadFull(r, cnt); err != nil {
+			return nil, ErrBadContainer
+		}
+		tiles := int(binary.LittleEndian.Uint16(cnt))
+		if tiles < 1 || tiles > MaxTiles {
+			return nil, fmt.Errorf("codec: bad tile count %d", tiles)
+		}
+		dir := make([]byte, tiles*tileRecordSize)
+		if _, err := io.ReadFull(r, dir); err != nil {
+			return nil, ErrBadContainer
+		}
+		f.Tiles = make([]TileInfo, tiles)
+		for t := range f.Tiles {
+			rec := dir[t*tileRecordSize:]
+			ti := TileInfo{
+				Flags:   rec[0],
+				Points:  binary.LittleEndian.Uint32(rec[1:5]),
+				GeomLen: binary.LittleEndian.Uint32(rec[5:9]),
+				AttrLen: binary.LittleEndian.Uint32(rec[9:13]),
+			}
+			for a := 0; a < 3; a++ {
+				ti.Min[a] = binary.LittleEndian.Uint32(rec[13+4*a : 17+4*a])
+				ti.Max[a] = binary.LittleEndian.Uint32(rec[25+4*a : 29+4*a])
+			}
+			if ti.Flags&^uint8(TileOmitted|TileCoarse) != 0 || ti.Points == 0 {
+				return nil, ErrBadContainer
+			}
+			if ti.Omitted() && (ti.GeomLen != 0 || ti.AttrLen != 0) {
+				return nil, ErrBadContainer
+			}
+			if !ti.Omitted() && ti.Coarse() && ti.AttrLen != 0 {
+				return nil, ErrBadContainer
+			}
+			for a := 0; a < 3; a++ {
+				if ti.Min[a] > ti.Max[a] {
+					return nil, ErrBadContainer
+				}
+			}
+			f.Tiles[t] = ti
+		}
+	}
 	lens := make([]byte, 8)
 	if _, err := io.ReadFull(r, lens); err != nil {
 		return nil, ErrBadContainer
@@ -158,6 +403,17 @@ func ReadFrameFrom(r io.Reader) (*EncodedFrame, error) {
 	const maxReasonable = 1 << 30
 	if geomLen > maxReasonable || attrLen > maxReasonable || f.NumPoints > maxReasonable {
 		return nil, ErrBadContainer
+	}
+	if f.Tiled() {
+		var pts, gsum, asum uint64
+		for _, ti := range f.Tiles {
+			pts += uint64(ti.Points)
+			gsum += uint64(ti.GeomLen)
+			asum += uint64(ti.AttrLen)
+		}
+		if pts != uint64(f.NumPoints) || gsum != uint64(geomLen) || asum != uint64(attrLen) {
+			return nil, ErrBadContainer
+		}
 	}
 	f.Geometry = make([]byte, geomLen)
 	if _, err := io.ReadFull(r, f.Geometry); err != nil {

@@ -35,6 +35,9 @@ type GeometryIntermediate struct {
 	// gs is the geometry arena backing sorted; FinishFrame returns it to
 	// the encoder's pool once the frame is complete.
 	gs *geomScratch
+	// plan is the frame's tile partition (empty cuts = untiled). Its slices
+	// alias gs and are valid until FinishFrame releases the arena.
+	plan tilePlan
 }
 
 // Points returns the frame's (deduplicated) point count, or the raw count

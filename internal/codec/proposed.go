@@ -8,6 +8,7 @@ import (
 	"repro/internal/entropy"
 	"repro/internal/geom"
 	"repro/internal/interframe"
+	"repro/internal/morton"
 	"repro/internal/paroctree"
 )
 
@@ -22,6 +23,17 @@ type geomScratch struct {
 	scaled geom.VoxelCloud
 	build  paroctree.BuildScratch
 	wire   []byte
+	// Tiled-path arenas: the two segment grids, the merged common-boundary
+	// columns, the chosen cuts, and the per-tile geometry chunk buffers.
+	intraBounds []int
+	interBounds []int
+	comVal      []int
+	comIntra    []int
+	comInter    []int
+	cuts        []int
+	cutIntra    []int
+	cutInter    []int
+	tileGeom    [][]byte
 }
 
 // releaseGeom returns a consumed intermediate's arena to the pool. The
@@ -60,8 +72,11 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 		build   *paroctree.BuildResult
 		err     error
 		geomRaw []byte
+		sorted  []morton.Keyed
+		plan    tilePlan
 	)
 	gs := e.geomPool.Get().(*geomScratch)
+	tiled := e.opts.Tiles > 1
 	s0 := dev.Snapshot()
 	dev.Stage("Geometry", func() {
 		work := vc
@@ -79,6 +94,10 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 			})
 			work = scaled
 		}
+		if tiled {
+			sorted, plan, err = e.tiledGeometry(dev, work, frame, gs)
+			return
+		}
 		build, err = paroctree.BuildWith(dev, work, &gs.build)
 		if err != nil {
 			return
@@ -91,27 +110,30 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 		e.geomPool.Put(gs)
 		return nil, err
 	}
-	if e.opts.EntropyGeometry {
-		// Optional entropy stage (Sec. IV-B3 ablation): ~halves the
-		// geometry stream, costs ~100 ms of serial coding at 1 M points.
-		out := make([]byte, 1, 64+len(geomRaw)/2)
-		out[0] = 1
-		dev.CPUSerial("GeomEntropy", len(geomRaw), costEntropyByte, func() {
-			out = entropy.AppendCompressBytes(out, geomRaw)
-		})
-		frame.Geometry = out
-	} else {
-		frame.Geometry = append([]byte{0}, geomRaw...)
+	if !tiled {
+		if e.opts.EntropyGeometry {
+			// Optional entropy stage (Sec. IV-B3 ablation): ~halves the
+			// geometry stream, costs ~100 ms of serial coding at 1 M points.
+			out := make([]byte, 1, 64+len(geomRaw)/2)
+			out[0] = 1
+			dev.CPUSerial("GeomEntropy", len(geomRaw), costEntropyByte, func() {
+				out = entropy.AppendCompressBytes(out, geomRaw)
+			})
+			frame.Geometry = out
+		} else {
+			frame.Geometry = append([]byte{0}, geomRaw...)
+		}
+		frame.NumPoints = uint32(len(build.Sorted))
+		sorted = build.Sorted
 	}
-
-	frame.NumPoints = uint32(len(build.Sorted))
 	return &GeometryIntermediate{
 		frame:      frame,
-		sorted:     build.Sorted,
+		sorted:     sorted,
 		stageDelta: stageDelta,
 		phaseDelta: dev.Since(s0),
 		split:      true,
 		gs:         gs,
+		plan:       plan,
 	}, nil
 }
 
@@ -125,6 +147,9 @@ func (e *Encoder) proposedAttr(g *GeometryIntermediate, isP bool) (*EncodedFrame
 	// the next reference; the intra encoder produces it as an encode
 	// by-product (no decode round-trip).
 	needRef := !isP && e.opts.Design.UsesInter()
+	if g.plan.tiles() > 0 {
+		return e.tiledAttr(g, isP, needRef)
+	}
 
 	var err error
 	s1 := e.dev.Snapshot()
@@ -183,6 +208,9 @@ func (e *Encoder) proposedAttr(g *GeometryIntermediate, isP bool) (*EncodedFrame
 // decodeProposed inverts encodeProposed. The inter designs require frames
 // to be decoded in stream order (P-frames need the preceding I).
 func (d *Decoder) decodeProposed(f *EncodedFrame) (*geom.VoxelCloud, error) {
+	if f.Tiled() {
+		return d.decodeTiledProposed(f)
+	}
 	if len(f.Geometry) == 0 || len(f.Attr) == 0 {
 		return nil, ErrBadContainer
 	}

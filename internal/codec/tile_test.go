@@ -1,0 +1,318 @@
+package codec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/edgesim"
+)
+
+// TestTiledT1ByteIdentical pins the tentpole's compatibility contract:
+// Tiles 0 and 1 take the untiled path and must reproduce the golden stream
+// hashes bit for bit.
+func TestTiledT1ByteIdentical(t *testing.T) {
+	frames := goldenFrames(t)
+	for _, d := range []Design{IntraOnly, IntraInterV1} {
+		for _, tiles := range []int{0, 1} {
+			opts := OptionsFor(d)
+			opts.IntraAttr.Segments = 1500
+			opts.Inter.Segments = 2500
+			opts.Tiles = tiles
+			enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+			h := sha256.New()
+			for _, f := range frames {
+				ef, _, err := enc.EncodeFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ef.Tiled() {
+					t.Fatalf("%v Tiles=%d produced a tiled frame", d, tiles)
+				}
+				if _, err := ef.WriteTo(h); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := hex.EncodeToString(h.Sum(nil)); got != goldenStreamHashes[d] {
+				t.Errorf("%v Tiles=%d stream diverged from golden:\n got  %s\n want %s",
+					d, tiles, got, goldenStreamHashes[d])
+			}
+		}
+	}
+}
+
+// TestTiledDecodeExact is the differential guard for T>1: the per-tile
+// streams carry the GLOBAL segment grids, so per-segment/per-block values
+// are the untiled codec's — only the framing differs. Every tiled decode
+// must therefore be exactly (voxel- and colour-) equal to the untiled one.
+func TestTiledDecodeExact(t *testing.T) {
+	frames := goldenFrames(t)
+	for _, d := range []Design{IntraOnly, IntraInterV1} {
+		for _, tiles := range []int{2, 4, 8} {
+			opts := OptionsFor(d)
+			opts.IntraAttr.Segments = 1500
+			opts.Inter.Segments = 2500
+
+			ref := opts
+			enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), ref)
+			dec := NewDecoder(edgesim.NewXavier(edgesim.Mode15W), ref)
+
+			opts.Tiles = tiles
+			tenc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+			tdec := NewDecoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+
+			for fi, f := range frames {
+				ef, _, err := enc.EncodeFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tf, _, err := tenc.EncodeFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !tf.Tiled() {
+					t.Fatalf("%v T=%d frame %d not tiled", d, tiles, fi)
+				}
+				if got := len(tf.Tiles); got > tiles {
+					t.Fatalf("%v T=%d frame %d: %d tiles", d, tiles, fi, got)
+				}
+				if tf.Type != ef.Type || tf.NumPoints != ef.NumPoints {
+					t.Fatalf("%v T=%d frame %d: header mismatch", d, tiles, fi)
+				}
+				want, err := dec.DecodeFrame(ef)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tdec.DecodeFrame(tf)
+				if err != nil {
+					t.Fatalf("%v T=%d frame %d: tiled decode: %v", d, tiles, fi, err)
+				}
+				if !sameCloud(want, got) {
+					t.Fatalf("%v T=%d frame %d: tiled decode differs from untiled", d, tiles, fi)
+				}
+			}
+		}
+	}
+}
+
+// TestTiledContainerRoundTrip exercises WriteTo/ReadFrameFrom on real tiled
+// frames, including per-viewer stripping (omitted and coarse tiles) done
+// exactly the way the streaming layer rewrites a frame.
+func TestTiledContainerRoundTrip(t *testing.T) {
+	frames := goldenFrames(t)
+	opts := OptionsFor(IntraInterV1)
+	opts.IntraAttr.Segments = 1500
+	opts.Inter.Segments = 2500
+	opts.Tiles = 4
+	enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+	ef, _, err := enc.EncodeFrame(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := ef.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != ef.Size() {
+		t.Fatalf("Size()=%d but WriteTo wrote %d", ef.Size(), buf.Len())
+	}
+	rt, err := ReadFrameFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Tiles) != len(ef.Tiles) {
+		t.Fatalf("round-trip tile count %d != %d", len(rt.Tiles), len(ef.Tiles))
+	}
+	for i := range rt.Tiles {
+		if rt.Tiles[i] != ef.Tiles[i] {
+			t.Fatalf("tile %d round-trip mismatch: %+v vs %+v", i, rt.Tiles[i], ef.Tiles[i])
+		}
+	}
+	if !bytes.Equal(rt.Geometry, ef.Geometry) || !bytes.Equal(rt.Attr, ef.Attr) {
+		t.Fatal("payload round-trip mismatch")
+	}
+
+	// Strip tile 1 (omitted) and coarsen tile 2, the streaming layer's
+	// rewrite: drop the byte ranges, adjust the directory, keep Points.
+	if len(ef.Tiles) < 3 {
+		t.Fatalf("need >=3 tiles, got %d", len(ef.Tiles))
+	}
+	stripped := stripTiles(ef, map[int]uint8{1: TileOmitted, 2: TileCoarse})
+	buf.Reset()
+	if _, err := stripped.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := ReadFrameFrom(&buf)
+	if err != nil {
+		t.Fatalf("stripped frame rejected: %v", err)
+	}
+	dec := NewDecoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+	vc, err := dec.DecodeFrame(rt2)
+	if err != nil {
+		t.Fatalf("stripped frame decode: %v", err)
+	}
+	wantPts := 0
+	for i, ti := range rt2.Tiles {
+		if i != 1 {
+			wantPts += int(ti.Points)
+		}
+	}
+	if vc.Len() != wantPts {
+		t.Fatalf("stripped decode has %d points, want %d", vc.Len(), wantPts)
+	}
+	// The coarse tile's points decode with zero colour.
+	full := NewDecoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+	fvc, err := full.DecodeFrame(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Len() >= fvc.Len() {
+		t.Fatal("stripped decode not smaller than full decode")
+	}
+}
+
+// TestTiledConcealedReference pins the GOP behaviour under viewport culling:
+// after decoding an I-frame with an omitted tile, following P-frames (full
+// or equally culled) must still decode without error — the decoder conceals
+// the missing reference range by clamping to the nearest included voxel.
+func TestTiledConcealedReference(t *testing.T) {
+	frames := goldenFrames(t)
+	opts := OptionsFor(IntraInterV1)
+	opts.IntraAttr.Segments = 1500
+	opts.Inter.Segments = 2500
+	opts.Tiles = 4
+	enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+	dec := NewDecoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+	for fi, f := range frames[:3] { // one GOP: I P P
+		ef, _, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		culled := stripTiles(ef, map[int]uint8{0: TileOmitted})
+		vc, err := dec.DecodeFrame(culled)
+		if err != nil {
+			t.Fatalf("frame %d (%v) with culled tile: %v", fi, ef.Type, err)
+		}
+		want := int(ef.NumPoints) - int(ef.Tiles[0].Points)
+		if vc.Len() != want {
+			t.Fatalf("frame %d: %d points, want %d", fi, vc.Len(), want)
+		}
+	}
+}
+
+// TestFrameLayoutRewrite pins the zero-copy path the streaming layer uses:
+// ParseFrameLayout over the serialized frame, then RewriteHeader plus the
+// kept tiles' payload spans must concatenate to exactly the bytes that
+// stripTiles+WriteTo produce for the same omit/coarse marks.
+func TestFrameLayoutRewrite(t *testing.T) {
+	frames := goldenFrames(t)
+	opts := OptionsFor(IntraInterV1)
+	opts.IntraAttr.Segments = 1500
+	opts.Inter.Segments = 2500
+	opts.Tiles = 4
+	enc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), opts)
+	for fi, f := range frames[:2] { // I and P
+		ef, _, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ef.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		wire := buf.Bytes()
+		l := ParseFrameLayout(wire)
+		if l == nil {
+			t.Fatalf("frame %d: ParseFrameLayout returned nil", fi)
+		}
+		if l.Type != ef.Type || len(l.Tiles) != len(ef.Tiles) {
+			t.Fatalf("frame %d: layout header mismatch", fi)
+		}
+		for i := range l.Tiles {
+			if l.Tiles[i] != ef.Tiles[i] {
+				t.Fatalf("frame %d tile %d: %+v vs %+v", fi, i, l.Tiles[i], ef.Tiles[i])
+			}
+		}
+		if l.GeomOff[len(l.Tiles)]-l.GeomOff[0] != len(ef.Geometry) ||
+			l.AttrOff[len(l.Tiles)]-l.AttrOff[0] != len(ef.Attr) {
+			t.Fatalf("frame %d: span totals mismatch", fi)
+		}
+
+		const omit, coarse = uint64(1 << 1), uint64(1 << 2)
+		got := l.RewriteHeader(wire, omit, coarse)
+		for ti := range l.Tiles {
+			if omit&(1<<uint(ti)) != 0 {
+				continue
+			}
+			got = append(got, wire[l.GeomOff[ti]:l.GeomOff[ti+1]]...)
+		}
+		for ti := range l.Tiles {
+			if (omit|coarse)&(1<<uint(ti)) != 0 {
+				continue
+			}
+			got = append(got, wire[l.AttrOff[ti]:l.AttrOff[ti+1]]...)
+		}
+		stripped := stripTiles(ef, map[int]uint8{1: TileOmitted, 2: TileCoarse})
+		buf.Reset()
+		if _, err := stripped.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Fatalf("frame %d: layout rewrite differs from stripTiles+WriteTo", fi)
+		}
+		// The rewritten frame must parse and decode.
+		if _, err := ReadFrameFrom(bytes.NewReader(got)); err != nil {
+			t.Fatalf("frame %d: rewritten frame rejected: %v", fi, err)
+		}
+		// Untiled frames must yield nil, not a bogus layout.
+		uopts := opts
+		uopts.Tiles = 0
+		uenc := NewEncoder(edgesim.NewXavier(edgesim.Mode15W), uopts)
+		uef, _, err := uenc.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		if _, err := uef.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ParseFrameLayout(buf.Bytes()) != nil {
+			t.Fatalf("frame %d: untiled frame produced a layout", fi)
+		}
+	}
+}
+
+// stripTiles returns a copy of a tiled frame with the given tiles omitted
+// or coarsened, rewriting the concatenated streams and the directory the
+// way the per-viewer fan-out does.
+func stripTiles(f *EncodedFrame, marks map[int]uint8) *EncodedFrame {
+	out := &EncodedFrame{
+		Type: f.Type, Depth: f.Depth, NumPoints: f.NumPoints,
+		HasRescale: f.HasRescale, Rescale: f.Rescale,
+		Tiles: make([]TileInfo, len(f.Tiles)),
+	}
+	goff, aoff := 0, 0
+	for i, ti := range f.Tiles {
+		g := f.Geometry[goff : goff+int(ti.GeomLen)]
+		a := f.Attr[aoff : aoff+int(ti.AttrLen)]
+		goff += int(ti.GeomLen)
+		aoff += int(ti.AttrLen)
+		nt := ti
+		switch marks[i] {
+		case TileOmitted:
+			nt.Flags |= TileOmitted
+			nt.GeomLen, nt.AttrLen = 0, 0
+		case TileCoarse:
+			nt.Flags |= TileCoarse
+			nt.AttrLen = 0
+			out.Geometry = append(out.Geometry, g...)
+		default:
+			out.Geometry = append(out.Geometry, g...)
+			out.Attr = append(out.Attr, a...)
+		}
+		out.Tiles[i] = nt
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package interframe
+
+// Serial per-tile P-frame attribute coding for the tiled encode path.
+//
+// A P-tile covers a whole number of the frame's macro blocks (a contiguous
+// global block window), and every per-block decision — candidate window
+// placement, best-match scan with its tie-break, reuse threshold, delta
+// payload — depends only on the block's GLOBAL index, the global segment
+// grids and the frames' voxel data. Coding a tile's block window with the
+// global grids therefore reproduces exactly the per-block bytes of the
+// untiled EncodePWith; only the framing differs (each tile carries its own
+// header, bitmap and pointer column), so tiled P streams are decode-exact
+// against the untiled codec.
+//
+// Everything here is deliberately serial: tiles are the unit of parallelism,
+// so the per-tile body must be a pool LEAF with no nested kernel dispatch.
+// The reference frame is shared read-only across concurrent tiles.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/attr"
+	"repro/internal/geom"
+)
+
+// PTileScratch is the reusable arena for serial P-tile encodes. It must not
+// be shared by concurrent tiles — the tiled encoder holds one per worker
+// slot.
+type PTileScratch struct {
+	buf    bytes.Buffer
+	bitmap []byte
+	delta  deltaScratch
+}
+
+// EncodePTile encodes the global P-block window [bLo, bLo+bCount) as a
+// self-contained tile stream. iFrame and pFrame are the FULL Morton-sorted
+// frames (the tile reads only its own P range but may match any I-block in
+// its candidate windows); pBounds and iBounds are the frames' global
+// SegmentBounds grids for p.Segments. The emitted per-block decisions and
+// delta payloads are byte-identical to the untiled encoder's for the same
+// window.
+func EncodePTile(iFrame, pFrame []geom.Voxel, p Params, pBounds, iBounds []int, bLo, bCount int, sc *PTileScratch) ([]byte, Stats, error) {
+	p = p.normalized()
+	nBlocks := len(pBounds) - 1
+	nIBlocks := len(iBounds) - 1
+	bHi := bLo + bCount
+	if bLo < 0 || bCount < 1 || bHi > nBlocks {
+		return nil, Stats{}, fmt.Errorf("interframe: tile block window [%d,%d) outside %d blocks", bLo, bHi, nBlocks)
+	}
+	if len(iFrame) == 0 {
+		return nil, Stats{}, errors.New("interframe: empty reference frame")
+	}
+	buf := &sc.buf
+	buf.Reset()
+	writeUvarint(buf, uint64(len(pFrame)))
+	writeUvarint(buf, uint64(p.Segments))
+	writeUvarint(buf, uint64(p.QStep))
+	writeUvarint(buf, uint64(bLo))
+	writeUvarint(buf, uint64(bCount))
+
+	sc.bitmap = grow(sc.bitmap, (bCount+7)/8)
+	bitmap := sc.bitmap
+	clear(bitmap)
+	st := Stats{Blocks: bCount}
+
+	// Pass 1: match + reuse decision, filling the bitmap (it precedes the
+	// pointer column in the stream, mirroring the untiled layout).
+	type match struct {
+		idx   int32
+		reuse bool
+	}
+	matches := make([]match, bCount)
+	for j := bLo; j < bHi; j++ {
+		pv := pFrame[pBounds[j]:pBounds[j+1]]
+		center := j * nIBlocks / nBlocks
+		lo := center - p.Candidates/2
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lo + p.Candidates
+		if hi > nIBlocks {
+			hi = nIBlocks
+			if lo = hi - p.Candidates; lo < 0 {
+				lo = 0
+			}
+		}
+		best := math.Inf(1)
+		bi := int32(center)
+		for c := lo; c < hi; c++ {
+			iv := iFrame[iBounds[c]:iBounds[c+1]]
+			d := blockDiff(iv, pv)
+			if d < best || (d == best && absInt(c-center) < absInt(int(bi)-center)) {
+				best = d
+				bi = int32(c)
+			}
+		}
+		r := best <= p.Threshold
+		matches[j-bLo] = match{idx: bi, reuse: r}
+		if r {
+			bitmap[(j-bLo)/8] |= 1 << uint((j-bLo)%8)
+			st.DirectReuse++
+		} else {
+			st.DeltaBlocks++
+		}
+	}
+	buf.Write(bitmap)
+	for j := bLo; j < bHi; j++ {
+		center := j * nIBlocks / nBlocks
+		writeVarint(buf, int64(matches[j-bLo].idx)-int64(center))
+	}
+
+	// Pass 2: delta payloads for non-reuse blocks, in block order.
+	ds := &sc.delta
+	for j := bLo; j < bHi; j++ {
+		m := matches[j-bLo]
+		if m.reuse {
+			continue
+		}
+		payload := encodeDeltaBlock(nil,
+			iFrame[iBounds[m.idx]:iBounds[m.idx+1]],
+			pFrame[pBounds[j]:pBounds[j+1]],
+			int32(p.QStep), ds)
+		buf.Write(payload)
+	}
+	return append([]byte(nil), buf.Bytes()...), st, nil
+}
+
+// DecodePTile reconstructs one tile's slice of the P-frame attribute column
+// from a stream produced by EncodePTile, on the calling goroutine with no
+// device kernels. iFrame is the FULL decoded reference frame. The returned
+// colours are exactly the untiled decoder's output restricted to the tile's
+// point range [pointLo, pointHi).
+func DecodePTile(data []byte, iFrame []geom.Voxel) (colors []geom.Color, pointLo, pointHi int, err error) {
+	r := bytes.NewReader(data)
+	bad := func() ([]geom.Color, int, int, error) { return nil, 0, 0, ErrBadStream }
+	nP64, err := readUvarintR(r)
+	if err != nil {
+		return bad()
+	}
+	segs64, err := readUvarintR(r)
+	if err != nil {
+		return bad()
+	}
+	q64, err := readUvarintR(r)
+	if err != nil {
+		return bad()
+	}
+	bLo64, err := readUvarintR(r)
+	if err != nil {
+		return bad()
+	}
+	bCount64, err := readUvarintR(r)
+	if err != nil {
+		return bad()
+	}
+	const maxReasonable = 1 << 30
+	if nP64 == 0 || nP64 > maxReasonable || segs64 > maxReasonable || q64 > 1<<20 {
+		return bad()
+	}
+	nP, segs, q := int(nP64), int(segs64), int32(q64)
+	nI := len(iFrame)
+	if nI == 0 {
+		return nil, 0, 0, errors.New("interframe: empty reference frame")
+	}
+	pBounds := attr.SegmentBounds(nP, segs)
+	iBounds := attr.SegmentBounds(nI, segs)
+	nBlocks := uint64(len(pBounds) - 1)
+	nIBlocks := len(iBounds) - 1
+	if bCount64 == 0 || bCount64 > nBlocks || bLo64 > nBlocks-bCount64 {
+		return bad()
+	}
+	bLo, bHi := int(bLo64), int(bLo64+bCount64)
+	bCount := bHi - bLo
+
+	bitmap := make([]byte, (bCount+7)/8)
+	if _, err := io_ReadFull(r, bitmap); err != nil {
+		return bad()
+	}
+	refs := make([]int32, bCount)
+	for j := 0; j < bCount; j++ {
+		off, err := readVarint(r)
+		if err != nil {
+			return bad()
+		}
+		center := (bLo + j) * nIBlocks / int(nBlocks)
+		ref := int64(center) + off
+		if ref < 0 || ref >= int64(nIBlocks) {
+			return nil, 0, 0, fmt.Errorf("interframe: reference block %d out of range", ref)
+		}
+		refs[j] = int32(ref)
+	}
+
+	pointLo, pointHi = pBounds[bLo], pBounds[bHi]
+	colors = make([]geom.Color, pointHi-pointLo)
+	for j := 0; j < bCount; j++ {
+		lo, hi := pBounds[bLo+j], pBounds[bLo+j+1]
+		kp := hi - lo
+		ilo, ihi := iBounds[refs[j]], iBounds[refs[j]+1]
+		ki := ihi - ilo
+		if bitmap[j/8]>>uint(j%8)&1 == 1 {
+			for i := 0; i < kp; i++ {
+				colors[lo-pointLo+i] = iFrame[ilo+pairIndex(i, kp, ki)].C
+			}
+			continue
+		}
+		var bases [3]int32
+		var resid [3][]int32
+		for ch := 0; ch < 3; ch++ {
+			base, err := readVarint(r)
+			if err != nil {
+				return bad()
+			}
+			bases[ch] = int32(base)
+			rs, err := unpackResiduals(r, kp)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			resid[ch] = rs
+		}
+		for i := 0; i < kp; i++ {
+			ic := iFrame[ilo+pairIndex(i, kp, ki)].C
+			colors[lo-pointLo+i] = ic.Add(
+				int(bases[0]+resid[0][i]*q),
+				int(bases[1]+resid[1][i]*q),
+				int(bases[2]+resid[2][i]*q),
+			)
+		}
+	}
+	return colors, pointLo, pointHi, nil
+}
+
+// readUvarintR is binary.ReadUvarint with the package's error convention.
+func readUvarintR(r *bytes.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, ErrBadStream
+	}
+	return v, nil
+}

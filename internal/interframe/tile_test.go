@@ -1,0 +1,105 @@
+package interframe
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+)
+
+// TestTilePDecodeExact pins the tiled inter invariant: splitting the
+// P-frame's blocks into contiguous tile windows and coding each window
+// independently (with the global grids) reproduces exactly the untiled
+// decoder's output, with identical per-tile reuse statistics.
+func TestTilePDecodeExact(t *testing.T) {
+	d := dev()
+	iF := sortedFrame(11, 6000)
+	pF := jitterColors(iF, 12, 12)
+	for _, tc := range []struct {
+		p     Params
+		tiles int
+	}{
+		{Params{Segments: 200, Candidates: 40, Threshold: 45, QStep: 4}, 4},
+		{Params{Segments: 200, Candidates: 40, Threshold: -1, QStep: 1}, 3},  // all delta
+		{Params{Segments: 200, Candidates: 40, Threshold: 1e9, QStep: 4}, 8}, // all reuse
+	} {
+		full, fullSt, err := EncodeP(d, iF, pF, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DecodeP(d, full, iF)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		p := tc.p.normalized()
+		pBounds := attr.SegmentBounds(len(pF), p.Segments)
+		iBounds := attr.SegmentBounds(len(iF), p.Segments)
+		nBlocks := len(pBounds) - 1
+		cuts := attr.SegmentBounds(nBlocks, tc.tiles)
+		var sc PTileScratch
+		var sum Stats
+		next := 0
+		for ti := 0; ti+1 < len(cuts); ti++ {
+			bLo, bHi := cuts[ti], cuts[ti+1]
+			if bLo == bHi {
+				continue
+			}
+			stream, st, err := EncodePTile(iF, pF, tc.p, pBounds, iBounds, bLo, bHi-bLo, &sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum.Blocks += st.Blocks
+			sum.DirectReuse += st.DirectReuse
+			sum.DeltaBlocks += st.DeltaBlocks
+			colors, lo, hi, err := DecodePTile(stream, iF)
+			if err != nil {
+				t.Fatalf("tiles=%d tile %d: %v", tc.tiles, ti, err)
+			}
+			if lo != next || hi-lo != len(colors) || lo != pBounds[bLo] || hi != pBounds[bHi] {
+				t.Fatalf("tiles=%d tile %d: range [%d,%d) len %d, expected start %d", tc.tiles, ti, lo, hi, len(colors), next)
+			}
+			for i, c := range colors {
+				if c != want[lo+i] {
+					t.Fatalf("tiles=%d tile %d: colour %d differs: %v vs %v", tc.tiles, ti, lo+i, c, want[lo+i])
+				}
+			}
+			next = hi
+		}
+		if next != len(pF) {
+			t.Fatalf("tiles=%d: covered %d of %d points", tc.tiles, next, len(pF))
+		}
+		if sum != fullSt {
+			t.Fatalf("tiles=%d: stats %+v != untiled %+v", tc.tiles, sum, fullSt)
+		}
+	}
+}
+
+func TestTilePErrors(t *testing.T) {
+	iF := sortedFrame(21, 500)
+	pF := jitterColors(iF, 22, 5)
+	p := Params{Segments: 50, Candidates: 10, Threshold: 45, QStep: 4}.normalized()
+	pBounds := attr.SegmentBounds(len(pF), p.Segments)
+	iBounds := attr.SegmentBounds(len(iF), p.Segments)
+	var sc PTileScratch
+	if _, _, err := EncodePTile(iF, pF, p, pBounds, iBounds, 48, 5, &sc); err == nil {
+		t.Fatal("window past end must error")
+	}
+	if _, _, err := EncodePTile(nil, pF, p, pBounds, attr.SegmentBounds(0, p.Segments), 0, 1, &sc); err == nil {
+		t.Fatal("empty reference must error")
+	}
+	if _, _, _, err := DecodePTile(nil, iF); err == nil {
+		t.Fatal("empty stream must error")
+	}
+	stream, _, err := EncodePTile(iF, pF, p, pBounds, iBounds, 0, 5, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodePTile(stream, nil); err == nil {
+		t.Fatal("missing reference must error")
+	}
+	for cut := 1; cut < len(stream); cut++ {
+		if _, _, _, err := DecodePTile(stream[:cut], iF); err == nil {
+			t.Fatalf("truncated stream (len %d) must error", cut)
+		}
+	}
+}

@@ -68,6 +68,41 @@ func (c Code) Parent() Code { return c >> 3 }
 // level L iff their codes agree above bit 3L.
 func (c Code) AncestorAt(level uint) Code { return c >> (3 * level) }
 
+// Bounds returns the axis-aligned bounding box (inclusive min and max
+// corners) of a slice of codes — the AABB a contiguous Morton-range tile
+// advertises for viewport culling. ok is false for an empty slice.
+//
+// A contiguous Morton range is not itself a box (the Z-curve snakes), so
+// the AABB is computed from the decoded coordinates, O(n) once per tile at
+// encode time; the per-viewer frustum test against it is then O(1).
+func Bounds(codes []Code) (min, max [3]uint32, ok bool) {
+	if len(codes) == 0 {
+		return min, max, false
+	}
+	x, y, z := codes[0].Decode()
+	min = [3]uint32{x, y, z}
+	max = min
+	for _, c := range codes[1:] {
+		x, y, z = c.Decode()
+		if x < min[0] {
+			min[0] = x
+		} else if x > max[0] {
+			max[0] = x
+		}
+		if y < min[1] {
+			min[1] = y
+		} else if y > max[1] {
+			max[1] = y
+		}
+		if z < min[2] {
+			min[2] = z
+		} else if z > max[2] {
+			max[2] = z
+		}
+	}
+	return min, max, true
+}
+
 // lutEncode is a byte-wise lookup-table encoder. The LUT variant trades
 // three table lookups per axis for the shift chain; on the paper's edge CPU
 // it is the faster scalar path and we keep both for cross-validation.

@@ -177,6 +177,29 @@ func TestCodesVoxelsColumns(t *testing.T) {
 	}
 }
 
+func TestBounds(t *testing.T) {
+	if _, _, ok := Bounds(nil); ok {
+		t.Fatal("empty slice must report ok=false")
+	}
+	codes := []Code{
+		Encode(5, 7, 9),
+		Encode(1, 100, 3),
+		Encode(50, 2, 60),
+	}
+	min, max, ok := Bounds(codes)
+	if !ok {
+		t.Fatal("non-empty slice must report ok")
+	}
+	if min != [3]uint32{1, 2, 3} || max != [3]uint32{50, 100, 60} {
+		t.Fatalf("Bounds = %v %v", min, max)
+	}
+	// A single code is its own box.
+	min, max, _ = Bounds(codes[:1])
+	if min != [3]uint32{5, 7, 9} || min != max {
+		t.Fatalf("single-code Bounds = %v %v", min, max)
+	}
+}
+
 func BenchmarkEncodeMagic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = Encode(uint32(i)&1023, uint32(i>>10)&1023, uint32(i>>20)&1023)

@@ -135,8 +135,27 @@ func Build(dev *edgesim.Device, vc *geom.VoxelCloud) (*BuildResult, error) {
 // scratch arena. The input cloud does not need to be sorted or
 // deduplicated. The returned BuildResult aliases the scratch.
 func BuildWith(dev *edgesim.Device, vc *geom.VoxelCloud, s *BuildScratch) (*BuildResult, error) {
+	sorted, leaves, err := SortWith(dev, vc, s)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := buildFromSortedWith(dev, leaves, vc.Depth, s)
+	if err != nil {
+		return nil, err
+	}
+	return &BuildResult{Tree: tree, Sorted: sorted}, nil
+}
+
+// SortWith runs only the front half of the construction — Morton code
+// generation, data-parallel sort, and deduplication (kernels 1-3 of
+// BuildWith, identical accounting) — returning the sorted keyed voxels and
+// the leaf-code column without building the level-wise tree. The tiled
+// encode path uses this: each tile then rebuilds its own subtree serially
+// (TileScratch.SerializeSubtree), so the global LevelBuild/Occupy/Pack
+// stages would be wasted work. Both results alias the scratch.
+func SortWith(dev *edgesim.Device, vc *geom.VoxelCloud, s *BuildScratch) ([]morton.Keyed, []morton.Code, error) {
 	if vc.Len() == 0 {
-		return nil, ErrNoPoints
+		return nil, nil, ErrNoPoints
 	}
 	depth := vc.Depth
 	n := vc.Len()
@@ -192,12 +211,7 @@ func BuildWith(dev *edgesim.Device, vc *geom.VoxelCloud, s *BuildScratch) (*Buil
 			leaves[i] = sorted[i].Code
 		}
 	})
-
-	tree, err := buildFromSortedWith(dev, leaves, depth, s)
-	if err != nil {
-		return nil, err
-	}
-	return &BuildResult{Tree: tree, Sorted: sorted}, nil
+	return sorted, leaves, nil
 }
 
 // buildFromSorted performs the level-wise construction over sorted unique

@@ -1,0 +1,111 @@
+package paroctree
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/morton"
+)
+
+// TestSerializeSubtreeMatchesParallel pins the tiled geometry invariant:
+// over the FULL leaf set, the serial subtree serializer emits exactly the
+// bytes Build + SerializeInto emits — so a T=1 "tiled" stream is the
+// untiled stream, and per-tile streams use the same BFS grammar.
+func TestSerializeSubtreeMatchesParallel(t *testing.T) {
+	d := dev()
+	for _, n := range []int{1, 7, 500, 20000} {
+		vc := randomCloud(int64(n), n, 10)
+		br, err := Build(d, vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := br.Tree.Serialize(d)
+		var s TileScratch
+		got, err := s.SerializeSubtree(br.Tree.Leaves(), vc.Depth, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: serial subtree stream differs from parallel (len %d vs %d)", n, len(got), len(want))
+		}
+	}
+}
+
+// TestSubtreeTilesRoundTrip splits the sorted leaves into contiguous
+// Morton-range tiles, serializes each independently, and checks that
+// decoding the tiles (with both decoders) and concatenating reproduces
+// the full leaf set exactly.
+func TestSubtreeTilesRoundTrip(t *testing.T) {
+	d := dev()
+	vc := randomCloud(42, 30000, 10)
+	br, err := Build(d, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := br.Tree.Leaves()
+	for _, tiles := range []int{2, 3, 8} {
+		bounds := attr.SegmentBounds(len(leaves), tiles)
+		var s TileScratch
+		var got []uint64
+		for ti := 0; ti < tiles; ti++ {
+			lo, hi := bounds[ti], bounds[ti+1]
+			if lo == hi {
+				continue
+			}
+			stream, err := s.SerializeSubtree(leaves[lo:hi], vc.Depth, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := Deserialize(d, stream, vc.Depth)
+			if err != nil {
+				t.Fatalf("tiles=%d tile %d: %v", tiles, ti, err)
+			}
+			ser, err := DeserializeSerial(stream, vc.Depth)
+			if err != nil {
+				t.Fatalf("tiles=%d tile %d serial: %v", tiles, ti, err)
+			}
+			if len(dec) != len(ser) {
+				t.Fatalf("decoder mismatch: %d vs %d codes", len(dec), len(ser))
+			}
+			for i := range dec {
+				if dec[i] != ser[i] {
+					t.Fatalf("decoder mismatch at %d", i)
+				}
+			}
+			if len(dec) != hi-lo {
+				t.Fatalf("tiles=%d tile %d: decoded %d codes, want %d", tiles, ti, len(dec), hi-lo)
+			}
+			for _, c := range dec {
+				got = append(got, uint64(c))
+			}
+		}
+		if len(got) != len(leaves) {
+			t.Fatalf("tiles=%d: %d total codes, want %d", tiles, len(got), len(leaves))
+		}
+		for i, c := range leaves {
+			if uint64(c) != got[i] {
+				t.Fatalf("tiles=%d: code %d differs", tiles, i)
+			}
+		}
+	}
+}
+
+func TestSerializeSubtreeErrors(t *testing.T) {
+	var s TileScratch
+	if _, err := s.SerializeSubtree(nil, 10, nil); err == nil {
+		t.Fatal("empty leaves must error")
+	}
+	if _, err := s.SerializeSubtree([]morton.Code{3, 2}, 10, nil); err == nil {
+		t.Fatal("descending leaves must error")
+	}
+	if _, err := s.SerializeSubtree([]morton.Code{1}, 0, nil); err == nil {
+		t.Fatal("depth 0 must error")
+	}
+	if _, err := DeserializeSerial([]byte{0}, 1); err == nil {
+		t.Fatal("zero mask must error")
+	}
+	if _, err := DeserializeSerial([]byte{1, 1}, 1); err == nil {
+		t.Fatal("trailing bytes must error")
+	}
+}

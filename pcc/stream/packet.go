@@ -21,11 +21,17 @@ package stream
 //	    17    4 packet sequence number
 //	    21    2 payload length
 //	    23    4 CRC-32 (IEEE) of the payload
-//	    27    - payload
+//	    27    2 tile id (FlagTiled packets only)
+//	    27/29 - payload
 //
 // A frame's fragments carry consecutive sequence numbers, so the first
 // fragment's seq is always Seq-Frag and a receiver can attribute a missing
 // sequence number to a frame from any sibling fragment.
+//
+// FlagTiled packets extend the header by a 2-byte tile id: the tile of
+// the viewer-culled frame whose bytes the fragment starts in (TileNone
+// for the container header/directory). The id is observability metadata —
+// reassembly stays a plain in-order concatenation of fragment payloads.
 
 import (
 	"encoding/binary"
@@ -35,6 +41,7 @@ import (
 	"math"
 
 	"repro/internal/codec"
+	"repro/internal/viewport"
 )
 
 const (
@@ -44,9 +51,15 @@ const (
 	PacketVersion = 1
 	// PacketHeaderSize is the fixed per-packet header overhead in bytes.
 	PacketHeaderSize = 27
+	// TileIDSize is the FlagTiled header extension: a 2-byte tile id.
+	TileIDSize = 2
 	// MaxPayload is the largest payload one packet can carry.
 	MaxPayload = math.MaxUint16
 )
+
+// TileNone is the tile id of fragments that start inside the frame's
+// container header or tile directory rather than a tile's bytes.
+const TileNone uint16 = 0xFFFF
 
 // Packet flag bits.
 const (
@@ -67,6 +80,10 @@ const (
 	// sequence numbers and are never retransmitted — losing one costs only
 	// its repair power.
 	FlagParity byte = 1 << 3
+	// FlagTiled marks a data packet of a viewport-culled tiled frame: the
+	// header carries a 2-byte tile id after the CRC (TileIDSize), and the
+	// frame's container was rewritten per viewer (omitted/coarse tiles).
+	FlagTiled byte = 1 << 4
 )
 
 // ErrBadPacket reports a malformed packet (bad magic, version, or lengths).
@@ -85,6 +102,9 @@ type PacketHeader struct {
 	Frag       uint16 // fragment index within the frame
 	FragCount  uint16 // total fragments of the frame
 	Seq        uint32 // per-stream packet sequence number
+	// Tile is the tile the fragment starts in (FlagTiled packets only;
+	// TileNone for header/directory fragments).
+	Tile uint16
 }
 
 // Packet is one parsed packet: header plus payload (which aliases the
@@ -105,6 +125,9 @@ func AppendPacket(dst []byte, h PacketHeader, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, h.Seq)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(payload)))
 	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	if h.Flags&FlagTiled != 0 {
+		dst = binary.LittleEndian.AppendUint16(dst, h.Tile)
+	}
 	return append(dst, payload...)
 }
 
@@ -135,11 +158,19 @@ func ParsePacket(b []byte) (Packet, error) {
 		FragCount:  binary.LittleEndian.Uint16(b[15:17]),
 		Seq:        binary.LittleEndian.Uint32(b[17:21]),
 	}
+	hdrLen := PacketHeaderSize
+	if h.Flags&FlagTiled != 0 {
+		hdrLen += TileIDSize
+		if len(b) < hdrLen {
+			return Packet{}, fmt.Errorf("%w: tiled packet %d bytes", ErrBadPacket, len(b))
+		}
+		h.Tile = binary.LittleEndian.Uint16(b[PacketHeaderSize:hdrLen])
+	}
 	plen := int(binary.LittleEndian.Uint16(b[21:23]))
-	if len(b) != PacketHeaderSize+plen {
+	if len(b) != hdrLen+plen {
 		return Packet{}, fmt.Errorf("%w: payload length %d in a %d-byte packet", ErrBadPacket, plen, len(b))
 	}
-	payload := b[PacketHeaderSize:]
+	payload := b[hdrLen:]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[23:27]) {
 		return Packet{}, ErrChecksum
 	}
@@ -295,6 +326,12 @@ const (
 	// (Feedback): observed loss, NACK work, and frame outcomes over the
 	// last report window. The sender's congestion controller consumes it.
 	ControlFeedback ControlKind = 3
+	// ControlViewport carries the receiver's camera (a 64-byte fixed
+	// payload: Pos ×3, Dir ×3, FOVDegrees, MaxDist, all float64 LE). The
+	// sender culls tiles of tiled frames outside the camera's frustum for
+	// that viewer only. FOVDegrees <= 0 clears the viewport — the viewer
+	// receives every tile again.
+	ControlViewport ControlKind = 4
 )
 
 func (k ControlKind) String() string {
@@ -305,6 +342,8 @@ func (k ControlKind) String() string {
 		return "REFRESH"
 	case ControlFeedback:
 		return "FEEDBACK"
+	case ControlViewport:
+		return "VIEWPORT"
 	default:
 		return fmt.Sprintf("ControlKind(%d)", byte(k))
 	}
@@ -397,6 +436,44 @@ func ParseFeedback(b []byte) (Feedback, error) {
 	}, nil
 }
 
+// ViewportSize is the fixed wire size of a ControlViewport payload:
+// eight float64 fields (Pos ×3, Dir ×3, FOVDegrees, MaxDist).
+const ViewportSize = 64
+
+// appendViewport appends a camera's 64-byte wire form to dst.
+func appendViewport(dst []byte, cam viewport.Camera) []byte {
+	for _, f := range [8]float64{
+		cam.Pos[0], cam.Pos[1], cam.Pos[2],
+		cam.Dir[0], cam.Dir[1], cam.Dir[2],
+		cam.FOVDegrees, cam.MaxDist,
+	} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	return dst
+}
+
+// parseViewport decodes a ControlViewport payload. Anything but exactly
+// ViewportSize bytes, or any non-finite field, is ErrBadPacket: NaN and
+// Inf coordinates would poison every frustum comparison downstream.
+func parseViewport(b []byte) (viewport.Camera, error) {
+	if len(b) != ViewportSize {
+		return viewport.Camera{}, fmt.Errorf("%w: viewport payload %d bytes", ErrBadPacket, len(b))
+	}
+	var vals [8]float64
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		if math.IsNaN(vals[i]) || math.IsInf(vals[i], 0) {
+			return viewport.Camera{}, fmt.Errorf("%w: non-finite viewport field", ErrBadPacket)
+		}
+	}
+	return viewport.Camera{
+		Pos:        [3]float64{vals[0], vals[1], vals[2]},
+		Dir:        [3]float64{vals[3], vals[4], vals[5]},
+		FOVDegrees: vals[6],
+		MaxDist:    vals[7],
+	}, nil
+}
+
 // Control is one receiver→sender control message.
 type Control struct {
 	Kind     ControlKind
@@ -408,6 +485,9 @@ type Control struct {
 	Seqs []uint32
 	// Feedback is the receiver report (ControlFeedback only).
 	Feedback Feedback
+	// Camera is the receiver's viewport (ControlViewport only);
+	// FOVDegrees <= 0 clears it.
+	Camera viewport.Camera
 }
 
 // MarshalControl frames a control message as a packet (FlagControl set,
@@ -422,6 +502,8 @@ func MarshalControl(c Control) []byte {
 		}
 	case ControlFeedback:
 		payload = AppendFeedback(make([]byte, 0, FeedbackSize), c.Feedback)
+	case ControlViewport:
+		payload = appendViewport(make([]byte, 0, ViewportSize), c.Camera)
 	}
 	return MarshalPacket(PacketHeader{
 		Flags:      FlagControl,
@@ -458,6 +540,12 @@ func ParseControl(p Packet) (Control, error) {
 			return Control{}, err
 		}
 		c.Feedback = fb
+	case ControlViewport:
+		cam, err := parseViewport(p.Payload)
+		if err != nil {
+			return Control{}, err
+		}
+		c.Camera = cam
 	default:
 		return Control{}, fmt.Errorf("%w: control kind %d", ErrBadPacket, byte(c.Kind))
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/codec"
+	"repro/internal/viewport"
 )
 
 func TestPacketRoundTrip(t *testing.T) {
@@ -180,6 +181,8 @@ func FuzzParsePacket(f *testing.F) {
 	f.Add(MarshalPacket(PacketHeader{Flags: FlagRetransmit, StreamID: 2, FrameIndex: 3, FrameType: codec.PFrame, Frag: 1, FragCount: 2, Seq: 9}, nil))
 	f.Add(MarshalControl(Control{Kind: ControlNACK, StreamID: 1, Seqs: []uint32{4, 5}}))
 	f.Add(MarshalControl(Control{Kind: ControlRefresh, StreamID: 1, FrameIndex: 6}))
+	f.Add(MarshalPacket(PacketHeader{Flags: FlagTiled, StreamID: 7, FrameType: codec.IFrame, FragCount: 3, Frag: 1, Tile: 2}, []byte("tiled")))
+	f.Add(MarshalControl(Control{Kind: ControlViewport, StreamID: 8, Camera: viewport.Camera{Pos: [3]float64{1, 2, 3}, FOVDegrees: 60}}))
 	long := bytes.Repeat([]byte{0xA5}, 2048)
 	f.Add(PacketizeFrame(1, 0, codec.IFrame, 0, long, 700)[1])
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/edgesim"
 	"repro/internal/geom"
 	"repro/internal/metrics"
+	"repro/internal/viewport"
 )
 
 // FrameStatus is the receiver's verdict on one frame.
@@ -230,6 +231,16 @@ func (r *Receiver) Metrics() metrics.RecoverySnapshot {
 
 // Err returns the first control-channel error, if any.
 func (r *Receiver) Err() error { return r.err }
+
+// SendViewport reports this viewer's camera to the sender: tiled frames
+// are culled against it server-side from the next send on (tiles outside
+// the frustum dropped, near-misses sent geometry-only — see
+// Viewer.SetViewport). A camera with FOVDegrees <= 0 clears the viewport
+// and full frames resume. Like every Receiver method it runs on the
+// receiver's driving goroutine.
+func (r *Receiver) SendViewport(cam viewport.Camera) {
+	r.sendControl(Control{Kind: ControlViewport, StreamID: r.streamID, Camera: cam})
+}
 
 // Ingest feeds one received packet (header + payload, as framed by the
 // sender). Safe to call re-entrantly from SendControl/OnFrame callbacks.

@@ -76,6 +76,10 @@ type sharedFrame struct {
 	ftype  codec.FrameType
 	cached bool // replayed from the keyframe cache (late join)
 	p      *framePayload
+	// layout is the tiled container's parsed layout (nil for untiled
+	// frames): the map shard viewers use to slice per-tile payload spans
+	// out of p.wire without copying. Parsed once at publish.
+	layout *codec.FrameLayout
 	// fec is the publish-time parity build (nil when FEC is off, and on
 	// cached-join replays — a late joiner's keyframe is NACK-repairable).
 	fec *parityShare

@@ -231,6 +231,9 @@ func (sv *Server) Submit(ctx context.Context, vc *geom.VoxelCloud) error {
 // shard workers do the O(N) fan-out.
 func (sv *Server) publish(_ context.Context, seq int, ftype codec.FrameType, wire []byte) error {
 	f := &sharedFrame{index: seq, ftype: ftype, p: newFramePayload(wire)}
+	// Parse the tile layout against the ring's own copy so every span a
+	// viewer slices aliases the immutable published payload.
+	f.layout = codec.ParseFrameLayout(f.p.wire)
 	if k := sv.cfg.FEC.groupLen(sv.sess.Controller()); k > 0 {
 		// Build the parity bodies once, here on the O(1) encode path, so
 		// the O(N) viewer fan-out only copies them under per-viewer headers.
@@ -288,7 +291,7 @@ func (sv *Server) Attach(cfg ViewerConfig) (*Viewer, error) {
 	var joinCache *sharedFrame
 	if c := sv.cache; c != nil {
 		c.p.retain() // creation reference, released by shard.attach
-		joinCache = &sharedFrame{seq: c.seq, index: c.index, ftype: c.ftype, cached: true, p: c.p}
+		joinCache = &sharedFrame{seq: c.seq, index: c.index, ftype: c.ftype, cached: true, p: c.p, layout: c.layout}
 	}
 	sv.mu.Unlock()
 

@@ -1,0 +1,189 @@
+package stream
+
+// Viewport-adaptive tile fan-out: per-viewer culling of tiled frames.
+//
+// The encoder publishes one tiled container per frame into the ring; the
+// layout parsed at publish time (sharedFrame.layout) maps every tile's
+// geometry and attribute chunk to a byte span of the immutable payload.
+// A viewer with a viewport rewrites the frame for its own camera as PURE
+// DROP: the container header is re-written (directory lengths zeroed for
+// culled tiles) and the kept tiles' spans are gathered straight out of
+// the shared payload at packetize time — no re-encode, no per-viewer
+// frame materialization. Tiles fully inside the frustum ship complete;
+// tiles only inside a widened "prefetch" frustum ship coarse (geometry
+// only, the receiver renders them colourless until the camera settles);
+// everything else is omitted. Point counts in the directory stay at the
+// encoder's full values so the receiver's decoder keeps global indexing
+// and conceals the missing reference ranges (see codec.RewriteHeader).
+//
+// Determinism for NACKs: a sent-record stores the omit/coarse masks used
+// at send time, so a retransmit rebuilds the identical plan from the
+// cached frame layout even if the camera has moved since.
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/viewport"
+)
+
+// coarseMarginDeg widens the camera's cone for the coarse (geometry-only)
+// band, and coarseDistScale its far plane: tiles a small head turn would
+// bring into view arrive as geometry ahead of time instead of popping in.
+const (
+	coarseMarginDeg = 25.0
+	coarseDistScale = 1.25
+)
+
+// tileMasks classifies every tile of a laid-out frame against a camera:
+// bit t of omit / coarse set means tile t is dropped / shipped without
+// attributes. Tiles the encoder already omitted keep their flag but take
+// no mask bit (RewriteHeader preserves them). When the camera sees no
+// tile at all, the nearest tile to the eye is kept in full — a viewer
+// looking away still receives a decodable (and re-orientable) frame.
+func tileMasks(l *codec.FrameLayout, cam viewport.Camera) (omit, coarse uint64) {
+	wide := cam
+	if wide.FOVDegrees > 0 && wide.FOVDegrees < 360 {
+		wide.FOVDegrees += 2 * coarseMarginDeg
+	}
+	if wide.MaxDist > 0 {
+		wide.MaxDist *= coarseDistScale
+	}
+	anyKept := false
+	for t, ti := range l.Tiles {
+		if ti.Omitted() {
+			continue
+		}
+		mn := [3]float64{float64(ti.Min[0]), float64(ti.Min[1]), float64(ti.Min[2])}
+		mx := [3]float64{float64(ti.Max[0]) + 1, float64(ti.Max[1]) + 1, float64(ti.Max[2]) + 1}
+		switch {
+		case cam.SeesAABB(mn, mx):
+			anyKept = true
+		case wide.SeesAABB(mn, mx):
+			coarse |= 1 << uint(t)
+		default:
+			omit |= 1 << uint(t)
+		}
+	}
+	if !anyKept && omit|coarse != 0 {
+		best, bestD := -1, math.Inf(1)
+		for t, ti := range l.Tiles {
+			if ti.Omitted() {
+				continue
+			}
+			var d float64
+			for a := 0; a < 3; a++ {
+				c := (float64(ti.Min[a]) + float64(ti.Max[a]) + 1) / 2
+				d += (c - cam.Pos[a]) * (c - cam.Pos[a])
+			}
+			if d < bestD {
+				best, bestD = t, d
+			}
+		}
+		if best >= 0 {
+			keep := uint64(1) << uint(best)
+			omit &^= keep
+			coarse &^= keep
+		}
+	}
+	return omit, coarse
+}
+
+// viewPlan is one viewer's culled view of a published tiled frame: the
+// rewritten header plus the kept tiles' payload spans, in container order
+// (header, geometry chunks, attribute chunks). Fragments are gathered
+// from the spans at packetize time; only the ≤MTU gather buffer is ever
+// materialized per packet.
+type viewPlan struct {
+	spans  [][]byte // spans[0] is the rewritten header (the only copy)
+	tileOf []uint16 // tile id per span; TileNone for the header
+	cum    []int    // len(spans)+1 prefix byte offsets
+	total  int      // culled frame length (== cum[len(spans)])
+}
+
+// buildViewPlan assembles a viewer's plan for one published frame. wire
+// is the immutable ring payload; only the rewritten header is copied.
+func buildViewPlan(l *codec.FrameLayout, wire []byte, omit, coarse uint64) *viewPlan {
+	p := &viewPlan{
+		spans:  make([][]byte, 0, 1+2*len(l.Tiles)),
+		tileOf: make([]uint16, 0, 1+2*len(l.Tiles)),
+	}
+	add := func(b []byte, tile uint16) {
+		if len(b) == 0 {
+			return
+		}
+		p.spans = append(p.spans, b)
+		p.tileOf = append(p.tileOf, tile)
+	}
+	add(l.RewriteHeader(wire, omit, coarse), TileNone)
+	for t := range l.Tiles {
+		if l.Tiles[t].Omitted() || omit&(1<<uint(t)) != 0 {
+			continue
+		}
+		add(wire[l.GeomOff[t]:l.GeomOff[t+1]], uint16(t))
+	}
+	for t := range l.Tiles {
+		if l.Tiles[t].Omitted() || (omit|coarse)&(1<<uint(t)) != 0 {
+			continue
+		}
+		add(wire[l.AttrOff[t]:l.AttrOff[t+1]], uint16(t))
+	}
+	p.cum = make([]int, len(p.spans)+1)
+	for i, s := range p.spans {
+		p.cum[i+1] = p.cum[i] + len(s)
+	}
+	p.total = p.cum[len(p.spans)]
+	return p
+}
+
+// gather appends fragment frag's payload bytes (at the given MTU split of
+// the culled frame) to dst and returns it with the tile id the fragment
+// STARTS in (TileNone for the header). Mirrors PacketizeFrame's split of
+// a contiguous wire buffer, byte for byte.
+func (p *viewPlan) gather(dst []byte, frag, mtu int) ([]byte, uint16) {
+	lo := frag * mtu
+	hi := min(lo+mtu, p.total)
+	if lo >= hi {
+		return dst, TileNone // empty frame's single empty fragment
+	}
+	// First span containing byte lo: cum[i] <= lo < cum[i+1].
+	i := sort.SearchInts(p.cum, lo+1) - 1
+	tile := p.tileOf[i]
+	for at := lo; at < hi; i++ {
+		s := p.spans[i]
+		off := at - p.cum[i]
+		take := min(len(s)-off, hi-at)
+		dst = append(dst, s[off:off+take]...)
+		at += take
+	}
+	return dst, tile
+}
+
+// parityBody XORs one parity group's fragments of the culled frame,
+// exactly as buildParityBody does for a contiguous wire buffer. scratch
+// is reused between calls for the gathered fragment bytes.
+func (p *viewPlan) parityBody(g groupSpec, mtu int, scratch []byte) ([]byte, []byte) {
+	width := 0
+	for i := 0; i < g.count; i++ {
+		lo := (g.base + i*g.stride) * mtu
+		hi := min(lo+mtu, p.total)
+		if hi-lo > width {
+			width = hi - lo
+		}
+	}
+	if width < 0 {
+		width = 0
+	}
+	body := make([]byte, 2+width)
+	for i := 0; i < g.count; i++ {
+		lo := (g.base + i*g.stride) * mtu
+		if lo >= p.total {
+			xorRecord(body, nil)
+			continue
+		}
+		scratch, _ = p.gather(scratch[:0], g.base+i*g.stride, mtu)
+		xorRecord(body, scratch)
+	}
+	return body, scratch
+}

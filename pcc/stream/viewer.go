@@ -22,12 +22,14 @@ package stream
 // refcounted frame set shared by every viewer in it.
 
 import (
+	"math/bits"
 	"sync"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/linksim"
 	"repro/internal/metrics"
+	"repro/internal/viewport"
 )
 
 // ViewerConfig configures one attached viewer. The zero value of every
@@ -49,6 +51,10 @@ type ViewerConfig struct {
 	// RetransmitBuffer caps the sent packets this viewer can still answer
 	// NACKs for (records only; the payload bytes live in the shard cache).
 	RetransmitBuffer int
+	// Viewport, when non-nil, is the viewer's initial camera: tiled frames
+	// are culled against it from the very first send (SetViewport updates
+	// it live; a receiver drives it remotely with ControlViewport).
+	Viewport *viewport.Camera
 	// PacketOut transmits this viewer's framed packets. It runs on the
 	// viewer's sender goroutine (fresh and cached frames) and on the
 	// HandleControl caller's goroutine (retransmissions). Nil builds and
@@ -105,6 +111,15 @@ type ViewerMetrics struct {
 	FeedbackReports int64
 	FeedbackStale   int64
 	LastLossRate    float64
+	// Viewport-culling counters. TilesCulled / TilesCoarse total the tiles
+	// omitted / sent geometry-only across all tiled sends; CulledBytes is
+	// the payload bytes the culling kept off this viewer's wire (the gap
+	// between the published frames and the culled rewrites actually sent).
+	HasViewport     bool
+	ViewportUpdates int64
+	TilesCulled     int64
+	TilesCoarse     int64
+	CulledBytes     int64
 	// RetxBuffered is the packet span the sent-records currently cover —
 	// how many recent sequence numbers this viewer can still answer NACKs
 	// for (0 once the viewer detaches; detach frees the records).
@@ -135,6 +150,11 @@ type sentRec struct {
 	frameIdx uint32 // viewer-local frame index
 	ftype    codec.FrameType
 	cached   bool // replayed join keyframe (FlagCached on rebuild)
+	// tiled records a viewport-culled send; omit/coarse are the masks used
+	// at send time, so a NACK rebuild reconstructs the identical culled
+	// frame even after the viewer's camera has moved on.
+	tiled        bool
+	omit, coarse uint64
 }
 
 // Viewer is one fan-out consumer. Create with Server.Attach; release with
@@ -167,6 +187,9 @@ type Viewer struct {
 	lostRef bool
 	nextIdx uint32
 	pktSeq  uint32
+	// cam is the viewer's viewport (nil = no culling: every tile ships).
+	// The pointer is replaced wholesale on update, never mutated.
+	cam *viewport.Camera
 
 	framesSent    int64
 	framesDropped int64
@@ -187,6 +210,10 @@ type Viewer struct {
 	fbReports    int64
 	fbStale      int64
 	lastLoss     float64
+	vpUpdates    int64
+	tilesCulled  int64
+	tilesCoarse  int64
+	culledBytes  int64
 	linkTime     time.Duration
 	txJ, rxJ     float64
 	err          error
@@ -212,9 +239,35 @@ func newViewer(sv *Server, cfg ViewerConfig, joinCache *sharedFrame) *Viewer {
 	if joinCache != nil {
 		v.minLiveSeq = joinCache.seq + 1
 	}
+	if cfg.Viewport != nil && cfg.Viewport.FOVDegrees > 0 {
+		cam := *cfg.Viewport
+		v.cam = &cam
+	}
 	v.cond = sync.NewCond(&v.mu)
 	return v
 }
+
+// SetViewport installs or replaces the viewer's camera: subsequent tiled
+// frames are culled against it (tiles outside the frustum dropped, tiles
+// in the widened margin sent geometry-only). A camera with FOVDegrees <= 0
+// clears the viewport — the conventional "send everything" request — so a
+// receiver can toggle culling with a single control message kind. Safe to
+// call concurrently with a live stream; retransmits of frames already sent
+// keep the masks they were sent with.
+func (v *Viewer) SetViewport(cam viewport.Camera) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.vpUpdates++
+	if cam.FOVDegrees <= 0 {
+		v.cam = nil
+		return
+	}
+	c := cam
+	v.cam = &c
+}
+
+// ClearViewport removes the viewer's camera: every tile ships again.
+func (v *Viewer) ClearViewport() { v.SetViewport(viewport.Camera{}) }
 
 // StreamID returns the viewer's packet stream id.
 func (v *Viewer) StreamID() uint32 { return v.id }
@@ -253,6 +306,11 @@ func (v *Viewer) Metrics() ViewerMetrics {
 		FeedbackReports: v.fbReports,
 		FeedbackStale:   v.fbStale,
 		LastLossRate:    v.lastLoss,
+		HasViewport:     v.cam != nil,
+		ViewportUpdates: v.vpUpdates,
+		TilesCulled:     v.tilesCulled,
+		TilesCoarse:     v.tilesCoarse,
+		CulledBytes:     v.culledBytes,
 		RetxBuffered:    v.recPkts,
 		LinkTime:        v.linkTime,
 		TxEnergyJ:       v.txJ,
@@ -405,35 +463,89 @@ func (v *Viewer) sendLoop() {
 }
 
 // sendFrame packetizes and emits one frame. Runs only on the sender loop.
+//
+// With a viewport installed and a tiled frame queued, the send is culled:
+// tileMasks classifies the frame's tiles against the camera, buildViewPlan
+// rewrites the container header and maps the kept tiles' spans over the
+// immutable ring payload, and each packet gathers its ≤MTU bytes straight
+// from those spans — per-viewer culling without re-encoding or copying
+// the frame. Culled packets carry FlagTiled plus the tile id their first
+// byte belongs to; an unmasked send (no camera, untiled frame, or a
+// camera that sees everything) is byte-identical to the plain path.
 func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
-	pkts := PacketizeFrame(v.id, qf.idx, qf.f.ftype, firstSeq, qf.f.p.wire, v.mtu())
-	bytes := int64(0)
-	for _, p := range pkts {
-		if qf.f.cached {
-			p[3] |= FlagCached // outside the payload CRC, like FlagRetransmit
+	v.mu.Lock()
+	cam := v.cam
+	v.mu.Unlock()
+	mtu := v.mtu()
+	var plan *viewPlan
+	var omit, coarse uint64
+	if cam != nil && qf.f.layout != nil {
+		if o, c := tileMasks(qf.f.layout, *cam); o|c != 0 {
+			omit, coarse = o, c
+			plan = buildViewPlan(qf.f.layout, qf.f.p.wire, omit, coarse)
 		}
+	}
+	var pkts [][]byte
+	var scratch []byte
+	bytes := int64(0)
+	if plan != nil {
+		flags := FlagTiled
+		if qf.f.cached {
+			flags |= FlagCached
+		}
+		n := fragsAtMTU(plan.total, mtu)
+		pkts = make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			var tile uint16
+			scratch, tile = plan.gather(scratch[:0], i, mtu)
+			pkts = append(pkts, MarshalPacket(PacketHeader{
+				Flags:      flags,
+				StreamID:   v.id,
+				FrameIndex: qf.idx,
+				FrameType:  qf.f.ftype,
+				Frag:       uint16(i),
+				FragCount:  uint16(n),
+				Seq:        firstSeq + uint32(i),
+				Tile:       tile,
+			}, scratch))
+		}
+	} else {
+		pkts = PacketizeFrame(v.id, qf.idx, qf.f.ftype, firstSeq, qf.f.p.wire, mtu)
+		for _, p := range pkts {
+			if qf.f.cached {
+				p[3] |= FlagCached // outside the payload CRC, like FlagRetransmit
+			}
+		}
+	}
+	for _, p := range pkts {
 		bytes += int64(len(p))
 	}
 	// Frame the parity packets (if the published frame carries a share):
 	// bodies are reused verbatim at the share's MTU and rebuilt from the
-	// immutable ring payload otherwise. Parity takes no viewer sequence
-	// numbers and no sent-record — it is never NACKed or retransmitted —
-	// but its bytes ride the same link budget as the data.
+	// immutable ring payload otherwise; a culled send always rebuilds from
+	// its view plan, so the parity protects exactly the bytes sent. Parity
+	// takes no viewer sequence numbers and no sent-record — it is never
+	// NACKed or retransmitted — but its bytes ride the same link budget as
+	// the data, and it never carries FlagTiled (it covers framed payloads,
+	// not tile bytes).
 	var parity [][]byte
 	var parityEnds []int // last covered fragment index per parity packet
 	if fec := qf.f.fec; fec != nil {
 		groups, bodies := fec.groups, fec.bodies
-		if v.mtu() != fec.mtu {
+		if plan != nil || mtu != fec.mtu {
 			groups, bodies = parityGroups(len(pkts), fec.k, qf.f.ftype), nil
 		}
 		parity = make([][]byte, 0, len(groups))
 		parityEnds = make([]int, 0, len(groups))
 		for gi, g := range groups {
 			body := []byte(nil)
-			if bodies != nil {
+			switch {
+			case bodies != nil:
 				body = bodies[gi]
-			} else {
-				body = buildParityBody(qf.f.p.wire, v.mtu(), g)
+			case plan != nil:
+				body, scratch = plan.parityBody(g, mtu, scratch)
+			default:
+				body = buildParityBody(qf.f.p.wire, mtu, g)
 			}
 			p := parityPacket(v.id, qf.idx, qf.f.ftype, firstSeq, len(pkts), g, body)
 			parity = append(parity, p)
@@ -447,7 +559,7 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	}
 	// Record before the first PacketOut: a receiver NACKing from inside
 	// the delivery chain (re-entrant HandleControl) must find the frame.
-	v.recordSent(qf, firstSeq, len(pkts))
+	v.recordSent(qf, firstSeq, len(pkts), plan != nil, omit, coarse)
 	// Each group's parity packet interleaves right after the group's last
 	// covered data packet, so a repair trails the loss it fixes by at most
 	// a group's worth of packet-times — well inside the NACK timer.
@@ -474,6 +586,11 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	v.packets += int64(len(pkts))
 	v.paritySent += int64(len(parity))
 	v.wireBytes += bytes
+	if plan != nil {
+		v.tilesCulled += int64(bits.OnesCount64(omit))
+		v.tilesCoarse += int64(bits.OnesCount64(coarse))
+		v.culledBytes += int64(len(qf.f.p.wire) - plan.total)
+	}
 	v.linkTime += cost.Latency
 	v.txJ += cost.TxEnergy
 	v.rxJ += cost.RxEnergy
@@ -493,7 +610,7 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 
 // recordSent appends one frame's sent-record, evicting the oldest records
 // once the covered packet span exceeds the viewer's retransmit budget.
-func (v *Viewer) recordSent(qf queuedFrame, firstSeq uint32, n int) {
+func (v *Viewer) recordSent(qf queuedFrame, firstSeq uint32, n int, tiled bool, omit, coarse uint64) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.recDead {
@@ -514,6 +631,9 @@ func (v *Viewer) recordSent(qf queuedFrame, firstSeq uint32, n int) {
 		frameIdx: qf.idx,
 		ftype:    qf.f.ftype,
 		cached:   qf.f.cached,
+		tiled:    tiled,
+		omit:     omit,
+		coarse:   coarse,
 	})
 	v.recPkts += n
 }
@@ -567,11 +687,28 @@ func (v *Viewer) rebuildPacket(seq uint32) []byte {
 	}
 	mtu := v.mtu()
 	frag := seq - rec.firstSeq
-	lo := int(frag) * mtu
-	hi := min(lo+mtu, len(f.p.wire))
 	flags := FlagRetransmit
 	if rec.cached {
 		flags |= FlagCached
+	}
+	var payload []byte
+	tile := TileNone
+	if rec.tiled {
+		// A culled send: rebuild the exact view plan from the recorded
+		// masks — deterministic whatever the camera has done since — and
+		// gather the fragment from the cached frame's immutable payload.
+		if f.layout == nil {
+			f.p.release()
+			v.noteRetxMiss(sh)
+			return nil
+		}
+		plan := buildViewPlan(f.layout, f.p.wire, rec.omit, rec.coarse)
+		flags |= FlagTiled
+		payload, tile = plan.gather(nil, int(frag), mtu)
+	} else {
+		lo := int(frag) * mtu
+		hi := min(lo+mtu, len(f.p.wire))
+		payload = f.p.wire[lo:hi]
 	}
 	pkt := MarshalPacket(PacketHeader{
 		Flags:      flags,
@@ -581,7 +718,8 @@ func (v *Viewer) rebuildPacket(seq uint32) []byte {
 		Frag:       uint16(frag),
 		FragCount:  rec.n,
 		Seq:        seq,
-	}, f.p.wire[lo:hi])
+		Tile:       tile,
+	}, payload)
 	f.p.release()
 	v.mu.Lock()
 	v.retransmits++
@@ -611,6 +749,10 @@ func (v *Viewer) noteRetxMiss(sh *shard) {
 // PacketOut delivery chain.
 func (v *Viewer) HandleControl(c Control) error {
 	switch c.Kind {
+	case ControlViewport:
+		// A camera with FOVDegrees <= 0 clears the viewport (see
+		// SetViewport); anything else installs it for subsequent sends.
+		v.SetViewport(c.Camera)
 	case ControlRefresh:
 		v.mu.Lock()
 		v.refreshes++
