@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout fanout-scale adapt fec clean
+.PHONY: all build test race bench vet fmt fmt-check fuzz-smoke ci experiments experiments-full fanout fanout-scale adapt fec layers clean
 
 all: build test
 
@@ -30,13 +30,15 @@ fmt-check:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/attr
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrameFrom -fuzztime=20s ./internal/codec
+	$(GO) test -run='^$$' -fuzz=FuzzParseLayerDirectory -fuzztime=20s ./internal/codec
 	$(GO) test -run='^$$' -fuzz=FuzzParseFeedback -fuzztime=20s ./pcc/stream
 	$(GO) test -run='^$$' -fuzz=FuzzParseParity -fuzztime=20s ./pcc/stream
+	$(GO) test -run='^$$' -fuzz=FuzzParsePacket -fuzztime=20s ./pcc/stream
 
 # Everything the CI gate runs (see .github/workflows/ci.yml), including the
 # fan-out serving smoke (8 viewers against the aggregate frames/s floor)
 # and the CI-sized relay-tree viewer-scaling gate.
-ci: build vet fmt-check test race fuzz-smoke fec adapt fanout-scale
+ci: build vet fmt-check test race fuzz-smoke fec adapt fanout-scale layers
 	$(GO) run ./cmd/pccbench -scale 0.05 all
 	$(GO) run ./cmd/pccbench -viewers 8 -frames 20 -floor 80 fanout
 
@@ -77,6 +79,15 @@ fec:
 	$(GO) test -race -count=1 -run 'TestParityKnob|TestParityGroupLen|TestProbe' ./internal/codec
 	$(GO) test -race -count=1 -run 'TestFaultyLink' ./internal/linksim
 	$(GO) run ./cmd/pccbench -scale 0.008 -frames 60 -fec loss
+
+# Layered multi-rate serving gate: the differential layer-conformance and
+# per-viewer subscription tests under the race detector, then the layers
+# experiment against the committed BENCH_10.json (subscription sweep wire
+# ratios plus the split-link run: clean viewer >= 0.99 decoded at full
+# quality while the lossy viewer sheds >= 1 layer, shared encoder pinned).
+layers:
+	$(GO) test -race -count=1 -run 'Layer' ./internal/codec ./pcc/stream ./pcc
+	$(GO) run ./cmd/pccbench -baseline BENCH_10.json layers
 
 # Paper-scale canonical run (~30-45 min); regenerates results_full_scale.txt.
 experiments-full:

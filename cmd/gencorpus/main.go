@@ -110,6 +110,42 @@ func codecCorpus() [][]byte {
 	return entries
 }
 
+// layerCorpus: serialized layered containers (tiled and untiled) for the
+// layout/reader differential target, plus truncations and directory-byte
+// damage straddling every layer-prologue validation fence.
+func layerCorpus() [][]byte {
+	var entries [][]byte
+	fs := videoFrames(1)
+	for _, tiles := range []int{0, 4} {
+		opts := codec.OptionsFor(codec.IntraInterV1)
+		opts.IntraAttr.Segments = 32
+		opts.Inter.Segments = 48
+		opts.Inter.Candidates = 8
+		opts.Tiles = tiles
+		opts.Layers = 3
+		enc := codec.NewEncoder(dev(), opts)
+		ef, _, err := enc.EncodeFrame(fs[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ef.WriteTo(&buf); err != nil {
+			log.Fatal(err)
+		}
+		entries = append(entries, buf.Bytes())
+	}
+	full := entries[len(entries)-1] // the tiled+layered container
+	entries = append(entries,
+		full[:len(full)/2],      // truncated mid-payload
+		corrupt(full, 6, 0x04),  // flags byte: layered bit damage
+		corrupt(full, 20, 0xFF), // tile-directory damage
+		corrupt(full, 40, 0x01), // layer-prologue / record damage
+		corrupt(full, len(full)-1, 0x80),
+		[]byte("PCVF"), // magic alone
+	)
+	return entries
+}
+
 // attrCorpus: real intra attribute streams across parameter variants.
 func attrCorpus() [][]byte {
 	rng := rand.New(rand.NewSource(11))
@@ -211,6 +247,12 @@ func packetCorpus() [][]byte {
 		stream.MarshalControl(stream.Control{Kind: stream.ControlFeedback, StreamID: 1, FrameIndex: 30,
 			Feedback: stream.Feedback{Report: 2, HighestFrame: 30, Received: 480, Lost: 21,
 				NACKs: 25, Decoded: 10, Concealed: 1, Skipped: 1}}),
+		stream.MarshalPacket(stream.PacketHeader{Flags: stream.FlagLayered, StreamID: 3,
+			FrameIndex: 6, FrameType: codec.PFrame, FragCount: 2, Seq: 44, Layer: 1}, payload[:80]),
+		stream.MarshalPacket(stream.PacketHeader{Flags: stream.FlagTiled | stream.FlagLayered,
+			StreamID: 3, FrameIndex: 6, FrameType: codec.IFrame, FragCount: 3, Frag: 1, Seq: 45,
+			Tile: 2, Layer: 0}, payload[:80]),
+		stream.MarshalControl(stream.Control{Kind: stream.ControlLayers, StreamID: 3, Layers: 2}),
 	}
 	entries = append(entries,
 		corrupt(pkts[0], stream.PacketHeaderSize+1, 0x01), // payload bit → CRC fail
@@ -284,15 +326,16 @@ func main() {
 	flag.Parse()
 	decompress, roundTrip := entropyCorpus()
 	for dir, entries := range map[string][][]byte{
-		"internal/codec/testdata/fuzz/FuzzReadFrameFrom":     codecCorpus(),
-		"internal/attr/testdata/fuzz/FuzzDecode":             attrCorpus(),
-		"internal/entropy/testdata/fuzz/FuzzDecompressBytes": decompress,
-		"internal/entropy/testdata/fuzz/FuzzRoundTrip":       roundTrip,
-		"internal/entropy/testdata/fuzz/FuzzSliceDecoder":    decompress,
-		"internal/interframe/testdata/fuzz/FuzzDecodeP":      interframeCorpus(),
-		"pcc/stream/testdata/fuzz/FuzzParsePacket":           packetCorpus(),
-		"pcc/stream/testdata/fuzz/FuzzParseFeedback":         feedbackCorpus(),
-		"pcc/stream/testdata/fuzz/FuzzParseParity":           parityCorpus(),
+		"internal/codec/testdata/fuzz/FuzzReadFrameFrom":       codecCorpus(),
+		"internal/codec/testdata/fuzz/FuzzParseLayerDirectory": layerCorpus(),
+		"internal/attr/testdata/fuzz/FuzzDecode":               attrCorpus(),
+		"internal/entropy/testdata/fuzz/FuzzDecompressBytes":   decompress,
+		"internal/entropy/testdata/fuzz/FuzzRoundTrip":         roundTrip,
+		"internal/entropy/testdata/fuzz/FuzzSliceDecoder":      decompress,
+		"internal/interframe/testdata/fuzz/FuzzDecodeP":        interframeCorpus(),
+		"pcc/stream/testdata/fuzz/FuzzParsePacket":             packetCorpus(),
+		"pcc/stream/testdata/fuzz/FuzzParseFeedback":           feedbackCorpus(),
+		"pcc/stream/testdata/fuzz/FuzzParseParity":             parityCorpus(),
 	} {
 		if err := writeCorpus(filepath.Join(*root, dir), entries); err != nil {
 			log.Fatal(err)

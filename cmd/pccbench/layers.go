@@ -1,0 +1,409 @@
+package main
+
+// Layered encode-once, multi-rate serving benchmark (BENCH_10.json).
+//
+// `pccbench layers` measures the two tentpole claims of the layered codec:
+//
+//   - subscription sweep: one layered Server (L = layersL), one viewer per
+//     explicit subscription sub ∈ {full, 1..L-1}. Every viewer is fed from
+//     the SAME encode — the per-viewer bytes are zero-copy slices of the
+//     published container — so the wire bytes per subscription quantify
+//     what a drop decision costs and saves. Byte counts are deterministic;
+//     every truncated viewer must still decode every frame.
+//   - split-link serving: the same Server feeds two viewers over separate
+//     simulated links — one clean, one lossy. The lossy viewer runs the
+//     per-viewer layer controller (LayerAdapt) driven by its own feedback;
+//     the shared encoder has NO rate controller attached (Options.Adapt is
+//     zero), so any quality movement is provably a per-viewer drop
+//     decision. Gates: the clean viewer decodes >= layersGoodFloor of the
+//     frames at full quality, the lossy viewer sheds >= 1 enhancement
+//     layer, and the clean viewer's subscription never moves.
+//
+// Both halves replay identically from the link seeds and the virtual
+// clock, so the results are gateable everywhere. With -benchout it writes
+// BENCH_10.json; with -baseline it gates against the committed file.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/linksim"
+	"repro/pcc/stream"
+)
+
+const (
+	layersVideo     = "longdress"
+	layersScale     = 0.05
+	layersFrames    = 24
+	layersL         = 3    // published layers per frame
+	layersBadDrop   = 0.12 // split-link lossy viewer's packet drop rate
+	layersFeedback  = 4    // receiver feedback cadence in frames
+	layersGoodFloor = 0.99 // clean viewer decoded-frame ratio floor
+	layersShedFloor = 1    // lossy viewer must shed at least this many layers
+	layersGoodSeed  = 1
+	layersBadSeed   = 7
+)
+
+// LayerSweepRow is one explicit-subscription measurement: the wire bytes
+// and decode outcome of a viewer pinned at sub layers (0 = full quality).
+type LayerSweepRow struct {
+	Sub        int     `json:"sub"` // 0 = full subscription
+	WireBytes  int64   `json:"wire_bytes"`
+	Ratio      float64 `json:"ratio"` // vs the full viewer's bytes
+	Decoded    int     `json:"decoded_frames"`
+	MeanPoints float64 `json:"mean_points_per_frame"`
+}
+
+// LayerSplitResult is the split-link two-viewer run: per-viewer quality as
+// a drop decision, with the shared encoder's knobs pinned.
+type LayerSplitResult struct {
+	BadDropRate     float64 `json:"bad_drop_rate"`
+	GoodDecoded     int     `json:"good_decoded_frames"`
+	GoodRatio       float64 `json:"good_decoded_ratio"`
+	BadDecoded      int     `json:"bad_decoded_frames"`
+	BadRatio        float64 `json:"bad_decoded_ratio"`
+	GoodSub         int     `json:"good_sub_layers"` // must stay 0 (full)
+	BadSub          int     `json:"bad_sub_layers"`
+	BadShed         int     `json:"bad_shed_layers"`
+	BadDownswitches int64   `json:"bad_downswitches"`
+	GoodWireBytes   int64   `json:"good_wire_bytes"`
+	BadWireBytes    int64   `json:"bad_wire_bytes"`
+	// SharedAdaptOn records whether the shared encoder ran a rate
+	// controller. Always false here: the split is served with
+	// Options.Adapt zero, so the encode is bit-identical for both
+	// viewers and only the per-viewer drop decision differs.
+	SharedAdaptOn bool `json:"shared_adapt_on"`
+}
+
+// LayersFile is the BENCH_10.json schema.
+type LayersFile struct {
+	Benchmark string           `json:"benchmark"`
+	Video     string           `json:"video"`
+	Scale     float64          `json:"scale"`
+	Frames    int              `json:"frames"`
+	Layers    int              `json:"layers"`
+	Sweep     []LayerSweepRow  `json:"sweep"`
+	Split     LayerSplitResult `json:"split_link"`
+}
+
+func layersFrameSet() ([]*geom.VoxelCloud, error) {
+	spec, err := dataset.SpecByName(layersVideo)
+	if err != nil {
+		return nil, err
+	}
+	return loadFrames(spec, layersScale, layersFrames)
+}
+
+func layersOptions() codec.Options {
+	o := benchOptions(codec.IntraInterV1)
+	o.Layers = layersL
+	return o
+}
+
+// frameTally counts decoded frames and their sizes from a receiver's
+// OnFrame callback. Callbacks run on the owning viewer's sender goroutine;
+// the totals are read only after Server.Close has joined the senders.
+type frameTally struct {
+	mu      sync.Mutex
+	decoded int
+	points  int64
+}
+
+func (t *frameTally) onFrame(f stream.DecodedFrame) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f.Status == stream.FrameDecoded {
+		t.decoded++
+		if f.Cloud != nil {
+			t.points += int64(len(f.Cloud.Voxels))
+		}
+	}
+}
+
+func (t *frameTally) totals() (decoded int, points int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.decoded, t.points
+}
+
+// benchLayerSweep serves one layered encode to one viewer per explicit
+// subscription over clean in-process links and reports each viewer's wire
+// bytes and decode outcome.
+func benchLayerSweep(frames []*geom.VoxelCloud) ([]LayerSweepRow, error) {
+	opts := layersOptions()
+	srv := stream.NewServer(context.Background(), stream.ServerConfig{
+		Options:     opts,
+		ViewerQueue: len(frames) + 1,
+	})
+	subs := []int{0, 1, 2} // 0 = full quality; 1..L-1 = truncated
+	viewers := make([]*stream.Viewer, len(subs))
+	tallies := make([]*frameTally, len(subs))
+	receivers := make([]*stream.Receiver, len(subs))
+	for i, sub := range subs {
+		tally := &frameTally{}
+		rx := stream.NewReceiver(stream.ReceiverConfig{
+			Options: opts,
+			OnFrame: tally.onFrame,
+		})
+		v, err := srv.Attach(stream.ViewerConfig{
+			Layers: uint8(sub),
+			PacketOut: func(_ context.Context, pkt []byte) error {
+				rx.Ingest(pkt)
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		viewers[i], tallies[i], receivers[i] = v, tally, rx
+	}
+	for _, f := range frames {
+		if err := srv.Submit(context.Background(), f); err != nil {
+			return nil, err
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	var fullBytes int64
+	rows := make([]LayerSweepRow, len(subs))
+	for i, sub := range subs {
+		if err := receivers[i].Finish(len(frames)); err != nil {
+			return nil, fmt.Errorf("layers sweep sub=%d: %w", sub, err)
+		}
+		m := viewers[i].Metrics()
+		if m.FramesSent != int64(len(frames)) {
+			return nil, fmt.Errorf("layers sweep sub=%d: sent %d frames, want %d",
+				sub, m.FramesSent, len(frames))
+		}
+		decoded, points := tallies[i].totals()
+		if sub == 0 {
+			fullBytes = m.WireBytes
+		}
+		rows[i] = LayerSweepRow{
+			Sub:        sub,
+			WireBytes:  m.WireBytes,
+			Decoded:    decoded,
+			MeanPoints: round2(float64(points) / float64(len(frames))),
+		}
+	}
+	if fullBytes == 0 {
+		return nil, fmt.Errorf("layers sweep: full viewer sent no bytes")
+	}
+	for i := range rows {
+		rows[i].Ratio = round3(float64(rows[i].WireBytes) / float64(fullBytes))
+	}
+	return rows, nil
+}
+
+// benchLayerSplit runs the split-link scenario: one layered Server with NO
+// shared rate controller, a clean viewer and a lossy viewer on separate
+// seeded links, the lossy viewer steered only by its own layer controller.
+func benchLayerSplit(frames []*geom.VoxelCloud) (LayerSplitResult, error) {
+	opts := layersOptions() // Options.Adapt stays zero: shared knobs pinned
+	srv := stream.NewServer(context.Background(), stream.ServerConfig{
+		Options:     opts,
+		ViewerQueue: len(frames) + 1,
+	})
+	attach := func(fl *linksim.FaultyLink, cfg stream.ViewerConfig) (*stream.Viewer, *stream.LossyPipe, *frameTally, error) {
+		tally := &frameTally{}
+		pipe := stream.NewLossyPipe(fl, stream.ReceiverConfig{
+			Options:       opts,
+			OnFrame:       tally.onFrame,
+			FeedbackEvery: layersFeedback,
+		})
+		pipe.AttachServer(srv)
+		cfg.PacketOut = pipe.PacketOut
+		v, err := srv.Attach(cfg)
+		return v, pipe, tally, err
+	}
+	good, goodPipe, goodTally, err := attach(
+		linksim.NewFaultyLink(linksim.WiFi, linksim.FaultProfile{Seed: layersGoodSeed}),
+		stream.ViewerConfig{})
+	if err != nil {
+		return LayerSplitResult{}, err
+	}
+	bad, badPipe, badTally, err := attach(
+		linksim.NewFaultyLink(linksim.WiFi, linksim.FaultProfile{DropRate: layersBadDrop, Seed: layersBadSeed}),
+		stream.ViewerConfig{LayerAdapt: codec.LayerAdapt{Enabled: true}})
+	if err != nil {
+		return LayerSplitResult{}, err
+	}
+	for _, f := range frames {
+		if err := srv.Submit(context.Background(), f); err != nil {
+			return LayerSplitResult{}, err
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return LayerSplitResult{}, err
+	}
+	if err := goodPipe.Finish(len(frames)); err != nil {
+		return LayerSplitResult{}, fmt.Errorf("layers split: good finish: %w", err)
+	}
+	if err := badPipe.Finish(len(frames)); err != nil {
+		return LayerSplitResult{}, fmt.Errorf("layers split: bad finish: %w", err)
+	}
+	gm, bm := good.Metrics(), bad.Metrics()
+	goodDecoded, _ := goodTally.totals()
+	badDecoded, _ := badTally.totals()
+	res := LayerSplitResult{
+		BadDropRate:     layersBadDrop,
+		GoodDecoded:     goodDecoded,
+		GoodRatio:       round3(float64(goodDecoded) / float64(len(frames))),
+		BadDecoded:      badDecoded,
+		BadRatio:        round3(float64(badDecoded) / float64(len(frames))),
+		GoodSub:         int(gm.SubLayers),
+		BadSub:          int(bm.SubLayers),
+		BadDownswitches: bm.LayerDownswitches,
+		GoodWireBytes:   gm.WireBytes,
+		BadWireBytes:    bm.WireBytes,
+	}
+	if res.BadSub > 0 {
+		res.BadShed = layersL - res.BadSub
+	}
+	return res, nil
+}
+
+// runLayers is the `layers` experiment entry point (BENCH_10.json).
+func runLayers(cfg benchConfig) error {
+	frames, err := layersFrameSet()
+	if err != nil {
+		return err
+	}
+	out := LayersFile{
+		Benchmark: "layered-multi-rate-serving",
+		Video:     layersVideo,
+		Scale:     layersScale,
+		Frames:    layersFrames,
+		Layers:    layersL,
+	}
+	fmt.Printf("layered multi-rate serving: %s @ %.2f, %d frames, L=%d (encode once, slice per viewer)\n\n",
+		layersVideo, layersScale, layersFrames, layersL)
+
+	out.Sweep, err = benchLayerSweep(frames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %12s %8s %10s %14s\n", "sub", "wire bytes", "ratio", "decoded", "points/frame")
+	for _, r := range out.Sweep {
+		name := fmt.Sprintf("%d", r.Sub)
+		if r.Sub == 0 {
+			name = "full"
+		}
+		fmt.Printf("%-6s %12d %8.3f %10d %14.2f\n", name, r.WireBytes, r.Ratio, r.Decoded, r.MeanPoints)
+	}
+
+	out.Split, err = benchLayerSplit(frames)
+	if err != nil {
+		return err
+	}
+	sp := out.Split
+	fmt.Printf("\nsplit-link serving (shared encoder knobs pinned, Options.Adapt off):\n")
+	fmt.Printf("  %-14s decoded %2d/%d (%.3f), sub %d, %12d wire bytes\n",
+		"clean viewer", sp.GoodDecoded, layersFrames, sp.GoodRatio, sp.GoodSub, sp.GoodWireBytes)
+	fmt.Printf("  %-14s decoded %2d/%d (%.3f), sub %d (shed %d of %d, %d downswitches), %12d wire bytes\n",
+		"lossy viewer", sp.BadDecoded, layersFrames, sp.BadRatio, sp.BadSub,
+		sp.BadShed, layersL-1, sp.BadDownswitches, sp.BadWireBytes)
+	fmt.Println()
+
+	if *flagBenchOut != "" {
+		if err := writeLayersFile(*flagBenchOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *flagBenchOut)
+	}
+
+	// Hard gates — every number here is deterministic, so they hold on
+	// any host.
+	for _, r := range out.Sweep {
+		if r.Decoded != layersFrames {
+			return fmt.Errorf("layers gate: sub=%d decoded %d/%d frames over a clean link",
+				r.Sub, r.Decoded, layersFrames)
+		}
+		if r.Sub > 0 && r.Ratio >= 1 {
+			return fmt.Errorf("layers gate: sub=%d wire ratio %.3f, truncation saved nothing", r.Sub, r.Ratio)
+		}
+	}
+	if sp.GoodRatio < layersGoodFloor {
+		return fmt.Errorf("layers gate: clean viewer decoded ratio %.3f below the %.2f floor",
+			sp.GoodRatio, layersGoodFloor)
+	}
+	if sp.GoodSub != 0 {
+		return fmt.Errorf("layers gate: clean viewer's subscription moved to %d — per-viewer isolation broken", sp.GoodSub)
+	}
+	if sp.BadShed < layersShedFloor || sp.BadDownswitches < 1 {
+		return fmt.Errorf("layers gate: lossy viewer shed %d layers (%d downswitches), want >= %d",
+			sp.BadShed, sp.BadDownswitches, layersShedFloor)
+	}
+	if *flagBaseline != "" {
+		return gateLayers(*flagBaseline, out, *flagGate)
+	}
+	return nil
+}
+
+func writeLayersFile(path string, f LayersFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gateLayers compares the deterministic ratios against the committed
+// BENCH_10.json: each subscription's wire ratio may not grow past the
+// tolerance, and the split-link decode ratios may not fall below it.
+func gateLayers(path string, cur LayersFile, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("layers gate: %w", err)
+	}
+	var base LayersFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("layers gate: %s: %w", path, err)
+	}
+	fmt.Printf("regression gate vs %s (tolerance %.0f%%):\n", path, tol*100)
+	var failed bool
+	check := func(name string, cur, limit float64, over bool) {
+		status := "ok"
+		if (over && cur > limit) || (!over && cur < limit) {
+			status = "REGRESSED"
+			failed = true
+		}
+		bound := "floor"
+		if over {
+			bound = "cap"
+		}
+		fmt.Printf("  %-20s %8.3f (%s %8.3f)  %s\n", name, cur, bound, limit, status)
+	}
+	baseRatio := make(map[int]float64, len(base.Sweep))
+	for _, r := range base.Sweep {
+		baseRatio[r.Sub] = r.Ratio
+	}
+	for _, r := range cur.Sweep {
+		if r.Sub == 0 {
+			continue
+		}
+		if b, ok := baseRatio[r.Sub]; ok {
+			check(fmt.Sprintf("sub=%d wire ratio", r.Sub), r.Ratio, b*(1+tol), true)
+		}
+	}
+	check("clean decode ratio", cur.Split.GoodRatio, base.Split.GoodRatio*(1-tol), false)
+	check("lossy decode ratio", cur.Split.BadRatio, base.Split.BadRatio*(1-tol), false)
+	status := "ok"
+	if cur.Split.BadShed < layersShedFloor {
+		status = "REGRESSED"
+		failed = true
+	}
+	fmt.Printf("  %-20s %8d (floor %8d)  %s\n", "lossy shed layers", cur.Split.BadShed, layersShedFloor, status)
+	if failed {
+		return fmt.Errorf("layers gate: regressed beyond %.0f%% tolerance", tol*100)
+	}
+	fmt.Println("  gate passed")
+	return nil
+}

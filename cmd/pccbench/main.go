@@ -20,6 +20,7 @@
 //	pccbench fanout            multi-viewer serving fan-out (stream.Server)
 //	pccbench fanout-scale      relay-tree viewer scaling 64 → 16k (BENCH_6.json)
 //	pccbench tiles             tile-parallel encode sweep + viewport egress (BENCH_9.json)
+//	pccbench layers            layered multi-rate serving + split-link run (BENCH_10.json)
 //	pccbench all               everything above (except bench, fanout, fanout-scale)
 //
 // Flags:
@@ -65,7 +66,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench hotpath fanout fanout-scale tiles all\n")
+		fmt.Fprintf(os.Stderr, "usage: pccbench [flags] <experiment>\nexperiments: table1 fig2 fig3a fig3b fig8 fig9 fig10b power decode ablation future endtoend lod altcodecs viewport capture pipeline loss adapt bench hotpath fanout fanout-scale tiles layers all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -116,6 +117,7 @@ func main() {
 		"fanout":       runFanout,
 		"fanout-scale": runFanoutScale,
 		"tiles":        runTiles,
+		"layers":       runLayers,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"table1", "fig2", "fig3a", "fig3b", "fig8", "fig9", "fig10b", "power", "decode", "ablation", "future", "endtoend", "lod", "altcodecs", "viewport", "capture", "pipeline", "loss", "adapt"} {

@@ -1,0 +1,67 @@
+package attr
+
+import (
+	"bytes"
+
+	"repro/internal/geom"
+)
+
+// Base-layer attribute medians for the layered (encode-once, multi-rate)
+// container: the coarsest attribute representation is one RGB triple per
+// base-level octree cell — the per-channel lower median of the cell's leaf
+// colours, the same "Mid" statistic the Base+Deltas intra codec computes
+// per segment. The stream is self-contained and reference-free, so a
+// partial layer subscription decodes every frame standalone, P-frames
+// included.
+//
+// Wire format: uvarint cell count, then 3 bytes (R, G, B) per cell, in the
+// cells' Morton order.
+
+// EncodeBaseMedians encodes one RGB median per cell. runs holds the cell
+// boundaries over colors: cell c covers colors[runs[c]:runs[c+1]]
+// (len(runs) == cells+1, first element 0, last element len(colors),
+// strictly increasing — every cell non-empty).
+func EncodeBaseMedians(colors []geom.Color, runs []int) []byte {
+	var buf bytes.Buffer
+	cells := len(runs) - 1
+	if cells < 0 {
+		cells = 0
+	}
+	writeUvarint(&buf, uint64(cells))
+	scratch := medianScratch.Get().(*[]int32)
+	var r, g, b []int32
+	for c := 0; c < cells; c++ {
+		lo, hi := runs[c], runs[c+1]
+		n := hi - lo
+		r, g, b = grow(r, n), grow(g, n), grow(b, n)
+		for i, col := range colors[lo:hi] {
+			r[i], g[i], b[i] = int32(col.R), int32(col.G), int32(col.B)
+		}
+		buf.WriteByte(byte(medianOf(r, scratch)))
+		buf.WriteByte(byte(medianOf(g, scratch)))
+		buf.WriteByte(byte(medianOf(b, scratch)))
+	}
+	medianScratch.Put(scratch)
+	return buf.Bytes()
+}
+
+// DecodeBaseMedians inverts EncodeBaseMedians, returning one colour per
+// cell. The stream must be exactly consumed.
+func DecodeBaseMedians(data []byte) ([]geom.Color, error) {
+	r := bytes.NewReader(data)
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(data)) || uint64(r.Len()) != 3*n {
+		return nil, ErrBadStream
+	}
+	out := make([]geom.Color, n)
+	for i := range out {
+		cr, _ := r.ReadByte()
+		cg, _ := r.ReadByte()
+		cb, _ := r.ReadByte()
+		out[i] = geom.Color{R: cr, G: cg, B: cb}
+	}
+	return out, nil
+}

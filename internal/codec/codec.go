@@ -76,6 +76,14 @@ type Options struct {
 	// 0 or 1 keeps the untiled path (byte-identical streams); capped at
 	// MaxTiles. Baseline designs ignore it.
 	Tiles int
+	// Layers splits every proposed-design frame (and each tile of a tiled
+	// frame) into a base layer plus enhancement layers along the octree's
+	// BFS levels, each a self-contained byte range in the container
+	// directory, so per-viewer quality becomes a drop decision (see
+	// layer.go). 0 or 1 keeps the unlayered format (byte-identical
+	// streams); capped at MaxLayers and at the frame depth. Baseline
+	// designs ignore it.
+	Layers int
 	// Rate optionally closes the loop on the inter-frame threshold to hit
 	// a target compressed rate (extension of the Sec. VI-E knob).
 	Rate RateControl
@@ -122,6 +130,12 @@ func (o Options) normalized() Options {
 	}
 	if o.Tiles > MaxTiles {
 		o.Tiles = MaxTiles
+	}
+	if o.Layers < 2 {
+		o.Layers = 0
+	}
+	if o.Layers > MaxLayers {
+		o.Layers = MaxLayers
 	}
 	return o
 }
@@ -189,6 +203,10 @@ type Encoder struct {
 	recon        []geom.Color
 	// iBounds is the tiled P-path's reference-frame segment grid.
 	iBounds []int
+	// layerCols/layerRuns are the layerizer's per-unit scratch: the unit's
+	// leaf colours and the base-cell run boundaries over them.
+	layerCols []geom.Color
+	layerRuns []int
 	// refBufs ping-pong the reference voxel storage: the buffer installed at
 	// one I-frame is reused two I-frames later, when no P-frame can still
 	// read it.

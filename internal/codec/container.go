@@ -57,7 +57,11 @@ type EncodedFrame struct {
 	// are concatenations of per-tile self-contained chunks, sliced by the
 	// directory's byte lengths. NumPoints stays the FULL frame total even
 	// when tiles are omitted.
-	Tiles    []TileInfo
+	Tiles []TileInfo
+	// Layer, when non-nil, marks the frame as layered: every unit's
+	// geometry and attribute chunks are concatenations of per-layer
+	// slices, recorded in the layer directory (see layer.go).
+	Layer    *LayerDir
 	Geometry []byte
 	Attr     []byte
 }
@@ -68,8 +72,12 @@ func (f *EncodedFrame) Tiled() bool { return len(f.Tiles) > 0 }
 // Size returns the total compressed size in bytes (the Fig. 8c metric),
 // including the container header.
 func (f *EncodedFrame) Size() int64 {
-	return int64(frameHeaderSize(f.HasRescale)) + int64(tileDirSize(len(f.Tiles))) +
+	n := int64(frameHeaderSize(f.HasRescale)) + int64(tileDirSize(len(f.Tiles))) +
 		int64(len(f.Geometry)) + int64(len(f.Attr))
+	if f.Layered() {
+		n += int64(layerDirSize(layerUnits(len(f.Tiles)), int(f.Layer.Layers)))
+	}
+	return n
 }
 
 const frameMagic = "PCVF"
@@ -135,95 +143,218 @@ func tileDirSize(tiles int) int {
 // ErrBadContainer reports a malformed frame container.
 var ErrBadContainer = errors.New("codec: bad frame container")
 
-// FrameLayout maps a tiled frame's serialized form (as written by WriteTo)
-// without copying it: where the container header ends, where each tile's
-// geometry and attribute chunks sit, and the directory needed to rewrite
-// the frame per viewer. The streaming layer uses it to slice per-tile
-// payload spans straight out of an immutable published buffer.
+// FrameLayout maps a tiled and/or layered frame's serialized form (as
+// written by WriteTo) without copying it: where the container header ends,
+// where each unit's geometry and attribute chunks sit, and the directories
+// needed to rewrite the frame per viewer. The streaming layer uses it to
+// slice per-tile and per-layer payload spans straight out of an immutable
+// published buffer.
 type FrameLayout struct {
 	Type FrameType
 	// HeaderLen is the byte length of the container header including the
-	// tile directory and the trailing geomLen/attrLen fields — the offset
+	// directories and the trailing geomLen/attrLen fields — the offset
 	// of the first geometry byte.
 	HeaderLen int
-	// DirOff is the offset of the first directory record (after the u16
-	// tile count).
+	// DirOff is the offset of the first tile directory record (after the
+	// u16 tile count); meaningless when Tiles is empty.
 	DirOff int
 	Tiles  []TileInfo
-	// GeomOff / AttrOff hold len(Tiles)+1 absolute byte offsets: tile t's
-	// geometry chunk is wire[GeomOff[t]:GeomOff[t+1]], attributes likewise.
+	// GeomOff / AttrOff hold units+1 absolute byte offsets (units =
+	// max(len(Tiles), 1)): unit u's geometry chunk is
+	// wire[GeomOff[u]:GeomOff[u+1]], attributes likewise.
 	GeomOff []int
 	AttrOff []int
+	// Layered-frame fields (Layers == 0 when unlayered): the directory
+	// prologue values, the prologue's offset, and the unit-major per-layer
+	// byte lengths (len = units*Layers each).
+	Layers      int
+	Sub         int
+	BaseLevel   int
+	LayerDirOff int
+	LayerGeom   []uint32
+	LayerAttr   []uint32
 }
 
-// ParseFrameLayout parses a serialized frame's tile layout in place.
-// Returns nil for untiled frames and for anything inconsistent — callers
-// treat nil as "not sliceable" and fall back to whole-frame handling.
+// Layered reports whether the frame carries a layer directory.
+func (l *FrameLayout) Layered() bool { return l.Layers != 0 }
+
+// LayerUnits returns the layer directory's unit count.
+func (l *FrameLayout) LayerUnits() int { return layerUnits(len(l.Tiles)) }
+
+// ParseFrameLayout parses a serialized frame's tile/layer layout in place.
+// Returns nil for plain (untiled, unlayered) frames and for anything
+// inconsistent — callers treat nil as "not sliceable" and fall back to
+// whole-frame handling.
 func ParseFrameLayout(wire []byte) *FrameLayout {
 	const fixed = 4 + 1 + 1 + 1 + 4
 	if len(wire) < fixed || string(wire[:4]) != frameMagic {
 		return nil
 	}
-	flags := wire[6]
-	if flags&2 == 0 {
+	// Mirror ReadFrameFrom's structural checks exactly: a layout must never
+	// accept a container the reader rejects (the sender would slice and ship
+	// frames no receiver can parse). FuzzParseLayerDirectory pins this.
+	typ, depth, flags := FrameType(wire[4]), wire[5], wire[6]
+	if typ != IFrame && typ != PFrame {
+		return nil
+	}
+	if depth == 0 || depth > 21 {
+		return nil
+	}
+	if flags&(2|4) == 0 {
+		return nil
+	}
+	const maxReasonable = 1 << 30
+	numPoints := binary.LittleEndian.Uint32(wire[7:11])
+	if numPoints > maxReasonable {
 		return nil
 	}
 	off := fixed
 	if flags&1 == 1 {
 		off += 3*4 + 3*8
+		if len(wire) < off {
+			return nil
+		}
+		if binary.LittleEndian.Uint64(wire[fixed+12:fixed+20]) == 0 ||
+			binary.LittleEndian.Uint64(wire[fixed+20:fixed+28]) == 0 ||
+			binary.LittleEndian.Uint64(wire[fixed+28:fixed+36]) == 0 {
+			return nil
+		}
 	}
-	if len(wire) < off+2 {
-		return nil
+	l := &FrameLayout{Type: typ}
+	if flags&2 == 2 {
+		if len(wire) < off+2 {
+			return nil
+		}
+		tiles := int(binary.LittleEndian.Uint16(wire[off:]))
+		if tiles < 1 || tiles > MaxTiles {
+			return nil
+		}
+		l.DirOff = off + 2
+		if len(wire) < l.DirOff+tiles*tileRecordSize {
+			return nil
+		}
+		l.Tiles = make([]TileInfo, tiles)
+		var psum uint64
+		for t := range l.Tiles {
+			rec := wire[l.DirOff+t*tileRecordSize:]
+			ti := TileInfo{
+				Flags:   rec[0],
+				Points:  binary.LittleEndian.Uint32(rec[1:5]),
+				GeomLen: binary.LittleEndian.Uint32(rec[5:9]),
+				AttrLen: binary.LittleEndian.Uint32(rec[9:13]),
+			}
+			for a := 0; a < 3; a++ {
+				ti.Min[a] = binary.LittleEndian.Uint32(rec[13+4*a : 17+4*a])
+				ti.Max[a] = binary.LittleEndian.Uint32(rec[25+4*a : 29+4*a])
+			}
+			if ti.Flags&^uint8(TileOmitted|TileCoarse) != 0 || ti.Points == 0 {
+				return nil
+			}
+			if ti.Omitted() && (ti.GeomLen != 0 || ti.AttrLen != 0) {
+				return nil
+			}
+			if !ti.Omitted() && ti.Coarse() && ti.AttrLen != 0 {
+				return nil
+			}
+			for a := 0; a < 3; a++ {
+				if ti.Min[a] > ti.Max[a] {
+					return nil
+				}
+			}
+			psum += uint64(ti.Points)
+			l.Tiles[t] = ti
+		}
+		if psum != uint64(numPoints) {
+			return nil
+		}
+		off = l.DirOff + tiles*tileRecordSize
 	}
-	tiles := int(binary.LittleEndian.Uint16(wire[off:]))
-	if tiles < 1 || tiles > MaxTiles {
-		return nil
+	units := layerUnits(len(l.Tiles))
+	if flags&4 == 4 {
+		if len(wire) < off+3 {
+			return nil
+		}
+		l.LayerDirOff = off
+		l.Layers = int(wire[off])
+		l.Sub = int(wire[off+1])
+		l.BaseLevel = int(wire[off+2])
+		if l.Layers < 2 || l.Layers > MaxLayers || l.Sub < 1 || l.Sub > l.Layers {
+			return nil
+		}
+		if l.BaseLevel < 1 || l.BaseLevel != int(depth)-l.Layers+1 {
+			return nil
+		}
+		recs := off + 3
+		off = recs + units*l.Layers*8
+		if len(wire) < off {
+			return nil
+		}
+		l.LayerGeom = make([]uint32, units*l.Layers)
+		l.LayerAttr = make([]uint32, units*l.Layers)
+		for i := range l.LayerGeom {
+			l.LayerGeom[i] = binary.LittleEndian.Uint32(wire[recs+i*8:])
+			l.LayerAttr[i] = binary.LittleEndian.Uint32(wire[recs+i*8+4:])
+		}
 	}
-	dirOff := off + 2
-	headerLen := dirOff + tiles*tileRecordSize + 8
+	headerLen := off + 8
 	if len(wire) < headerLen {
 		return nil
 	}
-	l := &FrameLayout{
-		Type:      FrameType(wire[4]),
-		HeaderLen: headerLen,
-		DirOff:    dirOff,
-		Tiles:     make([]TileInfo, tiles),
-		GeomOff:   make([]int, tiles+1),
-		AttrOff:   make([]int, tiles+1),
-	}
-	var gsum, asum uint64
-	for t := range l.Tiles {
-		rec := wire[dirOff+t*tileRecordSize:]
-		ti := TileInfo{
-			Flags:   rec[0],
-			Points:  binary.LittleEndian.Uint32(rec[1:5]),
-			GeomLen: binary.LittleEndian.Uint32(rec[5:9]),
-			AttrLen: binary.LittleEndian.Uint32(rec[9:13]),
-		}
-		for a := 0; a < 3; a++ {
-			ti.Min[a] = binary.LittleEndian.Uint32(rec[13+4*a : 17+4*a])
-			ti.Max[a] = binary.LittleEndian.Uint32(rec[25+4*a : 29+4*a])
-		}
-		l.Tiles[t] = ti
-		gsum += uint64(ti.GeomLen)
-		asum += uint64(ti.AttrLen)
-	}
+	l.HeaderLen = headerLen
 	geomLen := binary.LittleEndian.Uint32(wire[headerLen-8 : headerLen-4])
 	attrLen := binary.LittleEndian.Uint32(wire[headerLen-4 : headerLen])
-	if gsum != uint64(geomLen) || asum != uint64(attrLen) {
+	if geomLen > maxReasonable || attrLen > maxReasonable {
 		return nil
 	}
 	if len(wire) != headerLen+int(geomLen)+int(attrLen) {
 		return nil
 	}
-	l.GeomOff[0] = headerLen
-	for t, ti := range l.Tiles {
-		l.GeomOff[t+1] = l.GeomOff[t] + int(ti.GeomLen)
+	if len(l.Tiles) > 0 {
+		var gsum, asum uint64
+		for _, ti := range l.Tiles {
+			gsum += uint64(ti.GeomLen)
+			asum += uint64(ti.AttrLen)
+		}
+		if gsum != uint64(geomLen) || asum != uint64(attrLen) {
+			return nil
+		}
 	}
+	if l.Layered() {
+		for u := 0; u < units; u++ {
+			ug, ua := uint64(geomLen), uint64(attrLen)
+			omitted := false
+			if len(l.Tiles) > 0 {
+				ug, ua = uint64(l.Tiles[u].GeomLen), uint64(l.Tiles[u].AttrLen)
+				omitted = l.Tiles[u].Omitted()
+			}
+			var gs, as uint64
+			for lay := 0; lay < l.Layers; lay++ {
+				g, a := l.LayerGeom[u*l.Layers+lay], l.LayerAttr[u*l.Layers+lay]
+				if lay >= l.Sub && (g != 0 || a != 0) {
+					return nil
+				}
+				if lay < l.Sub && !omitted && g == 0 {
+					return nil
+				}
+				gs += uint64(g)
+				as += uint64(a)
+			}
+			if gs != ug || as != ua {
+				return nil
+			}
+		}
+	}
+	l.GeomOff = make([]int, units+1)
+	l.AttrOff = make([]int, units+1)
+	l.GeomOff[0] = headerLen
 	l.AttrOff[0] = headerLen + int(geomLen)
-	for t, ti := range l.Tiles {
-		l.AttrOff[t+1] = l.AttrOff[t] + int(ti.AttrLen)
+	for u := 0; u < units; u++ {
+		glen, alen := int(geomLen), int(attrLen)
+		if len(l.Tiles) > 0 {
+			glen, alen = int(l.Tiles[u].GeomLen), int(l.Tiles[u].AttrLen)
+		}
+		l.GeomOff[u+1] = l.GeomOff[u] + glen
+		l.AttrOff[u+1] = l.AttrOff[u] + alen
 	}
 	return l
 }
@@ -236,24 +367,81 @@ func ParseFrameLayout(wire []byte) *FrameLayout {
 // re-encode, no payload copy. Point counts stay at the FULL values, so the
 // receiver's decoder keeps global indexing for reference concealment.
 func (l *FrameLayout) RewriteHeader(wire []byte, omit, coarse uint64) []byte {
+	return l.RewriteHeaderSub(wire, omit, coarse, 0)
+}
+
+// RewriteHeaderSub is RewriteHeader for layered frames: besides the tile
+// masks it truncates the frame to its first sub layers (0 = keep all),
+// patching the directory's Sub byte, the per-layer records, the tile
+// lengths, and the totals so the result validates as a self-contained
+// partial frame. Omitted units drop every layer; coarse units keep
+// geometry layers but drop all attribute bytes.
+func (l *FrameLayout) RewriteHeaderSub(wire []byte, omit, coarse uint64, sub uint8) []byte {
 	head := append([]byte(nil), wire[:l.HeaderLen]...)
 	var gsum, asum uint32
-	for t, ti := range l.Tiles {
-		rec := head[l.DirOff+t*tileRecordSize:]
-		bit := uint64(1) << uint(t)
-		g, a := ti.GeomLen, ti.AttrLen
-		switch {
-		case ti.Omitted() || omit&bit != 0:
-			rec[0] = ti.Flags | TileOmitted
-			g, a = 0, 0
-		case coarse&bit != 0:
-			rec[0] = ti.Flags | TileCoarse
-			a = 0
+	if !l.Layered() {
+		for t, ti := range l.Tiles {
+			rec := head[l.DirOff+t*tileRecordSize:]
+			bit := uint64(1) << uint(t)
+			g, a := ti.GeomLen, ti.AttrLen
+			switch {
+			case ti.Omitted() || omit&bit != 0:
+				rec[0] = ti.Flags | TileOmitted
+				g, a = 0, 0
+			case ti.Coarse() || coarse&bit != 0:
+				rec[0] = ti.Flags | TileCoarse
+				a = 0
+			}
+			binary.LittleEndian.PutUint32(rec[5:9], g)
+			binary.LittleEndian.PutUint32(rec[9:13], a)
+			gsum += g
+			asum += a
 		}
-		binary.LittleEndian.PutUint32(rec[5:9], g)
-		binary.LittleEndian.PutUint32(rec[9:13], a)
-		gsum += g
-		asum += a
+		binary.LittleEndian.PutUint32(head[l.HeaderLen-8:l.HeaderLen-4], gsum)
+		binary.LittleEndian.PutUint32(head[l.HeaderLen-4:l.HeaderLen], asum)
+		return head
+	}
+	subEff := int(sub)
+	if subEff == 0 || subEff > l.Layers {
+		subEff = l.Layers
+	}
+	head[l.LayerDirOff+1] = byte(subEff)
+	for u := 0; u < l.LayerUnits(); u++ {
+		unitOmit, unitCoarse := false, false
+		if len(l.Tiles) > 0 {
+			ti := l.Tiles[u]
+			bit := uint64(1) << uint(u)
+			unitOmit = ti.Omitted() || omit&bit != 0
+			unitCoarse = !unitOmit && (ti.Coarse() || coarse&bit != 0)
+		}
+		var ug, ua uint32
+		for lay := 0; lay < l.Layers; lay++ {
+			g, a := l.LayerGeom[u*l.Layers+lay], l.LayerAttr[u*l.Layers+lay]
+			if lay >= subEff || unitOmit {
+				g, a = 0, 0
+			}
+			if unitCoarse {
+				a = 0
+			}
+			rec := head[l.LayerDirOff+3+(u*l.Layers+lay)*8:]
+			binary.LittleEndian.PutUint32(rec[0:4], g)
+			binary.LittleEndian.PutUint32(rec[4:8], a)
+			ug += g
+			ua += a
+		}
+		if len(l.Tiles) > 0 {
+			rec := head[l.DirOff+u*tileRecordSize:]
+			switch {
+			case unitOmit:
+				rec[0] = l.Tiles[u].Flags | TileOmitted
+			case unitCoarse:
+				rec[0] = l.Tiles[u].Flags | TileCoarse
+			}
+			binary.LittleEndian.PutUint32(rec[5:9], ug)
+			binary.LittleEndian.PutUint32(rec[9:13], ua)
+		}
+		gsum += ug
+		asum += ua
 	}
 	binary.LittleEndian.PutUint32(head[l.HeaderLen-8:l.HeaderLen-4], gsum)
 	binary.LittleEndian.PutUint32(head[l.HeaderLen-4:l.HeaderLen], asum)
@@ -262,7 +450,11 @@ func (l *FrameLayout) RewriteHeader(wire []byte, omit, coarse uint64) []byte {
 
 // WriteTo serializes the frame. Implements io.WriterTo.
 func (f *EncodedFrame) WriteTo(w io.Writer) (int64, error) {
-	hdr := make([]byte, 0, frameHeaderSize(f.HasRescale)+tileDirSize(len(f.Tiles)))
+	layerDir := 0
+	if f.Layered() {
+		layerDir = layerDirSize(layerUnits(len(f.Tiles)), int(f.Layer.Layers))
+	}
+	hdr := make([]byte, 0, frameHeaderSize(f.HasRescale)+tileDirSize(len(f.Tiles))+layerDir)
 	hdr = append(hdr, frameMagic...)
 	hdr = append(hdr, byte(f.Type), f.Depth)
 	var flags byte
@@ -271,6 +463,9 @@ func (f *EncodedFrame) WriteTo(w io.Writer) (int64, error) {
 	}
 	if f.Tiled() {
 		flags |= 2
+	}
+	if f.Layered() {
+		flags |= 4
 	}
 	hdr = append(hdr, flags)
 	hdr = binary.LittleEndian.AppendUint32(hdr, f.NumPoints)
@@ -294,6 +489,16 @@ func (f *EncodedFrame) WriteTo(w io.Writer) (int64, error) {
 			}
 			for a := 0; a < 3; a++ {
 				hdr = binary.LittleEndian.AppendUint32(hdr, ti.Max[a])
+			}
+		}
+	}
+	if f.Layered() {
+		ld := f.Layer
+		hdr = append(hdr, ld.Layers, ld.Sub, ld.BaseLevel)
+		for _, spans := range ld.Units {
+			for _, s := range spans {
+				hdr = binary.LittleEndian.AppendUint32(hdr, s.GeomLen)
+				hdr = binary.LittleEndian.AppendUint32(hdr, s.AttrLen)
 			}
 		}
 	}
@@ -394,6 +599,37 @@ func ReadFrameFrom(r io.Reader) (*EncodedFrame, error) {
 			f.Tiles[t] = ti
 		}
 	}
+	if fixed[6]&4 == 4 {
+		pro := make([]byte, 3)
+		if _, err := io.ReadFull(r, pro); err != nil {
+			return nil, ErrBadContainer
+		}
+		layers, sub, base := int(pro[0]), int(pro[1]), int(pro[2])
+		if layers < 2 || layers > MaxLayers || sub < 1 || sub > layers {
+			return nil, ErrBadContainer
+		}
+		if base < 1 || base != int(f.Depth)-layers+1 {
+			return nil, ErrBadContainer
+		}
+		units := layerUnits(len(f.Tiles))
+		dir := make([]byte, units*layers*8)
+		if _, err := io.ReadFull(r, dir); err != nil {
+			return nil, ErrBadContainer
+		}
+		ld := &LayerDir{Layers: pro[0], Sub: pro[1], BaseLevel: pro[2], Units: make([][]LayerSpan, units)}
+		for u := 0; u < units; u++ {
+			spans := make([]LayerSpan, layers)
+			for l := range spans {
+				rec := dir[(u*layers+l)*8:]
+				spans[l] = LayerSpan{
+					GeomLen: binary.LittleEndian.Uint32(rec[0:4]),
+					AttrLen: binary.LittleEndian.Uint32(rec[4:8]),
+				}
+			}
+			ld.Units[u] = spans
+		}
+		f.Layer = ld
+	}
 	lens := make([]byte, 8)
 	if _, err := io.ReadFull(r, lens); err != nil {
 		return nil, ErrBadContainer
@@ -413,6 +649,34 @@ func ReadFrameFrom(r io.Reader) (*EncodedFrame, error) {
 		}
 		if pts != uint64(f.NumPoints) || gsum != uint64(geomLen) || asum != uint64(attrLen) {
 			return nil, ErrBadContainer
+		}
+	}
+	if f.Layered() {
+		// Every unit's kept-layer spans must sum to its chunk lengths, the
+		// stripped layers (l >= Sub) must be all-zero, and every kept layer
+		// of a non-omitted unit carries at least its geometry mode byte.
+		sub := int(f.Layer.Sub)
+		for u, spans := range f.Layer.Units {
+			ug, ua := uint64(geomLen), uint64(attrLen)
+			omitted := false
+			if f.Tiled() {
+				ug, ua = uint64(f.Tiles[u].GeomLen), uint64(f.Tiles[u].AttrLen)
+				omitted = f.Tiles[u].Omitted()
+			}
+			var gs, as uint64
+			for l, s := range spans {
+				if l >= sub && (s.GeomLen != 0 || s.AttrLen != 0) {
+					return nil, ErrBadContainer
+				}
+				if l < sub && !omitted && s.GeomLen == 0 {
+					return nil, ErrBadContainer
+				}
+				gs += uint64(s.GeomLen)
+				as += uint64(s.AttrLen)
+			}
+			if gs != ug || as != ua {
+				return nil, ErrBadContainer
+			}
 		}
 	}
 	f.Geometry = make([]byte, geomLen)

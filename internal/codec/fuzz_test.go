@@ -40,3 +40,100 @@ func FuzzReadFrameFrom(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseLayerDirectory drives the zero-copy layout parser with arbitrary
+// bytes and holds it to a DIFFERENTIAL invariant against the container
+// reader: whenever ParseFrameLayout accepts a buffer, ReadFrameFrom must
+// accept the same bytes, re-serialize them identically, and the layout's
+// directory view must match the parsed frame's. On layered layouts the
+// per-viewer truncation must also produce a frame the reader accepts.
+func FuzzParseLayerDirectory(f *testing.F) {
+	// Seed with real layered containers, tiled and untiled, plus mutations
+	// the parser must reject structurally.
+	for _, tiles := range []int{0, 4} {
+		opts := scaledOpts(IntraInterV1, frames(f, 1)[0].Len())
+		opts.Tiles = tiles
+		opts.Layers = 3
+		enc := NewEncoder(dev(), opts)
+		ef, _, err := enc.EncodeFrame(frames(f, 1)[0])
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ef.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		wire := buf.Bytes()
+		f.Add(append([]byte(nil), wire...))
+		f.Add(append([]byte(nil), wire[:len(wire)/2]...))
+		for _, off := range []int{6, 20, 40, len(wire) - 1} {
+			mut := append([]byte(nil), wire...)
+			mut[off] ^= 0x41
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte("PCVF"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := ParseFrameLayout(data)
+		if l == nil {
+			return
+		}
+		ef, err := ReadFrameFrom(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("layout accepted but reader rejected: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := ef.WriteTo(&out); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatal("layout-accepted container does not round-trip byte-identically")
+		}
+		if len(l.Tiles) != len(ef.Tiles) {
+			t.Fatalf("layout has %d tiles, frame has %d", len(l.Tiles), len(ef.Tiles))
+		}
+		for i := range l.Tiles {
+			if l.Tiles[i] != ef.Tiles[i] {
+				t.Fatalf("tile %d mismatch", i)
+			}
+		}
+		if l.Layered() != ef.Layered() {
+			t.Fatal("layered-ness disagreement")
+		}
+		if !l.Layered() {
+			return
+		}
+		if l.Layers != int(ef.Layer.Layers) || l.Sub != int(ef.Layer.Sub) ||
+			l.BaseLevel != int(ef.Layer.BaseLevel) {
+			t.Fatal("layer prologue mismatch")
+		}
+		for u := 0; u < l.LayerUnits(); u++ {
+			for lay := 0; lay < l.Layers; lay++ {
+				s := ef.Layer.Units[u][lay]
+				if l.LayerGeom[u*l.Layers+lay] != s.GeomLen || l.LayerAttr[u*l.Layers+lay] != s.AttrLen {
+					t.Fatalf("unit %d layer %d span mismatch", u, lay)
+				}
+			}
+		}
+		// The base-only truncation must itself be a valid container.
+		part := l.RewriteHeaderSub(data, 0, 0, 1)
+		for u := 0; u < l.LayerUnits(); u++ {
+			if len(l.Tiles) > 0 && l.Tiles[u].Omitted() {
+				continue
+			}
+			n := int(l.LayerGeom[u*l.Layers])
+			part = append(part, data[l.GeomOff[u]:l.GeomOff[u]+n]...)
+		}
+		for u := 0; u < l.LayerUnits(); u++ {
+			if len(l.Tiles) > 0 && (l.Tiles[u].Omitted() || l.Tiles[u].Coarse()) {
+				continue
+			}
+			n := int(l.LayerAttr[u*l.Layers])
+			part = append(part, data[l.AttrOff[u]:l.AttrOff[u]+n]...)
+		}
+		if _, err := ReadFrameFrom(bytes.NewReader(part)); err != nil {
+			t.Fatalf("base-only truncation rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,484 @@
+package codec
+
+// Layered encode-once, multi-rate serving (the PR 10 tentpole).
+//
+// A layered frame splits every unit's streams — a unit is one tile of a
+// tiled frame, or the whole frame otherwise — into a base layer plus
+// enhancement layers, each a self-contained byte range recorded in the
+// container directory next to the tile records. Quality then becomes a
+// per-viewer DROP decision: the streaming layer slices any subscription
+// zero-copy out of the published wire, and a full subscription is
+// byte-identical to the unlayered send.
+//
+// Geometry cut rule: the BFS occupancy stream is level-ordered, so a byte
+// prefix is a complete coarse octree (pcc/progressive.go). With L layers
+// over a depth-D tree, BaseLevel = D-L+1: layer 0 carries mask levels
+// [0, BaseLevel), and enhancement layer l carries exactly mask level
+// BaseLevel+l-1 — each enhancement refines the cloud by one octree level.
+// Every layer is wrapped [mode][payload] like the unlayered geometry chunk
+// (0 = raw, 1 = entropy). Entropy, when enabled, is coded PER LAYER: that
+// is the per-level flush point progressive decode needs — base-layer
+// decode touches only base-layer bytes, never the tail of a frame-wide
+// entropy stream.
+//
+// Attribute cut rule: the top layer carries the unit's complete original
+// attribute chunk verbatim (full-subscription decode is exactly the
+// unlayered decode); layer 0 carries one RGB median per base-level cell
+// (mode byte 2, attr.EncodeBaseMedians) computed from the CURRENT frame's
+// colours, so a partial subscription decodes standalone — P-frames
+// included, no reference needed; middle layers carry no attribute bytes.
+
+import (
+	"math/bits"
+
+	"repro/internal/attr"
+	"repro/internal/entropy"
+	"repro/internal/geom"
+	"repro/internal/morton"
+	"repro/internal/paroctree"
+)
+
+// MaxLayers caps the layer count per frame: subscriptions travel as one
+// byte on the wire and the layer directory grows with units x layers.
+const MaxLayers = 8
+
+// LayerSpan is one unit x layer directory entry: the byte lengths of that
+// layer's slice of the unit's geometry and attribute chunks.
+type LayerSpan struct {
+	GeomLen uint32
+	AttrLen uint32
+}
+
+// LayerDir is a layered frame's directory. Within a unit, the geometry
+// chunk is the concatenation of the L per-layer geometry slices in layer
+// order, and likewise for attributes.
+type LayerDir struct {
+	// Layers is the total layer count L (2..MaxLayers).
+	Layers uint8
+	// Sub is how many leading layers this serialized copy carries
+	// (1..Layers). Published frames have Sub == Layers; a per-viewer
+	// partial copy keeps the first Sub layers' bytes and zeroes the
+	// directory entries of the rest.
+	Sub uint8
+	// BaseLevel is the octree level of the base layer's cells:
+	// BaseLevel == Depth-Layers+1, so each enhancement layer refines by
+	// exactly one level.
+	BaseLevel uint8
+	// Units is unit-major: Units[u][l] is unit u's layer-l spans. A unit
+	// is tile u for tiled frames and the whole frame otherwise.
+	Units [][]LayerSpan
+}
+
+// Layered reports whether the frame carries a layer directory.
+func (f *EncodedFrame) Layered() bool { return f.Layer != nil }
+
+// layerUnits returns the unit count of a frame with the given tile count.
+func layerUnits(tiles int) int {
+	if tiles == 0 {
+		return 1
+	}
+	return tiles
+}
+
+// layerDirSize returns the directory's wire size: the L/Sub/BaseLevel
+// prologue plus one 8-byte span per unit x layer. Zero when unlayered.
+func layerDirSize(units, layers int) int {
+	if layers == 0 {
+		return 0
+	}
+	return 3 + units*layers*8
+}
+
+// layersFor returns the effective layer count for a frame of this depth:
+// Options.Layers clamped so every layer refines by a whole octree level,
+// or 0 when the frame stays unlayered.
+func (o Options) layersFor(depth uint) int {
+	l := o.Layers
+	if l > int(depth) {
+		l = int(depth)
+	}
+	if l < 2 {
+		return 0
+	}
+	return l
+}
+
+// levelOffsets walks a BFS occupancy stream and returns each level's first
+// byte offset: off[d] is where level d's masks start (off has depth+1
+// entries, off[depth] == len(stream)). This is how the layerizer finds the
+// per-level cut points without retaining any octree state.
+func levelOffsets(stream []byte, depth uint) ([]int, error) {
+	off := make([]int, depth+1)
+	nodes, pos := 1, 0
+	for d := uint(0); d < depth; d++ {
+		off[d] = pos
+		if pos+nodes > len(stream) {
+			return nil, ErrBadContainer
+		}
+		next := 0
+		for _, m := range stream[pos : pos+nodes] {
+			next += bits.OnesCount8(m)
+		}
+		pos += nodes
+		nodes = next
+	}
+	off[depth] = pos
+	if pos != len(stream) {
+		return nil, ErrBadContainer
+	}
+	return off, nil
+}
+
+// layerize rewrites a freshly encoded proposed-design frame in place into
+// its layered form: per-unit geometry sliced at the level cuts (with
+// per-layer entropy when enabled), base-median + verbatim-top attribute
+// layers, and the filled directory. Called at the end of the attribute
+// phase for both the untiled and tiled paths; a no-op unless
+// Options.Layers is set and the frame is deep enough for two layers.
+func (e *Encoder) layerize(frame *EncodedFrame, sorted []morton.Keyed) error {
+	depth := uint(frame.Depth)
+	l := e.opts.layersFor(depth)
+	if l == 0 {
+		return nil
+	}
+	baseLevel := int(depth) - l + 1
+	units := layerUnits(len(frame.Tiles))
+	ld := &LayerDir{
+		Layers:    uint8(l),
+		Sub:       uint8(l),
+		BaseLevel: uint8(baseLevel),
+		Units:     make([][]LayerSpan, units),
+	}
+	var err error
+	var geomOut, attrOut []byte
+	e.dev.Stage("Layer", func() {
+		gOff, aOff, pOff := 0, 0, 0
+		for u := 0; u < units; u++ {
+			glen, alen, pts := len(frame.Geometry), len(frame.Attr), len(sorted)
+			if frame.Tiled() {
+				ti := frame.Tiles[u]
+				glen, alen, pts = int(ti.GeomLen), int(ti.AttrLen), int(ti.Points)
+			}
+			gchunk := frame.Geometry[gOff : gOff+glen]
+			achunk := frame.Attr[aOff : aOff+alen]
+			leaves := sorted[pOff : pOff+pts]
+			gOff, aOff, pOff = gOff+glen, aOff+alen, pOff+pts
+
+			// Layered encodes force raw geometry chunks (entropy moves
+			// per-layer), so the mask stream is directly sliceable.
+			if len(gchunk) == 0 || gchunk[0] != 0 {
+				err = ErrBadContainer
+				return
+			}
+			raw := gchunk[1:]
+			var offs []int
+			if offs, err = levelOffsets(raw, depth); err != nil {
+				return
+			}
+			spans := make([]LayerSpan, l)
+			gBase := len(geomOut)
+			if e.opts.EntropyGeometry {
+				e.dev.CPUSerial("GeomEntropy", len(raw), costEntropyByte, func() {
+					for lay := 0; lay < l; lay++ {
+						lo, hi := layerCut(offs, baseLevel, lay)
+						geomOut = append(geomOut, 1)
+						geomOut = entropy.AppendCompressBytes(geomOut, raw[lo:hi])
+						spans[lay].GeomLen = uint32(len(geomOut) - gBase)
+						gBase = len(geomOut)
+					}
+				})
+			} else {
+				for lay := 0; lay < l; lay++ {
+					lo, hi := layerCut(offs, baseLevel, lay)
+					geomOut = append(geomOut, 0)
+					geomOut = append(geomOut, raw[lo:hi]...)
+					spans[lay].GeomLen = uint32(1 + hi - lo)
+				}
+			}
+
+			// Attribute base layer: one median per base-level cell of this
+			// unit's leaves; top layer: the original chunk verbatim.
+			shift := 3 * uint(l-1)
+			e.layerRuns = e.layerRuns[:0]
+			e.layerCols = grow(e.layerCols, len(leaves))
+			var prev morton.Code
+			for i, k := range leaves {
+				e.layerCols[i] = k.Voxel.C
+				if anc := k.Code >> shift; i == 0 || anc != prev {
+					e.layerRuns = append(e.layerRuns, i)
+					prev = anc
+				}
+			}
+			e.layerRuns = append(e.layerRuns, len(leaves))
+			base := append([]byte{2}, attr.EncodeBaseMedians(e.layerCols, e.layerRuns)...)
+			spans[0].AttrLen = uint32(len(base))
+			spans[l-1].AttrLen = uint32(len(achunk))
+			attrOut = append(attrOut, base...)
+			attrOut = append(attrOut, achunk...)
+
+			if frame.Tiled() {
+				var gs, as uint32
+				for _, s := range spans {
+					gs += s.GeomLen
+					as += s.AttrLen
+				}
+				frame.Tiles[u].GeomLen = gs
+				frame.Tiles[u].AttrLen = as
+			}
+			ld.Units[u] = spans
+		}
+	})
+	if err != nil {
+		return err
+	}
+	frame.Geometry = geomOut
+	frame.Attr = attrOut
+	frame.Layer = ld
+	return nil
+}
+
+// layerCut returns layer lay's byte range within a raw occupancy stream
+// whose level offsets are offs: layer 0 is the whole prefix below
+// baseLevel, enhancement layer l is exactly mask level baseLevel+l-1.
+func layerCut(offs []int, baseLevel, lay int) (lo, hi int) {
+	if lay == 0 {
+		return 0, offs[baseLevel]
+	}
+	return offs[baseLevel+lay-1], offs[baseLevel+lay]
+}
+
+// decodeLayered decodes a layered frame. A full subscription (Sub ==
+// Layers) reassembles every unit's original chunks and delegates to the
+// unlayered decoders — bit-exact output and reference handling. A partial
+// subscription decodes the geometry prefix to level BaseLevel+Sub-1,
+// paints each cell with its base-cell median, and upscales to the full
+// lattice exactly like DecodeProgressive; it never touches or installs the
+// GOP reference (partial P-frames are standalone, and a partial I-frame
+// cannot serve as a reference, so it clears any stale one).
+func (d *Decoder) decodeLayered(f *EncodedFrame) (*geom.VoxelCloud, error) {
+	ld := f.Layer
+	l, sub := int(ld.Layers), int(ld.Sub)
+	depth := uint(f.Depth)
+	if l < 2 || l > MaxLayers || sub < 1 || sub > l || int(ld.BaseLevel) != int(depth)-l+1 || ld.BaseLevel < 1 {
+		return nil, ErrBadContainer
+	}
+	units := layerUnits(len(f.Tiles))
+	if len(ld.Units) != units {
+		return nil, ErrBadContainer
+	}
+	// Unit chunk bounds + structural directory validation (frames arriving
+	// via ReadFrameFrom are already checked; in-memory frames get the same
+	// treatment).
+	gUnit := make([]int, units+1)
+	aUnit := make([]int, units+1)
+	for u := 0; u < units; u++ {
+		glen, alen := len(f.Geometry), len(f.Attr)
+		if f.Tiled() {
+			glen, alen = int(f.Tiles[u].GeomLen), int(f.Tiles[u].AttrLen)
+		}
+		gUnit[u+1] = gUnit[u] + glen
+		aUnit[u+1] = aUnit[u] + alen
+		spans := ld.Units[u]
+		if len(spans) != l {
+			return nil, ErrBadContainer
+		}
+		omitted := f.Tiled() && f.Tiles[u].Omitted()
+		var gs, as uint64
+		for lay, s := range spans {
+			if lay >= sub && (s.GeomLen != 0 || s.AttrLen != 0) {
+				return nil, ErrBadContainer
+			}
+			if lay < sub && !omitted && s.GeomLen == 0 {
+				return nil, ErrBadContainer
+			}
+			gs += uint64(s.GeomLen)
+			as += uint64(s.AttrLen)
+		}
+		if gs != uint64(glen) || as != uint64(alen) {
+			return nil, ErrBadContainer
+		}
+	}
+	if gUnit[units] != len(f.Geometry) || aUnit[units] != len(f.Attr) {
+		return nil, ErrBadContainer
+	}
+	if sub == l {
+		return d.decodeLayeredFull(f, gUnit, aUnit)
+	}
+	return d.decodeLayeredPartial(f, gUnit, aUnit)
+}
+
+// decodeLayeredFull strips the layering: per unit, concatenate the
+// decompressed geometry layers back into one raw chunk and take the top
+// attribute layer verbatim, then hand the reassembled unlayered frame to
+// the regular decoders.
+func (d *Decoder) decodeLayeredFull(f *EncodedFrame, gUnit, aUnit []int) (*geom.VoxelCloud, error) {
+	ld := f.Layer
+	l := int(ld.Layers)
+	clone := *f
+	clone.Layer = nil
+	if f.Tiled() {
+		clone.Tiles = append([]TileInfo(nil), f.Tiles...)
+	}
+	var geomOut, attrOut []byte
+	for u := range ld.Units {
+		spans := ld.Units[u]
+		pos := gUnit[u]
+		gBase := len(geomOut)
+		started := false
+		for _, s := range spans {
+			if s.GeomLen == 0 {
+				continue
+			}
+			chunk := f.Geometry[pos : pos+int(s.GeomLen)]
+			pos += int(s.GeomLen)
+			payload := chunk[1:]
+			switch chunk[0] {
+			case 0:
+			case 1:
+				var err error
+				if payload, err = entropy.DecompressBytes(payload); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, ErrBadContainer
+			}
+			if !started {
+				geomOut = append(geomOut, 0)
+				started = true
+			}
+			geomOut = append(geomOut, payload...)
+		}
+		// Top attribute layer sits after all lower layers' attr bytes.
+		aPos := aUnit[u]
+		for _, s := range spans[:l-1] {
+			aPos += int(s.AttrLen)
+		}
+		aBase := len(attrOut)
+		attrOut = append(attrOut, f.Attr[aPos:aPos+int(spans[l-1].AttrLen)]...)
+		if f.Tiled() {
+			clone.Tiles[u].GeomLen = uint32(len(geomOut) - gBase)
+			clone.Tiles[u].AttrLen = uint32(len(attrOut) - aBase)
+		}
+	}
+	clone.Geometry = geomOut
+	clone.Attr = attrOut
+	if clone.Tiled() {
+		return d.decodeTiledProposed(&clone)
+	}
+	return d.decodeProposed(&clone)
+}
+
+// decodeLayeredPartial decodes the first Sub layers: geometry to level
+// BaseLevel+Sub-1, colours from the base-layer medians (zero for coarse
+// tiles), cells upscaled to the full lattice at their centres.
+func (d *Decoder) decodeLayeredPartial(f *EncodedFrame, gUnit, aUnit []int) (*geom.VoxelCloud, error) {
+	ld := f.Layer
+	sub := int(ld.Sub)
+	depth := uint(f.Depth)
+	level := uint(int(ld.BaseLevel) + sub - 1)
+	shift := 3 * (level - uint(ld.BaseLevel))
+	var allCodes []morton.Code
+	var allColors []geom.Color
+	var last morton.Code
+	have := false
+	for u := range ld.Units {
+		if f.Tiled() && f.Tiles[u].Omitted() {
+			continue
+		}
+		spans := ld.Units[u]
+		// Reassemble the kept geometry prefix.
+		var raw []byte
+		pos := gUnit[u]
+		for _, s := range spans[:sub] {
+			chunk := f.Geometry[pos : pos+int(s.GeomLen)]
+			pos += int(s.GeomLen)
+			payload := chunk[1:]
+			switch chunk[0] {
+			case 0:
+			case 1:
+				var err error
+				if payload, err = entropy.DecompressBytes(payload); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, ErrBadContainer
+			}
+			raw = append(raw, payload...)
+		}
+		lod, err := paroctree.DeserializeLoD(d.dev, raw, depth, level)
+		if err != nil {
+			return nil, err
+		}
+		if lod.PrefixBytes != len(raw) || len(lod.Codes) == 0 {
+			return nil, ErrBadContainer
+		}
+		codes := lod.Codes
+		cols := make([]geom.Color, len(codes))
+		if coarse := f.Tiled() && f.Tiles[u].Coarse(); !coarse {
+			achunk := f.Attr[aUnit[u] : aUnit[u]+int(spans[0].AttrLen)]
+			if len(achunk) == 0 || achunk[0] != 2 {
+				return nil, ErrBadContainer
+			}
+			meds, err := attr.DecodeBaseMedians(achunk[1:])
+			if err != nil {
+				return nil, err
+			}
+			// Paint each level cell with its base-cell median: cells of one
+			// base cell are contiguous in Morton order.
+			run := -1
+			var prev morton.Code
+			for i, c := range codes {
+				if anc := c >> shift; run < 0 || anc != prev {
+					run++
+					prev = anc
+				}
+				if run >= len(meds) {
+					return nil, ErrBadContainer
+				}
+				cols[i] = meds[run]
+			}
+			if run+1 != len(meds) {
+				return nil, ErrBadContainer
+			}
+		}
+		// Merge across units: strictly ascending, except that adjacent
+		// tiles may share the boundary cell their cut splits — drop the
+		// duplicate (the first tile's median wins).
+		if have && len(codes) > 0 {
+			if codes[0] < last {
+				return nil, ErrBadContainer
+			}
+			if codes[0] == last {
+				codes, cols = codes[1:], cols[1:]
+			}
+		}
+		if len(codes) > 0 {
+			last = codes[len(codes)-1]
+			have = true
+		}
+		allCodes = append(allCodes, codes...)
+		allColors = append(allColors, cols...)
+	}
+	if f.Type == IFrame {
+		// A partial I-frame cannot serve as a GOP reference; drop any
+		// stale one so a malformed stream cannot pair it with a full P.
+		d.refSorted = nil
+	}
+	if len(allCodes) == 0 {
+		return &geom.VoxelCloud{Depth: depth}, nil
+	}
+	lr := &paroctree.LoDResult{Level: level, Codes: allCodes}
+	voxels := lr.UpscaleToLattice(d.dev, depth)
+	for i := range voxels {
+		voxels[i].C = allColors[i]
+	}
+	if f.HasRescale {
+		out := make([]geom.Voxel, len(voxels))
+		r := f.Rescale
+		d.dev.GPUKernelIdx("InverseRescale", len(voxels), costRescale, func(i int) {
+			out[i] = r.Invert(voxels[i])
+		})
+		voxels = out
+	}
+	return &geom.VoxelCloud{Depth: depth, Voxels: voxels}, nil
+}

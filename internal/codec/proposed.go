@@ -111,7 +111,10 @@ func (e *Encoder) proposedGeometry(dev *edgesim.Device, vc *geom.VoxelCloud) (*G
 		return nil, err
 	}
 	if !tiled {
-		if e.opts.EntropyGeometry {
+		// Layered frames keep the chunk raw here: entropy moves into the
+		// per-layer slices (layer.go), the per-level flush points that make
+		// a base-layer prefix decodable on its own.
+		if e.opts.EntropyGeometry && e.opts.layersFor(vc.Depth) == 0 {
 			// Optional entropy stage (Sec. IV-B3 ablation): ~halves the
 			// geometry stream, costs ~100 ms of serial coding at 1 M points.
 			out := make([]byte, 1, 64+len(geomRaw)/2)
@@ -148,7 +151,14 @@ func (e *Encoder) proposedAttr(g *GeometryIntermediate, isP bool) (*EncodedFrame
 	// by-product (no decode round-trip).
 	needRef := !isP && e.opts.Design.UsesInter()
 	if g.plan.tiles() > 0 {
-		return e.tiledAttr(g, isP, needRef)
+		tf, attrDelta, err := e.tiledAttr(g, isP, needRef)
+		if err == nil {
+			err = e.layerize(tf, g.sorted)
+		}
+		if err != nil {
+			return nil, edgesim.Snapshot{}, err
+		}
+		return tf, attrDelta, nil
 	}
 
 	var err error
@@ -202,12 +212,18 @@ func (e *Encoder) proposedAttr(g *GeometryIntermediate, isP bool) (*EncodedFrame
 		}
 		e.setRef(ref)
 	}
+	if err := e.layerize(frame, sorted); err != nil {
+		return nil, edgesim.Snapshot{}, err
+	}
 	return frame, attrDelta, nil
 }
 
 // decodeProposed inverts encodeProposed. The inter designs require frames
 // to be decoded in stream order (P-frames need the preceding I).
 func (d *Decoder) decodeProposed(f *EncodedFrame) (*geom.VoxelCloud, error) {
+	if f.Layered() {
+		return d.decodeLayered(f)
+	}
 	if f.Tiled() {
 		return d.decodeTiledProposed(f)
 	}

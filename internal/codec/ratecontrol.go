@@ -733,3 +733,83 @@ func (e *Encoder) applyKnobs() {
 // Controller returns the encoder's congestion controller, nil when
 // Options.Adapt is disabled.
 func (e *Encoder) Controller() *Controller { return e.ctrl }
+
+// LayerAdapt configures the per-viewer layer controller (layer.go's drop
+// decision). Unlike the shared Controller above — which re-tunes the
+// ENCODER for everyone — a LayerController never touches the encoder: it
+// turns one viewer's own feedback into how many of the published layers
+// that viewer receives, so a bad link sheds its own enhancement layers
+// while every other viewer keeps the full stream.
+type LayerAdapt struct {
+	// Enabled turns the controller on.
+	Enabled bool
+	// DropThreshold is the congestion rate (Feedback.CongestionRate) at or
+	// above which one more enhancement layer is shed (default 0.05).
+	DropThreshold float64
+	// ClearThreshold is the congestion rate at or below which a report
+	// counts as clean (default 0.01). Rates in between hold steady.
+	ClearThreshold float64
+	// Recover is how many consecutive clean reports restore one layer
+	// (default 4) — hysteresis so a flapping link does not oscillate.
+	Recover int
+	// MaxDrop caps how many enhancement layers may be shed (default
+	// MaxLayers-1); the base layer is never dropped.
+	MaxDrop int
+}
+
+func (a LayerAdapt) normalized() LayerAdapt {
+	if a.DropThreshold <= 0 {
+		a.DropThreshold = 0.05
+	}
+	if a.ClearThreshold <= 0 {
+		a.ClearThreshold = 0.01
+	}
+	if a.ClearThreshold > a.DropThreshold {
+		a.ClearThreshold = a.DropThreshold
+	}
+	if a.Recover < 1 {
+		a.Recover = 4
+	}
+	if a.MaxDrop < 1 || a.MaxDrop > MaxLayers-1 {
+		a.MaxDrop = MaxLayers - 1
+	}
+	return a
+}
+
+// LayerController is the pure hysteresis state machine behind LayerAdapt:
+// feed it one congestion rate per feedback report, read how many layers to
+// drop. Like every controller in this file it is deterministic — no
+// clocks, no randomness — so a seeded harness replays a whole trajectory;
+// the caller (stream.Viewer) provides synchronization.
+type LayerController struct {
+	cfg    LayerAdapt
+	drop   int
+	streak int
+}
+
+// NewLayerController creates a controller with normalized defaults.
+func NewLayerController(cfg LayerAdapt) *LayerController {
+	return &LayerController{cfg: cfg.normalized()}
+}
+
+// Observe feeds one feedback report's congestion rate.
+func (c *LayerController) Observe(congestion float64) {
+	switch {
+	case congestion >= c.cfg.DropThreshold:
+		c.streak = 0
+		if c.drop < c.cfg.MaxDrop {
+			c.drop++
+		}
+	case congestion <= c.cfg.ClearThreshold:
+		c.streak++
+		if c.streak >= c.cfg.Recover && c.drop > 0 {
+			c.drop--
+			c.streak = 0
+		}
+	default:
+		c.streak = 0
+	}
+}
+
+// Drop returns how many enhancement layers to shed right now.
+func (c *LayerController) Drop() int { return c.drop }

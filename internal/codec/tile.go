@@ -171,7 +171,9 @@ func (e *Encoder) tiledGeometry(dev *edgesim.Device, work *geom.VoxelCloud, fram
 	infos := frame.Tiles
 	errs := make([]error, nT)
 	depth := work.Depth
-	entropyOn := e.opts.EntropyGeometry
+	// Layered frames keep per-tile chunks raw: entropy moves into the
+	// per-layer slices (layer.go).
+	entropyOn := e.opts.EntropyGeometry && e.opts.layersFor(depth) == 0
 	hasR, resc := frame.HasRescale, frame.Rescale
 	dev.GPUCompute("TileGeometry", n, costTileGeom, func() {
 		dev.ParallelFor(nT, func(t0, t1 int) {

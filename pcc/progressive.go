@@ -28,6 +28,15 @@ var ErrNotProgressive = errors.New("pcc: frame is not progressively decodable")
 // stream a receiver must have to show this level.
 func DecodeProgressive(f *EncodedFrame, level uint) (*PointCloud, int, error) {
 	dev := NewDevice(Mode15W)
+	if f.Tiled() {
+		// Tiled geometry is per-tile streams; a frame-wide byte prefix is
+		// not a coarse frame. Use the layered container for partial tiled
+		// frames instead.
+		return nil, 0, ErrNotProgressive
+	}
+	if f.Layered() {
+		return decodeProgressiveLayered(f, level)
+	}
 	if len(f.Geometry) == 0 {
 		return nil, 0, ErrNotProgressive
 	}
@@ -38,7 +47,9 @@ func DecodeProgressive(f *EncodedFrame, level uint) (*PointCloud, int, error) {
 	case 1:
 		// Entropy-coded geometry must be fully decompressed first (the
 		// arithmetic stream is not prefix-decodable) — one more reason the
-		// paper's fast path discards the entropy stage.
+		// paper's fast path discards the entropy stage. Layered frames fix
+		// this: entropy restarts at every layer cut, so the layered branch
+		// above never decompresses past the requested level's layer.
 		var err error
 		stream, err = entropy.DecompressBytes(stream)
 		if err != nil {
@@ -58,6 +69,72 @@ func DecodeProgressive(f *EncodedFrame, level uint) (*PointCloud, int, error) {
 		}
 	}
 	return &PointCloud{Depth: uint(f.Depth), Voxels: voxels}, lod.PrefixBytes, nil
+}
+
+// decodeProgressiveLayered is the layered-frame fast path: consume whole
+// layers (each a self-contained entropy unit) until the requested level is
+// covered, so the reported prefix is the SUM OF THE WIRE LENGTHS of the
+// consumed layers — a base-layer decode reads exactly the directory's
+// base-layer bytes, never the rest of the stream. Prefix granularity is
+// whole layers: level cuts inside a layer round up to the layer boundary.
+func decodeProgressiveLayered(f *EncodedFrame, level uint) (*PointCloud, int, error) {
+	dev := NewDevice(Mode15W)
+	ld := f.Layer
+	depth := uint(f.Depth)
+	if len(ld.Units) != 1 || int(ld.Sub) < 1 || int(ld.Sub) > int(ld.Layers) {
+		return nil, 0, ErrNotProgressive
+	}
+	if level > depth {
+		level = depth
+	}
+	// Layers needed: layer 0 covers levels up to BaseLevel; each
+	// enhancement layer adds one level.
+	need := 1 + int(level) - int(ld.BaseLevel)
+	if need < 1 {
+		need = 1
+	}
+	if need > int(ld.Sub) {
+		need = int(ld.Sub)
+	}
+	spans := ld.Units[0]
+	var raw []byte
+	pos, prefix := 0, 0
+	for _, s := range spans[:need] {
+		chunk := f.Geometry[pos : pos+int(s.GeomLen)]
+		pos += int(s.GeomLen)
+		prefix += int(s.GeomLen)
+		if len(chunk) == 0 {
+			return nil, 0, ErrNotProgressive
+		}
+		payload := chunk[1:]
+		switch chunk[0] {
+		case 0:
+		case 1:
+			var err error
+			if payload, err = entropy.DecompressBytes(payload); err != nil {
+				return nil, 0, err
+			}
+		default:
+			return nil, 0, ErrNotProgressive
+		}
+		raw = append(raw, payload...)
+	}
+	// The consumed layers carry mask levels up to BaseLevel+need-1; clamp
+	// the decode there when the subscription cuts below the request.
+	if covered := uint(int(ld.BaseLevel) + need - 1); level > covered {
+		level = covered
+	}
+	lod, err := paroctree.DeserializeLoD(dev, raw, depth, level)
+	if err != nil {
+		return nil, 0, err
+	}
+	voxels := lod.UpscaleToLattice(dev, depth)
+	if f.HasRescale {
+		for i := range voxels {
+			voxels[i] = f.Rescale.Invert(voxels[i])
+		}
+	}
+	return &PointCloud{Depth: depth, Voxels: voxels}, prefix, nil
 }
 
 // interface check: EncodedFrame is the codec container type.

@@ -88,6 +88,93 @@ func TestDecodeProgressiveEntropyVariant(t *testing.T) {
 	}
 }
 
+// TestDecodeProgressiveLayered pins the layered fast path: the reported
+// prefix is the sum of the consumed layers' wire lengths straight from the
+// layer directory — a base-level decode reads exactly the base layer's
+// bytes, never the rest of the stream — and the full-subscription decode
+// matches the regular full decode's geometry.
+func TestDecodeProgressiveLayered(t *testing.T) {
+	v := testVideo(t)
+	f, err := v.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions(IntraOnly)
+	o.IntraAttr.Segments = 300
+	o.Layers = 3
+	enc := NewEncoderOptions(o)
+	bits, _, err := enc.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Layered() {
+		t.Fatal("frame not layered")
+	}
+	ld := bits.Layer
+	spans := ld.Units[0]
+
+	// Base decode: the prefix must be the directory's layer-0 geometry
+	// length, byte-exact.
+	base, prefix, err := DecodeProgressive(bits, uint(ld.BaseLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefix != int(spans[0].GeomLen) {
+		t.Fatalf("base prefix %d bytes, directory says layer 0 is %d", prefix, spans[0].GeomLen)
+	}
+	if base.Len() == 0 {
+		t.Fatal("base decode produced no points")
+	}
+
+	// Each enhancement level consumes exactly one more layer's bytes.
+	want, prevPoints := int(spans[0].GeomLen), base.Len()
+	for l := 1; l < int(ld.Layers); l++ {
+		want += int(spans[l].GeomLen)
+		coarse, prefix, err := DecodeProgressive(bits, uint(ld.BaseLevel)+uint(l))
+		if err != nil {
+			t.Fatalf("layer %d: %v", l, err)
+		}
+		if prefix != want {
+			t.Fatalf("layer %d: prefix %d bytes, directory sum is %d", l, prefix, want)
+		}
+		if coarse.Len() < prevPoints {
+			t.Fatalf("layer %d: point count decreased (%d < %d)", l, coarse.Len(), prevPoints)
+		}
+		prevPoints = coarse.Len()
+	}
+
+	// Full-subscription progressive geometry == the regular full decode's.
+	full, err := NewDecoder(o).Decode(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prevPoints != full.Len() {
+		t.Fatalf("full-level layered progressive %d points != full decode %d", prevPoints, full.Len())
+	}
+
+	// A level request cut inside the base rounds up to the base layer, not
+	// down to a partial entropy unit.
+	_, p1, err := DecodeProgressive(bits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != int(spans[0].GeomLen) {
+		t.Fatalf("level-1 prefix %d, want whole base layer %d", p1, spans[0].GeomLen)
+	}
+
+	// Tiled layered frames have per-tile streams: no frame-wide prefix.
+	o.Tiles = 4
+	tbits, _, err := NewEncoderOptions(o).Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbits.Tiled() {
+		if _, _, err := DecodeProgressive(tbits, 4); err != ErrNotProgressive {
+			t.Fatalf("tiled layered frame: got %v, want ErrNotProgressive", err)
+		}
+	}
+}
+
 func TestDecodeProgressiveRejectsBaseline(t *testing.T) {
 	v := testVideo(t)
 	f, _ := v.Frame(0)

@@ -22,7 +22,8 @@ package stream
 //	    21    2 payload length
 //	    23    4 CRC-32 (IEEE) of the payload
 //	    27    2 tile id (FlagTiled packets only)
-//	    27/29 - payload
+//	     +    1 layer id (FlagLayered packets only, after any tile id)
+//	      ... - payload
 //
 // A frame's fragments carry consecutive sequence numbers, so the first
 // fragment's seq is always Seq-Frag and a receiver can attribute a missing
@@ -53,6 +54,8 @@ const (
 	PacketHeaderSize = 27
 	// TileIDSize is the FlagTiled header extension: a 2-byte tile id.
 	TileIDSize = 2
+	// LayerIDSize is the FlagLayered header extension: a 1-byte layer id.
+	LayerIDSize = 1
 	// MaxPayload is the largest payload one packet can carry.
 	MaxPayload = math.MaxUint16
 )
@@ -60,6 +63,10 @@ const (
 // TileNone is the tile id of fragments that start inside the frame's
 // container header or tile directory rather than a tile's bytes.
 const TileNone uint16 = 0xFFFF
+
+// LayerNone is the layer id of fragments that start inside the frame's
+// container header rather than a layer's bytes.
+const LayerNone uint8 = 0xFF
 
 // Packet flag bits.
 const (
@@ -84,6 +91,12 @@ const (
 	// header carries a 2-byte tile id after the CRC (TileIDSize), and the
 	// frame's container was rewritten per viewer (omitted/coarse tiles).
 	FlagTiled byte = 1 << 4
+	// FlagLayered marks a data packet of a layer-truncated layered frame:
+	// the header carries a 1-byte layer id after the (optional) tile id
+	// (LayerIDSize), and the frame's container was rewritten per viewer to
+	// its first Sub layers. Like the tile id, the layer id is observability
+	// metadata — reassembly stays in-order concatenation.
+	FlagLayered byte = 1 << 5
 )
 
 // ErrBadPacket reports a malformed packet (bad magic, version, or lengths).
@@ -105,6 +118,9 @@ type PacketHeader struct {
 	// Tile is the tile the fragment starts in (FlagTiled packets only;
 	// TileNone for header/directory fragments).
 	Tile uint16
+	// Layer is the layer the fragment starts in (FlagLayered packets only;
+	// LayerNone for header/directory fragments).
+	Layer uint8
 }
 
 // Packet is one parsed packet: header plus payload (which aliases the
@@ -127,6 +143,9 @@ func AppendPacket(dst []byte, h PacketHeader, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 	if h.Flags&FlagTiled != 0 {
 		dst = binary.LittleEndian.AppendUint16(dst, h.Tile)
+	}
+	if h.Flags&FlagLayered != 0 {
+		dst = append(dst, h.Layer)
 	}
 	return append(dst, payload...)
 }
@@ -164,7 +183,14 @@ func ParsePacket(b []byte) (Packet, error) {
 		if len(b) < hdrLen {
 			return Packet{}, fmt.Errorf("%w: tiled packet %d bytes", ErrBadPacket, len(b))
 		}
-		h.Tile = binary.LittleEndian.Uint16(b[PacketHeaderSize:hdrLen])
+		h.Tile = binary.LittleEndian.Uint16(b[hdrLen-TileIDSize : hdrLen])
+	}
+	if h.Flags&FlagLayered != 0 {
+		hdrLen += LayerIDSize
+		if len(b) < hdrLen {
+			return Packet{}, fmt.Errorf("%w: layered packet %d bytes", ErrBadPacket, len(b))
+		}
+		h.Layer = b[hdrLen-1]
 	}
 	plen := int(binary.LittleEndian.Uint16(b[21:23]))
 	if len(b) != hdrLen+plen {
@@ -332,6 +358,11 @@ const (
 	// that viewer only. FOVDegrees <= 0 clears the viewport — the viewer
 	// receives every tile again.
 	ControlViewport ControlKind = 4
+	// ControlLayers carries the receiver's layer subscription (a 1-byte
+	// payload): ship only the first N layers of layered frames to this
+	// viewer. 0 clears the explicit subscription — the viewer receives
+	// every layer again (or whatever its adaptive controller decides).
+	ControlLayers ControlKind = 5
 )
 
 func (k ControlKind) String() string {
@@ -344,6 +375,8 @@ func (k ControlKind) String() string {
 		return "FEEDBACK"
 	case ControlViewport:
 		return "VIEWPORT"
+	case ControlLayers:
+		return "LAYERS"
 	default:
 		return fmt.Sprintf("ControlKind(%d)", byte(k))
 	}
@@ -488,6 +521,9 @@ type Control struct {
 	// Camera is the receiver's viewport (ControlViewport only);
 	// FOVDegrees <= 0 clears it.
 	Camera viewport.Camera
+	// Layers is the receiver's layer subscription (ControlLayers only);
+	// 0 clears it.
+	Layers uint8
 }
 
 // MarshalControl frames a control message as a packet (FlagControl set,
@@ -504,6 +540,8 @@ func MarshalControl(c Control) []byte {
 		payload = AppendFeedback(make([]byte, 0, FeedbackSize), c.Feedback)
 	case ControlViewport:
 		payload = appendViewport(make([]byte, 0, ViewportSize), c.Camera)
+	case ControlLayers:
+		payload = []byte{c.Layers}
 	}
 	return MarshalPacket(PacketHeader{
 		Flags:      FlagControl,
@@ -546,6 +584,11 @@ func ParseControl(p Packet) (Control, error) {
 			return Control{}, err
 		}
 		c.Camera = cam
+	case ControlLayers:
+		if len(p.Payload) != 1 {
+			return Control{}, fmt.Errorf("%w: layers payload %d bytes", ErrBadPacket, len(p.Payload))
+		}
+		c.Layers = p.Payload[0]
 	default:
 		return Control{}, fmt.Errorf("%w: control kind %d", ErrBadPacket, byte(c.Kind))
 	}

@@ -183,6 +183,12 @@ func FuzzParsePacket(f *testing.F) {
 	f.Add(MarshalControl(Control{Kind: ControlRefresh, StreamID: 1, FrameIndex: 6}))
 	f.Add(MarshalPacket(PacketHeader{Flags: FlagTiled, StreamID: 7, FrameType: codec.IFrame, FragCount: 3, Frag: 1, Tile: 2}, []byte("tiled")))
 	f.Add(MarshalControl(Control{Kind: ControlViewport, StreamID: 8, Camera: viewport.Camera{Pos: [3]float64{1, 2, 3}, FOVDegrees: 60}}))
+	f.Add(MarshalPacket(PacketHeader{Flags: FlagLayered, StreamID: 9, FrameType: codec.PFrame, FragCount: 2, Frag: 0, Layer: 1}, []byte("layered")))
+	f.Add(MarshalPacket(PacketHeader{Flags: FlagTiled | FlagLayered, StreamID: 9, FrameType: codec.IFrame, FragCount: 4, Frag: 2, Tile: 3, Layer: LayerNone}, []byte("both ids")))
+	f.Add(MarshalControl(Control{Kind: ControlLayers, StreamID: 9, Layers: 2}))
+	// Truncated inside the layer id: the extension bytes must be validated.
+	trunc := MarshalPacket(PacketHeader{Flags: FlagLayered, StreamID: 9, FrameType: codec.IFrame, FragCount: 1}, nil)
+	f.Add(trunc[:PacketHeaderSize])
 	long := bytes.Repeat([]byte{0xA5}, 2048)
 	f.Add(PacketizeFrame(1, 0, codec.IFrame, 0, long, 700)[1])
 

@@ -242,6 +242,14 @@ func (r *Receiver) SendViewport(cam viewport.Camera) {
 	r.sendControl(Control{Kind: ControlViewport, StreamID: r.streamID, Camera: cam})
 }
 
+// SendLayers asks the sender to truncate layered frames to their first sub
+// layers for this viewer from the next send on (see Viewer.SetLayers). Zero
+// clears the override: the sender's per-viewer layer controller (if any)
+// resumes, or full frames do. A no-op for unlayered streams.
+func (r *Receiver) SendLayers(sub uint8) {
+	r.sendControl(Control{Kind: ControlLayers, StreamID: r.streamID, Layers: sub})
+}
+
 // Ingest feeds one received packet (header + payload, as framed by the
 // sender). Safe to call re-entrantly from SendControl/OnFrame callbacks.
 func (r *Receiver) Ingest(raw []byte) {

@@ -160,7 +160,7 @@ func TestTileMasksAndViewPlan(t *testing.T) {
 		t.Fatalf("away camera masks omit=%x coarse=%x with %d tiles", omit, coarse, len(l.Tiles))
 	}
 
-	plan := buildViewPlan(l, wire, omit, coarse)
+	plan := buildViewPlan(l, wire, omit, coarse, 0)
 	want := []byte(nil)
 	for _, s := range plan.spans {
 		want = append(want, s...)
@@ -196,7 +196,7 @@ func TestTileMasksAndViewPlan(t *testing.T) {
 		var scratch []byte
 		for i := 0; i < n; i++ {
 			var tile uint16
-			scratch, tile = plan.gather(scratch[:0], i, mtu)
+			scratch, tile, _ = plan.gather(scratch[:0], i, mtu)
 			if i == 0 && tile != TileNone {
 				t.Fatalf("mtu %d: first fragment tile %d, want TileNone", mtu, tile)
 			}

@@ -55,6 +55,17 @@ type ViewerConfig struct {
 	// are culled against it from the very first send (SetViewport updates
 	// it live; a receiver drives it remotely with ControlViewport).
 	Viewport *viewport.Camera
+	// Layers, when > 0, is the viewer's initial explicit layer
+	// subscription: layered frames ship only their first Layers layers,
+	// sliced zero-copy from the published container (SetLayers updates it
+	// live; a receiver drives it remotely with ControlLayers).
+	Layers uint8
+	// LayerAdapt, when Enabled, attaches a per-viewer layer controller:
+	// this viewer's own congestion feedback sheds enhancement layers and
+	// recovers them at keyframes — per-viewer quality as a drop decision,
+	// with no shared-encoder knob involved. An explicit subscription
+	// (Layers / SetLayers / ControlLayers) overrides the controller.
+	LayerAdapt codec.LayerAdapt
 	// PacketOut transmits this viewer's framed packets. It runs on the
 	// viewer's sender goroutine (fresh and cached frames) and on the
 	// HandleControl caller's goroutine (retransmissions). Nil builds and
@@ -120,6 +131,12 @@ type ViewerMetrics struct {
 	TilesCulled     int64
 	TilesCoarse     int64
 	CulledBytes     int64
+	// Layer-subscription state: SubLayers is the subscription the latch
+	// last applied (0 = full quality); LayerDownswitches / LayerUpswitches
+	// count subscription shrinks and keyframe recoveries.
+	SubLayers         uint8
+	LayerDownswitches int64
+	LayerUpswitches   int64
 	// RetxBuffered is the packet span the sent-records currently cover —
 	// how many recent sequence numbers this viewer can still answer NACKs
 	// for (0 once the viewer detaches; detach frees the records).
@@ -150,11 +167,17 @@ type sentRec struct {
 	frameIdx uint32 // viewer-local frame index
 	ftype    codec.FrameType
 	cached   bool // replayed join keyframe (FlagCached on rebuild)
-	// tiled records a viewport-culled send; omit/coarse are the masks used
-	// at send time, so a NACK rebuild reconstructs the identical culled
-	// frame even after the viewer's camera has moved on.
+	// tiled records a viewport-culled tiled send (FlagTiled on rebuild);
+	// omit/coarse are the masks used at send time, so a NACK rebuild
+	// reconstructs the identical culled frame even after the viewer's
+	// camera has moved on.
 	tiled        bool
 	omit, coarse uint64
+	// layers is the layer subscription the send was truncated to (0 = all
+	// layers kept), recorded for the same deterministic-rebuild reason:
+	// a retransmit must re-slice the exact bytes even after the viewer's
+	// subscription has churned.
+	layers uint8
 }
 
 // Viewer is one fan-out consumer. Create with Server.Attach; release with
@@ -190,6 +213,12 @@ type Viewer struct {
 	// cam is the viewer's viewport (nil = no culling: every tile ships).
 	// The pointer is replaced wholesale on update, never mutated.
 	cam *viewport.Camera
+	// layersWant is the explicit subscription override (0 = none), curSub
+	// the subscription the latch last applied (0 = full), lctrl the
+	// per-viewer adaptive layer controller (nil = none attached).
+	layersWant uint8
+	curSub     uint8
+	lctrl      *codec.LayerController
 
 	framesSent    int64
 	framesDropped int64
@@ -214,6 +243,8 @@ type Viewer struct {
 	tilesCulled  int64
 	tilesCoarse  int64
 	culledBytes  int64
+	layerDown    int64
+	layerUp      int64
 	linkTime     time.Duration
 	txJ, rxJ     float64
 	err          error
@@ -243,6 +274,10 @@ func newViewer(sv *Server, cfg ViewerConfig, joinCache *sharedFrame) *Viewer {
 		cam := *cfg.Viewport
 		v.cam = &cam
 	}
+	v.layersWant = cfg.Layers
+	if cfg.LayerAdapt.Enabled {
+		v.lctrl = codec.NewLayerController(cfg.LayerAdapt)
+	}
 	v.cond = sync.NewCond(&v.mu)
 	return v
 }
@@ -269,6 +304,20 @@ func (v *Viewer) SetViewport(cam viewport.Camera) {
 // ClearViewport removes the viewer's camera: every tile ships again.
 func (v *Viewer) ClearViewport() { v.SetViewport(viewport.Camera{}) }
 
+// SetLayers installs or replaces the viewer's explicit layer subscription:
+// subsequent layered frames ship only their first sub layers, sliced
+// zero-copy from the published container. sub == 0 clears the override,
+// returning control to the adaptive layer controller (if configured) or to
+// full quality. Shrinking the subscription applies on the very next send;
+// growing it waits for the next keyframe (see subscriptionLocked). Safe to
+// call concurrently with a live stream; retransmits of frames already sent
+// keep the subscription they were sent with.
+func (v *Viewer) SetLayers(sub uint8) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.layersWant = sub
+}
+
 // StreamID returns the viewer's packet stream id.
 func (v *Viewer) StreamID() uint32 { return v.id }
 
@@ -287,35 +336,38 @@ func (v *Viewer) Metrics() ViewerMetrics {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return ViewerMetrics{
-		StreamID:        v.id,
-		Queue:           v.gauge.Snapshot(),
-		FramesEnqueued:  int64(v.nextIdx),
-		FramesSent:      v.framesSent,
-		FramesDropped:   v.framesDropped,
-		SkippedNoRef:    v.skippedNoRef,
-		Resyncs:         v.resyncs,
-		CachedJoin:      v.cachedJoin,
-		JoinLatency:     v.joinLatency,
-		Packets:         v.packets,
-		WireBytes:       v.wireBytes,
-		ParitySent:      v.paritySent,
-		NACKsReceived:   v.nacksRecv,
-		Retransmits:     v.retransmits,
-		RetxMisses:      v.retxMisses,
-		Refreshes:       v.refreshes,
-		FeedbackReports: v.fbReports,
-		FeedbackStale:   v.fbStale,
-		LastLossRate:    v.lastLoss,
-		HasViewport:     v.cam != nil,
-		ViewportUpdates: v.vpUpdates,
-		TilesCulled:     v.tilesCulled,
-		TilesCoarse:     v.tilesCoarse,
-		CulledBytes:     v.culledBytes,
-		RetxBuffered:    v.recPkts,
-		LinkTime:        v.linkTime,
-		TxEnergyJ:       v.txJ,
-		RxEnergyJ:       v.rxJ,
-		Err:             v.err,
+		StreamID:          v.id,
+		Queue:             v.gauge.Snapshot(),
+		FramesEnqueued:    int64(v.nextIdx),
+		FramesSent:        v.framesSent,
+		FramesDropped:     v.framesDropped,
+		SkippedNoRef:      v.skippedNoRef,
+		Resyncs:           v.resyncs,
+		CachedJoin:        v.cachedJoin,
+		JoinLatency:       v.joinLatency,
+		Packets:           v.packets,
+		WireBytes:         v.wireBytes,
+		ParitySent:        v.paritySent,
+		NACKsReceived:     v.nacksRecv,
+		Retransmits:       v.retransmits,
+		RetxMisses:        v.retxMisses,
+		Refreshes:         v.refreshes,
+		FeedbackReports:   v.fbReports,
+		FeedbackStale:     v.fbStale,
+		LastLossRate:      v.lastLoss,
+		HasViewport:       v.cam != nil,
+		ViewportUpdates:   v.vpUpdates,
+		TilesCulled:       v.tilesCulled,
+		TilesCoarse:       v.tilesCoarse,
+		CulledBytes:       v.culledBytes,
+		SubLayers:         v.curSub,
+		LayerDownswitches: v.layerDown,
+		LayerUpswitches:   v.layerUp,
+		RetxBuffered:      v.recPkts,
+		LinkTime:          v.linkTime,
+		TxEnergyJ:         v.txJ,
+		RxEnergyJ:         v.rxJ,
+		Err:               v.err,
 	}
 }
 
@@ -475,21 +527,32 @@ func (v *Viewer) sendLoop() {
 func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	v.mu.Lock()
 	cam := v.cam
+	sub := v.subscriptionLocked(qf.f)
 	v.mu.Unlock()
 	mtu := v.mtu()
 	var plan *viewPlan
 	var omit, coarse uint64
-	if cam != nil && qf.f.layout != nil {
-		if o, c := tileMasks(qf.f.layout, *cam); o|c != 0 {
-			omit, coarse = o, c
-			plan = buildViewPlan(qf.f.layout, qf.f.p.wire, omit, coarse)
+	tiledSend := false
+	if l := qf.f.layout; l != nil {
+		if cam != nil && len(l.Tiles) > 0 {
+			omit, coarse = tileMasks(l, *cam)
+		}
+		if omit|coarse != 0 || sub != 0 {
+			plan = buildViewPlan(l, qf.f.p.wire, omit, coarse, sub)
+			tiledSend = len(l.Tiles) > 0
 		}
 	}
 	var pkts [][]byte
 	var scratch []byte
 	bytes := int64(0)
 	if plan != nil {
-		flags := FlagTiled
+		var flags byte
+		if tiledSend {
+			flags |= FlagTiled
+		}
+		if sub != 0 {
+			flags |= FlagLayered
+		}
 		if qf.f.cached {
 			flags |= FlagCached
 		}
@@ -497,7 +560,8 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 		pkts = make([][]byte, 0, n)
 		for i := 0; i < n; i++ {
 			var tile uint16
-			scratch, tile = plan.gather(scratch[:0], i, mtu)
+			var layer uint8
+			scratch, tile, layer = plan.gather(scratch[:0], i, mtu)
 			pkts = append(pkts, MarshalPacket(PacketHeader{
 				Flags:      flags,
 				StreamID:   v.id,
@@ -507,6 +571,7 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 				FragCount:  uint16(n),
 				Seq:        firstSeq + uint32(i),
 				Tile:       tile,
+				Layer:      layer,
 			}, scratch))
 		}
 	} else {
@@ -559,7 +624,7 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	}
 	// Record before the first PacketOut: a receiver NACKing from inside
 	// the delivery chain (re-entrant HandleControl) must find the frame.
-	v.recordSent(qf, firstSeq, len(pkts), plan != nil, omit, coarse)
+	v.recordSent(qf, firstSeq, len(pkts), tiledSend, omit, coarse, sub)
 	// Each group's parity packet interleaves right after the group's last
 	// covered data packet, so a repair trails the loss it fixes by at most
 	// a group's worth of packet-times — well inside the NACK timer.
@@ -608,9 +673,57 @@ func (v *Viewer) sendFrame(qf queuedFrame, firstSeq uint32) error {
 	return nil
 }
 
+// subscriptionLocked resolves the layer subscription for one outgoing
+// frame and advances the viewer's latch. An explicit override (Layers /
+// SetLayers / ControlLayers) wins over the adaptive controller; with
+// neither, the frame ships whole. Shrinking the subscription applies
+// immediately — dropping enhancement layers is always safe — but growing
+// it waits for a keyframe: the decoder's reference contract only lets the
+// subscription widen where a full I-frame re-anchors the GOP, so a viewer
+// never receives a full P-frame against a partial I reference. Returns the
+// Sub to slice at (0 = ship all layers). Caller holds v.mu.
+func (v *Viewer) subscriptionLocked(f *sharedFrame) uint8 {
+	l := f.layout
+	if l == nil || !l.Layered() {
+		return 0
+	}
+	effL := l.Layers
+	want := effL
+	switch {
+	case v.layersWant != 0:
+		want = int(v.layersWant)
+	case v.lctrl != nil:
+		want = effL - v.lctrl.Drop()
+	}
+	if want > effL {
+		want = effL
+	}
+	if want < 1 {
+		want = 1
+	}
+	cur := effL
+	if v.curSub != 0 && int(v.curSub) < effL {
+		cur = int(v.curSub)
+	}
+	switch {
+	case want < cur:
+		v.layerDown++
+	case want > cur && f.ftype == codec.IFrame:
+		v.layerUp++
+	default:
+		want = cur
+	}
+	if want >= effL {
+		v.curSub = 0
+		return 0
+	}
+	v.curSub = uint8(want)
+	return uint8(want)
+}
+
 // recordSent appends one frame's sent-record, evicting the oldest records
 // once the covered packet span exceeds the viewer's retransmit budget.
-func (v *Viewer) recordSent(qf queuedFrame, firstSeq uint32, n int, tiled bool, omit, coarse uint64) {
+func (v *Viewer) recordSent(qf queuedFrame, firstSeq uint32, n int, tiled bool, omit, coarse uint64, sub uint8) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.recDead {
@@ -634,6 +747,7 @@ func (v *Viewer) recordSent(qf queuedFrame, firstSeq uint32, n int, tiled bool, 
 		tiled:    tiled,
 		omit:     omit,
 		coarse:   coarse,
+		layers:   sub,
 	})
 	v.recPkts += n
 }
@@ -692,19 +806,25 @@ func (v *Viewer) rebuildPacket(seq uint32) []byte {
 		flags |= FlagCached
 	}
 	var payload []byte
-	tile := TileNone
-	if rec.tiled {
-		// A culled send: rebuild the exact view plan from the recorded
-		// masks — deterministic whatever the camera has done since — and
-		// gather the fragment from the cached frame's immutable payload.
+	tile, layer := TileNone, LayerNone
+	if rec.tiled || rec.layers != 0 {
+		// A culled and/or layer-truncated send: rebuild the exact view plan
+		// from the recorded masks and subscription — deterministic whatever
+		// the camera or the layer latch has done since — and gather the
+		// fragment from the cached frame's immutable payload.
 		if f.layout == nil {
 			f.p.release()
 			v.noteRetxMiss(sh)
 			return nil
 		}
-		plan := buildViewPlan(f.layout, f.p.wire, rec.omit, rec.coarse)
-		flags |= FlagTiled
-		payload, tile = plan.gather(nil, int(frag), mtu)
+		plan := buildViewPlan(f.layout, f.p.wire, rec.omit, rec.coarse, rec.layers)
+		if rec.tiled {
+			flags |= FlagTiled
+		}
+		if rec.layers != 0 {
+			flags |= FlagLayered
+		}
+		payload, tile, layer = plan.gather(nil, int(frag), mtu)
 	} else {
 		lo := int(frag) * mtu
 		hi := min(lo+mtu, len(f.p.wire))
@@ -719,6 +839,7 @@ func (v *Viewer) rebuildPacket(seq uint32) []byte {
 		FragCount:  rec.n,
 		Seq:        seq,
 		Tile:       tile,
+		Layer:      layer,
 	}, payload)
 	f.p.release()
 	v.mu.Lock()
@@ -753,6 +874,10 @@ func (v *Viewer) HandleControl(c Control) error {
 		// A camera with FOVDegrees <= 0 clears the viewport (see
 		// SetViewport); anything else installs it for subsequent sends.
 		v.SetViewport(c.Camera)
+	case ControlLayers:
+		// 0 clears the explicit subscription (see SetLayers); anything else
+		// installs it for subsequent layered sends.
+		v.SetLayers(c.Layers)
 	case ControlRefresh:
 		v.mu.Lock()
 		v.refreshes++
@@ -772,6 +897,12 @@ func (v *Viewer) HandleControl(c Control) error {
 		v.fbReports++
 		v.lastLoss = fb.LossRate()
 		loss := fb.CongestionRate() // steering signal; lastLoss stays wire loss
+		if v.lctrl != nil {
+			// The per-viewer layer controller consumes the same congestion
+			// signal, but acts only on THIS viewer's subscription — the
+			// shared encoder never hears about it.
+			v.lctrl.Observe(loss)
+		}
 		v.mu.Unlock()
 		// Aggregate outside v.mu: the fold takes shard.mu, the reduction
 		// every shard's mu in turn (the relay lock order).
